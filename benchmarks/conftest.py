@@ -1,0 +1,9 @@
+"""Shared benchmark configuration."""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _keep_dataset_caches():
+    """Keep the cached synthetic datasets alive for the whole benchmark run."""
+    yield

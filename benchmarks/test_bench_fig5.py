@@ -1,0 +1,19 @@
+"""Benchmark harness for Figure 5: accuracy versus training-data size.
+
+Runs the experiment once per benchmark round at the default reproduction
+scale and prints the regenerated table/series (run pytest with ``-s`` to see
+it).  The benchmark time is the end-to-end cost of regenerating the artefact,
+including (cached) synthetic data collection.
+"""
+
+from repro.experiments import fig5_data_size as experiment
+from repro.experiments.common import DEFAULT_SCALE
+
+
+def test_bench_fig5(benchmark):
+    """Regenerate Figure 5 and report its wall-clock cost."""
+    result = benchmark.pedantic(experiment.run, args=(DEFAULT_SCALE,), iterations=1, rounds=1)
+    text = result.to_text()
+    assert text.strip(), "the experiment must render a non-empty report"
+    print()
+    print(text)

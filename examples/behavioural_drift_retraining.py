@@ -1,0 +1,42 @@
+"""Behavioural drift and automatic retraining (the paper's Figure 7 story).
+
+Simulates a user whose behaviour slowly drifts after enrolment.  The deployed
+model's confidence score sinks toward the retraining threshold, the
+confidence-score monitor fires, the cloud retrains on fresh data, and the
+score recovers.
+
+Run with::
+
+    python examples/behavioural_drift_retraining.py
+"""
+
+from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.fig7_retraining import run as run_drift_trace
+
+
+def main() -> None:
+    result = run_drift_trace(DEFAULT_SCALE, n_days=12)
+    threshold = result.threshold
+    print(f"User {result.user_id}: 12 simulated days of behavioural drift")
+    print(f"Retraining threshold on the confidence score: {threshold}\n")
+
+    for entry in result.daily:
+        bar_length = max(0, int(round(40 * max(entry.mean_confidence, 0.0))))
+        marker = "  <-- retrained" if entry.retrained_today else ""
+        below = "!" if entry.mean_confidence < threshold else " "
+        print(
+            f"  day {entry.day:4.0f}  CS={entry.mean_confidence:+.2f} {below} "
+            f"accepted={entry.accepted_fraction:4.0%}  {'#' * bar_length}{marker}"
+        )
+
+    print()
+    if result.retraining_days:
+        days = ", ".join(f"{day:.0f}" for day in result.retraining_days)
+        print(f"Automatic retraining triggered on day(s): {days}")
+        print(f"Confidence recovered above the threshold afterwards: {result.confidence_recovered()}")
+    else:
+        print("No retraining was triggered within the simulated horizon.")
+
+
+if __name__ == "__main__":
+    main()

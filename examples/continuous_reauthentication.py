@@ -1,0 +1,90 @@
+"""Continuous re-authentication with a mid-day device theft.
+
+Simulates the scenario the paper's introduction motivates: the owner uses the
+phone normally, an attacker walks off with it after lunch, and the response
+module de-authenticates the attacker and locks access to sensitive data
+within a couple of windows.
+
+Run with::
+
+    python examples/continuous_reauthentication.py
+"""
+
+from repro import (
+    AuthenticationServer,
+    ContextDetector,
+    SmarterYou,
+    SmarterYouConfig,
+    build_study_population,
+    collect_free_form_dataset,
+)
+from repro.core.response import DeviceState, ResponseAction
+from repro.datasets import collect_lab_context_dataset
+from repro.datasets.collection import collect_session
+from repro.sensors.types import Context, DeviceType
+
+
+def deploy_system(population, dataset, owner):
+    """Train and deploy SmarterYou for *owner* (quickstart steps condensed)."""
+    config = SmarterYouConfig(target_enrollment_windows=40, lockout_consecutive_rejections=2)
+    lab = collect_lab_context_dataset(population, session_duration=90.0, seed=11)
+    phone_windows = lab.device_matrix(
+        DeviceType.SMARTPHONE, config.window_seconds, spec=config.phone_feature_spec
+    )
+    detector = ContextDetector(spec=config.phone_feature_spec)
+    detector.fit(phone_windows, exclude_user=owner.user_id)
+    server = AuthenticationServer(seed=3)
+    system = SmarterYou(config=config, server=server, context_detector=detector)
+    system.contribute_other_users(dataset, exclude=owner.user_id)
+    system.enroll(owner.user_id, dataset.sessions_for(owner.user_id))
+    return system
+
+
+def narrate(label: str, outcomes) -> None:
+    """Print a one-line summary per authenticated window."""
+    for index, outcome in enumerate(outcomes):
+        marker = "OK " if outcome.decision.accepted else "REJ"
+        print(
+            f"  [{label} window {index:2d}] {marker} context={outcome.detected_context.value:10s} "
+            f"CS={outcome.decision.confidence_score:+.2f} action={outcome.action.value}"
+        )
+
+
+def main() -> None:
+    population = build_study_population(n_users=6, seed=42)
+    dataset = collect_free_form_dataset(
+        population, session_duration=120.0, sessions_per_context=2, seed=7
+    )
+    owner = population[0]
+    thief = population[3]
+    system = deploy_system(population, dataset, owner)
+
+    print("Morning: the owner walks to work while reading the news.")
+    morning = collect_session(owner.profile, Context.MOVING, 60.0, seed=100)
+    narrate("owner ", system.process_session(morning, day=0.3))
+
+    print("\nLunch: the phone is left on the table and an attacker picks it up.")
+    stolen = collect_session(
+        thief.profile.with_user_id(thief.user_id), Context.HANDHELD_STATIC, 60.0, seed=200
+    )
+    outcomes = system.process_session(stolen, day=0.5)
+    narrate("thief ", outcomes)
+
+    lock_events = [o for o in outcomes if o.action is ResponseAction.LOCK_DEVICE]
+    first_lock = outcomes.index(lock_events[0]) if lock_events else None
+    print(f"\nDevice state after the theft: {system.response.state.value}")
+    if first_lock is not None:
+        seconds = (first_lock + 1) * system.config.window_seconds
+        print(f"The attacker was locked out after {seconds:.0f} seconds of use.")
+    print(f"Sensitive data accessible: {system.response.sensitive_data_accessible}")
+
+    print("\nAfternoon: the owner recovers the phone and re-authenticates explicitly.")
+    system.response.explicit_reauthentication(success=True)
+    afternoon = collect_session(owner.profile, Context.HANDHELD_STATIC, 60.0, seed=300)
+    narrate("owner ", system.process_session(afternoon, day=0.7))
+    assert system.response.state is not DeviceState.LOCKED
+    print(f"\nDevice state at the end of the day: {system.response.state.value}")
+
+
+if __name__ == "__main__":
+    main()

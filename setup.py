@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work with the
+older setuptools/pip combination available in offline environments (which
+lack the ``wheel`` package required by PEP 660 editable installs).
+"""
+
+from setuptools import setup
+
+setup()

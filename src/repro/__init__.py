@@ -1,0 +1,26 @@
+"""SmarterYou: implicit smartphone user authentication with sensors and
+contextual machine learning.
+
+A from-scratch reproduction of Lee & Lee, DSN 2017 (arXiv:1708.09754).  The
+top-level package re-exports the most commonly used entry points; see
+``repro.core`` for the system, ``repro.experiments`` for the paper's tables
+and figures, and DESIGN.md for the full inventory.
+"""
+
+from repro.core import SmarterYou, SmarterYouConfig, ContextDetector
+from repro.datasets import build_study_population, collect_free_form_dataset
+from repro.devices import AuthenticationServer
+from repro.ml import KernelRidgeClassifier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SmarterYou",
+    "SmarterYouConfig",
+    "ContextDetector",
+    "AuthenticationServer",
+    "KernelRidgeClassifier",
+    "build_study_population",
+    "collect_free_form_dataset",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Attack substrate: zero-effort and mimicry attackers plus their evaluation.
+
+Models the paper's threat model (Section III) and the masquerading-attack
+study (Section V-G): an adversary with physical access to the phone either
+uses it with his own behaviour (zero-effort attack) or watches a recording of
+the victim and imitates the victim's behaviour as well as he can (mimicry
+attack).
+"""
+
+from repro.attacks.attackers import (
+    ZeroEffortAttacker,
+    MimicryAttacker,
+    AttackSession,
+)
+from repro.attacks.evaluation import (
+    DetectionTimeline,
+    evaluate_detection_time,
+    escape_probability,
+    time_to_detect_all,
+)
+
+__all__ = [
+    "ZeroEffortAttacker",
+    "MimicryAttacker",
+    "AttackSession",
+    "DetectionTimeline",
+    "evaluate_detection_time",
+    "escape_probability",
+    "time_to_detect_all",
+]

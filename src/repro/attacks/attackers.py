@@ -1,0 +1,124 @@
+"""Attacker models: zero-effort use and deliberate mimicry (Section V-G)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.collection import SessionData, collect_session
+from repro.sensors.behavior import BehaviorProfile, ProfileBlend, blend_profiles
+from repro.sensors.types import Context, DeviceType, SensorType
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass
+class AttackSession:
+    """One attack attempt: who attacked whom, and the recorded sensor data."""
+
+    attacker_id: str
+    victim_id: str
+    fidelity: float
+    session: SessionData
+
+
+class ZeroEffortAttacker:
+    """An adversary who simply uses the stolen phone with his own behaviour.
+
+    This is the attacker implicitly evaluated by the FAR of every
+    cross-validated experiment: the negative-class windows come from other
+    users behaving naturally.
+    """
+
+    def __init__(self, profile: BehaviorProfile, seed: RandomState = None) -> None:
+        self.profile = profile
+        self._seed = seed
+        self._attempts = 0
+
+    def attack(
+        self,
+        victim_id: str,
+        context: Context,
+        duration: float,
+        devices: tuple[DeviceType, ...] = (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH),
+        sensors: tuple[SensorType, ...] = (SensorType.ACCELEROMETER, SensorType.GYROSCOPE),
+    ) -> AttackSession:
+        """Use the victim's phone naturally for *duration* seconds."""
+        check_positive(duration, "duration")
+        self._attempts += 1
+        session = collect_session(
+            self.profile,
+            context,
+            duration,
+            devices=devices,
+            sensors=sensors,
+            seed=derive_rng(self._seed, "zero-effort", victim_id, self._attempts),
+        )
+        return AttackSession(
+            attacker_id=self.profile.user_id,
+            victim_id=victim_id,
+            fidelity=0.0,
+            session=session,
+        )
+
+
+class MimicryAttacker:
+    """An adversary who watched the victim and imitates the victim's behaviour.
+
+    Parameters
+    ----------
+    profile:
+        The attacker's own behavioural profile.
+    fidelity:
+        Fraction of the victim's *observable* behaviour the attacker manages
+        to copy (stride frequency, gross amplitudes, hold angle).  The paper's
+        VCR-observation protocol corresponds to moderately high fidelity, but
+        fine-grained dynamics (phases, tremor spectrum) remain the attacker's
+        own — which is why the system still detects the attack quickly.
+    seed:
+        Seed for the attack-session sensor streams.
+    """
+
+    def __init__(
+        self, profile: BehaviorProfile, fidelity: float = 0.6, seed: RandomState = None
+    ) -> None:
+        check_in_range(fidelity, "fidelity", 0.0, 1.0)
+        self.profile = profile
+        self.fidelity = fidelity
+        self._seed = seed
+        self._attempts = 0
+
+    def effective_profile(self, victim: BehaviorProfile) -> BehaviorProfile:
+        """The behaviour the attacker actually exhibits while imitating *victim*."""
+        return blend_profiles(
+            ProfileBlend(attacker=self.profile, victim=victim, fidelity=self.fidelity)
+        )
+
+    def attack(
+        self,
+        victim: BehaviorProfile,
+        context: Context,
+        duration: float,
+        devices: tuple[DeviceType, ...] = (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH),
+        sensors: tuple[SensorType, ...] = (SensorType.ACCELEROMETER, SensorType.GYROSCOPE),
+    ) -> AttackSession:
+        """Imitate *victim* on the victim's devices for *duration* seconds."""
+        check_positive(duration, "duration")
+        self._attempts += 1
+        imitated = self.effective_profile(victim)
+        session = collect_session(
+            imitated,
+            context,
+            duration,
+            devices=devices,
+            sensors=sensors,
+            seed=derive_rng(self._seed, "mimicry", victim.user_id, self._attempts),
+        )
+        # The session carries the attacker's identity so evaluation code can
+        # never confuse attack windows with genuine ones.
+        session.user_id = self.profile.user_id
+        return AttackSession(
+            attacker_id=self.profile.user_id,
+            victim_id=victim.user_id,
+            fidelity=self.fidelity,
+            session=session,
+        )

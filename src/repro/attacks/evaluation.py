@@ -1,0 +1,141 @@
+"""Detection-time evaluation of masquerading attacks (Figure 6, Section V-G).
+
+Given a deployed authenticator and a set of attack sessions, the evaluation
+replays each attack window by window and records when each attacker is first
+rejected (de-authenticated).  The headline artefact is the survival curve of
+Figure 6 — the fraction of adversaries still holding access at time *t* —
+plus the theoretical escape probability ``p^n`` from the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.attacks.attackers import AttackSession
+from repro.utils.validation import check_in_range, check_positive
+
+
+class WindowAuthenticator(Protocol):
+    """Anything that can authenticate the windows of a recorded session."""
+
+    def authenticate_session(self, session, window_seconds: float | None = None) -> Sequence[bool]:
+        """Return one accept/reject decision per analysis window."""
+        ...
+
+
+@dataclass
+class DetectionTimeline:
+    """Result of replaying a set of attacks against the authenticator.
+
+    Attributes
+    ----------
+    window_seconds:
+        Authentication period (one decision every *window_seconds*).
+    detection_windows:
+        For every attack, the index of the first rejected window, or ``None``
+        if the attacker was never rejected within the session.
+    n_windows:
+        Number of windows each attack session contained.
+    """
+
+    window_seconds: float
+    detection_windows: list[int | None]
+    n_windows: list[int]
+
+    @property
+    def n_attacks(self) -> int:
+        return len(self.detection_windows)
+
+    def detection_times_s(self) -> list[float | None]:
+        """Seconds until each attacker was locked out (None = never)."""
+        times: list[float | None] = []
+        for first_reject in self.detection_windows:
+            if first_reject is None:
+                times.append(None)
+            else:
+                times.append((first_reject + 1) * self.window_seconds)
+        return times
+
+    def survival_curve(self, horizon_s: float | None = None, step_s: float | None = None):
+        """Fraction of attackers still authenticated at each time point.
+
+        Returns ``(times, fractions)`` — the two axes of Figure 6.  At t=0 all
+        attackers have access; an attacker loses access at the end of the
+        first rejected window.
+        """
+        step = step_s if step_s is not None else self.window_seconds
+        check_positive(step, "step_s")
+        if horizon_s is None:
+            horizon_s = self.window_seconds * (max(self.n_windows) if self.n_windows else 1)
+        check_positive(horizon_s, "horizon_s")
+        times = np.arange(0.0, horizon_s + step / 2.0, step)
+        detection_times = self.detection_times_s()
+        fractions = []
+        for t in times:
+            surviving = sum(
+                1
+                for detection in detection_times
+                if detection is None or detection > t
+            )
+            fractions.append(surviving / max(self.n_attacks, 1))
+        return times, np.asarray(fractions)
+
+    def fraction_detected_within(self, seconds: float) -> float:
+        """Fraction of attackers locked out within *seconds*."""
+        check_positive(seconds, "seconds")
+        detection_times = self.detection_times_s()
+        detected = sum(
+            1 for detection in detection_times if detection is not None and detection <= seconds
+        )
+        return detected / max(self.n_attacks, 1)
+
+
+def evaluate_detection_time(
+    authenticator: WindowAuthenticator,
+    attacks: Sequence[AttackSession],
+    window_seconds: float = 6.0,
+) -> DetectionTimeline:
+    """Replay every attack session and record the first rejection per attack."""
+    check_positive(window_seconds, "window_seconds")
+    if not attacks:
+        raise ValueError("need at least one attack session to evaluate")
+    detection_windows: list[int | None] = []
+    n_windows: list[int] = []
+    for attack in attacks:
+        decisions = list(
+            authenticator.authenticate_session(attack.session, window_seconds=window_seconds)
+        )
+        n_windows.append(len(decisions))
+        first_reject = next(
+            (index for index, accepted in enumerate(decisions) if not accepted), None
+        )
+        detection_windows.append(first_reject)
+    return DetectionTimeline(
+        window_seconds=window_seconds,
+        detection_windows=detection_windows,
+        n_windows=n_windows,
+    )
+
+
+def escape_probability(far_per_window: float, n_windows: int) -> float:
+    """Probability that an attacker survives *n_windows* decisions (``p^n``).
+
+    This is the paper's closed-form argument: with a per-window false-accept
+    rate of 2.8 %, surviving three 6-second windows has probability
+    ``0.028^3 ≈ 0.002 %``.
+    """
+    check_in_range(far_per_window, "far_per_window", 0.0, 1.0)
+    if n_windows < 0:
+        raise ValueError(f"n_windows must be >= 0, got {n_windows}")
+    return float(far_per_window**n_windows)
+
+
+def time_to_detect_all(timeline: DetectionTimeline) -> float | None:
+    """Time by which every attacker was locked out, or None if some never were."""
+    detection_times = timeline.detection_times_s()
+    if any(value is None for value in detection_times):
+        return None
+    return max(detection_times)  # type: ignore[arg-type]

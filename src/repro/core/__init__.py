@@ -1,0 +1,51 @@
+"""Core SmarterYou system: context-aware implicit continuous authentication.
+
+This package is the paper's primary contribution.  It wires the substrates
+together into the architecture of Figure 1:
+
+* :class:`~repro.core.context.ContextDetector` — user-agnostic stationary /
+  moving detection from smartphone features (Section V-E);
+* :class:`~repro.core.authenticator.ContextualAuthenticator` — per-context
+  kernel-ridge-regression models scoring each window (Section V-F);
+* :class:`~repro.core.response.ResponseModule` — de-authentication policy
+  (Section IV-A2);
+* :class:`~repro.core.retraining.ConfidenceScoreMonitor` — behavioural-drift
+  detection and automatic retraining (Section V-I);
+* :class:`~repro.core.enrollment.EnrollmentPhase` and
+  :class:`~repro.core.system.SmarterYou` — the end-to-end enrolment and
+  continuous-authentication loops (Section IV-B).
+"""
+
+from repro.core.config import SmarterYouConfig
+from repro.core.context import ContextDetector, ContextDetectionReport
+from repro.core.authenticator import AuthenticationDecision, ContextualAuthenticator
+from repro.core.response import ResponseAction, ResponseModule, DeviceState
+from repro.core.retraining import ConfidenceScoreMonitor, RetrainingDecision
+from repro.core.enrollment import EnrollmentPhase, EnrollmentResult
+from repro.core.system import SmarterYou
+from repro.core.evaluation import (
+    EvaluationConfig,
+    EvaluationResult,
+    evaluate_configuration,
+    default_authentication_classifier,
+)
+
+__all__ = [
+    "EvaluationConfig",
+    "EvaluationResult",
+    "evaluate_configuration",
+    "default_authentication_classifier",
+    "SmarterYouConfig",
+    "ContextDetector",
+    "ContextDetectionReport",
+    "AuthenticationDecision",
+    "ContextualAuthenticator",
+    "ResponseAction",
+    "ResponseModule",
+    "DeviceState",
+    "ConfidenceScoreMonitor",
+    "RetrainingDecision",
+    "EnrollmentPhase",
+    "EnrollmentResult",
+    "SmarterYou",
+]

@@ -1,0 +1,123 @@
+"""Per-context authentication component (Figure 1's testing module classifier).
+
+The authenticator holds one trained model per coarse context (or a single
+unified model when context use is disabled) and scores each incoming
+authentication feature vector.  The decision value of the underlying
+kernel-ridge classifier is exposed as the confidence score used by the
+retraining monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.cloud import LEGITIMATE_LABEL, ContextModel, TrainedModelBundle
+from repro.sensors.types import CoarseContext
+
+
+@dataclass(frozen=True)
+class AuthenticationDecision:
+    """Outcome of authenticating one window.
+
+    Attributes
+    ----------
+    accepted:
+        Whether the window was attributed to the legitimate user.
+    confidence_score:
+        The classifier's decision value :math:`CS(k) = x_k^T w^*`.
+    context:
+        The context whose model produced the decision.
+    """
+
+    accepted: bool
+    confidence_score: float
+    context: CoarseContext
+
+
+class ContextualAuthenticator:
+    """Scores authentication feature vectors with per-context models.
+
+    Parameters
+    ----------
+    bundle:
+        The trained models downloaded from the cloud server.
+    use_context:
+        When false, the stationary-context model is used for every window
+        (the "w/o context" rows of Table VII are produced by training that
+        single model on all contexts instead).
+    """
+
+    def __init__(self, bundle: TrainedModelBundle, use_context: bool = True) -> None:
+        if not bundle.models:
+            raise ValueError("the model bundle contains no trained models")
+        self.bundle = bundle
+        self.use_context = use_context
+
+    @property
+    def user_id(self) -> str:
+        """The legitimate user this authenticator protects."""
+        return self.bundle.user_id
+
+    @property
+    def version(self) -> int:
+        """Training-round version of the underlying models."""
+        return self.bundle.version
+
+    def _select_model(self, context: CoarseContext) -> ContextModel:
+        if not self.use_context:
+            # A single unified model is stored under the stationary key when
+            # contexts are disabled; fall back to any available model.
+            if CoarseContext.STATIONARY in self.bundle.models:
+                return self.bundle.models[CoarseContext.STATIONARY]
+            return next(iter(self.bundle.models.values()))
+        if context in self.bundle.models:
+            return self.bundle.models[context]
+        # Degrade gracefully if a context was never enrolled: use any model
+        # rather than refusing service.
+        return next(iter(self.bundle.models.values()))
+
+    def authenticate(
+        self, features: np.ndarray, context: CoarseContext
+    ) -> AuthenticationDecision:
+        """Authenticate a single window's feature vector under *context*."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[np.newaxis, :]
+        if features.shape[0] != 1:
+            raise ValueError("authenticate() scores exactly one window; use authenticate_many()")
+        model = self._select_model(context)
+        score = float(model.decision_scores(features)[0])
+        accepted = bool(model.predict_legitimate(features)[0])
+        return AuthenticationDecision(
+            accepted=accepted, confidence_score=score, context=model.context
+        )
+
+    def authenticate_many(
+        self, features: np.ndarray, contexts: list[CoarseContext]
+    ) -> list[AuthenticationDecision]:
+        """Authenticate a batch of windows, each with its detected context."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[np.newaxis, :]
+        if len(contexts) != len(features):
+            raise ValueError(
+                f"got {len(features)} feature rows but {len(contexts)} context labels"
+            )
+        return [
+            self.authenticate(features[index], contexts[index])
+            for index in range(len(features))
+        ]
+
+    def confidence_scores(
+        self, features: np.ndarray, contexts: list[CoarseContext]
+    ) -> np.ndarray:
+        """Confidence score of every window (used by the retraining monitor)."""
+        decisions = self.authenticate_many(features, contexts)
+        return np.array([decision.confidence_score for decision in decisions])
+
+    @staticmethod
+    def legitimate_label() -> str:
+        """The label string used for the legitimate class inside the models."""
+        return LEGITIMATE_LABEL

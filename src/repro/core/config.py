@@ -1,0 +1,109 @@
+"""Configuration for the SmarterYou system and its design parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.features.vector import FeatureVectorSpec
+from repro.sensors.types import DeviceType, SELECTED_SENSORS, SensorType
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class SmarterYouConfig:
+    """All tunable design parameters of the system, with the paper's defaults.
+
+    Attributes
+    ----------
+    window_seconds:
+        Authentication window length; the paper settles on 6 s (Figure 4).
+    target_enrollment_windows:
+        Number of windows collected before the enrolment phase trains the
+        first models; the paper finds ~800 measurements optimal (Figure 5).
+    ridge:
+        KRR regularisation strength :math:`\\rho`.
+    sensors:
+        Sensors used for authentication (accelerometer + gyroscope after the
+        Fisher-score selection of Table II).
+    devices:
+        Device set: phone only, or phone + watch (the paper's best setting).
+    use_context:
+        Whether per-context models are used (Table VII's "w/ context" rows).
+    confidence_threshold:
+        Retraining threshold :math:`\\epsilon_{CS}` on the confidence score
+        (the paper uses 0.2).
+    confidence_window_days:
+        How long the confidence score must stay below the threshold before
+        retraining is triggered.
+    lockout_consecutive_rejections:
+        Number of consecutive rejected windows after which the response
+        module locks the device and demands explicit re-authentication.
+    sampling_rate_hz:
+        Sensor sampling rate.
+    """
+
+    window_seconds: float = 6.0
+    target_enrollment_windows: int = 800
+    ridge: float = 1.0
+    sensors: tuple[SensorType, ...] = SELECTED_SENSORS
+    devices: tuple[DeviceType, ...] = (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH)
+    use_context: bool = True
+    confidence_threshold: float = 0.2
+    confidence_window_days: float = 1.0
+    lockout_consecutive_rejections: int = 2
+    sampling_rate_hz: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.window_seconds, "window_seconds")
+        check_positive(self.ridge, "ridge")
+        check_positive(self.sampling_rate_hz, "sampling_rate_hz")
+        check_positive(self.confidence_window_days, "confidence_window_days")
+        check_in_range(self.confidence_threshold, "confidence_threshold", -10.0, 10.0)
+        if self.target_enrollment_windows < 10:
+            raise ValueError("target_enrollment_windows must be >= 10")
+        if self.lockout_consecutive_rejections < 1:
+            raise ValueError("lockout_consecutive_rejections must be >= 1")
+        if not self.devices:
+            raise ValueError("at least one device must be configured")
+        if not self.sensors:
+            raise ValueError("at least one sensor must be configured")
+
+    @property
+    def feature_spec(self) -> FeatureVectorSpec:
+        """Feature-vector layout implied by the configured sensors/devices."""
+        return FeatureVectorSpec(sensors=self.sensors, devices=self.devices)
+
+    @property
+    def phone_feature_spec(self) -> FeatureVectorSpec:
+        """Phone-only layout used by the user-agnostic context detector."""
+        return FeatureVectorSpec(sensors=self.sensors, devices=(DeviceType.SMARTPHONE,))
+
+    def with_devices(self, devices: tuple[DeviceType, ...]) -> "SmarterYouConfig":
+        """A copy of the config using a different device set."""
+        return SmarterYouConfig(
+            window_seconds=self.window_seconds,
+            target_enrollment_windows=self.target_enrollment_windows,
+            ridge=self.ridge,
+            sensors=self.sensors,
+            devices=devices,
+            use_context=self.use_context,
+            confidence_threshold=self.confidence_threshold,
+            confidence_window_days=self.confidence_window_days,
+            lockout_consecutive_rejections=self.lockout_consecutive_rejections,
+            sampling_rate_hz=self.sampling_rate_hz,
+        )
+
+    def without_context(self) -> "SmarterYouConfig":
+        """A copy of the config that uses a single unified model (no contexts)."""
+        return SmarterYouConfig(
+            window_seconds=self.window_seconds,
+            target_enrollment_windows=self.target_enrollment_windows,
+            ridge=self.ridge,
+            sensors=self.sensors,
+            devices=self.devices,
+            use_context=False,
+            confidence_threshold=self.confidence_threshold,
+            confidence_window_days=self.confidence_window_days,
+            lockout_consecutive_rejections=self.lockout_consecutive_rejections,
+            sampling_rate_hz=self.sampling_rate_hz,
+        )

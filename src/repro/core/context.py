@@ -1,0 +1,136 @@
+"""User-agnostic context detection (Section V-E, Table V).
+
+The detector classifies each window as *stationary* or *moving* from the
+smartphone feature vector only, using a random forest trained on other
+users' labelled lab data.  Detection runs before authentication so that the
+authenticator can select the matching per-context model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.vector import FeatureMatrix, FeatureVectorSpec
+from repro.ml.base import BaseClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.preprocessing import StandardScaler
+from repro.sensors.types import CoarseContext, DeviceType
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class ContextDetectionReport:
+    """Evaluation of the context detector on held-out labelled windows.
+
+    Attributes
+    ----------
+    accuracy:
+        Overall detection accuracy.
+    confusion:
+        Row-normalised confusion matrix (rows = true context), the layout of
+        Table V.
+    labels:
+        Context labels indexing the confusion matrix axes.
+    """
+
+    accuracy: float
+    confusion: np.ndarray
+    labels: list[str]
+
+    def as_table(self) -> dict[str, dict[str, float]]:
+        """Nested-dict rendering of the confusion matrix (percentages)."""
+        table: dict[str, dict[str, float]] = {}
+        for i, true_label in enumerate(self.labels):
+            table[true_label] = {
+                predicted: 100.0 * float(self.confusion[i, j])
+                for j, predicted in enumerate(self.labels)
+            }
+        return table
+
+
+class ContextDetector:
+    """Detects the coarse usage context from smartphone features.
+
+    Parameters
+    ----------
+    spec:
+        Phone-only feature specification used to form the context feature
+        vector (the same Eq. 3 vector used for authentication).
+    classifier:
+        Unfitted classifier; defaults to the paper's random forest.
+    """
+
+    def __init__(
+        self,
+        spec: FeatureVectorSpec | None = None,
+        classifier: BaseClassifier | None = None,
+        random_state: RandomState = 7,
+    ) -> None:
+        self.spec = spec or FeatureVectorSpec(devices=(DeviceType.SMARTPHONE,))
+        self.classifier = classifier or RandomForestClassifier(
+            n_estimators=40, max_depth=12, random_state=random_state
+        )
+        self.scaler = StandardScaler()
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, matrix: FeatureMatrix, exclude_user: str | None = None) -> "ContextDetector":
+        """Train on labelled phone feature windows.
+
+        Parameters
+        ----------
+        matrix:
+            Phone feature windows with ``contexts`` labels.
+        exclude_user:
+            Optionally exclude one user's rows, making the detector
+            user-agnostic with respect to that user.
+        """
+        if not matrix.contexts:
+            raise ValueError("matrix must carry context labels")
+        values = matrix.values
+        labels = np.asarray(matrix.contexts, dtype=object)
+        if exclude_user is not None and matrix.user_ids:
+            keep = np.array([uid != exclude_user for uid in matrix.user_ids])
+            values, labels = values[keep], labels[keep]
+        if len(np.unique(labels)) < 2:
+            raise ValueError("context training data must contain both contexts")
+        self.scaler = StandardScaler().fit(values)
+        self.classifier.fit(self.scaler.transform(values), labels)
+        self._fitted = True
+        return self
+
+    def detect(self, phone_features: np.ndarray) -> list[CoarseContext]:
+        """Detect the context of each row of phone feature vectors."""
+        if not self._fitted:
+            raise RuntimeError("ContextDetector is not fitted yet")
+        phone_features = np.asarray(phone_features, dtype=float)
+        if phone_features.ndim == 1:
+            phone_features = phone_features[np.newaxis, :]
+        predictions = self.classifier.predict(self.scaler.transform(phone_features))
+        return [CoarseContext(str(label)) for label in predictions]
+
+    def detect_one(self, phone_features: np.ndarray) -> CoarseContext:
+        """Detect the context of a single window."""
+        return self.detect(np.atleast_2d(phone_features))[0]
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, matrix: FeatureMatrix) -> ContextDetectionReport:
+        """Evaluate on labelled windows, producing the Table V confusion matrix."""
+        if not matrix.contexts:
+            raise ValueError("matrix must carry context labels")
+        predictions = [context.value for context in self.detect(matrix.values)]
+        truths = list(matrix.contexts)
+        labels = [context.value for context in CoarseContext]
+        counts, _ = confusion_matrix(truths, predictions, labels=labels)
+        row_sums = counts.sum(axis=1, keepdims=True).astype(float)
+        row_sums[row_sums == 0.0] = 1.0
+        return ContextDetectionReport(
+            accuracy=accuracy_score(truths, predictions),
+            confusion=counts / row_sums,
+            labels=labels,
+        )

@@ -1,0 +1,154 @@
+"""Enrolment phase: collect the owner's data, then train the first models.
+
+Section IV-B: after the user opts in, the system keeps extracting labelled
+feature vectors into a protected buffer until enough measurements have been
+observed (~800 windows), then trains the per-context authentication models in
+the cloud and switches to the continuous-authentication phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SmarterYouConfig
+from repro.devices.cloud import AuthenticationServer, TrainedModelBundle
+from repro.datasets.collection import SessionData
+from repro.features.vector import FeatureMatrix, stack_matrices
+from repro.sensors.types import CoarseContext
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnrollmentResult:
+    """Outcome of the enrolment phase.
+
+    Attributes
+    ----------
+    bundle:
+        The trained per-context model bundle downloaded from the cloud.
+    windows_collected:
+        Number of feature windows the owner contributed.
+    windows_per_context:
+        Breakdown of the collected windows by coarse context.
+    """
+
+    bundle: TrainedModelBundle
+    windows_collected: int
+    windows_per_context: dict[CoarseContext, int]
+
+
+@dataclass
+class EnrollmentPhase:
+    """Buffers the owner's feature windows until the training target is met.
+
+    Parameters
+    ----------
+    config:
+        System configuration (window size, target window count, device set).
+    server:
+        The cloud authentication server that will train the models.
+    owner_id:
+        Identifier of the legitimate user being enrolled.
+    """
+
+    config: SmarterYouConfig
+    server: AuthenticationServer
+    owner_id: str
+    _buffer: list[FeatureMatrix] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    def add_session(self, session: SessionData) -> int:
+        """Extract features from an owner session into the protected buffer.
+
+        Returns the total number of buffered windows after the addition.
+        """
+        if session.user_id != self.owner_id:
+            raise ValueError(
+                f"session belongs to {session.user_id!r}, not the enrolling owner "
+                f"{self.owner_id!r}"
+            )
+        matrix = session.authentication_features(
+            self.config.window_seconds, spec=self.config.feature_spec
+        )
+        if len(matrix):
+            self._buffer.append(matrix)
+        return self.windows_collected
+
+    def add_matrix(self, matrix: FeatureMatrix) -> int:
+        """Add pre-extracted owner feature windows to the buffer."""
+        if matrix.user_ids and any(uid != self.owner_id for uid in matrix.user_ids):
+            raise ValueError("matrix contains rows not belonging to the enrolling owner")
+        if len(matrix):
+            self._buffer.append(matrix)
+        return self.windows_collected
+
+    @property
+    def windows_collected(self) -> int:
+        """Number of owner windows currently buffered."""
+        return sum(len(matrix) for matrix in self._buffer)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether enough windows have been observed to train (Section V-F3)."""
+        return self.windows_collected >= self.config.target_enrollment_windows
+
+    def windows_per_context(self) -> dict[CoarseContext, int]:
+        """Buffered window counts per coarse context."""
+        counts = {context: 0 for context in CoarseContext}
+        for matrix in self._buffer:
+            for label in matrix.contexts:
+                counts[CoarseContext(label)] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, allow_partial: bool = False) -> EnrollmentResult:
+        """Upload the buffer to the cloud and train the per-context models.
+
+        Parameters
+        ----------
+        allow_partial:
+            Train even if the target window count has not been reached
+            (useful for scaled-down experiments); otherwise a partial buffer
+            raises ``RuntimeError``.
+        """
+        check_positive(self.config.target_enrollment_windows, "target_enrollment_windows")
+        if not self._buffer:
+            raise RuntimeError("no owner data collected; cannot finalize enrolment")
+        if not self.is_complete and not allow_partial:
+            raise RuntimeError(
+                f"only {self.windows_collected} of "
+                f"{self.config.target_enrollment_windows} required windows collected"
+            )
+        combined = stack_matrices(self._buffer)
+        # The cloud server enforces its own per-context minimum on the full
+        # stored history; here it is enough that the buffer contributes at
+        # least one window per trained context (retraining uploads small
+        # incremental batches on top of the already-stored enrolment data).
+        contexts_present = tuple(
+            context
+            for context, count in self.windows_per_context().items()
+            if count > 0
+        )
+        if not contexts_present:
+            raise RuntimeError("the enrolment buffer contains no usable windows")
+        if not self.config.use_context:
+            # A single unified model: collapse every window onto one context
+            # key so the server trains one classifier from all of them.
+            combined = FeatureMatrix(
+                values=combined.values,
+                feature_names=list(combined.feature_names),
+                user_ids=list(combined.user_ids),
+                contexts=[CoarseContext.STATIONARY.value] * len(combined),
+            )
+            contexts_present = (CoarseContext.STATIONARY,)
+        self.server.upload_features(self.owner_id, combined)
+        bundle = self.server.train_authentication_models(
+            self.owner_id, contexts=contexts_present
+        )
+        return EnrollmentResult(
+            bundle=bundle,
+            windows_collected=self.windows_collected,
+            windows_per_context=self.windows_per_context(),
+        )

@@ -1,0 +1,264 @@
+"""Offline evaluation of authentication configurations (Section V protocol).
+
+The paper evaluates every design alternative with the same protocol: for each
+target user, build a binary problem (target user's windows vs. all other
+users' windows), run stratified 10-fold cross-validation, compute FRR / FAR /
+accuracy, and average over users.  With per-context models the protocol runs
+separately per coarse context and the per-context results are combined
+weighted by window counts.  This module implements that protocol once so that
+Table VI, Table VII, Figure 4 and Figure 5 all share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.datasets.collection import SensorDataset
+from repro.features.vector import FeatureMatrix, FeatureVectorSpec
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+from repro.ml.metrics import AuthenticationMetrics, authentication_metrics
+from repro.ml.model_selection import StratifiedKFold
+from repro.ml.preprocessing import StandardScaler
+from repro.sensors.types import CoarseContext, DeviceType
+from repro.utils.rng import RandomState, derive_rng
+
+#: Labels of the binary authentication problem.
+GENUINE = "legitimate"
+IMPOSTOR = "other"
+
+
+def default_authentication_classifier() -> BaseClassifier:
+    """The paper's default classifier (linear-kernel KRR)."""
+    return KernelRidgeClassifier(ridge=1.0, kernel="linear")
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """One point of the design space to evaluate.
+
+    Attributes
+    ----------
+    devices:
+        Device set contributing features (phone, watch, or both).
+    window_seconds:
+        Analysis window length.
+    use_context:
+        Whether per-context models are trained (otherwise one unified model).
+    max_windows_per_user:
+        Optional cap on windows per user per context — this is the paper's
+        "data size" axis (Figure 5).
+    n_folds:
+        Cross-validation folds (paper: 10).
+    classifier_factory:
+        Factory for the classifier under test (Table VI swaps this).
+    """
+
+    devices: tuple[DeviceType, ...] = (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH)
+    window_seconds: float = 6.0
+    use_context: bool = True
+    max_windows_per_user: int | None = None
+    n_folds: int = 10
+    classifier_factory: Callable[[], BaseClassifier] = default_authentication_classifier
+
+    @property
+    def feature_spec(self) -> FeatureVectorSpec:
+        """Feature layout implied by the device set."""
+        return FeatureVectorSpec(devices=self.devices)
+
+
+@dataclass
+class UserEvaluation:
+    """Per-user evaluation result, optionally broken down by context."""
+
+    user_id: str
+    overall: AuthenticationMetrics
+    per_context: dict[CoarseContext, AuthenticationMetrics] = field(default_factory=dict)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregate result of evaluating one configuration over all users."""
+
+    config: EvaluationConfig
+    per_user: list[UserEvaluation]
+
+    @property
+    def frr(self) -> float:
+        """Mean false reject rate over users."""
+        return float(np.mean([user.overall.frr for user in self.per_user]))
+
+    @property
+    def far(self) -> float:
+        """Mean false accept rate over users."""
+        return float(np.mean([user.overall.far for user in self.per_user]))
+
+    @property
+    def accuracy(self) -> float:
+        """Mean accuracy over users."""
+        return float(np.mean([user.overall.accuracy for user in self.per_user]))
+
+    def context_metrics(self, context: CoarseContext) -> AuthenticationMetrics:
+        """Mean metrics over users for one context (Figure 4's per-context curves)."""
+        selected = [
+            user.per_context[context] for user in self.per_user if context in user.per_context
+        ]
+        if not selected:
+            raise KeyError(f"no per-context results for {context.value}")
+        return AuthenticationMetrics(
+            frr=float(np.mean([metrics.frr for metrics in selected])),
+            far=float(np.mean([metrics.far for metrics in selected])),
+            accuracy=float(np.mean([metrics.accuracy for metrics in selected])),
+            n_genuine=int(np.sum([metrics.n_genuine for metrics in selected])),
+            n_impostor=int(np.sum([metrics.n_impostor for metrics in selected])),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """The FRR / FAR / accuracy triple as percentages."""
+        return {
+            "FRR%": 100.0 * self.frr,
+            "FAR%": 100.0 * self.far,
+            "Accuracy%": 100.0 * self.accuracy,
+        }
+
+
+def _subsample(values: np.ndarray, cap: int | None, rng: np.random.Generator) -> np.ndarray:
+    if cap is None or len(values) <= cap:
+        return values
+    keep = rng.choice(len(values), size=cap, replace=False)
+    return values[np.sort(keep)]
+
+
+def _cross_validated_metrics(
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    config: EvaluationConfig,
+    seed: RandomState,
+) -> AuthenticationMetrics | None:
+    """Binary CV for one (user, context) cell; None when data is insufficient.
+
+    The negative (other-users) pool is subsampled to the size of the positive
+    class so that FRR and FAR are measured on a balanced problem; without
+    this, the many-against-one imbalance would push every classifier toward
+    rejecting the legitimate user (huge FRR, tiny FAR), which is not the
+    paper's protocol.
+    """
+    rng = derive_rng(seed, "balance", len(positives), len(negatives))
+    if len(negatives) > len(positives):
+        keep = rng.choice(len(negatives), size=len(positives), replace=False)
+        negatives = negatives[np.sort(keep)]
+    n_folds = config.n_folds
+    if len(positives) < n_folds or len(negatives) < n_folds:
+        n_folds = max(2, min(len(positives), len(negatives)))
+    if len(positives) < 2 or len(negatives) < 2:
+        return None
+    X = np.vstack([positives, negatives])
+    y = np.array([GENUINE] * len(positives) + [IMPOSTOR] * len(negatives))
+    splitter = StratifiedKFold(
+        n_splits=n_folds, shuffle=True, random_state=derive_rng(seed, "cv", len(X))
+    )
+    all_true: list[str] = []
+    all_pred: list[str] = []
+    for train_indices, test_indices in splitter.split(X, y):
+        scaler = StandardScaler().fit(X[train_indices])
+        model = clone(config.classifier_factory())
+        model.fit(scaler.transform(X[train_indices]), y[train_indices])
+        predictions = model.predict(scaler.transform(X[test_indices]))
+        all_true.extend(y[test_indices])
+        all_pred.extend(predictions)
+    return authentication_metrics(all_true, all_pred, positive_label=GENUINE)
+
+
+def _combine_contexts(
+    per_context: dict[CoarseContext, AuthenticationMetrics]
+) -> AuthenticationMetrics:
+    """Window-count-weighted combination of per-context metrics."""
+    total_genuine = sum(metrics.n_genuine for metrics in per_context.values())
+    total_impostor = sum(metrics.n_impostor for metrics in per_context.values())
+    frr = sum(metrics.frr * metrics.n_genuine for metrics in per_context.values()) / max(
+        total_genuine, 1
+    )
+    far = sum(metrics.far * metrics.n_impostor for metrics in per_context.values()) / max(
+        total_impostor, 1
+    )
+    total = total_genuine + total_impostor
+    accuracy = (
+        sum(
+            metrics.accuracy * (metrics.n_genuine + metrics.n_impostor)
+            for metrics in per_context.values()
+        )
+        / max(total, 1)
+    )
+    return AuthenticationMetrics(
+        frr=float(frr),
+        far=float(far),
+        accuracy=float(accuracy),
+        n_genuine=total_genuine,
+        n_impostor=total_impostor,
+    )
+
+
+def evaluate_configuration(
+    dataset: SensorDataset,
+    config: EvaluationConfig,
+    users: Sequence[str] | None = None,
+    seed: RandomState = 0,
+) -> EvaluationResult:
+    """Evaluate one design-space configuration with the paper's protocol.
+
+    Parameters
+    ----------
+    dataset:
+        Free-form sensor dataset covering all users.
+    config:
+        The configuration under test.
+    users:
+        Target users to evaluate (default: every user in the dataset).
+    seed:
+        Seed for subsampling and fold shuffling.
+    """
+    matrix = dataset.authentication_matrix(config.window_seconds, spec=config.feature_spec)
+    user_ids = list(users) if users is not None else dataset.user_ids()
+    user_array = np.asarray(matrix.user_ids, dtype=object)
+    context_array = np.asarray(matrix.contexts, dtype=object)
+    contexts: tuple[CoarseContext, ...] = (
+        tuple(CoarseContext) if config.use_context else (None,)  # type: ignore[assignment]
+    )
+    per_user: list[UserEvaluation] = []
+    for user_id in user_ids:
+        rng = derive_rng(seed, "evaluate", user_id)
+        per_context: dict[CoarseContext, AuthenticationMetrics] = {}
+        for context in contexts:
+            if context is None:
+                context_mask = np.ones(len(matrix), dtype=bool)
+            else:
+                context_mask = context_array == context.value
+            positives = matrix.values[(user_array == user_id) & context_mask]
+            negatives = matrix.values[(user_array != user_id) & context_mask]
+            positives = _subsample(positives, config.max_windows_per_user, rng)
+            negatives = _subsample(
+                negatives,
+                None if config.max_windows_per_user is None
+                else config.max_windows_per_user * max(len(user_ids) - 1, 1),
+                rng,
+            )
+            metrics = _cross_validated_metrics(positives, negatives, config, seed=rng)
+            if metrics is None:
+                continue
+            per_context[context or CoarseContext.STATIONARY] = metrics
+        if not per_context:
+            continue
+        overall = _combine_contexts(per_context)
+        per_user.append(
+            UserEvaluation(
+                user_id=user_id,
+                overall=overall,
+                per_context=per_context if config.use_context else {},
+            )
+        )
+    if not per_user:
+        raise ValueError("no user produced enough windows to evaluate this configuration")
+    return EvaluationResult(config=config, per_user=per_user)

@@ -1,0 +1,114 @@
+"""Response module: what happens after each authentication decision.
+
+Section IV-A2: on a rejected window the system can lock the smartphone,
+refuse access to security-critical data, or demand explicit (multi-factor)
+re-authentication; a legitimate user who is misclassified can re-instate
+herself through explicit authentication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.authenticator import AuthenticationDecision
+from repro.utils.validation import check_positive
+
+
+class DeviceState(str, Enum):
+    """Access state of the smartphone as managed by the response module."""
+
+    UNLOCKED = "unlocked"
+    RESTRICTED = "restricted"   # sensitive data blocked, normal apps allowed
+    LOCKED = "locked"           # explicit re-authentication required
+
+
+class ResponseAction(str, Enum):
+    """Action the response module takes after a decision."""
+
+    ALLOW = "allow"
+    RESTRICT_SENSITIVE = "restrict_sensitive"
+    LOCK_DEVICE = "lock_device"
+    REQUIRE_EXPLICIT_AUTH = "require_explicit_auth"
+
+
+@dataclass
+class ResponseEvent:
+    """One entry of the response module's audit log."""
+
+    window_index: int
+    accepted: bool
+    confidence_score: float
+    action: ResponseAction
+    state: DeviceState
+
+
+@dataclass
+class ResponseModule:
+    """Tracks consecutive rejections and locks the device when they persist.
+
+    Parameters
+    ----------
+    lockout_consecutive_rejections:
+        Rejected windows in a row before the device locks (the first
+        rejection already restricts access to sensitive data).
+    """
+
+    lockout_consecutive_rejections: int = 2
+    state: DeviceState = DeviceState.UNLOCKED
+    consecutive_rejections: int = 0
+    events: list[ResponseEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive(self.lockout_consecutive_rejections, "lockout_consecutive_rejections")
+
+    def handle(self, decision: AuthenticationDecision) -> ResponseAction:
+        """Apply the response policy to one authentication decision."""
+        if self.state is DeviceState.LOCKED:
+            action = ResponseAction.REQUIRE_EXPLICIT_AUTH
+        elif decision.accepted:
+            self.consecutive_rejections = 0
+            self.state = DeviceState.UNLOCKED
+            action = ResponseAction.ALLOW
+        else:
+            self.consecutive_rejections += 1
+            if self.consecutive_rejections >= self.lockout_consecutive_rejections:
+                self.state = DeviceState.LOCKED
+                action = ResponseAction.LOCK_DEVICE
+            else:
+                self.state = DeviceState.RESTRICTED
+                action = ResponseAction.RESTRICT_SENSITIVE
+        self.events.append(
+            ResponseEvent(
+                window_index=len(self.events),
+                accepted=decision.accepted,
+                confidence_score=decision.confidence_score,
+                action=action,
+                state=self.state,
+            )
+        )
+        return action
+
+    def explicit_reauthentication(self, success: bool) -> DeviceState:
+        """Process an explicit login attempt (password / biometric).
+
+        A successful explicit authentication unlocks the device and resets the
+        rejection counter; a failed one keeps it locked.
+        """
+        if success:
+            self.state = DeviceState.UNLOCKED
+            self.consecutive_rejections = 0
+        else:
+            self.state = DeviceState.LOCKED
+        return self.state
+
+    @property
+    def sensitive_data_accessible(self) -> bool:
+        """Whether security-critical data / cloud services may be accessed."""
+        return self.state is DeviceState.UNLOCKED
+
+    def reset(self) -> None:
+        """Clear all state and history (used between experiments)."""
+        self.state = DeviceState.UNLOCKED
+        self.consecutive_rejections = 0
+        self.events.clear()

@@ -1,0 +1,136 @@
+"""Confidence-score monitoring and automatic retraining (Section V-I, Fig. 7).
+
+The monitor tracks the confidence score ``CS(k) = x_k^T w*`` of windows that
+were *accepted* as the legitimate user.  When the (smoothed) score stays
+below the threshold :math:`\\epsilon_{CS}` for a sustained period, the user's
+behaviour has drifted and the system uploads fresh feature vectors to the
+cloud and retrains.  Rejected windows never feed the monitor, so an attacker
+— who is locked out within a few windows — cannot trigger retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RetrainingDecision:
+    """Whether retraining should run, and why."""
+
+    should_retrain: bool
+    reason: str
+    mean_recent_score: float
+    days_below_threshold: float
+
+
+@dataclass
+class ConfidenceScoreMonitor:
+    """Sliding confidence-score tracker that triggers retraining.
+
+    Parameters
+    ----------
+    threshold:
+        :math:`\\epsilon_{CS}`; the paper uses 0.2.
+    required_days_below:
+        How long the daily mean score must stay below the threshold before
+        retraining triggers (brief dips, as in the paper's Figure 7, must not
+        trigger it).
+    smoothing_window:
+        Number of recent observations forming the "recent score" estimate.
+    """
+
+    threshold: float = 0.2
+    required_days_below: float = 1.0
+    smoothing_window: int = 20
+    _timestamps_days: list[float] = field(default_factory=list)
+    _scores: list[float] = field(default_factory=list)
+    _below_since: float | None = None
+    retraining_events_days: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive(self.required_days_below, "required_days_below")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be >= 1")
+
+    # ------------------------------------------------------------------ #
+
+    def observe(self, day: float, confidence_score: float, accepted: bool = True) -> RetrainingDecision:
+        """Record one window's confidence score while the device is in use.
+
+        Parameters
+        ----------
+        day:
+            Time of the observation in days since enrolment.
+        confidence_score:
+            The classifier decision value for the window.
+        accepted:
+            Whether the window was accepted (informational).  Rejected windows
+            are recorded too: a drifting legitimate user produces exactly the
+            low-score windows the monitor must see.  Attackers cannot exploit
+            this because the response module locks the device within a couple
+            of windows and the system stops feeding the monitor once locked
+            (and a locked-out attacker can never keep scores low for the
+            required multi-day period anyway, Section V-I).
+        """
+        if self._timestamps_days and day < self._timestamps_days[-1]:
+            raise ValueError("observations must arrive in non-decreasing time order")
+        self._timestamps_days.append(day)
+        self._scores.append(float(confidence_score))
+        recent = self.mean_recent_score()
+        if recent < self.threshold:
+            if self._below_since is None:
+                self._below_since = day
+        else:
+            self._below_since = None
+        return self.decision(day)
+
+    def mean_recent_score(self) -> float:
+        """Mean of the last *smoothing_window* observed scores."""
+        if not self._scores:
+            return float("inf")
+        window = self._scores[-self.smoothing_window :]
+        return float(np.mean(window))
+
+    def days_below_threshold(self, day: float) -> float:
+        """How long the smoothed score has been continuously below threshold."""
+        if self._below_since is None:
+            return 0.0
+        return max(0.0, day - self._below_since)
+
+    def decision(self, day: float) -> RetrainingDecision:
+        """Current retraining decision at time *day*."""
+        recent = self.mean_recent_score()
+        below_for = self.days_below_threshold(day)
+        should = below_for >= self.required_days_below
+        if should:
+            reason = (
+                f"mean confidence {recent:.3f} below threshold {self.threshold} "
+                f"for {below_for:.2f} days"
+            )
+        elif self._below_since is not None:
+            reason = "confidence below threshold but not yet for the required period"
+        else:
+            reason = "confidence healthy"
+        return RetrainingDecision(
+            should_retrain=should,
+            reason=reason,
+            mean_recent_score=recent if np.isfinite(recent) else 0.0,
+            days_below_threshold=below_for,
+        )
+
+    def mark_retrained(self, day: float) -> None:
+        """Record that retraining completed; resets the drift tracking."""
+        self.retraining_events_days.append(day)
+        self._below_since = None
+        # Historical scores produced by the stale model are no longer
+        # representative of the new classifier, so start fresh.
+        self._timestamps_days.clear()
+        self._scores.clear()
+
+    def history(self) -> tuple[np.ndarray, np.ndarray]:
+        """The recorded (days, scores) series for plotting Figure 7."""
+        return np.asarray(self._timestamps_days), np.asarray(self._scores)

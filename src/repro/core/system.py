@@ -1,0 +1,231 @@
+"""The SmarterYou facade: end-to-end implicit continuous authentication.
+
+Ties the architecture of Figure 1 together:
+
+* the **enrolment phase** buffers the owner's feature windows and has the
+  cloud server train per-context models;
+* the **continuous-authentication phase** takes each new session, detects the
+  context of every window, scores it with the matching model, feeds the
+  decision to the response module and the confidence-score monitor;
+* **retraining** re-uploads fresh owner data and swaps in the new model
+  bundle when drift is detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.authenticator import AuthenticationDecision, ContextualAuthenticator
+from repro.core.config import SmarterYouConfig
+from repro.core.context import ContextDetector
+from repro.core.enrollment import EnrollmentPhase, EnrollmentResult
+from repro.core.response import DeviceState, ResponseAction, ResponseModule
+from repro.core.retraining import ConfidenceScoreMonitor
+from repro.datasets.collection import SensorDataset, SessionData
+from repro.devices.cloud import AuthenticationServer
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext, DeviceType
+
+
+@dataclass
+class WindowOutcome:
+    """Everything the system produced for one authenticated window."""
+
+    decision: AuthenticationDecision
+    action: ResponseAction
+    detected_context: CoarseContext
+
+
+@dataclass
+class SmarterYou:
+    """A deployed SmarterYou instance protecting one legitimate owner.
+
+    Parameters
+    ----------
+    config:
+        Design parameters (window size, device set, context use, thresholds).
+    server:
+        The cloud authentication server with the anonymised other-user pool.
+    context_detector:
+        A trained user-agnostic context detector.
+    """
+
+    config: SmarterYouConfig
+    server: AuthenticationServer
+    context_detector: ContextDetector
+    owner_id: str | None = None
+    authenticator: ContextualAuthenticator | None = None
+    response: ResponseModule = field(default_factory=ResponseModule)
+    monitor: ConfidenceScoreMonitor = field(default_factory=ConfidenceScoreMonitor)
+
+    def __post_init__(self) -> None:
+        self.response = ResponseModule(
+            lockout_consecutive_rejections=self.config.lockout_consecutive_rejections
+        )
+        self.monitor = ConfidenceScoreMonitor(
+            threshold=self.config.confidence_threshold,
+            required_days_below=self.config.confidence_window_days,
+        )
+
+    # ------------------------------------------------------------------ #
+    # enrolment
+    # ------------------------------------------------------------------ #
+
+    def enroll(
+        self, owner_id: str, owner_sessions: Sequence[SessionData], allow_partial: bool = True
+    ) -> EnrollmentResult:
+        """Enrol *owner_id* using recorded owner sessions.
+
+        The cloud server must already hold other users' anonymised feature
+        data (it provides the negative class); populate it with
+        :meth:`contribute_other_users` or direct ``server.upload_features``
+        calls before enrolling.
+        """
+        enrollment = EnrollmentPhase(config=self.config, server=self.server, owner_id=owner_id)
+        for session in owner_sessions:
+            enrollment.add_session(session)
+        result = enrollment.finalize(allow_partial=allow_partial)
+        self.owner_id = owner_id
+        self.authenticator = ContextualAuthenticator(
+            result.bundle, use_context=self.config.use_context
+        )
+        return result
+
+    def contribute_other_users(self, dataset: SensorDataset, exclude: str | None = None) -> int:
+        """Upload every non-owner user's feature windows to the server.
+
+        Returns the number of users whose data was uploaded.
+        """
+        uploaded = 0
+        for user_id in dataset.user_ids():
+            if exclude is not None and user_id == exclude:
+                continue
+            matrices = []
+            for session in dataset.sessions_for(user_id):
+                matrix = session.authentication_features(
+                    self.config.window_seconds, spec=self.config.feature_spec
+                )
+                if len(matrix):
+                    matrices.append(matrix)
+            if not matrices:
+                continue
+            for matrix in matrices:
+                self.server.upload_features(user_id, matrix)
+            uploaded += 1
+        return uploaded
+
+    # ------------------------------------------------------------------ #
+    # continuous authentication
+    # ------------------------------------------------------------------ #
+
+    def _require_enrolled(self) -> ContextualAuthenticator:
+        if self.authenticator is None or self.owner_id is None:
+            raise RuntimeError("no owner enrolled; call enroll() first")
+        return self.authenticator
+
+    def _session_features(
+        self, session: SessionData, window_seconds: float
+    ) -> tuple[FeatureMatrix, FeatureMatrix]:
+        """Authentication matrix and phone-only matrix for a session."""
+        auth = session.authentication_features(window_seconds, spec=self.config.feature_spec)
+        phone = session.device_features(
+            DeviceType.SMARTPHONE, window_seconds, spec=self.config.phone_feature_spec
+        )
+        return auth, phone
+
+    def detect_contexts(self, session: SessionData, window_seconds: float | None = None) -> list[CoarseContext]:
+        """Detect the coarse context of every window of a session."""
+        window = window_seconds or self.config.window_seconds
+        _, phone = self._session_features(session, window)
+        if len(phone) == 0:
+            return []
+        return self.context_detector.detect(phone.values)
+
+    def process_session(
+        self, session: SessionData, window_seconds: float | None = None, day: float = 0.0
+    ) -> list[WindowOutcome]:
+        """Run the full pipeline on a session: detect, authenticate, respond.
+
+        Every window produces a :class:`WindowOutcome`; accepted windows also
+        feed the confidence-score monitor (time-stamped at *day*).
+        """
+        authenticator = self._require_enrolled()
+        window = window_seconds or self.config.window_seconds
+        auth, phone = self._session_features(session, window)
+        n_windows = min(len(auth), len(phone))
+        outcomes: list[WindowOutcome] = []
+        if n_windows == 0:
+            return outcomes
+        contexts = self.context_detector.detect(phone.values[:n_windows])
+        for index in range(n_windows):
+            was_locked = self.response.state is DeviceState.LOCKED
+            decision = authenticator.authenticate(auth.values[index], contexts[index])
+            action = self.response.handle(decision)
+            # The monitor only sees windows processed while the device was
+            # usable; once the response module has locked the device (e.g. an
+            # attacker holds it), no further scores reach the monitor.
+            if not was_locked:
+                self.monitor.observe(day, decision.confidence_score, accepted=decision.accepted)
+            outcomes.append(
+                WindowOutcome(
+                    decision=decision, action=action, detected_context=contexts[index]
+                )
+            )
+        return outcomes
+
+    def authenticate_session(
+        self, session: SessionData, window_seconds: float | None = None
+    ) -> list[bool]:
+        """Accept/reject decision per window, without touching response state.
+
+        This is the read-only entry point used by the attack-evaluation code
+        (:func:`repro.attacks.evaluation.evaluate_detection_time`).
+        """
+        authenticator = self._require_enrolled()
+        window = window_seconds or self.config.window_seconds
+        auth, phone = self._session_features(session, window)
+        n_windows = min(len(auth), len(phone))
+        if n_windows == 0:
+            return []
+        contexts = self.context_detector.detect(phone.values[:n_windows])
+        decisions = authenticator.authenticate_many(auth.values[:n_windows], contexts)
+        return [decision.accepted for decision in decisions]
+
+    def confidence_trace(
+        self, session: SessionData, window_seconds: float | None = None
+    ) -> np.ndarray:
+        """Confidence score of every window of a session (Figure 7's y-axis)."""
+        authenticator = self._require_enrolled()
+        window = window_seconds or self.config.window_seconds
+        auth, phone = self._session_features(session, window)
+        n_windows = min(len(auth), len(phone))
+        if n_windows == 0:
+            return np.array([])
+        contexts = self.context_detector.detect(phone.values[:n_windows])
+        return authenticator.confidence_scores(auth.values[:n_windows], contexts)
+
+    # ------------------------------------------------------------------ #
+    # retraining
+    # ------------------------------------------------------------------ #
+
+    def should_retrain(self, day: float) -> bool:
+        """Whether the confidence-score monitor currently demands retraining."""
+        return self.monitor.decision(day).should_retrain
+
+    def retrain(self, fresh_owner_sessions: Sequence[SessionData], day: float = 0.0) -> EnrollmentResult:
+        """Upload fresh owner data, retrain in the cloud and swap the models."""
+        authenticator = self._require_enrolled()
+        enrollment = EnrollmentPhase(
+            config=self.config, server=self.server, owner_id=authenticator.user_id
+        )
+        for session in fresh_owner_sessions:
+            enrollment.add_session(session)
+        result = enrollment.finalize(allow_partial=True)
+        self.authenticator = ContextualAuthenticator(
+            result.bundle, use_context=self.config.use_context
+        )
+        self.monitor.mark_retrained(day)
+        return result

@@ -1,0 +1,39 @@
+"""Dataset substrate: the synthetic study population and data collections.
+
+Replaces the paper's 35-participant, two-week field study with a synthetic
+population (demographics included, Figure 2) and collection routines for the
+three experiment types of Section V-A: free-form usage, controlled lab
+sessions for context detection, and attacker-usage sessions.
+"""
+
+from repro.datasets.population import (
+    AgeBand,
+    Gender,
+    Participant,
+    StudyPopulation,
+    build_study_population,
+    PAPER_AGE_DISTRIBUTION,
+    PAPER_GENDER_DISTRIBUTION,
+)
+from repro.datasets.collection import (
+    SessionData,
+    SensorDataset,
+    collect_session,
+    collect_free_form_dataset,
+    collect_lab_context_dataset,
+)
+
+__all__ = [
+    "AgeBand",
+    "Gender",
+    "Participant",
+    "StudyPopulation",
+    "build_study_population",
+    "PAPER_AGE_DISTRIBUTION",
+    "PAPER_GENDER_DISTRIBUTION",
+    "SessionData",
+    "SensorDataset",
+    "collect_session",
+    "collect_free_form_dataset",
+    "collect_lab_context_dataset",
+]

@@ -1,0 +1,269 @@
+"""Data-collection routines for the three experiment types of Section V-A.
+
+* **Free-form usage** — participants use phone and watch without constraints
+  for one to two weeks; used for all authentication experiments.
+* **Lab sessions** — participants use the devices for a fixed period under
+  each prescribed context; used only to train/evaluate the user-agnostic
+  context detector (Table V).
+* **Attacker usage** — handled by :mod:`repro.attacks`, which reuses
+  :func:`collect_session` with a blended (mimicry) profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.datasets.population import StudyPopulation
+from repro.features.vector import (
+    FeatureMatrix,
+    FeatureVectorSpec,
+    extract_authentication_matrix,
+    extract_device_vector,
+    stack_matrices,
+)
+from repro.sensors.behavior import BehaviorProfile
+from repro.sensors.generators import SensorStreamGenerator
+from repro.sensors.types import (
+    Context,
+    CoarseContext,
+    DeviceType,
+    MultiSensorRecording,
+    SensorType,
+)
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.validation import check_positive
+
+#: Fine contexts sampled during free-form usage and their relative frequency.
+FREE_FORM_CONTEXT_WEIGHTS: dict[Context, float] = {
+    Context.HANDHELD_STATIC: 0.45,
+    Context.MOVING: 0.35,
+    Context.ON_TABLE: 0.12,
+    Context.VEHICLE: 0.08,
+}
+
+
+@dataclass
+class SessionData:
+    """One simultaneous phone + watch recording session of one user."""
+
+    user_id: str
+    context: Context
+    recordings: dict[DeviceType, MultiSensorRecording]
+
+    @property
+    def coarse_context(self) -> CoarseContext:
+        """Coarse context of the session."""
+        return self.context.coarse
+
+    def authentication_features(
+        self, window_seconds: float, spec: FeatureVectorSpec | None = None
+    ) -> FeatureMatrix:
+        """Per-window authentication vectors for the requested device set."""
+        spec = spec or FeatureVectorSpec()
+        return extract_authentication_matrix(
+            self.recordings, window_seconds, spec=spec
+        )
+
+    def device_features(
+        self, device: DeviceType, window_seconds: float, spec: FeatureVectorSpec | None = None
+    ) -> FeatureMatrix:
+        """Per-window single-device vectors (``SP(k)`` or ``SW(k)``)."""
+        if device not in self.recordings:
+            raise KeyError(f"session has no recording for {device.value}")
+        return extract_device_vector(self.recordings[device], window_seconds, spec=spec)
+
+
+@dataclass
+class SensorDataset:
+    """A collection of sessions over a population, ready for featurisation."""
+
+    sessions: list[SessionData] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def __iter__(self):
+        return iter(self.sessions)
+
+    def user_ids(self) -> list[str]:
+        """Distinct user ids present in the dataset, sorted."""
+        return sorted({session.user_id for session in self.sessions})
+
+    def sessions_for(self, user_id: str, context: CoarseContext | None = None) -> list[SessionData]:
+        """Sessions of one user, optionally filtered by coarse context."""
+        selected = [s for s in self.sessions if s.user_id == user_id]
+        if context is not None:
+            selected = [s for s in selected if s.coarse_context is context]
+        return selected
+
+    def authentication_matrix(
+        self,
+        window_seconds: float,
+        spec: FeatureVectorSpec | None = None,
+        users: Iterable[str] | None = None,
+    ) -> FeatureMatrix:
+        """Stacked, labelled authentication matrix over the whole dataset."""
+        spec = spec or FeatureVectorSpec()
+        selected_users = set(users) if users is not None else None
+        matrices = []
+        for session in self.sessions:
+            if selected_users is not None and session.user_id not in selected_users:
+                continue
+            matrix = session.authentication_features(window_seconds, spec=spec)
+            if len(matrix):
+                matrices.append(matrix)
+        if not matrices:
+            raise ValueError("no feature windows produced; are the sessions long enough?")
+        return stack_matrices(matrices)
+
+    def device_matrix(
+        self,
+        device: DeviceType,
+        window_seconds: float,
+        spec: FeatureVectorSpec | None = None,
+    ) -> FeatureMatrix:
+        """Stacked single-device matrix over the whole dataset."""
+        matrices = []
+        for session in self.sessions:
+            if device not in session.recordings:
+                continue
+            matrix = session.device_features(device, window_seconds, spec=spec)
+            if len(matrix):
+                matrices.append(matrix)
+        if not matrices:
+            raise ValueError(f"no feature windows produced for {device.value}")
+        return stack_matrices(matrices)
+
+    def recordings(self, device: DeviceType) -> list[MultiSensorRecording]:
+        """All raw recordings of one device across the dataset."""
+        return [s.recordings[device] for s in self.sessions if device in s.recordings]
+
+
+def collect_session(
+    profile: BehaviorProfile,
+    context: Context,
+    duration: float,
+    devices: tuple[DeviceType, ...] = (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH),
+    sensors: tuple[SensorType, ...] = tuple(SensorType),
+    sampling_rate: float = 50.0,
+    seed: RandomState = None,
+) -> SessionData:
+    """Record one session of *duration* seconds on every requested device."""
+    check_positive(duration, "duration")
+    generator = SensorStreamGenerator(profile, sampling_rate=sampling_rate, seed=seed)
+    recordings = {
+        device: generator.generate(device, context, duration, sensors=sensors)
+        for device in devices
+    }
+    return SessionData(user_id=profile.user_id, context=context, recordings=recordings)
+
+
+def collect_free_form_dataset(
+    population: StudyPopulation,
+    session_duration: float = 120.0,
+    sessions_per_context: int = 2,
+    contexts: tuple[Context, ...] = (Context.HANDHELD_STATIC, Context.MOVING),
+    sensors: tuple[SensorType, ...] = (SensorType.ACCELEROMETER, SensorType.GYROSCOPE),
+    seed: RandomState = None,
+) -> SensorDataset:
+    """Simulate the two-week free-form usage study.
+
+    Every participant contributes *sessions_per_context* sessions of
+    *session_duration* seconds under each requested fine context, recorded on
+    both devices.  Durations are deliberately configurable so experiments can
+    trade fidelity for runtime; the paper's full-scale study corresponds to
+    much longer sessions with identical code paths.
+    """
+    check_positive(session_duration, "session_duration")
+    if sessions_per_context < 1:
+        raise ValueError("sessions_per_context must be >= 1")
+    sessions: list[SessionData] = []
+    for participant in population:
+        for context in contexts:
+            for repeat in range(sessions_per_context):
+                session_seed = derive_rng(
+                    seed, "freeform", participant.user_id, context.value, repeat
+                )
+                sessions.append(
+                    collect_session(
+                        participant.profile,
+                        context,
+                        session_duration,
+                        sensors=sensors,
+                        seed=session_seed,
+                    )
+                )
+    return SensorDataset(sessions=sessions)
+
+
+def collect_lab_context_dataset(
+    population: StudyPopulation,
+    session_duration: float = 120.0,
+    contexts: tuple[Context, ...] = tuple(Context),
+    sensors: tuple[SensorType, ...] = (SensorType.ACCELEROMETER, SensorType.GYROSCOPE),
+    seed: RandomState = None,
+) -> SensorDataset:
+    """Simulate the controlled lab sessions used for context-detection training.
+
+    The paper has each user spend 20 minutes per prescribed context; here the
+    duration is configurable.  Only smartphone recordings are needed because
+    the deployed context detector uses phone features only (Section V-E).
+    """
+    check_positive(session_duration, "session_duration")
+    sessions: list[SessionData] = []
+    for participant in population:
+        for context in contexts:
+            session_seed = derive_rng(seed, "lab", participant.user_id, context.value)
+            sessions.append(
+                collect_session(
+                    participant.profile,
+                    context,
+                    session_duration,
+                    devices=(DeviceType.SMARTPHONE,),
+                    sensors=sensors,
+                    seed=session_seed,
+                )
+            )
+    return SensorDataset(sessions=sessions)
+
+
+def free_form_context_mixture(
+    profile: BehaviorProfile,
+    total_duration: float,
+    segment_duration: float = 60.0,
+    sensors: tuple[SensorType, ...] = (SensorType.ACCELEROMETER, SensorType.GYROSCOPE),
+    seed: RandomState = None,
+) -> list[SessionData]:
+    """Simulate unconstrained usage as a random mixture of fine contexts.
+
+    Useful for end-to-end demos where the context is not fixed per session:
+    the user alternates between contexts with the paper-motivated frequencies
+    of ``FREE_FORM_CONTEXT_WEIGHTS``.
+    """
+    check_positive(total_duration, "total_duration")
+    check_positive(segment_duration, "segment_duration")
+    rng = derive_rng(seed, "mixture", profile.user_id)
+    contexts = list(FREE_FORM_CONTEXT_WEIGHTS.keys())
+    weights = np.array(list(FREE_FORM_CONTEXT_WEIGHTS.values()))
+    weights = weights / weights.sum()
+    sessions = []
+    elapsed = 0.0
+    segment_index = 0
+    while elapsed < total_duration:
+        context = contexts[int(rng.choice(len(contexts), p=weights))]
+        duration = min(segment_duration, total_duration - elapsed)
+        sessions.append(
+            collect_session(
+                profile,
+                context,
+                duration,
+                sensors=sensors,
+                seed=derive_rng(seed, "mixture-segment", profile.user_id, segment_index),
+            )
+        )
+        elapsed += duration
+        segment_index += 1
+    return sessions

@@ -1,0 +1,172 @@
+"""The synthetic study population and its demographics (Figure 2).
+
+The paper recruits 35 participants: 16 female / 19 male, with ages spread
+over five bands (20-25: 12, 25-30: 9, 30-35: 5, 35-40: 5, 40+: 4).  The
+population builder reproduces exactly those marginals by default and attaches
+an independently sampled behavioural profile to every participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.sensors.behavior import BehaviorProfile, sample_profile
+from repro.utils.rng import RandomState, derive_rng
+
+
+class Gender(str, Enum):
+    """Participant gender as recorded in the paper's demographics."""
+
+    FEMALE = "female"
+    MALE = "male"
+
+
+class AgeBand(str, Enum):
+    """Age bands used by Figure 2."""
+
+    A20_25 = "20-25"
+    A25_30 = "25-30"
+    A30_35 = "30-35"
+    A35_40 = "35-40"
+    A40_PLUS = "40+"
+
+
+#: Gender counts from Figure 2 (16 female, 19 male).
+PAPER_GENDER_DISTRIBUTION: dict[Gender, int] = {Gender.FEMALE: 16, Gender.MALE: 19}
+
+#: Age-band counts from Figure 2 (12, 9, 5, 5, 4).
+PAPER_AGE_DISTRIBUTION: dict[AgeBand, int] = {
+    AgeBand.A20_25: 12,
+    AgeBand.A25_30: 9,
+    AgeBand.A30_35: 5,
+    AgeBand.A35_40: 5,
+    AgeBand.A40_PLUS: 4,
+}
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One study participant: identity, demographics and behavioural profile."""
+
+    user_id: str
+    gender: Gender
+    age_band: AgeBand
+    profile: BehaviorProfile
+
+
+@dataclass
+class StudyPopulation:
+    """The full participant roster with demographic summaries.
+
+    Attributes
+    ----------
+    participants:
+        All enrolled participants in a stable order.
+    """
+
+    participants: list[Participant] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.participants)
+
+    def __iter__(self):
+        return iter(self.participants)
+
+    def __getitem__(self, index: int) -> Participant:
+        return self.participants[index]
+
+    def user_ids(self) -> list[str]:
+        """All participant identifiers, in enrolment order."""
+        return [participant.user_id for participant in self.participants]
+
+    def by_id(self, user_id: str) -> Participant:
+        """Look up a participant by identifier."""
+        for participant in self.participants:
+            if participant.user_id == user_id:
+                return participant
+        raise KeyError(f"unknown participant {user_id!r}")
+
+    def profiles(self) -> dict[str, BehaviorProfile]:
+        """Mapping from user id to behavioural profile."""
+        return {p.user_id: p.profile for p in self.participants}
+
+    def gender_histogram(self) -> dict[Gender, int]:
+        """Participant counts per gender (left pie of Figure 2)."""
+        histogram = {gender: 0 for gender in Gender}
+        for participant in self.participants:
+            histogram[participant.gender] += 1
+        return histogram
+
+    def age_histogram(self) -> dict[AgeBand, int]:
+        """Participant counts per age band (right pie of Figure 2)."""
+        histogram = {band: 0 for band in AgeBand}
+        for participant in self.participants:
+            histogram[participant.age_band] += 1
+        return histogram
+
+    def subset(self, n_users: int) -> "StudyPopulation":
+        """The first *n_users* participants (deterministic down-scaling)."""
+        if not 1 <= n_users <= len(self.participants):
+            raise ValueError(
+                f"n_users must be in [1, {len(self.participants)}], got {n_users}"
+            )
+        return StudyPopulation(participants=self.participants[:n_users])
+
+
+def build_study_population(
+    n_users: int = 35,
+    gender_distribution: dict[Gender, int] | None = None,
+    age_distribution: dict[AgeBand, int] | None = None,
+    seed: RandomState = None,
+) -> StudyPopulation:
+    """Build a synthetic population matching the paper's demographics.
+
+    Parameters
+    ----------
+    n_users:
+        Number of participants.  With the default 35 the paper's exact
+        demographic counts are used; other sizes draw demographics
+        proportionally to the paper's distribution.
+    gender_distribution / age_distribution:
+        Optional overrides of the demographic counts (need not sum to
+        *n_users*; they are treated as weights).
+    seed:
+        Seed controlling demographic assignment and every profile draw.
+    """
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    gender_distribution = gender_distribution or PAPER_GENDER_DISTRIBUTION
+    age_distribution = age_distribution or PAPER_AGE_DISTRIBUTION
+    rng = derive_rng(seed, "population")
+
+    def expand(distribution: dict, count: int) -> list:
+        keys = list(distribution.keys())
+        weights = np.array([distribution[key] for key in keys], dtype=float)
+        weights = weights / weights.sum()
+        # Deterministic proportional allocation followed by random top-up.
+        allocation = np.floor(weights * count).astype(int)
+        while allocation.sum() < count:
+            allocation[rng.choice(len(keys), p=weights)] += 1
+        assigned: list = []
+        for key, quota in zip(keys, allocation):
+            assigned.extend([key] * int(quota))
+        rng.shuffle(assigned)
+        return assigned[:count]
+
+    genders = expand(gender_distribution, n_users)
+    age_bands = expand(age_distribution, n_users)
+    participants = []
+    for index in range(n_users):
+        user_id = f"user{index + 1:02d}"
+        participants.append(
+            Participant(
+                user_id=user_id,
+                gender=genders[index],
+                age_band=age_bands[index],
+                profile=sample_profile(user_id, seed=seed),
+            )
+        )
+    return StudyPopulation(participants=participants)

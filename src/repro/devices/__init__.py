@@ -1,0 +1,37 @@
+"""Device substrate: phones, watches, links, the cloud server and cost models.
+
+The paper's deployment consists of a smartphone running the testing module, a
+smartwatch streaming auxiliary sensor data over Bluetooth, and a cloud
+authentication server hosting the training module (Figure 1), plus the
+overhead study of Section V-H.  This package models those pieces so the
+end-to-end system — including battery/CPU overhead accounting and the
+enrolment/retraining round trips — can be exercised entirely in simulation.
+"""
+
+from repro.devices.device import Device, DeviceSpec
+from repro.devices.smartphone import Smartphone
+from repro.devices.smartwatch import Smartwatch
+from repro.devices.bluetooth import BluetoothLink, LinkStats
+from repro.devices.secure_channel import SecureChannel, SecureMessage, IntegrityError
+from repro.devices.battery import BatteryModel, PowerScenario, ScenarioResult
+from repro.devices.cpu import ComputeCostModel, OverheadReport
+from repro.devices.cloud import AuthenticationServer, TrainedModelBundle
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "Smartphone",
+    "Smartwatch",
+    "BluetoothLink",
+    "LinkStats",
+    "SecureChannel",
+    "SecureMessage",
+    "IntegrityError",
+    "BatteryModel",
+    "PowerScenario",
+    "ScenarioResult",
+    "ComputeCostModel",
+    "OverheadReport",
+    "AuthenticationServer",
+    "TrainedModelBundle",
+]

@@ -1,0 +1,176 @@
+"""Battery-consumption model reproducing the four scenarios of Table VIII.
+
+The paper measures the battery level drop over 12 hours with the phone locked
+(scenarios 1–2) and over one hour of periodic use (scenarios 3–4), with
+SmarterYou off or on.  The model decomposes the drain into baseline idle
+draw, screen/interactive draw and the SmarterYou-specific components
+(continuous 50 Hz sensor sampling, feature extraction, classification and the
+Bluetooth listener), each expressed as an average current in milliamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class PowerScenario(Enum):
+    """The four measurement scenarios of Table VIII."""
+
+    LOCKED_SMARTERYOU_OFF = "phone locked, SmarterYou off"
+    LOCKED_SMARTERYOU_ON = "phone locked, SmarterYou on"
+    ACTIVE_SMARTERYOU_OFF = "phone unlocked, SmarterYou off"
+    ACTIVE_SMARTERYOU_ON = "phone unlocked, SmarterYou on"
+
+    @property
+    def smarteryou_running(self) -> bool:
+        return self in (
+            PowerScenario.LOCKED_SMARTERYOU_ON,
+            PowerScenario.ACTIVE_SMARTERYOU_ON,
+        )
+
+    @property
+    def phone_in_use(self) -> bool:
+        return self in (
+            PowerScenario.ACTIVE_SMARTERYOU_OFF,
+            PowerScenario.ACTIVE_SMARTERYOU_ON,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of simulating one power scenario.
+
+    Attributes
+    ----------
+    scenario:
+        Which scenario was simulated.
+    duration_hours:
+        Simulated wall-clock time.
+    consumed_mah:
+        Charge drawn from the battery.
+    consumed_percent:
+        The same drain as a percentage of battery capacity — the number
+        reported in Table VIII.
+    """
+
+    scenario: PowerScenario
+    duration_hours: float
+    consumed_mah: float
+    consumed_percent: float
+
+
+class BatteryModel:
+    """Average-current battery model for the smartphone.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Battery capacity (Nexus 5: 2300 mAh).
+    idle_current_ma:
+        Baseline draw with the screen off (radios idling, OS housekeeping).
+    active_current_ma:
+        Additional draw while the user actively uses the phone (screen on at
+        interactive brightness, touch input, SoC on the interactive governor).
+    sensor_sampling_current_ma:
+        Extra draw of keeping the accelerometer + gyroscope sampling at the
+        given rate and delivering events to the background service.
+    processing_current_ma:
+        Extra draw of feature extraction + context detection + classification
+        amortised over time (the computation itself is milliseconds per 6 s
+        window, so this is small).
+    bluetooth_current_ma:
+        Extra draw of the Bluetooth listener receiving the watch stream.
+    interactive_overhead_current_ma:
+        Additional draw of the SmarterYou service while the phone is actively
+        used: sensor batching is disabled so every 50 Hz event wakes the
+        service, decisions run at full rate and the CPU cannot enter deep
+        sleep between screen interactions.  This is what makes the paper's
+        one-hour active overhead (+2.4 %) much larger than the amortised idle
+        draw would suggest.
+    sampling_rate_hz:
+        Sensor sampling rate; sampling cost scales linearly with it, matching
+        the paper's remark that CPU utilisation scales with the sampling rate.
+    """
+
+    def __init__(
+        self,
+        capacity_mah: float = 2300.0,
+        idle_current_ma: float = 5.2,
+        active_current_ma: float = 230.0,
+        sensor_sampling_current_ma: float = 3.2,
+        processing_current_ma: float = 0.5,
+        bluetooth_current_ma: float = 0.9,
+        interactive_overhead_current_ma: float = 105.0,
+        sampling_rate_hz: float = 50.0,
+    ) -> None:
+        check_positive(capacity_mah, "capacity_mah")
+        for name, value in (
+            ("idle_current_ma", idle_current_ma),
+            ("active_current_ma", active_current_ma),
+            ("sensor_sampling_current_ma", sensor_sampling_current_ma),
+            ("processing_current_ma", processing_current_ma),
+            ("bluetooth_current_ma", bluetooth_current_ma),
+            ("interactive_overhead_current_ma", interactive_overhead_current_ma),
+        ):
+            check_positive(value, name, strict=False)
+        check_positive(sampling_rate_hz, "sampling_rate_hz")
+        self.capacity_mah = capacity_mah
+        self.idle_current_ma = idle_current_ma
+        self.active_current_ma = active_current_ma
+        self.sensor_sampling_current_ma = sensor_sampling_current_ma
+        self.processing_current_ma = processing_current_ma
+        self.bluetooth_current_ma = bluetooth_current_ma
+        self.interactive_overhead_current_ma = interactive_overhead_current_ma
+        self.sampling_rate_hz = sampling_rate_hz
+
+    def smarteryou_current_ma(self) -> float:
+        """Average extra current drawn by the SmarterYou background service."""
+        sampling = self.sensor_sampling_current_ma * (self.sampling_rate_hz / 50.0)
+        return sampling + self.processing_current_ma + self.bluetooth_current_ma
+
+    def average_current_ma(self, scenario: PowerScenario, duty_cycle: float = 0.5) -> float:
+        """Average current for a scenario.
+
+        *duty_cycle* is the fraction of time the phone is actively used in the
+        "unlocked" scenarios (the paper alternates five minutes of use and five
+        minutes idle, i.e. 0.5).
+        """
+        check_in_range(duty_cycle, "duty_cycle", 0.0, 1.0)
+        current = self.idle_current_ma
+        if scenario.phone_in_use:
+            current += duty_cycle * self.active_current_ma
+        if scenario.smarteryou_running:
+            current += self.smarteryou_current_ma()
+            if scenario.phone_in_use:
+                current += duty_cycle * self.interactive_overhead_current_ma
+        return current
+
+    def simulate(
+        self, scenario: PowerScenario, duration_hours: float, duty_cycle: float = 0.5
+    ) -> ScenarioResult:
+        """Simulate a scenario for *duration_hours* and report the drain."""
+        check_positive(duration_hours, "duration_hours")
+        current = self.average_current_ma(scenario, duty_cycle=duty_cycle)
+        consumed = current * duration_hours
+        return ScenarioResult(
+            scenario=scenario,
+            duration_hours=duration_hours,
+            consumed_mah=consumed,
+            consumed_percent=100.0 * consumed / self.capacity_mah,
+        )
+
+    def table_viii(self) -> dict[PowerScenario, ScenarioResult]:
+        """Reproduce Table VIII: 12 h for the locked scenarios, 1 h for active."""
+        durations = {
+            PowerScenario.LOCKED_SMARTERYOU_OFF: 12.0,
+            PowerScenario.LOCKED_SMARTERYOU_ON: 12.0,
+            PowerScenario.ACTIVE_SMARTERYOU_OFF: 1.0,
+            PowerScenario.ACTIVE_SMARTERYOU_ON: 1.0,
+        }
+        return {
+            scenario: self.simulate(scenario, duration_hours=duration)
+            for scenario, duration in durations.items()
+        }

@@ -1,0 +1,310 @@
+"""Cloud authentication server hosting the training module (Figure 1).
+
+Responsibilities mirrored from the paper:
+
+* collect anonymised authentication feature vectors from all participating
+  users (the "other users" pool that provides negative training examples);
+* train, per usage context, a kernel-ridge-regression authentication model
+  for a target user — legitimate user's vectors against the anonymised pool;
+* train the user-agnostic context-detection model from all users' labelled
+  context feature vectors;
+* ship trained model bundles back to the smartphone and retrain them when the
+  phone reports behavioural drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.features.vector import FeatureMatrix
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+from repro.ml.preprocessing import StandardScaler
+from repro.sensors.types import CoarseContext
+from repro.utils.rng import RandomState, derive_rng
+
+#: Label used for the legitimate user inside a trained binary model.
+LEGITIMATE_LABEL = "legitimate"
+#: Label used for the anonymised other-user pool.
+OTHER_LABEL = "other"
+
+
+@dataclass
+class ContextModel:
+    """One per-context authentication model: a scaler plus a classifier."""
+
+    context: CoarseContext
+    scaler: StandardScaler
+    classifier: BaseClassifier
+    n_training_windows: int
+
+    def _legitimate_sign(self) -> float:
+        """+1 if the classifier's positive class is the legitimate user, else -1.
+
+        Binary classifiers in this library treat ``classes_[1]`` as the
+        positive (+1) class; because class labels are sorted alphabetically,
+        "legitimate" sorts before "other" and ends up as the negative class.
+        The confidence score of the paper is defined with the legitimate user
+        on the positive side, so the raw decision value is sign-adjusted here.
+        """
+        classes = getattr(self.classifier, "classes_", None)
+        if classes is not None and len(classes) == 2 and classes[1] == LEGITIMATE_LABEL:
+            return 1.0
+        return -1.0
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Confidence scores of raw feature rows (positive = legitimate)."""
+        raw = self.classifier.decision_function(self.scaler.transform(features))
+        return self._legitimate_sign() * raw
+
+    def predict_legitimate(self, features: np.ndarray) -> np.ndarray:
+        """Boolean mask: which rows are classified as the legitimate user."""
+        predictions = self.classifier.predict(self.scaler.transform(features))
+        return predictions == LEGITIMATE_LABEL
+
+
+@dataclass
+class TrainedModelBundle:
+    """Everything the phone downloads after (re)training.
+
+    Attributes
+    ----------
+    user_id:
+        The legitimate user the bundle authenticates.
+    feature_names:
+        Column order expected by every contained model.
+    models:
+        One authentication model per coarse context.
+    version:
+        Monotonically increasing training round (1 = initial enrolment).
+    """
+
+    user_id: str
+    feature_names: list[str]
+    models: dict[CoarseContext, ContextModel]
+    version: int = 1
+
+    def model_for(self, context: CoarseContext) -> ContextModel:
+        """Return the model for *context*.
+
+        Raises
+        ------
+        KeyError
+            If no model was trained for the requested context.
+        """
+        if context not in self.models:
+            raise KeyError(f"no authentication model trained for context {context.value!r}")
+        return self.models[context]
+
+
+def default_classifier_factory() -> BaseClassifier:
+    """The paper's classifier: linear-kernel KRR solved in the primal."""
+    return KernelRidgeClassifier(ridge=1.0, kernel="linear", solver="auto")
+
+
+class AuthenticationServer:
+    """The trusted cloud server running the training module.
+
+    Parameters
+    ----------
+    classifier_factory:
+        Zero-argument callable returning an unfitted authentication
+        classifier; defaults to the paper's KRR configuration.
+    context_detector_factory:
+        Callable returning the unfitted user-agnostic context detector
+        (default: a random forest as in Section V-E).
+    max_other_users_windows:
+        Cap on the number of anonymised negative windows used per training
+        run, to keep retraining cheap.
+    seed:
+        Seed for negative-pool subsampling.
+    """
+
+    def __init__(
+        self,
+        classifier_factory: Callable[[], BaseClassifier] = default_classifier_factory,
+        context_detector_factory: Callable[[], BaseClassifier] | None = None,
+        max_other_users_windows: int = 2000,
+        seed: RandomState = None,
+    ) -> None:
+        if max_other_users_windows < 1:
+            raise ValueError("max_other_users_windows must be >= 1")
+        self.classifier_factory = classifier_factory
+        self.context_detector_factory = context_detector_factory or (
+            lambda: RandomForestClassifier(n_estimators=40, max_depth=12, random_state=7)
+        )
+        self.max_other_users_windows = max_other_users_windows
+        self._seed = seed
+        self._feature_store: dict[str, list[FeatureMatrix]] = {}
+        self._pseudonyms: dict[str, str] = {}
+        self._training_rounds: dict[str, int] = {}
+        self._context_detector: BaseClassifier | None = None
+        self._context_scaler: StandardScaler | None = None
+
+    # ------------------------------------------------------------------ #
+    # enrolment and data collection
+    # ------------------------------------------------------------------ #
+
+    def _pseudonym(self, user_id: str) -> str:
+        """Anonymise a user id; raw identities never enter the training pool."""
+        if user_id not in self._pseudonyms:
+            digest = hashlib.sha256(f"smarteryou|{user_id}".encode()).hexdigest()[:12]
+            self._pseudonyms[user_id] = f"anon-{digest}"
+        return self._pseudonyms[user_id]
+
+    def upload_features(self, user_id: str, matrix: FeatureMatrix) -> str:
+        """Store a user's authentication feature vectors under a pseudonym.
+
+        Returns the pseudonym, which is what appears in the training pool.
+        """
+        if len(matrix) == 0:
+            raise ValueError("refusing to store an empty feature matrix")
+        pseudonym = self._pseudonym(user_id)
+        self._feature_store.setdefault(pseudonym, []).append(matrix)
+        return pseudonym
+
+    def enrolled_users(self) -> list[str]:
+        """Pseudonyms of every user with stored data."""
+        return sorted(self._feature_store)
+
+    def stored_window_count(self, user_id: str) -> int:
+        """Number of stored feature windows for *user_id*."""
+        pseudonym = self._pseudonym(user_id)
+        return sum(len(matrix) for matrix in self._feature_store.get(pseudonym, []))
+
+    # ------------------------------------------------------------------ #
+    # context-detection model (user-agnostic)
+    # ------------------------------------------------------------------ #
+
+    def train_context_detector(
+        self, matrix: FeatureMatrix, exclude_user: str | None = None
+    ) -> BaseClassifier:
+        """Train the user-agnostic context detector from labelled windows.
+
+        Parameters
+        ----------
+        matrix:
+            Labelled context feature vectors (``matrix.contexts`` holds the
+            ground-truth coarse context per row).
+        exclude_user:
+            Optionally leave one user's rows out, so the detector used for a
+            given user was trained only on *other* users' data (the paper's
+            user-agnostic protocol).
+        """
+        if not matrix.contexts:
+            raise ValueError("matrix must carry context labels")
+        values = matrix.values
+        labels = np.asarray(matrix.contexts, dtype=object)
+        if exclude_user is not None and matrix.user_ids:
+            keep = np.array([uid != exclude_user for uid in matrix.user_ids])
+            values, labels = values[keep], labels[keep]
+        if len(values) == 0:
+            raise ValueError("no training rows left for the context detector")
+        scaler = StandardScaler().fit(values)
+        detector = self.context_detector_factory()
+        detector.fit(scaler.transform(values), labels)
+        self._context_detector = detector
+        self._context_scaler = scaler
+        return detector
+
+    def download_context_detector(self) -> tuple[StandardScaler, BaseClassifier]:
+        """Return the trained context detector for deployment on a phone."""
+        if self._context_detector is None or self._context_scaler is None:
+            raise RuntimeError("the context detector has not been trained yet")
+        return self._context_scaler, self._context_detector
+
+    # ------------------------------------------------------------------ #
+    # authentication models (per user, per context)
+    # ------------------------------------------------------------------ #
+
+    def _collect_rows(
+        self, pseudonym: str, context: CoarseContext
+    ) -> tuple[np.ndarray, list[str]]:
+        """All stored rows of one pseudonym under one coarse context."""
+        rows: list[np.ndarray] = []
+        feature_names: list[str] = []
+        for matrix in self._feature_store.get(pseudonym, []):
+            feature_names = matrix.feature_names
+            if matrix.contexts:
+                mask = np.array([ctx == context.value for ctx in matrix.contexts])
+                rows.append(matrix.values[mask])
+            else:
+                rows.append(matrix.values)
+        if not rows:
+            return np.empty((0, 0)), feature_names
+        return np.vstack(rows), feature_names
+
+    def train_authentication_models(
+        self,
+        user_id: str,
+        contexts: tuple[CoarseContext, ...] = tuple(CoarseContext),
+    ) -> TrainedModelBundle:
+        """Train (or retrain) the per-context models for *user_id*.
+
+        The legitimate user's windows are the positive class; a subsample of
+        every other enrolled pseudonym's windows forms the negative class.
+
+        Raises
+        ------
+        ValueError
+            If the user has no stored data for a requested context, or no
+            other users are enrolled to provide negative examples.
+        """
+        pseudonym = self._pseudonym(user_id)
+        if pseudonym not in self._feature_store:
+            raise ValueError(f"user {user_id!r} has no uploaded feature data")
+        others = [p for p in self._feature_store if p != pseudonym]
+        if not others:
+            raise ValueError("cannot train: no other users enrolled to provide negatives")
+        models: dict[CoarseContext, ContextModel] = {}
+        feature_names: list[str] = []
+        round_number = self._training_rounds.get(pseudonym, 0) + 1
+        for context in contexts:
+            positive, feature_names = self._collect_rows(pseudonym, context)
+            if len(positive) < 10:
+                raise ValueError(
+                    f"user {user_id!r} has only {len(positive)} windows under "
+                    f"context {context.value!r}; need at least 10"
+                )
+            negative_parts = []
+            for other in others:
+                other_rows, _ = self._collect_rows(other, context)
+                if len(other_rows):
+                    negative_parts.append(other_rows)
+            if not negative_parts:
+                raise ValueError(
+                    f"no other-user data available under context {context.value!r}"
+                )
+            negative = np.vstack(negative_parts)
+            rng = derive_rng(self._seed, "negative-pool", pseudonym, context.value, round_number)
+            if len(negative) > self.max_other_users_windows:
+                keep = rng.choice(len(negative), size=self.max_other_users_windows, replace=False)
+                negative = negative[keep]
+            X = np.vstack([positive, negative])
+            y = np.array([LEGITIMATE_LABEL] * len(positive) + [OTHER_LABEL] * len(negative))
+            scaler = StandardScaler().fit(X)
+            classifier = clone(self.classifier_factory())
+            classifier.fit(scaler.transform(X), y)
+            models[context] = ContextModel(
+                context=context,
+                scaler=scaler,
+                classifier=classifier,
+                n_training_windows=len(X),
+            )
+        self._training_rounds[pseudonym] = round_number
+        return TrainedModelBundle(
+            user_id=user_id,
+            feature_names=feature_names,
+            models=models,
+            version=round_number,
+        )
+
+    def retrain(self, user_id: str, new_data: FeatureMatrix) -> TrainedModelBundle:
+        """Accept fresh feature vectors after behavioural drift and retrain."""
+        self.upload_features(user_id, new_data)
+        return self.train_authentication_models(user_id)

@@ -1,0 +1,103 @@
+"""Base device abstraction shared by the smartphone and smartwatch models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sensors.behavior import BehaviorProfile
+from repro.sensors.generators import SensorStreamGenerator
+from repro.sensors.types import (
+    DEFAULT_SAMPLING_RATE_HZ,
+    Context,
+    DeviceType,
+    MultiSensorRecording,
+    SensorType,
+)
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of a device.
+
+    Attributes
+    ----------
+    model_name:
+        Marketing name (e.g. ``"Nexus 5"``); informational only.
+    sensors:
+        Sensors physically present on the device.
+    sampling_rate:
+        Sensor sampling rate in Hz.
+    battery_capacity_mah:
+        Battery capacity, consumed by the :class:`~repro.devices.battery.BatteryModel`.
+    """
+
+    model_name: str
+    sensors: tuple[SensorType, ...]
+    sampling_rate: float = DEFAULT_SAMPLING_RATE_HZ
+    battery_capacity_mah: float = 2300.0
+
+
+class Device:
+    """A sensor-bearing device worn or carried by one user.
+
+    The device binds a :class:`DeviceSpec` to a user's behaviour profile and
+    exposes :meth:`record`, which produces the multi-sensor recording that the
+    rest of the pipeline consumes.  Swapping the profile (``assign_user``)
+    models the device changing hands — e.g. being picked up by an attacker.
+    """
+
+    device_type: DeviceType = DeviceType.SMARTPHONE
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        profile: BehaviorProfile,
+        seed: RandomState = None,
+    ) -> None:
+        check_positive(spec.sampling_rate, "spec.sampling_rate")
+        self.spec = spec
+        self._seed = seed
+        self._generator = SensorStreamGenerator(
+            profile, sampling_rate=spec.sampling_rate, seed=seed
+        )
+
+    @property
+    def profile(self) -> BehaviorProfile:
+        """Behaviour profile of whoever currently holds the device."""
+        return self._generator.profile
+
+    @property
+    def current_user_id(self) -> str:
+        """Identifier of the current holder."""
+        return self.profile.user_id
+
+    def assign_user(self, profile: BehaviorProfile) -> None:
+        """Hand the device to a different user (e.g. an attacker)."""
+        self._generator = SensorStreamGenerator(
+            profile, sampling_rate=self.spec.sampling_rate, seed=self._seed
+        )
+
+    def record(
+        self,
+        context: Context,
+        duration: float,
+        sensors: tuple[SensorType, ...] | None = None,
+    ) -> MultiSensorRecording:
+        """Record *duration* seconds of sensor data in the given context."""
+        requested = sensors if sensors is not None else self.spec.sensors
+        unsupported = [sensor for sensor in requested if sensor not in self.spec.sensors]
+        if unsupported:
+            raise ValueError(
+                f"{self.spec.model_name} lacks sensors: {[s.value for s in unsupported]}"
+            )
+        return self._generator.generate(
+            self.device_type, context, duration, sensors=tuple(requested)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(model={self.spec.model_name!r}, "
+            f"user={self.current_user_id!r})"
+        )

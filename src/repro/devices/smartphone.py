@@ -1,0 +1,30 @@
+"""Smartphone device model (the paper's Nexus 5)."""
+
+from __future__ import annotations
+
+from repro.devices.device import Device, DeviceSpec
+from repro.sensors.behavior import BehaviorProfile
+from repro.sensors.types import DeviceType, SensorType
+from repro.utils.rng import RandomState
+
+#: Default hardware description mirroring the paper's Nexus 5 test device.
+NEXUS5_SPEC = DeviceSpec(
+    model_name="Nexus 5",
+    sensors=tuple(SensorType),
+    sampling_rate=50.0,
+    battery_capacity_mah=2300.0,
+)
+
+
+class Smartphone(Device):
+    """The primary device: hosts the testing module and all its sensors."""
+
+    device_type = DeviceType.SMARTPHONE
+
+    def __init__(
+        self,
+        profile: BehaviorProfile,
+        spec: DeviceSpec = NEXUS5_SPEC,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(spec=spec, profile=profile, seed=seed)

@@ -1,0 +1,30 @@
+"""Smartwatch device model (the paper's Moto 360)."""
+
+from __future__ import annotations
+
+from repro.devices.device import Device, DeviceSpec
+from repro.sensors.behavior import BehaviorProfile
+from repro.sensors.types import DeviceType, SensorType
+from repro.utils.rng import RandomState
+
+#: Default hardware description mirroring the paper's Moto 360 smartwatch.
+MOTO360_SPEC = DeviceSpec(
+    model_name="Moto 360",
+    sensors=tuple(SensorType),
+    sampling_rate=50.0,
+    battery_capacity_mah=320.0,
+)
+
+
+class Smartwatch(Device):
+    """The auxiliary wearable: streams wrist sensor data to the phone."""
+
+    device_type = DeviceType.SMARTWATCH
+
+    def __init__(
+        self,
+        profile: BehaviorProfile,
+        spec: DeviceSpec = MOTO360_SPEC,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(spec=spec, profile=profile, seed=seed)

@@ -1,0 +1,16 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Every module exposes a ``run(scale)`` function returning a result dataclass
+with a ``to_text()`` rendering that prints the same rows/series the paper
+reports, plus module-level constants holding the paper's published numbers so
+the benchmark output can show paper-vs-measured side by side.
+"""
+
+from repro.experiments.common import ExperimentScale, SMALL_SCALE, DEFAULT_SCALE, PAPER_SCALE
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL_SCALE",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+]

@@ -1,0 +1,240 @@
+"""Shared infrastructure for the experiment harness.
+
+Provides the :class:`ExperimentScale` knob (how big a study to simulate),
+cached dataset builders so that benchmarks reusing the same synthetic study
+do not regenerate it, and plain-text table formatting used by every
+experiment's ``to_text()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.datasets.collection import (
+    SensorDataset,
+    collect_free_form_dataset,
+    collect_lab_context_dataset,
+)
+from repro.datasets.population import StudyPopulation, build_study_population
+from repro.sensors.types import Context, SensorType
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How large a synthetic study to run.
+
+    The paper's study (35 users, two weeks of free-form usage) is too large to
+    regenerate on every benchmark run, so experiments accept a scale object.
+    ``DEFAULT_SCALE`` finishes each experiment in seconds; ``PAPER_SCALE``
+    matches the paper's participant count and window budget.
+
+    Attributes
+    ----------
+    n_users:
+        Number of participants simulated.
+    session_duration:
+        Seconds of recording per session.
+    sessions_per_context:
+        Sessions per user per fine context in the free-form study.
+    lab_session_duration:
+        Seconds of recording per lab (context-detection) session.
+    window_seconds:
+        Default analysis window.
+    data_sizes:
+        Training-set sizes swept by the Figure 5 experiment.
+    window_sizes:
+        Window lengths (seconds) swept by the Figure 4 experiment.
+    n_mimicry_attackers:
+        Attackers per victim in the masquerading study.
+    seed:
+        Top-level seed from which all randomness is derived.
+    """
+
+    n_users: int = 8
+    session_duration: float = 120.0
+    sessions_per_context: int = 2
+    lab_session_duration: float = 90.0
+    window_seconds: float = 6.0
+    data_sizes: tuple[int, ...] = (10, 20, 40, 60, 80)
+    window_sizes: tuple[float, ...] = (1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+    n_mimicry_attackers: int = 6
+    seed: int = 2017
+
+    def scaled_down(self, factor: float) -> "ExperimentScale":
+        """A proportionally smaller scale (used by quick tests)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return replace(
+            self,
+            n_users=max(3, int(self.n_users * factor)),
+            session_duration=max(30.0, self.session_duration * factor),
+            sessions_per_context=max(1, int(self.sessions_per_context * factor)),
+            lab_session_duration=max(30.0, self.lab_session_duration * factor),
+        )
+
+
+#: Fast scale for unit/integration tests.
+SMALL_SCALE = ExperimentScale(
+    n_users=4,
+    session_duration=60.0,
+    sessions_per_context=1,
+    lab_session_duration=45.0,
+    data_sizes=(5, 10, 15),
+    window_sizes=(2.0, 6.0, 12.0),
+    n_mimicry_attackers=3,
+)
+
+#: Default scale used by the benchmark harness.
+DEFAULT_SCALE = ExperimentScale()
+
+#: The paper's study dimensions (35 users, long sessions, 800-window budget).
+PAPER_SCALE = ExperimentScale(
+    n_users=35,
+    session_duration=1200.0,
+    sessions_per_context=4,
+    lab_session_duration=1200.0,
+    data_sizes=(100, 200, 400, 600, 800, 1000, 1200),
+    window_sizes=(1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0),
+    n_mimicry_attackers=20,
+)
+
+
+# --------------------------------------------------------------------------- #
+# cached dataset builders
+# --------------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=8)
+def get_population(n_users: int, seed: int) -> StudyPopulation:
+    """Build (and cache) the synthetic study population."""
+    return build_study_population(n_users=n_users, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def _free_form_cached(
+    n_users: int,
+    session_duration: float,
+    sessions_per_context: int,
+    seed: int,
+    sensors: tuple[SensorType, ...],
+) -> SensorDataset:
+    population = get_population(n_users, seed)
+    return collect_free_form_dataset(
+        population,
+        session_duration=session_duration,
+        sessions_per_context=sessions_per_context,
+        sensors=sensors,
+        seed=seed,
+    )
+
+
+def get_free_form_dataset(
+    scale: ExperimentScale,
+    sensors: tuple[SensorType, ...] = (SensorType.ACCELEROMETER, SensorType.GYROSCOPE),
+) -> SensorDataset:
+    """Free-form (authentication) dataset for *scale*, cached across calls."""
+    return _free_form_cached(
+        scale.n_users,
+        scale.session_duration,
+        scale.sessions_per_context,
+        scale.seed,
+        tuple(sensors),
+    )
+
+
+@lru_cache(maxsize=4)
+def _lab_cached(
+    n_users: int, lab_session_duration: float, seed: int
+) -> SensorDataset:
+    population = get_population(n_users, seed)
+    return collect_lab_context_dataset(
+        population,
+        session_duration=lab_session_duration,
+        contexts=tuple(Context),
+        seed=seed + 1,
+    )
+
+
+def get_lab_dataset(scale: ExperimentScale) -> SensorDataset:
+    """Lab (context-detection) dataset for *scale*, cached across calls."""
+    return _lab_cached(scale.n_users, scale.lab_session_duration, scale.seed)
+
+
+@lru_cache(maxsize=2)
+def _all_sensor_cached(
+    n_users: int, session_duration: float, sessions_per_context: int, seed: int
+) -> SensorDataset:
+    population = get_population(n_users, seed)
+    return collect_free_form_dataset(
+        population,
+        session_duration=session_duration,
+        sessions_per_context=sessions_per_context,
+        sensors=tuple(SensorType),
+        seed=seed + 2,
+    )
+
+
+def get_all_sensor_dataset(scale: ExperimentScale) -> SensorDataset:
+    """A smaller dataset recorded with *all five* sensors (for Table II).
+
+    Several sessions per context are collected so the within-user variance of
+    the environment-driven sensors (which changes per session, not per
+    sample) is represented in the Fisher-score estimates.
+    """
+    duration = min(scale.session_duration, 60.0)
+    sessions = max(3, scale.sessions_per_context)
+    return _all_sensor_cached(min(scale.n_users, 8), duration, sessions, scale.seed)
+
+
+def clear_dataset_caches() -> None:
+    """Drop every cached dataset (frees memory between benchmark groups)."""
+    _free_form_cached.cache_clear()
+    _lab_cached.cache_clear()
+    _all_sensor_cached.cache_clear()
+    get_population.cache_clear()
+
+
+# --------------------------------------------------------------------------- #
+# plain-text table rendering
+# --------------------------------------------------------------------------- #
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Floats are formatted with *float_format*; everything else is ``str()``-ed.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> float:
+    """Convert a fraction to a percentage (kept explicit for readability)."""
+    return 100.0 * value

@@ -1,0 +1,59 @@
+"""Experiment E-F2 — Figure 2: demographics of the study participants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.population import AgeBand, Gender
+from repro.experiments.common import ExperimentScale, DEFAULT_SCALE, format_table, get_population
+
+#: The paper's reported counts (16 female / 19 male; 12, 9, 5, 5, 4 by age).
+PAPER_GENDER_COUNTS = {Gender.FEMALE: 16, Gender.MALE: 19}
+PAPER_AGE_COUNTS = {
+    AgeBand.A20_25: 12,
+    AgeBand.A25_30: 9,
+    AgeBand.A30_35: 5,
+    AgeBand.A35_40: 5,
+    AgeBand.A40_PLUS: 4,
+}
+
+
+@dataclass
+class DemographicsResult:
+    """Measured demographic histograms of the synthetic population."""
+
+    n_users: int
+    gender_counts: dict[Gender, int]
+    age_counts: dict[AgeBand, int]
+
+    def to_text(self) -> str:
+        """Render both histograms side by side with the paper's counts."""
+        gender_rows = [
+            (
+                gender.value,
+                self.gender_counts.get(gender, 0),
+                PAPER_GENDER_COUNTS[gender],
+            )
+            for gender in Gender
+        ]
+        age_rows = [
+            (band.value, self.age_counts.get(band, 0), PAPER_AGE_COUNTS[band])
+            for band in AgeBand
+        ]
+        gender_table = format_table(
+            ["gender", "measured", "paper"], gender_rows, title="Figure 2 (a): gender"
+        )
+        age_table = format_table(
+            ["age band", "measured", "paper"], age_rows, title="Figure 2 (b): age"
+        )
+        return f"{gender_table}\n\n{age_table}"
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> DemographicsResult:
+    """Build the population at *scale* and report its demographics."""
+    population = get_population(scale.n_users, scale.seed)
+    return DemographicsResult(
+        n_users=len(population),
+        gender_counts=population.gender_histogram(),
+        age_counts=population.age_histogram(),
+    )

@@ -1,0 +1,108 @@
+"""Experiment E-F4 — Figure 4: FRR and FAR versus window size.
+
+The paper sweeps the window length from 1 s to 16 s, per context and per
+device set (phone, watch, combination), and finds that both error rates
+stabilise once the window is at least 6 s, with the combination always best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import EvaluationConfig, evaluate_configuration
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table, get_free_form_dataset
+from repro.sensors.types import CoarseContext, DeviceType
+
+#: Window size (seconds) at which the paper says the error rates stabilise.
+PAPER_STABLE_WINDOW_SECONDS = 6.0
+
+#: Device sets plotted in Figure 4.
+DEVICE_SETS = {
+    "smartphone": (DeviceType.SMARTPHONE,),
+    "smartwatch": (DeviceType.SMARTWATCH,),
+    "combination": (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH),
+}
+
+
+@dataclass(frozen=True)
+class WindowSizePoint:
+    """One point of the Figure 4 curves."""
+
+    window_seconds: float
+    device_set: str
+    context: CoarseContext
+    frr: float
+    far: float
+
+
+@dataclass
+class WindowSizeSweepResult:
+    """All points of the Figure 4 sweep."""
+
+    points: list[WindowSizePoint]
+
+    def series(self, device_set: str, context: CoarseContext) -> list[WindowSizePoint]:
+        """One curve: all window sizes for a device set under one context."""
+        selected = [
+            point
+            for point in self.points
+            if point.device_set == device_set and point.context == context
+        ]
+        return sorted(selected, key=lambda point: point.window_seconds)
+
+    def error_at(self, device_set: str, context: CoarseContext, window_seconds: float) -> tuple[float, float]:
+        """(FRR, FAR) of one point."""
+        for point in self.series(device_set, context):
+            if point.window_seconds == window_seconds:
+                return point.frr, point.far
+        raise KeyError(f"no point at window={window_seconds}s for {device_set}/{context.value}")
+
+    def to_text(self) -> str:
+        """Render the full sweep as a table (one row per point)."""
+        rows = [
+            (
+                point.context.value,
+                point.device_set,
+                point.window_seconds,
+                100.0 * point.frr,
+                100.0 * point.far,
+            )
+            for point in sorted(
+                self.points, key=lambda p: (p.context.value, p.device_set, p.window_seconds)
+            )
+        ]
+        return format_table(
+            ["context", "devices", "window (s)", "FRR %", "FAR %"],
+            rows,
+            title=(
+                "Figure 4: FRR/FAR vs window size "
+                f"(paper: stable beyond {PAPER_STABLE_WINDOW_SECONDS:.0f}s, combination best)"
+            ),
+        )
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> WindowSizeSweepResult:
+    """Sweep window sizes for every device set and context."""
+    dataset = get_free_form_dataset(scale)
+    points: list[WindowSizePoint] = []
+    for window_seconds in scale.window_sizes:
+        for device_name, devices in DEVICE_SETS.items():
+            config = EvaluationConfig(
+                devices=devices, window_seconds=window_seconds, use_context=True
+            )
+            result = evaluate_configuration(dataset, config, seed=scale.seed)
+            for context in CoarseContext:
+                try:
+                    metrics = result.context_metrics(context)
+                except KeyError:
+                    continue
+                points.append(
+                    WindowSizePoint(
+                        window_seconds=window_seconds,
+                        device_set=device_name,
+                        context=context,
+                        frr=metrics.frr,
+                        far=metrics.far,
+                    )
+                )
+    return WindowSizeSweepResult(points=points)

@@ -1,0 +1,110 @@
+"""Experiment E-F5 — Figure 5: accuracy versus training-data size.
+
+The paper varies the number of training measurements from 100 to 1200 and
+finds accuracy rising steeply, peaking around 800, and declining slightly
+afterwards; more devices always help.  At reproduction scale the data-size
+axis is smaller (see ``ExperimentScale.data_sizes``) but the rising,
+device-ordered shape is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import EvaluationConfig, evaluate_configuration
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table, get_free_form_dataset
+from repro.sensors.types import CoarseContext, DeviceType
+
+#: The data size the paper finds optimal.
+PAPER_OPTIMAL_DATA_SIZE = 800
+
+#: Device sets plotted in Figure 5.
+DEVICE_SETS = {
+    "smartphone": (DeviceType.SMARTPHONE,),
+    "smartwatch": (DeviceType.SMARTWATCH,),
+    "combination": (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH),
+}
+
+
+@dataclass(frozen=True)
+class DataSizePoint:
+    """One point of the Figure 5 curves."""
+
+    data_size: int
+    device_set: str
+    context: CoarseContext
+    accuracy: float
+
+
+@dataclass
+class DataSizeSweepResult:
+    """All points of the Figure 5 sweep."""
+
+    points: list[DataSizePoint]
+
+    def series(self, device_set: str, context: CoarseContext) -> list[DataSizePoint]:
+        """One curve: accuracy over data sizes for a device set and context."""
+        selected = [
+            point
+            for point in self.points
+            if point.device_set == device_set and point.context == context
+        ]
+        return sorted(selected, key=lambda point: point.data_size)
+
+    def accuracy_at(self, device_set: str, context: CoarseContext, data_size: int) -> float:
+        """Accuracy of one point."""
+        for point in self.series(device_set, context):
+            if point.data_size == data_size:
+                return point.accuracy
+        raise KeyError(f"no point at data size {data_size} for {device_set}/{context.value}")
+
+    def to_text(self) -> str:
+        """Render the sweep as a table."""
+        rows = [
+            (
+                point.context.value,
+                point.device_set,
+                point.data_size,
+                100.0 * point.accuracy,
+            )
+            for point in sorted(
+                self.points, key=lambda p: (p.context.value, p.device_set, p.data_size)
+            )
+        ]
+        return format_table(
+            ["context", "devices", "data size", "accuracy %"],
+            rows,
+            title=(
+                "Figure 5: accuracy vs training-data size "
+                f"(paper: peak near {PAPER_OPTIMAL_DATA_SIZE} windows, combination best)"
+            ),
+        )
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> DataSizeSweepResult:
+    """Sweep training-set sizes for every device set and context."""
+    dataset = get_free_form_dataset(scale)
+    points: list[DataSizePoint] = []
+    for data_size in scale.data_sizes:
+        for device_name, devices in DEVICE_SETS.items():
+            config = EvaluationConfig(
+                devices=devices,
+                window_seconds=scale.window_seconds,
+                use_context=True,
+                max_windows_per_user=data_size,
+            )
+            result = evaluate_configuration(dataset, config, seed=scale.seed)
+            for context in CoarseContext:
+                try:
+                    metrics = result.context_metrics(context)
+                except KeyError:
+                    continue
+                points.append(
+                    DataSizePoint(
+                        data_size=data_size,
+                        device_set=device_name,
+                        context=context,
+                        accuracy=metrics.accuracy,
+                    )
+                )
+    return DataSizeSweepResult(points=points)

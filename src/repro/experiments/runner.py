@@ -1,0 +1,123 @@
+"""Run every paper experiment in sequence and collect the rendered outputs.
+
+``python -m repro.experiments.runner`` prints every table and figure
+reproduction at the default scale, which is the quickest way to regenerate an
+EXPERIMENTS.md-style report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import common
+from repro.experiments import (
+    fig2_demographics,
+    fig3_ks,
+    fig4_window_size,
+    fig5_data_size,
+    fig6_masquerade,
+    fig7_retraining,
+    overhead,
+    table1_related_work,
+    table2_fisher,
+    table3_feature_corr,
+    table4_cross_device_corr,
+    table5_context_confusion,
+    table6_classifiers,
+    table7_context_devices,
+    table8_battery,
+)
+
+#: Experiment registry: id -> (description, run callable).
+EXPERIMENTS: dict[str, tuple[str, Callable[[common.ExperimentScale], object]]] = {
+    "table1": ("Table I: comparison with prior work", table1_related_work.run),
+    "fig2": ("Figure 2: participant demographics", fig2_demographics.run),
+    "table2": ("Table II: Fisher scores of sensors", table2_fisher.run),
+    "fig3": ("Figure 3: KS feature screen", fig3_ks.run),
+    "table3": ("Table III: feature-feature correlations", table3_feature_corr.run),
+    "table4": ("Table IV: phone-watch correlations", table4_cross_device_corr.run),
+    "table5": ("Table V: context-detection confusion matrix", table5_context_confusion.run),
+    "table6": ("Table VI: classifier comparison", table6_classifiers.run),
+    "fig4": ("Figure 4: FRR/FAR vs window size", fig4_window_size.run),
+    "fig5": ("Figure 5: accuracy vs data size", fig5_data_size.run),
+    "table7": ("Table VII: context/device ablation", table7_context_devices.run),
+    "fig6": ("Figure 6: masquerading attacks", fig6_masquerade.run),
+    "fig7": ("Figure 7: drift and retraining", fig7_retraining.run),
+    "table8": ("Table VIII: battery consumption", table8_battery.run),
+    "overhead": ("Section V-H: system overhead", overhead.run),
+}
+
+
+@dataclass
+class ExperimentOutcome:
+    """One executed experiment: its rendered text and wall-clock time."""
+
+    experiment_id: str
+    description: str
+    text: str
+    elapsed_s: float
+
+
+def run_experiment(experiment_id: str, scale: common.ExperimentScale) -> ExperimentOutcome:
+    """Run a single experiment by id and capture its rendered output."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    description, runner = EXPERIMENTS[experiment_id]
+    start = time.perf_counter()
+    result = runner(scale)
+    elapsed = time.perf_counter() - start
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        description=description,
+        text=result.to_text(),  # type: ignore[attr-defined]
+        elapsed_s=elapsed,
+    )
+
+
+def run_all(
+    scale: common.ExperimentScale = common.DEFAULT_SCALE,
+    experiment_ids: list[str] | None = None,
+) -> list[ExperimentOutcome]:
+    """Run every (or the selected) experiment and return their outcomes."""
+    selected = experiment_ids or list(EXPERIMENTS)
+    return [run_experiment(experiment_id, scale) for experiment_id in selected]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Run the SmarterYou paper experiments")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default", "paper"),
+        default="default",
+        help="study scale: small (tests), default (benchmarks) or paper (full size)",
+    )
+    args = parser.parse_args(argv)
+    scale = {
+        "small": common.SMALL_SCALE,
+        "default": common.DEFAULT_SCALE,
+        "paper": common.PAPER_SCALE,
+    }[args.scale]
+    outcomes = run_all(scale, args.experiments or None)
+    for outcome in outcomes:
+        print("=" * 78)
+        print(f"{outcome.experiment_id}: {outcome.description} ({outcome.elapsed_s:.1f}s)")
+        print("=" * 78)
+        print(outcome.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Experiment E-T3 — Table III: correlations between pairs of features.
+
+Per device, the paper averages (over users) the Pearson correlation between
+every pair of accelerometer/gyroscope features and uses the result to drop
+``range``, which duplicates ``var``.  The reproduction computes the same
+per-user-averaged correlation matrix and reports the redundant pairs it
+implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table, get_free_form_dataset
+from repro.features.selection import correlation_prune
+from repro.features.vector import FeatureMatrix, FeatureVectorSpec
+from repro.sensors.types import DeviceType, SELECTED_SENSORS
+from repro.stats.correlation import correlation_matrix
+
+#: Feature the paper drops because of this analysis, and its partner.
+PAPER_REDUNDANT_PAIR = ("range", "var")
+
+#: Correlation the paper observes between Ran and Var (0.90-0.95 per device).
+PAPER_RAN_VAR_CORRELATION = 0.9
+
+
+def _table3_spec(device: DeviceType) -> FeatureVectorSpec:
+    """The eight features per sensor shown in Table III (no peak2_f)."""
+    return FeatureVectorSpec(
+        sensors=SELECTED_SENSORS,
+        time_features=("mean", "var", "max", "min", "range"),
+        frequency_features=("peak", "peak_f", "peak2"),
+        devices=(device,),
+    )
+
+
+def _per_user_average_correlation(matrix: FeatureMatrix) -> np.ndarray:
+    """Correlation matrix averaged over (user, context) groups.
+
+    Correlations are computed within each user's windows of a single coarse
+    context and then averaged; pooling the contexts would make every feature
+    correlate with every other one simply because moving windows have larger
+    values across the board.
+    """
+    users = sorted(set(matrix.user_ids))
+    contexts = sorted(set(matrix.contexts)) or [None]
+    user_array = np.asarray(matrix.user_ids, dtype=object)
+    context_array = np.asarray(matrix.contexts, dtype=object)
+    per_group = []
+    for user in users:
+        for context in contexts:
+            mask = user_array == user
+            if context is not None:
+                mask = mask & (context_array == context)
+            rows = matrix.values[mask]
+            if len(rows) >= 3:
+                per_group.append(correlation_matrix(rows))
+    if not per_group:
+        raise ValueError("not enough rows per user/context to compute correlations")
+    return np.mean(np.stack(per_group), axis=0)
+
+
+@dataclass
+class FeatureCorrelationResult:
+    """Per-device averaged feature-correlation matrices."""
+
+    feature_names: dict[DeviceType, list[str]]
+    correlations: dict[DeviceType, np.ndarray]
+
+    def correlation_between(self, device: DeviceType, feature_a: str, feature_b: str) -> float:
+        """Correlation between two feature columns (by suffix match)."""
+        names = self.feature_names[device]
+
+        def find(suffix: str) -> int:
+            for index, name in enumerate(names):
+                if name.endswith(f".{suffix}"):
+                    return index
+            raise KeyError(f"no feature ending in {suffix!r} for {device.value}")
+
+        return float(self.correlations[device][find(feature_a), find(feature_b)])
+
+    def redundant_features(self, device: DeviceType, threshold: float = 0.8) -> list[tuple[str, str, float]]:
+        """Feature pairs exceeding the redundancy threshold."""
+        names = self.feature_names[device]
+        corr = self.correlations[device]
+        pairs = []
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                if abs(corr[i, j]) >= threshold:
+                    pairs.append((names[i], names[j], float(corr[i, j])))
+        return pairs
+
+    def to_text(self) -> str:
+        """Render the strongest correlations and the resulting pruning decision."""
+        blocks = []
+        for device in self.correlations:
+            redundant = self.redundant_features(device)
+            rows = [(a, b, value) for a, b, value in redundant] or [("-", "-", 0.0)]
+            blocks.append(
+                format_table(
+                    ["feature A", "feature B", "correlation"],
+                    rows,
+                    title=(
+                        f"Table III ({device.value}): redundant pairs (|r| >= 0.8); "
+                        f"paper drops {PAPER_REDUNDANT_PAIR[0]!r} (r with var ~{PAPER_RAN_VAR_CORRELATION})"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> FeatureCorrelationResult:
+    """Compute per-device averaged feature-correlation matrices."""
+    dataset = get_free_form_dataset(scale)
+    feature_names: dict[DeviceType, list[str]] = {}
+    correlations: dict[DeviceType, np.ndarray] = {}
+    for device in (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH):
+        matrix = dataset.device_matrix(device, scale.window_seconds, spec=_table3_spec(device))
+        feature_names[device] = list(matrix.feature_names)
+        correlations[device] = _per_user_average_correlation(matrix)
+    return FeatureCorrelationResult(feature_names=feature_names, correlations=correlations)
+
+
+def prune_with_library(scale: ExperimentScale = DEFAULT_SCALE) -> tuple[list[str], list[tuple[str, str, float]]]:
+    """Run the library's correlation pruning on the phone matrix (sanity hook)."""
+    dataset = get_free_form_dataset(scale)
+    matrix = dataset.device_matrix(
+        DeviceType.SMARTPHONE, scale.window_seconds, spec=_table3_spec(DeviceType.SMARTPHONE)
+    )
+    return correlation_prune(matrix, threshold=0.85)

@@ -1,0 +1,90 @@
+"""Experiment E-T5 — Table V: context-detection confusion matrix.
+
+The paper trains a user-agnostic random forest on lab data labelled with the
+two coarse contexts and reports > 99 % accuracy.  The reproduction follows
+the same protocol with leave-one-user-out evaluation: the detector scoring a
+user's windows was trained only on other users' data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import ContextDetector
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table, get_lab_dataset
+from repro.features.vector import FeatureVectorSpec
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.sensors.types import CoarseContext, DeviceType, SELECTED_SENSORS
+
+#: The paper's reported confusion matrix (row-normalised percentages).
+PAPER_CONFUSION = {
+    ("stationary", "stationary"): 99.1,
+    ("stationary", "moving"): 0.9,
+    ("moving", "stationary"): 0.6,
+    ("moving", "moving"): 99.4,
+}
+
+
+@dataclass
+class ContextConfusionResult:
+    """Leave-one-user-out context-detection evaluation."""
+
+    accuracy: float
+    confusion_percent: np.ndarray
+    labels: list[str]
+
+    def cell(self, true_context: str, predicted_context: str) -> float:
+        """One confusion-matrix cell, in percent."""
+        i = self.labels.index(true_context)
+        j = self.labels.index(predicted_context)
+        return float(self.confusion_percent[i, j])
+
+    def to_text(self) -> str:
+        """Render measured vs. paper confusion matrices."""
+        rows = []
+        for true_label in self.labels:
+            for predicted in self.labels:
+                rows.append(
+                    (
+                        true_label,
+                        predicted,
+                        self.cell(true_label, predicted),
+                        PAPER_CONFUSION[(true_label, predicted)],
+                    )
+                )
+        return format_table(
+            ["true context", "predicted", "measured %", "paper %"],
+            rows,
+            title=f"Table V: context detection (overall accuracy {100.0 * self.accuracy:.1f}%)",
+        )
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ContextConfusionResult:
+    """Leave-one-user-out evaluation of the user-agnostic context detector."""
+    dataset = get_lab_dataset(scale)
+    spec = FeatureVectorSpec(sensors=SELECTED_SENSORS, devices=(DeviceType.SMARTPHONE,))
+    matrix = dataset.device_matrix(DeviceType.SMARTPHONE, scale.window_seconds, spec=spec)
+    users = sorted(set(matrix.user_ids))
+    if len(users) < 2:
+        raise ValueError("need at least two users for leave-one-user-out evaluation")
+    user_array = np.asarray(matrix.user_ids, dtype=object)
+    all_true: list[str] = []
+    all_pred: list[str] = []
+    for held_out in users:
+        detector = ContextDetector(spec=spec)
+        detector.fit(matrix, exclude_user=held_out)
+        test_mask = user_array == held_out
+        predictions = detector.detect(matrix.values[test_mask])
+        all_pred.extend(context.value for context in predictions)
+        all_true.extend(np.asarray(matrix.contexts, dtype=object)[test_mask])
+    labels = [context.value for context in CoarseContext]
+    counts, _ = confusion_matrix(all_true, all_pred, labels=labels)
+    row_sums = counts.sum(axis=1, keepdims=True).astype(float)
+    row_sums[row_sums == 0.0] = 1.0
+    return ContextConfusionResult(
+        accuracy=accuracy_score(all_true, all_pred),
+        confusion_percent=100.0 * counts / row_sums,
+        labels=labels,
+    )

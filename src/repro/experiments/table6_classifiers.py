@@ -1,0 +1,95 @@
+"""Experiment E-T6 — Table VI: authentication performance by classifier.
+
+The paper compares KRR, SVM, linear regression and naive Bayes on the full
+configuration (both devices, per-context models, 6 s windows) and finds KRR
+best, SVM close behind, and the two simple baselines far worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.evaluation import EvaluationConfig, EvaluationResult, evaluate_configuration
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table, get_free_form_dataset
+from repro.ml.base import BaseClassifier
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+from repro.ml.linear import LinearRegressionClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.svm import LinearSVMClassifier
+
+#: The paper's reported numbers (FRR%, FAR%, Accuracy%).
+PAPER_TABLE_VI = {
+    "KRR": (0.9, 2.8, 98.1),
+    "SVM": (2.7, 2.5, 97.4),
+    "Linear Regression": (12.7, 14.6, 86.3),
+    "Naive Bayes": (10.8, 13.9, 87.6),
+}
+
+#: Classifier factories under test, in the paper's row order.
+CLASSIFIER_FACTORIES: dict[str, Callable[[], BaseClassifier]] = {
+    "KRR": lambda: KernelRidgeClassifier(ridge=1.0, kernel="linear"),
+    "SVM": lambda: LinearSVMClassifier(C=1.0, n_iterations=400),
+    "Linear Regression": lambda: LinearRegressionClassifier(),
+    "Naive Bayes": lambda: GaussianNaiveBayes(),
+}
+
+
+@dataclass
+class ClassifierComparisonResult:
+    """Measured FRR / FAR / accuracy per classifier."""
+
+    results: dict[str, EvaluationResult]
+
+    def accuracy(self, name: str) -> float:
+        """Accuracy of one classifier (fraction)."""
+        return self.results[name].accuracy
+
+    def ranking(self) -> list[str]:
+        """Classifiers sorted by decreasing measured accuracy."""
+        return sorted(self.results, key=lambda name: -self.results[name].accuracy)
+
+    def to_text(self) -> str:
+        """Render measured vs. paper rows."""
+        rows = []
+        for name, result in self.results.items():
+            paper_frr, paper_far, paper_acc = PAPER_TABLE_VI[name]
+            summary = result.summary()
+            rows.append(
+                (
+                    name,
+                    summary["FRR%"],
+                    paper_frr,
+                    summary["FAR%"],
+                    paper_far,
+                    summary["Accuracy%"],
+                    paper_acc,
+                )
+            )
+        return format_table(
+            [
+                "method",
+                "FRR% (meas)",
+                "FRR% (paper)",
+                "FAR% (meas)",
+                "FAR% (paper)",
+                "Acc% (meas)",
+                "Acc% (paper)",
+            ],
+            rows,
+            title="Table VI: authentication performance by classifier",
+        )
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ClassifierComparisonResult:
+    """Evaluate every classifier with the paper's protocol."""
+    dataset = get_free_form_dataset(scale)
+    results: dict[str, EvaluationResult] = {}
+    for name, factory in CLASSIFIER_FACTORIES.items():
+        config = EvaluationConfig(
+            window_seconds=scale.window_seconds,
+            use_context=True,
+            classifier_factory=factory,
+        )
+        results[name] = evaluate_configuration(dataset, config, seed=scale.seed)
+    return ClassifierComparisonResult(results=results)

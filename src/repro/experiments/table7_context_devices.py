@@ -1,0 +1,99 @@
+"""Experiment E-T7 — Table VII: the effect of contexts and of the smartwatch.
+
+The paper's headline ablation: accuracy with / without per-context models and
+with the phone alone versus phone + watch.  Expected ordering (and the
+paper's numbers): no-context phone (83.6 %) < no-context combination (91.7 %)
+< context phone (93.3 %) < context combination (98.1 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import EvaluationConfig, EvaluationResult, evaluate_configuration
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table, get_free_form_dataset
+from repro.sensors.types import DeviceType
+
+#: The paper's reported rows: (context?, devices) -> (FRR%, FAR%, Accuracy%).
+PAPER_TABLE_VII = {
+    (False, "smartphone"): (15.4, 17.4, 83.6),
+    (False, "combination"): (7.3, 9.3, 91.7),
+    (True, "smartphone"): (5.1, 8.3, 93.3),
+    (True, "combination"): (0.9, 2.8, 98.1),
+}
+
+#: Device sets under test.
+DEVICE_SETS = {
+    "smartphone": (DeviceType.SMARTPHONE,),
+    "combination": (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH),
+}
+
+
+@dataclass
+class ContextDeviceAblationResult:
+    """Measured metrics for every (context, device-set) cell."""
+
+    results: dict[tuple[bool, str], EvaluationResult]
+
+    def accuracy(self, use_context: bool, device_set: str) -> float:
+        """Accuracy (fraction) of one ablation cell."""
+        return self.results[(use_context, device_set)].accuracy
+
+    def ordering_holds(self) -> bool:
+        """Whether the paper's monotone ordering of the four cells holds."""
+        return (
+            self.accuracy(False, "smartphone")
+            <= self.accuracy(False, "combination")
+            and self.accuracy(False, "combination") <= self.accuracy(True, "combination")
+            and self.accuracy(True, "smartphone") <= self.accuracy(True, "combination")
+        )
+
+    def to_text(self) -> str:
+        """Render measured vs. paper rows."""
+        rows = []
+        for (use_context, device_set), result in self.results.items():
+            paper_frr, paper_far, paper_acc = PAPER_TABLE_VII[(use_context, device_set)]
+            summary = result.summary()
+            rows.append(
+                (
+                    "w/ context" if use_context else "w/o context",
+                    device_set,
+                    summary["FRR%"],
+                    paper_frr,
+                    summary["FAR%"],
+                    paper_far,
+                    summary["Accuracy%"],
+                    paper_acc,
+                )
+            )
+        return format_table(
+            [
+                "context",
+                "device",
+                "FRR% (meas)",
+                "FRR% (paper)",
+                "FAR% (meas)",
+                "FAR% (paper)",
+                "Acc% (meas)",
+                "Acc% (paper)",
+            ],
+            rows,
+            title="Table VII: contexts and devices ablation",
+        )
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ContextDeviceAblationResult:
+    """Evaluate the four (context, device-set) cells."""
+    dataset = get_free_form_dataset(scale)
+    results: dict[tuple[bool, str], EvaluationResult] = {}
+    for use_context in (False, True):
+        for device_name, devices in DEVICE_SETS.items():
+            config = EvaluationConfig(
+                devices=devices,
+                window_seconds=scale.window_seconds,
+                use_context=use_context,
+            )
+            results[(use_context, device_name)] = evaluate_configuration(
+                dataset, config, seed=scale.seed
+            )
+    return ContextDeviceAblationResult(results=results)

@@ -1,0 +1,75 @@
+"""Experiment E-T8 — Table VIII: battery consumption in four scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.battery import BatteryModel, PowerScenario, ScenarioResult
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, format_table
+
+#: The paper's reported drain percentages per scenario.
+PAPER_TABLE_VIII = {
+    PowerScenario.LOCKED_SMARTERYOU_OFF: 2.8,
+    PowerScenario.LOCKED_SMARTERYOU_ON: 4.9,
+    PowerScenario.ACTIVE_SMARTERYOU_OFF: 5.2,
+    PowerScenario.ACTIVE_SMARTERYOU_ON: 7.6,
+}
+
+#: Extra drains the paper highlights: +2.1 % idle, +2.4 % active.
+PAPER_IDLE_OVERHEAD_PERCENT = 2.1
+PAPER_ACTIVE_OVERHEAD_PERCENT = 2.4
+
+
+@dataclass
+class BatteryExperimentResult:
+    """Measured drain per scenario plus the SmarterYou overheads."""
+
+    scenarios: dict[PowerScenario, ScenarioResult]
+
+    def drain_percent(self, scenario: PowerScenario) -> float:
+        """Battery drain of one scenario, in percent of capacity."""
+        return self.scenarios[scenario].consumed_percent
+
+    @property
+    def idle_overhead_percent(self) -> float:
+        """Extra drain of running SmarterYou while the phone is locked (12 h)."""
+        return self.drain_percent(PowerScenario.LOCKED_SMARTERYOU_ON) - self.drain_percent(
+            PowerScenario.LOCKED_SMARTERYOU_OFF
+        )
+
+    @property
+    def active_overhead_percent(self) -> float:
+        """Extra drain of running SmarterYou during one hour of periodic use."""
+        return self.drain_percent(PowerScenario.ACTIVE_SMARTERYOU_ON) - self.drain_percent(
+            PowerScenario.ACTIVE_SMARTERYOU_OFF
+        )
+
+    def to_text(self) -> str:
+        """Render measured vs. paper drain per scenario."""
+        rows = [
+            (
+                scenario.value,
+                result.duration_hours,
+                result.consumed_percent,
+                PAPER_TABLE_VIII[scenario],
+            )
+            for scenario, result in self.scenarios.items()
+        ]
+        table = format_table(
+            ["scenario", "duration (h)", "drain % (measured)", "drain % (paper)"],
+            rows,
+            title="Table VIII: battery consumption",
+        )
+        overheads = (
+            f"SmarterYou overhead: idle +{self.idle_overhead_percent:.1f}% "
+            f"(paper +{PAPER_IDLE_OVERHEAD_PERCENT}%), "
+            f"active +{self.active_overhead_percent:.1f}% "
+            f"(paper +{PAPER_ACTIVE_OVERHEAD_PERCENT}%)"
+        )
+        return f"{table}\n{overheads}"
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> BatteryExperimentResult:
+    """Simulate the four Table VIII scenarios with the battery model."""
+    model = BatteryModel(sampling_rate_hz=50.0)
+    return BatteryExperimentResult(scenarios=model.table_viii())

@@ -1,0 +1,57 @@
+"""Feature substrate: windowing and time/frequency feature extraction.
+
+Implements Section V-C/V-D of the paper: sensor streams are segmented into
+time windows, the per-window magnitude signal is summarised by four
+time-domain statistics (mean, variance, max, min) and three frequency-domain
+statistics (main-peak amplitude, main-peak frequency, second-peak amplitude),
+and per-device vectors are concatenated into the authentication feature
+vector of Eq. 4.
+"""
+
+from repro.features.windowing import Window, segment_stream, segment_recording
+from repro.features.time_domain import (
+    TIME_DOMAIN_FEATURES,
+    time_domain_features,
+)
+from repro.features.frequency_domain import (
+    FREQUENCY_DOMAIN_FEATURES,
+    frequency_domain_features,
+    power_spectrum,
+)
+from repro.features.vector import (
+    FeatureVectorSpec,
+    FeatureMatrix,
+    SELECTED_FEATURES,
+    ALL_CANDIDATE_FEATURES,
+    extract_sensor_features,
+    extract_device_vector,
+    extract_authentication_matrix,
+    feature_names,
+)
+from repro.features.selection import (
+    fisher_scores_by_sensor,
+    ks_feature_screen,
+    correlation_prune,
+)
+
+__all__ = [
+    "Window",
+    "segment_stream",
+    "segment_recording",
+    "TIME_DOMAIN_FEATURES",
+    "time_domain_features",
+    "FREQUENCY_DOMAIN_FEATURES",
+    "frequency_domain_features",
+    "power_spectrum",
+    "FeatureVectorSpec",
+    "FeatureMatrix",
+    "SELECTED_FEATURES",
+    "ALL_CANDIDATE_FEATURES",
+    "extract_sensor_features",
+    "extract_device_vector",
+    "extract_authentication_matrix",
+    "feature_names",
+    "fisher_scores_by_sensor",
+    "ks_feature_screen",
+    "correlation_prune",
+]

@@ -1,0 +1,96 @@
+"""Frequency-domain window statistics via the discrete Fourier transform.
+
+Section V-C derives, for each window, the amplitude and frequency of the main
+spectral peak and the amplitude and frequency of the secondary peak.  The
+screening in Figure 3 finds the *secondary-peak frequency* uninformative, so
+the selected set keeps peak amplitude, peak frequency and second-peak
+amplitude only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_positive
+
+#: Candidate frequency-domain features.
+FREQUENCY_DOMAIN_FEATURES: tuple[str, ...] = ("peak", "peak_f", "peak2", "peak2_f")
+
+#: Frequency-domain features retained after the KS screen.
+SELECTED_FREQUENCY_DOMAIN_FEATURES: tuple[str, ...] = ("peak", "peak_f", "peak2")
+
+
+def power_spectrum(
+    magnitude: np.ndarray, sampling_rate: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-sided amplitude spectrum of a (de-meaned) magnitude window.
+
+    The DC component is removed before the transform so that the dominant
+    peak reflects the user's motion rather than gravity.
+
+    Returns
+    -------
+    (frequencies, amplitudes):
+        Frequencies in Hz and the corresponding spectral amplitudes.
+    """
+    signal = check_array(magnitude, "magnitude", ndim=1)
+    check_positive(sampling_rate, "sampling_rate")
+    centered = signal - np.mean(signal)
+    n = len(centered)
+    spectrum = np.abs(np.fft.rfft(centered)) / max(n, 1)
+    frequencies = np.fft.rfftfreq(n, d=1.0 / sampling_rate)
+    return frequencies, spectrum
+
+
+def _top_two_peaks(
+    frequencies: np.ndarray, amplitudes: np.ndarray, exclusion_bins: int = 2
+) -> tuple[float, float, float, float]:
+    """Return (peak amplitude, peak frequency, 2nd amplitude, 2nd frequency).
+
+    The secondary peak is searched outside a small exclusion zone around the
+    primary peak so that spectral leakage from the main frequency is not
+    reported as a second peak.
+    """
+    if len(amplitudes) == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    # Ignore the DC bin (index 0) when searching for motion peaks.
+    usable = amplitudes.copy()
+    if len(usable) > 1:
+        usable[0] = 0.0
+    primary = int(np.argmax(usable))
+    remaining = usable.copy()
+    low = max(0, primary - exclusion_bins)
+    high = min(len(remaining), primary + exclusion_bins + 1)
+    remaining[low:high] = 0.0
+    secondary = int(np.argmax(remaining)) if np.any(remaining > 0.0) else primary
+    return (
+        float(usable[primary]),
+        float(frequencies[primary]),
+        float(usable[secondary]),
+        float(frequencies[secondary]),
+    )
+
+
+def frequency_domain_features(
+    magnitude: np.ndarray,
+    sampling_rate: float,
+    features: tuple[str, ...] = SELECTED_FREQUENCY_DOMAIN_FEATURES,
+) -> dict[str, float]:
+    """Compute the requested spectral statistics of a magnitude window.
+
+    Parameters
+    ----------
+    magnitude:
+        One-dimensional per-sample magnitude signal of a window.
+    sampling_rate:
+        Sampling rate of the signal, in Hz.
+    features:
+        Which statistics to compute, a subset of ``FREQUENCY_DOMAIN_FEATURES``.
+    """
+    unknown = [name for name in features if name not in FREQUENCY_DOMAIN_FEATURES]
+    if unknown:
+        raise KeyError(f"unknown frequency-domain features: {unknown}")
+    frequencies, amplitudes = power_spectrum(magnitude, sampling_rate)
+    peak, peak_f, peak2, peak2_f = _top_two_peaks(frequencies, amplitudes)
+    values = {"peak": peak, "peak_f": peak_f, "peak2": peak2, "peak2_f": peak2_f}
+    return {name: values[name] for name in features}

@@ -1,0 +1,198 @@
+"""Sensor and feature selection: Fisher scores, KS screening, correlation pruning.
+
+These routines reproduce the paper's design-space methodology:
+
+* **Which sensors?** (Section V-B, Table II) — rank every sensor axis by its
+  Fisher score across users; the accelerometer and gyroscope dominate.
+* **Which features?** (Section V-C, Figure 3) — per feature, run a pairwise KS
+  test over users and drop features whose p-values mostly exceed the
+  significance level (the secondary-peak frequency fails this screen).
+* **Redundancy** (Table III) — drop features strongly correlated with a
+  retained feature (``range`` duplicates ``var``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import MultiSensorRecording, SensorType
+from repro.stats.correlation import correlation_matrix
+from repro.stats.fisher import fisher_score
+from repro.stats.ks import pairwise_ks_pvalues
+from repro.utils.validation import check_in_range
+
+
+def fisher_scores_by_sensor(
+    recordings: Sequence[MultiSensorRecording],
+    sensors: tuple[SensorType, ...] = tuple(SensorType),
+    window_seconds: float = 5.0,
+) -> dict[str, float]:
+    """Fisher score of every raw sensor axis, keyed like Table II.
+
+    Each recording is cut into *window_seconds* windows; every window
+    contributes one observation per axis — its mean absolute value plus its
+    standard deviation, i.e. a summary of both the level and the dynamics of
+    the axis — labelled with the recording's user.  The Fisher score then
+    measures how well that axis separates users relative to the within-user
+    (across-window and across-session) spread.
+
+    Returns
+    -------
+    dict
+        Mapping like ``{"Acc(x)": 3.1, ..., "Light": 0.01}``.
+    """
+    if not recordings:
+        raise ValueError("need at least one recording")
+    if window_seconds <= 0:
+        raise ValueError(f"window_seconds must be > 0, got {window_seconds}")
+    short_names = {
+        SensorType.ACCELEROMETER: "Acc",
+        SensorType.GYROSCOPE: "Gyr",
+        SensorType.MAGNETOMETER: "Mag",
+        SensorType.ORIENTATION: "Ori",
+        SensorType.LIGHT: "Light",
+    }
+    scores: dict[str, float] = {}
+    for sensor in sensors:
+        usable = [rec for rec in recordings if sensor in rec]
+        if not usable:
+            continue
+        axes = sensor.axes
+        for axis_index, axis in enumerate(axes):
+            observations: list[float] = []
+            labels: list[str] = []
+            for recording in usable:
+                stream = recording[sensor]
+                window_samples = max(1, int(round(window_seconds * stream.sampling_rate)))
+                values = stream.samples[:, axis_index]
+                n_windows = len(values) // window_samples
+                for index in range(n_windows):
+                    window = values[index * window_samples : (index + 1) * window_samples]
+                    observations.append(
+                        float(np.mean(np.abs(window))) + float(np.std(window))
+                    )
+                    labels.append(recording.user_id)
+            if len(set(labels)) < 2:
+                continue
+            score = fisher_score(np.asarray(observations), labels)
+            key = (
+                short_names[sensor]
+                if sensor is SensorType.LIGHT
+                else f"{short_names[sensor]}({axis})"
+            )
+            scores[key] = score
+    return scores
+
+
+@dataclass(frozen=True)
+class KsScreenResult:
+    """Outcome of the KS feature screen for one feature.
+
+    Attributes
+    ----------
+    feature:
+        Feature column name.
+    pvalues:
+        All pairwise-user p-values.
+    fraction_significant:
+        Fraction of pairs with ``p < alpha`` (higher is better).
+    keep:
+        Whether the feature passes the screen.
+    """
+
+    feature: str
+    pvalues: np.ndarray
+    fraction_significant: float
+    keep: bool
+
+
+def ks_feature_screen(
+    matrix: FeatureMatrix,
+    alpha: float = 0.05,
+    min_fraction_significant: float = 0.5,
+) -> dict[str, KsScreenResult]:
+    """Screen every feature column of *matrix* with pairwise-user KS tests.
+
+    A feature is kept when at least *min_fraction_significant* of the user
+    pairs are significantly different at level *alpha* (i.e. the box in
+    Figure 3 sits mostly below the red line).
+    """
+    check_in_range(alpha, "alpha", 0.0, 1.0, inclusive=False)
+    check_in_range(min_fraction_significant, "min_fraction_significant", 0.0, 1.0)
+    if not matrix.user_ids:
+        raise ValueError("matrix must carry user labels for the KS screen")
+    users = sorted(set(matrix.user_ids))
+    if len(users) < 2:
+        raise ValueError("KS screen needs data from at least two users")
+    results: dict[str, KsScreenResult] = {}
+    user_array = np.asarray(matrix.user_ids, dtype=object)
+    for index, feature in enumerate(matrix.feature_names):
+        column = matrix.values[:, index]
+        by_user: Mapping[str, np.ndarray] = {
+            user: column[user_array == user] for user in users
+        }
+        by_user = {user: values for user, values in by_user.items() if len(values) >= 2}
+        if len(by_user) < 2:
+            results[feature] = KsScreenResult(feature, np.array([]), 0.0, False)
+            continue
+        pvalues = pairwise_ks_pvalues(by_user)
+        fraction = float(np.mean(pvalues < alpha))
+        results[feature] = KsScreenResult(
+            feature=feature,
+            pvalues=pvalues,
+            fraction_significant=fraction,
+            keep=fraction >= min_fraction_significant,
+        )
+    return results
+
+
+def correlation_prune(
+    matrix: FeatureMatrix,
+    threshold: float = 0.85,
+    priority: Sequence[str] | None = None,
+) -> tuple[list[str], list[tuple[str, str, float]]]:
+    """Drop features that are redundant with an earlier (kept) feature.
+
+    Parameters
+    ----------
+    matrix:
+        Feature matrix whose columns are screened.
+    threshold:
+        Absolute-correlation level above which the later feature is dropped.
+    priority:
+        Optional explicit ordering; earlier names win ties.  Defaults to the
+        matrix's column order.
+
+    Returns
+    -------
+    (kept, dropped):
+        ``kept`` is the list of surviving feature names; ``dropped`` lists
+        ``(dropped_feature, kept_feature, correlation)`` tuples explaining
+        each removal, mirroring the paper's "Ran duplicates Var" argument.
+    """
+    check_in_range(threshold, "threshold", 0.0, 1.0)
+    order = list(priority) if priority is not None else list(matrix.feature_names)
+    unknown = [name for name in order if name not in matrix.feature_names]
+    if unknown:
+        raise KeyError(f"priority names not in matrix: {unknown}")
+    corr = correlation_matrix(matrix.values)
+    name_to_index = {name: i for i, name in enumerate(matrix.feature_names)}
+    kept: list[str] = []
+    dropped: list[tuple[str, str, float]] = []
+    for name in order:
+        index = name_to_index[name]
+        redundant_with = None
+        for kept_name in kept:
+            value = corr[index, name_to_index[kept_name]]
+            if abs(value) >= threshold:
+                redundant_with = (kept_name, float(value))
+                break
+        if redundant_with is None:
+            kept.append(name)
+        else:
+            dropped.append((name, redundant_with[0], redundant_with[1]))
+    return kept, dropped

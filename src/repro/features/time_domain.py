@@ -1,0 +1,50 @@
+"""Time-domain window statistics (Section V-C).
+
+The paper evaluates mean, variance, max, min and range; after the feature
+screen it drops *range* because it is nearly perfectly correlated with
+variance (Table III).  Both the full candidate set and the selected set are
+exposed so the screening experiments can be reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+#: Candidate time-domain features, in the order used by the paper's tables.
+TIME_DOMAIN_FEATURES: tuple[str, ...] = ("mean", "var", "max", "min", "range")
+
+#: Time-domain features retained after the correlation screen.
+SELECTED_TIME_DOMAIN_FEATURES: tuple[str, ...] = ("mean", "var", "max", "min")
+
+
+def time_domain_features(
+    magnitude: np.ndarray, features: tuple[str, ...] = SELECTED_TIME_DOMAIN_FEATURES
+) -> dict[str, float]:
+    """Compute the requested time-domain statistics of a magnitude window.
+
+    Parameters
+    ----------
+    magnitude:
+        One-dimensional per-sample magnitude signal of a window.
+    features:
+        Which statistics to compute, a subset of ``TIME_DOMAIN_FEATURES``.
+
+    Returns
+    -------
+    dict
+        Mapping from feature name to value, in the order requested.
+    """
+    signal = check_array(magnitude, "magnitude", ndim=1)
+    available = {
+        "mean": lambda s: float(np.mean(s)),
+        "var": lambda s: float(np.var(s)),
+        "max": lambda s: float(np.max(s)),
+        "min": lambda s: float(np.min(s)),
+        "range": lambda s: float(np.max(s) - np.min(s)),
+    }
+    unknown = [name for name in features if name not in available]
+    if unknown:
+        raise KeyError(f"unknown time-domain features: {unknown}")
+    return {name: available[name](signal) for name in features}

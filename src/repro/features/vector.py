@@ -1,0 +1,293 @@
+"""Assembly of per-window feature vectors (Eq. 1–4 of the paper).
+
+For sensor *i* in window *k* the paper defines
+
+.. math::
+
+    SP_i(k) = [SP^t_i(k), SP^f_i(k)]
+
+with four time-domain and three frequency-domain components, concatenated
+over the accelerometer and gyroscope into the smartphone vector ``SP(k)``
+(14 elements), and, when a smartwatch is present, further concatenated with
+the analogous ``SW(k)`` into the 28-element authentication vector
+``Authenticate(k) = [SP(k), SW(k)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.features.frequency_domain import (
+    FREQUENCY_DOMAIN_FEATURES,
+    SELECTED_FREQUENCY_DOMAIN_FEATURES,
+    frequency_domain_features,
+)
+from repro.features.time_domain import (
+    SELECTED_TIME_DOMAIN_FEATURES,
+    TIME_DOMAIN_FEATURES,
+    time_domain_features,
+)
+from repro.features.windowing import Window, segment_recording
+from repro.sensors.types import (
+    SELECTED_SENSORS,
+    DeviceType,
+    MultiSensorRecording,
+    SensorType,
+)
+
+#: The seven per-sensor features retained by the paper's screening.
+SELECTED_FEATURES: tuple[str, ...] = (
+    SELECTED_TIME_DOMAIN_FEATURES + SELECTED_FREQUENCY_DOMAIN_FEATURES
+)
+
+#: The full nine-feature candidate set evaluated in Figure 3 / Table III.
+ALL_CANDIDATE_FEATURES: tuple[str, ...] = TIME_DOMAIN_FEATURES + FREQUENCY_DOMAIN_FEATURES
+
+
+@dataclass(frozen=True)
+class FeatureVectorSpec:
+    """Specification of which sensors, features and devices form a vector.
+
+    Attributes
+    ----------
+    sensors:
+        Sensors whose magnitude windows are featurised (default: the paper's
+        accelerometer + gyroscope selection).
+    time_features:
+        Time-domain statistics to include.
+    frequency_features:
+        Frequency-domain statistics to include.
+    devices:
+        Devices whose vectors are concatenated, in order.
+    """
+
+    sensors: tuple[SensorType, ...] = SELECTED_SENSORS
+    time_features: tuple[str, ...] = SELECTED_TIME_DOMAIN_FEATURES
+    frequency_features: tuple[str, ...] = SELECTED_FREQUENCY_DOMAIN_FEATURES
+    devices: tuple[DeviceType, ...] = (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH)
+
+    @property
+    def features(self) -> tuple[str, ...]:
+        """Per-sensor feature names in extraction order."""
+        return self.time_features + self.frequency_features
+
+    @property
+    def dimension(self) -> int:
+        """Total dimensionality of the assembled vector."""
+        return len(self.features) * len(self.sensors) * len(self.devices)
+
+    def feature_names(self) -> list[str]:
+        """Fully qualified names, e.g. ``smartphone.accelerometer.mean``."""
+        names = []
+        for device in self.devices:
+            for sensor in self.sensors:
+                for feature in self.features:
+                    names.append(f"{device.value}.{sensor.value}.{feature}")
+        return names
+
+    def phone_only(self) -> "FeatureVectorSpec":
+        """A copy of the spec restricted to the smartphone."""
+        return FeatureVectorSpec(
+            sensors=self.sensors,
+            time_features=self.time_features,
+            frequency_features=self.frequency_features,
+            devices=(DeviceType.SMARTPHONE,),
+        )
+
+    def watch_only(self) -> "FeatureVectorSpec":
+        """A copy of the spec restricted to the smartwatch."""
+        return FeatureVectorSpec(
+            sensors=self.sensors,
+            time_features=self.time_features,
+            frequency_features=self.frequency_features,
+            devices=(DeviceType.SMARTWATCH,),
+        )
+
+
+@dataclass
+class FeatureMatrix:
+    """A matrix of per-window feature vectors with their provenance.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(n_windows, n_features)``.
+    feature_names:
+        Column labels matching ``values``.
+    user_ids:
+        Per-row user identifier.
+    contexts:
+        Per-row coarse context label (``"stationary"`` / ``"moving"``).
+    """
+
+    values: np.ndarray
+    feature_names: list[str]
+    user_ids: list[str] = field(default_factory=list)
+    contexts: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {self.values.shape}")
+        if self.values.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"values has {self.values.shape[1]} columns but "
+                f"{len(self.feature_names)} feature names were given"
+            )
+        for name, labels in (("user_ids", self.user_ids), ("contexts", self.contexts)):
+            if labels and len(labels) != len(self.values):
+                raise ValueError(f"{name} must have one entry per row")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[1]
+
+    def column(self, feature_name: str) -> np.ndarray:
+        """Return the column for *feature_name*."""
+        try:
+            index = self.feature_names.index(feature_name)
+        except ValueError as exc:
+            raise KeyError(f"unknown feature {feature_name!r}") from exc
+        return self.values[:, index]
+
+    def rows_for_user(self, user_id: str) -> np.ndarray:
+        """Return the sub-matrix of rows belonging to *user_id*."""
+        if not self.user_ids:
+            raise RuntimeError("this FeatureMatrix carries no user labels")
+        mask = np.array([uid == user_id for uid in self.user_ids])
+        return self.values[mask]
+
+    def concatenate(self, other: "FeatureMatrix") -> "FeatureMatrix":
+        """Stack another matrix with identical columns below this one."""
+        if self.feature_names != other.feature_names:
+            raise ValueError("cannot concatenate matrices with different feature columns")
+        return FeatureMatrix(
+            values=np.vstack([self.values, other.values]),
+            feature_names=list(self.feature_names),
+            user_ids=list(self.user_ids) + list(other.user_ids),
+            contexts=list(self.contexts) + list(other.contexts),
+        )
+
+
+def extract_sensor_features(
+    window: Window,
+    time_features: tuple[str, ...] = SELECTED_TIME_DOMAIN_FEATURES,
+    frequency_features: tuple[str, ...] = SELECTED_FREQUENCY_DOMAIN_FEATURES,
+) -> dict[str, float]:
+    """Compute the per-sensor feature dictionary ``SP_i(k)`` for one window."""
+    values = time_domain_features(window.magnitude, features=time_features)
+    values.update(
+        frequency_domain_features(
+            window.magnitude, window.sampling_rate, features=frequency_features
+        )
+    )
+    return values
+
+
+def extract_device_vector(
+    recording: MultiSensorRecording,
+    window_seconds: float,
+    spec: FeatureVectorSpec | None = None,
+    overlap: float = 0.0,
+) -> FeatureMatrix:
+    """Extract the per-window device vector ``SP(k)`` (or ``SW(k)``).
+
+    The recording's own device determines whether the result plays the role
+    of the smartphone or smartwatch vector.
+    """
+    spec = spec or FeatureVectorSpec()
+    windows = segment_recording(
+        recording, window_seconds, sensors=spec.sensors, overlap=overlap
+    )
+    names = [
+        f"{recording.device.value}.{sensor.value}.{feature}"
+        for sensor in spec.sensors
+        for feature in spec.features
+    ]
+    rows = []
+    for aligned in windows:
+        row: list[float] = []
+        for sensor in spec.sensors:
+            features = extract_sensor_features(
+                aligned[sensor],
+                time_features=spec.time_features,
+                frequency_features=spec.frequency_features,
+            )
+            row.extend(features[name] for name in spec.features)
+        rows.append(row)
+    values = np.asarray(rows, dtype=float) if rows else np.empty((0, len(names)))
+    return FeatureMatrix(
+        values=values,
+        feature_names=names,
+        user_ids=[recording.user_id] * len(rows),
+        contexts=[recording.coarse_context.value] * len(rows),
+    )
+
+
+def extract_authentication_matrix(
+    recordings: dict[DeviceType, MultiSensorRecording],
+    window_seconds: float,
+    spec: FeatureVectorSpec | None = None,
+    overlap: float = 0.0,
+) -> FeatureMatrix:
+    """Assemble the authentication matrix ``Authenticate(k) = [SP(k), SW(k)]``.
+
+    Parameters
+    ----------
+    recordings:
+        Mapping from device type to that device's simultaneous recording.
+        Only the devices listed in ``spec.devices`` are used; they must all be
+        present.
+    window_seconds:
+        Analysis window length in seconds.
+    spec:
+        Feature-vector specification (defaults to the paper's 28-dimension
+        two-device configuration).
+    overlap:
+        Fractional overlap between consecutive windows.
+    """
+    spec = spec or FeatureVectorSpec()
+    missing = [device for device in spec.devices if device not in recordings]
+    if missing:
+        raise KeyError(
+            f"recordings missing for devices: {[device.value for device in missing]}"
+        )
+    per_device = [
+        extract_device_vector(recordings[device], window_seconds, spec=spec, overlap=overlap)
+        for device in spec.devices
+    ]
+    n_windows = min(len(matrix) for matrix in per_device)
+    values = (
+        np.hstack([matrix.values[:n_windows] for matrix in per_device])
+        if n_windows
+        else np.empty((0, spec.dimension))
+    )
+    reference = recordings[spec.devices[0]]
+    return FeatureMatrix(
+        values=values,
+        feature_names=spec.feature_names(),
+        user_ids=[reference.user_id] * n_windows,
+        contexts=[reference.coarse_context.value] * n_windows,
+    )
+
+
+def feature_names(spec: FeatureVectorSpec | None = None) -> list[str]:
+    """Fully qualified feature names for *spec* (default paper configuration)."""
+    return (spec or FeatureVectorSpec()).feature_names()
+
+
+def stack_matrices(matrices: Iterable[FeatureMatrix]) -> FeatureMatrix:
+    """Stack an iterable of compatible feature matrices into one."""
+    matrices = list(matrices)
+    if not matrices:
+        raise ValueError("need at least one matrix to stack")
+    result = matrices[0]
+    for matrix in matrices[1:]:
+        result = result.concatenate(matrix)
+    return result

@@ -1,0 +1,65 @@
+"""Machine-learning substrate implemented from scratch on NumPy.
+
+The paper compares kernel ridge regression (its chosen classifier), SVM,
+linear regression and naive Bayes for authentication (Table VI), and uses a
+random forest for user-agnostic context detection (Table V).  None of these
+may be imported from scikit-learn in this environment, so the package
+provides complete implementations with a small, sklearn-like API:
+``fit(X, y)``, ``predict(X)``, ``decision_function(X)`` /
+``predict_proba(X)`` where meaningful.
+"""
+
+from repro.ml.base import BaseClassifier, NotFittedError, clone
+from repro.ml.preprocessing import StandardScaler, MinMaxScaler, LabelEncoder
+from repro.ml.kernels import linear_kernel, rbf_kernel, polynomial_kernel, resolve_kernel
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+from repro.ml.linear import LinearRegressionClassifier, LogisticRegressionClassifier
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.model_selection import KFold, StratifiedKFold, cross_validate, train_test_split
+from repro.ml.metrics import (
+    AuthenticationMetrics,
+    accuracy_score,
+    confusion_matrix,
+    equal_error_rate,
+    false_accept_rate,
+    false_reject_rate,
+    authentication_metrics,
+    roc_curve,
+)
+
+__all__ = [
+    "BaseClassifier",
+    "NotFittedError",
+    "clone",
+    "StandardScaler",
+    "MinMaxScaler",
+    "LabelEncoder",
+    "linear_kernel",
+    "rbf_kernel",
+    "polynomial_kernel",
+    "resolve_kernel",
+    "KernelRidgeClassifier",
+    "LinearRegressionClassifier",
+    "LogisticRegressionClassifier",
+    "LinearSVMClassifier",
+    "GaussianNaiveBayes",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "KFold",
+    "StratifiedKFold",
+    "cross_validate",
+    "train_test_split",
+    "AuthenticationMetrics",
+    "accuracy_score",
+    "confusion_matrix",
+    "equal_error_rate",
+    "false_accept_rate",
+    "false_reject_rate",
+    "authentication_metrics",
+    "roc_curve",
+]

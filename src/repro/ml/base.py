@@ -1,0 +1,107 @@
+"""Estimator base classes and shared plumbing for the ML substrate."""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_same_length
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/transform is called before fit."""
+
+
+class BaseEstimator:
+    """Minimal parameter-introspection base, modelled on the sklearn contract.
+
+    Subclasses store every constructor argument on an attribute with the same
+    name; :meth:`get_params` and :func:`clone` rely on that convention.
+    """
+
+    def get_params(self) -> dict[str, Any]:
+        """Return the constructor parameters of this estimator."""
+        signature = inspect.signature(type(self).__init__)
+        names = [name for name in signature.parameters if name != "self"]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set constructor parameters in place and return ``self``."""
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"unknown parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{key}={value!r}" for key, value in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of *estimator* with the same parameters."""
+    return type(estimator)(**copy.deepcopy(estimator.get_params()))
+
+
+class BaseClassifier(BaseEstimator):
+    """Shared input validation and label bookkeeping for classifiers."""
+
+    classes_: np.ndarray | None = None
+
+    def _validate_fit_inputs(
+        self, X: Any, y: Any, min_classes: int = 2
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and canonicalise training inputs.
+
+        *min_classes* is 2 for ordinary classifiers; tree learners inside a
+        bagging ensemble pass 1 because a bootstrap resample may contain a
+        single class.
+        """
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y)
+        if y.ndim != 1:
+            raise ValueError(f"y must be one-dimensional, got shape {y.shape}")
+        check_same_length(X, y)
+        classes = np.unique(y)
+        if len(classes) < min_classes:
+            raise ValueError(
+                f"training data must contain at least {min_classes} classes"
+            )
+        self.classes_ = classes
+        return X, y
+
+    def _validate_predict_inputs(self, X: Any) -> np.ndarray:
+        """Validate prediction inputs and confirm the estimator is fitted."""
+        if self.classes_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+        X = check_array(X, "X", ndim=2)
+        expected = getattr(self, "n_features_in_", None)
+        if expected is not None and X.shape[1] != expected:
+            raise ValueError(
+                f"X has {X.shape[1]} features but the model was fitted with {expected}"
+            )
+        return X
+
+    def _encode_binary(self, y: np.ndarray) -> np.ndarray:
+        """Encode a two-class label vector to ``-1/+1`` (positive = classes_[1])."""
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise ValueError(f"{type(self).__name__} supports binary problems only")
+        return np.where(y == self.classes_[1], 1.0, -1.0)
+
+    def _decode_binary(self, scores: np.ndarray) -> np.ndarray:
+        """Map real-valued scores back to the original two labels."""
+        assert self.classes_ is not None
+        return np.where(scores >= 0.0, self.classes_[1], self.classes_[0])
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy of ``predict(X)`` against *y*."""
+        predictions = self.predict(X)  # type: ignore[attr-defined]
+        y = np.asarray(y)
+        check_same_length(predictions, y, "predictions, y")
+        return float(np.mean(predictions == y))

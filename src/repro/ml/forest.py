@@ -1,0 +1,115 @@
+"""Random forest classifier used for user-agnostic context detection.
+
+Section V-E trains a random forest on the smartphone feature vector to label
+each window *stationary* or *moving* before the per-context authenticator
+runs.  The forest here follows Breiman's recipe: bootstrap resampling per
+tree plus random feature sub-sampling per split, with majority voting over
+the trees' probability estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import RandomState, derive_rng
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bagged ensemble of randomised CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees in the forest.
+    max_depth:
+        Maximum depth of each tree.
+    min_samples_split / min_samples_leaf:
+        Passed through to every tree.
+    max_features:
+        Features examined per split; defaults to ``"sqrt"`` (Breiman's choice).
+    bootstrap:
+        Whether each tree trains on a bootstrap resample of the data.
+    random_state:
+        Seed controlling bootstraps and per-split feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.n_features_in_: int | None = None
+
+    def fit(self, X: Any, y: Any) -> "RandomForestClassifier":
+        """Fit every tree on its own bootstrap resample."""
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        X, y = self._validate_fit_inputs(X, y)
+        self.n_features_in_ = X.shape[1]
+        n_samples = len(X)
+        self.estimators_ = []
+        for index in range(self.n_estimators):
+            rng = derive_rng(self.random_state, "tree", index)
+            if self.bootstrap:
+                sample_indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample_indices = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=rng,
+            )
+            tree.fit(X[sample_indices], y[sample_indices])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Average of the member trees' class-probability estimates.
+
+        Trees whose bootstrap happened to miss a class entirely are aligned to
+        the forest's class vocabulary before averaging.
+        """
+        X = self._validate_predict_inputs(X)
+        if not self.estimators_:
+            raise RuntimeError("forest has no trees; fit() must be called first")
+        assert self.classes_ is not None
+        totals = np.zeros((len(X), len(self.classes_)))
+        class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(X)
+            assert tree.classes_ is not None
+            for tree_col, cls in enumerate(tree.classes_):
+                totals[:, class_index[cls]] += probabilities[:, tree_col]
+        return totals / len(self.estimators_)
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Majority-vote prediction over the ensemble."""
+        probabilities = self.predict_proba(X)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def decision_function(self, X: Any) -> np.ndarray:
+        """Binary-only score: P(positive) - P(negative)."""
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise ValueError("decision_function is only defined for binary problems")
+        probabilities = self.predict_proba(X)
+        return probabilities[:, 1] - probabilities[:, 0]

@@ -1,0 +1,71 @@
+"""Kernel functions for kernel ridge regression.
+
+The paper's complexity argument (Section V-H1) relies on the *identity*
+(linear) kernel: with a linear map the primal solution of Eq. 7 inverts an
+``M x M`` matrix (M = 28 features) instead of the ``N x N`` matrix (N = 720
+training windows) of the dual solution in Eq. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_positive
+
+#: Signature of a kernel: (X [n, d], Y [m, d]) -> Gram matrix [n, m].
+KernelFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Linear (identity feature map) kernel ``K = X Y^T``."""
+    X = check_array(X, "X", ndim=2)
+    Y = check_array(Y, "Y", ndim=2)
+    return X @ Y.T
+
+
+def rbf_kernel(X: np.ndarray, Y: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian radial-basis-function kernel ``exp(-gamma ||x - y||^2)``."""
+    check_positive(gamma, "gamma")
+    X = check_array(X, "X", ndim=2)
+    Y = check_array(Y, "Y", ndim=2)
+    x_norms = np.sum(X**2, axis=1)[:, np.newaxis]
+    y_norms = np.sum(Y**2, axis=1)[np.newaxis, :]
+    squared_distances = np.maximum(x_norms + y_norms - 2.0 * (X @ Y.T), 0.0)
+    return np.exp(-gamma * squared_distances)
+
+
+def polynomial_kernel(
+    X: np.ndarray, Y: np.ndarray, degree: int = 3, coef0: float = 1.0
+) -> np.ndarray:
+    """Polynomial kernel ``(x . y + coef0) ** degree``."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    X = check_array(X, "X", ndim=2)
+    Y = check_array(Y, "Y", ndim=2)
+    return (X @ Y.T + coef0) ** degree
+
+
+def resolve_kernel(kernel: str | KernelFunction, **kwargs: float) -> KernelFunction:
+    """Resolve a kernel name (``"linear"``, ``"rbf"``, ``"poly"``) or callable.
+
+    Keyword arguments are bound into the returned callable (e.g. ``gamma``).
+    """
+    if callable(kernel):
+        if kwargs:
+            return lambda X, Y: kernel(X, Y, **kwargs)  # type: ignore[misc]
+        return kernel
+    registry: dict[str, KernelFunction] = {
+        "linear": linear_kernel,
+        "identity": linear_kernel,
+        "rbf": rbf_kernel,
+        "poly": polynomial_kernel,
+        "polynomial": polynomial_kernel,
+    }
+    if kernel not in registry:
+        raise ValueError(f"unknown kernel {kernel!r}; available: {sorted(registry)}")
+    base = registry[kernel]
+    if kwargs:
+        return lambda X, Y: base(X, Y, **kwargs)
+    return base

@@ -1,0 +1,89 @@
+"""k-nearest-neighbours classifier (the baseline used by Nickel et al.).
+
+Included so the related-work comparison (Table I) and the extended classifier
+ablation can evaluate a k-NN authenticator alongside the paper's KRR.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Majority-vote k-NN with Euclidean distance.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours that vote for the prediction.
+    weights:
+        ``"uniform"`` for plain majority voting or ``"distance"`` for
+        inverse-distance weighting.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.X_fit_: np.ndarray | None = None
+        self.y_fit_: np.ndarray | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsClassifier":
+        """Store the training data (k-NN is a lazy learner)."""
+        if self.n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {self.n_neighbors}")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {self.weights!r}")
+        X, y = self._validate_fit_inputs(X, y)
+        if self.n_neighbors > len(X):
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds the number of training samples ({len(X)})"
+            )
+        self.X_fit_ = X
+        self.y_fit_ = y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _neighbor_votes(self, X: np.ndarray) -> np.ndarray:
+        """Per-row, per-class vote mass from the k nearest neighbours."""
+        assert self.X_fit_ is not None and self.y_fit_ is not None
+        assert self.classes_ is not None
+        x_norms = np.sum(X**2, axis=1)[:, np.newaxis]
+        fit_norms = np.sum(self.X_fit_**2, axis=1)[np.newaxis, :]
+        distances = np.sqrt(np.maximum(x_norms + fit_norms - 2.0 * X @ self.X_fit_.T, 0.0))
+        neighbor_indices = np.argsort(distances, axis=1)[:, : self.n_neighbors]
+        votes = np.zeros((len(X), len(self.classes_)))
+        class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        for row in range(len(X)):
+            for neighbor in neighbor_indices[row]:
+                weight = 1.0
+                if self.weights == "distance":
+                    weight = 1.0 / (distances[row, neighbor] + 1e-12)
+                votes[row, class_index[self.y_fit_[neighbor]]] += weight
+        return votes
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Normalised neighbour-vote fractions per class."""
+        X = self._validate_predict_inputs(X)
+        votes = self._neighbor_votes(X)
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return votes / totals
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predict the class with the largest neighbour vote."""
+        X = self._validate_predict_inputs(X)
+        votes = self._neighbor_votes(X)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(votes, axis=1)]
+
+    def decision_function(self, X: Any) -> np.ndarray:
+        """Binary-only score: vote fraction difference between the classes."""
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise ValueError("decision_function is only defined for binary problems")
+        probabilities = self.predict_proba(X)
+        return probabilities[:, 1] - probabilities[:, 0]

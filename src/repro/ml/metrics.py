@@ -1,0 +1,176 @@
+"""Evaluation metrics, including the paper's FAR / FRR / accuracy triple.
+
+Terminology follows Section V-F3:
+
+* **FRR** (false reject rate) — fraction of the *legitimate user's* windows
+  misclassified as someone else;
+* **FAR** (false accept rate) — fraction of *other users'* windows
+  misclassified as the legitimate user;
+* **accuracy** — overall fraction of correctly classified windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_same_length
+
+
+def accuracy_score(y_true: Sequence[Any], y_pred: Sequence[Any]) -> float:
+    """Fraction of predictions that match the true labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_same_length(y_true, y_pred, "y_true, y_pred")
+    if len(y_true) == 0:
+        raise ValueError("cannot compute accuracy of an empty set")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: Sequence[Any], y_pred: Sequence[Any], labels: Sequence[Any] | None = None
+) -> tuple[np.ndarray, list[Any]]:
+    """Confusion matrix with rows = true labels, columns = predictions.
+
+    Returns the matrix together with the label order used for its axes.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_same_length(y_true, y_pred, "y_true, y_pred")
+    if labels is None:
+        labels = sorted(set(y_true) | set(y_pred), key=str)
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true, pred in zip(y_true, y_pred):
+        matrix[index[true], index[pred]] += 1
+    return matrix, labels
+
+
+def false_reject_rate(
+    y_true: Sequence[Any], y_pred: Sequence[Any], positive_label: Any
+) -> float:
+    """Fraction of genuine (positive) samples rejected as impostors."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_same_length(y_true, y_pred, "y_true, y_pred")
+    genuine = y_true == positive_label
+    if not genuine.any():
+        raise ValueError("no genuine samples present; FRR is undefined")
+    return float(np.mean(y_pred[genuine] != positive_label))
+
+
+def false_accept_rate(
+    y_true: Sequence[Any], y_pred: Sequence[Any], positive_label: Any
+) -> float:
+    """Fraction of impostor (negative) samples accepted as genuine."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_same_length(y_true, y_pred, "y_true, y_pred")
+    impostor = y_true != positive_label
+    if not impostor.any():
+        raise ValueError("no impostor samples present; FAR is undefined")
+    return float(np.mean(y_pred[impostor] == positive_label))
+
+
+@dataclass(frozen=True)
+class AuthenticationMetrics:
+    """The FRR / FAR / accuracy triple reported throughout the paper.
+
+    Attributes
+    ----------
+    frr:
+        False reject rate in ``[0, 1]``.
+    far:
+        False accept rate in ``[0, 1]``.
+    accuracy:
+        Overall accuracy in ``[0, 1]``.
+    n_genuine / n_impostor:
+        Sample counts behind the estimates.
+    """
+
+    frr: float
+    far: float
+    accuracy: float
+    n_genuine: int
+    n_impostor: int
+
+    def as_percentages(self) -> dict[str, float]:
+        """The three headline numbers expressed as percentages."""
+        return {
+            "FRR%": 100.0 * self.frr,
+            "FAR%": 100.0 * self.far,
+            "Accuracy%": 100.0 * self.accuracy,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"FRR {100.0 * self.frr:.1f}%  FAR {100.0 * self.far:.1f}%  "
+            f"accuracy {100.0 * self.accuracy:.1f}%"
+        )
+
+
+def authentication_metrics(
+    y_true: Sequence[Any], y_pred: Sequence[Any], positive_label: Any
+) -> AuthenticationMetrics:
+    """Compute the FRR / FAR / accuracy triple for one evaluation."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return AuthenticationMetrics(
+        frr=false_reject_rate(y_true, y_pred, positive_label),
+        far=false_accept_rate(y_true, y_pred, positive_label),
+        accuracy=accuracy_score(y_true, y_pred),
+        n_genuine=int(np.sum(y_true == positive_label)),
+        n_impostor=int(np.sum(y_true != positive_label)),
+    )
+
+
+def roc_curve(
+    y_true: Sequence[Any], scores: Sequence[float], positive_label: Any
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve from continuous decision scores.
+
+    Returns
+    -------
+    (far, tpr, thresholds):
+        False-accept rates, true-accept rates and the score thresholds, sorted
+        by decreasing threshold.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    check_same_length(y_true, scores, "y_true, scores")
+    genuine = y_true == positive_label
+    n_genuine = int(genuine.sum())
+    n_impostor = int((~genuine).sum())
+    if n_genuine == 0 or n_impostor == 0:
+        raise ValueError("ROC requires both genuine and impostor samples")
+    order = np.argsort(scores)[::-1]
+    sorted_genuine = genuine[order]
+    thresholds = scores[order]
+    true_accepts = np.cumsum(sorted_genuine)
+    false_accepts = np.cumsum(~sorted_genuine)
+    tpr = true_accepts / n_genuine
+    far = false_accepts / n_impostor
+    return far, tpr, thresholds
+
+
+def equal_error_rate(
+    y_true: Sequence[Any], scores: Sequence[float], positive_label: Any
+) -> float:
+    """Equal error rate: the operating point where FAR equals FRR."""
+    far, tpr, _ = roc_curve(y_true, scores, positive_label)
+    frr = 1.0 - tpr
+    gap = np.abs(far - frr)
+    best = int(np.argmin(gap))
+    return float(0.5 * (far[best] + frr[best]))
+
+
+def area_under_curve(x: Sequence[float], y: Sequence[float]) -> float:
+    """Trapezoidal area under a curve given by sorted x and y values."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    check_same_length(x, y, "x, y")
+    order = np.argsort(x)
+    return float(np.trapezoid(y[order], x[order]))

@@ -1,0 +1,216 @@
+"""Cross-validation and data-splitting utilities.
+
+The paper evaluates every configuration with 10-fold cross-validation
+repeated many times and averaged (Section V-A); these helpers provide the
+splitting machinery for that protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, clone
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_array, check_same_length
+
+
+class KFold:
+    """Plain k-fold splitter with optional shuffling.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (the paper uses 10).
+    shuffle:
+        Whether to shuffle sample indices before splitting.
+    random_state:
+        Seed for the shuffle.
+    """
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, random_state: RandomState = None) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: Sequence[Any]) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` for each fold."""
+        n_samples = len(X)
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            ensure_rng(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        current = 0
+        for fold_size in fold_sizes:
+            test_indices = indices[current : current + fold_size]
+            train_indices = np.concatenate(
+                [indices[:current], indices[current + fold_size :]]
+            )
+            yield train_indices, test_indices
+            current += fold_size
+
+
+class StratifiedKFold:
+    """k-fold splitter that preserves the class balance in every fold."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, random_state: RandomState = None) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(
+        self, X: Sequence[Any], y: Sequence[Any]
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield stratified ``(train_indices, test_indices)`` pairs."""
+        check_same_length(X, y)
+        y = np.asarray(y)
+        rng = ensure_rng(self.random_state)
+        classes = np.unique(y)
+        smallest = min(int(np.sum(y == cls)) for cls in classes)
+        if smallest < self.n_splits:
+            raise ValueError(
+                f"the smallest class has {smallest} samples which is fewer than "
+                f"n_splits={self.n_splits}"
+            )
+        # Assign each sample of each class a fold id in round-robin order.
+        fold_of = np.empty(len(y), dtype=int)
+        for cls in classes:
+            class_indices = np.flatnonzero(y == cls)
+            if self.shuffle:
+                rng.shuffle(class_indices)
+            fold_of[class_indices] = np.arange(len(class_indices)) % self.n_splits
+        all_indices = np.arange(len(y))
+        for fold in range(self.n_splits):
+            test_mask = fold_of == fold
+            yield all_indices[~test_mask], all_indices[test_mask]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.1,
+    stratify: bool = True,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    X, y:
+        Features and labels of equal length.
+    test_size:
+        Fraction of samples placed in the test split (0 < test_size < 1).
+    stratify:
+        Whether to keep the class proportions equal in both splits.
+    random_state:
+        Seed for the shuffling.
+    """
+    X = check_array(X, "X", ndim=2)
+    y = np.asarray(y)
+    check_same_length(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    rng = ensure_rng(random_state)
+    if stratify:
+        test_indices_parts = []
+        for cls in np.unique(y):
+            class_indices = np.flatnonzero(y == cls)
+            rng.shuffle(class_indices)
+            n_test = max(1, int(round(test_size * len(class_indices))))
+            test_indices_parts.append(class_indices[:n_test])
+        test_indices = np.concatenate(test_indices_parts)
+    else:
+        indices = np.arange(len(y))
+        rng.shuffle(indices)
+        n_test = max(1, int(round(test_size * len(y))))
+        test_indices = indices[:n_test]
+    test_mask = np.zeros(len(y), dtype=bool)
+    test_mask[test_indices] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+@dataclass
+class CrossValidationResult:
+    """Aggregated scores of one cross-validation run.
+
+    Attributes
+    ----------
+    fold_scores:
+        Mapping from metric name to the per-fold values.
+    """
+
+    fold_scores: dict[str, list[float]] = field(default_factory=dict)
+
+    def mean(self, metric: str) -> float:
+        """Mean of *metric* over all folds."""
+        return float(np.mean(self.fold_scores[metric]))
+
+    def std(self, metric: str) -> float:
+        """Standard deviation of *metric* over all folds."""
+        return float(np.std(self.fold_scores[metric]))
+
+    def summary(self) -> dict[str, float]:
+        """Mean of every recorded metric."""
+        return {metric: self.mean(metric) for metric in self.fold_scores}
+
+
+def cross_validate(
+    estimator: BaseClassifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    n_repeats: int = 1,
+    scorers: dict[str, Callable[[np.ndarray, np.ndarray], float]] | None = None,
+    random_state: RandomState = None,
+) -> CrossValidationResult:
+    """Repeated stratified k-fold cross-validation of a classifier.
+
+    Parameters
+    ----------
+    estimator:
+        An unfitted classifier; it is cloned for every fold.
+    X, y:
+        Feature matrix and labels.
+    n_splits:
+        Folds per repetition (paper default 10).
+    n_repeats:
+        Number of repetitions with different shuffles (the paper repeats the
+        10-fold protocol and averages).
+    scorers:
+        Mapping from metric name to ``scorer(y_true, y_pred) -> float``;
+        defaults to accuracy only.
+    random_state:
+        Seed controlling all shuffles.
+    """
+    from repro.ml.metrics import accuracy_score  # local import to avoid a cycle
+
+    X = check_array(X, "X", ndim=2)
+    y = np.asarray(y)
+    check_same_length(X, y)
+    if n_repeats < 1:
+        raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    scorers = scorers or {"accuracy": accuracy_score}
+    result = CrossValidationResult(fold_scores={name: [] for name in scorers})
+    rng = ensure_rng(random_state)
+    for _ in range(n_repeats):
+        splitter = StratifiedKFold(
+            n_splits=n_splits, shuffle=True, random_state=int(rng.integers(0, 2**31 - 1))
+        )
+        for train_indices, test_indices in splitter.split(X, y):
+            model = clone(estimator)
+            model.fit(X[train_indices], y[train_indices])
+            predictions = model.predict(X[test_indices])
+            for name, scorer in scorers.items():
+                result.fold_scores[name].append(float(scorer(y[test_indices], predictions)))
+    return result

@@ -1,0 +1,116 @@
+"""Feature scaling and label encoding used ahead of the classifiers."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, NotFittedError
+from repro.utils.validation import check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features are left unscaled (their variance floor is 1) so that
+    degenerate sensor channels do not produce NaNs downstream.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: Any) -> "StandardScaler":
+        """Learn per-feature means and standard deviations."""
+        X = check_array(X, "X", ndim=2)
+        self.mean_ = np.mean(X, axis=0)
+        scale = np.std(X, axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted yet")
+        X = check_array(X, "X", ndim=2)
+        if X.shape[1] != len(self.mean_):
+            raise ValueError(
+                f"X has {X.shape[1]} features but the scaler was fitted with {len(self.mean_)}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: Any) -> np.ndarray:
+        """Fit the scaler and immediately transform *X*."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        """Undo the standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted yet")
+        X = check_array(X, "X", ndim=2)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features into ``[0, 1]`` based on the training range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: Any) -> "MinMaxScaler":
+        """Learn per-feature minima and ranges."""
+        X = check_array(X, "X", ndim=2)
+        self.min_ = np.min(X, axis=0)
+        value_range = np.max(X, axis=0) - self.min_
+        value_range[value_range == 0.0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        """Apply the learned min-max scaling."""
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted yet")
+        X = check_array(X, "X", ndim=2)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: Any) -> np.ndarray:
+        """Fit the scaler and immediately transform *X*."""
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder(BaseEstimator):
+    """Encode arbitrary hashable labels as consecutive integers."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, labels: Sequence[Any]) -> "LabelEncoder":
+        """Learn the label vocabulary (sorted for determinism)."""
+        self.classes_ = np.array(sorted(set(labels), key=str), dtype=object)
+        return self
+
+    def transform(self, labels: Sequence[Any]) -> np.ndarray:
+        """Map labels to their integer codes."""
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder is not fitted yet")
+        lookup = {label: index for index, label in enumerate(self.classes_)}
+        try:
+            return np.array([lookup[label] for label in labels], dtype=int)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, labels: Sequence[Any]) -> np.ndarray:
+        """Fit the encoder and immediately transform *labels*."""
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, codes: Sequence[int]) -> np.ndarray:
+        """Map integer codes back to the original labels."""
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder is not fitted yet")
+        codes = np.asarray(codes, dtype=int)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
+            raise ValueError("codes contain values outside the learned vocabulary")
+        return self.classes_[codes]

@@ -1,0 +1,209 @@
+"""CART decision tree, the building block of the context-detection forest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class _Node:
+    """One node of the decision tree.
+
+    A leaf stores the class-probability vector; an internal node stores the
+    split feature/threshold and its two children.
+    """
+
+    prediction: np.ndarray | None = None
+    feature: int | None = None
+    threshold: float | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+
+def _gini(class_counts: np.ndarray) -> float:
+    """Gini impurity of a node with the given per-class counts."""
+    total = class_counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = class_counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Classification tree grown with greedy Gini-impurity splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` grows until pure or *min_samples_split*).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples allowed in a leaf.
+    max_features:
+        Number of features examined per split: ``None`` (all), ``"sqrt"`` or
+        an integer.  Randomised selection is what decorrelates forest members.
+    random_state:
+        Seed for the feature sub-sampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.root_: _Node | None = None
+        self.n_features_in_: int | None = None
+        self.n_nodes_: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, (int, np.integer)):
+            if not 1 <= int(self.max_features) <= n_features:
+                raise ValueError(
+                    f"max_features must be in [1, {n_features}], got {self.max_features}"
+                )
+            return int(self.max_features)
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+    def _class_counts(self, y_codes: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        return np.bincount(y_codes, minlength=len(self.classes_)).astype(float)
+
+    def _best_split(
+        self, X: np.ndarray, y_codes: np.ndarray, feature_indices: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Find the (feature, threshold) pair with the lowest weighted Gini."""
+        parent_counts = self._class_counts(y_codes)
+        parent_impurity = _gini(parent_counts)
+        n_samples = len(y_codes)
+        best: tuple[int, float, float] | None = None
+        best_score = parent_impurity - 1e-12
+        for feature in feature_indices:
+            values = X[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_codes = y_codes[order]
+            left_counts = np.zeros_like(parent_counts)
+            right_counts = parent_counts.copy()
+            for index in range(1, n_samples):
+                code = sorted_codes[index - 1]
+                left_counts[code] += 1
+                right_counts[code] -= 1
+                if sorted_values[index] == sorted_values[index - 1]:
+                    continue
+                n_left, n_right = index, n_samples - index
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                score = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n_samples
+                if score < best_score:
+                    best_score = score
+                    threshold = 0.5 * (sorted_values[index] + sorted_values[index - 1])
+                    best = (int(feature), float(threshold), float(score))
+        return best
+
+    def _grow(
+        self,
+        X: np.ndarray,
+        y_codes: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        self.n_nodes_ += 1
+        counts = self._class_counts(y_codes)
+        probabilities = counts / counts.sum()
+        should_stop = (
+            len(y_codes) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.max(probabilities) == 1.0
+        )
+        if should_stop:
+            return _Node(prediction=probabilities)
+        n_features = X.shape[1]
+        n_candidates = self._resolve_max_features(n_features)
+        if n_candidates < n_features:
+            feature_indices = rng.choice(n_features, size=n_candidates, replace=False)
+        else:
+            feature_indices = np.arange(n_features)
+        split = self._best_split(X, y_codes, feature_indices)
+        if split is None:
+            return _Node(prediction=probabilities)
+        feature, threshold, _ = split
+        left_mask = X[:, feature] <= threshold
+        right_mask = ~left_mask
+        if not left_mask.any() or not right_mask.any():
+            return _Node(prediction=probabilities)
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(X[left_mask], y_codes[left_mask], depth + 1, rng),
+            right=self._grow(X[right_mask], y_codes[right_mask], depth + 1, rng),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, X: Any, y: Any) -> "DecisionTreeClassifier":
+        """Grow the tree on the training data."""
+        if self.min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {self.min_samples_split}")
+        if self.min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}")
+        # A tree inside a bagging ensemble may legitimately see a single class
+        # in its bootstrap resample, so only one class is required here.
+        X, y = self._validate_fit_inputs(X, y, min_classes=1)
+        self.n_features_in_ = X.shape[1]
+        assert self.classes_ is not None
+        code_lookup = {cls: index for index, cls in enumerate(self.classes_)}
+        y_codes = np.array([code_lookup[label] for label in y], dtype=int)
+        rng = ensure_rng(self.random_state)
+        self.n_nodes_ = 0
+        self.root_ = self._grow(X, y_codes, depth=0, rng=rng)
+        return self
+
+    def _traverse(self, row: np.ndarray) -> np.ndarray:
+        node = self.root_
+        assert node is not None
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        assert node.prediction is not None
+        return node.prediction
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Leaf class-probability vector for every row of *X*."""
+        X = self._validate_predict_inputs(X)
+        if self.root_ is None:
+            raise RuntimeError("tree has no root; fit() must be called first")
+        return np.vstack([self._traverse(row) for row in X])
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predict the majority class of the reached leaf per row."""
+        probabilities = self.predict_proba(X)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probabilities, axis=1)]

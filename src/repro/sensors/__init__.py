@@ -1,0 +1,50 @@
+"""Sensor substrate: synthetic 50 Hz motion-sensor streams for phone and watch.
+
+The paper collects accelerometer, gyroscope, magnetometer, orientation and
+light readings from 35 participants carrying a Nexus 5 and a Moto 360.  This
+package replaces the human study with a parametric behaviour model: each
+synthetic user owns a :class:`~repro.sensors.behavior.BehaviorProfile` whose
+parameters (gait frequency and amplitude, grip tremor spectrum, posture bias,
+environmental exposure) drive physics-inspired signal generators under each
+usage context.  Inter-user parameter variation is large relative to intra-user
+noise, which is the property the paper's entire evaluation rests on.
+"""
+
+from repro.sensors.types import (
+    Context,
+    CoarseContext,
+    DeviceType,
+    SensorReading,
+    SensorStream,
+    SensorType,
+    MultiSensorRecording,
+)
+from repro.sensors.behavior import BehaviorProfile, DeviceCarryStyle, sample_profile
+from repro.sensors.noise import GaussianNoise, BiasDrift, SpikeNoise, CompositeNoise
+from repro.sensors.generators import SensorStreamGenerator, generate_recording
+from repro.sensors.drift import BehaviorDriftModel, drift_profile
+from repro.sensors.sampling import resample_uniform, decimate, window_starts
+
+__all__ = [
+    "Context",
+    "CoarseContext",
+    "DeviceType",
+    "SensorReading",
+    "SensorStream",
+    "SensorType",
+    "MultiSensorRecording",
+    "BehaviorProfile",
+    "DeviceCarryStyle",
+    "sample_profile",
+    "GaussianNoise",
+    "BiasDrift",
+    "SpikeNoise",
+    "CompositeNoise",
+    "SensorStreamGenerator",
+    "generate_recording",
+    "BehaviorDriftModel",
+    "drift_profile",
+    "resample_uniform",
+    "decimate",
+    "window_starts",
+]

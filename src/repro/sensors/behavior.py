@@ -1,0 +1,298 @@
+"""Per-user behavioural profiles that parameterise the sensor generators.
+
+The paper's central premise is that "users' behavioural patterns are different
+from person to person, and vary under different usage contexts".  A
+:class:`BehaviorProfile` captures the stable, user-specific parameters that
+make that true in our simulation:
+
+* **gait**: stride frequency, per-axis amplitudes, harmonic structure and
+  phase offsets, which dominate accelerometer/gyroscope signals while walking;
+* **grip**: tremor frequency and amplitude plus holding-angle bias, which
+  dominate the signals while the user holds the phone stationary;
+* **arm swing**: how strongly the wrist (smartwatch) amplifies or attenuates
+  the body motion relative to the phone in the pocket/hand;
+* **environment**: ambient light level and local magnetic field, which are
+  properties of the surroundings rather than the user and therefore carry very
+  little identity information (this is why the magnetometer, orientation and
+  light sensors earn low Fisher scores in Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+import numpy as np
+
+from repro.utils.rng import RandomState, derive_rng
+from repro.sensors.types import DeviceType
+
+
+class DeviceCarryStyle(str, Enum):
+    """How the user habitually carries or holds the smartphone."""
+
+    IN_HAND = "in_hand"
+    TROUSER_POCKET = "trouser_pocket"
+    BAG = "bag"
+
+
+@dataclass(frozen=True)
+class GaitParameters:
+    """Walking-dynamics parameters for one user.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Fundamental stride frequency (typical human range 1.4–2.4 Hz).
+    amplitude:
+        Per-axis acceleration amplitude of the fundamental, in m/s^2.
+    harmonic_weights:
+        Relative weights of the 2nd and 3rd harmonics (heel strike shape).
+    phase:
+        Per-axis phase offsets of the fundamental, in radians.
+    rotational_amplitude:
+        Per-axis angular-velocity amplitude (rad/s) seen by the gyroscope.
+    cadence_jitter:
+        Standard deviation of the cycle-to-cycle stride-frequency variation.
+    """
+
+    frequency_hz: float
+    amplitude: tuple[float, float, float]
+    harmonic_weights: tuple[float, float]
+    phase: tuple[float, float, float]
+    rotational_amplitude: tuple[float, float, float]
+    cadence_jitter: float
+
+
+@dataclass(frozen=True)
+class GripParameters:
+    """Fine-motor parameters governing how the user holds a device.
+
+    Attributes
+    ----------
+    tremor_frequency_hz:
+        Dominant physiological-tremor frequency (typically 8–12 Hz).
+    tremor_amplitude:
+        Acceleration amplitude of the tremor, in m/s^2.
+    micro_rotation:
+        Angular-velocity amplitude of wrist micro-adjustments, in rad/s.
+    hold_angle:
+        Mean device tilt (pitch, roll) in radians while in use.
+    adjustment_rate_hz:
+        How often the user re-adjusts their grip (burst events per second).
+    """
+
+    tremor_frequency_hz: float
+    tremor_amplitude: float
+    micro_rotation: float
+    hold_angle: tuple[float, float]
+    adjustment_rate_hz: float
+
+
+@dataclass(frozen=True)
+class EnvironmentParameters:
+    """Environmental conditions around the user (shared across users' ranges).
+
+    These affect the magnetometer, orientation and light sensors far more than
+    the user's own motion does, which is precisely why those sensors are poor
+    authenticators (Table II).
+    """
+
+    ambient_light_lux: float
+    light_variability: float
+    magnetic_field_ut: tuple[float, float, float]
+    magnetic_noise_ut: float
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """The complete behavioural fingerprint of one synthetic user.
+
+    Attributes
+    ----------
+    user_id:
+        Stable identifier for the user.
+    gait:
+        Walking-dynamics parameters.
+    grip:
+        Device-holding parameters.
+    environment:
+        Ambient conditions (low identity content by design).
+    arm_swing_gain:
+        Multiplier applied to body motion at the wrist (smartwatch).
+    watch_phase_lag:
+        Phase lag (radians) between wrist motion and body motion.
+    carry_style:
+        Habitual carrying style for the smartphone.
+    sensor_noise:
+        Standard deviation of white measurement noise added to the motion
+        sensors; models device quality plus incidental hand shake.
+    vehicle_sensitivity:
+        How strongly vehicle vibration couples into the user's hands.
+    """
+
+    user_id: str
+    gait: GaitParameters
+    grip: GripParameters
+    environment: EnvironmentParameters
+    arm_swing_gain: float
+    watch_phase_lag: float
+    carry_style: DeviceCarryStyle
+    sensor_noise: float
+    vehicle_sensitivity: float
+
+    def motion_gain(self, device: DeviceType) -> float:
+        """Gain applied to gross body motion for the given device."""
+        if device is DeviceType.SMARTWATCH:
+            return self.arm_swing_gain
+        if self.carry_style is DeviceCarryStyle.BAG:
+            return 0.65
+        if self.carry_style is DeviceCarryStyle.TROUSER_POCKET:
+            return 0.85
+        return 1.0
+
+    def phase_lag(self, device: DeviceType) -> float:
+        """Phase lag of the device's motion relative to the body."""
+        return self.watch_phase_lag if device is DeviceType.SMARTWATCH else 0.0
+
+    def with_user_id(self, user_id: str) -> "BehaviorProfile":
+        """Return a copy of the profile assigned to a different user id."""
+        return replace(self, user_id=user_id)
+
+
+def sample_gait(rng: np.random.Generator) -> GaitParameters:
+    """Draw gait parameters from population-level distributions."""
+    frequency = float(rng.uniform(1.4, 2.4))
+    vertical = float(rng.uniform(1.2, 3.6))
+    lateral = float(rng.uniform(0.4, 1.6))
+    forward = float(rng.uniform(0.8, 2.6))
+    return GaitParameters(
+        frequency_hz=frequency,
+        amplitude=(lateral, vertical, forward),
+        harmonic_weights=(float(rng.uniform(0.25, 0.65)), float(rng.uniform(0.05, 0.3))),
+        phase=tuple(float(p) for p in rng.uniform(0.0, 2.0 * np.pi, size=3)),
+        rotational_amplitude=(
+            float(rng.uniform(0.2, 1.2)),
+            float(rng.uniform(0.3, 1.8)),
+            float(rng.uniform(0.1, 0.9)),
+        ),
+        cadence_jitter=float(rng.uniform(0.01, 0.06)),
+    )
+
+
+def sample_grip(rng: np.random.Generator) -> GripParameters:
+    """Draw grip / fine-motor parameters from population-level distributions."""
+    return GripParameters(
+        tremor_frequency_hz=float(rng.uniform(8.0, 12.0)),
+        tremor_amplitude=float(rng.uniform(0.02, 0.16)),
+        micro_rotation=float(rng.uniform(0.01, 0.12)),
+        hold_angle=(float(rng.uniform(0.3, 1.1)), float(rng.uniform(-0.35, 0.35))),
+        adjustment_rate_hz=float(rng.uniform(0.05, 0.4)),
+    )
+
+
+def sample_environment(rng: np.random.Generator) -> EnvironmentParameters:
+    """Draw ambient-environment parameters.
+
+    The distributions intentionally overlap heavily between users so that the
+    environment-driven sensors carry little discriminative signal.
+    """
+    return EnvironmentParameters(
+        ambient_light_lux=float(rng.uniform(80.0, 600.0)),
+        light_variability=float(rng.uniform(30.0, 220.0)),
+        magnetic_field_ut=(
+            float(rng.normal(22.0, 6.0)),
+            float(rng.normal(5.0, 6.0)),
+            float(rng.normal(-42.0, 6.0)),
+        ),
+        magnetic_noise_ut=float(rng.uniform(1.5, 6.0)),
+    )
+
+
+def sample_profile(user_id: str, seed: RandomState = None) -> BehaviorProfile:
+    """Sample a complete behavioural profile for *user_id*.
+
+    The generator stream is derived from ``(seed, "profile", user_id)`` so a
+    population built from one top-level seed gives every user an independent
+    but reproducible profile.
+    """
+    rng = derive_rng(seed, "profile", user_id)
+    carry_style = DeviceCarryStyle(
+        rng.choice([style.value for style in DeviceCarryStyle], p=[0.5, 0.35, 0.15])
+    )
+    return BehaviorProfile(
+        user_id=user_id,
+        gait=sample_gait(rng),
+        grip=sample_grip(rng),
+        environment=sample_environment(rng),
+        arm_swing_gain=float(rng.uniform(1.1, 2.2)),
+        watch_phase_lag=float(rng.uniform(0.2, 1.2)),
+        carry_style=carry_style,
+        sensor_noise=float(rng.uniform(0.03, 0.1)),
+        vehicle_sensitivity=float(rng.uniform(0.4, 1.2)),
+    )
+
+
+@dataclass(frozen=True)
+class ProfileBlend:
+    """A convex combination of two profiles, used by mimicry attackers.
+
+    ``fidelity`` is the fraction of the victim's behaviour the attacker manages
+    to copy; the remainder stays the attacker's own.  The mimicry attacker in
+    Section V-G can copy the coarse motion (gait frequency, rough amplitude)
+    but not fine-grained dynamics (phases, tremor spectrum), so
+    :func:`blend_profiles` only interpolates the coarse parameters.
+    """
+
+    attacker: BehaviorProfile
+    victim: BehaviorProfile
+    fidelity: float
+
+
+def blend_profiles(blend: ProfileBlend) -> BehaviorProfile:
+    """Build the effective profile an imitating attacker exhibits.
+
+    Coarse, observable parameters (stride frequency, gross amplitudes, hold
+    angle) move toward the victim with weight ``fidelity``.  Fine-grained,
+    unobservable parameters (phases, tremor frequency, micro-rotation, cadence
+    jitter) remain the attacker's own, and imitation adds extra variability
+    through an inflated ``sensor_noise``.
+    """
+    if not 0.0 <= blend.fidelity <= 1.0:
+        raise ValueError(f"fidelity must be in [0, 1], got {blend.fidelity}")
+    a, v, w = blend.attacker, blend.victim, blend.fidelity
+
+    def lerp(x: float, y: float) -> float:
+        return float((1.0 - w) * x + w * y)
+
+    def lerp_tuple(xs: tuple[float, ...], ys: tuple[float, ...]) -> tuple[float, ...]:
+        return tuple(lerp(x, y) for x, y in zip(xs, ys))
+
+    gait = GaitParameters(
+        frequency_hz=lerp(a.gait.frequency_hz, v.gait.frequency_hz),
+        amplitude=lerp_tuple(a.gait.amplitude, v.gait.amplitude),
+        harmonic_weights=a.gait.harmonic_weights,
+        phase=a.gait.phase,
+        rotational_amplitude=lerp_tuple(
+            a.gait.rotational_amplitude, v.gait.rotational_amplitude
+        ),
+        cadence_jitter=a.gait.cadence_jitter + 0.02 * w,
+    )
+    grip = GripParameters(
+        tremor_frequency_hz=a.grip.tremor_frequency_hz,
+        tremor_amplitude=lerp(a.grip.tremor_amplitude, v.grip.tremor_amplitude),
+        micro_rotation=a.grip.micro_rotation,
+        hold_angle=lerp_tuple(a.grip.hold_angle, v.grip.hold_angle),
+        adjustment_rate_hz=a.grip.adjustment_rate_hz,
+    )
+    return BehaviorProfile(
+        user_id=f"{a.user_id}-as-{v.user_id}",
+        gait=gait,
+        grip=grip,
+        environment=v.environment,
+        arm_swing_gain=lerp(a.arm_swing_gain, v.arm_swing_gain),
+        watch_phase_lag=a.watch_phase_lag,
+        carry_style=v.carry_style,
+        sensor_noise=a.sensor_noise * (1.0 + 0.8 * w),
+        vehicle_sensitivity=a.vehicle_sensitivity,
+    )

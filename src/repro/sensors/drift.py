@@ -1,0 +1,185 @@
+"""Behavioural-drift model used by the retraining study (Section V-I, Fig. 7).
+
+The paper observes that a legitimate user's behaviour slowly changes over
+weeks, which lowers the confidence score of the deployed classifier and must
+eventually trigger retraining.  :class:`BehaviorDriftModel` produces, for any
+elapsed time, a perturbed copy of a base profile whose parameters have moved
+smoothly away from their enrolment-time values.
+
+What matters for the deployed classifier is that the user's *new* behaviour is
+less like the enrolled snapshot and therefore closer to the "other users"
+side of the decision boundary.  The model captures that with two components:
+
+* the user's distinguishing parameters (stride frequency and amplitude,
+  tremor amplitude, hold angle) regress slowly toward population-typical
+  values — new shoes, an injury that heals, seasonal clothing and plain habit
+  change all push behaviour toward the common range;
+* the user becomes somewhat less consistent relative to the old snapshot,
+  modelled as a slow growth of the incidental-motion noise.
+
+Together these erode the confidence score of a model trained on the old
+behaviour, exactly the effect Figure 7 relies on, while retraining on fresh
+data restores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.sensors.behavior import BehaviorProfile, GaitParameters, GripParameters
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.validation import check_positive
+
+#: Population-typical values the drifting parameters regress toward (the
+#: midpoints of the sampling ranges in :mod:`repro.sensors.behavior`).
+POPULATION_TYPICAL = {
+    "gait_frequency_hz": 1.9,
+    "gait_amplitude": (1.0, 2.4, 1.7),
+    "rotational_amplitude": (0.7, 1.05, 0.5),
+    "tremor_amplitude": 0.09,
+    "hold_angle": (0.7, 0.0),
+}
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """How fast each behavioural parameter drifts, per day of elapsed time.
+
+    ``*_rate`` values are the fraction of the gap to the population-typical
+    value closed per day; ``consistency_loss_rate`` is the relative growth of
+    behavioural inconsistency (incidental-motion noise) per day.
+    """
+
+    gait_frequency_rate: float = 0.02
+    gait_amplitude_rate: float = 0.03
+    tremor_amplitude_rate: float = 0.03
+    hold_angle_rate: float = 0.025
+    consistency_loss_rate: float = 0.0
+    daily_wobble: float = 0.01
+
+
+def _toward(value: float, target: float, fraction: float) -> float:
+    """Move *value* toward *target* by *fraction* of the gap (clamped to 1)."""
+    fraction = min(1.0, max(0.0, fraction))
+    return float(value + fraction * (target - value))
+
+
+class BehaviorDriftModel:
+    """Generates time-drifted versions of a behavioural profile.
+
+    Parameters
+    ----------
+    base_profile:
+        The profile captured at enrolment time.
+    schedule:
+        Per-parameter drift rates.
+    seed:
+        Seed controlling the daily wobble.
+    """
+
+    def __init__(
+        self,
+        base_profile: BehaviorProfile,
+        schedule: DriftSchedule | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        self.base_profile = base_profile
+        self.schedule = schedule or DriftSchedule()
+        self._seed = seed
+
+    def profile_at(self, elapsed_days: float) -> BehaviorProfile:
+        """Return the user's effective profile after *elapsed_days* of drift."""
+        if elapsed_days < 0:
+            raise ValueError(f"elapsed_days must be >= 0, got {elapsed_days}")
+        if elapsed_days == 0:
+            return self.base_profile
+        schedule = self.schedule
+        rng = derive_rng(
+            self._seed, "drift-day", self.base_profile.user_id, round(elapsed_days, 3)
+        )
+
+        def wobble() -> float:
+            return 1.0 + float(rng.normal(0.0, schedule.daily_wobble))
+
+        gait = self.base_profile.gait
+        target_amplitude = POPULATION_TYPICAL["gait_amplitude"]
+        target_rotation = POPULATION_TYPICAL["rotational_amplitude"]
+        drifted_gait = GaitParameters(
+            frequency_hz=_toward(
+                gait.frequency_hz,
+                POPULATION_TYPICAL["gait_frequency_hz"],
+                schedule.gait_frequency_rate * elapsed_days,
+            )
+            * wobble(),
+            amplitude=tuple(
+                _toward(value, target, schedule.gait_amplitude_rate * elapsed_days) * wobble()
+                for value, target in zip(gait.amplitude, target_amplitude)
+            ),
+            harmonic_weights=gait.harmonic_weights,
+            phase=gait.phase,
+            rotational_amplitude=tuple(
+                _toward(value, target, schedule.gait_amplitude_rate * elapsed_days)
+                for value, target in zip(gait.rotational_amplitude, target_rotation)
+            ),
+            cadence_jitter=gait.cadence_jitter,
+        )
+        grip = self.base_profile.grip
+        target_hold = POPULATION_TYPICAL["hold_angle"]
+        drifted_grip = GripParameters(
+            tremor_frequency_hz=grip.tremor_frequency_hz,
+            tremor_amplitude=_toward(
+                grip.tremor_amplitude,
+                POPULATION_TYPICAL["tremor_amplitude"],
+                schedule.tremor_amplitude_rate * elapsed_days,
+            )
+            * wobble(),
+            micro_rotation=grip.micro_rotation,
+            hold_angle=tuple(
+                _toward(value, target, schedule.hold_angle_rate * elapsed_days)
+                for value, target in zip(grip.hold_angle, target_hold)
+            ),
+            adjustment_rate_hz=grip.adjustment_rate_hz,
+        )
+        noise_scale = 1.0 + schedule.consistency_loss_rate * elapsed_days
+        return replace(
+            self.base_profile,
+            gait=drifted_gait,
+            grip=drifted_grip,
+            sensor_noise=self.base_profile.sensor_noise * noise_scale,
+        )
+
+    def divergence(self, elapsed_days: float) -> float:
+        """Scalar measure of how far the profile has drifted from its baseline.
+
+        Computed as the mean relative change of the drifting parameters; used
+        by tests to verify drift monotonicity.
+        """
+        drifted = self.profile_at(elapsed_days)
+        base = self.base_profile
+        terms = [
+            abs(drifted.gait.frequency_hz - base.gait.frequency_hz) / base.gait.frequency_hz,
+            float(
+                np.mean(
+                    [
+                        abs(d - b) / max(abs(b), 1e-9)
+                        for d, b in zip(drifted.gait.amplitude, base.gait.amplitude)
+                    ]
+                )
+            ),
+            abs(drifted.grip.tremor_amplitude - base.grip.tremor_amplitude)
+            / max(base.grip.tremor_amplitude, 1e-9),
+        ]
+        return float(np.mean(terms))
+
+
+def drift_profile(
+    profile: BehaviorProfile,
+    elapsed_days: float,
+    schedule: DriftSchedule | None = None,
+    seed: RandomState = None,
+) -> BehaviorProfile:
+    """One-shot helper: return *profile* drifted by *elapsed_days*."""
+    check_positive(elapsed_days, "elapsed_days", strict=False)
+    return BehaviorDriftModel(profile, schedule=schedule, seed=seed).profile_at(elapsed_days)

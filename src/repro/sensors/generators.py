@@ -1,0 +1,506 @@
+"""Physics-inspired generators turning behaviour profiles into sensor streams.
+
+The generator composes, per context:
+
+* **moving** — a quasi-periodic gait signal (fundamental plus two harmonics at
+  the user's stride frequency, per-axis amplitude/phase, cycle-to-cycle
+  cadence jitter) on the accelerometer, and the corresponding rotational
+  motion on the gyroscope;
+* **handheld static** — the user's physiological tremor plus sparse grip
+  re-adjustment bursts;
+* **on table** — only sensor noise and gravity (the device is at rest);
+* **vehicle** — broadband low-frequency vibration plus occasional bumps,
+  coupled through the user's ``vehicle_sensitivity``.
+
+The smartwatch sees the same underlying body motion scaled by the user's
+``arm_swing_gain`` and delayed by ``watch_phase_lag``, plus wrist-specific
+micro-motion, which makes the two devices correlated only weakly at the
+feature level (Table IV) while both remaining user-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensors.behavior import BehaviorProfile
+from repro.sensors.noise import default_environment_noise, default_motion_noise
+from repro.sensors.types import (
+    DEFAULT_SAMPLING_RATE_HZ,
+    Context,
+    DeviceType,
+    MultiSensorRecording,
+    SensorStream,
+    SensorType,
+)
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.validation import check_positive
+
+#: Standard gravity in m/s^2, used as the accelerometer baseline.
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """Specification of one stream-generation call."""
+
+    profile: BehaviorProfile
+    device: DeviceType
+    context: Context
+    duration: float
+    sampling_rate: float = DEFAULT_SAMPLING_RATE_HZ
+
+
+@dataclass(frozen=True)
+class SessionModifiers:
+    """Session-to-session variability applied on top of the stable profile.
+
+    Real users do not reproduce their behaviour exactly between sessions: they
+    walk a little faster or slower, hold the phone at a slightly different
+    angle, and find themselves in a different room, vehicle or lighting
+    condition.  These modifiers are drawn once per recording session; they
+    create the within-user variance that keeps authentication from being
+    trivially perfect, and they dominate the environment-driven sensors
+    (magnetometer / orientation / light), which is why those sensors carry so
+    little identity information (Table II).
+    """
+
+    gait_amplitude_scale: float
+    gait_frequency_scale: float
+    tremor_scale: float
+    hold_angle_offset: tuple[float, float]
+    ambient_light_lux: float
+    magnetic_field_ut: tuple[float, float, float]
+    heading_rad: float
+    orientation_reference_offset: tuple[float, float, float]
+
+
+class SensorStreamGenerator:
+    """Generates synthetic sensor streams for one user profile.
+
+    Parameters
+    ----------
+    profile:
+        The user's behavioural profile.
+    sampling_rate:
+        Sampling rate in Hz (the paper uses 50 Hz).
+    seed:
+        Seed or generator controlling all randomness of this generator.
+    """
+
+    def __init__(
+        self,
+        profile: BehaviorProfile,
+        sampling_rate: float = DEFAULT_SAMPLING_RATE_HZ,
+        seed: RandomState = None,
+    ) -> None:
+        self.profile = profile
+        self.sampling_rate = check_positive(sampling_rate, "sampling_rate")
+        self._seed = seed
+        self._session_counter = 0
+        # Set at the start of every generate() call; holds the session-level
+        # variability applied to this recording.
+        self._session: SessionModifiers | None = None
+
+    def _draw_session_modifiers(self, rng: np.random.Generator) -> SessionModifiers:
+        """Draw the session-to-session variability for one recording."""
+        return SessionModifiers(
+            gait_amplitude_scale=float(rng.lognormal(0.0, 0.18)),
+            gait_frequency_scale=float(1.0 + rng.normal(0.0, 0.035)),
+            tremor_scale=float(rng.lognormal(0.0, 0.2)),
+            hold_angle_offset=(float(rng.normal(0.0, 0.12)), float(rng.normal(0.0, 0.12))),
+            # Environmental conditions are properties of wherever the user
+            # happens to be, so they are drawn from global (user-independent)
+            # distributions per session.
+            ambient_light_lux=float(rng.uniform(30.0, 900.0)),
+            magnetic_field_ut=(
+                float(rng.normal(20.0, 12.0)),
+                float(rng.normal(5.0, 12.0)),
+                float(rng.normal(-40.0, 12.0)),
+            ),
+            heading_rad=float(rng.uniform(0.0, 2.0 * np.pi)),
+            # The fused orientation estimate re-anchors against the (session-
+            # specific) magnetic reference, so its zero point wanders far more
+            # than the physical hold angle does.
+            orientation_reference_offset=tuple(
+                float(value) for value in rng.normal(0.0, 0.7, size=3)
+            ),
+        )
+
+    @property
+    def _current_session(self) -> SessionModifiers:
+        if self._session is None:
+            raise RuntimeError("session modifiers accessed outside generate()")
+        return self._session
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def generate(
+        self,
+        device: DeviceType,
+        context: Context,
+        duration: float,
+        sensors: tuple[SensorType, ...] = tuple(SensorType),
+    ) -> MultiSensorRecording:
+        """Generate a multi-sensor recording of *duration* seconds.
+
+        Each call produces a new independent session (fresh random stream),
+        while the underlying behavioural parameters stay fixed.
+        """
+        check_positive(duration, "duration")
+        self._session_counter += 1
+        rng = derive_rng(
+            self._seed,
+            "session",
+            self.profile.user_id,
+            device.value,
+            context.value,
+            self._session_counter,
+        )
+        self._session = self._draw_session_modifiers(rng)
+        n_samples = max(1, int(round(duration * self.sampling_rate)))
+        timestamps = np.arange(n_samples) / self.sampling_rate
+
+        body_accel, body_gyro = self._body_motion(context, timestamps, rng)
+        gain = self.profile.motion_gain(device)
+        lag = self.profile.phase_lag(device)
+        accel = self._device_view(body_accel, gain, lag, rng)
+        gyro = self._device_view(body_gyro, gain, lag, rng)
+
+        if device is DeviceType.SMARTWATCH:
+            accel, gyro = self._add_wrist_motion(accel, gyro, context, timestamps, rng)
+
+        accel = self._add_gravity(accel, context)
+
+        streams: dict[SensorType, SensorStream] = {}
+        noise = default_motion_noise(self.profile.sensor_noise)
+        if SensorType.ACCELEROMETER in sensors:
+            streams[SensorType.ACCELEROMETER] = self._stream(
+                SensorType.ACCELEROMETER, device, timestamps,
+                accel + noise.sample(n_samples, 3, rng),
+            )
+        if SensorType.GYROSCOPE in sensors:
+            streams[SensorType.GYROSCOPE] = self._stream(
+                SensorType.GYROSCOPE, device, timestamps,
+                gyro + noise.sample(n_samples, 3, rng),
+            )
+        if SensorType.MAGNETOMETER in sensors:
+            streams[SensorType.MAGNETOMETER] = self._stream(
+                SensorType.MAGNETOMETER, device, timestamps,
+                self._magnetometer(context, timestamps, rng),
+            )
+        if SensorType.ORIENTATION in sensors:
+            streams[SensorType.ORIENTATION] = self._stream(
+                SensorType.ORIENTATION, device, timestamps,
+                self._orientation(context, gyro, timestamps, rng),
+            )
+        if SensorType.LIGHT in sensors:
+            streams[SensorType.LIGHT] = self._stream(
+                SensorType.LIGHT, device, timestamps,
+                self._light(context, timestamps, rng),
+            )
+        return MultiSensorRecording(
+            device=device,
+            user_id=self.profile.user_id,
+            context=context,
+            streams=streams,
+        )
+
+    # ------------------------------------------------------------------ #
+    # body-motion synthesis
+    # ------------------------------------------------------------------ #
+
+    def _body_motion(
+        self, context: Context, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Synthesize the gravity-free body acceleration and angular velocity."""
+        if context is Context.MOVING:
+            return self._gait_motion(timestamps, rng)
+        if context is Context.HANDHELD_STATIC:
+            return self._handheld_motion(timestamps, rng)
+        if context is Context.ON_TABLE:
+            n = len(timestamps)
+            return np.zeros((n, 3)), np.zeros((n, 3))
+        if context is Context.VEHICLE:
+            return self._vehicle_motion(timestamps, rng)
+        raise ValueError(f"unsupported context: {context}")
+
+    def _gait_motion(
+        self, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quasi-periodic walking signal with user-specific harmonics."""
+        gait = self.profile.gait
+        session = self._current_session
+        n = len(timestamps)
+        dt = 1.0 / self.sampling_rate
+        # Instantaneous frequency with cadence jitter (random walk around f0),
+        # further scaled by the session's pace.
+        freq = gait.frequency_hz * session.gait_frequency_scale * (
+            1.0 + gait.cadence_jitter * np.cumsum(rng.normal(0.0, dt, size=n))
+        )
+        phase = 2.0 * np.pi * np.cumsum(freq) * dt
+        accel = np.zeros((n, 3))
+        gyro = np.zeros((n, 3))
+        h2, h3 = gait.harmonic_weights
+        for axis in range(3):
+            base = phase + gait.phase[axis]
+            accel[:, axis] = gait.amplitude[axis] * session.gait_amplitude_scale * (
+                np.sin(base) + h2 * np.sin(2.0 * base) + h3 * np.sin(3.0 * base)
+            )
+            gyro[:, axis] = gait.rotational_amplitude[axis] * session.gait_amplitude_scale * (
+                np.sin(base + np.pi / 4.0) + h2 * np.sin(2.0 * base + np.pi / 6.0)
+            )
+        # Walking pace and vigour wax and wane slowly within a session, which
+        # makes window-level energy statistics (var, range, max, peaks) move
+        # together across windows, as in the paper's Table III.
+        envelope = self._energy_envelope(timestamps, rng)
+        accel *= envelope[:, np.newaxis]
+        gyro *= envelope[:, np.newaxis]
+        # Grip dynamics are still present while walking, at reduced amplitude.
+        tremor_accel, tremor_gyro = self._tremor(timestamps, rng, scale=0.4)
+        return accel + tremor_accel, gyro + tremor_gyro
+
+    def _handheld_motion(
+        self, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stationary-use signal: tremor, breathing sway and grip adjustments."""
+        n = len(timestamps)
+        tremor_accel, tremor_gyro = self._tremor(timestamps, rng, scale=1.0)
+        # Slow postural sway (breathing, small weight shifts) around 0.25 Hz.
+        sway_phase = 2.0 * np.pi * 0.25 * timestamps + rng.uniform(0.0, 2.0 * np.pi)
+        sway = 0.05 * np.stack(
+            [np.sin(sway_phase), np.sin(sway_phase * 1.3 + 1.0), np.cos(sway_phase)], axis=1
+        )
+        envelope = self._energy_envelope(timestamps, rng)
+        accel = (tremor_accel + sway) * envelope[:, np.newaxis]
+        gyro = (tremor_gyro + 0.2 * sway) * envelope[:, np.newaxis]
+        accel += self._grip_adjustments(n, rng)
+        return accel, gyro
+
+    def _energy_envelope(self, timestamps: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Slow multiplicative modulation of motion energy within a session."""
+        phase = 2.0 * np.pi * 0.02 * timestamps + rng.uniform(0.0, 2.0 * np.pi)
+        secondary = 2.0 * np.pi * 0.007 * timestamps + rng.uniform(0.0, 2.0 * np.pi)
+        return 1.0 + 0.18 * np.sin(phase) + 0.12 * np.sin(secondary)
+
+    def _vehicle_motion(
+        self, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vehicle vibration: band-limited noise plus sparse bumps."""
+        n = len(timestamps)
+        sensitivity = self.profile.vehicle_sensitivity
+        # Band-limited vibration: smooth white noise with a moving average.
+        raw = rng.normal(0.0, 0.35 * sensitivity, size=(n + 10, 3))
+        kernel = np.ones(10) / 10.0
+        vibration = np.stack(
+            [np.convolve(raw[:, axis], kernel, mode="valid")[:n] for axis in range(3)], axis=1
+        )
+        bumps = np.zeros((n, 3))
+        n_bumps = rng.poisson(max(1.0, len(timestamps) / self.sampling_rate / 15.0))
+        for _ in range(n_bumps):
+            start = rng.integers(0, max(1, n - 25))
+            length = int(rng.integers(10, 25))
+            window = np.hanning(length)
+            bumps[start : start + length, 1] += window * rng.uniform(0.5, 1.5) * sensitivity
+        tremor_accel, tremor_gyro = self._tremor(timestamps, rng, scale=0.8)
+        return vibration + bumps + tremor_accel, 0.3 * vibration + tremor_gyro
+
+    def _tremor(
+        self, timestamps: np.ndarray, rng: np.random.Generator, scale: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """User-specific physiological tremor on both motion sensors."""
+        grip = self.profile.grip
+        scale = scale * self._current_session.tremor_scale
+        n = len(timestamps)
+        phase = 2.0 * np.pi * grip.tremor_frequency_hz * timestamps
+        offsets = rng.uniform(0.0, 2.0 * np.pi, size=3)
+        accel = np.stack(
+            [scale * grip.tremor_amplitude * np.sin(phase + offsets[axis]) for axis in range(3)],
+            axis=1,
+        )
+        gyro = np.stack(
+            [scale * grip.micro_rotation * np.sin(phase * 0.9 + offsets[axis]) for axis in range(3)],
+            axis=1,
+        )
+        return accel, gyro
+
+    def _grip_adjustments(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Sparse grip re-adjustment bursts (short damped oscillations)."""
+        grip = self.profile.grip
+        adjustments = np.zeros((n_samples, 3))
+        expected = grip.adjustment_rate_hz * n_samples / self.sampling_rate
+        n_events = rng.poisson(expected)
+        for _ in range(n_events):
+            start = int(rng.integers(0, max(1, n_samples - 20)))
+            length = int(rng.integers(8, 20))
+            t = np.arange(length)
+            burst = np.exp(-t / 6.0) * np.sin(2.0 * np.pi * t / 7.0)
+            axis = int(rng.integers(0, 3))
+            adjustments[start : start + length, axis] += 0.4 * burst
+        return adjustments
+
+    # ------------------------------------------------------------------ #
+    # device-specific shaping
+    # ------------------------------------------------------------------ #
+
+    def _device_view(
+        self,
+        body_signal: np.ndarray,
+        gain: float,
+        phase_lag: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Scale and delay the body motion as seen at the device's mount point."""
+        delayed = body_signal
+        if phase_lag > 0.0:
+            lag_samples = int(round(phase_lag / (2.0 * np.pi) * self.sampling_rate))
+            if lag_samples > 0:
+                delayed = np.roll(body_signal, lag_samples, axis=0)
+                delayed[:lag_samples] = body_signal[:lag_samples]
+        return gain * delayed
+
+    def _add_wrist_motion(
+        self,
+        accel: np.ndarray,
+        gyro: np.ndarray,
+        context: Context,
+        timestamps: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Add wrist-specific micro-motion that the phone does not see.
+
+        This independent component keeps phone/watch feature correlations weak
+        (Table IV) even though both devices observe the same body motion.
+        """
+        n = len(timestamps)
+        wrist_freq = 0.5 + 0.5 * self.profile.grip.adjustment_rate_hz
+        phase = 2.0 * np.pi * wrist_freq * timestamps + rng.uniform(0.0, 2.0 * np.pi)
+        independent = rng.normal(0.0, 0.12, size=(n, 3))
+        kernel = np.ones(5) / 5.0
+        independent = np.stack(
+            [np.convolve(independent[:, axis], kernel, mode="same") for axis in range(3)], axis=1
+        )
+        wrist_accel = 0.25 * np.stack(
+            [np.sin(phase), np.sin(1.7 * phase + 0.4), np.cos(phase)], axis=1
+        )
+        wrist_gyro = 0.3 * independent
+        scale = 1.0 if context is Context.MOVING else 0.6
+        return accel + scale * (wrist_accel + independent), gyro + scale * wrist_gyro
+
+    def _add_gravity(self, accel: np.ndarray, context: Context) -> np.ndarray:
+        """Project gravity onto the device axes given the hold angle."""
+        pitch, roll = self._session_hold_angle(context)
+        gravity_vector = GRAVITY * np.array(
+            [
+                np.sin(roll) * np.cos(pitch),
+                np.sin(pitch),
+                np.cos(pitch) * np.cos(roll),
+            ]
+        )
+        return accel + gravity_vector
+
+    def _session_hold_angle(self, context: Context) -> tuple[float, float]:
+        """The device tilt for this session: habitual angle plus session offset."""
+        if context is Context.ON_TABLE:
+            return 0.0, 0.0
+        pitch, roll = self.profile.grip.hold_angle
+        offset_pitch, offset_roll = self._current_session.hold_angle_offset
+        return pitch + offset_pitch, roll + offset_roll
+
+    # ------------------------------------------------------------------ #
+    # environment-driven sensors
+    # ------------------------------------------------------------------ #
+
+    def _magnetometer(
+        self, context: Context, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Local field plus heavy environmental disturbance.
+
+        The local field is a property of wherever the session takes place, so
+        it comes from the session modifiers (user-independent) rather than
+        from the behavioural profile.
+        """
+        env = self.profile.environment
+        n = len(timestamps)
+        base = np.asarray(self._current_session.magnetic_field_ut)
+        noise = default_environment_noise(env.magnetic_noise_ut).sample(n, 3, rng)
+        # Random building/vehicle disturbances shared across users' ranges.
+        disturbance = rng.normal(0.0, 8.0, size=3)
+        heading_phase = 2.0 * np.pi * 0.05 * timestamps + rng.uniform(0.0, 2.0 * np.pi)
+        heading = 5.0 * np.stack(
+            [np.sin(heading_phase), np.cos(heading_phase), np.zeros(n)], axis=1
+        )
+        if context is Context.VEHICLE:
+            disturbance = disturbance + rng.normal(0.0, 20.0, size=3)
+        return base + disturbance + heading + noise
+
+    def _orientation(
+        self,
+        context: Context,
+        gyro: np.ndarray,
+        timestamps: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Orientation angles: integrated gyro plus environment-driven heading."""
+        dt = 1.0 / self.sampling_rate
+        integrated = np.cumsum(gyro, axis=0) * dt
+        pitch, roll = self._session_hold_angle(context)
+        session = self._current_session
+        base = (
+            np.array([session.heading_rad, pitch, roll])
+            + np.asarray(session.orientation_reference_offset)
+        )
+        wander = default_environment_noise(0.05).sample(len(timestamps), 3, rng)
+        return base + 0.3 * integrated + wander
+
+    def _light(
+        self, context: Context, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Ambient-light stream: level set by the surroundings, not the user."""
+        n = len(timestamps)
+        level = self._current_session.ambient_light_lux
+        slow_phase = 2.0 * np.pi * 0.02 * timestamps + rng.uniform(0.0, 2.0 * np.pi)
+        slow = 0.15 * level * np.sin(slow_phase)
+        shadow_events = np.zeros(n)
+        for _ in range(rng.poisson(max(1.0, n / self.sampling_rate / 30.0))):
+            start = int(rng.integers(0, max(1, n - 50)))
+            length = int(rng.integers(20, 50))
+            shadow_events[start : start + length] -= level * rng.uniform(0.2, 0.6)
+        lux = np.clip(level + slow + shadow_events + rng.normal(0.0, 3.0, size=n), 0.0, None)
+        return lux[:, np.newaxis]
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _stream(
+        self,
+        sensor: SensorType,
+        device: DeviceType,
+        timestamps: np.ndarray,
+        samples: np.ndarray,
+    ) -> SensorStream:
+        return SensorStream(
+            sensor=sensor,
+            device=device,
+            timestamps=timestamps,
+            samples=samples,
+            sampling_rate=self.sampling_rate,
+        )
+
+
+def generate_recording(
+    profile: BehaviorProfile,
+    device: DeviceType,
+    context: Context,
+    duration: float,
+    sensors: tuple[SensorType, ...] = tuple(SensorType),
+    sampling_rate: float = DEFAULT_SAMPLING_RATE_HZ,
+    seed: RandomState = None,
+) -> MultiSensorRecording:
+    """Convenience wrapper: generate one recording without keeping a generator."""
+    generator = SensorStreamGenerator(profile, sampling_rate=sampling_rate, seed=seed)
+    return generator.generate(device, context, duration, sensors=sensors)

@@ -1,0 +1,129 @@
+"""Measurement-noise models applied to synthetic sensor signals.
+
+Real MEMS sensors exhibit white noise, slowly wandering bias and occasional
+spikes (e.g. bumps or sensor glitches).  The generators compose these models
+on top of the behaviour-driven clean signal so that downstream feature
+statistics resemble what a real 50 Hz trace would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class NoiseModel(Protocol):
+    """Interface for additive noise models."""
+
+    def sample(self, n_samples: int, n_axes: int, rng: np.random.Generator) -> np.ndarray:
+        """Return an ``(n_samples, n_axes)`` array of additive noise."""
+        ...
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """White Gaussian measurement noise with per-axis standard deviation."""
+
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError(f"scale must be >= 0, got {self.scale}")
+
+    def sample(self, n_samples: int, n_axes: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, self.scale, size=(n_samples, n_axes))
+
+
+@dataclass(frozen=True)
+class BiasDrift:
+    """Random-walk bias wander, integrated white noise with a decay term.
+
+    Attributes
+    ----------
+    step_scale:
+        Standard deviation of the per-sample random-walk increment.
+    decay:
+        Mean-reversion factor in ``[0, 1)``; larger values keep the bias close
+        to zero (an AR(1) process).
+    """
+
+    step_scale: float
+    decay: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.step_scale < 0:
+            raise ValueError(f"step_scale must be >= 0, got {self.step_scale}")
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {self.decay}")
+
+    def sample(self, n_samples: int, n_axes: int, rng: np.random.Generator) -> np.ndarray:
+        increments = rng.normal(0.0, self.step_scale, size=(n_samples, n_axes))
+        bias = np.zeros((n_samples, n_axes))
+        current = np.zeros(n_axes)
+        for index in range(n_samples):
+            current = self.decay * current + increments[index]
+            bias[index] = current
+        return bias
+
+
+@dataclass(frozen=True)
+class SpikeNoise:
+    """Sparse, heavy-tailed spikes modelling bumps and glitches.
+
+    Attributes
+    ----------
+    rate:
+        Expected fraction of samples affected by a spike.
+    magnitude:
+        Scale of the Laplace-distributed spike amplitude.
+    """
+
+    rate: float
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.magnitude < 0:
+            raise ValueError(f"magnitude must be >= 0, got {self.magnitude}")
+
+    def sample(self, n_samples: int, n_axes: int, rng: np.random.Generator) -> np.ndarray:
+        mask = rng.random(size=(n_samples, n_axes)) < self.rate
+        spikes = rng.laplace(0.0, self.magnitude, size=(n_samples, n_axes))
+        return np.where(mask, spikes, 0.0)
+
+
+@dataclass(frozen=True)
+class CompositeNoise:
+    """Sum of several noise models applied to the same signal."""
+
+    components: Sequence[NoiseModel] = field(default_factory=tuple)
+
+    def sample(self, n_samples: int, n_axes: int, rng: np.random.Generator) -> np.ndarray:
+        total = np.zeros((n_samples, n_axes))
+        for component in self.components:
+            total += component.sample(n_samples, n_axes, rng)
+        return total
+
+
+def default_motion_noise(scale: float) -> CompositeNoise:
+    """Standard noise stack for accelerometer/gyroscope channels."""
+    return CompositeNoise(
+        components=(
+            GaussianNoise(scale=scale),
+            BiasDrift(step_scale=scale * 0.02),
+            SpikeNoise(rate=0.002, magnitude=scale * 4.0),
+        )
+    )
+
+
+def default_environment_noise(scale: float) -> CompositeNoise:
+    """Noise stack for environment-driven sensors (magnetometer, light)."""
+    return CompositeNoise(
+        components=(
+            GaussianNoise(scale=scale),
+            BiasDrift(step_scale=scale * 0.1, decay=0.995),
+        )
+    )

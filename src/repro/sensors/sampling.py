@@ -1,0 +1,95 @@
+"""Resampling and windowing utilities for sensor streams.
+
+Real devices deliver samples with clock jitter and occasional gaps; the
+feature pipeline expects uniformly sampled windows.  These helpers bridge the
+two and also provide the window-start arithmetic shared by the feature
+extractor and the online authentication loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensors.types import SensorStream
+from repro.utils.validation import check_positive
+
+
+def resample_uniform(stream: SensorStream, target_rate: float) -> SensorStream:
+    """Linearly resample *stream* onto a uniform grid at *target_rate* Hz."""
+    check_positive(target_rate, "target_rate")
+    if len(stream) < 2:
+        return SensorStream(
+            sensor=stream.sensor,
+            device=stream.device,
+            timestamps=stream.timestamps.copy(),
+            samples=stream.samples.copy(),
+            sampling_rate=target_rate,
+        )
+    start, stop = float(stream.timestamps[0]), float(stream.timestamps[-1])
+    n_samples = max(2, int(np.floor((stop - start) * target_rate)) + 1)
+    new_times = start + np.arange(n_samples) / target_rate
+    new_samples = np.column_stack(
+        [
+            np.interp(new_times, stream.timestamps, stream.samples[:, axis])
+            for axis in range(stream.samples.shape[1])
+        ]
+    )
+    return SensorStream(
+        sensor=stream.sensor,
+        device=stream.device,
+        timestamps=new_times,
+        samples=new_samples,
+        sampling_rate=target_rate,
+    )
+
+
+def decimate(stream: SensorStream, factor: int) -> SensorStream:
+    """Keep every *factor*-th sample (simple decimation without filtering)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return SensorStream(
+        sensor=stream.sensor,
+        device=stream.device,
+        timestamps=stream.timestamps[::factor],
+        samples=stream.samples[::factor],
+        sampling_rate=stream.sampling_rate / factor,
+    )
+
+
+def add_clock_jitter(
+    stream: SensorStream, jitter_std: float, rng: np.random.Generator
+) -> SensorStream:
+    """Perturb timestamps with Gaussian jitter while keeping them increasing."""
+    if jitter_std < 0:
+        raise ValueError(f"jitter_std must be >= 0, got {jitter_std}")
+    jitter = rng.normal(0.0, jitter_std, size=len(stream))
+    perturbed = np.sort(stream.timestamps + jitter)
+    return SensorStream(
+        sensor=stream.sensor,
+        device=stream.device,
+        timestamps=perturbed,
+        samples=stream.samples,
+        sampling_rate=stream.sampling_rate,
+    )
+
+
+def window_starts(n_samples: int, window_samples: int, step_samples: int | None = None) -> np.ndarray:
+    """Start indices of complete windows over a stream of *n_samples* samples.
+
+    Parameters
+    ----------
+    n_samples:
+        Total number of samples available.
+    window_samples:
+        Window length in samples.
+    step_samples:
+        Hop between window starts; defaults to non-overlapping windows.
+    """
+    if window_samples < 1:
+        raise ValueError(f"window_samples must be >= 1, got {window_samples}")
+    step = window_samples if step_samples is None else step_samples
+    if step < 1:
+        raise ValueError(f"step_samples must be >= 1, got {step}")
+    if n_samples < window_samples:
+        return np.array([], dtype=int)
+    return np.arange(0, n_samples - window_samples + 1, step, dtype=int)

@@ -1,0 +1,274 @@
+"""Core value types for sensor data: sensors, devices, contexts and streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping
+
+import numpy as np
+
+#: Default sampling rate used throughout the paper (Section V-A).
+DEFAULT_SAMPLING_RATE_HZ = 50.0
+
+
+class SensorType(str, Enum):
+    """Hardware sensors considered in the paper's sensor-selection study."""
+
+    ACCELEROMETER = "accelerometer"
+    GYROSCOPE = "gyroscope"
+    MAGNETOMETER = "magnetometer"
+    ORIENTATION = "orientation"
+    LIGHT = "light"
+
+    @property
+    def is_triaxial(self) -> bool:
+        """Whether the sensor reports three spatial axes (light is scalar)."""
+        return self is not SensorType.LIGHT
+
+    @property
+    def axes(self) -> tuple[str, ...]:
+        """Axis labels for the sensor's channels."""
+        if self is SensorType.LIGHT:
+            return ("lux",)
+        return ("x", "y", "z")
+
+
+#: The two sensors selected by the Fisher-score analysis in Section V-B.
+SELECTED_SENSORS: tuple[SensorType, ...] = (
+    SensorType.ACCELEROMETER,
+    SensorType.GYROSCOPE,
+)
+
+#: Every sensor evaluated in Table II.
+ALL_SENSORS: tuple[SensorType, ...] = tuple(SensorType)
+
+
+class DeviceType(str, Enum):
+    """The two devices in the SmarterYou two-device configuration."""
+
+    SMARTPHONE = "smartphone"
+    SMARTWATCH = "smartwatch"
+
+
+class Context(str, Enum):
+    """Fine-grained usage contexts considered during context-model design.
+
+    Section V-E initially considers four contexts and then merges the three
+    relatively-stationary ones into a single *stationary* coarse context.
+    """
+
+    HANDHELD_STATIC = "handheld_static"  # using the phone while sitting/standing
+    MOVING = "moving"                    # using the phone while walking
+    ON_TABLE = "on_table"                # phone resting on a surface
+    VEHICLE = "vehicle"                  # using the phone on a moving vehicle
+
+    @property
+    def coarse(self) -> "CoarseContext":
+        """Map the fine context onto the paper's final two-context scheme."""
+        if self is Context.MOVING:
+            return CoarseContext.MOVING
+        return CoarseContext.STATIONARY
+
+
+class CoarseContext(str, Enum):
+    """The two contexts the deployed detector distinguishes (Table V)."""
+
+    STATIONARY = "stationary"
+    MOVING = "moving"
+
+
+FINE_CONTEXTS: tuple[Context, ...] = tuple(Context)
+COARSE_CONTEXTS: tuple[CoarseContext, ...] = tuple(CoarseContext)
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """A single timestamped sample from one sensor.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the start of the recording.
+    values:
+        Channel values; three entries for tri-axial sensors, one for light.
+    """
+
+    timestamp: float
+    values: tuple[float, ...]
+
+    def magnitude(self) -> float:
+        """Euclidean magnitude of the channel values (``sqrt(x^2+y^2+z^2)``)."""
+        return float(np.sqrt(sum(v * v for v in self.values)))
+
+
+@dataclass
+class SensorStream:
+    """A uniformly sampled stream from one sensor on one device.
+
+    Attributes
+    ----------
+    sensor:
+        Which physical sensor produced the stream.
+    device:
+        Which device hosts the sensor.
+    timestamps:
+        Sample times in seconds, shape ``(n,)``.
+    samples:
+        Channel data, shape ``(n, n_axes)``.
+    sampling_rate:
+        Nominal sampling rate in Hz.
+    """
+
+    sensor: SensorType
+    device: DeviceType
+    timestamps: np.ndarray
+    samples: np.ndarray
+    sampling_rate: float = DEFAULT_SAMPLING_RATE_HZ
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+        self.samples = np.asarray(self.samples, dtype=float)
+        if self.samples.ndim == 1:
+            self.samples = self.samples[:, np.newaxis]
+        if self.timestamps.ndim != 1:
+            raise ValueError("timestamps must be one-dimensional")
+        if len(self.timestamps) != len(self.samples):
+            raise ValueError(
+                f"timestamps ({len(self.timestamps)}) and samples ({len(self.samples)}) "
+                "must have the same length"
+            )
+        expected_axes = len(self.sensor.axes)
+        if self.samples.shape[1] != expected_axes:
+            raise ValueError(
+                f"{self.sensor.value} stream must have {expected_axes} channels, "
+                f"got {self.samples.shape[1]}"
+            )
+        if self.sampling_rate <= 0:
+            raise ValueError(f"sampling_rate must be positive, got {self.sampling_rate}")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def duration(self) -> float:
+        """Length of the stream in seconds (zero for an empty stream)."""
+        if len(self.timestamps) == 0:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0]) + 1.0 / self.sampling_rate
+
+    def magnitude(self) -> np.ndarray:
+        """Per-sample Euclidean magnitude, the quantity featurised by the paper."""
+        return np.linalg.norm(self.samples, axis=1)
+
+    def axis(self, label: str) -> np.ndarray:
+        """Return one named channel (``"x"``, ``"y"``, ``"z"`` or ``"lux"``)."""
+        try:
+            index = self.sensor.axes.index(label)
+        except ValueError as exc:
+            raise KeyError(
+                f"{self.sensor.value} has no axis {label!r}; available: {self.sensor.axes}"
+            ) from exc
+        return self.samples[:, index]
+
+    def slice_time(self, start: float, stop: float) -> "SensorStream":
+        """Return the sub-stream with timestamps in ``[start, stop)``."""
+        if stop < start:
+            raise ValueError(f"stop ({stop}) must be >= start ({start})")
+        mask = (self.timestamps >= start) & (self.timestamps < stop)
+        return SensorStream(
+            sensor=self.sensor,
+            device=self.device,
+            timestamps=self.timestamps[mask],
+            samples=self.samples[mask],
+            sampling_rate=self.sampling_rate,
+        )
+
+    def iter_readings(self) -> Iterator[SensorReading]:
+        """Iterate over the stream as individual :class:`SensorReading` objects."""
+        for timestamp, row in zip(self.timestamps, self.samples):
+            yield SensorReading(timestamp=float(timestamp), values=tuple(float(v) for v in row))
+
+    def concatenate(self, other: "SensorStream") -> "SensorStream":
+        """Append *other* to this stream, shifting its timestamps to follow on."""
+        if other.sensor is not self.sensor or other.device is not self.device:
+            raise ValueError("can only concatenate streams from the same sensor and device")
+        if len(self) == 0:
+            return other
+        offset = self.timestamps[-1] + 1.0 / self.sampling_rate
+        return SensorStream(
+            sensor=self.sensor,
+            device=self.device,
+            timestamps=np.concatenate([self.timestamps, other.timestamps + offset]),
+            samples=np.vstack([self.samples, other.samples]),
+            sampling_rate=self.sampling_rate,
+        )
+
+
+@dataclass
+class MultiSensorRecording:
+    """All sensor streams recorded on one device during one session.
+
+    Attributes
+    ----------
+    device:
+        The recording device.
+    user_id:
+        Identifier of the user who produced the recording.
+    context:
+        Ground-truth fine-grained context the session was recorded under.
+    streams:
+        Mapping from sensor type to its stream.
+    """
+
+    device: DeviceType
+    user_id: str
+    context: Context
+    streams: Mapping[SensorType, SensorStream] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for sensor, stream in self.streams.items():
+            if stream.sensor is not sensor:
+                raise ValueError(
+                    f"stream registered under {sensor.value} was produced by "
+                    f"{stream.sensor.value}"
+                )
+            if stream.device is not self.device:
+                raise ValueError(
+                    f"stream for {stream.device.value} registered on a "
+                    f"{self.device.value} recording"
+                )
+
+    @property
+    def coarse_context(self) -> CoarseContext:
+        """Coarse (stationary/moving) label of the recording."""
+        return self.context.coarse
+
+    @property
+    def duration(self) -> float:
+        """Duration of the longest stream in the recording."""
+        if not self.streams:
+            return 0.0
+        return max(stream.duration for stream in self.streams.values())
+
+    def __getitem__(self, sensor: SensorType) -> SensorStream:
+        return self.streams[sensor]
+
+    def __contains__(self, sensor: SensorType) -> bool:
+        return sensor in self.streams
+
+    def sensors(self) -> tuple[SensorType, ...]:
+        """Sensors present in the recording, in enum declaration order."""
+        return tuple(sensor for sensor in SensorType if sensor in self.streams)
+
+    def restricted_to(self, sensors: tuple[SensorType, ...]) -> "MultiSensorRecording":
+        """Return a copy containing only the requested sensors."""
+        missing = [sensor for sensor in sensors if sensor not in self.streams]
+        if missing:
+            raise KeyError(f"recording lacks sensors: {[s.value for s in missing]}")
+        return MultiSensorRecording(
+            device=self.device,
+            user_id=self.user_id,
+            context=self.context,
+            streams={sensor: self.streams[sensor] for sensor in sensors},
+        )

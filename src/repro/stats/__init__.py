@@ -1,0 +1,23 @@
+"""Statistics substrate: Fisher scores, KS tests and correlation analysis."""
+
+from repro.stats.fisher import fisher_score, fisher_scores
+from repro.stats.ks import KsResult, ks_two_sample, pairwise_ks_pvalues
+from repro.stats.correlation import (
+    pearson_correlation,
+    correlation_matrix,
+    cross_correlation_matrix,
+)
+from repro.stats.descriptive import box_plot_summary, BoxPlotSummary
+
+__all__ = [
+    "fisher_score",
+    "fisher_scores",
+    "KsResult",
+    "ks_two_sample",
+    "pairwise_ks_pvalues",
+    "pearson_correlation",
+    "correlation_matrix",
+    "cross_correlation_matrix",
+    "box_plot_summary",
+    "BoxPlotSummary",
+]

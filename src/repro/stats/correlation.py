@@ -1,0 +1,74 @@
+"""Pearson-correlation utilities for the feature-redundancy analysis.
+
+Tables III and IV of the paper report (per-user averaged) Pearson correlation
+coefficients between pairs of features, within one device and across the two
+devices respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_same_length
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient between two one-dimensional samples.
+
+    Returns 0.0 when either sample has zero variance (the coefficient is
+    undefined there; zero is the conventional "no linear relation" fallback).
+    """
+    a = check_array(x, "x", ndim=1)
+    b = check_array(y, "y", ndim=1)
+    check_same_length(a, b, "x, y")
+    std_a, std_b = float(np.std(a)), float(np.std(b))
+    if std_a == 0.0 or std_b == 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def correlation_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlations between the columns of *matrix*."""
+    data = check_array(matrix, "matrix", ndim=2)
+    n_features = data.shape[1]
+    result = np.eye(n_features)
+    for i in range(n_features):
+        for j in range(i + 1, n_features):
+            value = pearson_correlation(data[:, i], data[:, j])
+            result[i, j] = value
+            result[j, i] = value
+    return result
+
+
+def cross_correlation_matrix(matrix_a: np.ndarray, matrix_b: np.ndarray) -> np.ndarray:
+    """Correlations between every column of *matrix_a* and every column of *matrix_b*.
+
+    The two matrices must have the same number of rows (aligned windows).
+    Entry ``(i, j)`` is the correlation between column *i* of A and column *j*
+    of B — the layout of Table IV (watch rows, phone columns when called with
+    ``(watch, phone)``).
+    """
+    a = check_array(matrix_a, "matrix_a", ndim=2)
+    b = check_array(matrix_b, "matrix_b", ndim=2)
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"matrices must have the same number of rows, got {a.shape[0]} and {b.shape[0]}"
+        )
+    result = np.zeros((a.shape[1], b.shape[1]))
+    for i in range(a.shape[1]):
+        for j in range(b.shape[1]):
+            result[i, j] = pearson_correlation(a[:, i], b[:, j])
+    return result
+
+
+def averaged_correlation_matrices(
+    matrices_by_group: Mapping[object, np.ndarray]
+) -> np.ndarray:
+    """Average per-group correlation matrices, as the paper averages over users."""
+    keys = sorted(matrices_by_group.keys(), key=str)
+    if not keys:
+        raise ValueError("need at least one group")
+    stacked = [correlation_matrix(matrices_by_group[key]) for key in keys]
+    return np.mean(np.stack(stacked), axis=0)

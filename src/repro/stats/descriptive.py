@@ -1,0 +1,43 @@
+"""Descriptive statistics helpers (box-plot summaries for Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+
+@dataclass(frozen=True)
+class BoxPlotSummary:
+    """The five-number summary drawn by a box plot.
+
+    Attributes mirror the elements visible in Figure 3 of the paper: lower
+    quartile, median, upper quartile plus the whisker extremes.
+    """
+
+    minimum: float
+    lower_quartile: float
+    median: float
+    upper_quartile: float
+    maximum: float
+
+    def fraction_below(self, values: np.ndarray, threshold: float) -> float:
+        """Fraction of *values* below *threshold* (e.g. the alpha line)."""
+        data = np.asarray(values, dtype=float)
+        if data.size == 0:
+            return 0.0
+        return float(np.mean(data < threshold))
+
+
+def box_plot_summary(values: np.ndarray) -> BoxPlotSummary:
+    """Compute the five-number summary of a one-dimensional sample."""
+    data = check_array(values, "values", ndim=1)
+    return BoxPlotSummary(
+        minimum=float(np.min(data)),
+        lower_quartile=float(np.percentile(data, 25)),
+        median=float(np.percentile(data, 50)),
+        upper_quartile=float(np.percentile(data, 75)),
+        maximum=float(np.max(data)),
+    )

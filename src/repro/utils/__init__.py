@@ -1,0 +1,27 @@
+"""Shared utilities: random-number handling, validation and serialization."""
+
+from repro.utils.rng import RandomState, derive_rng, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+from repro.utils.serialization import from_json_file, to_json_file
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_fitted",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "from_json_file",
+    "to_json_file",
+]

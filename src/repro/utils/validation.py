@@ -1,0 +1,89 @@
+"""Argument-validation helpers shared by the library's public API.
+
+The helpers raise informative exceptions early so that user errors surface at
+the call site instead of deep inside numerical code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def check_array(
+    value: Any,
+    name: str,
+    *,
+    ndim: int | None = None,
+    dtype: type | None = float,
+    allow_empty: bool = False,
+) -> np.ndarray:
+    """Coerce *value* to an ndarray and validate its shape.
+
+    Parameters
+    ----------
+    value:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    ndim:
+        Required number of dimensions, or ``None`` to accept any.
+    dtype:
+        Target dtype passed to :func:`numpy.asarray`.
+    allow_empty:
+        Whether a zero-sized array is acceptable.
+    """
+    array = np.asarray(value, dtype=dtype)
+    if ndim is not None and array.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {array.shape}")
+    if not allow_empty and array.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if dtype is float and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_same_length(first: Sequence[Any], second: Sequence[Any], names: str = "X, y") -> None:
+    """Raise if the two sequences have different lengths."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"{names} must have the same length, got {len(first)} and {len(second)}"
+        )
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that *value* is positive (strictly by default)."""
+    numeric = float(value)
+    if strict and numeric <= 0:
+        raise ValueError(f"{name} must be > 0, got {numeric}")
+    if not strict and numeric < 0:
+        raise ValueError(f"{name} must be >= 0, got {numeric}")
+    return numeric
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Validate that *value* lies in ``[low, high]`` (or ``(low, high)``)."""
+    numeric = float(value)
+    if inclusive:
+        if not (low <= numeric <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {numeric}")
+    else:
+        if not (low < numeric < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {numeric}")
+    return numeric
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that *value* is a probability in ``[0, 1]``."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_fitted(estimator: Any, attribute: str) -> None:
+    """Raise :class:`RuntimeError` if *estimator* lacks a fitted attribute."""
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() before predict()"
+        )

@@ -1,0 +1,108 @@
+"""Integration tests: the full SmarterYou pipeline from sensors to decisions."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.attackers import MimicryAttacker
+from repro.attacks.evaluation import evaluate_detection_time
+from repro.core.response import DeviceState
+from repro.datasets.collection import collect_session
+from repro.sensors.types import CoarseContext, Context
+
+
+class TestEnrollmentAndAuthentication:
+    def test_owner_windows_are_mostly_accepted(self, deployed_system, population, free_form_dataset):
+        owner = population[0]
+        fresh = collect_session(owner.profile, Context.MOVING, 60.0, seed=777)
+        decisions = deployed_system.authenticate_session(fresh)
+        assert len(decisions) == 10
+        assert np.mean(decisions) >= 0.7
+
+    def test_impostor_windows_are_mostly_rejected(self, deployed_system, population):
+        impostor = population[2]
+        fresh = collect_session(
+            impostor.profile.with_user_id(impostor.user_id), Context.MOVING, 60.0, seed=778
+        )
+        decisions = deployed_system.authenticate_session(fresh)
+        assert np.mean(decisions) <= 0.3
+
+    def test_context_detection_matches_ground_truth(self, deployed_system, population):
+        owner = population[0]
+        moving = collect_session(owner.profile, Context.MOVING, 36.0, seed=779)
+        stationary = collect_session(owner.profile, Context.HANDHELD_STATIC, 36.0, seed=780)
+        moving_contexts = deployed_system.detect_contexts(moving)
+        stationary_contexts = deployed_system.detect_contexts(stationary)
+        assert np.mean([c is CoarseContext.MOVING for c in moving_contexts]) >= 0.8
+        assert np.mean([c is CoarseContext.STATIONARY for c in stationary_contexts]) >= 0.8
+
+    def test_confidence_scores_separate_owner_and_impostor(self, deployed_system, population):
+        owner, impostor = population[0], population[3]
+        owner_session = collect_session(owner.profile, Context.HANDHELD_STATIC, 48.0, seed=781)
+        impostor_session = collect_session(
+            impostor.profile.with_user_id(impostor.user_id), Context.HANDHELD_STATIC, 48.0, seed=782
+        )
+        owner_scores = deployed_system.confidence_trace(owner_session)
+        impostor_scores = deployed_system.confidence_trace(impostor_session)
+        assert float(np.mean(owner_scores)) > float(np.mean(impostor_scores))
+
+    def test_enrollment_requires_prior_setup(self, deployed_system, population):
+        with pytest.raises(RuntimeError):
+            type(deployed_system)(
+                config=deployed_system.config,
+                server=deployed_system.server,
+                context_detector=deployed_system.context_detector,
+            ).authenticate_session(
+                collect_session(population[0].profile, Context.MOVING, 12.0, seed=1)
+            )
+
+
+class TestResponseIntegration:
+    def test_theft_locks_device_and_owner_can_recover(self, deployed_system, population):
+        deployed_system.response.reset()
+        # population[2] is a user whose motion clearly differs from the owner's,
+        # so the scenario exercises the lockout path rather than the FAR tail.
+        owner, thief = population[0], population[2]
+        stolen = collect_session(
+            thief.profile.with_user_id(thief.user_id), Context.MOVING, 60.0, seed=90
+        )
+        deployed_system.process_session(stolen, day=0.1)
+        assert deployed_system.response.state is DeviceState.LOCKED
+        # The rightful owner re-instates herself through explicit login and her
+        # subsequent windows are predominantly accepted again.
+        assert deployed_system.response.explicit_reauthentication(True) is DeviceState.UNLOCKED
+        genuine = collect_session(owner.profile, Context.MOVING, 36.0, seed=91)
+        outcomes = deployed_system.process_session(genuine, day=0.2)
+        assert np.mean([outcome.decision.accepted for outcome in outcomes]) >= 0.6
+        deployed_system.response.reset()
+
+
+class TestMasqueradeIntegration:
+    def test_mimicry_attackers_are_detected(self, deployed_system, population):
+        victim = population[0]
+        attackers = [
+            MimicryAttacker(participant.profile, fidelity=0.5, seed=10 + index)
+            for index, participant in enumerate(population)
+            if participant.user_id != victim.user_id
+        ]
+        attacks = [
+            attacker.attack(victim.profile, Context.MOVING, duration=60.0) for attacker in attackers
+        ]
+        timeline = evaluate_detection_time(deployed_system, attacks, window_seconds=6.0)
+        assert timeline.fraction_detected_within(60.0) >= 0.75
+
+
+class TestRetrainingIntegration:
+    def test_retraining_swaps_in_new_model_version(self, deployed_system, population):
+        owner = population[0]
+        original_version = deployed_system.authenticator.version
+        fresh = [
+            collect_session(owner.profile, context, 60.0, seed=500 + i)
+            for i, context in enumerate((Context.HANDHELD_STATIC, Context.MOVING))
+        ]
+        deployed_system.retrain(fresh, day=3.0)
+        assert deployed_system.authenticator.version == original_version + 1
+        assert deployed_system.monitor.retraining_events_days[-1] == 3.0
+        decisions = deployed_system.authenticate_session(
+            collect_session(owner.profile, Context.MOVING, 36.0, seed=600)
+        )
+        assert np.mean(decisions) >= 0.7

@@ -1,0 +1,56 @@
+"""Integration tests for the cross-validated design-space evaluation."""
+
+import pytest
+
+from repro.core.evaluation import EvaluationConfig, evaluate_configuration
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.sensors.types import CoarseContext, DeviceType
+
+
+class TestEvaluateConfiguration:
+    def test_default_configuration_performs_well(self, free_form_dataset):
+        result = evaluate_configuration(free_form_dataset, EvaluationConfig(n_folds=4), seed=1)
+        assert result.accuracy > 0.8
+        assert 0.0 <= result.far <= 0.3 and 0.0 <= result.frr <= 0.3
+        assert set(result.summary()) == {"FRR%", "FAR%", "Accuracy%"}
+
+    def test_per_user_results_cover_all_users(self, free_form_dataset):
+        result = evaluate_configuration(free_form_dataset, EvaluationConfig(n_folds=3), seed=1)
+        assert {user.user_id for user in result.per_user} == set(free_form_dataset.user_ids())
+
+    def test_context_metrics_available_when_context_used(self, free_form_dataset):
+        result = evaluate_configuration(
+            free_form_dataset, EvaluationConfig(use_context=True, n_folds=3), seed=1
+        )
+        metrics = result.context_metrics(CoarseContext.MOVING)
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_phone_only_configuration(self, free_form_dataset):
+        config = EvaluationConfig(devices=(DeviceType.SMARTPHONE,), n_folds=3)
+        result = evaluate_configuration(free_form_dataset, config, seed=1)
+        assert result.config.feature_spec.dimension == 14
+
+    def test_combination_beats_or_matches_single_device(self, free_form_dataset):
+        phone = evaluate_configuration(
+            free_form_dataset, EvaluationConfig(devices=(DeviceType.SMARTPHONE,), n_folds=4), seed=2
+        )
+        both = evaluate_configuration(free_form_dataset, EvaluationConfig(n_folds=4), seed=2)
+        assert both.accuracy >= phone.accuracy - 0.05
+
+    def test_alternative_classifier_factory(self, free_form_dataset):
+        config = EvaluationConfig(classifier_factory=GaussianNaiveBayes, n_folds=3)
+        result = evaluate_configuration(free_form_dataset, config, seed=3)
+        assert result.accuracy > 0.6
+
+    def test_data_size_cap_limits_windows(self, free_form_dataset):
+        config = EvaluationConfig(max_windows_per_user=5, n_folds=2)
+        result = evaluate_configuration(free_form_dataset, config, seed=4)
+        for user in result.per_user:
+            assert user.overall.n_genuine <= 5 * 2  # at most the cap per context
+
+    def test_user_subset(self, free_form_dataset, population):
+        target = population[0].user_id
+        result = evaluate_configuration(
+            free_form_dataset, EvaluationConfig(n_folds=3), users=[target], seed=5
+        )
+        assert [user.user_id for user in result.per_user] == [target]

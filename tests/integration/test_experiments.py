@@ -1,0 +1,126 @@
+"""Integration tests running every paper experiment at the small test scale."""
+
+import pytest
+
+from repro.experiments import SMALL_SCALE
+from repro.experiments import (
+    fig2_demographics,
+    fig3_ks,
+    fig4_window_size,
+    fig5_data_size,
+    fig6_masquerade,
+    fig7_retraining,
+    overhead,
+    table1_related_work,
+    table2_fisher,
+    table3_feature_corr,
+    table4_cross_device_corr,
+    table5_context_confusion,
+    table6_classifiers,
+    table7_context_devices,
+    table8_battery,
+)
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.sensors.types import CoarseContext, DeviceType
+from repro.devices.battery import PowerScenario
+
+
+class TestIndividualExperiments:
+    def test_fig2_demographics_counts_sum_to_population(self):
+        result = fig2_demographics.run(SMALL_SCALE)
+        assert sum(result.gender_counts.values()) == result.n_users
+        assert sum(result.age_counts.values()) == result.n_users
+        assert "Figure 2" in result.to_text()
+
+    def test_table2_motion_sensors_dominate(self):
+        result = table2_fisher.run(SMALL_SCALE)
+        for device in (DeviceType.SMARTPHONE, DeviceType.SMARTWATCH):
+            assert result.motion_vs_environment_ratio(device) > 1.5
+        assert "Fisher" in result.to_text()
+
+    def test_fig3_ks_screen_produces_verdicts(self):
+        result = fig3_ks.run(SMALL_SCALE)
+        phone_screen = result.screens[DeviceType.SMARTPHONE]
+        assert len(phone_screen) == 18  # 9 candidate features x 2 sensors
+        assert result.to_text()
+
+    def test_table3_range_var_redundancy(self):
+        result = table3_feature_corr.run(SMALL_SCALE)
+        correlation = result.correlation_between(DeviceType.SMARTPHONE, "range", "var")
+        assert correlation > 0.5
+        assert result.to_text()
+
+    def test_table4_cross_device_correlations_are_weak(self):
+        result = table4_cross_device_corr.run(SMALL_SCALE)
+        assert result.mean_abs_correlation < 0.5
+        assert result.correlations.shape == (14, 14)
+
+    def test_table5_context_detection_accuracy(self):
+        result = table5_context_confusion.run(SMALL_SCALE)
+        assert result.accuracy > 0.9
+        assert result.cell("moving", "moving") > 80.0
+
+    def test_table6_krr_is_competitive(self):
+        result = table6_classifiers.run(SMALL_SCALE)
+        ranking = result.ranking()
+        assert ranking[0] in ("KRR", "SVM")
+        assert result.accuracy("KRR") > 0.85
+
+    def test_table7_ordering(self):
+        result = table7_context_devices.run(SMALL_SCALE)
+        assert result.accuracy(True, "combination") >= result.accuracy(False, "smartphone")
+
+    def test_fig4_has_every_series(self):
+        result = fig4_window_size.run(SMALL_SCALE)
+        for device_set in ("smartphone", "smartwatch", "combination"):
+            for context in CoarseContext:
+                assert len(result.series(device_set, context)) == len(SMALL_SCALE.window_sizes)
+
+    def test_fig5_accuracy_grows_with_data(self):
+        result = fig5_data_size.run(SMALL_SCALE)
+        series = result.series("combination", CoarseContext.MOVING)
+        assert series[-1].accuracy >= series[0].accuracy - 0.1
+
+    def test_fig6_attackers_detected(self):
+        result = fig6_masquerade.run(SMALL_SCALE)
+        assert result.fraction_detected_within(60.0) > 0.5
+        assert result.survival_fractions[0] == 1.0
+
+    def test_fig7_trace_has_requested_days(self):
+        result = fig7_retraining.run(SMALL_SCALE, n_days=6)
+        assert len(result.daily) == 6
+        assert result.to_text()
+
+    def test_table8_battery_overheads(self):
+        result = table8_battery.run(SMALL_SCALE)
+        assert result.drain_percent(PowerScenario.LOCKED_SMARTERYOU_ON) > result.drain_percent(
+            PowerScenario.LOCKED_SMARTERYOU_OFF
+        )
+        assert 0.5 < result.idle_overhead_percent < 5.0
+
+    def test_overhead_primal_faster_than_dual(self):
+        result = overhead.run(SMALL_SCALE, n_samples=400, n_features=28)
+        assert result.measured_primal_fit_s < result.measured_dual_fit_s
+        assert result.predicted.testing_time_ms < 100.0
+
+    def test_table1_includes_measured_row(self):
+        result = table1_related_work.run(SMALL_SCALE)
+        assert 50.0 < result.measured_accuracy_percent <= 100.0
+        assert "SmarterYou (this reproduction)" in result.to_text()
+
+
+class TestRunner:
+    def test_registry_covers_all_paper_artifacts(self):
+        assert len(EXPERIMENTS) == 15
+
+    def test_run_experiment_by_id(self):
+        outcome = run_experiment("table8", SMALL_SCALE)
+        assert outcome.experiment_id == "table8" and outcome.text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99", SMALL_SCALE)
+
+    def test_run_all_subset(self):
+        outcomes = run_all(SMALL_SCALE, ["fig2", "table8"])
+        assert [outcome.experiment_id for outcome in outcomes] == ["fig2", "table8"]

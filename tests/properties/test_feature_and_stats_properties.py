@@ -1,0 +1,120 @@
+"""Property-based tests for the feature pipeline and statistics substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+from scipy import stats as scipy_stats
+
+from repro.features.frequency_domain import frequency_domain_features
+from repro.features.time_domain import time_domain_features
+from repro.sensors.sampling import window_starts
+from repro.stats.correlation import pearson_correlation
+from repro.stats.fisher import fisher_score
+from repro.stats.ks import ks_two_sample
+from repro.utils.serialization import dumps, loads
+
+finite_signals = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(8, 400),
+    elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestTimeDomainProperties:
+    @given(finite_signals)
+    @settings(max_examples=50, deadline=None)
+    def test_statistics_are_internally_consistent(self, signal):
+        features = time_domain_features(signal, features=("mean", "var", "max", "min", "range"))
+        tolerance = 1e-9 * max(1.0, abs(features["max"]), abs(features["min"]))
+        assert features["min"] - tolerance <= features["mean"] <= features["max"] + tolerance
+        assert features["range"] == features["max"] - features["min"]
+        assert features["var"] >= 0.0
+
+    @given(finite_signals, st.floats(-5.0, 5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_shift_equivariance(self, signal, shift):
+        base = time_domain_features(signal)
+        shifted = time_domain_features(signal + shift)
+        assert shifted["mean"] == np.float64(base["mean"] + shift) or abs(
+            shifted["mean"] - base["mean"] - shift
+        ) < 1e-6
+        assert abs(shifted["var"] - base["var"]) < 1e-6
+
+
+class TestFrequencyDomainProperties:
+    @given(finite_signals)
+    @settings(max_examples=50, deadline=None)
+    def test_peaks_are_ordered_and_frequencies_bounded(self, signal):
+        features = frequency_domain_features(
+            signal, sampling_rate=50.0, features=("peak", "peak_f", "peak2", "peak2_f")
+        )
+        assert features["peak"] >= features["peak2"] >= 0.0
+        assert 0.0 <= features["peak_f"] <= 25.0
+        assert 0.0 <= features["peak2_f"] <= 25.0
+
+
+class TestWindowingProperties:
+    @given(st.integers(1, 500), st.integers(1, 100), st.integers(1, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_windows_fit_inside_stream(self, n_samples, window_samples, step):
+        starts = window_starts(n_samples, window_samples, step)
+        if len(starts):
+            assert starts[-1] + window_samples <= n_samples
+            assert np.all(np.diff(starts) == step)
+
+
+class TestStatsProperties:
+    @given(finite_signals, finite_signals)
+    @settings(max_examples=40, deadline=None)
+    def test_ks_statistic_matches_scipy(self, a, b):
+        ours = ks_two_sample(a, b)
+        reference = scipy_stats.ks_2samp(a, b)
+        assert abs(ours.statistic - reference.statistic) < 1e-9
+        assert 0.0 <= ours.pvalue <= 1.0
+
+    @given(finite_signals)
+    @settings(max_examples=40, deadline=None)
+    def test_ks_of_sample_with_itself_accepts_null(self, a):
+        result = ks_two_sample(a, a)
+        assert result.statistic == 0.0 and result.pvalue > 0.9
+
+    @given(finite_signals)
+    @settings(max_examples=40, deadline=None)
+    def test_correlation_is_symmetric_and_bounded(self, signal):
+        other = np.roll(signal, 1)
+        forward = pearson_correlation(signal, other)
+        backward = pearson_correlation(other, signal)
+        assert abs(forward - backward) < 1e-9
+        assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+
+    @given(
+        npst.arrays(
+            dtype=np.float64,
+            shape=st.integers(8, 60),
+            elements=st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fisher_score_is_non_negative(self, values):
+        half = len(values) // 2
+        labels = ["a"] * half + ["b"] * (len(values) - half)
+        assert fisher_score(values, labels) >= 0.0
+
+
+class TestSerializationProperties:
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.integers(-1000, 1000),
+                st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+                st.text(max_size=12),
+                st.booleans(),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_json_roundtrip_is_identity(self, payload):
+        assert loads(dumps(payload)) == payload

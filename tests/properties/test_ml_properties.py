@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+from repro.ml.kernels import rbf_kernel
+from repro.ml.metrics import accuracy_score, authentication_metrics, confusion_matrix
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+# Bounded, finite feature matrices with at least 8 rows and 2 columns.
+feature_matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(8, 30), st.integers(2, 6)),
+    elements=st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def binary_datasets(draw):
+    """A finite feature matrix plus a two-class label vector."""
+    X = draw(feature_matrices)
+    n = X.shape[0]
+    half = n // 2
+    y = np.array(["a"] * half + ["b"] * (n - half))
+    return X, y
+
+
+class TestKernelRidgeProperties:
+    @given(binary_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_primal_and_dual_solutions_agree(self, dataset):
+        """The Appendix identity holds for arbitrary finite training data."""
+        X, y = dataset
+        primal = KernelRidgeClassifier(solver="primal", ridge=1.0).fit(X, y)
+        dual = KernelRidgeClassifier(solver="dual", ridge=1.0).fit(X, y)
+        np.testing.assert_allclose(
+            primal.decision_function(X), dual.decision_function(X), atol=1e-6, rtol=1e-6
+        )
+
+    @given(binary_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_are_training_labels(self, dataset):
+        X, y = dataset
+        model = KernelRidgeClassifier().fit(X, y)
+        assert set(model.predict(X)) <= set(y)
+
+    @given(feature_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_rbf_kernel_is_positive_and_bounded(self, X):
+        gram = rbf_kernel(X, X, gamma=0.3)
+        # Entries can underflow to exactly zero for very distant points, so the
+        # invariant is non-negativity plus the unit upper bound and symmetry.
+        assert np.all(gram >= 0.0) and np.all(gram <= 1.0 + 1e-12)
+        np.testing.assert_allclose(np.diag(gram), 1.0, atol=1e-12)
+        np.testing.assert_allclose(gram, gram.T, atol=1e-12)
+
+
+class TestScalerProperties:
+    @given(feature_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_standard_scaler_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6)
+
+    @given(feature_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_output_in_unit_interval(self, X):
+        transformed = MinMaxScaler().fit_transform(X)
+        assert transformed.min() >= -1e-12 and transformed.max() <= 1.0 + 1e-12
+
+
+label_vectors = st.lists(st.sampled_from(["legit", "other"]), min_size=4, max_size=60).filter(
+    lambda labels: "legit" in labels and "other" in labels
+)
+
+
+class TestMetricProperties:
+    @given(label_vectors, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_authentication_metrics_bounded(self, y_true, rng):
+        y_pred = [rng.choice(["legit", "other"]) for _ in y_true]
+        metrics = authentication_metrics(y_true, y_pred, "legit")
+        assert 0.0 <= metrics.frr <= 1.0
+        assert 0.0 <= metrics.far <= 1.0
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    @given(label_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_is_perfect_accuracy(self, y_true):
+        assert accuracy_score(y_true, list(y_true)) == 1.0
+        metrics = authentication_metrics(y_true, list(y_true), "legit")
+        assert metrics.frr == 0.0 and metrics.far == 0.0
+
+    @given(label_vectors, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_confusion_matrix_total_equals_sample_count(self, y_true, rng):
+        y_pred = [rng.choice(["legit", "other"]) for _ in y_true]
+        matrix, _ = confusion_matrix(y_true, y_pred)
+        assert matrix.sum() == len(y_true)

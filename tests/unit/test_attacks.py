@@ -1,0 +1,106 @@
+"""Unit tests for attacker models and detection-time evaluation."""
+
+import pytest
+
+from repro.attacks.attackers import MimicryAttacker, ZeroEffortAttacker
+from repro.attacks.evaluation import (
+    DetectionTimeline,
+    escape_probability,
+    evaluate_detection_time,
+    time_to_detect_all,
+)
+from repro.sensors.types import Context, DeviceType
+
+
+class TestAttackers:
+    def test_zero_effort_attack_uses_attacker_behaviour(self, second_profile):
+        attacker = ZeroEffortAttacker(second_profile, seed=1)
+        attack = attacker.attack("victim", Context.MOVING, duration=12.0)
+        assert attack.attacker_id == "bob" and attack.victim_id == "victim"
+        assert attack.fidelity == 0.0
+        assert attack.session.user_id == "bob"
+
+    def test_mimicry_attack_session_carries_attacker_identity(self, profile, second_profile):
+        attacker = MimicryAttacker(second_profile, fidelity=0.7, seed=2)
+        attack = attacker.attack(profile, Context.HANDHELD_STATIC, duration=12.0)
+        assert attack.session.user_id == "bob"
+        assert attack.victim_id == "alice"
+        assert attack.fidelity == 0.7
+
+    def test_mimicry_effective_profile_moves_toward_victim(self, profile, second_profile):
+        attacker = MimicryAttacker(second_profile, fidelity=1.0, seed=3)
+        imitated = attacker.effective_profile(profile)
+        assert imitated.gait.frequency_hz == pytest.approx(profile.gait.frequency_hz)
+
+    def test_invalid_fidelity_rejected(self, second_profile):
+        with pytest.raises(ValueError):
+            MimicryAttacker(second_profile, fidelity=2.0)
+
+    def test_attack_records_both_devices_by_default(self, profile, second_profile):
+        attack = MimicryAttacker(second_profile, seed=4).attack(profile, Context.MOVING, 12.0)
+        assert set(attack.session.recordings) == {DeviceType.SMARTPHONE, DeviceType.SMARTWATCH}
+
+
+class FakeAuthenticator:
+    """Accepts a scripted sequence of decisions per session."""
+
+    def __init__(self, scripts):
+        self.scripts = list(scripts)
+        self.calls = 0
+
+    def authenticate_session(self, session, window_seconds=None):
+        decisions = self.scripts[self.calls]
+        self.calls += 1
+        return decisions
+
+
+def make_attack(profile, second_profile, seed):
+    return MimicryAttacker(second_profile, seed=seed).attack(profile, Context.MOVING, 30.0)
+
+
+class TestDetectionEvaluation:
+    def test_detection_windows_recorded(self, profile, second_profile):
+        attacks = [make_attack(profile, second_profile, seed) for seed in (1, 2, 3)]
+        authenticator = FakeAuthenticator(
+            [[True, False, False], [False, True, True], [True, True, True]]
+        )
+        timeline = evaluate_detection_time(authenticator, attacks, window_seconds=6.0)
+        assert timeline.detection_windows == [1, 0, None]
+        assert timeline.detection_times_s() == [12.0, 6.0, None]
+
+    def test_survival_curve_monotone_decreasing(self, profile, second_profile):
+        attacks = [make_attack(profile, second_profile, seed) for seed in (1, 2)]
+        authenticator = FakeAuthenticator([[True, False], [False, False]])
+        timeline = evaluate_detection_time(authenticator, attacks, window_seconds=6.0)
+        _, fractions = timeline.survival_curve(horizon_s=18.0)
+        assert fractions[0] == 1.0
+        assert all(later <= earlier for earlier, later in zip(fractions, fractions[1:]))
+
+    def test_fraction_detected_within(self):
+        timeline = DetectionTimeline(window_seconds=6.0, detection_windows=[0, 2, None], n_windows=[5, 5, 5])
+        assert timeline.fraction_detected_within(6.0) == pytest.approx(1 / 3)
+        assert timeline.fraction_detected_within(30.0) == pytest.approx(2 / 3)
+
+    def test_time_to_detect_all(self):
+        detected = DetectionTimeline(6.0, [0, 1], [3, 3])
+        undetected = DetectionTimeline(6.0, [0, None], [3, 3])
+        assert time_to_detect_all(detected) == 12.0
+        assert time_to_detect_all(undetected) is None
+
+    def test_requires_attacks(self):
+        with pytest.raises(ValueError):
+            evaluate_detection_time(FakeAuthenticator([]), [], window_seconds=6.0)
+
+
+class TestEscapeProbability:
+    def test_paper_example(self):
+        assert escape_probability(0.028, 3) == pytest.approx(2.2e-5, rel=0.05)
+
+    def test_zero_windows_is_certain_escape(self):
+        assert escape_probability(0.028, 0) == 1.0
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            escape_probability(1.2, 2)
+        with pytest.raises(ValueError):
+            escape_probability(0.1, -1)

@@ -1,0 +1,82 @@
+"""Unit tests for behavioural profiles and mimicry blending."""
+
+import pytest
+
+from repro.sensors.behavior import (
+    BehaviorProfile,
+    DeviceCarryStyle,
+    ProfileBlend,
+    blend_profiles,
+    sample_profile,
+)
+from repro.sensors.types import DeviceType
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self):
+        assert sample_profile("alice", seed=3) == sample_profile("alice", seed=3)
+
+    def test_distinct_users_get_distinct_profiles(self):
+        alice, bob = sample_profile("alice", seed=3), sample_profile("bob", seed=3)
+        assert alice.gait.frequency_hz != bob.gait.frequency_hz
+
+    def test_parameters_within_documented_ranges(self):
+        profile = sample_profile("carol", seed=4)
+        assert 1.4 <= profile.gait.frequency_hz <= 2.4
+        assert 8.0 <= profile.grip.tremor_frequency_hz <= 12.0
+        assert 0.0 < profile.sensor_noise < 0.2
+        assert isinstance(profile.carry_style, DeviceCarryStyle)
+
+
+class TestDeviceGains:
+    def test_watch_gain_is_arm_swing_gain(self):
+        profile = sample_profile("dave", seed=5)
+        assert profile.motion_gain(DeviceType.SMARTWATCH) == profile.arm_swing_gain
+
+    def test_phone_gain_depends_on_carry_style(self):
+        profile = sample_profile("erin", seed=6)
+        gain = profile.motion_gain(DeviceType.SMARTPHONE)
+        assert 0.5 < gain <= 1.0
+
+    def test_phase_lag_only_for_watch(self):
+        profile = sample_profile("frank", seed=7)
+        assert profile.phase_lag(DeviceType.SMARTPHONE) == 0.0
+        assert profile.phase_lag(DeviceType.SMARTWATCH) == profile.watch_phase_lag
+
+    def test_with_user_id(self):
+        profile = sample_profile("gina", seed=8)
+        renamed = profile.with_user_id("stolen")
+        assert renamed.user_id == "stolen" and renamed.gait == profile.gait
+
+
+class TestBlendProfiles:
+    def test_zero_fidelity_keeps_attacker_coarse_parameters(self):
+        attacker, victim = sample_profile("att", seed=1), sample_profile("vic", seed=2)
+        blended = blend_profiles(ProfileBlend(attacker, victim, fidelity=0.0))
+        assert blended.gait.frequency_hz == pytest.approx(attacker.gait.frequency_hz)
+
+    def test_full_fidelity_copies_victim_coarse_parameters(self):
+        attacker, victim = sample_profile("att", seed=1), sample_profile("vic", seed=2)
+        blended = blend_profiles(ProfileBlend(attacker, victim, fidelity=1.0))
+        assert blended.gait.frequency_hz == pytest.approx(victim.gait.frequency_hz)
+
+    def test_fine_grained_parameters_stay_attacker_owned(self):
+        attacker, victim = sample_profile("att", seed=1), sample_profile("vic", seed=2)
+        blended = blend_profiles(ProfileBlend(attacker, victim, fidelity=1.0))
+        assert blended.gait.phase == attacker.gait.phase
+        assert blended.grip.tremor_frequency_hz == attacker.grip.tremor_frequency_hz
+
+    def test_imitation_adds_variability(self):
+        attacker, victim = sample_profile("att", seed=1), sample_profile("vic", seed=2)
+        blended = blend_profiles(ProfileBlend(attacker, victim, fidelity=0.8))
+        assert blended.sensor_noise > attacker.sensor_noise
+
+    def test_invalid_fidelity_rejected(self):
+        attacker, victim = sample_profile("att", seed=1), sample_profile("vic", seed=2)
+        with pytest.raises(ValueError, match="fidelity"):
+            blend_profiles(ProfileBlend(attacker, victim, fidelity=1.5))
+
+    def test_blend_identity_encodes_both_parties(self):
+        attacker, victim = sample_profile("att", seed=1), sample_profile("vic", seed=2)
+        blended = blend_profiles(ProfileBlend(attacker, victim, fidelity=0.5))
+        assert "att" in blended.user_id and "vic" in blended.user_id

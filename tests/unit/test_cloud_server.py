@@ -1,0 +1,129 @@
+"""Unit tests for the cloud authentication server (training module)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cloud import (
+    LEGITIMATE_LABEL,
+    AuthenticationServer,
+    default_classifier_factory,
+)
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+
+
+def labelled_matrix(user_id, mean, n=30, n_features=6, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, n_features)),
+        feature_names=[f"f{i}" for i in range(n_features)],
+        user_ids=[user_id] * n,
+        contexts=[context] * n,
+    )
+
+
+@pytest.fixture()
+def populated_server():
+    # The two "other" users sit on the same side of feature space so the
+    # owner-versus-rest problem is linearly separable (as it is for real
+    # motion features, where impostors do not symmetrically surround the
+    # owner in every direction).
+    server = AuthenticationServer(seed=1)
+    for context in ("stationary", "moving"):
+        server.upload_features("owner", labelled_matrix("owner", 0.0, context=context, seed=1))
+        server.upload_features("other1", labelled_matrix("other1", 3.0, context=context, seed=2))
+        server.upload_features("other2", labelled_matrix("other2", 5.0, context=context, seed=3))
+    return server
+
+
+class TestDataCollection:
+    def test_upload_returns_pseudonym(self, populated_server):
+        pseudonym = populated_server.upload_features("owner", labelled_matrix("owner", 0.0, seed=4))
+        assert pseudonym.startswith("anon-") and "owner" not in pseudonym
+
+    def test_pseudonyms_are_stable_and_distinct(self):
+        server = AuthenticationServer()
+        first = server._pseudonym("alice")
+        assert server._pseudonym("alice") == first
+        assert server._pseudonym("bob") != first
+
+    def test_stored_window_count(self, populated_server):
+        assert populated_server.stored_window_count("owner") == 60
+        assert populated_server.stored_window_count("stranger") == 0
+
+    def test_empty_upload_rejected(self):
+        server = AuthenticationServer()
+        empty = FeatureMatrix(values=np.empty((0, 2)), feature_names=["a", "b"])
+        with pytest.raises(ValueError, match="empty"):
+            server.upload_features("u", empty)
+
+
+class TestTraining:
+    def test_trains_model_per_context(self, populated_server):
+        bundle = populated_server.train_authentication_models("owner")
+        assert set(bundle.models) == {CoarseContext.STATIONARY, CoarseContext.MOVING}
+        assert bundle.version == 1
+
+    def test_models_separate_owner_from_others(self, populated_server):
+        bundle = populated_server.train_authentication_models("owner")
+        model = bundle.model_for(CoarseContext.STATIONARY)
+        owner_rows = labelled_matrix("owner", 0.0, seed=10).values
+        other_rows = labelled_matrix("other1", 3.0, seed=11).values
+        assert model.predict_legitimate(owner_rows).mean() > 0.8
+        assert model.predict_legitimate(other_rows).mean() < 0.2
+
+    def test_confidence_sign_convention(self, populated_server):
+        bundle = populated_server.train_authentication_models("owner")
+        model = bundle.model_for(CoarseContext.STATIONARY)
+        owner_scores = model.decision_scores(labelled_matrix("owner", 0.0, seed=12).values)
+        other_scores = model.decision_scores(labelled_matrix("other1", 3.0, seed=13).values)
+        assert float(np.mean(owner_scores)) > 0.0 > float(np.mean(other_scores))
+
+    def test_retraining_increments_version(self, populated_server):
+        populated_server.train_authentication_models("owner")
+        bundle = populated_server.retrain("owner", labelled_matrix("owner", 0.3, seed=14))
+        assert bundle.version == 2
+
+    def test_training_requires_other_users(self):
+        server = AuthenticationServer()
+        server.upload_features("owner", labelled_matrix("owner", 0.0))
+        with pytest.raises(ValueError, match="no other users"):
+            server.train_authentication_models("owner")
+
+    def test_training_requires_uploaded_data(self, populated_server):
+        with pytest.raises(ValueError, match="no uploaded"):
+            populated_server.train_authentication_models("stranger")
+
+    def test_missing_context_model_raises_keyerror(self, populated_server):
+        bundle = populated_server.train_authentication_models(
+            "owner", contexts=(CoarseContext.STATIONARY,)
+        )
+        with pytest.raises(KeyError):
+            bundle.model_for(CoarseContext.MOVING)
+
+    def test_default_classifier_is_linear_krr(self):
+        classifier = default_classifier_factory()
+        assert type(classifier).__name__ == "KernelRidgeClassifier"
+        assert classifier.kernel == "linear"
+
+
+class TestContextDetectorTraining:
+    def test_train_and_download(self, populated_server):
+        matrix = labelled_matrix("owner", 0.0, context="stationary", seed=20).concatenate(
+            labelled_matrix("owner", 5.0, context="moving", seed=21)
+        )
+        populated_server.train_context_detector(matrix)
+        scaler, detector = populated_server.download_context_detector()
+        predictions = detector.predict(scaler.transform(matrix.values))
+        assert set(predictions) <= {"stationary", "moving"}
+
+    def test_download_before_training_fails(self):
+        with pytest.raises(RuntimeError):
+            AuthenticationServer().download_context_detector()
+
+    def test_exclude_user_removes_their_rows(self, populated_server):
+        matrix = labelled_matrix("solo", 0.0, context="stationary").concatenate(
+            labelled_matrix("solo", 5.0, context="moving")
+        )
+        with pytest.raises(ValueError, match="no training rows"):
+            populated_server.train_context_detector(matrix, exclude_user="solo")

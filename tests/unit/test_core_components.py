@@ -1,0 +1,174 @@
+"""Unit tests for the core components: config, context, response, retraining."""
+
+import numpy as np
+import pytest
+
+from repro.core.authenticator import AuthenticationDecision
+from repro.core.config import SmarterYouConfig
+from repro.core.context import ContextDetector
+from repro.core.response import DeviceState, ResponseAction, ResponseModule
+from repro.core.retraining import ConfidenceScoreMonitor
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext, DeviceType
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = SmarterYouConfig()
+        assert config.window_seconds == 6.0
+        assert config.target_enrollment_windows == 800
+        assert config.confidence_threshold == 0.2
+        assert config.feature_spec.dimension == 28
+        assert config.phone_feature_spec.dimension == 14
+
+    def test_with_devices_and_without_context(self):
+        config = SmarterYouConfig().with_devices((DeviceType.SMARTPHONE,))
+        assert config.feature_spec.dimension == 14
+        assert SmarterYouConfig().without_context().use_context is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmarterYouConfig(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            SmarterYouConfig(target_enrollment_windows=5)
+        with pytest.raises(ValueError):
+            SmarterYouConfig(devices=())
+
+
+def context_matrix(n_per_context=40, n_features=14, seed=0):
+    rng = np.random.default_rng(seed)
+    stationary = rng.normal(0.0, 1.0, size=(n_per_context, n_features))
+    moving = rng.normal(4.0, 1.5, size=(n_per_context, n_features))
+    return FeatureMatrix(
+        values=np.vstack([stationary, moving]),
+        feature_names=[f"f{i}" for i in range(n_features)],
+        user_ids=["u1"] * (n_per_context // 2)
+        + ["u2"] * (n_per_context // 2)
+        + ["u1"] * (n_per_context // 2)
+        + ["u2"] * (n_per_context // 2),
+        contexts=["stationary"] * n_per_context + ["moving"] * n_per_context,
+    )
+
+
+class TestContextDetector:
+    def test_detects_both_contexts(self):
+        matrix = context_matrix()
+        detector = ContextDetector().fit(matrix)
+        report = detector.evaluate(matrix)
+        assert report.accuracy > 0.95
+        assert report.as_table()["stationary"]["stationary"] > 90.0
+
+    def test_single_window_detection(self):
+        matrix = context_matrix()
+        detector = ContextDetector().fit(matrix)
+        assert detector.detect_one(matrix.values[0]) in tuple(CoarseContext)
+
+    def test_requires_labels(self):
+        unlabeled = FeatureMatrix(values=np.ones((4, 2)), feature_names=["a", "b"])
+        with pytest.raises(ValueError, match="context labels"):
+            ContextDetector().fit(unlabeled)
+
+    def test_exclude_user_is_user_agnostic(self):
+        matrix = context_matrix()
+        detector = ContextDetector().fit(matrix, exclude_user="u1")
+        predictions = detector.detect(matrix.values)
+        assert len(predictions) == len(matrix)
+
+    def test_unfitted_detector_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ContextDetector().detect(np.ones((1, 14)))
+
+
+def decision(accepted, score=0.5):
+    return AuthenticationDecision(
+        accepted=accepted, confidence_score=score, context=CoarseContext.STATIONARY
+    )
+
+
+class TestResponseModule:
+    def test_accept_keeps_device_unlocked(self):
+        response = ResponseModule(lockout_consecutive_rejections=2)
+        assert response.handle(decision(True)) is ResponseAction.ALLOW
+        assert response.state is DeviceState.UNLOCKED
+        assert response.sensitive_data_accessible
+
+    def test_single_rejection_restricts_sensitive_data(self):
+        response = ResponseModule(lockout_consecutive_rejections=2)
+        assert response.handle(decision(False)) is ResponseAction.RESTRICT_SENSITIVE
+        assert response.state is DeviceState.RESTRICTED
+        assert not response.sensitive_data_accessible
+
+    def test_consecutive_rejections_lock_device(self):
+        response = ResponseModule(lockout_consecutive_rejections=2)
+        response.handle(decision(False))
+        assert response.handle(decision(False)) is ResponseAction.LOCK_DEVICE
+        assert response.state is DeviceState.LOCKED
+        # Once locked, further windows require explicit authentication.
+        assert response.handle(decision(True)) is ResponseAction.REQUIRE_EXPLICIT_AUTH
+
+    def test_acceptance_resets_rejection_counter(self):
+        response = ResponseModule(lockout_consecutive_rejections=2)
+        response.handle(decision(False))
+        response.handle(decision(True))
+        assert response.handle(decision(False)) is ResponseAction.RESTRICT_SENSITIVE
+
+    def test_explicit_reauthentication(self):
+        response = ResponseModule(lockout_consecutive_rejections=1)
+        response.handle(decision(False))
+        assert response.state is DeviceState.LOCKED
+        assert response.explicit_reauthentication(False) is DeviceState.LOCKED
+        assert response.explicit_reauthentication(True) is DeviceState.UNLOCKED
+
+    def test_audit_log_and_reset(self):
+        response = ResponseModule()
+        response.handle(decision(True))
+        response.handle(decision(False))
+        assert len(response.events) == 2
+        response.reset()
+        assert not response.events and response.state is DeviceState.UNLOCKED
+
+
+class TestConfidenceScoreMonitor:
+    def test_healthy_scores_do_not_trigger(self):
+        monitor = ConfidenceScoreMonitor(threshold=0.2, required_days_below=1.0)
+        for day in np.linspace(0.0, 5.0, 50):
+            result = monitor.observe(day, 0.8)
+        assert not result.should_retrain
+
+    def test_sustained_low_scores_trigger(self):
+        monitor = ConfidenceScoreMonitor(threshold=0.2, required_days_below=1.0, smoothing_window=5)
+        result = None
+        for day in np.linspace(0.0, 3.0, 60):
+            result = monitor.observe(day, 0.05)
+        assert result.should_retrain
+        assert result.days_below_threshold >= 1.0
+
+    def test_brief_dip_does_not_trigger(self):
+        monitor = ConfidenceScoreMonitor(threshold=0.2, required_days_below=2.0, smoothing_window=3)
+        monitor.observe(0.0, 0.05)
+        monitor.observe(0.1, 0.05)
+        result = monitor.observe(0.5, 0.9)
+        assert not result.should_retrain
+
+    def test_mark_retrained_resets_state(self):
+        monitor = ConfidenceScoreMonitor(threshold=0.2, required_days_below=0.5, smoothing_window=2)
+        for day in np.linspace(0.0, 2.0, 20):
+            monitor.observe(day, 0.0)
+        assert monitor.decision(2.0).should_retrain
+        monitor.mark_retrained(2.0)
+        assert not monitor.decision(2.1).should_retrain
+        assert monitor.retraining_events_days == [2.0]
+
+    def test_out_of_order_observations_rejected(self):
+        monitor = ConfidenceScoreMonitor()
+        monitor.observe(1.0, 0.5)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            monitor.observe(0.5, 0.5)
+
+    def test_history_series(self):
+        monitor = ConfidenceScoreMonitor()
+        monitor.observe(0.0, 0.5)
+        monitor.observe(1.0, 0.6)
+        days, scores = monitor.history()
+        np.testing.assert_array_equal(days, [0.0, 1.0])
+        np.testing.assert_array_equal(scores, [0.5, 0.6])

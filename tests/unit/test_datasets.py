@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic population and data-collection routines."""
+
+import pytest
+
+from repro.datasets.collection import (
+    SensorDataset,
+    collect_free_form_dataset,
+    collect_lab_context_dataset,
+    collect_session,
+    free_form_context_mixture,
+)
+from repro.datasets.population import (
+    AgeBand,
+    Gender,
+    PAPER_AGE_DISTRIBUTION,
+    PAPER_GENDER_DISTRIBUTION,
+    build_study_population,
+)
+from repro.sensors.types import CoarseContext, Context, DeviceType, SensorType
+
+
+class TestPopulation:
+    def test_default_population_matches_paper_demographics(self):
+        population = build_study_population(seed=0)
+        assert len(population) == 35
+        assert population.gender_histogram() == PAPER_GENDER_DISTRIBUTION
+        assert population.age_histogram() == PAPER_AGE_DISTRIBUTION
+
+    def test_each_participant_has_unique_profile(self, population):
+        frequencies = [p.profile.gait.frequency_hz for p in population]
+        assert len(set(frequencies)) == len(population)
+
+    def test_lookup_and_subset(self, population):
+        first = population[0]
+        assert population.by_id(first.user_id) is first
+        assert len(population.subset(3)) == 3
+        with pytest.raises(KeyError):
+            population.by_id("nobody")
+        with pytest.raises(ValueError):
+            population.subset(0)
+
+    def test_custom_size_population(self):
+        population = build_study_population(n_users=10, seed=1)
+        assert len(population) == 10
+        assert sum(population.gender_histogram().values()) == 10
+
+    def test_reproducible_given_seed(self):
+        a = build_study_population(n_users=6, seed=5)
+        b = build_study_population(n_users=6, seed=5)
+        assert [p.gender for p in a] == [p.gender for p in b]
+        assert a[0].profile == b[0].profile
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_study_population(n_users=0)
+
+
+class TestCollectSession:
+    def test_records_both_devices(self, profile):
+        session = collect_session(profile, Context.MOVING, 12.0, seed=1)
+        assert set(session.recordings) == {DeviceType.SMARTPHONE, DeviceType.SMARTWATCH}
+        assert session.coarse_context is CoarseContext.MOVING
+
+    def test_feature_extraction_helpers(self, profile):
+        session = collect_session(profile, Context.MOVING, 24.0, seed=2)
+        auth = session.authentication_features(6.0)
+        phone = session.device_features(DeviceType.SMARTPHONE, 6.0)
+        assert auth.values.shape == (4, 28)
+        assert phone.values.shape == (4, 14)
+        with pytest.raises(KeyError):
+            collect_session(
+                profile, Context.MOVING, 12.0, devices=(DeviceType.SMARTPHONE,), seed=3
+            ).device_features(DeviceType.SMARTWATCH, 6.0)
+
+
+class TestFreeFormCollection:
+    def test_expected_session_count(self, population):
+        dataset = collect_free_form_dataset(
+            population, session_duration=30.0, sessions_per_context=2, seed=1
+        )
+        assert len(dataset) == len(population) * 2 * 2
+
+    def test_authentication_matrix_is_labelled(self, free_form_dataset):
+        matrix = free_form_dataset.authentication_matrix(6.0)
+        assert len(set(matrix.user_ids)) == 5
+        assert set(matrix.contexts) == {"stationary", "moving"}
+
+    def test_user_filter(self, free_form_dataset, population):
+        target = population[0].user_id
+        matrix = free_form_dataset.authentication_matrix(6.0, users=[target])
+        assert set(matrix.user_ids) == {target}
+
+    def test_sessions_for_context_filter(self, free_form_dataset, population):
+        target = population[0].user_id
+        moving = free_form_dataset.sessions_for(target, context=CoarseContext.MOVING)
+        assert all(s.coarse_context is CoarseContext.MOVING for s in moving)
+
+    def test_device_matrix(self, free_form_dataset):
+        matrix = free_form_dataset.device_matrix(DeviceType.SMARTWATCH, 6.0)
+        assert matrix.values.shape[1] == 14
+
+    def test_empty_dataset_errors(self):
+        with pytest.raises(ValueError):
+            SensorDataset(sessions=[]).authentication_matrix(6.0)
+
+
+class TestLabCollection:
+    def test_covers_all_fine_contexts_phone_only(self, lab_dataset, population):
+        contexts = {session.context for session in lab_dataset}
+        assert contexts == set(Context)
+        assert all(
+            set(session.recordings) == {DeviceType.SMARTPHONE} for session in lab_dataset
+        )
+        assert len(lab_dataset) == len(population) * len(Context)
+
+
+class TestContextMixture:
+    def test_total_duration_covered(self, profile):
+        sessions = free_form_context_mixture(profile, total_duration=90.0, segment_duration=30.0, seed=4)
+        assert sum(s.recordings[DeviceType.SMARTPHONE].duration for s in sessions) == pytest.approx(
+            90.0, abs=1.0
+        )
+
+    def test_sensors_limited_to_selection(self, profile):
+        sessions = free_form_context_mixture(profile, total_duration=30.0, seed=5)
+        for session in sessions:
+            assert set(session.recordings[DeviceType.SMARTPHONE].sensors()) == {
+                SensorType.ACCELEROMETER,
+                SensorType.GYROSCOPE,
+            }

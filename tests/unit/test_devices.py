@@ -1,0 +1,148 @@
+"""Unit tests for the device substrate (devices, link, crypto, cost models)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.battery import BatteryModel, PowerScenario
+from repro.devices.bluetooth import BluetoothLink
+from repro.devices.cpu import ComputeCostModel
+from repro.devices.device import DeviceSpec
+from repro.devices.secure_channel import IntegrityError, SecureChannel, SecureMessage
+from repro.devices.smartphone import NEXUS5_SPEC, Smartphone
+from repro.devices.smartwatch import MOTO360_SPEC, Smartwatch
+from repro.sensors.types import Context, DeviceType, SensorType
+
+
+class TestDevices:
+    def test_smartphone_records_requested_sensors(self, profile):
+        phone = Smartphone(profile, seed=1)
+        recording = phone.record(Context.MOVING, 10.0, sensors=(SensorType.ACCELEROMETER,))
+        assert recording.device is DeviceType.SMARTPHONE
+        assert recording.sensors() == (SensorType.ACCELEROMETER,)
+
+    def test_smartwatch_device_type(self, profile):
+        watch = Smartwatch(profile, seed=1)
+        assert watch.record(Context.MOVING, 5.0).device is DeviceType.SMARTWATCH
+
+    def test_missing_sensor_rejected(self, profile):
+        spec = DeviceSpec(model_name="minimal", sensors=(SensorType.ACCELEROMETER,))
+        phone = Smartphone(profile, spec=spec, seed=1)
+        with pytest.raises(ValueError, match="lacks sensors"):
+            phone.record(Context.MOVING, 5.0, sensors=(SensorType.LIGHT,))
+
+    def test_assign_user_switches_behaviour(self, profile, second_profile):
+        phone = Smartphone(profile, seed=1)
+        assert phone.current_user_id == "alice"
+        phone.assign_user(second_profile)
+        assert phone.current_user_id == "bob"
+        assert phone.record(Context.MOVING, 5.0).user_id == "bob"
+
+    def test_default_specs_mirror_paper_hardware(self):
+        assert NEXUS5_SPEC.model_name == "Nexus 5" and NEXUS5_SPEC.sampling_rate == 50.0
+        assert MOTO360_SPEC.model_name == "Moto 360"
+
+
+class TestSecureChannel:
+    def test_encrypt_decrypt_roundtrip(self):
+        sender, receiver = SecureChannel.pair()
+        message = sender.encrypt(b"sensor payload")
+        assert receiver.decrypt(message) == b"sensor payload"
+
+    def test_tampering_detected(self):
+        sender, receiver = SecureChannel.pair()
+        message = sender.encrypt(b"secret")
+        tampered = SecureMessage(
+            nonce=message.nonce, ciphertext=b"\x00" * len(message.ciphertext), tag=message.tag
+        )
+        with pytest.raises(IntegrityError):
+            receiver.decrypt(tampered)
+
+    def test_wrong_key_fails(self):
+        sender, _ = SecureChannel.pair()
+        _, other_receiver = SecureChannel.pair()
+        with pytest.raises(IntegrityError):
+            other_receiver.decrypt(sender.encrypt(b"hello"))
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sender, _ = SecureChannel.pair()
+        message = sender.encrypt(b"plaintext!")
+        assert message.ciphertext != b"plaintext!"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SecureChannel(b"")
+
+
+class TestBluetoothLink:
+    def test_lossless_link_delivers_payload(self):
+        link = BluetoothLink(loss_probability=0.0, seed=1)
+        assert link.transmit({"samples": [1, 2, 3]}) == {"samples": [1, 2, 3]}
+        assert link.stats.delivery_ratio == 1.0
+        assert link.stats.bytes_sent > 0 and link.stats.energy_mah > 0
+
+    def test_lossy_link_drops_packets(self):
+        link = BluetoothLink(loss_probability=1.0, seed=1)
+        assert link.transmit("payload") is None
+        assert link.stats.packets_dropped == 1
+
+    def test_latency_accounted(self):
+        link = BluetoothLink(loss_probability=0.0, base_latency_s=0.05, seed=2)
+        link.transmit("x")
+        assert link.stats.mean_latency_s >= 0.05
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            BluetoothLink(loss_probability=1.5)
+
+
+class TestBatteryModel:
+    def test_smarteryou_adds_roughly_two_percent(self):
+        results = BatteryModel().table_viii()
+        idle_overhead = (
+            results[PowerScenario.LOCKED_SMARTERYOU_ON].consumed_percent
+            - results[PowerScenario.LOCKED_SMARTERYOU_OFF].consumed_percent
+        )
+        active_overhead = (
+            results[PowerScenario.ACTIVE_SMARTERYOU_ON].consumed_percent
+            - results[PowerScenario.ACTIVE_SMARTERYOU_OFF].consumed_percent
+        )
+        assert 1.0 < idle_overhead < 4.0
+        assert 0.1 < active_overhead < 4.0
+
+    def test_active_use_dominates_idle(self):
+        model = BatteryModel()
+        active = model.simulate(PowerScenario.ACTIVE_SMARTERYOU_OFF, 1.0)
+        idle = model.simulate(PowerScenario.LOCKED_SMARTERYOU_OFF, 1.0)
+        assert active.consumed_percent > idle.consumed_percent
+
+    def test_sampling_rate_scales_cost(self):
+        slow = BatteryModel(sampling_rate_hz=25.0).smarteryou_current_ma()
+        fast = BatteryModel(sampling_rate_hz=100.0).smarteryou_current_ma()
+        assert fast > slow
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModel().simulate(PowerScenario.LOCKED_SMARTERYOU_OFF, 0.0)
+
+
+class TestComputeCostModel:
+    def test_primal_cheaper_than_dual_at_paper_sizes(self):
+        model = ComputeCostModel()
+        primal = model.krr_training_flops(720, 28, use_primal=True)
+        dual = model.krr_training_flops(720, 28, use_primal=False)
+        assert primal < dual
+
+    def test_report_in_paper_ballpark(self):
+        report = ComputeCostModel().report()
+        assert 0.001 < report.training_time_s < 1.0
+        assert report.total_decision_time_ms < 100.0
+        assert 0.5 < report.cpu_utilization_percent < 20.0
+        assert 1.0 < report.memory_mb < 20.0
+
+    def test_testing_time_grows_with_window(self):
+        model = ComputeCostModel()
+        assert model.testing_time_ms(window_seconds=12.0) > model.testing_time_ms(window_seconds=3.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeCostModel().krr_training_flops(0, 28)

@@ -1,0 +1,106 @@
+"""Unit tests for Fisher / KS / correlation based feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.features.selection import correlation_prune, fisher_scores_by_sensor, ks_feature_screen
+from repro.features.vector import FeatureMatrix
+from repro.sensors.generators import generate_recording
+from repro.sensors.types import Context, DeviceType, SensorType
+
+
+class TestFisherScoresBySensor:
+    def test_motion_sensors_beat_environment_sensors(self, population):
+        # Several sessions per user, so the session-to-session variability of
+        # the environment sensors (lighting, local field, heading) shows up in
+        # the within-user variance as it would over a two-week study.
+        recordings = [
+            generate_recording(
+                participant.profile,
+                DeviceType.SMARTPHONE,
+                Context.MOVING,
+                30.0,
+                seed=100 * index + repeat,
+            )
+            for index, participant in enumerate(population)
+            for repeat in range(3)
+        ]
+        scores = fisher_scores_by_sensor(recordings)
+        motion = np.mean([scores["Acc(x)"], scores["Acc(y)"], scores["Acc(z)"],
+                          scores["Gyr(x)"], scores["Gyr(y)"], scores["Gyr(z)"]])
+        environment = np.mean([scores["Mag(x)"], scores["Mag(y)"], scores["Mag(z)"],
+                               scores["Ori(x)"], scores["Ori(y)"], scores["Ori(z)"], scores["Light"]])
+        assert motion > environment
+
+    def test_requires_recordings(self):
+        with pytest.raises(ValueError):
+            fisher_scores_by_sensor([])
+
+    def test_every_axis_reported(self, population):
+        recordings = [
+            generate_recording(p.profile, DeviceType.SMARTPHONE, Context.MOVING, 20.0, seed=i)
+            for i, p in enumerate(population)
+        ]
+        scores = fisher_scores_by_sensor(recordings)
+        assert len(scores) == 13  # 4 tri-axial sensors + light
+
+
+def synthetic_matrix(n_per_user=40, separation=3.0, seed=0):
+    """Two-user matrix where feature 'good' separates users and 'bad' does not."""
+    rng = np.random.default_rng(seed)
+    good = np.concatenate([rng.normal(0, 1, n_per_user), rng.normal(separation, 1, n_per_user)])
+    bad = rng.normal(0, 1, 2 * n_per_user)
+    redundant = good * 2.0 + rng.normal(0, 0.01, 2 * n_per_user)
+    values = np.column_stack([good, bad, redundant])
+    return FeatureMatrix(
+        values=values,
+        feature_names=["good", "bad", "redundant"],
+        user_ids=["u1"] * n_per_user + ["u2"] * n_per_user,
+        contexts=["moving"] * (2 * n_per_user),
+    )
+
+
+class TestKsScreen:
+    def test_discriminative_feature_kept_noise_dropped(self):
+        results = ks_feature_screen(synthetic_matrix())
+        assert results["good"].keep is True
+        assert results["bad"].keep is False
+
+    def test_fraction_significant_in_unit_interval(self):
+        results = ks_feature_screen(synthetic_matrix())
+        for result in results.values():
+            assert 0.0 <= result.fraction_significant <= 1.0
+
+    def test_requires_user_labels(self):
+        matrix = FeatureMatrix(values=np.ones((4, 1)), feature_names=["x"])
+        with pytest.raises(ValueError, match="user labels"):
+            ks_feature_screen(matrix)
+
+    def test_requires_two_users(self):
+        matrix = FeatureMatrix(
+            values=np.ones((4, 1)), feature_names=["x"], user_ids=["a"] * 4, contexts=["moving"] * 4
+        )
+        with pytest.raises(ValueError, match="two users"):
+            ks_feature_screen(matrix)
+
+
+class TestCorrelationPrune:
+    def test_redundant_feature_dropped(self):
+        kept, dropped = correlation_prune(synthetic_matrix(), threshold=0.9)
+        assert "good" in kept and "bad" in kept
+        assert any(name == "redundant" for name, _, _ in dropped)
+
+    def test_priority_order_controls_winner(self):
+        kept, dropped = correlation_prune(
+            synthetic_matrix(), threshold=0.9, priority=["redundant", "good", "bad"]
+        )
+        assert "redundant" in kept
+        assert any(name == "good" for name, _, _ in dropped)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(KeyError):
+            correlation_prune(synthetic_matrix(), priority=["missing"])
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            correlation_prune(synthetic_matrix(), threshold=1.5)

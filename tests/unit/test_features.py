@@ -1,0 +1,141 @@
+"""Unit tests for windowing, time/frequency features and vector assembly."""
+
+import numpy as np
+import pytest
+
+from repro.features.frequency_domain import frequency_domain_features, power_spectrum
+from repro.features.time_domain import time_domain_features
+from repro.features.vector import (
+    FeatureMatrix,
+    FeatureVectorSpec,
+    extract_authentication_matrix,
+    extract_device_vector,
+    feature_names,
+    stack_matrices,
+)
+from repro.features.windowing import segment_recording, segment_stream
+from repro.sensors.types import DeviceType, SensorType
+
+
+class TestWindowing:
+    def test_six_second_windows(self, moving_recording):
+        windows = segment_stream(moving_recording[SensorType.ACCELEROMETER], 6.0)
+        assert len(windows) == 5
+        assert all(len(window) == 300 for window in windows)
+
+    def test_overlap_increases_window_count(self, moving_recording):
+        stream = moving_recording[SensorType.ACCELEROMETER]
+        assert len(segment_stream(stream, 6.0, overlap=0.5)) > len(segment_stream(stream, 6.0))
+
+    def test_invalid_overlap_rejected(self, moving_recording):
+        with pytest.raises(ValueError):
+            segment_stream(moving_recording[SensorType.ACCELEROMETER], 6.0, overlap=1.0)
+
+    def test_segment_recording_aligns_sensors(self, moving_recording):
+        aligned = segment_recording(moving_recording, 6.0, sensors=(SensorType.ACCELEROMETER, SensorType.GYROSCOPE))
+        assert len(aligned) == 5
+        for entry in aligned:
+            assert entry[SensorType.ACCELEROMETER].start_time == entry[SensorType.GYROSCOPE].start_time
+
+
+class TestTimeDomain:
+    def test_known_statistics(self):
+        signal = np.array([1.0, 2.0, 3.0, 4.0])
+        features = time_domain_features(signal, features=("mean", "var", "max", "min", "range"))
+        assert features["mean"] == pytest.approx(2.5)
+        assert features["var"] == pytest.approx(1.25)
+        assert features["max"] == 4.0 and features["min"] == 1.0 and features["range"] == 3.0
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            time_domain_features(np.ones(10), features=("median",))
+
+
+class TestFrequencyDomain:
+    def test_peak_frequency_of_pure_tone(self):
+        rate = 50.0
+        t = np.arange(0, 10, 1.0 / rate)
+        signal = 5.0 + 2.0 * np.sin(2.0 * np.pi * 2.0 * t)
+        features = frequency_domain_features(signal, rate)
+        assert features["peak_f"] == pytest.approx(2.0, abs=0.2)
+        assert features["peak"] > 0.5
+
+    def test_second_peak_found_outside_exclusion_zone(self):
+        rate = 50.0
+        t = np.arange(0, 20, 1.0 / rate)
+        signal = np.sin(2.0 * np.pi * 2.0 * t) + 0.5 * np.sin(2.0 * np.pi * 5.0 * t)
+        features = frequency_domain_features(signal, rate, features=("peak_f", "peak2_f", "peak2"))
+        assert features["peak_f"] == pytest.approx(2.0, abs=0.2)
+        assert features["peak2_f"] == pytest.approx(5.0, abs=0.3)
+
+    def test_dc_component_ignored(self):
+        signal = np.full(300, 9.81)
+        features = frequency_domain_features(signal, 50.0)
+        assert features["peak"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_power_spectrum_shapes(self):
+        frequencies, amplitudes = power_spectrum(np.random.default_rng(0).normal(size=300), 50.0)
+        assert len(frequencies) == len(amplitudes) == 151
+        assert frequencies[-1] == pytest.approx(25.0)
+
+
+class TestFeatureVectorSpec:
+    def test_paper_dimensions(self):
+        assert FeatureVectorSpec().dimension == 28
+        assert FeatureVectorSpec().phone_only().dimension == 14
+
+    def test_feature_names_are_qualified(self):
+        names = feature_names()
+        assert len(names) == 28
+        assert names[0] == "smartphone.accelerometer.mean"
+        assert names[-1] == "smartwatch.gyroscope.peak2"
+
+
+class TestExtraction:
+    def test_device_vector_shape(self, moving_recording):
+        matrix = extract_device_vector(moving_recording, 6.0)
+        assert matrix.values.shape == (5, 14)
+        assert matrix.user_ids == ["alice"] * 5
+        assert set(matrix.contexts) == {"moving"}
+
+    def test_authentication_matrix_combines_devices(self, free_form_dataset):
+        session = free_form_dataset.sessions[0]
+        matrix = extract_authentication_matrix(session.recordings, 6.0)
+        assert matrix.values.shape[1] == 28
+
+    def test_missing_device_rejected(self, moving_recording):
+        with pytest.raises(KeyError, match="smartwatch"):
+            extract_authentication_matrix({DeviceType.SMARTPHONE: moving_recording}, 6.0)
+
+
+class TestFeatureMatrix:
+    def test_column_lookup(self):
+        matrix = FeatureMatrix(values=np.arange(6.0).reshape(2, 3), feature_names=["a", "b", "c"])
+        np.testing.assert_array_equal(matrix.column("b"), [1.0, 4.0])
+        with pytest.raises(KeyError):
+            matrix.column("missing")
+
+    def test_concatenate_checks_columns(self):
+        a = FeatureMatrix(values=np.ones((2, 2)), feature_names=["a", "b"])
+        b = FeatureMatrix(values=np.zeros((1, 2)), feature_names=["a", "b"])
+        assert len(a.concatenate(b)) == 3
+        c = FeatureMatrix(values=np.zeros((1, 2)), feature_names=["x", "y"])
+        with pytest.raises(ValueError):
+            a.concatenate(c)
+
+    def test_rows_for_user(self):
+        matrix = FeatureMatrix(
+            values=np.arange(4.0).reshape(2, 2),
+            feature_names=["a", "b"],
+            user_ids=["u1", "u2"],
+            contexts=["moving", "moving"],
+        )
+        np.testing.assert_array_equal(matrix.rows_for_user("u2"), [[2.0, 3.0]])
+
+    def test_stack_matrices_requires_input(self):
+        with pytest.raises(ValueError):
+            stack_matrices([])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="columns"):
+            FeatureMatrix(values=np.ones((2, 3)), feature_names=["a", "b"])

@@ -1,0 +1,104 @@
+"""Unit tests for the sensor-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.generators import GRAVITY, SensorStreamGenerator, generate_recording
+from repro.sensors.types import Context, DeviceType, SensorType
+
+
+class TestBasicProperties:
+    def test_requested_duration_and_rate(self, profile):
+        recording = generate_recording(
+            profile, DeviceType.SMARTPHONE, Context.MOVING, duration=10.0, seed=1
+        )
+        stream = recording[SensorType.ACCELEROMETER]
+        assert len(stream) == 500
+        assert stream.sampling_rate == 50.0
+
+    def test_all_requested_sensors_present(self, moving_recording):
+        assert set(moving_recording.sensors()) == set(SensorType)
+
+    def test_sensor_subset_respected(self, profile):
+        recording = generate_recording(
+            profile,
+            DeviceType.SMARTPHONE,
+            Context.MOVING,
+            duration=5.0,
+            sensors=(SensorType.GYROSCOPE,),
+            seed=2,
+        )
+        assert recording.sensors() == (SensorType.GYROSCOPE,)
+
+    def test_invalid_duration_rejected(self, profile):
+        with pytest.raises(ValueError):
+            generate_recording(profile, DeviceType.SMARTPHONE, Context.MOVING, duration=0.0)
+
+    def test_finite_values_everywhere(self, moving_recording):
+        for sensor in moving_recording.sensors():
+            assert np.all(np.isfinite(moving_recording[sensor].samples))
+
+
+class TestPhysicalPlausibility:
+    def test_accelerometer_magnitude_near_gravity_when_static(self, stationary_recording):
+        magnitude = stationary_recording[SensorType.ACCELEROMETER].magnitude()
+        assert abs(float(np.mean(magnitude)) - GRAVITY) < 2.0
+
+    def test_moving_has_more_energy_than_stationary(self, profile):
+        generator = SensorStreamGenerator(profile, seed=3)
+        moving = generator.generate(DeviceType.SMARTPHONE, Context.MOVING, 20.0)
+        static = generator.generate(DeviceType.SMARTPHONE, Context.HANDHELD_STATIC, 20.0)
+        moving_var = float(np.var(moving[SensorType.ACCELEROMETER].magnitude()))
+        static_var = float(np.var(static[SensorType.ACCELEROMETER].magnitude()))
+        assert moving_var > 5.0 * static_var
+
+    def test_on_table_is_nearly_still(self, profile):
+        generator = SensorStreamGenerator(profile, seed=4)
+        table = generator.generate(DeviceType.SMARTPHONE, Context.ON_TABLE, 20.0)
+        assert float(np.std(table[SensorType.GYROSCOPE].magnitude())) < 0.2
+
+    def test_gait_frequency_appears_in_spectrum(self, profile):
+        generator = SensorStreamGenerator(profile, seed=5)
+        recording = generator.generate(DeviceType.SMARTPHONE, Context.MOVING, 40.0)
+        magnitude = recording[SensorType.ACCELEROMETER].magnitude()
+        centered = magnitude - magnitude.mean()
+        spectrum = np.abs(np.fft.rfft(centered))
+        frequencies = np.fft.rfftfreq(len(centered), d=1.0 / 50.0)
+        dominant = frequencies[np.argmax(spectrum)]
+        assert abs(dominant - profile.gait.frequency_hz) < 0.5
+
+    def test_light_is_non_negative(self, moving_recording):
+        assert np.all(moving_recording[SensorType.LIGHT].samples >= 0.0)
+
+
+class TestUserAndDeviceDifferences:
+    def test_different_users_produce_different_signals(self, profile, second_profile):
+        a = generate_recording(profile, DeviceType.SMARTPHONE, Context.MOVING, 20.0, seed=6)
+        b = generate_recording(second_profile, DeviceType.SMARTPHONE, Context.MOVING, 20.0, seed=6)
+        var_a = float(np.var(a[SensorType.ACCELEROMETER].magnitude()))
+        var_b = float(np.var(b[SensorType.ACCELEROMETER].magnitude()))
+        assert not np.isclose(var_a, var_b, rtol=0.05)
+
+    def test_watch_and_phone_views_differ(self, profile):
+        generator = SensorStreamGenerator(profile, seed=7)
+        phone = generator.generate(DeviceType.SMARTPHONE, Context.MOVING, 20.0)
+        watch = generator.generate(DeviceType.SMARTWATCH, Context.MOVING, 20.0)
+        assert not np.allclose(
+            phone[SensorType.ACCELEROMETER].samples[:100],
+            watch[SensorType.ACCELEROMETER].samples[:100],
+        )
+
+    def test_sessions_are_not_identical(self, profile):
+        generator = SensorStreamGenerator(profile, seed=8)
+        first = generator.generate(DeviceType.SMARTPHONE, Context.MOVING, 10.0)
+        second = generator.generate(DeviceType.SMARTPHONE, Context.MOVING, 10.0)
+        assert not np.allclose(
+            first[SensorType.ACCELEROMETER].samples, second[SensorType.ACCELEROMETER].samples
+        )
+
+    def test_same_seed_reproduces_recording(self, profile):
+        a = generate_recording(profile, DeviceType.SMARTPHONE, Context.MOVING, 10.0, seed=9)
+        b = generate_recording(profile, DeviceType.SMARTPHONE, Context.MOVING, 10.0, seed=9)
+        np.testing.assert_array_equal(
+            a[SensorType.ACCELEROMETER].samples, b[SensorType.ACCELEROMETER].samples
+        )

@@ -1,0 +1,160 @@
+"""Unit tests for the baseline classifiers (SVM, linear, NB, trees, k-NN)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError, clone
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel, resolve_kernel
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LinearRegressionClassifier, LogisticRegressionClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def binary_problem(n=150, separation=2.5, n_features=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(0, 1, (n // 2, n_features)), rng.normal(separation, 1, (n // 2, n_features))]
+    )
+    y = np.array(["neg"] * (n // 2) + ["pos"] * (n // 2))
+    return X, y
+
+
+ALL_BINARY_CLASSIFIERS = [
+    LinearSVMClassifier(n_iterations=300),
+    LinearRegressionClassifier(),
+    LogisticRegressionClassifier(n_iterations=300),
+    GaussianNaiveBayes(),
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_estimators=15, random_state=0),
+    KNeighborsClassifier(n_neighbors=3),
+]
+
+
+class TestAllClassifiers:
+    @pytest.mark.parametrize("estimator", ALL_BINARY_CLASSIFIERS, ids=lambda e: type(e).__name__)
+    def test_learns_separable_problem(self, estimator):
+        X, y = binary_problem()
+        model = clone(estimator).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    @pytest.mark.parametrize("estimator", ALL_BINARY_CLASSIFIERS, ids=lambda e: type(e).__name__)
+    def test_predict_before_fit_raises(self, estimator):
+        with pytest.raises(NotFittedError):
+            clone(estimator).predict(np.ones((2, 5)))
+
+    @pytest.mark.parametrize("estimator", ALL_BINARY_CLASSIFIERS, ids=lambda e: type(e).__name__)
+    def test_predictions_use_training_labels(self, estimator):
+        X, y = binary_problem()
+        predictions = clone(estimator).fit(X, y).predict(X)
+        assert set(predictions) <= {"neg", "pos"}
+
+
+class TestSvm:
+    def test_loss_decreases(self):
+        X, y = binary_problem()
+        model = LinearSVMClassifier(n_iterations=400).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_parameter_validation(self):
+        X, y = binary_problem()
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(C=-1.0).fit(X, y)
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(n_iterations=0).fit(X, y)
+
+
+class TestNaiveBayes:
+    def test_probabilities_sum_to_one(self):
+        X, y = binary_problem()
+        probabilities = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_handles_three_classes(self):
+        rng = np.random.default_rng(2)
+        X = np.vstack([rng.normal(i * 3, 1, (30, 4)) for i in range(3)])
+        y = np.array(["a"] * 30 + ["b"] * 30 + ["c"] * 30)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_priors_reflect_class_balance(self):
+        X, y = binary_problem()
+        model = GaussianNaiveBayes().fit(X, y)
+        np.testing.assert_allclose(model.class_prior_, [0.5, 0.5])
+
+
+class TestTreesAndForest:
+    def test_tree_handles_single_class_bootstrap(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.array(["only"] * 20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) == {"only"}
+
+    def test_max_depth_limits_node_count(self):
+        X, y = binary_problem(n=200)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert shallow.n_nodes_ <= 3 < deep.n_nodes_
+
+    def test_forest_beats_single_stump_on_noisy_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 8))
+        y = np.where(X[:, 0] + X[:, 1] + 0.5 * rng.normal(size=300) > 0, "pos", "neg")
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y).score(X, y)
+        forest = RandomForestClassifier(n_estimators=30, random_state=0).fit(X, y).score(X, y)
+        assert forest > stump
+
+    def test_forest_probabilities_valid(self):
+        X, y = binary_problem()
+        probabilities = RandomForestClassifier(n_estimators=10, random_state=1).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_forest_is_reproducible_with_seed(self):
+        X, y = binary_problem()
+        a = RandomForestClassifier(n_estimators=8, random_state=5).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=8, random_state=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_forest_parameter_validation(self):
+        X, y = binary_problem()
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0).fit(X, y)
+
+
+class TestKnn:
+    def test_distance_weighting(self):
+        X, y = binary_problem()
+        model = KNeighborsClassifier(n_neighbors=5, weights="distance").fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_neighbor_count_validated(self):
+        X, y = binary_problem(n=10)
+        with pytest.raises(ValueError, match="exceeds"):
+            KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="nope").fit(X, y)
+
+
+class TestKernels:
+    def test_linear_kernel_is_gram_matrix(self, rng):
+        X = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(linear_kernel(X, X), X @ X.T)
+
+    def test_rbf_kernel_diagonal_is_one(self, rng):
+        X = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(np.diag(rbf_kernel(X, X, gamma=0.5)), 1.0)
+
+    def test_polynomial_kernel_degree_one(self, rng):
+        X = rng.normal(size=(4, 2))
+        np.testing.assert_allclose(polynomial_kernel(X, X, degree=1, coef0=0.0), X @ X.T)
+
+    def test_resolve_kernel_by_name_and_callable(self, rng):
+        X = rng.normal(size=(4, 2))
+        np.testing.assert_allclose(resolve_kernel("identity")(X, X), linear_kernel(X, X))
+        np.testing.assert_allclose(
+            resolve_kernel("rbf", gamma=2.0)(X, X), rbf_kernel(X, X, gamma=2.0)
+        )
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("mystery")

@@ -1,0 +1,107 @@
+"""Unit tests for the kernel ridge regression classifier (Eq. 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+
+
+def binary_problem(n=120, separation=2.0, n_features=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(0, 1, (n // 2, n_features)), rng.normal(separation, 1, (n // 2, n_features))]
+    )
+    y = np.array(["neg"] * (n // 2) + ["pos"] * (n // 2))
+    return X, y
+
+
+class TestFitPredict:
+    def test_separable_problem_learned(self):
+        X, y = binary_problem()
+        model = KernelRidgeClassifier().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_rbf_kernel_handles_nonlinear_boundary(self):
+        rng = np.random.default_rng(1)
+        radius = np.concatenate([rng.uniform(0, 1, 100), rng.uniform(2, 3, 100)])
+        angle = rng.uniform(0, 2 * np.pi, 200)
+        X = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+        y = np.array(["inner"] * 100 + ["outer"] * 100)
+        linear = KernelRidgeClassifier(kernel="linear").fit(X, y).score(X, y)
+        rbf = KernelRidgeClassifier(kernel="rbf", gamma=1.0).fit(X, y).score(X, y)
+        assert rbf > 0.95 > linear
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KernelRidgeClassifier().predict(np.ones((1, 3)))
+
+    def test_feature_count_checked_at_predict(self):
+        X, y = binary_problem(n_features=4)
+        model = KernelRidgeClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((1, 5)))
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.array(["a", "b", "c"] * 10)
+        with pytest.raises(ValueError, match="binary"):
+            KernelRidgeClassifier().fit(X, y)
+
+    def test_invalid_ridge_rejected(self):
+        X, y = binary_problem()
+        with pytest.raises(ValueError):
+            KernelRidgeClassifier(ridge=0.0).fit(X, y)
+
+
+class TestPrimalDualEquivalence:
+    """The Appendix's matrix identity: Eq. 6 and Eq. 7 give the same w*."""
+
+    def test_decision_values_match(self):
+        X, y = binary_problem(n=80, n_features=5)
+        primal = KernelRidgeClassifier(solver="primal", ridge=0.7).fit(X, y)
+        dual = KernelRidgeClassifier(solver="dual", ridge=0.7).fit(X, y)
+        np.testing.assert_allclose(
+            primal.decision_function(X), dual.decision_function(X), atol=1e-8
+        )
+
+    def test_solver_auto_picks_primal_for_small_feature_count(self):
+        X, y = binary_problem(n=200, n_features=5)
+        model = KernelRidgeClassifier(solver="auto").fit(X, y)
+        assert model.solver_used_ == "primal"
+
+    def test_primal_requires_linear_kernel(self):
+        X, y = binary_problem()
+        with pytest.raises(ValueError, match="linear"):
+            KernelRidgeClassifier(kernel="rbf", solver="primal").fit(X, y)
+
+    def test_unknown_solver_rejected(self):
+        X, y = binary_problem()
+        with pytest.raises(ValueError, match="solver"):
+            KernelRidgeClassifier(solver="magic").fit(X, y)
+
+
+class TestScores:
+    def test_decision_sign_matches_prediction(self):
+        X, y = binary_problem()
+        model = KernelRidgeClassifier().fit(X, y)
+        scores = model.decision_function(X)
+        predictions = model.predict(X)
+        assert np.all((scores >= 0) == (predictions == model.classes_[1]))
+
+    def test_confidence_scores_alias(self):
+        X, y = binary_problem()
+        model = KernelRidgeClassifier().fit(X, y)
+        np.testing.assert_array_equal(model.confidence_scores(X), model.decision_function(X))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = binary_problem()
+        probabilities = KernelRidgeClassifier().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+    def test_intercept_handles_uncentred_data(self):
+        X, y = binary_problem()
+        X_shifted = X + 100.0
+        model = KernelRidgeClassifier(fit_intercept=True).fit(X_shifted, y)
+        assert model.score(X_shifted, y) > 0.95

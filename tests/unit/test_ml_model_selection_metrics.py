@@ -1,0 +1,140 @@
+"""Unit tests for preprocessing, model selection and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernel_ridge import KernelRidgeClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    area_under_curve,
+    authentication_metrics,
+    confusion_matrix,
+    equal_error_rate,
+    false_accept_rate,
+    false_reject_rate,
+    roc_curve,
+)
+from repro.ml.model_selection import KFold, StratifiedKFold, cross_validate, train_test_split
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_variance(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        transformed = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(transformed))
+
+    def test_minmax_scaler_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 7 + 2
+        transformed = MinMaxScaler().fit_transform(X)
+        assert transformed.min() >= 0.0 and transformed.max() <= 1.0
+
+    def test_feature_count_mismatch_rejected(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.normal(size=(10, 4)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        codes = encoder.fit_transform(["b", "a", "c", "a"])
+        np.testing.assert_array_equal(encoder.inverse_transform(codes), ["b", "a", "c", "a"])
+
+    def test_unseen_label_rejected(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            encoder.transform(["c"])
+
+
+class TestSplitters:
+    def test_kfold_covers_every_sample_once(self):
+        folds = list(KFold(n_splits=5, random_state=0).split(range(23)))
+        test_indices = np.concatenate([test for _, test in folds])
+        assert sorted(test_indices) == list(range(23))
+
+    def test_kfold_train_test_disjoint(self):
+        for train, test in KFold(n_splits=4, random_state=1).split(range(20)):
+            assert set(train).isdisjoint(test)
+
+    def test_stratified_preserves_class_ratio(self):
+        y = np.array(["a"] * 40 + ["b"] * 10)
+        X = np.zeros((50, 2))
+        for _, test in StratifiedKFold(n_splits=5, random_state=2).split(X, y):
+            labels, counts = np.unique(y[test], return_counts=True)
+            ratio = dict(zip(labels, counts))
+            assert ratio["a"] == 8 and ratio["b"] == 2
+
+    def test_stratified_rejects_tiny_class(self):
+        y = np.array(["a"] * 19 + ["b"])
+        with pytest.raises(ValueError, match="smallest class"):
+            list(StratifiedKFold(n_splits=5).split(np.zeros((20, 1)), y))
+
+    def test_train_test_split_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = np.array(["a"] * 50 + ["b"] * 50)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=3)
+        assert len(X_test) == 20 and len(X_train) == 80
+        assert sorted(np.unique(y_test)) == ["a", "b"]
+
+    def test_cross_validate_reports_mean_accuracy(self, rng):
+        X = np.vstack([rng.normal(0, 1, (40, 4)), rng.normal(3, 1, (40, 4))])
+        y = np.array(["a"] * 40 + ["b"] * 40)
+        result = cross_validate(KernelRidgeClassifier(), X, y, n_splits=5, random_state=4)
+        assert result.mean("accuracy") > 0.9
+        assert result.std("accuracy") >= 0.0
+        assert len(result.fold_scores["accuracy"]) == 5
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(["a", "b", "a"], ["a", "b", "b"]) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix_layout(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+        assert labels == ["a", "b"]
+
+    def test_far_frr_definitions(self):
+        y_true = ["legit", "legit", "other", "other", "other"]
+        y_pred = ["legit", "other", "legit", "other", "other"]
+        assert false_reject_rate(y_true, y_pred, "legit") == pytest.approx(0.5)
+        assert false_accept_rate(y_true, y_pred, "legit") == pytest.approx(1 / 3)
+
+    def test_far_requires_impostors(self):
+        with pytest.raises(ValueError):
+            false_accept_rate(["legit"], ["legit"], "legit")
+
+    def test_authentication_metrics_bundle(self):
+        y_true = ["legit"] * 8 + ["other"] * 12
+        y_pred = ["legit"] * 7 + ["other"] + ["other"] * 11 + ["legit"]
+        metrics = authentication_metrics(y_true, y_pred, "legit")
+        assert metrics.n_genuine == 8 and metrics.n_impostor == 12
+        assert metrics.as_percentages()["Accuracy%"] == pytest.approx(90.0)
+        assert "FRR" in str(metrics)
+
+    def test_roc_and_eer_for_perfect_scores(self):
+        y_true = ["legit"] * 10 + ["other"] * 10
+        scores = np.concatenate([np.ones(10), -np.ones(10)])
+        far, tpr, _ = roc_curve(y_true, scores, "legit")
+        assert tpr[9] == pytest.approx(1.0) and far[9] == pytest.approx(0.0)
+        assert equal_error_rate(y_true, scores, "legit") == pytest.approx(0.0)
+
+    def test_eer_for_random_scores_is_moderate(self, rng):
+        y_true = np.array(["legit"] * 500 + ["other"] * 500)
+        scores = rng.normal(size=1000)
+        assert 0.35 < equal_error_rate(y_true, scores, "legit") < 0.65
+
+    def test_area_under_curve(self):
+        assert area_under_curve([0.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)

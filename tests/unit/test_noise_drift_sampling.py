@@ -1,0 +1,115 @@
+"""Unit tests for noise models, behavioural drift and resampling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.behavior import sample_profile
+from repro.sensors.drift import BehaviorDriftModel, DriftSchedule, drift_profile
+from repro.sensors.noise import BiasDrift, CompositeNoise, GaussianNoise, SpikeNoise
+from repro.sensors.sampling import add_clock_jitter, decimate, resample_uniform, window_starts
+from repro.sensors.types import DeviceType, SensorStream, SensorType
+
+
+class TestNoiseModels:
+    def test_gaussian_noise_scale(self, rng):
+        noise = GaussianNoise(scale=0.5).sample(5000, 3, rng)
+        assert noise.shape == (5000, 3)
+        assert abs(float(np.std(noise)) - 0.5) < 0.05
+
+    def test_gaussian_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(scale=-1.0)
+
+    def test_bias_drift_is_smooth(self, rng):
+        drift = BiasDrift(step_scale=0.01).sample(1000, 1, rng)
+        increments = np.abs(np.diff(drift[:, 0]))
+        assert float(np.max(increments)) < 0.1
+
+    def test_bias_drift_validates_decay(self):
+        with pytest.raises(ValueError):
+            BiasDrift(step_scale=0.1, decay=1.5)
+
+    def test_spike_noise_is_sparse(self, rng):
+        spikes = SpikeNoise(rate=0.01, magnitude=1.0).sample(10000, 1, rng)
+        assert 0.001 < float(np.mean(spikes != 0.0)) < 0.05
+
+    def test_composite_noise_sums_components(self, rng):
+        composite = CompositeNoise(components=(GaussianNoise(0.1), GaussianNoise(0.1)))
+        sample = composite.sample(100, 2, rng)
+        assert sample.shape == (100, 2)
+
+
+class TestBehaviorDrift:
+    def test_zero_days_returns_base_profile(self):
+        profile = sample_profile("drifter", seed=1)
+        assert BehaviorDriftModel(profile, seed=2).profile_at(0.0) == profile
+
+    def test_divergence_grows_with_time(self):
+        profile = sample_profile("drifter", seed=1)
+        model = BehaviorDriftModel(profile, seed=2)
+        assert model.divergence(30.0) > model.divergence(5.0) >= 0.0
+
+    def test_negative_days_rejected(self):
+        profile = sample_profile("drifter", seed=1)
+        with pytest.raises(ValueError):
+            BehaviorDriftModel(profile, seed=2).profile_at(-1.0)
+
+    def test_drift_moves_toward_population_typical(self):
+        profile = sample_profile("drifter", seed=1)
+        drifted = BehaviorDriftModel(profile, seed=2).profile_at(100.0)
+        assert abs(drifted.gait.frequency_hz - 1.9) < abs(profile.gait.frequency_hz - 1.9) + 0.1
+
+    def test_consistency_loss_raises_noise(self):
+        profile = sample_profile("drifter", seed=1)
+        schedule = DriftSchedule(consistency_loss_rate=0.05)
+        drifted = drift_profile(profile, 10.0, schedule=schedule, seed=3)
+        assert drifted.sensor_noise > profile.sensor_noise
+
+    def test_user_id_preserved(self):
+        profile = sample_profile("drifter", seed=1)
+        assert drift_profile(profile, 5.0, seed=3).user_id == "drifter"
+
+
+def make_stream(n=100, rate=50.0):
+    timestamps = np.arange(n) / rate
+    samples = np.column_stack([np.sin(timestamps), np.cos(timestamps), timestamps])
+    return SensorStream(
+        sensor=SensorType.ACCELEROMETER,
+        device=DeviceType.SMARTPHONE,
+        timestamps=timestamps,
+        samples=samples,
+        sampling_rate=rate,
+    )
+
+
+class TestSampling:
+    def test_resample_changes_rate(self):
+        resampled = resample_uniform(make_stream(), target_rate=25.0)
+        assert resampled.sampling_rate == 25.0
+        assert len(resampled) < 100
+
+    def test_resample_preserves_signal_shape(self):
+        stream = make_stream(n=200)
+        resampled = resample_uniform(stream, target_rate=100.0)
+        assert abs(float(np.mean(resampled.samples[:, 0])) - float(np.mean(stream.samples[:, 0]))) < 0.05
+
+    def test_decimate(self):
+        decimated = decimate(make_stream(n=100), factor=2)
+        assert len(decimated) == 50 and decimated.sampling_rate == 25.0
+        with pytest.raises(ValueError):
+            decimate(make_stream(), factor=0)
+
+    def test_clock_jitter_keeps_monotonicity(self, rng):
+        jittered = add_clock_jitter(make_stream(), jitter_std=0.001, rng=rng)
+        assert np.all(np.diff(jittered.timestamps) >= 0.0)
+
+    def test_window_starts_non_overlapping(self):
+        starts = window_starts(n_samples=100, window_samples=30)
+        np.testing.assert_array_equal(starts, [0, 30, 60])
+
+    def test_window_starts_with_step(self):
+        starts = window_starts(n_samples=100, window_samples=30, step_samples=10)
+        assert starts[0] == 0 and starts[-1] == 70
+
+    def test_window_starts_too_short(self):
+        assert window_starts(n_samples=10, window_samples=30).size == 0

@@ -1,0 +1,121 @@
+"""Unit tests for sensor value types (streams, recordings, contexts)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.types import (
+    CoarseContext,
+    Context,
+    DeviceType,
+    MultiSensorRecording,
+    SensorReading,
+    SensorStream,
+    SensorType,
+)
+
+
+def make_stream(n=100, sensor=SensorType.ACCELEROMETER, rate=50.0):
+    timestamps = np.arange(n) / rate
+    samples = np.tile(np.array([1.0, 2.0, 2.0]), (n, 1))
+    return SensorStream(sensor=sensor, device=DeviceType.SMARTPHONE, timestamps=timestamps, samples=samples, sampling_rate=rate)
+
+
+class TestSensorType:
+    def test_light_is_scalar(self):
+        assert not SensorType.LIGHT.is_triaxial
+        assert SensorType.LIGHT.axes == ("lux",)
+
+    def test_motion_sensors_are_triaxial(self):
+        assert SensorType.ACCELEROMETER.axes == ("x", "y", "z")
+
+
+class TestContextMapping:
+    def test_only_moving_maps_to_moving(self):
+        assert Context.MOVING.coarse is CoarseContext.MOVING
+        for context in (Context.HANDHELD_STATIC, Context.ON_TABLE, Context.VEHICLE):
+            assert context.coarse is CoarseContext.STATIONARY
+
+
+class TestSensorReading:
+    def test_magnitude(self):
+        assert SensorReading(0.0, (3.0, 4.0, 0.0)).magnitude() == pytest.approx(5.0)
+
+
+class TestSensorStream:
+    def test_magnitude_matches_expected(self):
+        stream = make_stream()
+        np.testing.assert_allclose(stream.magnitude(), 3.0)
+
+    def test_duration(self):
+        stream = make_stream(n=100, rate=50.0)
+        assert stream.duration == pytest.approx(2.0)
+
+    def test_axis_lookup(self):
+        stream = make_stream()
+        np.testing.assert_allclose(stream.axis("y"), 2.0)
+        with pytest.raises(KeyError):
+            stream.axis("w")
+
+    def test_slice_time(self):
+        stream = make_stream(n=100, rate=50.0)
+        sliced = stream.slice_time(0.5, 1.0)
+        assert len(sliced) == 25
+        with pytest.raises(ValueError):
+            stream.slice_time(1.0, 0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            SensorStream(
+                sensor=SensorType.ACCELEROMETER,
+                device=DeviceType.SMARTPHONE,
+                timestamps=np.arange(3),
+                samples=np.zeros((4, 3)),
+            )
+
+    def test_channel_count_enforced(self):
+        with pytest.raises(ValueError, match="channels"):
+            SensorStream(
+                sensor=SensorType.ACCELEROMETER,
+                device=DeviceType.SMARTPHONE,
+                timestamps=np.arange(3),
+                samples=np.zeros((3, 1)),
+            )
+
+    def test_concatenate_shifts_timestamps(self):
+        first, second = make_stream(n=10), make_stream(n=10)
+        combined = first.concatenate(second)
+        assert len(combined) == 20
+        assert np.all(np.diff(combined.timestamps) > 0)
+
+    def test_concatenate_rejects_other_sensor(self):
+        other = make_stream(sensor=SensorType.GYROSCOPE)
+        with pytest.raises(ValueError, match="same sensor"):
+            make_stream().concatenate(other)
+
+    def test_iter_readings(self):
+        readings = list(make_stream(n=5).iter_readings())
+        assert len(readings) == 5 and readings[0].values == (1.0, 2.0, 2.0)
+
+
+class TestMultiSensorRecording:
+    def test_sensor_registration_validated(self):
+        with pytest.raises(ValueError, match="was produced by"):
+            MultiSensorRecording(
+                device=DeviceType.SMARTPHONE,
+                user_id="u",
+                context=Context.MOVING,
+                streams={SensorType.GYROSCOPE: make_stream()},
+            )
+
+    def test_restricted_to_subset(self, moving_recording):
+        restricted = moving_recording.restricted_to((SensorType.ACCELEROMETER,))
+        assert restricted.sensors() == (SensorType.ACCELEROMETER,)
+        with pytest.raises(KeyError):
+            moving_recording.restricted_to((SensorType.ACCELEROMETER,)).restricted_to(
+                (SensorType.GYROSCOPE,)
+            )
+
+    def test_duration_and_membership(self, moving_recording):
+        assert moving_recording.duration == pytest.approx(30.0, abs=0.1)
+        assert SensorType.ACCELEROMETER in moving_recording
+        assert moving_recording.coarse_context is CoarseContext.MOVING

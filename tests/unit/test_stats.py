@@ -1,0 +1,101 @@
+"""Unit tests for the statistics substrate (Fisher, KS, correlations)."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.correlation import correlation_matrix, cross_correlation_matrix, pearson_correlation
+from repro.stats.descriptive import box_plot_summary
+from repro.stats.fisher import fisher_score, fisher_scores
+from repro.stats.ks import ks_two_sample, pairwise_ks_pvalues
+
+
+class TestFisherScore:
+    def test_separated_classes_score_higher(self, rng):
+        labels = ["a"] * 100 + ["b"] * 100
+        close = np.concatenate([rng.normal(0, 1, 100), rng.normal(0.2, 1, 100)])
+        far = np.concatenate([rng.normal(0, 1, 100), rng.normal(5.0, 1, 100)])
+        assert fisher_score(far, labels) > fisher_score(close, labels)
+
+    def test_identical_constant_classes_score_zero(self):
+        assert fisher_score(np.ones(10), ["a"] * 5 + ["b"] * 5) == 0.0
+
+    def test_perfect_separation_is_infinite(self):
+        values = np.array([0.0, 0.0, 1.0, 1.0])
+        assert fisher_score(values, ["a", "a", "b", "b"]) == float("inf")
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            fisher_score(np.arange(4.0), ["a"] * 4)
+
+    def test_matrix_version_matches_columnwise(self, rng):
+        matrix = rng.normal(size=(60, 3))
+        matrix[:30] += np.array([2.0, 0.0, 1.0])
+        labels = ["a"] * 30 + ["b"] * 30
+        per_column = fisher_scores(matrix, labels)
+        assert per_column[0] == pytest.approx(fisher_score(matrix[:, 0], labels))
+        assert per_column.shape == (3,)
+
+
+class TestKsTest:
+    def test_matches_scipy(self, rng):
+        a, b = rng.normal(0, 1, 200), rng.normal(0.5, 1.2, 150)
+        ours = ks_two_sample(a, b)
+        reference = scipy_stats.ks_2samp(a, b)
+        assert ours.statistic == pytest.approx(reference.statistic, abs=1e-12)
+        assert ours.pvalue == pytest.approx(reference.pvalue, abs=0.02)
+
+    def test_same_distribution_large_pvalue(self, rng):
+        a, b = rng.normal(0, 1, 300), rng.normal(0, 1, 300)
+        assert ks_two_sample(a, b).pvalue > 0.05
+
+    def test_different_distributions_reject_null(self, rng):
+        a, b = rng.normal(0, 1, 300), rng.normal(3, 1, 300)
+        result = ks_two_sample(a, b)
+        assert result.rejects_null() and result.pvalue < 1e-6
+
+    def test_pairwise_count(self, rng):
+        groups = {f"u{i}": rng.normal(i, 1, 50) for i in range(4)}
+        assert len(pairwise_ks_pvalues(groups)) == 6
+
+    def test_pairwise_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            pairwise_ks_pvalues({"only": [1.0, 2.0]})
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2.0 * x + 1.0) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self, rng):
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_correlation_matrix_properties(self, rng):
+        matrix = correlation_matrix(rng.normal(size=(50, 4)))
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert np.all(np.abs(matrix) <= 1.0 + 1e-12)
+
+    def test_cross_correlation_shape_and_rows_check(self, rng):
+        a, b = rng.normal(size=(40, 3)), rng.normal(size=(40, 5))
+        assert cross_correlation_matrix(a, b).shape == (3, 5)
+        with pytest.raises(ValueError, match="same number of rows"):
+            cross_correlation_matrix(a, rng.normal(size=(30, 5)))
+
+
+class TestBoxPlotSummary:
+    def test_five_number_summary(self):
+        summary = box_plot_summary(np.arange(1.0, 101.0))
+        assert summary.minimum == 1.0 and summary.maximum == 100.0
+        assert summary.median == pytest.approx(50.5)
+        assert summary.lower_quartile < summary.median < summary.upper_quartile
+
+    def test_fraction_below(self):
+        summary = box_plot_summary(np.arange(10.0))
+        assert summary.fraction_below(np.arange(10.0), 5.0) == 0.5

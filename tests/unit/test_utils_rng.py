@@ -1,0 +1,63 @@
+"""Unit tests for the deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import choice_without_replacement, derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).integers(0, 100) == ensure_rng(7).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("not-a-seed")
+
+
+class TestDeriveRng:
+    def test_same_tokens_same_stream(self):
+        a = derive_rng(42, "sensor", "alice").random(5)
+        b = derive_rng(42, "sensor", "alice").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tokens_different_stream(self):
+        a = derive_rng(42, "sensor", "alice").random(5)
+        b = derive_rng(42, "sensor", "bob").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_different_stream(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(2, "x").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnRngs:
+    def test_spawns_requested_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+
+class TestChoiceWithoutReplacement:
+    def test_returns_distinct_items(self):
+        items = list("abcdef")
+        chosen = choice_without_replacement(np.random.default_rng(0), items, 4)
+        assert len(chosen) == len(set(chosen)) == 4
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(ValueError, match="cannot sample"):
+            choice_without_replacement(np.random.default_rng(0), ["a"], 2)

@@ -1,0 +1,75 @@
+"""Unit tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        result = check_array([[1, 2], [3, 4]], "X", ndim=2)
+        assert isinstance(result, np.ndarray) and result.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0], "X", ndim=2)
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array([], "X", ndim=1)
+
+    def test_allows_empty_when_requested(self):
+        assert check_array([], "X", ndim=1, allow_empty=True).size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([1.0, float("nan")], "X", ndim=1)
+
+
+class TestScalarChecks:
+    def test_check_positive_strict(self):
+        assert check_positive(2.5, "x") == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_check_positive_non_strict_allows_zero(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_in_range(1.1, "x", 0.0, 1.0)
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_check_probability(self):
+        assert check_probability(0.3, "p") == 0.3
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestOtherChecks:
+    def test_check_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length([1], [1, 2])
+
+    def test_check_fitted(self):
+        class Dummy:
+            coef_ = None
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(Dummy(), "coef_")
+        fitted = Dummy()
+        fitted.coef_ = np.ones(3)
+        check_fitted(fitted, "coef_")
