@@ -1,0 +1,66 @@
+"""Benchmark harness for the fleet-scale service layer.
+
+Two costs matter for the serving subsystem and are reported here in
+windows/sec (run pytest with ``-s`` to see the numbers):
+
+* **fleet enrollment** — uploading every user's windows into the sharded
+  feature store and training per-context models for the whole fleet;
+* **batch scoring** — authenticating a 1000-window batch through the
+  vectorized :class:`~repro.service.batch.BatchScorer`.
+"""
+
+import numpy as np
+
+from repro.sensors.types import CoarseContext
+from repro.service.batch import BatchScorer
+from repro.service.fleet import FleetConfig, FleetSimulator
+
+#: Fleet size for the enrollment benchmark (kept modest so the suite stays
+#: quick; the integration tests cover the 500-user acceptance scale).
+BENCH_FLEET_USERS = 150
+
+#: Batch size for the scoring benchmark (the ISSUE's acceptance batch).
+BENCH_SCORING_WINDOWS = 1000
+
+
+def test_bench_fleet_enrollment(benchmark):
+    """Enroll + train a fleet; report stored-window throughput."""
+
+    def enroll_fleet():
+        simulator = FleetSimulator(FleetConfig(n_users=BENCH_FLEET_USERS, seed=5))
+        simulator.build_users()
+        trained = simulator.enroll_fleet()
+        return simulator, trained
+
+    simulator, trained = benchmark.pedantic(enroll_fleet, iterations=1, rounds=1)
+    assert trained == BENCH_FLEET_USERS
+    stats = simulator.gateway.server.store.stats()
+    elapsed = benchmark.stats.stats.total
+    print()
+    print(f"enrolled {trained} users / {stats.n_windows} stored windows "
+          f"in {elapsed:.2f}s ({stats.n_windows / elapsed:,.0f} windows/s)")
+
+
+def test_bench_fleet_batch_scoring(benchmark):
+    """Score a 1000-window batch in one vectorized call; report windows/sec."""
+    simulator = FleetSimulator(FleetConfig(n_users=40, seed=5))
+    simulator.build_users()
+    simulator.enroll_fleet()
+    user = simulator.users[0]
+    bundle = simulator.gateway.registry.bundle_for(user.user_id)
+    scorer = BatchScorer(bundle)
+    rng = np.random.default_rng(17)
+    per_context = BENCH_SCORING_WINDOWS // 2
+    matrix = user.sample_windows(
+        per_context, simulator.config.window_noise, rng, simulator.feature_names
+    )
+    contexts = [CoarseContext(label) for label in matrix.contexts]
+
+    result = benchmark.pedantic(
+        scorer.score, args=(matrix.values, contexts), iterations=5, rounds=3
+    )
+    assert len(result) == BENCH_SCORING_WINDOWS
+    mean = benchmark.stats.stats.mean
+    print()
+    print(f"scored {len(result)} windows in {mean * 1e3:.2f} ms/batch "
+          f"({len(result) / mean:,.0f} windows/s)")

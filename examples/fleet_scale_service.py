@@ -1,0 +1,63 @@
+"""Fleet-scale serving: 500 users through the authentication service layer.
+
+Where the other examples drive a single user through the sensor-accurate
+paper pipeline, this one exercises the ``repro.service`` subsystem: a
+500-user fleet is enrolled into a sharded ring-buffer feature store, each
+user's per-context models are trained in the simulated cloud and published
+to the versioned model registry, and the whole fleet then runs continuous
+authentication, masquerade attacks, behavioural drift and retraining through
+the gateway's vectorized batch scorer — with telemetry for every phase.
+
+Run with::
+
+    python examples/fleet_scale_service.py
+"""
+
+from repro.sensors.types import CoarseContext
+from repro.service.fleet import FleetConfig, FleetSimulator
+
+
+def main() -> None:
+    # 1. Configure and run the full lifecycle for a 500-user fleet.
+    config = FleetConfig(n_users=500, seed=7)
+    simulator = FleetSimulator(config)
+    print(f"Running the {config.n_users}-user lifecycle "
+          "(enroll -> auth -> attack -> drift -> retrain)...")
+    report = simulator.run()
+    print()
+    print(report.to_text())
+
+    # 2. The registry keeps every trained version; roll one user back.
+    registry = simulator.gateway.registry
+    drifted_user = simulator.users[0]  # drifted, so it has two versions
+    versions = registry.versions(drifted_user.user_id)
+    serving = registry.latest_version(drifted_user.user_id)
+    restored = simulator.gateway.rollback(drifted_user.user_id)
+    print()
+    print(f"{drifted_user.user_id}: versions={versions}, was serving v{serving}, "
+          f"rolled back to v{restored}")
+
+    # 3. Authenticate once more against the rolled-back (pre-drift) model:
+    #    the drifted user's fresh windows should score noticeably worse.
+    import numpy as np
+
+    matrix = drifted_user.sample_windows(
+        8, config.window_noise, np.random.default_rng(0), simulator.feature_names
+    )
+    response = simulator.gateway.authenticate(
+        drifted_user.user_id,
+        matrix.values,
+        [CoarseContext(label) for label in matrix.contexts],
+    )
+    print(f"post-rollback accept rate on drifted behaviour: "
+          f"{response.accept_rate:.1%} (model v{response.model_version})")
+
+    # 4. Storage stays bounded no matter how long the fleet runs.
+    stats = simulator.gateway.server.store.stats()
+    print(f"feature store: {stats.n_windows} windows across {stats.n_buffers} "
+          f"ring buffers on {len(stats.windows_per_shard)} shards "
+          f"({stats.total_evicted} old windows evicted)")
+
+
+if __name__ == "__main__":
+    main()

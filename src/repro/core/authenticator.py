@@ -5,6 +5,12 @@ unified model when context use is disabled) and scores each incoming
 authentication feature vector.  The decision value of the underlying
 kernel-ridge classifier is exposed as the confidence score used by the
 retraining monitor.
+
+Scoring is delegated to the service layer's vectorized
+:class:`~repro.service.batch.BatchScorer`, so the single-user experiment
+path and the fleet-scale serving path share one code path (and the batch
+entry points score a whole session in a handful of matrix operations rather
+than one window at a time).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import numpy as np
 
 from repro.devices.cloud import LEGITIMATE_LABEL, ContextModel, TrainedModelBundle
 from repro.sensors.types import CoarseContext
+from repro.service.batch import BatchScorer
 
 
 @dataclass(frozen=True)
@@ -50,10 +57,28 @@ class ContextualAuthenticator:
     """
 
     def __init__(self, bundle: TrainedModelBundle, use_context: bool = True) -> None:
-        if not bundle.models:
-            raise ValueError("the model bundle contains no trained models")
-        self.bundle = bundle
-        self.use_context = use_context
+        # BatchScorer validates the bundle (raises on an empty one).
+        self._scorer = BatchScorer(bundle, use_context=use_context)
+
+    @property
+    def bundle(self) -> TrainedModelBundle:
+        """The trained models scoring every decision (scorer-backed)."""
+        return self._scorer.bundle
+
+    @bundle.setter
+    def bundle(self, bundle: TrainedModelBundle) -> None:
+        # Hot-swapping models (e.g. after retraining) must also rebuild the
+        # batch scorer, or decisions would keep coming from the old bundle.
+        self._scorer = BatchScorer(bundle, use_context=self._scorer.use_context)
+
+    @property
+    def use_context(self) -> bool:
+        """Whether scoring selects per-context models (scorer-backed)."""
+        return self._scorer.use_context
+
+    @use_context.setter
+    def use_context(self, use_context: bool) -> None:
+        self._scorer = BatchScorer(self._scorer.bundle, use_context=use_context)
 
     @property
     def user_id(self) -> str:
@@ -66,17 +91,7 @@ class ContextualAuthenticator:
         return self.bundle.version
 
     def _select_model(self, context: CoarseContext) -> ContextModel:
-        if not self.use_context:
-            # A single unified model is stored under the stationary key when
-            # contexts are disabled; fall back to any available model.
-            if CoarseContext.STATIONARY in self.bundle.models:
-                return self.bundle.models[CoarseContext.STATIONARY]
-            return next(iter(self.bundle.models.values()))
-        if context in self.bundle.models:
-            return self.bundle.models[context]
-        # Degrade gracefully if a context was never enrolled: use any model
-        # rather than refusing service.
-        return next(iter(self.bundle.models.values()))
+        return self._scorer.select_model(context)
 
     def authenticate(
         self, features: np.ndarray, context: CoarseContext
@@ -87,35 +102,34 @@ class ContextualAuthenticator:
             features = features[np.newaxis, :]
         if features.shape[0] != 1:
             raise ValueError("authenticate() scores exactly one window; use authenticate_many()")
-        model = self._select_model(context)
-        score = float(model.decision_scores(features)[0])
-        accepted = bool(model.predict_legitimate(features)[0])
-        return AuthenticationDecision(
-            accepted=accepted, confidence_score=score, context=model.context
-        )
+        return self.authenticate_many(features, [context])[0]
 
     def authenticate_many(
         self, features: np.ndarray, contexts: list[CoarseContext]
     ) -> list[AuthenticationDecision]:
-        """Authenticate a batch of windows, each with its detected context."""
-        features = np.asarray(features, dtype=float)
-        if features.ndim == 1:
-            features = features[np.newaxis, :]
-        if len(contexts) != len(features):
-            raise ValueError(
-                f"got {len(features)} feature rows but {len(contexts)} context labels"
-            )
+        """Authenticate a batch of windows, each with its detected context.
+
+        The whole batch is scored through the vectorized
+        :class:`~repro.service.batch.BatchScorer` in one pass per selected
+        model.
+        """
+        result = self._scorer.score(features, contexts)
         return [
-            self.authenticate(features[index], contexts[index])
-            for index in range(len(features))
+            AuthenticationDecision(
+                accepted=bool(result.accepted[index]),
+                confidence_score=float(result.scores[index]),
+                context=result.model_contexts[index],
+            )
+            for index in range(len(result))
         ]
 
     def confidence_scores(
         self, features: np.ndarray, contexts: list[CoarseContext]
     ) -> np.ndarray:
         """Confidence score of every window (used by the retraining monitor)."""
-        decisions = self.authenticate_many(features, contexts)
-        return np.array([decision.confidence_score for decision in decisions])
+        return self._scorer.confidence_scores(
+            np.asarray(features, dtype=float), list(contexts)
+        )
 
     @staticmethod
     def legitimate_label() -> str:

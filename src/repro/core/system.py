@@ -160,9 +160,14 @@ class SmarterYou:
         if n_windows == 0:
             return outcomes
         contexts = self.context_detector.detect(phone.values[:n_windows])
+        # Score the whole session in one vectorized pass (the decision for a
+        # window depends only on its features and context, not on response
+        # state), then replay the decisions through the stateful response
+        # module and monitor in order.
+        decisions = authenticator.authenticate_many(auth.values[:n_windows], contexts)
         for index in range(n_windows):
             was_locked = self.response.state is DeviceState.LOCKED
-            decision = authenticator.authenticate(auth.values[index], contexts[index])
+            decision = decisions[index]
             action = self.response.handle(decision)
             # The monitor only sees windows processed while the device was
             # usable; once the response module has locked the device (e.g. an

@@ -15,8 +15,8 @@ Responsibilities mirrored from the paper:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -26,12 +26,18 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.kernel_ridge import KernelRidgeClassifier
 from repro.ml.preprocessing import StandardScaler
 from repro.sensors.types import CoarseContext
+from repro.service.store import FeatureStore
 from repro.utils.rng import RandomState, derive_rng
+
+if TYPE_CHECKING:  # avoid the cycle registry -> cloud -> registry
+    from repro.service.registry import ModelRegistry
 
 #: Label used for the legitimate user inside a trained binary model.
 LEGITIMATE_LABEL = "legitimate"
 #: Label used for the anonymised other-user pool.
 OTHER_LABEL = "other"
+#: Minimum positive windows a user needs under a context to train its model.
+MIN_WINDOWS_PER_CONTEXT = 10
 
 
 @dataclass
@@ -66,6 +72,26 @@ class ContextModel:
         """Boolean mask: which rows are classified as the legitimate user."""
         predictions = self.classifier.predict(self.scaler.transform(features))
         return predictions == LEGITIMATE_LABEL
+
+    def batch_decisions(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(confidence scores, accept mask)`` for many rows.
+
+        Equivalent to :meth:`decision_scores` plus :meth:`predict_legitimate`
+        but scales and projects the batch only once where the classifier
+        allows it: classifiers whose ``predict`` is a threshold on
+        ``decision_function`` expose
+        :meth:`~repro.ml.base.BaseClassifier.predict_from_decision` (the
+        paper's KRR does), letting the scores already computed double as the
+        predictions.  Classifiers without that hook (e.g. a probability-vote
+        forest) fall back to a real ``predict`` call on the shared scaled
+        matrix.
+        """
+        transformed = self.scaler.transform(features)
+        raw = self.classifier.decision_function(transformed)
+        predictions = self.classifier.predict_from_decision(raw)
+        if predictions is None:
+            predictions = self.classifier.predict(transformed)
+        return self._legitimate_sign() * raw, predictions == LEGITIMATE_LABEL
 
 
 @dataclass
@@ -123,6 +149,14 @@ class AuthenticationServer:
         run, to keep retraining cheap.
     seed:
         Seed for negative-pool subsampling.
+    store:
+        Optional pre-configured :class:`~repro.service.store.FeatureStore`
+        holding the anonymised window pool (a fresh unbounded-ish store is
+        created when omitted).  Sharing a store between servers shares the
+        negative pool.
+    registry:
+        Optional :class:`~repro.service.registry.ModelRegistry`; when set,
+        every trained bundle is published to it automatically.
     """
 
     def __init__(
@@ -131,6 +165,8 @@ class AuthenticationServer:
         context_detector_factory: Callable[[], BaseClassifier] | None = None,
         max_other_users_windows: int = 2000,
         seed: RandomState = None,
+        store: FeatureStore | None = None,
+        registry: "ModelRegistry | None" = None,
     ) -> None:
         if max_other_users_windows < 1:
             raise ValueError("max_other_users_windows must be >= 1")
@@ -140,7 +176,8 @@ class AuthenticationServer:
         )
         self.max_other_users_windows = max_other_users_windows
         self._seed = seed
-        self._feature_store: dict[str, list[FeatureMatrix]] = {}
+        self.store = store if store is not None else FeatureStore()
+        self.registry = registry
         self._pseudonyms: dict[str, str] = {}
         self._training_rounds: dict[str, int] = {}
         self._context_detector: BaseClassifier | None = None
@@ -161,21 +198,59 @@ class AuthenticationServer:
         """Store a user's authentication feature vectors under a pseudonym.
 
         Returns the pseudonym, which is what appears in the training pool.
+
+        Raises
+        ------
+        ValueError
+            If the matrix is empty, or its ``feature_names`` do not match
+            the schema established by earlier uploads (mixing layouts would
+            silently poison the shared negative pool).
         """
-        if len(matrix) == 0:
-            raise ValueError("refusing to store an empty feature matrix")
         pseudonym = self._pseudonym(user_id)
-        self._feature_store.setdefault(pseudonym, []).append(matrix)
+        self.store.append(pseudonym, matrix)
         return pseudonym
 
     def enrolled_users(self) -> list[str]:
         """Pseudonyms of every user with stored data."""
-        return sorted(self._feature_store)
+        return sorted(self.store.users())
 
     def stored_window_count(self, user_id: str) -> int:
         """Number of stored feature windows for *user_id*."""
+        return self.store.window_count(self._pseudonym(user_id))
+
+    def contexts_for(self, user_id: str) -> tuple[CoarseContext, ...]:
+        """Coarse contexts under which *user_id* has stored windows.
+
+        Windows uploaded without per-row context labels count towards every
+        context, so a user with only unlabelled data reports all contexts.
+        """
         pseudonym = self._pseudonym(user_id)
-        return sum(len(matrix) for matrix in self._feature_store.get(pseudonym, []))
+        if self.store.unlabelled_count(pseudonym):
+            return tuple(CoarseContext)
+        stored = self.store.contexts_for(pseudonym)
+        return tuple(
+            context for context in CoarseContext if context.value in stored
+        )
+
+    def context_window_counts(self, user_id: str) -> dict[CoarseContext, int]:
+        """Stored window count per trainable context of *user_id*.
+
+        Counts include unlabelled (wildcard) windows, exactly as training's
+        positive-row collection does.
+        """
+        pseudonym = self._pseudonym(user_id)
+        return {
+            context: self.store.window_count(pseudonym, context.value)
+            for context in self.contexts_for(user_id)
+        }
+
+    def negative_window_counts(self, user_id: str) -> dict[CoarseContext, int]:
+        """Other-user pool size per context *user_id* would train under."""
+        pseudonym = self._pseudonym(user_id)
+        return {
+            context: self.store.negative_pool_size(pseudonym, context.value)
+            for context in self.contexts_for(user_id)
+        }
 
     # ------------------------------------------------------------------ #
     # context-detection model (user-agnostic)
@@ -222,23 +297,6 @@ class AuthenticationServer:
     # authentication models (per user, per context)
     # ------------------------------------------------------------------ #
 
-    def _collect_rows(
-        self, pseudonym: str, context: CoarseContext
-    ) -> tuple[np.ndarray, list[str]]:
-        """All stored rows of one pseudonym under one coarse context."""
-        rows: list[np.ndarray] = []
-        feature_names: list[str] = []
-        for matrix in self._feature_store.get(pseudonym, []):
-            feature_names = matrix.feature_names
-            if matrix.contexts:
-                mask = np.array([ctx == context.value for ctx in matrix.contexts])
-                rows.append(matrix.values[mask])
-            else:
-                rows.append(matrix.values)
-        if not rows:
-            return np.empty((0, 0)), feature_names
-        return np.vstack(rows), feature_names
-
     def train_authentication_models(
         self,
         user_id: str,
@@ -256,35 +314,37 @@ class AuthenticationServer:
             other users are enrolled to provide negative examples.
         """
         pseudonym = self._pseudonym(user_id)
-        if pseudonym not in self._feature_store:
+        if pseudonym not in self.store:
             raise ValueError(f"user {user_id!r} has no uploaded feature data")
-        others = [p for p in self._feature_store if p != pseudonym]
-        if not others:
+        if len(self.store.users()) < 2:
             raise ValueError("cannot train: no other users enrolled to provide negatives")
         models: dict[CoarseContext, ContextModel] = {}
-        feature_names: list[str] = []
-        round_number = self._training_rounds.get(pseudonym, 0) + 1
+        feature_names = self.store.feature_names
+        previous_round = self._training_rounds.get(pseudonym, 0)
+        if self.registry is not None:
+            # After a restart the in-memory counter starts over while the
+            # registry may already hold persisted versions; resume above the
+            # highest published one so publish() never collides.
+            published = self.registry.versions(user_id)
+            if published:
+                previous_round = max(previous_round, published[-1])
+        round_number = previous_round + 1
         for context in contexts:
-            positive, feature_names = self._collect_rows(pseudonym, context)
-            if len(positive) < 10:
+            positive = self.store.rows_for(pseudonym, context.value)
+            if len(positive) < MIN_WINDOWS_PER_CONTEXT:
                 raise ValueError(
                     f"user {user_id!r} has only {len(positive)} windows under "
-                    f"context {context.value!r}; need at least 10"
+                    f"context {context.value!r}; need at least "
+                    f"{MIN_WINDOWS_PER_CONTEXT}"
                 )
-            negative_parts = []
-            for other in others:
-                other_rows, _ = self._collect_rows(other, context)
-                if len(other_rows):
-                    negative_parts.append(other_rows)
-            if not negative_parts:
+            rng = derive_rng(self._seed, "negative-pool", pseudonym, context.value, round_number)
+            negative = self.store.sample_negatives(
+                pseudonym, context.value, self.max_other_users_windows, rng
+            )
+            if len(negative) == 0:
                 raise ValueError(
                     f"no other-user data available under context {context.value!r}"
                 )
-            negative = np.vstack(negative_parts)
-            rng = derive_rng(self._seed, "negative-pool", pseudonym, context.value, round_number)
-            if len(negative) > self.max_other_users_windows:
-                keep = rng.choice(len(negative), size=self.max_other_users_windows, replace=False)
-                negative = negative[keep]
             X = np.vstack([positive, negative])
             y = np.array([LEGITIMATE_LABEL] * len(positive) + [OTHER_LABEL] * len(negative))
             scaler = StandardScaler().fit(X)
@@ -297,12 +357,15 @@ class AuthenticationServer:
                 n_training_windows=len(X),
             )
         self._training_rounds[pseudonym] = round_number
-        return TrainedModelBundle(
+        bundle = TrainedModelBundle(
             user_id=user_id,
             feature_names=feature_names,
             models=models,
             version=round_number,
         )
+        if self.registry is not None:
+            self.registry.publish(bundle)
+        return bundle
 
     def retrain(self, user_id: str, new_data: FeatureMatrix) -> TrainedModelBundle:
         """Accept fresh feature vectors after behavioural drift and retrain."""

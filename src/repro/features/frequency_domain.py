@@ -92,5 +92,12 @@ def frequency_domain_features(
         raise KeyError(f"unknown frequency-domain features: {unknown}")
     frequencies, amplitudes = power_spectrum(magnitude, sampling_rate)
     peak, peak_f, peak2, peak2_f = _top_two_peaks(frequencies, amplitudes)
+    # rfftfreq builds the grid as k/(n*d); for even n the top bin is exactly
+    # the Nyquist frequency, but float rounding can push it a few ulp above
+    # (e.g. 25.000000000000004 Hz at 50 Hz sampling).  A physical frequency
+    # report never exceeds Nyquist, so clamp.
+    nyquist = 0.5 * sampling_rate
+    peak_f = min(peak_f, nyquist)
+    peak2_f = min(peak2_f, nyquist)
     values = {"peak": peak, "peak_f": peak_f, "peak2": peak2, "peak2_f": peak2_f}
     return {name: values[name] for name in features}

@@ -99,6 +99,19 @@ class BaseClassifier(BaseEstimator):
         assert self.classes_ is not None
         return np.where(scores >= 0.0, self.classes_[1], self.classes_[0])
 
+    def predict_from_decision(self, raw_scores: np.ndarray) -> np.ndarray | None:
+        """Labels implied by already-computed decision scores, or ``None``.
+
+        Classifiers whose :meth:`predict` is exactly a threshold on
+        :meth:`decision_function` override this so batched callers can reuse
+        the scores they already hold instead of projecting twice.  The
+        contract: an override MUST return exactly what ``predict`` would for
+        the same rows — classifiers with different prediction semantics
+        (e.g. probability votes), and subclasses that override ``predict``,
+        must leave or reset this to ``None``.
+        """
+        return None
+
     def score(self, X: Any, y: Any) -> float:
         """Mean accuracy of ``predict(X)`` against *y*."""
         predictions = self.predict(X)  # type: ignore[attr-defined]

@@ -159,18 +159,34 @@ class KernelRidgeClassifier(BaseClassifier):
         """Real-valued score ``w*^T x``; positive means the positive class.
 
         This is the quantity the paper calls the confidence score ``CS(k)``.
+
+        The projection uses ``einsum`` rather than BLAS ``@`` because einsum
+        accumulates each row independently of the batch size: with the
+        linear/primal path (``coef_`` set — the paper's configuration),
+        scoring a window alone or inside a 1000-row batch yields bit-for-bit
+        the same value, which the batched serving layer relies on.  On the
+        dual path the kernel matrix itself is still a BLAS product, so
+        non-linear kernels are only batch-size invariant up to float
+        rounding in the last ulps.
         """
         X = self._validate_predict_inputs(X)
         X = X - self._x_offset
         if self.coef_ is not None:
-            return X @ self.coef_ + self._y_offset
+            return np.einsum("ij,j->i", X, self.coef_) + self._y_offset
         assert self.dual_coef_ is not None and self.X_fit_ is not None
         kernel_function = self._kernel_function()
+        # BLAS '@' is fine here: the kernel matrix itself is already a
+        # batch-size-dependent BLAS product, so einsum could not make the
+        # dual path invariant anyway — keep the faster projection.
         return kernel_function(X, self.X_fit_) @ self.dual_coef_ + self._y_offset
 
     def predict(self, X: Any) -> np.ndarray:
         """Predict the class label for every row of *X*."""
         return self._decode_binary(self.decision_function(X))
+
+    def predict_from_decision(self, raw_scores: np.ndarray) -> np.ndarray:
+        """Labels from precomputed decision values (same threshold as predict)."""
+        return self._decode_binary(np.asarray(raw_scores))
 
     def predict_proba(self, X: Any) -> np.ndarray:
         """Pseudo-probabilities via a logistic squashing of the decision value."""

@@ -50,11 +50,17 @@ class LinearRegressionClassifier(BaseClassifier):
         """Signed distance to the regression hyperplane."""
         X = self._validate_predict_inputs(X)
         assert self.coef_ is not None
-        return _add_intercept(X) @ self.coef_
+        # einsum keeps each row's accumulation independent of the batch
+        # size, so batched and per-window scores match bit-for-bit.
+        return np.einsum("ij,j->i", _add_intercept(X), self.coef_)
 
     def predict(self, X: Any) -> np.ndarray:
         """Predict the class label for every row of *X*."""
         return self._decode_binary(self.decision_function(X))
+
+    def predict_from_decision(self, raw_scores: np.ndarray) -> np.ndarray:
+        """Labels from precomputed decision values (same threshold as predict)."""
+        return self._decode_binary(np.asarray(raw_scores))
 
 
 class LogisticRegressionClassifier(BaseClassifier):
@@ -111,7 +117,9 @@ class LogisticRegressionClassifier(BaseClassifier):
         """Log-odds of the positive class."""
         X = self._validate_predict_inputs(X)
         assert self.coef_ is not None
-        return _add_intercept(X) @ self.coef_
+        # einsum keeps each row's accumulation independent of the batch
+        # size, so batched and per-window scores match bit-for-bit.
+        return np.einsum("ij,j->i", _add_intercept(X), self.coef_)
 
     def predict_proba(self, X: Any) -> np.ndarray:
         """Class probabilities ``[P(neg), P(pos)]`` per row."""
@@ -121,3 +129,7 @@ class LogisticRegressionClassifier(BaseClassifier):
     def predict(self, X: Any) -> np.ndarray:
         """Predict the class label for every row of *X*."""
         return self._decode_binary(self.decision_function(X))
+
+    def predict_from_decision(self, raw_scores: np.ndarray) -> np.ndarray:
+        """Labels from precomputed decision values (same threshold as predict)."""
+        return self._decode_binary(np.asarray(raw_scores))

@@ -88,8 +88,14 @@ class LinearSVMClassifier(BaseClassifier):
         """Signed margin ``w . x + b`` for every row of *X*."""
         X = self._validate_predict_inputs(X)
         assert self.coef_ is not None
-        return X @ self.coef_ + self.intercept_
+        # einsum keeps each row's accumulation independent of the batch
+        # size, so batched and per-window scores match bit-for-bit.
+        return np.einsum("ij,j->i", X, self.coef_) + self.intercept_
 
     def predict(self, X: Any) -> np.ndarray:
         """Predict the class label for every row of *X*."""
         return self._decode_binary(self.decision_function(X))
+
+    def predict_from_decision(self, raw_scores: np.ndarray) -> np.ndarray:
+        """Labels from precomputed decision values (same threshold as predict)."""
+        return self._decode_binary(np.asarray(raw_scores))

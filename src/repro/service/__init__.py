@@ -1,0 +1,63 @@
+"""Fleet-scale authentication service layer (the paper's cloud server at scale).
+
+The seed reproduction can enroll and score one user at a time; this package
+is the serving subsystem implied by the SmarterYou architecture (Figure 1)
+but absent from the paper's prototype:
+
+* :mod:`repro.service.store` — a sharded, capacity-bounded feature store
+  holding per-(user, context) windows in preallocated NumPy ring buffers;
+* :mod:`repro.service.registry` — a versioned model registry that persists
+  and serves :class:`~repro.devices.cloud.TrainedModelBundle`\\ s with
+  rollback;
+* :mod:`repro.service.batch` — a vectorized batch scorer that authenticates
+  many windows (and many users) in whole-matrix operations;
+* :mod:`repro.service.gateway` — the request-level API
+  (enroll / authenticate / report_drift) tying the pieces together;
+* :mod:`repro.service.fleet` — a fleet simulator driving hundreds of users
+  through the full enroll → auth → attack → drift → retrain lifecycle;
+* :mod:`repro.service.telemetry` — counters and latency statistics for all
+  of the above.
+
+Submodules are imported lazily (PEP 562) so that low-level modules such as
+:mod:`repro.devices.cloud` can depend on :mod:`repro.service.store` without
+creating import cycles through this package ``__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_EXPORTS = {
+    "FeatureStore": "repro.service.store",
+    "RingBuffer": "repro.service.store",
+    "StoreStats": "repro.service.store",
+    "ModelRegistry": "repro.service.registry",
+    "ModelRecord": "repro.service.registry",
+    "BatchScorer": "repro.service.batch",
+    "BatchScoreResult": "repro.service.batch",
+    "AuthenticationGateway": "repro.service.gateway",
+    "EnrollResponse": "repro.service.gateway",
+    "AuthenticationResponse": "repro.service.gateway",
+    "DriftResponse": "repro.service.gateway",
+    "FleetSimulator": "repro.service.fleet",
+    "FleetConfig": "repro.service.fleet",
+    "FleetReport": "repro.service.fleet",
+    "TelemetryHub": "repro.service.telemetry",
+    "Counter": "repro.service.telemetry",
+    "LatencyRecorder": "repro.service.telemetry",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,281 @@
+"""Request-level authentication service API (enroll / authenticate / drift).
+
+The :class:`AuthenticationGateway` is the front door of the service layer:
+it owns the cloud :class:`~repro.devices.cloud.AuthenticationServer` (whose
+windows live in a sharded :class:`~repro.service.store.FeatureStore`), a
+versioned :class:`~repro.service.registry.ModelRegistry`, per-user cached
+:class:`~repro.service.batch.BatchScorer`\\ s and a
+:class:`~repro.service.telemetry.TelemetryHub`, and exposes the three
+operations a device fleet issues: enroll feature windows, authenticate a
+batch of windows, and report behavioural drift (triggering retraining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.cloud import MIN_WINDOWS_PER_CONTEXT, AuthenticationServer
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.batch import BatchScorer, BatchScoreResult
+from repro.service.registry import ModelRegistry
+from repro.service.telemetry import TelemetryHub
+
+
+@dataclass(frozen=True)
+class EnrollResponse:
+    """Outcome of one enrollment upload."""
+
+    user_id: str
+    status: str  # "buffered" or "trained"
+    windows_stored: int
+    model_version: int | None = None
+
+
+@dataclass(frozen=True)
+class AuthenticationResponse:
+    """Outcome of one batched authentication request."""
+
+    user_id: str
+    result: BatchScoreResult
+
+    @property
+    def accepted(self) -> np.ndarray:
+        return self.result.accepted
+
+    @property
+    def scores(self) -> np.ndarray:
+        return self.result.scores
+
+    @property
+    def accept_rate(self) -> float:
+        return self.result.accept_rate
+
+    @property
+    def model_version(self) -> int:
+        return self.result.model_version
+
+
+@dataclass(frozen=True)
+class DriftResponse:
+    """Outcome of a drift report (always retrains)."""
+
+    user_id: str
+    previous_version: int
+    new_version: int
+
+
+class AuthenticationGateway:
+    """Fleet-facing facade over storage, training, registry and scoring.
+
+    Parameters
+    ----------
+    server:
+        Optional pre-configured cloud server.  When omitted, one is created
+        with a fresh :class:`~repro.service.store.FeatureStore`; either way
+        the gateway wires its registry into the server so every training
+        round is published automatically.
+    registry:
+        Optional pre-configured model registry.  When omitted, a server
+        that already has a registry keeps it (published versions stay
+        servable); otherwise a fresh in-memory registry is created.  An
+        explicitly passed registry always wins and is wired into the
+        server.
+    telemetry:
+        Optional shared telemetry hub.
+    min_windows_to_train:
+        :meth:`enroll` with ``train=None`` automatically trains once the
+        user has at least this many stored windows (and at least one other
+        enrolled user to provide negatives).
+    use_context:
+        Whether scoring selects per-context models (the paper's default).
+    """
+
+    def __init__(
+        self,
+        server: AuthenticationServer | None = None,
+        registry: ModelRegistry | None = None,
+        telemetry: TelemetryHub | None = None,
+        min_windows_to_train: int = 20,
+        use_context: bool = True,
+    ) -> None:
+        if min_windows_to_train < 1:
+            raise ValueError("min_windows_to_train must be >= 1")
+        self.server = server if server is not None else AuthenticationServer()
+        if registry is not None:
+            self.registry = registry
+        elif self.server.registry is not None:
+            # Keep the server's registry: it may already hold published
+            # versions the fleet expects to keep serving.
+            self.registry = self.server.registry
+        else:
+            self.registry = ModelRegistry()
+        self.server.registry = self.registry
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
+        self.min_windows_to_train = min_windows_to_train
+        self.use_context = use_context
+        # One cached scorer per user, keyed by the (version, use_context)
+        # it was built for, so memory stays bounded by fleet size and a
+        # mode flip or retrain invalidates stale entries.
+        self._scorers: dict[str, tuple[int, bool, BatchScorer]] = {}
+
+    # ------------------------------------------------------------------ #
+    # enrollment
+    # ------------------------------------------------------------------ #
+
+    def enroll(
+        self, user_id: str, matrix: FeatureMatrix, train: bool | None = None
+    ) -> EnrollResponse:
+        """Store a user's feature windows, optionally training their models.
+
+        Parameters
+        ----------
+        train:
+            ``True`` forces a training round, ``False`` only buffers the
+            windows, ``None`` (default) trains automatically once
+            ``min_windows_to_train`` windows are stored and another user is
+            enrolled to provide negatives.
+        """
+        with self.telemetry.timer("enroll"):
+            self.server.upload_features(user_id, matrix)
+            self.telemetry.increment("enroll.windows", len(matrix))
+            stored = self.server.stored_window_count(user_id)
+            if train is not None:
+                should_train = train
+            else:
+                # Auto-train only once a round can actually succeed,
+                # mirroring train(): at least one context meets the
+                # per-context minimum and has other-user negatives.  The
+                # cheap aggregate checks run first; the negative-pool scan
+                # only happens once this user is otherwise ready.
+                should_train = (
+                    stored >= self.min_windows_to_train
+                    and len(self.server.enrolled_users()) >= 2
+                )
+                if should_train:
+                    qualifying = self._qualifying_contexts(user_id)
+                    should_train = bool(qualifying)
+                if should_train:
+                    negatives = self.server.negative_window_counts(user_id)
+                    should_train = all(
+                        negatives.get(context, 0) > 0 for context in qualifying
+                    )
+            if not should_train:
+                return EnrollResponse(
+                    user_id=user_id, status="buffered", windows_stored=stored
+                )
+            version = self.train(user_id)
+        return EnrollResponse(
+            user_id=user_id,
+            status="trained",
+            windows_stored=stored,
+            model_version=version,
+        )
+
+    def _qualifying_contexts(self, user_id: str) -> tuple[CoarseContext, ...]:
+        """Contexts whose stored windows meet the server's training minimum."""
+        return tuple(
+            context
+            for context, count in self.server.context_window_counts(user_id).items()
+            if count >= MIN_WINDOWS_PER_CONTEXT
+        )
+
+    def train(self, user_id: str) -> int:
+        """Run one training round for *user_id*; returns the new version.
+
+        Only contexts meeting the server's per-context window minimum are
+        trained (a few unlabelled windows must not make an otherwise
+        data-poor context abort the whole round); if no context qualifies,
+        the server raises its usual informative error.
+        """
+        with self.telemetry.timer("train"):
+            contexts = self._qualifying_contexts(user_id)
+            if not contexts:
+                contexts = self.server.contexts_for(user_id) or tuple(CoarseContext)
+            bundle = self.server.train_authentication_models(user_id, contexts=contexts)
+            self.telemetry.increment("train.rounds")
+        return bundle.version
+
+    # ------------------------------------------------------------------ #
+    # authentication
+    # ------------------------------------------------------------------ #
+
+    def _scorer_for(self, user_id: str, version: int | None = None) -> BatchScorer:
+        resolved = (
+            version if version is not None else self.registry.latest_version(user_id)
+        )
+        cached = self._scorers.get(user_id)
+        if cached is not None and cached[0] == resolved and cached[1] == self.use_context:
+            return cached[2]
+        scorer = BatchScorer(
+            self.registry.bundle_for(user_id, resolved), use_context=self.use_context
+        )
+        # Cache replaces any previous entry: retrain, rollback and
+        # use_context flips each change the key, so stale scorers never
+        # linger.
+        self._scorers[user_id] = (resolved, self.use_context, scorer)
+        return scorer
+
+    def authenticate(
+        self,
+        user_id: str,
+        features: np.ndarray,
+        contexts: Sequence[CoarseContext],
+        version: int | None = None,
+    ) -> AuthenticationResponse:
+        """Score a batch of windows for *user_id* against their served model.
+
+        Raises
+        ------
+        KeyError
+            If the user has no published model version.
+        """
+        with self.telemetry.timer("authenticate"):
+            result = self._scorer_for(user_id, version).score(features, contexts)
+        self.telemetry.increment("auth.windows", len(result))
+        self.telemetry.increment("auth.accepted", result.n_accepted)
+        self.telemetry.increment("auth.rejected", len(result) - result.n_accepted)
+        return AuthenticationResponse(user_id=user_id, result=result)
+
+    # ------------------------------------------------------------------ #
+    # drift and rollback
+    # ------------------------------------------------------------------ #
+
+    def report_drift(self, user_id: str, fresh_matrix: FeatureMatrix) -> DriftResponse:
+        """Accept fresh post-drift windows and retrain the user's models.
+
+        The windows are stored before the serving-version lookup, so a
+        drift report for a never-trained user still preserves its data
+        (the KeyError it raises is then purely informational).
+        """
+        with self.telemetry.timer("retrain"):
+            self.server.upload_features(user_id, fresh_matrix)
+            previous = self.registry.latest_version(user_id)
+            new_version = self.train(user_id)
+        self.telemetry.increment("drift.reports")
+        return DriftResponse(
+            user_id=user_id, previous_version=previous, new_version=new_version
+        )
+
+    def rollback(self, user_id: str) -> int:
+        """Retire the newest model version; returns the now-serving version."""
+        record = self.registry.rollback(user_id)
+        self.telemetry.increment("rollback.count")
+        return record.version
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Telemetry plus storage statistics, as plain types."""
+        stats = self.server.store.stats()
+        snapshot = self.telemetry.snapshot()
+        snapshot["store"] = {
+            "n_users": stats.n_users,
+            "n_windows": stats.n_windows,
+            "n_buffers": stats.n_buffers,
+            "total_evicted": stats.total_evicted,
+        }
+        return snapshot

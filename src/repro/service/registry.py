@@ -1,0 +1,377 @@
+"""Versioned persistence and serving of trained model bundles.
+
+The paper's cloud server ships a freshly trained model bundle to the phone
+after every (re)training round but keeps no history: a bad retrain (e.g. on
+attacker-polluted data) cannot be undone.  The :class:`ModelRegistry` keeps
+every published :class:`~repro.devices.cloud.TrainedModelBundle` version,
+serves the newest *active* one, and supports rollback to the previous
+version.
+
+Bundles round-trip losslessly through :mod:`repro.utils.serialization`:
+fitted estimators are captured attribute-by-attribute (NumPy arrays, nested
+estimators and dataclass nodes included), so a reloaded bundle produces
+bit-for-bit identical decision scores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.devices.cloud import ContextModel, TrainedModelBundle
+from repro.ml.base import BaseClassifier, BaseEstimator
+from repro.ml.preprocessing import StandardScaler
+from repro.sensors.types import CoarseContext
+from repro.utils import serialization
+
+#: Tag keys used in the serialised estimator payloads.
+_ESTIMATOR_TAG = "__estimator__"
+_DATACLASS_TAG = "__dataclass__"
+_TUPLE_TAG = "__tuple__"
+_GENERATOR_TAG = "__generator__"
+
+
+def _qualified_name(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_class(qualified: str) -> type:
+    module_name, _, qualname = qualified.partition(":")
+    # Payloads are data from disk: never import modules outside this
+    # library (a tampered file must not trigger arbitrary imports).
+    if module_name != "repro" and not module_name.startswith("repro."):
+        raise ValueError(
+            f"refusing to resolve {qualified!r}: registry payloads may only "
+            "reference classes from the repro package"
+        )
+    target: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    # The getattr chain can traverse into a module's imported attributes
+    # (e.g. 'repro.x:np.random.RandomState'), so validate the destination,
+    # not just the starting module.
+    defined_in = getattr(target, "__module__", "")
+    if not isinstance(target, type) or not (
+        defined_in == "repro" or defined_in.startswith("repro.")
+    ):
+        raise ValueError(
+            f"refusing to resolve {qualified!r}: it does not name a class "
+            "defined in the repro package"
+        )
+    return target
+
+
+def encode_state(value: Any) -> Any:
+    """Recursively capture *value* into a serialisable structure.
+
+    Handles scalars, strings, ``None``, NumPy arrays/scalars, dicts,
+    lists/tuples, :class:`~repro.ml.base.BaseEstimator` instances (fitted
+    state included) and dataclasses (e.g. decision-tree nodes).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value  # serialization._to_jsonable tags ndarrays natively
+    if isinstance(value, np.random.Generator):
+        # Fitted forests keep a Generator per tree; its bit-generator state
+        # is plain ints/strings and round-trips faithfully.
+        return {_GENERATOR_TAG: value.bit_generator.state}
+    if isinstance(value, BaseEstimator):
+        return {
+            _ESTIMATOR_TAG: _qualified_name(value),
+            "state": {key: encode_state(item) for key, item in vars(value).items()},
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            _DATACLASS_TAG: _qualified_name(value),
+            "state": {
+                field.name: encode_state(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): encode_state(item) for key, item in value.items()}
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [encode_state(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_state(item) for item in value]
+    raise TypeError(
+        f"cannot serialise {type(value).__name__!r} values; registry payloads "
+        "support scalars, arrays, dicts, lists, estimators and dataclasses"
+    )
+
+
+def decode_state(value: Any) -> Any:
+    """Inverse of :func:`encode_state` (after ndarray tags are restored)."""
+    if isinstance(value, dict):
+        if _ESTIMATOR_TAG in value:
+            cls = _resolve_class(value[_ESTIMATOR_TAG])
+            instance = cls.__new__(cls)
+            instance.__dict__.update(
+                {key: decode_state(item) for key, item in value["state"].items()}
+            )
+            return instance
+        if _DATACLASS_TAG in value:
+            cls = _resolve_class(value[_DATACLASS_TAG])
+            instance = cls.__new__(cls)
+            for key, item in value["state"].items():
+                # object.__setattr__ also works for frozen dataclasses.
+                object.__setattr__(instance, key, decode_state(item))
+            return instance
+        if _TUPLE_TAG in value:
+            return tuple(decode_state(item) for item in value[_TUPLE_TAG])
+        if _GENERATOR_TAG in value:
+            state = decode_state(value[_GENERATOR_TAG])
+            bit_generator_cls = getattr(np.random, state["bit_generator"], None)
+            if bit_generator_cls is None or not (
+                isinstance(bit_generator_cls, type)
+                and issubclass(bit_generator_cls, np.random.BitGenerator)
+            ):
+                raise ValueError(
+                    f"payload names an unknown bit generator {state.get('bit_generator')!r}"
+                )
+            generator = np.random.Generator(bit_generator_cls())
+            generator.bit_generator.state = state
+            return generator
+        return {key: decode_state(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_state(item) for item in value]
+    return value
+
+
+def bundle_to_payload(bundle: TrainedModelBundle) -> dict[str, Any]:
+    """Serialise a trained bundle into a plain structure."""
+    return {
+        "kind": "trained-model-bundle",
+        "user_id": bundle.user_id,
+        "feature_names": list(bundle.feature_names),
+        "version": int(bundle.version),
+        "models": {
+            context.value: {
+                "context": context.value,
+                "scaler": encode_state(model.scaler),
+                "classifier": encode_state(model.classifier),
+                "n_training_windows": int(model.n_training_windows),
+            }
+            for context, model in bundle.models.items()
+        },
+    }
+
+
+def bundle_from_payload(payload: dict[str, Any]) -> TrainedModelBundle:
+    """Rebuild a trained bundle from :func:`bundle_to_payload` output."""
+    if payload.get("kind") != "trained-model-bundle":
+        raise ValueError("payload does not describe a trained model bundle")
+    models: dict[CoarseContext, ContextModel] = {}
+    for context_value, entry in payload["models"].items():
+        scaler = decode_state(entry["scaler"])
+        classifier = decode_state(entry["classifier"])
+        if not isinstance(scaler, StandardScaler):
+            raise ValueError(f"model {context_value!r} carries an invalid scaler")
+        if not isinstance(classifier, BaseClassifier):
+            raise ValueError(
+                f"model {context_value!r} carries an invalid classifier "
+                f"({type(classifier).__name__}); expected a BaseClassifier"
+            )
+        models[CoarseContext(context_value)] = ContextModel(
+            context=CoarseContext(context_value),
+            scaler=scaler,
+            classifier=classifier,
+            n_training_windows=int(entry["n_training_windows"]),
+        )
+    return TrainedModelBundle(
+        user_id=payload["user_id"],
+        feature_names=list(payload["feature_names"]),
+        models=models,
+        version=int(payload["version"]),
+    )
+
+
+@dataclass
+class ModelRecord:
+    """One published bundle version and its serving status."""
+
+    user_id: str
+    version: int
+    bundle: TrainedModelBundle
+    active: bool = True
+    path: Path | None = None
+
+
+class ModelRegistry:
+    """Stores every published bundle version and serves the newest active one.
+
+    Parameters
+    ----------
+    root:
+        Optional directory; when given, every published bundle is also
+        persisted as JSON under ``root/<user-dir>/v<version>.json`` and
+        :meth:`load` can rehydrate the registry from disk.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._records: dict[str, dict[int, ModelRecord]] = {}
+
+    # ------------------------------------------------------------------ #
+    # publishing
+    # ------------------------------------------------------------------ #
+
+    def _user_dir(self, user_id: str) -> Path:
+        assert self.root is not None
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in user_id)
+        digest = hashlib.sha256(user_id.encode("utf-8")).hexdigest()[:8]
+        return self.root / f"{safe or 'user'}-{digest}"
+
+    def _persist_serving_state(self, user_id: str) -> None:
+        """Persist which versions are retired, so rollback survives restarts."""
+        if self.root is None:
+            return
+        retired = sorted(
+            version
+            for version, record in self._records.get(user_id, {}).items()
+            if not record.active
+        )
+        serialization.to_json_file(
+            {"kind": "registry-state", "user_id": user_id, "retired_versions": retired},
+            self._user_dir(user_id) / "state.json",
+        )
+
+    def publish(self, bundle: TrainedModelBundle) -> ModelRecord:
+        """Register (and optionally persist) a new bundle version.
+
+        Raises
+        ------
+        ValueError
+            If this user already has a bundle with the same version number.
+        """
+        versions = self._records.setdefault(bundle.user_id, {})
+        if bundle.version in versions:
+            raise ValueError(
+                f"user {bundle.user_id!r} already has a published version "
+                f"{bundle.version}; versions are immutable"
+            )
+        record = ModelRecord(
+            user_id=bundle.user_id, version=bundle.version, bundle=bundle
+        )
+        if self.root is not None:
+            path = self._user_dir(bundle.user_id) / f"v{bundle.version}.json"
+            serialization.to_json_file(bundle_to_payload(bundle), path)
+            record.path = path
+        versions[bundle.version] = record
+        return record
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+
+    def users(self) -> list[str]:
+        """Every user with at least one published bundle."""
+        return sorted(self._records)
+
+    def versions(self, user_id: str) -> list[int]:
+        """All published version numbers for *user_id* (ascending)."""
+        return sorted(self._records.get(user_id, {}))
+
+    def active_versions(self, user_id: str) -> list[int]:
+        """Versions currently eligible for serving (ascending)."""
+        return sorted(
+            version
+            for version, record in self._records.get(user_id, {}).items()
+            if record.active
+        )
+
+    def latest_version(self, user_id: str) -> int:
+        """The version :meth:`bundle_for` would serve right now."""
+        active = self.active_versions(user_id)
+        if not active:
+            raise KeyError(f"no active model versions published for {user_id!r}")
+        return active[-1]
+
+    def record_for(self, user_id: str, version: int | None = None) -> ModelRecord:
+        """The record serving *user_id* (a specific version, or the newest)."""
+        if version is None:
+            version = self.latest_version(user_id)
+        try:
+            return self._records[user_id][version]
+        except KeyError:
+            raise KeyError(
+                f"no published version {version} for user {user_id!r}"
+            ) from None
+
+    def bundle_for(self, user_id: str, version: int | None = None) -> TrainedModelBundle:
+        """The bundle serving *user_id* (a specific version, or the newest)."""
+        return self.record_for(user_id, version).bundle
+
+    def rollback(self, user_id: str) -> ModelRecord:
+        """Retire the newest active version and serve the previous one.
+
+        The retired version stays stored (and addressable by explicit
+        version number) but is no longer eligible as the serving default.
+        """
+        active = self.active_versions(user_id)
+        if len(active) < 2:
+            raise ValueError(
+                f"cannot roll back {user_id!r}: need at least two active "
+                f"versions, have {len(active)}"
+            )
+        self._records[user_id][active[-1]].active = False
+        self._persist_serving_state(user_id)
+        return self._records[user_id][active[-2]]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def load(self) -> int:
+        """Rehydrate the registry from ``root``; returns bundles loaded.
+
+        Already-registered (user, version) pairs are left untouched, so
+        ``load`` is safe to call on a warm registry.
+        """
+        if self.root is None:
+            raise RuntimeError("this registry has no persistence root configured")
+        loaded = 0
+        if not self.root.exists():
+            return loaded
+        for path in sorted(self.root.glob("*/v*.json")):
+            payload = serialization.from_json_file(path)
+            bundle = bundle_from_payload(payload)
+            versions = self._records.setdefault(bundle.user_id, {})
+            if bundle.version in versions:
+                continue
+            versions[bundle.version] = ModelRecord(
+                user_id=bundle.user_id,
+                version=bundle.version,
+                bundle=bundle,
+                path=path,
+            )
+            loaded += 1
+        # Re-apply persisted serving state (rollbacks) after the bundles.
+        for user_id, versions in self._records.items():
+            state_path = self._user_dir(user_id) / "state.json"
+            if not state_path.exists():
+                continue
+            state = serialization.from_json_file(state_path)
+            for version in state.get("retired_versions", []):
+                record = versions.get(int(version))
+                if record is not None:
+                    record.active = False
+        return loaded
+
+    def roundtrip(self, bundle: TrainedModelBundle) -> TrainedModelBundle:
+        """Serialise and rebuild *bundle* through the JSON wire format.
+
+        Used by tests to prove the wire format is lossless, and useful for
+        shipping a bundle to a device without touching the filesystem.
+        """
+        return bundle_from_payload(serialization.loads(serialization.dumps(bundle_to_payload(bundle))))

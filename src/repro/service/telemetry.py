@@ -1,0 +1,165 @@
+"""Service telemetry: counters and latency statistics for the fleet path.
+
+Every gateway operation increments named counters and records wall-clock
+latencies so the fleet simulator (and operators of a real deployment) can
+report throughput, acceptance rates and latency percentiles without any
+external dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Add *amount* (default 1) and return the new value."""
+        if amount < 0:
+            raise ValueError(f"counters only move forward; got amount={amount}")
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates observed durations (seconds) for one named operation.
+
+    Memory stays bounded in a long-lived service: ``count``, ``total`` and
+    ``max`` are exact over the recorder's lifetime, while percentiles are
+    computed over a sliding window of the most recent ``max_samples``
+    observations (recent latency is what an operator acts on).
+    """
+
+    name: str
+    max_samples: int = 4096
+    _samples: list[float] = field(default_factory=list)
+    _next: int = 0
+    _count: int = 0
+    _total: float = 0.0
+    _max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+
+    def record(self, seconds: float) -> None:
+        """Record one observed duration."""
+        if seconds < 0.0:
+            raise ValueError(f"latency cannot be negative; got {seconds}")
+        seconds = float(seconds)
+        self._count += 1
+        self._total += seconds
+        self._max = max(self._max, seconds)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self.max_samples
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total_seconds(self) -> float:
+        return self._total
+
+    @property
+    def mean_seconds(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def max_seconds(self) -> float:
+        return self._max
+
+    def percentile_seconds(self, q: float) -> float:
+        """The *q*-th percentile (0–100) over the recent sample window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    def summary(self) -> dict[str, float]:
+        """Plain-type summary suitable for JSON serialization."""
+        return {
+            "count": self.count,
+            "total_s": self.total_seconds,
+            "mean_s": self.mean_seconds,
+            "p50_s": self.percentile_seconds(50.0),
+            "p95_s": self.percentile_seconds(95.0),
+            "p99_s": self.percentile_seconds(99.0),
+            "max_s": self.max_seconds,
+        }
+
+
+class TelemetryHub:
+    """Registry of named counters and latency recorders.
+
+    Counters and recorders are created on first use, so call sites never
+    need to pre-declare the metrics they emit.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._latencies: dict[str, LatencyRecorder] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first access."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name=name)
+        return self._counters[name]
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Shorthand for ``counter(name).increment(amount)``."""
+        return self.counter(name).increment(amount)
+
+    def latency(self, name: str) -> LatencyRecorder:
+        """The latency recorder called *name*, created on first access."""
+        if name not in self._latencies:
+            self._latencies[name] = LatencyRecorder(name=name)
+        return self._latencies[name]
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager recording the wall-clock time of its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.latency(name).record(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter (0 if it never fired)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def snapshot(self) -> dict[str, dict]:
+        """All metrics as a nested plain-type dictionary."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "latencies": {
+                name: recorder.summary()
+                for name, recorder in sorted(self._latencies.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (used between fleet simulation phases)."""
+        self._counters.clear()
+        self._latencies.clear()

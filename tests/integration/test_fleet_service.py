@@ -1,0 +1,138 @@
+"""Integration tests: the full fleet lifecycle through the service layer."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.types import CoarseContext
+from repro.service.fleet import FleetConfig, FleetReport, FleetSimulator
+
+
+class TestFleetConfig:
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError, match="at least two users"):
+            FleetConfig(n_users=1)
+        with pytest.raises(ValueError, match="server minimum"):
+            FleetConfig(enroll_windows_per_context=5)
+        with pytest.raises(ValueError, match="drift_fraction"):
+            FleetConfig(drift_fraction=1.5)
+
+
+class TestSmallFleetLifecycle:
+    """A compact fleet exercises every phase quickly."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FleetSimulator(FleetConfig(n_users=40, seed=13)).run()
+
+    def test_every_user_enrolled_and_trained(self, report):
+        assert report.enrolled_users == 40
+        assert report.trained_versions >= 40
+
+    def test_legitimate_users_accepted(self, report):
+        assert report.legitimate_accept_rate > 0.9
+
+    def test_masquerade_attacks_rejected(self, report):
+        assert report.attack_reject_rate > 0.9
+
+    def test_drift_degrades_then_retraining_recovers(self, report):
+        assert report.drifted_users >= 1
+        assert report.retrained_users == report.drifted_users
+        assert (
+            report.drifted_accept_rate_after_retrain
+            > report.drifted_accept_rate_before_retrain
+        )
+
+    def test_report_renders(self, report):
+        text = report.to_text()
+        assert "fleet size" in text and "windows/s" in text
+
+    def test_telemetry_consistency(self, report):
+        counters = report.telemetry["counters"]
+        assert counters["auth.windows"] == report.total_windows_scored
+        assert (
+            counters["auth.accepted"] + counters["auth.rejected"]
+            == counters["auth.windows"]
+        )
+        assert counters["train.rounds"] == report.trained_versions
+        assert counters["drift.reports"] == report.drifted_users
+
+
+class TestFiveHundredUserFleet:
+    """The ISSUE acceptance bar: a >= 500-user lifecycle end-to-end."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FleetSimulator(FleetConfig(n_users=500, seed=7)).run()
+
+    def test_full_lifecycle_completes(self, report):
+        assert isinstance(report, FleetReport)
+        assert report.n_users == 500
+        assert report.enrolled_users == 500
+        # Every user trained at least once; drifted users retrained on top.
+        assert report.trained_versions == 500 + report.retrained_users
+
+    def test_fleet_quality_holds_at_scale(self, report):
+        assert report.legitimate_accept_rate > 0.9
+        assert report.attack_reject_rate > 0.9
+        assert report.drifted_users >= 500 * 0.05
+        assert report.drifted_accept_rate_after_retrain > 0.9
+        assert (
+            report.drifted_accept_rate_after_retrain
+            > report.drifted_accept_rate_before_retrain
+        )
+
+    def test_storage_stays_capacity_bounded(self, report):
+        store = report.telemetry["store"]
+        config = FleetConfig()
+        assert store["n_users"] == 500
+        assert store["n_windows"] <= 500 * 2 * config.store_capacity_per_context
+        # Drift uploads overflowed the drifted users' ring buffers.
+        assert store["total_evicted"] > 0
+
+    def test_scoring_is_fast(self, report):
+        # Vectorized scoring should clear tens of thousands of windows/sec;
+        # the bar is intentionally loose for slow CI machines.
+        assert report.scoring_windows_per_second > 5000
+
+
+class TestFullFleetDrift:
+    def test_drift_fraction_one_still_applies_real_drift(self):
+        """Every user drifting must not degenerate to a zero-vector shift."""
+        simulator = FleetSimulator(
+            FleetConfig(n_users=12, drift_fraction=1.0, seed=5)
+        )
+        simulator.build_users()
+        before_means = [
+            user.context_means[CoarseContext.STATIONARY].copy()
+            for user in simulator.users
+        ]
+        report = simulator.run()
+        assert report.drifted_users == 12
+        for user, before in zip(simulator.users, before_means):
+            shift = np.linalg.norm(
+                user.context_means[CoarseContext.STATIONARY] - before
+            )
+            assert shift == pytest.approx(simulator.config.drift_shift, rel=1e-9)
+
+
+class TestGatewaySharedCodePath:
+    """The fleet path and the per-window path produce identical decisions."""
+
+    def test_gateway_scores_match_per_window_scoring(self):
+        simulator = FleetSimulator(FleetConfig(n_users=25, seed=3))
+        simulator.build_users()
+        simulator.enroll_fleet()
+        user = simulator.users[0]
+        rng = np.random.default_rng(99)
+        matrix = user.sample_windows(6, simulator.config.window_noise, rng, simulator.feature_names)
+        contexts = [CoarseContext(label) for label in matrix.contexts]
+        response = simulator.gateway.authenticate(user.user_id, matrix.values, contexts)
+
+        from repro.core.authenticator import ContextualAuthenticator
+
+        bundle = simulator.gateway.registry.bundle_for(user.user_id)
+        authenticator = ContextualAuthenticator(bundle)
+        for index in range(len(matrix)):
+            decision = authenticator.authenticate(matrix.values[index], contexts[index])
+            assert decision.confidence_score == response.scores[index]
+            assert decision.accepted == bool(response.accepted[index])

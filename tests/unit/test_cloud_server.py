@@ -127,3 +127,37 @@ class TestContextDetectorTraining:
         )
         with pytest.raises(ValueError, match="no training rows"):
             populated_server.train_context_detector(matrix, exclude_user="solo")
+
+
+class TestUploadSchemaValidation:
+    def test_inconsistent_feature_names_rejected(self, populated_server):
+        """Uploads must match the schema established by earlier uploads."""
+        renamed = labelled_matrix("owner", 0.0, seed=30)
+        renamed = FeatureMatrix(
+            values=renamed.values,
+            feature_names=[f"g{i}" for i in range(renamed.n_features)],
+            user_ids=list(renamed.user_ids),
+            contexts=list(renamed.contexts),
+        )
+        with pytest.raises(ValueError, match="feature_names mismatch"):
+            populated_server.upload_features("owner", renamed)
+
+    def test_wrong_column_count_rejected(self, populated_server):
+        narrow = labelled_matrix("newcomer", 0.0, n_features=4, seed=31)
+        with pytest.raises(ValueError, match="feature_names mismatch"):
+            populated_server.upload_features("newcomer", narrow)
+
+    def test_matching_schema_still_accepted(self, populated_server):
+        before = populated_server.stored_window_count("owner")
+        populated_server.upload_features("owner", labelled_matrix("owner", 0.1, seed=32))
+        assert populated_server.stored_window_count("owner") == before + 30
+
+    def test_contexts_for_reports_stored_contexts(self, populated_server):
+        contexts = populated_server.contexts_for("owner")
+        assert set(contexts) == {CoarseContext.STATIONARY, CoarseContext.MOVING}
+        assert populated_server.contexts_for("stranger") == ()
+
+    def test_store_stats_exposed(self, populated_server):
+        stats = populated_server.store.stats()
+        assert stats.n_users == 3
+        assert stats.n_windows == 180

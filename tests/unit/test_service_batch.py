@@ -1,0 +1,200 @@
+"""Unit tests for the vectorized batch scorer."""
+
+import numpy as np
+import pytest
+
+from repro.core.authenticator import ContextualAuthenticator
+from repro.devices.cloud import AuthenticationServer
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.batch import BatchScorer, score_fleet
+
+
+def matrix(uid, mean, n=30, d=6, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=[context] * n,
+    )
+
+
+@pytest.fixture()
+def bundle():
+    server = AuthenticationServer(seed=2)
+    for context in ("stationary", "moving"):
+        server.upload_features("owner", matrix("owner", 0.0, context=context, seed=1))
+        server.upload_features("other1", matrix("other1", 3.0, context=context, seed=2))
+        server.upload_features("other2", matrix("other2", 5.0, context=context, seed=3))
+    return server.train_authentication_models("owner")
+
+
+@pytest.fixture()
+def probe_windows():
+    rng = np.random.default_rng(11)
+    features = rng.normal(0.0, 2.0, size=(1000, 6))
+    contexts = [
+        CoarseContext.MOVING if i % 3 == 0 else CoarseContext.STATIONARY
+        for i in range(1000)
+    ]
+    return features, contexts
+
+
+class TestBatchScoring:
+    def test_thousand_window_batch_matches_per_window_path_exactly(
+        self, bundle, probe_windows
+    ):
+        """Acceptance bar: one vectorized call == 1000 single-window calls."""
+        features, contexts = probe_windows
+        result = BatchScorer(bundle).score(features, contexts)
+        assert len(result) == 1000
+        authenticator = ContextualAuthenticator(bundle)
+        for index in range(1000):
+            decision = authenticator.authenticate(features[index], contexts[index])
+            assert decision.confidence_score == result.scores[index]
+            assert decision.accepted == bool(result.accepted[index])
+            assert decision.context == result.model_contexts[index]
+
+    def test_direct_context_model_calls_match_exactly(self, bundle, probe_windows):
+        """Also identical to calling each ContextModel by hand per window."""
+        features, contexts = probe_windows
+        result = BatchScorer(bundle).score(features, contexts)
+        for index in range(0, 1000, 37):
+            model = bundle.models[contexts[index]]
+            row = features[index : index + 1]
+            assert model.decision_scores(row)[0] == result.scores[index]
+            assert bool(model.predict_legitimate(row)[0]) == result.accepted[index]
+
+    def test_separates_owner_from_impostor(self, bundle):
+        scorer = BatchScorer(bundle)
+        owner = matrix("owner", 0.0, seed=21).values
+        impostor = matrix("other1", 3.0, seed=22).values
+        contexts = [CoarseContext.STATIONARY] * 30
+        assert scorer.score(owner, contexts).accept_rate > 0.8
+        assert scorer.score(impostor, contexts).accept_rate < 0.2
+
+    def test_result_metadata(self, bundle):
+        scorer = BatchScorer(bundle)
+        rows = matrix("owner", 0.0, n=4, seed=23).values
+        result = scorer.score(rows, [CoarseContext.STATIONARY] * 4)
+        assert result.model_version == bundle.version
+        assert result.n_accepted == int(result.accepted.sum())
+        assert result.model_contexts == (CoarseContext.STATIONARY,) * 4
+
+    def test_empty_batch(self, bundle):
+        result = BatchScorer(bundle).score(np.empty((0, 6)), [])
+        assert len(result) == 0
+        assert result.accept_rate == 0.0
+
+    def test_length_mismatch_rejected(self, bundle):
+        with pytest.raises(ValueError, match="context labels"):
+            BatchScorer(bundle).score(np.zeros((3, 6)), [CoarseContext.STATIONARY])
+
+    def test_empty_bundle_rejected(self, bundle):
+        bundle.models.clear()
+        with pytest.raises(ValueError, match="no trained models"):
+            BatchScorer(bundle)
+
+
+class TestAuthenticatorScorerSync:
+    def test_bundle_hot_swap_rebuilds_the_scorer(self, bundle):
+        server = AuthenticationServer(seed=9)
+        for context in ("stationary", "moving"):
+            server.upload_features("owner", matrix("owner", 0.0, context=context, seed=1))
+            server.upload_features("other1", matrix("other1", 3.0, context=context, seed=2))
+        retrained = server.retrain("owner", matrix("owner", 0.5, seed=7))
+
+        authenticator = ContextualAuthenticator(bundle)
+        rows = matrix("owner", 0.0, n=5, seed=8).values
+        contexts = [CoarseContext.STATIONARY] * 5
+        before = authenticator.confidence_scores(rows, contexts)
+        authenticator.bundle = retrained
+        assert authenticator.version == retrained.version
+        after = authenticator.confidence_scores(rows, contexts)
+        expected = BatchScorer(retrained).score(rows, contexts).scores
+        np.testing.assert_array_equal(after, expected)
+        assert not np.array_equal(before, after)
+
+
+class TestModelSelection:
+    def test_missing_context_falls_back_like_authenticator(self, bundle):
+        del bundle.models[CoarseContext.MOVING]
+        scorer = BatchScorer(bundle)
+        authenticator = ContextualAuthenticator(bundle)
+        rows = matrix("owner", 0.0, n=5, seed=24).values
+        contexts = [CoarseContext.MOVING] * 5
+        result = scorer.score(rows, contexts)
+        for index in range(5):
+            decision = authenticator.authenticate(rows[index], contexts[index])
+            assert decision.confidence_score == result.scores[index]
+            assert result.model_contexts[index] == CoarseContext.STATIONARY
+
+    def test_use_context_false_uses_single_model(self, bundle):
+        scorer = BatchScorer(bundle, use_context=False)
+        rows = matrix("owner", 0.0, n=6, seed=25).values
+        mixed = [CoarseContext.MOVING, CoarseContext.STATIONARY] * 3
+        result = scorer.score(rows, mixed)
+        stationary_only = scorer.score(rows, [CoarseContext.STATIONARY] * 6)
+        np.testing.assert_array_equal(result.scores, stationary_only.scores)
+
+
+class TestScoreFleet:
+    def test_groups_requests_per_user(self, bundle):
+        scorers = {"owner": BatchScorer(bundle)}
+        rows = matrix("owner", 0.0, n=8, seed=26).values
+        requests = [
+            ("owner", rows[:5], [CoarseContext.STATIONARY] * 5),
+            ("owner", rows[5:], [CoarseContext.MOVING] * 3),
+        ]
+        results = score_fleet(scorers, requests)
+        assert set(results) == {"owner"}
+        assert len(results["owner"]) == 8
+        combined = scorers["owner"].score(
+            rows, [CoarseContext.STATIONARY] * 5 + [CoarseContext.MOVING] * 3
+        )
+        np.testing.assert_array_equal(results["owner"].scores, combined.scores)
+
+    def test_unknown_user_rejected(self, bundle):
+        with pytest.raises(KeyError, match="no scorer"):
+            score_fleet({}, [("ghost", np.zeros((1, 6)), [CoarseContext.STATIONARY])])
+
+    def test_per_request_length_mismatch_rejected(self, bundle):
+        """Mismatches must fail even when they cancel out across requests."""
+        scorers = {"owner": BatchScorer(bundle)}
+        requests = [
+            ("owner", np.zeros((2, 6)), [CoarseContext.STATIONARY]),
+            ("owner", np.zeros((1, 6)), [CoarseContext.MOVING, CoarseContext.MOVING]),
+        ]
+        with pytest.raises(ValueError, match="request 0 for user 'owner'"):
+            score_fleet(scorers, requests)
+
+
+class TestPredictFromDecisionHooks:
+    def test_decision_thresholded_classifiers_expose_the_hook(self):
+        """Every predict == threshold(decision_function) classifier must keep
+        its predict_from_decision consistent with predict."""
+        from repro.ml.kernel_ridge import KernelRidgeClassifier
+        from repro.ml.linear import LinearRegressionClassifier, LogisticRegressionClassifier
+        from repro.ml.svm import LinearSVMClassifier
+
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (20, 4)), rng.normal(3, 1, (20, 4))])
+        y = np.array(["legitimate"] * 20 + ["other"] * 20)
+        probe = rng.normal(1.5, 2.0, (30, 4))
+        for classifier in (
+            KernelRidgeClassifier(),
+            LinearSVMClassifier(),
+            LinearRegressionClassifier(),
+            LogisticRegressionClassifier(),
+        ):
+            classifier.fit(X, y)
+            raw = classifier.decision_function(probe)
+            via_hook = classifier.predict_from_decision(raw)
+            assert via_hook is not None, type(classifier).__name__
+            np.testing.assert_array_equal(via_hook, classifier.predict(probe))
+
+    def test_vote_based_classifiers_fall_back(self):
+        from repro.ml.forest import RandomForestClassifier
+
+        assert RandomForestClassifier().predict_from_decision(np.zeros(3)) is None

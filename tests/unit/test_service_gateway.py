@@ -1,0 +1,296 @@
+"""Unit tests for the authentication gateway and service telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.gateway import AuthenticationGateway
+from repro.service.telemetry import Counter, LatencyRecorder, TelemetryHub
+
+
+def matrix(uid, mean, n=15, d=5, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=[context] * n,
+    )
+
+
+@pytest.fixture()
+def gateway():
+    gateway = AuthenticationGateway(min_windows_to_train=20)
+    # Two background users provide the negative pool; both sit on the same
+    # side of feature space so owner-versus-rest stays linearly separable
+    # (as for real motion features).
+    for uid, mean, seed in (("bg1", 4.0, 1), ("bg2", 6.0, 2)):
+        for context in ("stationary", "moving"):
+            gateway.enroll(uid, matrix(uid, mean, context=context, seed=seed), train=False)
+    return gateway
+
+
+class TestEnrollment:
+    def test_buffers_until_threshold_then_trains(self, gateway):
+        first = gateway.enroll("alice", matrix("alice", 0.0, context="stationary", seed=3))
+        assert first.status == "buffered"
+        assert first.model_version is None
+        second = gateway.enroll("alice", matrix("alice", 0.0, context="moving", seed=4))
+        assert second.status == "trained"
+        assert second.model_version == 1
+        assert gateway.registry.latest_version("alice") == 1
+
+    def test_explicit_train_flag_overrides_threshold(self, gateway):
+        response = gateway.enroll(
+            "alice", matrix("alice", 0.0, n=30, context="stationary", seed=5), train=True
+        )
+        assert response.status == "trained"
+        buffered = gateway.enroll(
+            "alice", matrix("alice", 0.0, n=30, context="stationary", seed=6), train=False
+        )
+        assert buffered.status == "buffered"
+
+    def test_schema_mismatch_propagates(self, gateway):
+        with pytest.raises(ValueError, match="feature_names mismatch"):
+            gateway.enroll("alice", matrix("alice", 0.0, d=3, seed=7))
+
+    def test_auto_train_waits_for_context_negatives(self):
+        """No negatives under a stored context -> buffer, don't crash."""
+        gateway = AuthenticationGateway(min_windows_to_train=20)
+        gateway.enroll("a", matrix("a", 3.0, n=25, context="moving", seed=40), train=False)
+        response = gateway.enroll("b", matrix("b", 0.0, n=25, context="stationary", seed=41))
+        assert response.status == "buffered"  # only moving negatives exist
+        # Once user a contributes stationary windows too, b can train.
+        gateway.enroll("a", matrix("a", 3.0, n=5, context="stationary", seed=42), train=False)
+        trained = gateway.enroll("b", matrix("b", 0.0, n=1, context="stationary", seed=43))
+        assert trained.status == "trained"
+
+    def test_auto_train_mirrors_trainable_subset(self, gateway):
+        """Auto-train fires as soon as any context qualifies, training it."""
+        gateway.enroll("alice", matrix("alice", 0.0, n=12, context="stationary", seed=30), train=False)
+        response = gateway.enroll("alice", matrix("alice", 0.0, n=8, context="moving", seed=31))
+        # 20 stored and stationary qualifies -> a stationary-only v1 trains
+        # (moving, still below the minimum, is filtered rather than fatal).
+        assert response.status == "trained"
+        assert response.model_version == 1
+        bundle = gateway.registry.bundle_for("alice", 1)
+        assert set(bundle.models) == {CoarseContext.STATIONARY}
+        topped_up = gateway.enroll("alice", matrix("alice", 0.0, n=2, context="moving", seed=32))
+        assert topped_up.status == "trained"
+        assert topped_up.model_version == 2
+        assert set(gateway.registry.bundle_for("alice", 2).models) == set(CoarseContext)
+
+    def test_auto_train_waits_below_aggregate_minimum(self, gateway):
+        """Below min_windows_to_train nothing trains, qualifying or not."""
+        response = gateway.enroll("alice", matrix("alice", 0.0, n=15, context="stationary", seed=34))
+        assert response.status == "buffered"
+
+    def test_small_unlabelled_upload_does_not_poison_training(self, gateway):
+        """A few wildcard rows must not make a data-poor context abort."""
+        gateway.enroll("alice", matrix("alice", 0.0, n=30, context="stationary", seed=70), train=False)
+        stray = matrix("alice", 0.0, n=5, context="stationary", seed=71)
+        stray = FeatureMatrix(
+            values=stray.values,
+            feature_names=list(stray.feature_names),
+            user_ids=list(stray.user_ids),
+        )
+        gateway.enroll("alice", stray, train=False)
+        version = gateway.train("alice")
+        bundle = gateway.registry.bundle_for("alice", version)
+        # Only the stationary context met the minimum; moving (5 wildcard
+        # rows) was filtered out rather than failing the whole round.
+        assert set(bundle.models) == {CoarseContext.STATIONARY}
+
+    def test_unlabelled_windows_train_every_context(self, gateway):
+        """Windows without context labels count towards all contexts."""
+        unlabelled = matrix("alice", 0.0, n=25, context="stationary", seed=33)
+        unlabelled = FeatureMatrix(
+            values=unlabelled.values,
+            feature_names=list(unlabelled.feature_names),
+            user_ids=list(unlabelled.user_ids),
+        )
+        response = gateway.enroll("alice", unlabelled)
+        assert response.status == "trained"
+        bundle = gateway.registry.bundle_for("alice")
+        assert set(bundle.models) == set(CoarseContext)
+
+
+class TestAuthentication:
+    def test_owner_accepted_impostor_rejected(self, gateway):
+        for context in ("stationary", "moving"):
+            gateway.enroll("alice", matrix("alice", 0.0, context=context, seed=8), train=False)
+        gateway.enroll("alice", matrix("alice", 0.0, n=1, context="stationary", seed=9))
+        own = matrix("alice", 0.0, context="stationary", seed=10)
+        response = gateway.authenticate(
+            "alice", own.values, [CoarseContext.STATIONARY] * len(own)
+        )
+        assert response.accept_rate > 0.8
+        assert response.model_version == 1
+        impostor = matrix("bg1", 4.0, context="stationary", seed=11)
+        attack = gateway.authenticate(
+            "alice", impostor.values, [CoarseContext.STATIONARY] * len(impostor)
+        )
+        assert attack.accept_rate < 0.2
+
+    def test_untrained_user_raises(self, gateway):
+        with pytest.raises(KeyError):
+            gateway.authenticate("ghost", np.zeros((1, 5)), [CoarseContext.STATIONARY])
+
+    def test_telemetry_counts_windows(self, gateway):
+        for context in ("stationary", "moving"):
+            gateway.enroll("alice", matrix("alice", 0.0, context=context, seed=12))
+        own = matrix("alice", 0.0, n=7, context="stationary", seed=13)
+        gateway.authenticate("alice", own.values, [CoarseContext.STATIONARY] * 7)
+        snapshot = gateway.snapshot()
+        assert snapshot["counters"]["auth.windows"] == 7
+        assert (
+            snapshot["counters"]["auth.accepted"]
+            + snapshot["counters"]["auth.rejected"]
+            == 7
+        )
+        assert snapshot["latencies"]["authenticate"]["count"] == 1
+        assert snapshot["store"]["n_users"] == 3
+
+
+class TestDriftAndRollback:
+    def test_drift_report_retrains_and_bumps_version(self, gateway):
+        for context in ("stationary", "moving"):
+            gateway.enroll("alice", matrix("alice", 0.0, context=context, seed=14))
+        response = gateway.report_drift(
+            "alice", matrix("alice", 1.0, n=30, context="stationary", seed=15)
+        )
+        assert response.previous_version == 1
+        assert response.new_version == 2
+        assert gateway.registry.latest_version("alice") == 2
+
+    def test_use_context_flip_invalidates_cached_scorers(self, gateway):
+        """Changing the scoring mode must rebuild scorers for all users."""
+        # Distinct data per context so the two context models differ.
+        gateway.enroll("alice", matrix("alice", 0.0, context="stationary", seed=63), train=False)
+        gateway.enroll("alice", matrix("alice", 1.5, context="moving", seed=65))
+        own = matrix("alice", 1.5, n=4, context="moving", seed=64)
+        contexts = [CoarseContext.MOVING] * 4
+        with_context = gateway.authenticate("alice", own.values, contexts)
+        gateway.use_context = False
+        without_context = gateway.authenticate("alice", own.values, contexts)
+        bundle = gateway.registry.bundle_for("alice")
+        from repro.service.batch import BatchScorer
+
+        expected = BatchScorer(bundle, use_context=False).score(own.values, contexts)
+        np.testing.assert_array_equal(without_context.scores, expected.scores)
+        assert not np.array_equal(with_context.scores, without_context.scores)
+
+    def test_scorer_cache_holds_one_entry_per_user(self, gateway):
+        """Retraining must replace, not accumulate, cached scorers."""
+        for context in ("stationary", "moving"):
+            gateway.enroll("alice", matrix("alice", 0.0, context=context, seed=60))
+        own = matrix("alice", 0.0, n=2, context="stationary", seed=61)
+        for round_number in range(4):
+            gateway.authenticate("alice", own.values, [CoarseContext.STATIONARY] * 2)
+            gateway.report_drift(
+                "alice", matrix("alice", 0.1, n=30, context="stationary", seed=62 + round_number)
+            )
+        gateway.authenticate("alice", own.values, [CoarseContext.STATIONARY] * 2)
+        assert len(gateway._scorers) == 1
+        cached_version, _, _ = gateway._scorers["alice"]
+        assert cached_version == gateway.registry.latest_version("alice")
+
+    def test_drift_report_for_untrained_user_preserves_windows(self, gateway):
+        gateway.enroll("alice", matrix("alice", 0.0, n=5, context="stationary", seed=80), train=False)
+        fresh = matrix("alice", 0.5, n=7, context="stationary", seed=81)
+        with pytest.raises(KeyError):
+            gateway.report_drift("alice", fresh)
+        # The uploaded windows survived the failed report.
+        assert gateway.server.stored_window_count("alice") == 12
+
+    def test_rollback_restores_previous_serving_version(self, gateway):
+        for context in ("stationary", "moving"):
+            gateway.enroll("alice", matrix("alice", 0.0, context=context, seed=16))
+        gateway.report_drift("alice", matrix("alice", 1.0, n=30, context="stationary", seed=17))
+        serving = gateway.rollback("alice")
+        assert serving == 1
+        own = matrix("alice", 0.0, n=4, context="stationary", seed=18)
+        response = gateway.authenticate(
+            "alice", own.values, [CoarseContext.STATIONARY] * 4
+        )
+        assert response.model_version == 1
+
+
+class TestRegistryWiring:
+    def test_gateway_adopts_server_registry_with_published_versions(self):
+        from repro.devices.cloud import AuthenticationServer
+        from repro.service.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        server = AuthenticationServer(registry=registry)
+        for context in ("stationary", "moving"):
+            server.upload_features("a", matrix("a", 0.0, context=context, seed=50))
+            server.upload_features("b", matrix("b", 4.0, context=context, seed=51))
+        server.train_authentication_models("a")
+        gateway = AuthenticationGateway(server=server)
+        assert gateway.registry is registry
+        own = matrix("a", 0.0, n=4, context="stationary", seed=52)
+        response = gateway.authenticate(
+            "a", own.values, [CoarseContext.STATIONARY] * 4
+        )
+        assert response.model_version == 1
+
+    def test_explicit_registry_still_wins(self):
+        from repro.devices.cloud import AuthenticationServer
+        from repro.service.registry import ModelRegistry
+
+        server_registry = ModelRegistry()
+        explicit = ModelRegistry()
+        server = AuthenticationServer(registry=server_registry)
+        gateway = AuthenticationGateway(server=server, registry=explicit)
+        assert gateway.registry is explicit
+        assert server.registry is explicit
+
+
+class TestTelemetryPrimitives:
+    def test_counter_increments_and_rejects_negative(self):
+        counter = Counter("c")
+        assert counter.increment() == 1
+        assert counter.increment(4) == 5
+        with pytest.raises(ValueError):
+            counter.increment(-1)
+
+    def test_latency_recorder_statistics(self):
+        recorder = LatencyRecorder("op")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            recorder.record(value)
+        assert recorder.count == 4
+        assert recorder.mean_seconds == pytest.approx(0.25)
+        assert recorder.max_seconds == pytest.approx(0.4)
+        assert recorder.percentile_seconds(50.0) == pytest.approx(0.25)
+        summary = recorder.summary()
+        assert summary["count"] == 4
+        with pytest.raises(ValueError):
+            recorder.record(-0.1)
+        with pytest.raises(ValueError):
+            recorder.percentile_seconds(101.0)
+
+    def test_latency_recorder_memory_is_bounded(self):
+        recorder = LatencyRecorder("op", max_samples=100)
+        for index in range(1000):
+            recorder.record(float(index))
+        assert recorder.count == 1000  # lifetime stats stay exact
+        assert recorder.total_seconds == pytest.approx(sum(range(1000)))
+        assert recorder.max_seconds == 999.0
+        assert len(recorder._samples) == 100  # window stays bounded
+        # Percentiles reflect the most recent window (900..999).
+        assert recorder.percentile_seconds(0.0) == 900.0
+
+    def test_hub_timer_and_snapshot(self):
+        hub = TelemetryHub()
+        with hub.timer("work"):
+            hub.increment("events", 3)
+        assert hub.counter_value("events") == 3
+        assert hub.counter_value("missing") == 0
+        snapshot = hub.snapshot()
+        assert snapshot["counters"] == {"events": 3}
+        assert snapshot["latencies"]["work"]["count"] == 1
+        assert snapshot["latencies"]["work"]["total_s"] >= 0.0
+        hub.reset()
+        assert hub.snapshot() == {"counters": {}, "latencies": {}}

@@ -1,0 +1,254 @@
+"""Unit tests for the versioned model registry and bundle serialization."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cloud import AuthenticationServer
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.registry import (
+    ModelRegistry,
+    bundle_from_payload,
+    bundle_to_payload,
+)
+
+
+def matrix(uid, mean, n=30, d=5, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=[context] * n,
+    )
+
+
+@pytest.fixture()
+def server():
+    server = AuthenticationServer(seed=5)
+    for context in ("stationary", "moving"):
+        server.upload_features("owner", matrix("owner", 0.0, context=context, seed=1))
+        server.upload_features("other1", matrix("other1", 3.0, context=context, seed=2))
+        server.upload_features("other2", matrix("other2", 5.0, context=context, seed=3))
+    return server
+
+
+@pytest.fixture()
+def bundle(server):
+    return server.train_authentication_models("owner")
+
+
+class TestPublishingAndServing:
+    def test_publish_and_serve_latest(self, bundle):
+        registry = ModelRegistry()
+        registry.publish(bundle)
+        assert registry.users() == ["owner"]
+        assert registry.versions("owner") == [1]
+        assert registry.bundle_for("owner") is bundle
+
+    def test_duplicate_version_rejected(self, bundle):
+        registry = ModelRegistry()
+        registry.publish(bundle)
+        with pytest.raises(ValueError, match="already has a published version"):
+            registry.publish(bundle)
+
+    def test_unknown_user_or_version_raises(self, bundle):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.latest_version("owner")
+        registry.publish(bundle)
+        with pytest.raises(KeyError):
+            registry.bundle_for("owner", version=9)
+
+    def test_server_auto_publishes_when_wired(self, server):
+        registry = ModelRegistry()
+        server.registry = registry
+        bundle = server.train_authentication_models("owner")
+        assert registry.bundle_for("owner") is bundle
+        server.retrain("owner", matrix("owner", 0.2, seed=9))
+        assert registry.versions("owner") == [1, 2]
+        assert registry.latest_version("owner") == 2
+
+
+class TestRollback:
+    def test_rollback_serves_previous_version(self, server):
+        registry = ModelRegistry()
+        server.registry = registry
+        first = server.train_authentication_models("owner")
+        server.retrain("owner", matrix("owner", 0.2, seed=9))
+        record = registry.rollback("owner")
+        assert record.version == first.version
+        assert registry.latest_version("owner") == first.version
+        assert registry.bundle_for("owner") is first
+        # The retired version stays addressable explicitly.
+        assert registry.bundle_for("owner", version=2).version == 2
+
+    def test_rollback_needs_two_active_versions(self, bundle):
+        registry = ModelRegistry()
+        registry.publish(bundle)
+        with pytest.raises(ValueError, match="at least two"):
+            registry.rollback("owner")
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_metadata(self, bundle):
+        rebuilt = ModelRegistry().roundtrip(bundle)
+        assert rebuilt.user_id == bundle.user_id
+        assert rebuilt.version == bundle.version
+        assert rebuilt.feature_names == bundle.feature_names
+        assert set(rebuilt.models) == set(bundle.models)
+        for context in bundle.models:
+            assert (
+                rebuilt.models[context].n_training_windows
+                == bundle.models[context].n_training_windows
+            )
+
+    def test_roundtrip_preserves_scalers_bit_for_bit(self, bundle):
+        rebuilt = ModelRegistry().roundtrip(bundle)
+        for context, model in bundle.models.items():
+            other = rebuilt.models[context]
+            np.testing.assert_array_equal(model.scaler.mean_, other.scaler.mean_)
+            np.testing.assert_array_equal(model.scaler.scale_, other.scaler.scale_)
+
+    def test_roundtrip_preserves_decision_scores_bit_for_bit(self, bundle):
+        """The acceptance bar: a reloaded bundle scores identically."""
+        rebuilt = ModelRegistry().roundtrip(bundle)
+        probe = np.random.default_rng(3).normal(0.0, 2.0, size=(64, 5))
+        for context, model in bundle.models.items():
+            other = rebuilt.models[context]
+            np.testing.assert_array_equal(
+                model.decision_scores(probe), other.decision_scores(probe)
+            )
+            np.testing.assert_array_equal(
+                model.predict_legitimate(probe), other.predict_legitimate(probe)
+            )
+
+    def test_roundtrip_across_versions(self, server):
+        registry = ModelRegistry()
+        server.registry = registry
+        server.train_authentication_models("owner")
+        server.retrain("owner", matrix("owner", 0.2, seed=9))
+        probe = np.random.default_rng(4).normal(0.0, 2.0, size=(16, 5))
+        for version in registry.versions("owner"):
+            original = registry.bundle_for("owner", version)
+            rebuilt = registry.roundtrip(original)
+            assert rebuilt.version == version
+            for context in original.models:
+                np.testing.assert_array_equal(
+                    original.models[context].decision_scores(probe),
+                    rebuilt.models[context].decision_scores(probe),
+                )
+
+    def test_roundtrip_supports_forest_classifiers(self):
+        """Tree ensembles (nested estimators, dataclass nodes, RNGs) must
+        survive the wire format with identical predictions."""
+        from repro.ml.forest import RandomForestClassifier
+
+        server = AuthenticationServer(
+            classifier_factory=lambda: RandomForestClassifier(
+                n_estimators=5, max_depth=4, random_state=3
+            ),
+            seed=5,
+        )
+        for context in ("stationary", "moving"):
+            server.upload_features("owner", matrix("owner", 0.0, context=context, seed=1))
+            server.upload_features("other1", matrix("other1", 3.0, context=context, seed=2))
+        bundle = server.train_authentication_models("owner")
+        rebuilt = ModelRegistry().roundtrip(bundle)
+        probe = np.random.default_rng(6).normal(0.0, 2.0, size=(40, 5))
+        for context in bundle.models:
+            np.testing.assert_array_equal(
+                bundle.models[context].decision_scores(probe),
+                rebuilt.models[context].decision_scores(probe),
+            )
+            np.testing.assert_array_equal(
+                bundle.models[context].predict_legitimate(probe),
+                rebuilt.models[context].predict_legitimate(probe),
+            )
+
+    def test_payload_kind_is_validated(self):
+        with pytest.raises(ValueError, match="does not describe"):
+            bundle_from_payload({"kind": "something-else"})
+
+    def test_payload_cannot_import_arbitrary_modules(self, bundle):
+        """Tampered payloads must not trigger imports outside the library."""
+        payload = bundle_to_payload(bundle)
+        for entry in payload["models"].values():
+            entry["classifier"]["__estimator__"] = "os.path:join"
+        import repro.utils.serialization as serialization
+
+        hostile = serialization.loads(serialization.dumps(payload))
+        with pytest.raises(ValueError, match="only\\s+reference classes from the repro package"):
+            bundle_from_payload(hostile)
+
+    def test_payload_classifier_type_is_validated(self, bundle):
+        payload = bundle_to_payload(bundle)
+        for entry in payload["models"].values():
+            # A scaler is a valid repro estimator but not a classifier.
+            entry["classifier"] = entry["scaler"]
+        with pytest.raises(ValueError, match="invalid classifier"):
+            bundle_from_payload(payload)
+
+
+class TestPersistence:
+    def test_publish_persists_and_load_rehydrates(self, server, bundle, tmp_path):
+        registry = ModelRegistry(root=tmp_path / "models")
+        record = registry.publish(bundle)
+        assert record.path is not None and record.path.exists()
+
+        fresh = ModelRegistry(root=tmp_path / "models")
+        assert fresh.load() == 1
+        reloaded = fresh.bundle_for("owner")
+        probe = np.random.default_rng(5).normal(0.0, 2.0, size=(32, 5))
+        for context in bundle.models:
+            np.testing.assert_array_equal(
+                bundle.models[context].decision_scores(probe),
+                reloaded.models[context].decision_scores(probe),
+            )
+
+    def test_rollback_survives_reload(self, server, tmp_path):
+        """A rolled-back version must stay retired across restarts."""
+        registry = ModelRegistry(root=tmp_path / "models")
+        server.registry = registry
+        server.train_authentication_models("owner")
+        server.retrain("owner", matrix("owner", 0.2, seed=9))
+        registry.rollback("owner")
+        assert registry.latest_version("owner") == 1
+
+        fresh = ModelRegistry(root=tmp_path / "models")
+        assert fresh.load() == 2
+        assert fresh.latest_version("owner") == 1
+        assert fresh.active_versions("owner") == [1]
+        # The retired version is still addressable explicitly.
+        assert fresh.bundle_for("owner", version=2).version == 2
+
+    def test_retraining_resumes_versions_after_reload(self, tmp_path):
+        """A restarted server must not re-publish an existing version."""
+        def make_server(registry):
+            fresh = AuthenticationServer(seed=5, registry=registry)
+            for context in ("stationary", "moving"):
+                fresh.upload_features("owner", matrix("owner", 0.0, context=context, seed=1))
+                fresh.upload_features("other1", matrix("other1", 3.0, context=context, seed=2))
+            return fresh
+
+        first_registry = ModelRegistry(root=tmp_path)
+        make_server(first_registry).train_authentication_models("owner")
+        assert first_registry.versions("owner") == [1]
+
+        # Simulate a process restart: fresh server, registry rehydrated.
+        second_registry = ModelRegistry(root=tmp_path)
+        second_registry.load()
+        restarted = make_server(second_registry)
+        bundle = restarted.retrain("owner", matrix("owner", 0.2, seed=9))
+        assert bundle.version == 2
+        assert second_registry.versions("owner") == [1, 2]
+
+    def test_load_without_root_raises(self):
+        with pytest.raises(RuntimeError, match="persistence root"):
+            ModelRegistry().load()
+
+    def test_load_is_idempotent(self, bundle, tmp_path):
+        registry = ModelRegistry(root=tmp_path)
+        registry.publish(bundle)
+        assert registry.load() == 0  # already registered in memory
+        assert bundle_to_payload(bundle)["version"] == 1

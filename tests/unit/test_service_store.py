@@ -1,0 +1,239 @@
+"""Unit tests for the sharded ring-buffer feature store."""
+
+import numpy as np
+import pytest
+
+from repro.features.vector import FeatureMatrix
+from repro.service.store import ANY_CONTEXT, FeatureStore, RingBuffer
+
+
+def matrix(uid, mean, n=10, d=4, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    contexts = [context] * n if context is not None else []
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=contexts,
+    )
+
+
+class TestRingBuffer:
+    def test_append_and_view_in_order(self):
+        buffer = RingBuffer(capacity=8, n_features=2)
+        rows = np.arange(10.0).reshape(5, 2)
+        assert buffer.append(rows) == 0
+        assert len(buffer) == 5
+        np.testing.assert_array_equal(buffer.view(), rows)
+
+    def test_wraparound_keeps_newest_in_chronological_order(self):
+        buffer = RingBuffer(capacity=4, n_features=1)
+        buffer.append(np.array([[1.0], [2.0], [3.0]]))
+        evicted = buffer.append(np.array([[4.0], [5.0], [6.0]]))
+        assert evicted == 2
+        np.testing.assert_array_equal(buffer.view().ravel(), [3.0, 4.0, 5.0, 6.0])
+        assert buffer.evicted == 2
+        assert buffer.total_appended == 6
+
+    def test_oversized_batch_keeps_only_newest_capacity_rows(self):
+        buffer = RingBuffer(capacity=3, n_features=1)
+        buffer.append(np.array([[0.0]]))
+        evicted = buffer.append(np.arange(1.0, 8.0).reshape(7, 1))
+        assert evicted == 5  # the stored row plus 4 overflow rows
+        np.testing.assert_array_equal(buffer.view().ravel(), [5.0, 6.0, 7.0])
+
+    def test_view_is_read_only(self):
+        buffer = RingBuffer(capacity=4, n_features=1)
+        buffer.append(np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            buffer.view()[0, 0] = 9.0
+
+    def test_allocation_is_lazy_and_geometric(self):
+        """A huge capacity must not commit memory before rows arrive."""
+        buffer = RingBuffer(capacity=65536, n_features=8)
+        assert buffer.allocated == 0
+        buffer.append(np.zeros((3, 8)))
+        assert buffer.allocated < 100
+        buffer.append(np.zeros((200, 8)))
+        assert 203 <= buffer.allocated < 65536
+        np.testing.assert_array_equal(
+            buffer.view(), np.zeros((203, 8))
+        )
+
+    def test_growth_preserves_rows_and_then_wraps(self):
+        buffer = RingBuffer(capacity=16, n_features=1)
+        for batch_start in range(0, 24, 3):
+            buffer.append(np.arange(batch_start, batch_start + 3, dtype=float).reshape(3, 1))
+        # 24 rows through a capacity-16 ring: the newest 16 survive.
+        np.testing.assert_array_equal(
+            buffer.view().ravel(), np.arange(8.0, 24.0)
+        )
+        assert buffer.allocated == 16
+        assert buffer.evicted == 8
+
+    def test_rejects_bad_shapes_and_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0, n_features=1)
+        buffer = RingBuffer(capacity=4, n_features=2)
+        with pytest.raises(ValueError):
+            buffer.append(np.zeros((3, 5)))
+
+
+class TestFeatureStoreBasics:
+    def test_append_and_read_back_per_context(self):
+        store = FeatureStore(n_shards=4)
+        store.append("alice", matrix("alice", 0.0, context="stationary", seed=1))
+        store.append("alice", matrix("alice", 1.0, context="moving", seed=2))
+        assert store.window_count("alice") == 20
+        assert store.window_count("alice", "moving") == 10
+        assert sorted(store.contexts_for("alice")) == ["moving", "stationary"]
+        assert store.rows_for("alice", "stationary").shape == (10, 4)
+        assert store.rows_for("alice").shape == (20, 4)
+
+    def test_unlabelled_rows_count_towards_every_context(self):
+        store = FeatureStore()
+        unlabelled = matrix("bob", 0.0, context=None, seed=3)
+        store.append("bob", unlabelled)
+        assert store.window_count("bob", "stationary") == 10
+        assert store.window_count("bob", "moving") == 10
+        assert store.unlabelled_count("bob") == 10
+        np.testing.assert_array_equal(
+            store.rows_for("bob", "stationary"), unlabelled.values
+        )
+        assert ANY_CONTEXT not in store.contexts_for("bob")
+
+    def test_mixed_labelled_and_unlabelled_rows(self):
+        store = FeatureStore()
+        store.append("bob", matrix("bob", 0.0, context=None, seed=3))
+        store.append("bob", matrix("bob", 1.0, context="stationary", seed=4))
+        # Labelled stationary rows plus the wildcard rows, counted once each.
+        assert store.window_count("bob", "stationary") == 20
+        assert store.window_count("bob", "moving") == 10
+        assert store.unlabelled_count("bob") == 10
+        assert store.window_count("bob") == 20
+
+    def test_schema_mismatch_rejected(self):
+        store = FeatureStore()
+        store.append("alice", matrix("alice", 0.0, d=4))
+        with pytest.raises(ValueError, match="feature_names mismatch"):
+            store.append("bob", matrix("bob", 0.0, d=3))
+
+    def test_empty_matrix_rejected(self):
+        store = FeatureStore()
+        empty = FeatureMatrix(values=np.empty((0, 2)), feature_names=["a", "b"])
+        with pytest.raises(ValueError, match="empty"):
+            store.append("alice", empty)
+
+    def test_users_in_insertion_order_and_drop(self):
+        store = FeatureStore()
+        for uid in ("charlie", "alice", "bob"):
+            store.append(uid, matrix(uid, 0.0, seed=4))
+        assert store.users() == ["charlie", "alice", "bob"]
+        assert "alice" in store
+        assert store.drop_user("alice") == 10
+        assert store.users() == ["charlie", "bob"]
+        assert store.window_count("alice") == 0
+
+    def test_read_results_are_snapshots_not_live_views(self):
+        """Later appends must not rewrite previously returned arrays."""
+        store = FeatureStore(capacity_per_context=4)
+        first = matrix("alice", 1.0, n=4, seed=40)
+        store.append("alice", first)
+        store.append("bob", matrix("bob", 0.0, n=4, seed=41))
+        rows = store.rows_for("alice", "stationary")
+        pool = store.sample_negatives("bob", "stationary", max_rows=10)
+        snapshot_rows, snapshot_pool = rows.copy(), pool.copy()
+        # Overwrite every slot of alice's ring buffer.
+        store.append("alice", matrix("alice", 99.0, n=4, seed=42))
+        np.testing.assert_array_equal(rows, snapshot_rows)
+        np.testing.assert_array_equal(pool, snapshot_pool)
+        np.testing.assert_array_equal(rows, first.values)
+
+    def test_capacity_bound_evicts_oldest(self):
+        store = FeatureStore(capacity_per_context=15)
+        first = matrix("alice", 0.0, seed=5)
+        second = matrix("alice", 9.0, seed=6)
+        store.append("alice", first)
+        store.append("alice", second)
+        rows = store.rows_for("alice", "stationary")
+        assert len(rows) == 15
+        # The newest ten rows are the whole second batch.
+        np.testing.assert_array_equal(rows[-10:], second.values)
+        assert store.stats().total_evicted == 5
+
+
+class TestSharding:
+    def test_users_spread_over_shards(self):
+        store = FeatureStore(n_shards=8)
+        for index in range(64):
+            store.append(f"user{index}", matrix(f"user{index}", 0.0, n=2, seed=index))
+        stats = store.stats()
+        assert stats.n_users == 64
+        assert stats.n_windows == 128
+        occupied = sum(1 for count in stats.windows_per_shard if count)
+        assert occupied >= 4  # hashing must not collapse onto one shard
+
+    def test_shard_assignment_is_stable(self):
+        store = FeatureStore(n_shards=16)
+        assert store.shard_index("alice") == store.shard_index("alice")
+
+
+class TestNegativeSampling:
+    def test_small_pool_returned_whole_in_enrolment_order(self):
+        store = FeatureStore()
+        a = matrix("alice", 0.0, seed=7)
+        b = matrix("bob", 1.0, seed=8)
+        store.append("alice", a)
+        store.append("bob", b)
+        store.append("carol", matrix("carol", 2.0, seed=9))
+        pool = store.sample_negatives("carol", "stationary", max_rows=100)
+        np.testing.assert_array_equal(pool, np.vstack([a.values, b.values]))
+
+    def test_large_pool_subsampled_to_cap(self):
+        store = FeatureStore()
+        for index in range(12):
+            store.append(f"user{index}", matrix(f"user{index}", float(index), seed=index))
+        rng = np.random.default_rng(0)
+        pool = store.sample_negatives("user0", "stationary", max_rows=25, rng=rng)
+        assert pool.shape == (25, 4)
+
+    def test_subsample_matches_materialised_reference(self):
+        """The virtual-concatenation gather equals vstack-then-index."""
+        store = FeatureStore()
+        parts = []
+        for index in range(6):
+            m = matrix(f"user{index}", float(index), n=7, seed=20 + index)
+            store.append(f"user{index}", m)
+            if index != 2:
+                parts.append(m.values)
+        reference_pool = np.vstack(parts)
+        keep = np.random.default_rng(42).choice(len(reference_pool), size=10, replace=False)
+        expected = reference_pool[keep]
+        actual = store.sample_negatives(
+            "user2", "stationary", max_rows=10, rng=np.random.default_rng(42)
+        )
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_no_other_users_yields_empty_pool(self):
+        store = FeatureStore()
+        store.append("alice", matrix("alice", 0.0, seed=1))
+        assert len(store.sample_negatives("alice", "stationary", max_rows=10)) == 0
+
+    def test_negative_pool_size_matches_brute_force(self):
+        """The O(1) counters must agree with an explicit scan, including
+        after wildcard uploads, ring-buffer eviction and user drops."""
+        store = FeatureStore(capacity_per_context=12)
+        store.append("a", matrix("a", 0.0, n=8, context="stationary", seed=1))
+        store.append("a", matrix("a", 0.0, n=8, context="stationary", seed=2))  # evicts 4
+        store.append("b", matrix("b", 1.0, n=6, context="moving", seed=3))
+        store.append("c", matrix("c", 2.0, n=5, context=None, seed=4))  # wildcard
+        store.drop_user("b")
+        store.append("b", matrix("b", 1.0, n=3, context="moving", seed=5))
+        for user in ("a", "b", "c"):
+            for context in ("stationary", "moving", None):
+                brute = sum(
+                    len(store.rows_for(other, context))
+                    for other in store.users()
+                    if other != user
+                )
+                assert store.negative_pool_size(user, context) == brute, (user, context)
