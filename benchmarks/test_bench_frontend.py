@@ -1,0 +1,122 @@
+"""Benchmark: coalesced frontend authentication vs per-request gateway calls.
+
+The micro-batching :class:`~repro.service.frontend.ServiceFrontend`
+coalesces a whole fleet's concurrent authenticate requests into one fused
+scoring pass; this harness measures its throughput against issuing the same
+requests one at a time through the gateway (the PR-1 serving path), on the
+ISSUE's acceptance shape: a 500-user fleet batch.  The acceptance bar is a
+>= 2x speedup with bit-for-bit identical accept/reject decisions; measured
+results land in ``BENCH_frontend.json`` at the repository root (run pytest
+with ``-s`` to see the numbers inline).
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.sensors.types import CoarseContext
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.protocol import AuthenticateRequest, AuthenticationResponse
+
+#: The ISSUE's acceptance fleet size.
+BENCH_FLEET_USERS = 500
+
+#: Windows per user per authenticate request (split across both contexts).
+BENCH_WINDOWS_PER_USER = 8
+
+#: Timing rounds; the best round of each path is compared.
+BENCH_ROUNDS = 3
+
+#: Acceptance bar: coalesced must beat sequential by at least this factor.
+REQUIRED_SPEEDUP = 2.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_frontend.json"
+
+
+def test_bench_frontend_coalesced_vs_sequential():
+    config = FleetConfig(n_users=BENCH_FLEET_USERS, seed=5, server_side_contexts=False)
+    simulator = FleetSimulator(config)
+    simulator.build_users()
+    simulator.enroll_fleet()
+    gateway, frontend = simulator.gateway, simulator.frontend
+
+    rng = np.random.default_rng(23)
+    probes = [
+        user.sample_windows(
+            BENCH_WINDOWS_PER_USER // 2,
+            config.window_noise,
+            rng,
+            simulator.feature_names,
+        )
+        for user in simulator.users
+    ]
+    requests = [
+        AuthenticateRequest(
+            user_id=user.user_id,
+            features=probe.values,
+            contexts=tuple(CoarseContext(label) for label in probe.contexts),
+        )
+        for user, probe in zip(simulator.users, probes)
+    ]
+
+    # Warm both paths once (scorer caches, allocator) before timing.
+    for request in requests:
+        gateway.authenticate(request.user_id, request.features, request.contexts)
+    frontend.submit_many(requests)
+
+    sequential_times, coalesced_times = [], []
+    sequential_responses: list = []
+    coalesced_responses: list = []
+    for _ in range(BENCH_ROUNDS):
+        start = perf_counter()
+        sequential_responses = [
+            gateway.authenticate(request.user_id, request.features, request.contexts)
+            for request in requests
+        ]
+        sequential_times.append(perf_counter() - start)
+
+        start = perf_counter()
+        coalesced_responses = frontend.submit_many(requests)
+        coalesced_times.append(perf_counter() - start)
+
+    # Identical decisions, request by request, window by window.
+    for sequential, coalesced in zip(sequential_responses, coalesced_responses):
+        assert isinstance(coalesced, AuthenticationResponse)
+        np.testing.assert_array_equal(coalesced.accepted, sequential.accepted)
+        np.testing.assert_array_equal(coalesced.scores, sequential.scores)
+
+    total_windows = BENCH_FLEET_USERS * BENCH_WINDOWS_PER_USER
+    sequential_s = min(sequential_times)
+    coalesced_s = min(coalesced_times)
+    speedup = sequential_s / coalesced_s
+    result = {
+        "fleet_users": BENCH_FLEET_USERS,
+        "windows_per_user": BENCH_WINDOWS_PER_USER,
+        "total_windows": total_windows,
+        "rounds": BENCH_ROUNDS,
+        "sequential_s": sequential_s,
+        "coalesced_s": coalesced_s,
+        "sequential_windows_per_s": total_windows / sequential_s,
+        "coalesced_windows_per_s": total_windows / coalesced_s,
+        "speedup": speedup,
+        "identical_decisions": True,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print()
+    print(
+        f"sequential: {total_windows} windows in {sequential_s * 1e3:.1f} ms "
+        f"({total_windows / sequential_s:,.0f} windows/s)"
+    )
+    print(
+        f"coalesced : {total_windows} windows in {coalesced_s * 1e3:.1f} ms "
+        f"({total_windows / coalesced_s:,.0f} windows/s)"
+    )
+    print(f"speedup   : {speedup:.1f}x  (bar: >= {REQUIRED_SPEEDUP}x)  -> {RESULT_PATH.name}")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"coalesced frontend only {speedup:.2f}x faster than per-request "
+        f"gateway calls (required {REQUIRED_SPEEDUP}x)"
+    )

@@ -1,24 +1,36 @@
-"""Fleet-scale serving: 500 users through the authentication service layer.
+"""Fleet-scale serving: 500 users through the typed service front door.
 
 Where the other examples drive a single user through the sensor-accurate
-paper pipeline, this one exercises the ``repro.service`` subsystem: a
-500-user fleet is enrolled into a sharded ring-buffer feature store, each
-user's per-context models are trained in the simulated cloud and published
-to the versioned model registry, and the whole fleet then runs continuous
-authentication, masquerade attacks, behavioural drift and retraining through
-the gateway's vectorized batch scorer — with telemetry for every phase.
+paper pipeline, this one exercises the ``repro.service`` subsystem end to
+end: a 500-user fleet is enrolled into a sharded ring-buffer feature store,
+each user's per-context models are trained in the simulated cloud and
+published to the versioned model registry, and the whole fleet then runs
+continuous authentication, masquerade attacks, behavioural drift and
+retraining — every operation a typed protocol request submitted through the
+micro-batching ``ServiceFrontend``, which coalesces each phase's 500
+authenticate requests into a single fused scoring pass and detects every
+window's context server-side with the registry-published detector.
 
 Run with::
 
     python examples/fleet_scale_service.py
 """
 
-from repro.sensors.types import CoarseContext
+import numpy as np
+
 from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.protocol import (
+    AuthenticateRequest,
+    RollbackRequest,
+    dumps_request,
+    loads_request,
+)
 
 
 def main() -> None:
-    # 1. Configure and run the full lifecycle for a 500-user fleet.
+    # 1. Configure and run the full lifecycle for a 500-user fleet.  Every
+    #    phase issues protocol requests through the micro-batching frontend;
+    #    authentication requests carry no device-reported contexts.
     config = FleetConfig(n_users=500, seed=7)
     simulator = FleetSimulator(config)
     print(f"Running the {config.n_users}-user lifecycle "
@@ -27,36 +39,50 @@ def main() -> None:
     print()
     print(report.to_text())
 
-    # 2. The registry keeps every trained version; roll one user back.
+    # 2. The registry keeps every trained version; roll one user back by
+    #    submitting a typed RollbackRequest through the frontend.
+    frontend = simulator.frontend
     registry = simulator.gateway.registry
     drifted_user = simulator.users[0]  # drifted, so it has two versions
     versions = registry.versions(drifted_user.user_id)
     serving = registry.latest_version(drifted_user.user_id)
-    restored = simulator.gateway.rollback(drifted_user.user_id)
+    rollback = frontend.submit(RollbackRequest(user_id=drifted_user.user_id))
     print()
     print(f"{drifted_user.user_id}: versions={versions}, was serving v{serving}, "
-          f"rolled back to v{restored}")
+          f"rolled back to v{rollback.serving_version}")
 
     # 3. Authenticate once more against the rolled-back (pre-drift) model:
     #    the drifted user's fresh windows should score noticeably worse.
-    import numpy as np
-
+    #    The request round-trips through the JSON wire codec on the way, as
+    #    it would over a real transport, and the service detects the
+    #    windows' contexts itself (contexts=None).
     matrix = drifted_user.sample_windows(
         8, config.window_noise, np.random.default_rng(0), simulator.feature_names
     )
-    response = simulator.gateway.authenticate(
-        drifted_user.user_id,
-        matrix.values,
-        [CoarseContext(label) for label in matrix.contexts],
+    request = loads_request(
+        dumps_request(
+            AuthenticateRequest(user_id=drifted_user.user_id, features=matrix.values)
+        )
     )
+    response = frontend.submit(request)
     print(f"post-rollback accept rate on drifted behaviour: "
           f"{response.accept_rate:.1%} (model v{response.model_version})")
 
-    # 4. Storage stays bounded no matter how long the fleet runs.
+    # 4. Storage stays bounded no matter how long the fleet runs, and the
+    #    frontend's middleware telemetry lands in the same snapshot as the
+    #    backend counters.
     stats = simulator.gateway.server.store.stats()
     print(f"feature store: {stats.n_windows} windows across {stats.n_buffers} "
           f"ring buffers on {len(stats.windows_per_shard)} shards "
           f"({stats.total_evicted} old windows evicted)")
+    snapshot = simulator.gateway.snapshot()
+    counters = snapshot["counters"]
+    auth_latency = snapshot["latencies"]["frontend.authenticate"]
+    print(f"frontend: {counters['frontend.requests']} requests, "
+          f"{counters['frontend.coalesced_windows']} windows coalesced into "
+          f"{counters['frontend.coalesced_batches']} batches, "
+          f"{counters['context.detections']} contexts detected server-side, "
+          f"p95 batch latency {auth_latency['p95_s'] * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

@@ -6,8 +6,8 @@ authentication feature vector.  The decision value of the underlying
 kernel-ridge classifier is exposed as the confidence score used by the
 retraining monitor.
 
-Scoring is delegated to the service layer's vectorized
-:class:`~repro.service.batch.BatchScorer`, so the single-user experiment
+Scoring is delegated to the vectorized
+:class:`~repro.core.scoring.BatchScorer`, so the single-user experiment
 path and the fleet-scale serving path share one code path (and the batch
 entry points score a whole session in a handful of matrix operations rather
 than one window at a time).
@@ -19,9 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.scoring import BatchScorer
 from repro.devices.cloud import LEGITIMATE_LABEL, ContextModel, TrainedModelBundle
 from repro.sensors.types import CoarseContext
-from repro.service.batch import BatchScorer
 
 
 @dataclass(frozen=True)
@@ -110,7 +110,7 @@ class ContextualAuthenticator:
         """Authenticate a batch of windows, each with its detected context.
 
         The whole batch is scored through the vectorized
-        :class:`~repro.service.batch.BatchScorer` in one pass per selected
+        :class:`~repro.core.scoring.BatchScorer` in one pass per selected
         model.
         """
         result = self._scorer.score(features, contexts)

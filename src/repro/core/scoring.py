@@ -1,0 +1,414 @@
+"""Vectorized batch scoring of authentication windows.
+
+The seed's :class:`~repro.core.authenticator.ContextualAuthenticator` looped
+over windows one at a time, transforming and scoring each 1-row matrix
+separately.  The :class:`BatchScorer` groups a batch of windows by the
+per-context model that will score them and runs one whole-matrix
+``scale → decision-function → predict`` pass per model, which is the
+difference between thousands of tiny BLAS calls and a handful of large ones.
+:func:`score_requests` goes one step further for the serving frontend: it
+coalesces many users' requests into a *single* fused projection over the
+whole fleet batch wherever the selected models are affine
+(:class:`~repro.ml.base.LinearDecisionRule`), falling back to per-model
+passes for everything else.
+
+Model selection replicates the seed authenticator exactly (including the
+fall-back behaviour for unknown contexts and the single-model "w/o context"
+mode), and both the confidence score and the accept decision are computed by
+the same per-context model methods the per-window path used.  With the
+paper's default linear kernel-ridge models the batched scores are bit-for-bit
+identical to per-window scoring (the primal decision projection is batch-size
+invariant); non-linear kernels agree to float rounding because their kernel
+matrices are BLAS products.
+
+This module sits *below* :mod:`repro.devices`: it scores any bundle exposing
+the structural interfaces below (:class:`ScorableModel`,
+:class:`ScorableBundle`) and never imports the device or service layers, so
+the dependency graph stays acyclic with no lazy-import workarounds.  The
+concrete model types live in :mod:`repro.devices.cloud`; the old import path
+:mod:`repro.service.batch` re-exports these names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.ml.base import LinearDecisionRule
+from repro.sensors.types import CoarseContext
+
+
+@runtime_checkable
+class ScorableModel(Protocol):
+    """Structural interface of one per-context authentication model."""
+
+    context: CoarseContext
+
+    def batch_decisions(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(confidence scores, accept mask)`` for many rows."""
+        ...
+
+    def decision_rule(self) -> LinearDecisionRule | None:
+        """Affine reduction of the model's scoring pass, if one exists."""
+        ...
+
+
+@runtime_checkable
+class ScorableBundle(Protocol):
+    """Structural interface of a trained per-context model bundle."""
+
+    user_id: str
+    models: Mapping[CoarseContext, ScorableModel]
+    version: int
+
+
+@dataclass(frozen=True)
+class BatchScoreResult:
+    """Scores and decisions for one batch of windows.
+
+    Attributes
+    ----------
+    scores:
+        Confidence score per window (positive = legitimate side).
+    accepted:
+        Boolean accept decision per window.
+    model_contexts:
+        The context of the model that actually scored each window (after
+        fall-back resolution), matching the seed's per-decision ``context``.
+    model_version:
+        Version of the bundle that produced the scores.
+    """
+
+    scores: np.ndarray
+    accepted: np.ndarray
+    model_contexts: tuple[CoarseContext, ...]
+    model_version: int
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    @property
+    def n_accepted(self) -> int:
+        return int(np.count_nonzero(self.accepted))
+
+    @property
+    def accept_rate(self) -> float:
+        return float(np.mean(self.accepted)) if len(self.scores) else 0.0
+
+
+def canonicalize_rows(features: np.ndarray) -> np.ndarray:
+    """Canonicalise window features: float dtype, a lone vector becomes one row.
+
+    The single place every entry point (protocol requests, the gateway's
+    detector, the scorers) funnels feature input through, so promotion and
+    validation policy cannot drift between them.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        # A lone vector is one window; an empty 1-D input is an empty
+        # batch, not a single zero-width window.
+        features = (
+            features[np.newaxis, :] if len(features) else features.reshape(0, 0)
+        )
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    return features
+
+
+def _validate_batch(
+    features: np.ndarray, contexts: Sequence[CoarseContext]
+) -> tuple[np.ndarray, list[CoarseContext]]:
+    """Canonicalise one request's ``(features, contexts)`` pair."""
+    features = canonicalize_rows(features)
+    contexts = list(contexts)
+    if len(contexts) != len(features):
+        raise ValueError(
+            f"got {len(features)} feature rows but {len(contexts)} context labels"
+        )
+    return features, contexts
+
+
+class BatchScorer:
+    """Scores many windows against one user's model bundle in bulk.
+
+    Parameters
+    ----------
+    bundle:
+        The trained per-context model bundle to score against (any object
+        satisfying :class:`ScorableBundle`, e.g.
+        :class:`~repro.devices.cloud.TrainedModelBundle`).
+    use_context:
+        Mirrors :class:`~repro.core.authenticator.ContextualAuthenticator`:
+        when false a single model (the stationary one if present) scores
+        every window.
+    """
+
+    def __init__(self, bundle: ScorableBundle, use_context: bool = True) -> None:
+        if not bundle.models:
+            raise ValueError("the model bundle contains no trained models")
+        self.bundle = bundle
+        self.use_context = use_context
+
+    # ------------------------------------------------------------------ #
+    # model selection (mirrors ContextualAuthenticator._select_model)
+    # ------------------------------------------------------------------ #
+
+    def select_model(self, context: CoarseContext) -> ScorableModel:
+        """The model that scores windows detected under *context*."""
+        if not self.use_context:
+            if CoarseContext.STATIONARY in self.bundle.models:
+                return self.bundle.models[CoarseContext.STATIONARY]
+            return next(iter(self.bundle.models.values()))
+        if context in self.bundle.models:
+            return self.bundle.models[context]
+        # Degrade gracefully for never-enrolled contexts, as the seed did.
+        return next(iter(self.bundle.models.values()))
+
+    # ------------------------------------------------------------------ #
+
+    def score(
+        self, features: np.ndarray, contexts: Sequence[CoarseContext]
+    ) -> BatchScoreResult:
+        """Score a batch of windows, each with its detected context.
+
+        Rows sharing a resolved model are scored in a single vectorized
+        call; results are scattered back into window order.
+        """
+        features, contexts = _validate_batch(features, contexts)
+        n_windows = len(features)
+        scores = np.empty(n_windows)
+        accepted = np.empty(n_windows, dtype=bool)
+        model_contexts: list[CoarseContext] = [CoarseContext.STATIONARY] * n_windows
+        if n_windows == 0:
+            return BatchScoreResult(
+                scores=scores,
+                accepted=accepted,
+                model_contexts=tuple(),
+                model_version=self.bundle.version,
+            )
+        # Resolve each distinct detected context to its model once, then
+        # bucket window indices by the *resolved* model (several detected
+        # contexts may fall back onto the same model).
+        resolved: dict[CoarseContext, ScorableModel] = {
+            context: self.select_model(context) for context in set(contexts)
+        }
+        buckets: dict[int, list[int]] = {}
+        models_by_id: dict[int, ScorableModel] = {}
+        for index, context in enumerate(contexts):
+            model = resolved[context]
+            key = id(model)
+            models_by_id[key] = model
+            buckets.setdefault(key, []).append(index)
+        for key, indices in buckets.items():
+            model = models_by_id[key]
+            rows = features[indices]
+            scores[indices], accepted[indices] = model.batch_decisions(rows)
+            for index in indices:
+                model_contexts[index] = model.context
+        return BatchScoreResult(
+            scores=scores,
+            accepted=accepted,
+            model_contexts=tuple(model_contexts),
+            model_version=self.bundle.version,
+        )
+
+    def confidence_scores(
+        self, features: np.ndarray, contexts: Sequence[CoarseContext]
+    ) -> np.ndarray:
+        """Confidence score per window (the retraining monitor's input)."""
+        return self.score(features, contexts).scores
+
+
+# ---------------------------------------------------------------------- #
+# coalesced multi-request scoring (the micro-batching frontend's engine)
+# ---------------------------------------------------------------------- #
+
+
+def score_requests(
+    scorers: Sequence[BatchScorer],
+    features_list: Sequence[np.ndarray],
+    contexts_list: Sequence[Sequence[CoarseContext]],
+) -> list[BatchScoreResult]:
+    """Score many concurrent authenticate requests in one coalesced pass.
+
+    ``scorers[i]`` scores request *i*'s ``(features_list[i],
+    contexts_list[i])`` windows; the same :class:`BatchScorer` object may
+    appear many times (several requests for one user's served version).
+
+    Every row in the combined batch whose resolved model exposes a
+    :class:`~repro.ml.base.LinearDecisionRule` — the paper's kernel-ridge
+    configuration, and every other classifier whose prediction is a
+    threshold on an affine projection — is scored in a *single* fused
+    gather-and-einsum over the entire fleet batch, regardless of how many
+    users and model versions are involved.  Rows whose models cannot be
+    fused (e.g. probability-vote forests, non-linear kernels) fall back to
+    one vectorized :meth:`~ScorableModel.batch_decisions` call per model,
+    still shared across requests.
+
+    Scores and decisions are bit-for-bit identical to calling
+    ``scorers[i].score(...)`` per request: the fused pass performs exactly
+    the same elementwise standardisation, centering and per-row einsum
+    reduction the per-model path performs.
+
+    Returns one :class:`BatchScoreResult` per request, in request order.
+    """
+    if not (len(scorers) == len(features_list) == len(contexts_list)):
+        raise ValueError(
+            f"got {len(scorers)} scorers for {len(features_list)} feature "
+            f"batches and {len(contexts_list)} context batches"
+        )
+    n_requests = len(scorers)
+    batches: list[tuple[np.ndarray, list[CoarseContext]]] = []
+    for index in range(n_requests):
+        try:
+            batches.append(_validate_batch(features_list[index], contexts_list[index]))
+        except ValueError as error:
+            raise ValueError(f"request {index}: {error}") from None
+    widths = {features.shape[1] for features, _ in batches if len(features)}
+    if len(widths) > 1:
+        # Mixed feature schemas cannot share one stacked batch; score each
+        # request through its own scorer (identical results, just no fusion).
+        return [scorers[index].score(*batches[index]) for index in range(n_requests)]
+
+    # Concatenate every request's rows into one fleet batch, remembering
+    # each request's slice.
+    offsets = np.zeros(n_requests + 1, dtype=int)
+    for index, (features, _) in enumerate(batches):
+        offsets[index + 1] = offsets[index] + len(features)
+    total = int(offsets[-1])
+    if total == 0:
+        return [
+            BatchScoreResult(
+                scores=np.empty(0),
+                accepted=np.empty(0, dtype=bool),
+                model_contexts=tuple(),
+                model_version=scorers[index].bundle.version,
+            )
+            for index in range(n_requests)
+        ]
+    stacked = np.vstack([features for features, _ in batches if len(features)])
+
+    # Resolve every row to its model; bucket rows per unique model object.
+    models_by_key: dict[int, ScorableModel] = {}
+    rows_by_key: dict[int, list[int]] = {}
+    model_contexts = np.empty(total, dtype=object)
+    for index in range(n_requests):
+        features, contexts = batches[index]
+        if not len(features):
+            continue
+        scorer = scorers[index]
+        resolved: dict[CoarseContext, ScorableModel] = {
+            context: scorer.select_model(context) for context in set(contexts)
+        }
+        base = int(offsets[index])
+        for position, context in enumerate(contexts):
+            model = resolved[context]
+            key = id(model)
+            models_by_key[key] = model
+            rows_by_key.setdefault(key, []).append(base + position)
+            model_contexts[base + position] = model.context
+
+    scores = np.empty(total)
+    accepted = np.empty(total, dtype=bool)
+
+    # Split models into fusible (affine decision rule) and fallback.
+    fused_rules: list[LinearDecisionRule] = []
+    fused_rows: list[np.ndarray] = []
+    for key, row_list in rows_by_key.items():
+        model = models_by_key[key]
+        rule = model.decision_rule() if hasattr(model, "decision_rule") else None
+        if rule is not None:
+            if rule.coef.shape[-1] != stacked.shape[1]:
+                # The fallback path rejects this inside scaler.transform;
+                # the fused gather must refuse too, or NumPy broadcasting
+                # (e.g. width-1 rows against d-wide parameters) would
+                # silently score — and possibly accept — malformed probes.
+                raise ValueError(
+                    f"feature rows have {stacked.shape[1]} columns but the "
+                    f"model for context {model.context.value!r} was trained "
+                    f"on {rule.coef.shape[-1]} features"
+                )
+            fused_rules.append(rule)
+            fused_rows.append(np.asarray(row_list))
+        else:
+            rows = np.asarray(row_list)
+            scores[rows], accepted[rows] = model.batch_decisions(stacked[rows])
+
+    if fused_rules:
+        # One parameter row per model, gathered out to one row per window:
+        # the whole fleet batch then reduces in a single einsum.  Each
+        # elementwise operation matches the per-model path exactly
+        # (standardise, centre, project, sign-adjust), so the fused scores
+        # are bit-for-bit identical.
+        row_index = np.concatenate(fused_rows)
+        lengths = np.fromiter(
+            (len(rows) for rows in fused_rows), dtype=int, count=len(fused_rows)
+        )
+        gather = np.repeat(np.arange(len(fused_rules)), lengths)
+        mean = np.stack([rule.mean for rule in fused_rules])[gather]
+        scale = np.stack([rule.scale for rule in fused_rules])[gather]
+        x_offset = np.stack([rule.x_offset for rule in fused_rules])[gather]
+        coef = np.stack([rule.coef for rule in fused_rules])[gather]
+        y_offset = np.asarray([rule.y_offset for rule in fused_rules])[gather]
+        sign = np.asarray([rule.sign for rule in fused_rules])[gather]
+        accept_nonneg = np.asarray(
+            [rule.accept_on_nonnegative for rule in fused_rules], dtype=bool
+        )[gather]
+        centred = (stacked[row_index] - mean) / scale - x_offset
+        raw = np.einsum("ij,ij->i", centred, coef) + y_offset
+        scores[row_index] = sign * raw
+        accepted[row_index] = np.where(accept_nonneg, raw >= 0.0, raw < 0.0)
+
+    return [
+        BatchScoreResult(
+            scores=scores[offsets[index] : offsets[index + 1]],
+            accepted=accepted[offsets[index] : offsets[index + 1]],
+            model_contexts=tuple(model_contexts[offsets[index] : offsets[index + 1]]),
+            model_version=scorers[index].bundle.version,
+        )
+        for index in range(n_requests)
+    ]
+
+
+def score_fleet(
+    scorers: dict[str, BatchScorer],
+    requests: Sequence[tuple[str, np.ndarray, Sequence[CoarseContext]]],
+) -> dict[str, BatchScoreResult]:
+    """Score a batch of per-user requests against their respective models.
+
+    Parameters
+    ----------
+    scorers:
+        One :class:`BatchScorer` per user id.
+    requests:
+        ``(user_id, features, contexts)`` triples; multiple requests for the
+        same user are concatenated and scored in one pass.
+
+    Returns
+    -------
+    Mapping from user id to that user's combined batch result.
+    """
+    grouped_rows: dict[str, list[np.ndarray]] = {}
+    grouped_contexts: dict[str, list[CoarseContext]] = {}
+    for index, (user_id, features, contexts) in enumerate(requests):
+        if user_id not in scorers:
+            raise KeyError(f"no scorer available for user {user_id!r}")
+        # Validate per request: mismatches that cancel out across requests
+        # for the same user would otherwise silently score windows under
+        # the wrong contexts.
+        try:
+            rows, contexts = _validate_batch(features, contexts)
+        except ValueError as error:
+            raise ValueError(
+                f"request {index} for user {user_id!r}: {error}"
+            ) from None
+        grouped_rows.setdefault(user_id, []).append(rows)
+        grouped_contexts.setdefault(user_id, []).extend(contexts)
+    return {
+        user_id: scorers[user_id].score(
+            np.vstack(grouped_rows[user_id]), grouped_contexts[user_id]
+        )
+        for user_id in grouped_rows
+    }

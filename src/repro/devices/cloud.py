@@ -16,21 +16,37 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.devices.store import FeatureStore
 from repro.features.vector import FeatureMatrix
-from repro.ml.base import BaseClassifier, clone
+from repro.ml.base import BaseClassifier, LinearDecisionRule, clone
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.kernel_ridge import KernelRidgeClassifier
 from repro.ml.preprocessing import StandardScaler
 from repro.sensors.types import CoarseContext
-from repro.service.store import FeatureStore
 from repro.utils.rng import RandomState, derive_rng
 
-if TYPE_CHECKING:  # avoid the cycle registry -> cloud -> registry
-    from repro.service.registry import ModelRegistry
+
+@runtime_checkable
+class BundlePublisher(Protocol):
+    """What the server needs from a model registry (structural interface).
+
+    The concrete :class:`~repro.service.registry.ModelRegistry` lives in the
+    service layer *above* this module; depending on it structurally keeps
+    the dependency graph acyclic without lazy-import workarounds.
+    """
+
+    def publish(self, bundle: "TrainedModelBundle") -> object:
+        """Register a freshly trained bundle version."""
+        ...
+
+    def versions(self, user_id: str) -> list[int]:
+        """All published version numbers for *user_id* (ascending)."""
+        ...
+
 
 #: Label used for the legitimate user inside a trained binary model.
 LEGITIMATE_LABEL = "legitimate"
@@ -93,6 +109,51 @@ class ContextModel:
             predictions = self.classifier.predict(transformed)
         return self._legitimate_sign() * raw, predictions == LEGITIMATE_LABEL
 
+    def decision_rule(self) -> LinearDecisionRule | None:
+        """This model's whole scoring pass as one affine rule, if possible.
+
+        Combines the scaler's standardisation with the classifier's
+        :meth:`~repro.ml.base.BaseClassifier.decision_projection` so the
+        coalescing frontend can fuse many users' models into one batched
+        projection (:func:`repro.core.scoring.score_requests`).  Returns
+        ``None`` — making callers fall back to :meth:`batch_decisions` —
+        whenever the classifier has no affine form or the label layout
+        cannot express accept/reject as a threshold on the raw score.
+        """
+        # Memoised: models are immutable once trained, and the coalescing
+        # frontend asks for the rule on every flush (refitting builds a new
+        # ContextModel, so the cache can never go stale in practice).
+        cached = self.__dict__.get("_decision_rule_cache", False)
+        if cached is not False:
+            return cached
+        rule: LinearDecisionRule | None = None
+        projection = self.classifier.decision_projection()
+        classes = getattr(self.classifier, "classes_", None)
+        if (
+            projection is not None
+            and self.scaler.mean_ is not None
+            and self.scaler.scale_ is not None
+            and classes is not None
+            and len(classes) == 2
+            and LEGITIMATE_LABEL in classes
+        ):
+            x_offset, coef, y_offset = projection
+            sign = self._legitimate_sign()
+            # _decode_binary maps raw >= 0 to classes_[1]; acceptance
+            # therefore thresholds on raw >= 0 exactly when classes_[1] is
+            # the legitimate label (sign == +1).
+            rule = LinearDecisionRule(
+                mean=self.scaler.mean_,
+                scale=self.scaler.scale_,
+                x_offset=x_offset,
+                coef=coef,
+                y_offset=float(y_offset),
+                sign=sign,
+                accept_on_nonnegative=sign > 0,
+            )
+        self.__dict__["_decision_rule_cache"] = rule
+        return rule
+
 
 @dataclass
 class TrainedModelBundle:
@@ -150,13 +211,14 @@ class AuthenticationServer:
     seed:
         Seed for negative-pool subsampling.
     store:
-        Optional pre-configured :class:`~repro.service.store.FeatureStore`
+        Optional pre-configured :class:`~repro.devices.store.FeatureStore`
         holding the anonymised window pool (a fresh unbounded-ish store is
         created when omitted).  Sharing a store between servers shares the
         negative pool.
     registry:
-        Optional :class:`~repro.service.registry.ModelRegistry`; when set,
-        every trained bundle is published to it automatically.
+        Optional :class:`BundlePublisher` (in practice a
+        :class:`~repro.service.registry.ModelRegistry`); when set, every
+        trained bundle is published to it automatically.
     """
 
     def __init__(
@@ -166,7 +228,7 @@ class AuthenticationServer:
         max_other_users_windows: int = 2000,
         seed: RandomState = None,
         store: FeatureStore | None = None,
-        registry: "ModelRegistry | None" = None,
+        registry: BundlePublisher | None = None,
     ) -> None:
         if max_other_users_windows < 1:
             raise ValueError("max_other_users_windows must be >= 1")

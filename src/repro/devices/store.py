@@ -1,0 +1,472 @@
+"""Sharded, capacity-bounded storage for per-(user, context) feature windows.
+
+This module lives in :mod:`repro.devices` because the store is the cloud
+server's storage substrate: :class:`~repro.devices.cloud.AuthenticationServer`
+owns one, and nothing here depends on the service layer above.  The
+:mod:`repro.service` package re-exports these names for compatibility.
+
+The seed's :class:`~repro.devices.cloud.AuthenticationServer` kept every
+uploaded :class:`~repro.features.vector.FeatureMatrix` in a Python
+dict-of-lists, so training had to re-mask and re-stack raw matrices on every
+run and memory grew without bound.  The :class:`FeatureStore` replaces that
+design with preallocated NumPy ring buffers:
+
+* one :class:`RingBuffer` per ``(user, context)`` pair, appending rows in
+  amortised O(rows) and evicting the oldest windows once the configured
+  capacity is reached (recent behaviour is what matters for authentication);
+* user keys are hashed onto a fixed number of shards, which keeps per-shard
+  dictionaries small and maps directly onto a multi-process deployment where
+  each shard lives on a different node;
+* a single feature schema is enforced across the whole store, so a
+  mismatched upload fails fast instead of poisoning the training pool.
+
+Negative-pool sampling (the "all other users" class of the paper's training
+protocol) is served without materialising the full pool: the store draws row
+indices over the virtual concatenation and gathers only the selected rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.features.vector import FeatureMatrix
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Buffer key used for rows uploaded without per-row context labels.  Such
+#: rows count towards every context query, mirroring the seed server's
+#: behaviour for unlabelled matrices.
+ANY_CONTEXT = "*"
+
+
+class RingBuffer:
+    """Fixed-capacity row buffer backed by one lazily grown array.
+
+    Rows are appended in arrival order; once *capacity* rows are held, each
+    new row overwrites the oldest one.  :meth:`view` always returns rows in
+    chronological order.  Storage grows geometrically up to *capacity* so a
+    generous capacity bound costs nothing until windows actually arrive.
+    """
+
+    def __init__(self, capacity: int, n_features: int, dtype: type = float) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.capacity = int(capacity)
+        self.n_features = int(n_features)
+        self._dtype = dtype
+        self._data = np.empty((0, self.n_features), dtype=dtype)
+        self._start = 0
+        self._size = 0
+        self.total_appended = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    @property
+    def allocated(self) -> int:
+        """Rows of backing storage currently committed (<= capacity)."""
+        return len(self._data)
+
+    def _grow_to(self, needed: int) -> None:
+        """Grow the backing array; only called before any wraparound, so the
+        stored rows are the contiguous prefix ``[0, size)``."""
+        assert self._start == 0
+        new_allocation = min(self.capacity, max(2 * len(self._data), needed, 8))
+        grown = np.empty((new_allocation, self.n_features), dtype=self._dtype)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    def append(self, rows: np.ndarray) -> int:
+        """Append *rows* (2-D, chronological order); returns rows evicted."""
+        rows = np.asarray(rows, dtype=self._dtype)
+        if rows.ndim != 2 or rows.shape[1] != self.n_features:
+            raise ValueError(
+                f"rows must have shape (n, {self.n_features}), got {rows.shape}"
+            )
+        n = len(rows)
+        if n == 0:
+            return 0
+        self.total_appended += n
+        if n >= self.capacity:
+            # Only the newest `capacity` rows survive; everything stored
+            # before, plus the overflow of this batch, is evicted.
+            if len(self._data) < self.capacity:
+                self._data = np.empty(
+                    (self.capacity, self.n_features), dtype=self._dtype
+                )
+            evicted_now = self._size + (n - self.capacity)
+            self._data[:] = rows[n - self.capacity :]
+            self._start = 0
+            self._size = self.capacity
+            self.evicted += evicted_now
+            return evicted_now
+        if self._size + n > len(self._data) and len(self._data) < self.capacity:
+            self._grow_to(self._size + n)
+        # From here the ring arithmetic runs over the allocated extent:
+        # either the batch fits without wrapping, or the buffer is fully
+        # allocated (allocated == capacity) and wrap/eviction applies.
+        allocated = len(self._data)
+        end = (self._start + self._size) % allocated
+        first = min(n, allocated - end)
+        self._data[end : end + first] = rows[:first]
+        if first < n:
+            self._data[: n - first] = rows[first:]
+        overflow = max(0, self._size + n - allocated)
+        if overflow:
+            self._start = (self._start + overflow) % allocated
+            self.evicted += overflow
+        self._size = min(allocated, self._size + n)
+        return overflow
+
+    def view(self) -> np.ndarray:
+        """Stored rows in chronological order (read-only; no copy unless wrapped).
+
+        The unwrapped case aliases the live buffer: a later :meth:`append`
+        may overwrite it in place.  Callers holding rows across writes must
+        copy (the :class:`FeatureStore` read API does this for you).
+        """
+        allocated = len(self._data)
+        if self._size == 0:
+            out = self._data[:0]
+        elif self._start + self._size <= allocated:
+            out = self._data[self._start : self._start + self._size]
+        else:
+            wrap = (self._start + self._size) % allocated
+            out = np.concatenate([self._data[self._start :], self._data[:wrap]])
+        out = out.view()
+        out.flags.writeable = False
+        return out
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate statistics of a :class:`FeatureStore`."""
+
+    n_users: int
+    n_windows: int
+    n_buffers: int
+    n_features: int
+    total_appended: int
+    total_evicted: int
+    windows_per_shard: tuple[int, ...]
+
+    @property
+    def capacity_pressure(self) -> float:
+        """Fraction of all appended windows that have been evicted."""
+        if self.total_appended == 0:
+            return 0.0
+        return self.total_evicted / self.total_appended
+
+
+class _Shard:
+    """One shard: a dictionary of (user, context) ring buffers."""
+
+    __slots__ = ("buffers",)
+
+    def __init__(self) -> None:
+        self.buffers: dict[tuple[str, str], RingBuffer] = {}
+
+    def window_count(self) -> int:
+        return sum(len(buffer) for buffer in self.buffers.values())
+
+
+class FeatureStore:
+    """Sharded per-(user, context) window storage with a fixed schema.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of hash shards user keys are distributed over.
+    capacity_per_context:
+        Maximum windows retained per ``(user, context)`` ring buffer; older
+        windows are evicted first.
+    feature_names:
+        Optional schema fixed at construction; otherwise the first appended
+        matrix defines it.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        capacity_per_context: int = 65536,
+        feature_names: Iterable[str] | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if capacity_per_context < 1:
+            raise ValueError(
+                f"capacity_per_context must be >= 1, got {capacity_per_context}"
+            )
+        self.n_shards = int(n_shards)
+        self.capacity_per_context = int(capacity_per_context)
+        self._feature_names: list[str] | None = (
+            list(feature_names) if feature_names is not None else None
+        )
+        self._shards = [_Shard() for _ in range(self.n_shards)]
+        # Maps every known user to its shard index, in insertion order; the
+        # training protocol iterates "all other users" in enrolment order.
+        self._users: dict[str, int] = {}
+        # Per-user index of that user's ring buffers (references into the
+        # shards) and live per-context window totals, so metadata queries
+        # (contexts_for, negative_pool_size) cost O(1)-ish instead of
+        # scanning the population on every request.
+        self._by_user: dict[str, dict[str, RingBuffer]] = {}
+        self._context_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # schema and sharding
+    # ------------------------------------------------------------------ #
+
+    @property
+    def feature_names(self) -> list[str]:
+        """The store-wide feature schema (empty before the first append)."""
+        return list(self._feature_names) if self._feature_names is not None else []
+
+    @property
+    def n_features(self) -> int:
+        return len(self._feature_names) if self._feature_names is not None else 0
+
+    def shard_index(self, user_key: str) -> int:
+        """Stable shard assignment of *user_key*."""
+        digest = hashlib.sha256(user_key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little") % self.n_shards
+
+    def _check_schema(self, feature_names: list[str]) -> None:
+        if self._feature_names is None:
+            self._feature_names = list(feature_names)
+            return
+        if list(feature_names) != self._feature_names:
+            raise ValueError(
+                "feature_names mismatch: the store was initialised with "
+                f"{len(self._feature_names)} columns {self._feature_names!r} but "
+                f"this upload carries {len(feature_names)} columns {feature_names!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def append(self, user_key: str, matrix: FeatureMatrix) -> int:
+        """Store every row of *matrix* under *user_key*; returns rows stored.
+
+        Rows carrying per-row context labels go to that context's ring
+        buffer; matrices without labels are stored under :data:`ANY_CONTEXT`
+        and count towards every context query.
+
+        Raises
+        ------
+        ValueError
+            If the matrix is empty or its ``feature_names`` do not match the
+            store schema.
+        """
+        if len(matrix) == 0:
+            raise ValueError("refusing to store an empty feature matrix")
+        self._check_schema(matrix.feature_names)
+        shard_index = self._users.get(user_key)
+        if shard_index is None:
+            shard_index = self.shard_index(user_key)
+            self._users[user_key] = shard_index
+        shard = self._shards[shard_index]
+        if matrix.contexts:
+            context_labels = np.asarray(matrix.contexts, dtype=object)
+            for context in dict.fromkeys(matrix.contexts):  # preserves order
+                mask = context_labels == context
+                self._append_rows(shard, user_key, str(context), matrix.values[mask])
+        else:
+            self._append_rows(shard, user_key, ANY_CONTEXT, matrix.values)
+        return len(matrix)
+
+    def _append_rows(
+        self, shard: _Shard, user_key: str, context: str, rows: np.ndarray
+    ) -> None:
+        buffer = self._buffer_for(shard, user_key, context)
+        evicted = buffer.append(rows)
+        self._context_counts[context] = (
+            self._context_counts.get(context, 0) + len(rows) - evicted
+        )
+
+    def _buffer_for(self, shard: _Shard, user_key: str, context: str) -> RingBuffer:
+        key = (user_key, context)
+        buffer = shard.buffers.get(key)
+        if buffer is None:
+            assert self._feature_names is not None
+            buffer = RingBuffer(self.capacity_per_context, len(self._feature_names))
+            shard.buffers[key] = buffer
+            self._by_user.setdefault(user_key, {})[context] = buffer
+        return buffer
+
+    def drop_user(self, user_key: str) -> int:
+        """Remove every window of *user_key*; returns windows dropped."""
+        shard_index = self._users.pop(user_key, None)
+        if shard_index is None:
+            return 0
+        shard = self._shards[shard_index]
+        dropped = 0
+        for context, buffer in self._by_user.pop(user_key, {}).items():
+            dropped += len(buffer)
+            self._context_counts[context] -= len(buffer)
+            del shard.buffers[(user_key, context)]
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def users(self) -> list[str]:
+        """Every stored user key, in first-upload order."""
+        return list(self._users)
+
+    def __contains__(self, user_key: str) -> bool:
+        return user_key in self._users
+
+    def contexts_for(self, user_key: str) -> list[str]:
+        """Context labels under which *user_key* has stored windows."""
+        return [
+            context
+            for context, buffer in self._by_user.get(user_key, {}).items()
+            if len(buffer) and context != ANY_CONTEXT
+        ]
+
+    def _user_buffers(self, user_key: str, context: str | None) -> list[RingBuffer]:
+        """Buffers contributing to a (user, context) query, oldest-first.
+
+        ``context=None`` selects every buffer of the user; a concrete context
+        selects that context's buffer plus the unlabelled wildcard buffer.
+        """
+        index = self._by_user.get(user_key)
+        if not index:
+            return []
+        if context is None:
+            return [buffer for buffer in index.values() if len(buffer)]
+        contexts = [context]
+        if context != ANY_CONTEXT:
+            contexts.append(ANY_CONTEXT)
+        buffers = []
+        for key in contexts:
+            buffer = index.get(key)
+            if buffer is not None and len(buffer):
+                buffers.append(buffer)
+        return buffers
+
+    def unlabelled_count(self, user_key: str) -> int:
+        """Windows stored without per-row context labels (wildcard rows)."""
+        return sum(
+            len(buffer) for buffer in self._user_buffers(user_key, ANY_CONTEXT)
+        )
+
+    def rows_for(self, user_key: str, context: str | None = None) -> np.ndarray:
+        """All stored rows of one user (optionally restricted to a context).
+
+        The result is a snapshot copy: later appends (which overwrite ring
+        slots in place) never mutate previously returned arrays.
+        """
+        parts = [buffer.view() for buffer in self._user_buffers(user_key, context)]
+        if not parts:
+            return np.empty((0, self.n_features))
+        if len(parts) == 1:
+            return parts[0].copy()
+        return np.vstack(parts)
+
+    def window_count(self, user_key: str, context: str | None = None) -> int:
+        """Stored window count for one user (optionally one context)."""
+        return sum(len(buffer) for buffer in self._user_buffers(user_key, context))
+
+    def total_windows(self) -> int:
+        """Stored window count across every user and context."""
+        return sum(shard.window_count() for shard in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # negative-pool sampling
+    # ------------------------------------------------------------------ #
+
+    def negative_pool_size(self, user_key: str, context: str | None = None) -> int:
+        """Windows stored for every user except *user_key* under *context*.
+
+        Served from the live per-context counters — O(1) in the number of
+        users, so gateways can check it on every request.
+        """
+        if context is None:
+            pool = sum(self._context_counts.values())
+        elif context == ANY_CONTEXT:
+            pool = self._context_counts.get(ANY_CONTEXT, 0)
+        else:
+            pool = self._context_counts.get(context, 0) + self._context_counts.get(
+                ANY_CONTEXT, 0
+            )
+        return pool - self.window_count(user_key, context)
+
+    def sample_negatives(
+        self,
+        user_key: str,
+        context: str | None,
+        max_rows: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Rows of every user except *user_key* under *context*, capped.
+
+        When the virtual pool holds at most *max_rows* rows the whole pool is
+        returned (in user-enrolment order, as the seed server did).  A larger
+        pool is subsampled uniformly without replacement — but without ever
+        materialising it: indices are drawn over the virtual concatenation
+        and only the selected rows are gathered.
+        """
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        parts: list[np.ndarray] = []
+        for other in self._users:
+            if other == user_key:
+                continue
+            for buffer in self._user_buffers(other, context):
+                parts.append(buffer.view())
+        if not parts:
+            return np.empty((0, self.n_features))
+        lengths = np.array([len(part) for part in parts])
+        total = int(lengths.sum())
+        if total <= max_rows:
+            # Copy so later in-place ring overwrites cannot mutate the pool.
+            return parts[0].copy() if len(parts) == 1 else np.vstack(parts)
+        generator = ensure_rng(rng)
+        chosen = generator.choice(total, size=max_rows, replace=False)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        part_of = np.searchsorted(offsets, chosen, side="right") - 1
+        local = chosen - offsets[part_of]
+        gathered = np.empty((max_rows, self.n_features))
+        for part_index in np.unique(part_of):
+            mask = part_of == part_index
+            gathered[mask] = parts[part_index][local[mask]]
+        return gathered
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> StoreStats:
+        """Aggregate statistics across every shard."""
+        n_buffers = sum(len(shard.buffers) for shard in self._shards)
+        total_appended = sum(
+            buffer.total_appended
+            for shard in self._shards
+            for buffer in shard.buffers.values()
+        )
+        total_evicted = sum(
+            buffer.evicted
+            for shard in self._shards
+            for buffer in shard.buffers.values()
+        )
+        return StoreStats(
+            n_users=len(self._users),
+            n_windows=self.total_windows(),
+            n_buffers=n_buffers,
+            n_features=self.n_features,
+            total_appended=total_appended,
+            total_evicted=total_evicted,
+            windows_per_shard=tuple(shard.window_count() for shard in self._shards),
+        )

@@ -3,6 +3,12 @@
 ``python -m repro.experiments.runner`` prints every table and figure
 reproduction at the default scale, which is the quickest way to regenerate an
 EXPERIMENTS.md-style report.
+
+Experiment execution is instrumented through the same
+:class:`~repro.service.telemetry.TelemetryHub` the fleet serving path uses,
+so paper artefacts report identical counters and latency statistics
+(count / total / mean / p50 / p95 / p99) to a fleet run — one observability
+surface for both halves of the system.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.experiments import (
     table7_context_devices,
     table8_battery,
 )
+from repro.service.telemetry import TelemetryHub
 
 #: Experiment registry: id -> (description, run callable).
 EXPERIMENTS: dict[str, tuple[str, Callable[[common.ExperimentScale], object]]] = {
@@ -62,15 +69,32 @@ class ExperimentOutcome:
     elapsed_s: float
 
 
-def run_experiment(experiment_id: str, scale: common.ExperimentScale) -> ExperimentOutcome:
-    """Run a single experiment by id and capture its rendered output."""
+def run_experiment(
+    experiment_id: str,
+    scale: common.ExperimentScale,
+    telemetry: TelemetryHub | None = None,
+) -> ExperimentOutcome:
+    """Run a single experiment by id and capture its rendered output.
+
+    Timing and success/failure counting go through *telemetry* (a private
+    hub when omitted), under the same metric conventions as the fleet
+    gateway: a latency recorder per operation, monotonic counters for
+    outcomes.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
     description, runner = EXPERIMENTS[experiment_id]
+    hub = telemetry if telemetry is not None else TelemetryHub()
     start = time.perf_counter()
-    result = runner(scale)
+    try:
+        with hub.timer(f"experiment.{experiment_id}"):
+            result = runner(scale)
+    except Exception:
+        hub.increment("experiments.failed")
+        raise
+    hub.increment("experiments.completed")
     elapsed = time.perf_counter() - start
     return ExperimentOutcome(
         experiment_id=experiment_id,
@@ -83,10 +107,29 @@ def run_experiment(experiment_id: str, scale: common.ExperimentScale) -> Experim
 def run_all(
     scale: common.ExperimentScale = common.DEFAULT_SCALE,
     experiment_ids: list[str] | None = None,
+    telemetry: TelemetryHub | None = None,
 ) -> list[ExperimentOutcome]:
     """Run every (or the selected) experiment and return their outcomes."""
     selected = experiment_ids or list(EXPERIMENTS)
-    return [run_experiment(experiment_id, scale) for experiment_id in selected]
+    return [
+        run_experiment(experiment_id, scale, telemetry=telemetry)
+        for experiment_id in selected
+    ]
+
+
+def render_telemetry(telemetry: TelemetryHub) -> str:
+    """Render a run's telemetry snapshot in the fleet report's format."""
+    snapshot = telemetry.snapshot()
+    lines = ["telemetry"]
+    for name, value in snapshot["counters"].items():
+        lines.append(f"  {name:<28}: {value}")
+    for name, stats in snapshot["latencies"].items():
+        lines.append(
+            f"  {name:<28}: count={stats['count']} total={stats['total_s']:.2f}s "
+            f"mean={stats['mean_s']:.2f}s p50={stats['p50_s']:.2f}s "
+            f"p95={stats['p95_s']:.2f}s"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -103,19 +146,31 @@ def main(argv: list[str] | None = None) -> int:
         default="default",
         help="study scale: small (tests), default (benchmarks) or paper (full size)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiment ids and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        for experiment_id, (description, _) in EXPERIMENTS.items():
+            print(f"{experiment_id:<10} {description}")
+        return 0
     scale = {
         "small": common.SMALL_SCALE,
         "default": common.DEFAULT_SCALE,
         "paper": common.PAPER_SCALE,
     }[args.scale]
-    outcomes = run_all(scale, args.experiments or None)
+    telemetry = TelemetryHub()
+    outcomes = run_all(scale, args.experiments or None, telemetry=telemetry)
     for outcome in outcomes:
         print("=" * 78)
         print(f"{outcome.experiment_id}: {outcome.description} ({outcome.elapsed_s:.1f}s)")
         print("=" * 78)
         print(outcome.text)
         print()
+    print("=" * 78)
+    print(render_telemetry(telemetry))
     return 0
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import copy
 import inspect
-from typing import Any
+from typing import Any, NamedTuple
 
 import numpy as np
 
@@ -13,6 +13,31 @@ from repro.utils.validation import check_array, check_same_length
 
 class NotFittedError(RuntimeError):
     """Raised when predict/transform is called before fit."""
+
+
+class LinearDecisionRule(NamedTuple):
+    """A scaled classifier's full scoring pass reduced to affine parameters.
+
+    Describes ``standardise → decision_function → sign-adjust → threshold``
+    for a :class:`~repro.ml.preprocessing.StandardScaler` followed by a
+    classifier whose :meth:`BaseClassifier.decision_projection` is defined.
+    Batched serving fuses many such rules into one gather-and-einsum pass;
+    the contract is that evaluating the rule reproduces the unfused pass
+    bit-for-bit:
+
+    ``raw = einsum("ij,j->i", (X - mean) / scale - x_offset, coef) + y_offset``
+
+    with the adjusted confidence score ``sign * raw`` and the accept
+    decision ``raw >= 0`` when ``accept_on_nonnegative`` else ``raw < 0``.
+    """
+
+    mean: np.ndarray
+    scale: np.ndarray
+    x_offset: np.ndarray
+    coef: np.ndarray
+    y_offset: float
+    sign: float
+    accept_on_nonnegative: bool
 
 
 class BaseEstimator:
@@ -109,6 +134,23 @@ class BaseClassifier(BaseEstimator):
         the same rows — classifiers with different prediction semantics
         (e.g. probability votes), and subclasses that override ``predict``,
         must leave or reset this to ``None``.
+        """
+        return None
+
+    def decision_projection(self) -> tuple[np.ndarray, np.ndarray, float] | None:
+        """Affine form of :meth:`decision_function`, or ``None``.
+
+        Classifiers whose decision function is exactly
+
+        ``einsum("ij,j->i", X - x_offset, coef) + y_offset``
+
+        override this to return ``(x_offset, coef, y_offset)`` so batched
+        serving can fuse many models into one projection.  The contract is
+        bit-for-bit: evaluating the returned parameters with the expression
+        above MUST reproduce ``decision_function(X)`` exactly, including the
+        einsum accumulation order — classifiers computing their score any
+        other way (kernel expansions, intercept columns, votes) must leave
+        this as ``None``.
         """
         return None
 

@@ -188,6 +188,19 @@ class KernelRidgeClassifier(BaseClassifier):
         """Labels from precomputed decision values (same threshold as predict)."""
         return self._decode_binary(np.asarray(raw_scores))
 
+    def decision_projection(self) -> tuple[np.ndarray, np.ndarray, float] | None:
+        """``(x_offset, coef, y_offset)`` whenever ``w*`` is materialised.
+
+        Both linear-kernel solvers set ``coef_``, and
+        :meth:`decision_function` then computes exactly
+        ``einsum(X - _x_offset, coef_) + _y_offset`` — the bit-for-bit
+        contract the fused serving pass requires.  Non-linear kernels
+        (``coef_ is None``) cannot be expressed this way.
+        """
+        if self.coef_ is None or self._x_offset is None:
+            return None
+        return self._x_offset, self.coef_, self._y_offset
+
     def predict_proba(self, X: Any) -> np.ndarray:
         """Pseudo-probabilities via a logistic squashing of the decision value."""
         scores = self.decision_function(X)

@@ -99,3 +99,14 @@ class LinearSVMClassifier(BaseClassifier):
     def predict_from_decision(self, raw_scores: np.ndarray) -> np.ndarray:
         """Labels from precomputed decision values (same threshold as predict)."""
         return self._decode_binary(np.asarray(raw_scores))
+
+    def decision_projection(self) -> tuple[np.ndarray, np.ndarray, float] | None:
+        """``(0, coef_, intercept_)``: the margin is already affine.
+
+        Subtracting an all-zero offset is bitwise exact for every float, so
+        the shared fused-projection expression reproduces
+        :meth:`decision_function` bit-for-bit.
+        """
+        if self.coef_ is None:
+            return None
+        return np.zeros_like(self.coef_), self.coef_, self.intercept_

@@ -4,60 +4,87 @@ The seed reproduction can enroll and score one user at a time; this package
 is the serving subsystem implied by the SmarterYou architecture (Figure 1)
 but absent from the paper's prototype:
 
-* :mod:`repro.service.store` — a sharded, capacity-bounded feature store
-  holding per-(user, context) windows in preallocated NumPy ring buffers;
+* :mod:`repro.service.protocol` — typed request/response dataclasses with a
+  lossless JSON wire codec (the transport-agnostic service contract);
+* :mod:`repro.service.frontend` — the micro-batching front door: validates,
+  routes and coalesces concurrent authenticate requests into single
+  vectorized scoring passes, with telemetry / error-mapping / per-user
+  serialization middleware;
+* :mod:`repro.service.gateway` — the backend dispatcher executing protocol
+  requests against storage, training, registry and scoring;
 * :mod:`repro.service.registry` — a versioned model registry that persists
-  and serves :class:`~repro.devices.cloud.TrainedModelBundle`\\ s with
-  rollback;
-* :mod:`repro.service.batch` — a vectorized batch scorer that authenticates
-  many windows (and many users) in whole-matrix operations;
-* :mod:`repro.service.gateway` — the request-level API
-  (enroll / authenticate / report_drift) tying the pieces together;
+  and serves :class:`~repro.devices.cloud.TrainedModelBundle`\\ s (and the
+  user-agnostic context detector) with rollback;
 * :mod:`repro.service.fleet` — a fleet simulator driving hundreds of users
   through the full enroll → auth → attack → drift → retrain lifecycle;
 * :mod:`repro.service.telemetry` — counters and latency statistics for all
   of the above.
 
-Submodules are imported lazily (PEP 562) so that low-level modules such as
-:mod:`repro.devices.cloud` can depend on :mod:`repro.service.store` without
-creating import cycles through this package ``__init__``.
+The storage and scoring engines live in the layers below —
+:class:`~repro.devices.store.FeatureStore` in :mod:`repro.devices.store` and
+:class:`~repro.core.scoring.BatchScorer` in :mod:`repro.core.scoring` — and
+are re-exported here (and from :mod:`repro.service.store` /
+:mod:`repro.service.batch`) under their historical names.  The dependency
+graph is strictly acyclic — store and scoring sit below the cloud server,
+which sits below the core facade, with ``service`` on top — so this
+package imports eagerly: no lazy-import workarounds remain.
 """
 
-from __future__ import annotations
+from repro.core.scoring import (
+    BatchScorer,
+    BatchScoreResult,
+    score_fleet,
+    score_requests,
+)
+from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer, StoreStats
+from repro.service.fleet import FleetConfig, FleetReport, FleetSimulator
+from repro.service.frontend import MicroBatchQueue, ServiceFrontend
+from repro.service.gateway import AuthenticationGateway
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    DriftReport,
+    DriftResponse,
+    EnrollRequest,
+    EnrollResponse,
+    ErrorResponse,
+    RollbackRequest,
+    RollbackResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+)
+from repro.service.registry import ModelRecord, ModelRegistry
+from repro.service.telemetry import Counter, LatencyRecorder, TelemetryHub
 
-from typing import Any
-
-_EXPORTS = {
-    "FeatureStore": "repro.service.store",
-    "RingBuffer": "repro.service.store",
-    "StoreStats": "repro.service.store",
-    "ModelRegistry": "repro.service.registry",
-    "ModelRecord": "repro.service.registry",
-    "BatchScorer": "repro.service.batch",
-    "BatchScoreResult": "repro.service.batch",
-    "AuthenticationGateway": "repro.service.gateway",
-    "EnrollResponse": "repro.service.gateway",
-    "AuthenticationResponse": "repro.service.gateway",
-    "DriftResponse": "repro.service.gateway",
-    "FleetSimulator": "repro.service.fleet",
-    "FleetConfig": "repro.service.fleet",
-    "FleetReport": "repro.service.fleet",
-    "TelemetryHub": "repro.service.telemetry",
-    "Counter": "repro.service.telemetry",
-    "LatencyRecorder": "repro.service.telemetry",
-}
-
-__all__ = sorted(_EXPORTS)
-
-
-def __getattr__(name: str) -> Any:
-    module_name = _EXPORTS.get(name)
-    if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
-
-    return getattr(importlib.import_module(module_name), name)
-
-
-def __dir__() -> list[str]:
-    return sorted(set(globals()) | set(_EXPORTS))
+__all__ = [
+    "ANY_CONTEXT",
+    "AuthenticateRequest",
+    "AuthenticationGateway",
+    "AuthenticationResponse",
+    "BatchScoreResult",
+    "BatchScorer",
+    "Counter",
+    "DriftReport",
+    "DriftResponse",
+    "EnrollRequest",
+    "EnrollResponse",
+    "ErrorResponse",
+    "FeatureStore",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSimulator",
+    "LatencyRecorder",
+    "MicroBatchQueue",
+    "ModelRecord",
+    "ModelRegistry",
+    "RingBuffer",
+    "RollbackRequest",
+    "RollbackResponse",
+    "ServiceFrontend",
+    "SnapshotRequest",
+    "SnapshotResponse",
+    "StoreStats",
+    "TelemetryHub",
+    "score_fleet",
+    "score_requests",
+]

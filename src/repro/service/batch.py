@@ -1,205 +1,16 @@
-"""Vectorized batch scoring of authentication windows.
+"""Compatibility re-export: batch scoring moved to :mod:`repro.core.scoring`.
 
-The seed's :class:`~repro.core.authenticator.ContextualAuthenticator` looped
-over windows one at a time, transforming and scoring each 1-row matrix
-separately.  The :class:`BatchScorer` groups a batch of windows by the
-per-context model that will score them and runs one whole-matrix
-``scale → decision-function → predict`` pass per model, which is the
-difference between thousands of tiny BLAS calls and a handful of large ones.
-
-Model selection replicates the seed authenticator exactly (including the
-fall-back behaviour for unknown contexts and the single-model "w/o context"
-mode), and both the confidence score and the accept decision are computed by
-the same :class:`~repro.devices.cloud.ContextModel` methods the per-window
-path used.  With the paper's default linear kernel-ridge models the batched
-scores are bit-for-bit identical to per-window scoring (the primal decision
-projection is batch-size invariant); non-linear kernels agree to float
-rounding because their kernel matrices are BLAS products.
+The batch scorer is the engine behind both the single-user
+:class:`~repro.core.authenticator.ContextualAuthenticator` and the serving
+frontend, so it now lives in the ``core`` layer; this module keeps the
+original ``repro.service.batch`` import path working.
 """
 
-from __future__ import annotations
+from repro.core.scoring import (
+    BatchScorer,
+    BatchScoreResult,
+    score_fleet,
+    score_requests,
+)
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
-
-import numpy as np
-
-from repro.sensors.types import CoarseContext
-
-if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
-    from repro.devices.cloud import ContextModel, TrainedModelBundle
-
-
-@dataclass(frozen=True)
-class BatchScoreResult:
-    """Scores and decisions for one batch of windows.
-
-    Attributes
-    ----------
-    scores:
-        Confidence score per window (positive = legitimate side).
-    accepted:
-        Boolean accept decision per window.
-    model_contexts:
-        The context of the model that actually scored each window (after
-        fall-back resolution), matching the seed's per-decision ``context``.
-    model_version:
-        Version of the bundle that produced the scores.
-    """
-
-    scores: np.ndarray
-    accepted: np.ndarray
-    model_contexts: tuple[CoarseContext, ...]
-    model_version: int
-
-    def __len__(self) -> int:
-        return len(self.scores)
-
-    @property
-    def n_accepted(self) -> int:
-        return int(np.count_nonzero(self.accepted))
-
-    @property
-    def accept_rate(self) -> float:
-        return float(np.mean(self.accepted)) if len(self.scores) else 0.0
-
-
-class BatchScorer:
-    """Scores many windows against one user's model bundle in bulk.
-
-    Parameters
-    ----------
-    bundle:
-        The trained per-context model bundle to score against.
-    use_context:
-        Mirrors :class:`~repro.core.authenticator.ContextualAuthenticator`:
-        when false a single model (the stationary one if present) scores
-        every window.
-    """
-
-    def __init__(self, bundle: "TrainedModelBundle", use_context: bool = True) -> None:
-        if not bundle.models:
-            raise ValueError("the model bundle contains no trained models")
-        self.bundle = bundle
-        self.use_context = use_context
-
-    # ------------------------------------------------------------------ #
-    # model selection (mirrors ContextualAuthenticator._select_model)
-    # ------------------------------------------------------------------ #
-
-    def select_model(self, context: CoarseContext) -> "ContextModel":
-        """The model that scores windows detected under *context*."""
-        if not self.use_context:
-            if CoarseContext.STATIONARY in self.bundle.models:
-                return self.bundle.models[CoarseContext.STATIONARY]
-            return next(iter(self.bundle.models.values()))
-        if context in self.bundle.models:
-            return self.bundle.models[context]
-        # Degrade gracefully for never-enrolled contexts, as the seed did.
-        return next(iter(self.bundle.models.values()))
-
-    # ------------------------------------------------------------------ #
-
-    def score(
-        self, features: np.ndarray, contexts: Sequence[CoarseContext]
-    ) -> BatchScoreResult:
-        """Score a batch of windows, each with its detected context.
-
-        Rows sharing a resolved model are scored in a single vectorized
-        call; results are scattered back into window order.
-        """
-        features = np.asarray(features, dtype=float)
-        if features.ndim == 1:
-            features = features[np.newaxis, :]
-        if features.ndim != 2:
-            raise ValueError(f"features must be 2-D, got shape {features.shape}")
-        contexts = list(contexts)
-        if len(contexts) != len(features):
-            raise ValueError(
-                f"got {len(features)} feature rows but {len(contexts)} context labels"
-            )
-        n_windows = len(features)
-        scores = np.empty(n_windows)
-        accepted = np.empty(n_windows, dtype=bool)
-        model_contexts: list[CoarseContext] = [CoarseContext.STATIONARY] * n_windows
-        if n_windows == 0:
-            return BatchScoreResult(
-                scores=scores,
-                accepted=accepted,
-                model_contexts=tuple(),
-                model_version=self.bundle.version,
-            )
-        # Resolve each distinct detected context to its model once, then
-        # bucket window indices by the *resolved* model (several detected
-        # contexts may fall back onto the same model).
-        resolved: dict[CoarseContext, "ContextModel"] = {
-            context: self.select_model(context) for context in set(contexts)
-        }
-        buckets: dict[int, list[int]] = {}
-        models_by_id: dict[int, "ContextModel"] = {}
-        for index, context in enumerate(contexts):
-            model = resolved[context]
-            key = id(model)
-            models_by_id[key] = model
-            buckets.setdefault(key, []).append(index)
-        for key, indices in buckets.items():
-            model = models_by_id[key]
-            rows = features[indices]
-            scores[indices], accepted[indices] = model.batch_decisions(rows)
-            for index in indices:
-                model_contexts[index] = model.context
-        return BatchScoreResult(
-            scores=scores,
-            accepted=accepted,
-            model_contexts=tuple(model_contexts),
-            model_version=self.bundle.version,
-        )
-
-    def confidence_scores(
-        self, features: np.ndarray, contexts: Sequence[CoarseContext]
-    ) -> np.ndarray:
-        """Confidence score per window (the retraining monitor's input)."""
-        return self.score(features, contexts).scores
-
-
-def score_fleet(
-    scorers: dict[str, BatchScorer],
-    requests: Sequence[tuple[str, np.ndarray, Sequence[CoarseContext]]],
-) -> dict[str, BatchScoreResult]:
-    """Score a batch of per-user requests against their respective models.
-
-    Parameters
-    ----------
-    scorers:
-        One :class:`BatchScorer` per user id.
-    requests:
-        ``(user_id, features, contexts)`` triples; multiple requests for the
-        same user are concatenated and scored in one pass.
-
-    Returns
-    -------
-    Mapping from user id to that user's combined batch result.
-    """
-    grouped_rows: dict[str, list[np.ndarray]] = {}
-    grouped_contexts: dict[str, list[CoarseContext]] = {}
-    for index, (user_id, features, contexts) in enumerate(requests):
-        if user_id not in scorers:
-            raise KeyError(f"no scorer available for user {user_id!r}")
-        rows = np.atleast_2d(np.asarray(features, dtype=float))
-        contexts = list(contexts)
-        # Validate per request: mismatches that cancel out across requests
-        # for the same user would otherwise silently score windows under
-        # the wrong contexts.
-        if len(contexts) != len(rows):
-            raise ValueError(
-                f"request {index} for user {user_id!r} has {len(rows)} feature "
-                f"rows but {len(contexts)} context labels"
-            )
-        grouped_rows.setdefault(user_id, []).append(rows)
-        grouped_contexts.setdefault(user_id, []).extend(contexts)
-    return {
-        user_id: scorers[user_id].score(
-            np.vstack(grouped_rows[user_id]), grouped_contexts[user_id]
-        )
-        for user_id in grouped_rows
-    }
+__all__ = ["BatchScorer", "BatchScoreResult", "score_fleet", "score_requests"]

@@ -1,0 +1,412 @@
+"""Micro-batching service frontend: the typed front door of the fleet API.
+
+The :class:`ServiceFrontend` accepts :mod:`repro.service.protocol` requests
+and wraps every dispatch in middleware:
+
+* **validation** — only protocol request types are routed;
+* **telemetry** — per-kind latency timers and request/error counters;
+* **error mapping** — exceptions become typed
+  :class:`~repro.service.protocol.ErrorResponse`\\ s instead of propagating,
+  so one bad request in a batch never poisons its neighbours;
+* **per-user serialization** — requests touching the same user are applied
+  under that user's lock, keeping read-modify-write operations (enroll,
+  drift retrain) safe under concurrent submission.
+
+Its distinguishing feature is **micro-batching**: consecutive
+:class:`~repro.service.protocol.AuthenticateRequest`\\ s in one
+:meth:`ServiceFrontend.submit_many` call are *coalesced* into a single
+vectorized :func:`~repro.core.scoring.score_requests` pass — one fused
+projection over the whole fleet batch for affine models (the paper's
+kernel-ridge configuration), instead of one scoring call per request — and
+the responses are fanned back out in request order.  Windows whose requests
+carry no device-reported contexts are labelled inside the same batched pass
+by the registry-published context detector.
+
+:class:`MicroBatchQueue` adds the asynchronous variant: concurrent callers
+enqueue single requests and receive futures, while a background worker
+drains the queue into coalesced ``submit_many`` batches.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import weakref
+from concurrent.futures import Future
+from time import monotonic
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.scoring import score_requests
+from repro.service.gateway import AuthenticationGateway
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    ErrorResponse,
+    Request,
+    Response,
+    request_kind,
+)
+from repro.service.telemetry import TelemetryHub
+
+
+class ServiceFrontend:
+    """Validates, routes and micro-batches protocol requests to a gateway.
+
+    Parameters
+    ----------
+    gateway:
+        Optional pre-configured backend gateway (a fresh one is created
+        when omitted).
+    telemetry:
+        Optional telemetry hub for frontend metrics; defaults to the
+        gateway's hub so frontend and backend metrics land in one snapshot.
+    """
+
+    def __init__(
+        self,
+        gateway: AuthenticationGateway | None = None,
+        telemetry: TelemetryHub | None = None,
+    ) -> None:
+        self.gateway = gateway if gateway is not None else AuthenticationGateway()
+        self.telemetry = telemetry if telemetry is not None else self.gateway.telemetry
+        # Weak-valued, so the table stays bounded by *in-flight* users
+        # rather than growing one entry per user id ever seen (including
+        # attacker-controlled ids that only ever produce ErrorResponses):
+        # callers hold a strong reference to their lock for the duration of
+        # a dispatch, so concurrent requests for one user still share one
+        # lock, and entries vanish once no request is using them.
+        self._locks: "weakref.WeakValueDictionary[str, threading.Lock]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # middleware plumbing
+    # ------------------------------------------------------------------ #
+
+    def _lock_for(self, user_id: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._locks.get(user_id)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[user_id] = lock
+            return lock
+
+    def _error(self, kind: str, error: Exception, user_id: str | None) -> ErrorResponse:
+        self.telemetry.increment("frontend.errors")
+        return ErrorResponse(
+            request_kind=kind,
+            error=type(error).__name__,
+            message=str(error),
+            user_id=user_id,
+        )
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> Response:
+        """Dispatch one protocol request through the full middleware stack."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Response]:
+        """Dispatch a batch of requests, coalescing authenticate runs.
+
+        Requests are applied in order; every maximal run of consecutive
+        :class:`AuthenticateRequest`\\ s is scored in one coalesced
+        vectorized pass.  Each request independently maps to its response
+        (or :class:`ErrorResponse`), in the same order as submitted.
+        """
+        for request in requests:
+            request_kind(request)  # raises TypeError on non-protocol input
+        responses: list[Response | None] = [None] * len(requests)
+        index = 0
+        while index < len(requests):
+            if isinstance(requests[index], AuthenticateRequest):
+                end = index
+                while end < len(requests) and isinstance(
+                    requests[end], AuthenticateRequest
+                ):
+                    end += 1
+                responses[index:end] = self._authenticate_coalesced(
+                    requests[index:end]  # type: ignore[arg-type]
+                )
+                index = end
+            else:
+                responses[index] = self._submit_one(requests[index])
+                index += 1
+        return responses  # type: ignore[return-value]
+
+    def _submit_one(self, request: Request) -> Response:
+        kind = request_kind(request)
+        user_id = getattr(request, "user_id", None)
+        self.telemetry.increment("frontend.requests")
+        with self.telemetry.timer(f"frontend.{kind}"):
+            try:
+                if user_id is not None:
+                    with self._lock_for(user_id):
+                        return self.gateway.handle(request)
+                return self.gateway.handle(request)
+            except Exception as error:
+                return self._error(kind, error, user_id)
+
+    # ------------------------------------------------------------------ #
+    # the coalesced authenticate pass
+    # ------------------------------------------------------------------ #
+
+    def _authenticate_coalesced(
+        self, batch: Sequence[AuthenticateRequest]
+    ) -> list[Response]:
+        self.telemetry.increment("frontend.requests", len(batch))
+        with self.telemetry.timer("frontend.authenticate"):
+            locks = [self._lock_for(user) for user in sorted({r.user_id for r in batch})]
+            for lock in locks:
+                lock.acquire()
+            try:
+                return self._score_batch(batch)
+            finally:
+                for lock in reversed(locks):
+                    lock.release()
+
+    def _score_batch(self, batch: Sequence[AuthenticateRequest]) -> list[Response]:
+        responses: list[Response | None] = [None] * len(batch)
+
+        # 1. Context detection for every request that did not report
+        #    contexts, in ONE vectorized detector pass over all their rows.
+        #    If the shared pass fails (e.g. one request's malformed feature
+        #    width breaks the stack), fall back to per-request detection so
+        #    only the offending requests are rejected.
+        detected: dict[int, tuple] = {}
+        needing = [index for index, request in enumerate(batch) if request.contexts is None]
+        if needing:
+            rows = [batch[index].features for index in needing]
+            try:
+                labels = self.gateway.detect_contexts(np.vstack(rows))
+            except Exception:
+                for index in needing:
+                    try:
+                        detected[index] = self.gateway.detect_contexts(
+                            batch[index].features
+                        )
+                    except Exception as error:
+                        responses[index] = self._error(
+                            "authenticate", error, batch[index].user_id
+                        )
+            else:
+                offset = 0
+                for index, request_rows in zip(needing, rows):
+                    detected[index] = labels[offset : offset + len(request_rows)]
+                    offset += len(request_rows)
+
+        # 2. Resolve each remaining request's served scorer; a missing
+        #    model rejects that request alone.
+        live: list[int] = []
+        scorers, features_list, contexts_list = [], [], []
+        for index, request in enumerate(batch):
+            if responses[index] is not None:
+                continue
+            try:
+                scorer = self.gateway.scorer_for(request.user_id, request.version)
+            except Exception as error:
+                responses[index] = self._error("authenticate", error, request.user_id)
+                continue
+            live.append(index)
+            scorers.append(scorer)
+            features_list.append(request.features)
+            contexts_list.append(
+                detected[index] if request.contexts is None else request.contexts
+            )
+
+        # 3. One coalesced scoring pass over every surviving request; the
+        #    "authenticate" latency recorder keeps measuring backend scoring
+        #    time exactly as the per-request gateway path does.  If the
+        #    shared pass fails (e.g. one request's rows do not match its
+        #    model's width), score each request individually so one bad
+        #    request cannot poison its neighbours.
+        if live:
+            # Mirrors score_requests' own fusibility condition: mixed
+            # feature widths make it score per request with no fusion, so
+            # the coalesced.* counters must not claim those windows.
+            coalesced = (
+                len({features.shape[1] for features in features_list if len(features)})
+                <= 1
+            )
+            try:
+                with self.telemetry.timer("authenticate"):
+                    results = score_requests(scorers, features_list, contexts_list)
+            except Exception:
+                coalesced = False
+                results = []
+                for position, index in enumerate(live):
+                    try:
+                        with self.telemetry.timer("authenticate"):
+                            results.append(
+                                scorers[position].score(
+                                    features_list[position], contexts_list[position]
+                                )
+                            )
+                    except Exception as error:
+                        results.append(None)
+                        responses[index] = self._error(
+                            "authenticate", error, batch[index].user_id
+                        )
+            if coalesced:
+                self.telemetry.increment("frontend.coalesced_batches")
+            for index, result in zip(live, results):
+                if result is None:
+                    continue
+                self.gateway.record_authentication(result)
+                if coalesced:
+                    # The coalesced.* counters measure fusion specifically;
+                    # windows scored by the per-request fallback still count
+                    # in auth.* but not here.
+                    self.telemetry.increment("frontend.coalesced_windows", len(result))
+                responses[index] = AuthenticationResponse(
+                    user_id=batch[index].user_id, result=result
+                )
+        return responses  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------- #
+# asynchronous micro-batching queue
+# --------------------------------------------------------------------- #
+
+_SENTINEL = object()
+
+
+class MicroBatchQueue:
+    """Coalesces concurrently submitted requests into frontend batches.
+
+    Callers :meth:`submit` individual protocol requests and receive
+    :class:`~concurrent.futures.Future`\\ s; a background worker drains the
+    queue — waiting at most ``max_delay_s`` after the first pending request
+    and taking at most ``max_batch`` requests — and dispatches each slice
+    through :meth:`ServiceFrontend.submit_many`, where consecutive
+    authenticate requests coalesce into single vectorized passes.
+
+    Use as a context manager, or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        frontend: ServiceFrontend,
+        max_batch: int = 256,
+        max_delay_s: float = 0.005,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0.0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.frontend = frontend
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._worker: threading.Thread | None = None
+        # submit() enqueues under this lock and stop() flips _closed under
+        # it before posting the sentinel, so every accepted request is
+        # ordered ahead of the sentinel and gets processed — a concurrent
+        # submit/stop race can never strand a future unresolved.
+        self._submit_guard = threading.Lock()
+        self._closed = True
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "MicroBatchQueue":
+        """Start the background batching worker (idempotent).
+
+        Runs entirely under the submit guard, so concurrent start/stop
+        calls serialize: a start can neither observe a worker that a
+        racing stop is about to join (and wrongly report a dead queue as
+        running) nor double-spawn workers.
+        """
+        with self._submit_guard:
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._run, name="micro-batch-queue", daemon=True
+                )
+                self._closed = False
+                self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain pending requests and stop the worker.
+
+        Also serialized under the submit guard; the worker never takes the
+        guard, so joining it while holding the guard cannot deadlock.
+        """
+        with self._submit_guard:
+            worker = self._worker
+            if worker is not None and worker.is_alive():
+                if not self._closed:
+                    self._closed = True
+                    self._queue.put(_SENTINEL)
+                worker.join()
+            self._closed = True
+            self._worker = None
+
+    def __enter__(self) -> "MicroBatchQueue":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> "Future[Response]":
+        """Enqueue one request; the future resolves to its response.
+
+        Non-protocol objects are rejected here, synchronously, so an
+        invalid submission can never reach a batch slice and fail its
+        neighbours' futures.
+        """
+        request_kind(request)  # raises TypeError on non-protocol input
+        with self._submit_guard:
+            if self._closed or self._worker is None or not self._worker.is_alive():
+                raise RuntimeError("MicroBatchQueue is not running; call start() first")
+            future: "Future[Response]" = Future()
+            self._queue.put((request, future))
+            return future
+
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            pending = [item]
+            deadline = monotonic() + self.max_delay_s
+            while len(pending) < self.max_batch:
+                remaining = deadline - monotonic()
+                if remaining <= 0.0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SENTINEL:
+                    stopping = True
+                    break
+                pending.append(item)
+            # Claim every future before dispatching: one that was cancelled
+            # while pending is dropped here, and can no longer be cancelled
+            # mid-dispatch — so the set_result below cannot raise and kill
+            # the worker, stranding the other futures in the slice.
+            claimed = [
+                (request, future)
+                for request, future in pending
+                if future.set_running_or_notify_cancel()
+            ]
+            if not claimed:
+                continue
+            try:
+                responses = self.frontend.submit_many(
+                    [request for request, _ in claimed]
+                )
+            except Exception as error:  # defensive: submit_many maps errors
+                for _, future in claimed:
+                    future.set_exception(error)
+            else:
+                for (_, future), response in zip(claimed, responses):
+                    future.set_result(response)

@@ -1,71 +1,53 @@
 """Request-level authentication service API (enroll / authenticate / drift).
 
-The :class:`AuthenticationGateway` is the front door of the service layer:
-it owns the cloud :class:`~repro.devices.cloud.AuthenticationServer` (whose
-windows live in a sharded :class:`~repro.service.store.FeatureStore`), a
+The :class:`AuthenticationGateway` is the service's backend dispatcher: it
+owns the cloud :class:`~repro.devices.cloud.AuthenticationServer` (whose
+windows live in a sharded :class:`~repro.devices.store.FeatureStore`), a
 versioned :class:`~repro.service.registry.ModelRegistry`, per-user cached
-:class:`~repro.service.batch.BatchScorer`\\ s and a
-:class:`~repro.service.telemetry.TelemetryHub`, and exposes the three
-operations a device fleet issues: enroll feature windows, authenticate a
-batch of windows, and report behavioural drift (triggering retraining).
+:class:`~repro.core.scoring.BatchScorer`\\ s and a
+:class:`~repro.service.telemetry.TelemetryHub`.  Every operation is a typed
+:mod:`repro.service.protocol` request routed through :meth:`handle` — the
+convenience methods (:meth:`enroll`, :meth:`authenticate`, …) are thin
+wrappers that build the protocol request and dispatch it, so the
+per-method API, the micro-batching
+:class:`~repro.service.frontend.ServiceFrontend` and any future transport
+all share one front door.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.scoring import BatchScorer, BatchScoreResult, canonicalize_rows
 from repro.devices.cloud import MIN_WINDOWS_PER_CONTEXT, AuthenticationServer
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
-from repro.service.batch import BatchScorer, BatchScoreResult
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    DriftReport,
+    DriftResponse,
+    EnrollRequest,
+    EnrollResponse,
+    Request,
+    Response,
+    RollbackRequest,
+    RollbackResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+)
 from repro.service.registry import ModelRegistry
 from repro.service.telemetry import TelemetryHub
 
-
-@dataclass(frozen=True)
-class EnrollResponse:
-    """Outcome of one enrollment upload."""
-
-    user_id: str
-    status: str  # "buffered" or "trained"
-    windows_stored: int
-    model_version: int | None = None
-
-
-@dataclass(frozen=True)
-class AuthenticationResponse:
-    """Outcome of one batched authentication request."""
-
-    user_id: str
-    result: BatchScoreResult
-
-    @property
-    def accepted(self) -> np.ndarray:
-        return self.result.accepted
-
-    @property
-    def scores(self) -> np.ndarray:
-        return self.result.scores
-
-    @property
-    def accept_rate(self) -> float:
-        return self.result.accept_rate
-
-    @property
-    def model_version(self) -> int:
-        return self.result.model_version
-
-
-@dataclass(frozen=True)
-class DriftResponse:
-    """Outcome of a drift report (always retrains)."""
-
-    user_id: str
-    previous_version: int
-    new_version: int
+__all__ = [
+    "AuthenticationGateway",
+    # Response types historically lived here; re-exported for compatibility.
+    "EnrollResponse",
+    "AuthenticationResponse",
+    "DriftResponse",
+]
 
 
 class AuthenticationGateway:
@@ -75,7 +57,7 @@ class AuthenticationGateway:
     ----------
     server:
         Optional pre-configured cloud server.  When omitted, one is created
-        with a fresh :class:`~repro.service.store.FeatureStore`; either way
+        with a fresh :class:`~repro.devices.store.FeatureStore`; either way
         the gateway wires its registry into the server so every training
         round is published automatically.
     registry:
@@ -121,6 +103,35 @@ class AuthenticationGateway:
         # it was built for, so memory stays bounded by fleet size and a
         # mode flip or retrain invalidates stale entries.
         self._scorers: dict[str, tuple[int, bool, BatchScorer]] = {}
+        self._handlers: dict[type, Callable[[Request], Response]] = {
+            EnrollRequest: self._handle_enroll,
+            AuthenticateRequest: self._handle_authenticate,
+            DriftReport: self._handle_drift,
+            RollbackRequest: self._handle_rollback,
+            SnapshotRequest: self._handle_snapshot,
+        }
+
+    # ------------------------------------------------------------------ #
+    # protocol dispatch
+    # ------------------------------------------------------------------ #
+
+    def handle(self, request: Request) -> Response:
+        """Route one typed protocol request to its operation.
+
+        This is the gateway's single entry point: the convenience methods
+        below and the micro-batching frontend both dispatch through it.
+        Errors propagate as exceptions; mapping them to
+        :class:`~repro.service.protocol.ErrorResponse` is the frontend
+        middleware's job.
+        """
+        handler = self._handlers.get(type(request))
+        if handler is None:
+            raise TypeError(
+                f"not a protocol request: {type(request).__name__!r}; expected "
+                "one of EnrollRequest, AuthenticateRequest, DriftReport, "
+                "RollbackRequest, SnapshotRequest"
+            )
+        return handler(request)
 
     # ------------------------------------------------------------------ #
     # enrollment
@@ -139,6 +150,10 @@ class AuthenticationGateway:
             ``min_windows_to_train`` windows are stored and another user is
             enrolled to provide negatives.
         """
+        return self.handle(EnrollRequest(user_id=user_id, matrix=matrix, train=train))
+
+    def _handle_enroll(self, request: EnrollRequest) -> EnrollResponse:
+        user_id, matrix, train = request.user_id, request.matrix, request.train
         with self.telemetry.timer("enroll"):
             self.server.upload_features(user_id, matrix)
             self.telemetry.increment("enroll.windows", len(matrix))
@@ -200,10 +215,56 @@ class AuthenticationGateway:
         return bundle.version
 
     # ------------------------------------------------------------------ #
+    # context detection (registry-served, user-agnostic)
+    # ------------------------------------------------------------------ #
+
+    def train_context_detector(
+        self, matrix: FeatureMatrix, exclude_user: str | None = None
+    ) -> int:
+        """Train the user-agnostic context detector and publish it.
+
+        The trained ``(scaler, classifier)`` pair is published to the model
+        registry, versioned exactly like authentication bundles, so every
+        serving path — gateway and micro-batching frontend alike — scores
+        detection from the registry instead of trusting device-reported
+        contexts.  Returns the published detector version.
+        """
+        with self.telemetry.timer("train_context_detector"):
+            self.server.train_context_detector(matrix, exclude_user=exclude_user)
+            scaler, classifier = self.server.download_context_detector()
+            version = self.registry.publish_context_detector(scaler, classifier)
+        self.telemetry.increment("context.detector_versions")
+        return version
+
+    def detect_contexts(self, features: np.ndarray) -> tuple[CoarseContext, ...]:
+        """Detect each row's coarse context with the registry-served detector.
+
+        Raises
+        ------
+        KeyError
+            If no context detector has been published.
+        """
+        scaler, classifier = self.registry.context_detector()
+        features = canonicalize_rows(features)
+        if len(features) == 0:
+            return tuple()
+        with self.telemetry.timer("detect_contexts"):
+            predictions = classifier.predict(scaler.transform(features))
+        self.telemetry.increment("context.detections", len(features))
+        return tuple(CoarseContext(str(label)) for label in predictions)
+
+    # ------------------------------------------------------------------ #
     # authentication
     # ------------------------------------------------------------------ #
 
-    def _scorer_for(self, user_id: str, version: int | None = None) -> BatchScorer:
+    def scorer_for(self, user_id: str, version: int | None = None) -> BatchScorer:
+        """The cached batch scorer serving *user_id* (rebuilt when stale).
+
+        Raises
+        ------
+        KeyError
+            If the user has no published model version.
+        """
         resolved = (
             version if version is not None else self.registry.latest_version(user_id)
         )
@@ -219,26 +280,58 @@ class AuthenticationGateway:
         self._scorers[user_id] = (resolved, self.use_context, scorer)
         return scorer
 
+    def record_authentication(self, result: BatchScoreResult) -> None:
+        """Fold one batch's decisions into the service counters.
+
+        Shared by the per-request path below and the frontend's coalesced
+        path, so ``auth.*`` counters stay consistent no matter which door a
+        request came through.
+        """
+        self.telemetry.increment("auth.windows", len(result))
+        self.telemetry.increment("auth.accepted", result.n_accepted)
+        self.telemetry.increment("auth.rejected", len(result) - result.n_accepted)
+
     def authenticate(
         self,
         user_id: str,
         features: np.ndarray,
-        contexts: Sequence[CoarseContext],
+        contexts: Sequence[CoarseContext] | None = None,
         version: int | None = None,
     ) -> AuthenticationResponse:
         """Score a batch of windows for *user_id* against their served model.
+
+        With ``contexts=None`` the registry-published context detector
+        labels the windows server-side (raising ``KeyError`` if none has
+        been published); otherwise the supplied device-reported contexts
+        are used.
 
         Raises
         ------
         KeyError
             If the user has no published model version.
         """
+        return self.handle(
+            AuthenticateRequest(
+                user_id=user_id,
+                features=features,
+                contexts=None if contexts is None else tuple(contexts),
+                version=version,
+            )
+        )
+
+    def _handle_authenticate(self, request: AuthenticateRequest) -> AuthenticationResponse:
+        contexts = request.contexts
+        if contexts is None:
+            # Detection runs outside the "authenticate" timer (it has its
+            # own "detect_contexts" recorder) so that recorder measures
+            # scoring alone on this door and the coalescing frontend alike.
+            contexts = self.detect_contexts(request.features)
         with self.telemetry.timer("authenticate"):
-            result = self._scorer_for(user_id, version).score(features, contexts)
-        self.telemetry.increment("auth.windows", len(result))
-        self.telemetry.increment("auth.accepted", result.n_accepted)
-        self.telemetry.increment("auth.rejected", len(result) - result.n_accepted)
-        return AuthenticationResponse(user_id=user_id, result=result)
+            result = self.scorer_for(request.user_id, request.version).score(
+                request.features, contexts
+            )
+        self.record_authentication(result)
+        return AuthenticationResponse(user_id=request.user_id, result=result)
 
     # ------------------------------------------------------------------ #
     # drift and rollback
@@ -251,25 +344,34 @@ class AuthenticationGateway:
         drift report for a never-trained user still preserves its data
         (the KeyError it raises is then purely informational).
         """
+        return self.handle(DriftReport(user_id=user_id, matrix=fresh_matrix))
+
+    def _handle_drift(self, request: DriftReport) -> DriftResponse:
         with self.telemetry.timer("retrain"):
-            self.server.upload_features(user_id, fresh_matrix)
-            previous = self.registry.latest_version(user_id)
-            new_version = self.train(user_id)
+            self.server.upload_features(request.user_id, request.matrix)
+            previous = self.registry.latest_version(request.user_id)
+            new_version = self.train(request.user_id)
         self.telemetry.increment("drift.reports")
         return DriftResponse(
-            user_id=user_id, previous_version=previous, new_version=new_version
+            user_id=request.user_id, previous_version=previous, new_version=new_version
         )
 
     def rollback(self, user_id: str) -> int:
         """Retire the newest model version; returns the now-serving version."""
-        record = self.registry.rollback(user_id)
+        return self.handle(RollbackRequest(user_id=user_id)).serving_version
+
+    def _handle_rollback(self, request: RollbackRequest) -> RollbackResponse:
+        record = self.registry.rollback(request.user_id)
         self.telemetry.increment("rollback.count")
-        return record.version
+        return RollbackResponse(user_id=request.user_id, serving_version=record.version)
 
     # ------------------------------------------------------------------ #
 
     def snapshot(self) -> dict:
         """Telemetry plus storage statistics, as plain types."""
+        return self.handle(SnapshotRequest()).snapshot
+
+    def _handle_snapshot(self, request: SnapshotRequest) -> SnapshotResponse:
         stats = self.server.store.stats()
         snapshot = self.telemetry.snapshot()
         snapshot["store"] = {
@@ -278,4 +380,4 @@ class AuthenticationGateway:
             "n_buffers": stats.n_buffers,
             "total_evicted": stats.total_evicted,
         }
-        return snapshot
+        return SnapshotResponse(snapshot=snapshot)

@@ -1,0 +1,463 @@
+"""Typed request/response protocol of the authentication service.
+
+The service's front door speaks a small set of frozen-dataclass request
+types — one per operation a device fleet can issue — plus matching response
+types, with a lossless JSON wire codec mirroring the model registry's
+bundle format (NumPy arrays tagged with their dtype, enums stored by
+value).  Keeping the protocol transport-agnostic means the in-process
+:class:`~repro.service.frontend.ServiceFrontend`, a future HTTP/RPC layer,
+and the test-suite all share one contract:
+
+* :class:`EnrollRequest` — upload feature windows (optionally training);
+* :class:`AuthenticateRequest` — score windows against the served model;
+  ``contexts=None`` asks the server to detect contexts itself with the
+  registry-published context detector instead of trusting the device;
+* :class:`DriftReport` — report behavioural drift with fresh windows;
+* :class:`RollbackRequest` — retire the newest model version;
+* :class:`SnapshotRequest` — fetch telemetry and storage statistics.
+
+Every request/response round-trips losslessly through
+:func:`dumps_request`/:func:`loads_request` and
+:func:`dumps_response`/:func:`loads_response`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.scoring import BatchScoreResult, canonicalize_rows
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.utils import serialization
+
+# --------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------- #
+
+
+def _check_user_id(user_id: str) -> None:
+    if not isinstance(user_id, str) or not user_id:
+        raise ValueError(f"user_id must be a non-empty string, got {user_id!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class EnrollRequest:
+    """Upload a user's feature windows, optionally training their models.
+
+    ``train=True`` forces a training round, ``False`` only buffers the
+    windows, ``None`` (default) lets the service train automatically once
+    its enrollment threshold is met.
+
+    ``eq=False`` (identity comparison) because the payload holds NumPy
+    arrays, whose elementwise ``==`` would make the generated dataclass
+    equality raise; compare via the wire payloads instead.
+    """
+
+    user_id: str
+    matrix: FeatureMatrix
+    train: bool | None = None
+
+    def __post_init__(self) -> None:
+        _check_user_id(self.user_id)
+        if not isinstance(self.matrix, FeatureMatrix):
+            raise ValueError("matrix must be a FeatureMatrix")
+
+
+@dataclass(frozen=True, eq=False)
+class AuthenticateRequest:
+    """Score a batch of windows for *user_id* against their served model.
+
+    ``eq=False`` for the same array-field reason as :class:`EnrollRequest`.
+    The feature rows are snapshotted (copied, marked read-only) at
+    construction, so a caller mutating its source array afterwards cannot
+    change what gets scored.
+
+    Attributes
+    ----------
+    features:
+        Window feature rows, shape ``(n_windows, n_features)`` (a single
+        1-D vector is promoted to one row).
+    contexts:
+        Device-reported coarse context per window — or ``None`` to have the
+        service detect contexts itself from the same feature rows, using
+        the registry-published user-agnostic detector.
+    version:
+        Optional pinned model version (default: the newest active one).
+    """
+
+    user_id: str
+    features: np.ndarray
+    contexts: tuple[CoarseContext, ...] | None = None
+    version: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_user_id(self.user_id)
+        features = canonicalize_rows(self.features).copy()
+        features.setflags(write=False)
+        object.__setattr__(self, "features", features)
+        if self.contexts is not None:
+            contexts = tuple(CoarseContext(context) for context in self.contexts)
+            if len(contexts) != len(features):
+                raise ValueError(
+                    f"got {len(features)} feature rows but {len(contexts)} "
+                    "context labels"
+                )
+            object.__setattr__(self, "contexts", contexts)
+
+
+@dataclass(frozen=True, eq=False)
+class DriftReport:
+    """Report behavioural drift with fresh windows, triggering retraining.
+
+    ``eq=False`` for the same array-field reason as :class:`EnrollRequest`.
+    """
+
+    user_id: str
+    matrix: FeatureMatrix
+
+    def __post_init__(self) -> None:
+        _check_user_id(self.user_id)
+        if not isinstance(self.matrix, FeatureMatrix):
+            raise ValueError("matrix must be a FeatureMatrix")
+
+
+@dataclass(frozen=True)
+class RollbackRequest:
+    """Retire the newest model version and serve the previous one."""
+
+    user_id: str
+
+    def __post_init__(self) -> None:
+        _check_user_id(self.user_id)
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Fetch the service's telemetry counters and storage statistics."""
+
+
+Request = EnrollRequest | AuthenticateRequest | DriftReport | RollbackRequest | SnapshotRequest
+
+# --------------------------------------------------------------------- #
+# responses
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class EnrollResponse:
+    """Outcome of one enrollment upload."""
+
+    user_id: str
+    status: str  # "buffered" or "trained"
+    windows_stored: int
+    model_version: int | None = None
+
+
+@dataclass(frozen=True, eq=False)
+class AuthenticationResponse:
+    """Outcome of one batched authentication request.
+
+    ``eq=False``: the result holds NumPy score/decision arrays (see
+    :class:`EnrollRequest`); compare via the wire payloads instead.
+    """
+
+    user_id: str
+    result: BatchScoreResult
+
+    @property
+    def accepted(self) -> np.ndarray:
+        return self.result.accepted
+
+    @property
+    def scores(self) -> np.ndarray:
+        return self.result.scores
+
+    @property
+    def accept_rate(self) -> float:
+        return self.result.accept_rate
+
+    @property
+    def model_version(self) -> int:
+        return self.result.model_version
+
+
+@dataclass(frozen=True)
+class DriftResponse:
+    """Outcome of a drift report (always retrains)."""
+
+    user_id: str
+    previous_version: int
+    new_version: int
+
+
+@dataclass(frozen=True)
+class RollbackResponse:
+    """Outcome of a rollback: the version now serving."""
+
+    user_id: str
+    serving_version: int
+
+
+@dataclass(frozen=True)
+class SnapshotResponse:
+    """Telemetry plus storage statistics, as plain types."""
+
+    snapshot: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed request, mapped from the exception that rejected it.
+
+    Attributes
+    ----------
+    request_kind:
+        The wire kind of the request that failed (e.g. ``"authenticate"``).
+    error:
+        The exception class name (``"KeyError"``, ``"ValueError"``, …).
+    message:
+        Human-readable failure description.
+    user_id:
+        The requesting user, when the request carried one.
+    """
+
+    request_kind: str
+    error: str
+    message: str
+    user_id: str | None = None
+
+
+Response = (
+    EnrollResponse
+    | AuthenticationResponse
+    | DriftResponse
+    | RollbackResponse
+    | SnapshotResponse
+    | ErrorResponse
+)
+
+# --------------------------------------------------------------------- #
+# wire codec
+# --------------------------------------------------------------------- #
+
+_REQUEST_KINDS: dict[type, str] = {
+    EnrollRequest: "enroll",
+    AuthenticateRequest: "authenticate",
+    DriftReport: "drift-report",
+    RollbackRequest: "rollback",
+    SnapshotRequest: "snapshot",
+}
+
+_RESPONSE_KINDS: dict[type, str] = {
+    EnrollResponse: "enroll-response",
+    AuthenticationResponse: "authenticate-response",
+    DriftResponse: "drift-response",
+    RollbackResponse: "rollback-response",
+    SnapshotResponse: "snapshot-response",
+    ErrorResponse: "error-response",
+}
+
+
+def request_kind(request: Request) -> str:
+    """The wire kind tag of *request* (e.g. ``"authenticate"``)."""
+    kind = _REQUEST_KINDS.get(type(request))
+    if kind is None:
+        raise TypeError(f"not a protocol request: {type(request).__name__}")
+    return kind
+
+
+def _matrix_to_payload(matrix: FeatureMatrix) -> dict[str, Any]:
+    return {
+        "values": matrix.values,
+        "feature_names": list(matrix.feature_names),
+        "user_ids": list(matrix.user_ids),
+        "contexts": list(matrix.contexts),
+    }
+
+
+def _matrix_from_payload(payload: Mapping[str, Any]) -> FeatureMatrix:
+    return FeatureMatrix(
+        values=np.asarray(payload["values"], dtype=float),
+        feature_names=list(payload["feature_names"]),
+        user_ids=list(payload["user_ids"]),
+        contexts=list(payload["contexts"]),
+    )
+
+
+def _result_to_payload(result: BatchScoreResult) -> dict[str, Any]:
+    return {
+        "scores": result.scores,
+        "accepted": result.accepted,
+        "model_contexts": [context.value for context in result.model_contexts],
+        "model_version": int(result.model_version),
+    }
+
+
+def _result_from_payload(payload: Mapping[str, Any]) -> BatchScoreResult:
+    return BatchScoreResult(
+        scores=np.asarray(payload["scores"], dtype=float),
+        accepted=np.asarray(payload["accepted"], dtype=bool),
+        model_contexts=tuple(
+            CoarseContext(value) for value in payload["model_contexts"]
+        ),
+        model_version=int(payload["model_version"]),
+    )
+
+
+def request_to_payload(request: Request) -> dict[str, Any]:
+    """Serialise a protocol request into a plain tagged structure."""
+    kind = request_kind(request)
+    payload: dict[str, Any] = {"kind": kind}
+    if isinstance(request, EnrollRequest):
+        payload["user_id"] = request.user_id
+        payload["matrix"] = _matrix_to_payload(request.matrix)
+        payload["train"] = request.train
+    elif isinstance(request, AuthenticateRequest):
+        payload["user_id"] = request.user_id
+        payload["features"] = request.features
+        payload["contexts"] = (
+            None
+            if request.contexts is None
+            else [context.value for context in request.contexts]
+        )
+        payload["version"] = request.version
+    elif isinstance(request, DriftReport):
+        payload["user_id"] = request.user_id
+        payload["matrix"] = _matrix_to_payload(request.matrix)
+    elif isinstance(request, RollbackRequest):
+        payload["user_id"] = request.user_id
+    return payload
+
+
+def request_from_payload(payload: Mapping[str, Any]) -> Request:
+    """Rebuild a protocol request from :func:`request_to_payload` output."""
+    kind = payload.get("kind")
+    if kind == "enroll":
+        return EnrollRequest(
+            user_id=payload["user_id"],
+            matrix=_matrix_from_payload(payload["matrix"]),
+            train=payload.get("train"),
+        )
+    if kind == "authenticate":
+        contexts = payload.get("contexts")
+        return AuthenticateRequest(
+            user_id=payload["user_id"],
+            features=np.asarray(payload["features"], dtype=float),
+            contexts=(
+                None
+                if contexts is None
+                else tuple(CoarseContext(value) for value in contexts)
+            ),
+            version=payload.get("version"),
+        )
+    if kind == "drift-report":
+        return DriftReport(
+            user_id=payload["user_id"],
+            matrix=_matrix_from_payload(payload["matrix"]),
+        )
+    if kind == "rollback":
+        return RollbackRequest(user_id=payload["user_id"])
+    if kind == "snapshot":
+        return SnapshotRequest()
+    raise ValueError(f"payload does not describe a protocol request: kind={kind!r}")
+
+
+def response_to_payload(response: Response) -> dict[str, Any]:
+    """Serialise a protocol response into a plain tagged structure."""
+    kind = _RESPONSE_KINDS.get(type(response))
+    if kind is None:
+        raise TypeError(f"not a protocol response: {type(response).__name__}")
+    payload: dict[str, Any] = {"kind": kind}
+    if isinstance(response, EnrollResponse):
+        payload.update(
+            user_id=response.user_id,
+            status=response.status,
+            windows_stored=int(response.windows_stored),
+            model_version=response.model_version,
+        )
+    elif isinstance(response, AuthenticationResponse):
+        payload.update(
+            user_id=response.user_id, result=_result_to_payload(response.result)
+        )
+    elif isinstance(response, DriftResponse):
+        payload.update(
+            user_id=response.user_id,
+            previous_version=int(response.previous_version),
+            new_version=int(response.new_version),
+        )
+    elif isinstance(response, RollbackResponse):
+        payload.update(
+            user_id=response.user_id, serving_version=int(response.serving_version)
+        )
+    elif isinstance(response, SnapshotResponse):
+        payload.update(snapshot=response.snapshot)
+    elif isinstance(response, ErrorResponse):
+        payload.update(
+            request_kind=response.request_kind,
+            error=response.error,
+            message=response.message,
+            user_id=response.user_id,
+        )
+    return payload
+
+
+def response_from_payload(payload: Mapping[str, Any]) -> Response:
+    """Rebuild a protocol response from :func:`response_to_payload` output."""
+    kind = payload.get("kind")
+    if kind == "enroll-response":
+        model_version = payload.get("model_version")
+        return EnrollResponse(
+            user_id=payload["user_id"],
+            status=payload["status"],
+            windows_stored=int(payload["windows_stored"]),
+            model_version=None if model_version is None else int(model_version),
+        )
+    if kind == "authenticate-response":
+        return AuthenticationResponse(
+            user_id=payload["user_id"],
+            result=_result_from_payload(payload["result"]),
+        )
+    if kind == "drift-response":
+        return DriftResponse(
+            user_id=payload["user_id"],
+            previous_version=int(payload["previous_version"]),
+            new_version=int(payload["new_version"]),
+        )
+    if kind == "rollback-response":
+        return RollbackResponse(
+            user_id=payload["user_id"],
+            serving_version=int(payload["serving_version"]),
+        )
+    if kind == "snapshot-response":
+        return SnapshotResponse(snapshot=dict(payload.get("snapshot", {})))
+    if kind == "error-response":
+        return ErrorResponse(
+            request_kind=payload["request_kind"],
+            error=payload["error"],
+            message=payload["message"],
+            user_id=payload.get("user_id"),
+        )
+    raise ValueError(f"payload does not describe a protocol response: kind={kind!r}")
+
+
+def dumps_request(request: Request) -> str:
+    """Serialise a request to its JSON wire form."""
+    return serialization.dumps(request_to_payload(request))
+
+
+def loads_request(text: str) -> Request:
+    """Parse a request from its JSON wire form."""
+    return request_from_payload(serialization.loads(text))
+
+
+def dumps_response(response: Response) -> str:
+    """Serialise a response to its JSON wire form."""
+    return serialization.dumps(response_to_payload(response))
+
+
+def loads_response(text: str) -> Response:
+    """Parse a response from its JSON wire form."""
+    return response_from_payload(serialization.loads(text))

@@ -207,6 +207,42 @@ class ModelRecord:
     path: Path | None = None
 
 
+#: Directory under the registry root holding context-detector versions.
+#: User directories always end in an 8-hex-digit digest, so this name can
+#: never collide with one.
+_DETECTOR_DIR = "_context-detector"
+
+
+def detector_to_payload(
+    scaler: StandardScaler, classifier: BaseClassifier, version: int
+) -> dict[str, Any]:
+    """Serialise a user-agnostic context detector into a plain structure."""
+    return {
+        "kind": "context-detector",
+        "version": int(version),
+        "scaler": encode_state(scaler),
+        "classifier": encode_state(classifier),
+    }
+
+
+def detector_from_payload(
+    payload: dict[str, Any],
+) -> tuple[StandardScaler, BaseClassifier, int]:
+    """Rebuild a context detector from :func:`detector_to_payload` output."""
+    if payload.get("kind") != "context-detector":
+        raise ValueError("payload does not describe a context detector")
+    scaler = decode_state(payload["scaler"])
+    classifier = decode_state(payload["classifier"])
+    if not isinstance(scaler, StandardScaler):
+        raise ValueError("context-detector payload carries an invalid scaler")
+    if not isinstance(classifier, BaseClassifier):
+        raise ValueError(
+            "context-detector payload carries an invalid classifier "
+            f"({type(classifier).__name__}); expected a BaseClassifier"
+        )
+    return scaler, classifier, int(payload["version"])
+
+
 class ModelRegistry:
     """Stores every published bundle version and serves the newest active one.
 
@@ -221,6 +257,10 @@ class ModelRegistry:
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else None
         self._records: dict[str, dict[int, ModelRecord]] = {}
+        # The user-agnostic context detector is published and versioned just
+        # like authentication bundles, so the serving path can score context
+        # detection from the registry instead of trusting device reports.
+        self._detectors: dict[int, tuple[StandardScaler, BaseClassifier]] = {}
 
     # ------------------------------------------------------------------ #
     # publishing
@@ -269,6 +309,56 @@ class ModelRegistry:
             record.path = path
         versions[bundle.version] = record
         return record
+
+    # ------------------------------------------------------------------ #
+    # context detector
+    # ------------------------------------------------------------------ #
+
+    def publish_context_detector(
+        self, scaler: StandardScaler, classifier: BaseClassifier
+    ) -> int:
+        """Register (and optionally persist) a new context-detector version.
+
+        Returns the version number assigned to this detector.
+        """
+        if not isinstance(scaler, StandardScaler):
+            raise ValueError("scaler must be a fitted StandardScaler")
+        if not isinstance(classifier, BaseClassifier):
+            raise ValueError("classifier must be a fitted BaseClassifier")
+        version = max(self._detectors, default=0) + 1
+        self._detectors[version] = (scaler, classifier)
+        if self.root is not None:
+            serialization.to_json_file(
+                detector_to_payload(scaler, classifier, version),
+                self.root / _DETECTOR_DIR / f"v{version}.json",
+            )
+        return version
+
+    def context_detector_versions(self) -> list[int]:
+        """All published context-detector versions (ascending)."""
+        return sorted(self._detectors)
+
+    def context_detector(
+        self, version: int | None = None
+    ) -> tuple[StandardScaler, BaseClassifier]:
+        """The served context detector (a specific version, or the newest).
+
+        Raises
+        ------
+        KeyError
+            If no context detector has been published.
+        """
+        if version is None:
+            if not self._detectors:
+                raise KeyError(
+                    "no context detector published; train one and publish it "
+                    "via publish_context_detector()"
+                )
+            version = max(self._detectors)
+        try:
+            return self._detectors[version]
+        except KeyError:
+            raise KeyError(f"no published context-detector version {version}") from None
 
     # ------------------------------------------------------------------ #
     # serving
@@ -343,7 +433,16 @@ class ModelRegistry:
         loaded = 0
         if not self.root.exists():
             return loaded
+        for path in sorted((self.root / _DETECTOR_DIR).glob("v*.json")):
+            scaler, classifier, version = detector_from_payload(
+                serialization.from_json_file(path)
+            )
+            if version not in self._detectors:
+                self._detectors[version] = (scaler, classifier)
+                loaded += 1
         for path in sorted(self.root.glob("*/v*.json")):
+            if path.parent.name == _DETECTOR_DIR:
+                continue
             payload = serialization.from_json_file(path)
             bundle = bundle_from_payload(payload)
             versions = self._records.setdefault(bundle.user_id, {})

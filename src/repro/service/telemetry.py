@@ -8,6 +8,7 @@ external dependency.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -109,29 +110,52 @@ class TelemetryHub:
 
     Counters and recorders are created on first use, so call sites never
     need to pre-declare the metrics they emit.
+
+    The hub's own entry points (:meth:`increment`, :meth:`record`,
+    :meth:`timer`, :meth:`snapshot`, :meth:`reset`) are thread-safe — the
+    serving frontend drives one shared hub from concurrently submitting
+    callers, so registration and read-modify-write updates serialize under
+    one hub lock.  Mutating a :class:`Counter`/:class:`LatencyRecorder`
+    obtained via :meth:`counter`/:meth:`latency` directly bypasses that
+    lock and is only safe single-threaded.
     """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._latencies: dict[str, LatencyRecorder] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
 
     def counter(self, name: str) -> Counter:
         """The counter called *name*, created on first access."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name=name)
-        return self._counters[name]
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name=name)
+            return self._counters[name]
 
     def increment(self, name: str, amount: int = 1) -> int:
-        """Shorthand for ``counter(name).increment(amount)``."""
-        return self.counter(name).increment(amount)
+        """Thread-safe ``counter(name).increment(amount)``."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name=name)
+            return counter.increment(amount)
 
     def latency(self, name: str) -> LatencyRecorder:
         """The latency recorder called *name*, created on first access."""
-        if name not in self._latencies:
-            self._latencies[name] = LatencyRecorder(name=name)
-        return self._latencies[name]
+        with self._lock:
+            if name not in self._latencies:
+                self._latencies[name] = LatencyRecorder(name=name)
+            return self._latencies[name]
+
+    def record(self, name: str, seconds: float) -> None:
+        """Thread-safe ``latency(name).record(seconds)``."""
+        with self._lock:
+            recorder = self._latencies.get(name)
+            if recorder is None:
+                recorder = self._latencies[name] = LatencyRecorder(name=name)
+            recorder.record(seconds)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -140,26 +164,31 @@ class TelemetryHub:
         try:
             yield
         finally:
-            self.latency(name).record(time.perf_counter() - start)
+            self.record(name, time.perf_counter() - start)
 
     # ------------------------------------------------------------------ #
 
     def counter_value(self, name: str) -> int:
         """Current value of a counter (0 if it never fired)."""
-        counter = self._counters.get(name)
-        return counter.value if counter is not None else 0
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0
 
     def snapshot(self) -> dict[str, dict]:
         """All metrics as a nested plain-type dictionary."""
-        return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "latencies": {
-                name: recorder.summary()
-                for name, recorder in sorted(self._latencies.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "latencies": {
+                    name: recorder.summary()
+                    for name, recorder in sorted(self._latencies.items())
+                },
+            }
 
     def reset(self) -> None:
         """Drop every metric (used between fleet simulation phases)."""
-        self._counters.clear()
-        self._latencies.clear()
+        with self._lock:
+            self._counters.clear()
+            self._latencies.clear()

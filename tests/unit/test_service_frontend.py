@@ -1,0 +1,433 @@
+"""Unit tests for the micro-batching service frontend."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.frontend import MicroBatchQueue, ServiceFrontend
+from repro.service.gateway import AuthenticationGateway
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    DriftReport,
+    DriftResponse,
+    EnrollRequest,
+    EnrollResponse,
+    ErrorResponse,
+    RollbackRequest,
+    RollbackResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+)
+
+
+def matrix(uid, mean, n=15, d=5, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=[context] * n,
+    )
+
+
+@pytest.fixture()
+def frontend():
+    frontend = ServiceFrontend(AuthenticationGateway(min_windows_to_train=20))
+    for uid, mean, seed in (("bg1", 4.0, 1), ("bg2", 6.0, 2)):
+        for context in ("stationary", "moving"):
+            frontend.submit(
+                EnrollRequest(
+                    user_id=uid, matrix=matrix(uid, mean, context=context, seed=seed),
+                    train=False,
+                )
+            )
+    return frontend
+
+
+def train_alice(frontend):
+    for context in ("stationary", "moving"):
+        frontend.submit(
+            EnrollRequest(
+                user_id="alice",
+                matrix=matrix("alice", 0.0, context=context, seed=3),
+                train=False,
+            )
+        )
+    frontend.gateway.train("alice")
+
+
+class TestDispatch:
+    def test_every_request_kind_routes_to_its_response(self, frontend):
+        enroll = frontend.submit(
+            EnrollRequest(user_id="alice", matrix=matrix("alice", 0.0, seed=3), train=False)
+        )
+        assert isinstance(enroll, EnrollResponse)
+        assert enroll.status == "buffered"
+        train_alice(frontend)
+        own = matrix("alice", 0.0, n=4, seed=4)
+        auth = frontend.submit(
+            AuthenticateRequest(
+                user_id="alice",
+                features=own.values,
+                contexts=(CoarseContext.STATIONARY,) * 4,
+            )
+        )
+        assert isinstance(auth, AuthenticationResponse)
+        assert len(auth.result) == 4
+        drift = frontend.submit(
+            DriftReport(user_id="alice", matrix=matrix("alice", 0.4, n=30, seed=5))
+        )
+        assert isinstance(drift, DriftResponse)
+        rollback = frontend.submit(RollbackRequest(user_id="alice"))
+        assert isinstance(rollback, RollbackResponse)
+        assert rollback.serving_version == drift.previous_version
+        snapshot = frontend.submit(SnapshotRequest())
+        assert isinstance(snapshot, SnapshotResponse)
+        assert snapshot.snapshot["counters"]["frontend.requests"] >= 5
+
+    def test_empty_batch_yields_empty_result(self, frontend):
+        train_alice(frontend)
+        response = frontend.submit(
+            AuthenticateRequest(user_id="alice", features=np.array([]), contexts=())
+        )
+        assert isinstance(response, AuthenticationResponse)
+        assert len(response.result) == 0
+        assert response.accept_rate == 0.0
+
+    def test_user_lock_table_stays_bounded(self, frontend):
+        import gc
+
+        for index in range(200):
+            response = frontend.submit(
+                AuthenticateRequest(
+                    user_id=f"ghost-{index}",
+                    features=np.zeros((1, 5)),
+                    contexts=(CoarseContext.STATIONARY,),
+                )
+            )
+            assert isinstance(response, ErrorResponse)
+        gc.collect()
+        # Locks for finished requests have been reclaimed; only (at most)
+        # stragglers whose weakrefs have not been cleared yet remain.
+        assert len(frontend._locks) < 200
+
+    def test_non_protocol_input_raises(self, frontend):
+        with pytest.raises(TypeError, match="not a protocol request"):
+            frontend.submit("authenticate alice")  # type: ignore[arg-type]
+
+    def test_responses_keep_submission_order(self, frontend):
+        train_alice(frontend)
+        own = matrix("alice", 0.0, n=2, seed=6)
+        responses = frontend.submit_many(
+            [
+                SnapshotRequest(),
+                AuthenticateRequest(
+                    user_id="alice",
+                    features=own.values,
+                    contexts=(CoarseContext.STATIONARY,) * 2,
+                ),
+                RollbackRequest(user_id="ghost"),
+                SnapshotRequest(),
+            ]
+        )
+        assert isinstance(responses[0], SnapshotResponse)
+        assert isinstance(responses[1], AuthenticationResponse)
+        assert isinstance(responses[2], ErrorResponse)
+        assert isinstance(responses[3], SnapshotResponse)
+
+
+class TestErrorMiddleware:
+    def test_unknown_user_maps_to_error_response(self, frontend):
+        response = frontend.submit(
+            AuthenticateRequest(
+                user_id="ghost",
+                features=np.zeros((1, 5)),
+                contexts=(CoarseContext.STATIONARY,),
+            )
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.request_kind == "authenticate"
+        assert response.error == "KeyError"
+        assert response.user_id == "ghost"
+
+    def test_bad_request_does_not_poison_the_batch(self, frontend):
+        train_alice(frontend)
+        own = matrix("alice", 0.0, n=3, seed=7)
+        good = AuthenticateRequest(
+            user_id="alice",
+            features=own.values,
+            contexts=(CoarseContext.STATIONARY,) * 3,
+        )
+        bad = AuthenticateRequest(
+            user_id="ghost",
+            features=np.zeros((2, 5)),
+            contexts=(CoarseContext.STATIONARY,) * 2,
+        )
+        responses = frontend.submit_many([bad, good, bad])
+        assert isinstance(responses[0], ErrorResponse)
+        assert isinstance(responses[2], ErrorResponse)
+        expected = frontend.gateway.scorer_for("alice").score(
+            own.values, [CoarseContext.STATIONARY] * 3
+        )
+        np.testing.assert_array_equal(responses[1].scores, expected.scores)
+        assert frontend.telemetry.counter_value("frontend.errors") == 2
+
+    def test_malformed_width_does_not_poison_coalesced_neighbours(self, frontend):
+        """One request with the wrong feature width fails alone."""
+        train_alice(frontend)
+        own = matrix("alice", 0.0, n=3, seed=23)
+        good = AuthenticateRequest(
+            user_id="alice",
+            features=own.values,
+            contexts=(CoarseContext.STATIONARY,) * 3,
+        )
+        narrow = AuthenticateRequest(
+            user_id="alice",
+            features=np.zeros((2, 3)),  # model expects 5 columns
+            contexts=(CoarseContext.STATIONARY,) * 2,
+        )
+        responses = frontend.submit_many([good, narrow, good])
+        assert isinstance(responses[1], ErrorResponse)
+        assert responses[1].error == "ValueError"
+        expected = frontend.gateway.scorer_for("alice").score(
+            own.values, [CoarseContext.STATIONARY] * 3
+        )
+        for survivor in (responses[0], responses[2]):
+            assert isinstance(survivor, AuthenticationResponse)
+            np.testing.assert_array_equal(survivor.scores, expected.scores)
+
+    def test_malformed_width_does_not_poison_detection_neighbours(self, frontend):
+        """Width mismatches must not break the shared detection pass either."""
+        train_alice(frontend)
+        training = matrix("alice", 0.0, n=40, context="stationary", seed=24).concatenate(
+            matrix("alice", 5.0, n=40, context="moving", seed=25)
+        )
+        frontend.gateway.train_context_detector(training)
+        own = matrix("alice", 0.0, n=3, seed=26)
+        responses = frontend.submit_many(
+            [
+                AuthenticateRequest(user_id="alice", features=own.values),
+                AuthenticateRequest(user_id="alice", features=np.zeros((2, 3))),
+            ]
+        )
+        assert isinstance(responses[0], AuthenticationResponse)
+        assert isinstance(responses[1], ErrorResponse)
+
+    def test_broadcastable_width_mismatch_rejected_not_accepted(self, frontend):
+        """A width-1 probe must be rejected, never broadcast-scored."""
+        train_alice(frontend)
+        response = frontend.submit(
+            AuthenticateRequest(
+                user_id="alice",
+                features=np.ones((4, 1)),  # broadcastable against 5-wide models
+                contexts=(CoarseContext.STATIONARY,) * 4,
+            )
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ValueError"
+
+    def test_enroll_schema_mismatch_maps_to_error(self, frontend):
+        response = frontend.submit(
+            EnrollRequest(user_id="alice", matrix=matrix("alice", 0.0, d=3, seed=8))
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ValueError"
+        assert "feature_names mismatch" in response.message
+
+
+class TestCoalescing:
+    def test_coalesced_batch_matches_per_request_gateway_calls(self, frontend):
+        train_alice(frontend)
+        for uid, mean, seed in (("bg1", 4.0, 9), ("bg2", 6.0, 10)):
+            frontend.gateway.train(uid)
+        probes = {
+            uid: matrix(uid, mean, n=6, seed=seed)
+            for uid, mean, seed in (
+                ("alice", 0.0, 11),
+                ("bg1", 4.0, 12),
+                ("bg2", 6.0, 13),
+            )
+        }
+        contexts = (CoarseContext.STATIONARY, CoarseContext.MOVING) * 3
+        requests = [
+            AuthenticateRequest(user_id=uid, features=probe.values, contexts=contexts)
+            for uid, probe in probes.items()
+        ]
+        # Two extra requests for the same user coalesce with the first.
+        requests.append(
+            AuthenticateRequest(
+                user_id="alice", features=probes["alice"].values[:2], contexts=contexts[:2]
+            )
+        )
+        coalesced = frontend.submit_many(requests)
+        assert frontend.telemetry.counter_value("frontend.coalesced_batches") == 1
+        for request, response in zip(requests, coalesced):
+            expected = frontend.gateway.scorer_for(request.user_id).score(
+                request.features, list(request.contexts)
+            )
+            np.testing.assert_array_equal(response.scores, expected.scores)
+            np.testing.assert_array_equal(response.accepted, expected.accepted)
+            assert response.result.model_contexts == expected.model_contexts
+            assert response.model_version == expected.model_version
+
+    def test_auth_counters_match_per_request_path(self, frontend):
+        train_alice(frontend)
+        own = matrix("alice", 0.0, n=8, seed=14)
+        contexts = (CoarseContext.STATIONARY,) * 8
+        frontend.submit_many(
+            [
+                AuthenticateRequest(user_id="alice", features=own.values[:5], contexts=contexts[:5]),
+                AuthenticateRequest(user_id="alice", features=own.values[5:], contexts=contexts[5:]),
+            ]
+        )
+        counters = frontend.gateway.snapshot()["counters"]
+        assert counters["auth.windows"] == 8
+        assert counters["auth.accepted"] + counters["auth.rejected"] == 8
+        assert counters["frontend.coalesced_windows"] == 8
+
+
+class TestServerSideContextDetection:
+    def test_without_detector_maps_to_error(self, frontend):
+        train_alice(frontend)
+        response = frontend.submit(
+            AuthenticateRequest(user_id="alice", features=np.zeros((2, 5)))
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "KeyError"
+        assert "context detector" in response.message
+
+    def test_detected_contexts_match_device_reported_truth(self, frontend):
+        train_alice(frontend)
+        # Distinct, well-separated context clusters so detection is exact.
+        labelled = matrix("alice", 0.0, n=40, context="stationary", seed=15)
+        moving = matrix("alice", 5.0, n=40, context="moving", seed=16)
+        training = labelled.concatenate(moving)
+        version = frontend.gateway.train_context_detector(training)
+        assert version == 1
+        assert frontend.gateway.registry.context_detector_versions() == [1]
+        probe = np.vstack([labelled.values[:3], moving.values[:3]])
+        truth = (CoarseContext.STATIONARY,) * 3 + (CoarseContext.MOVING,) * 3
+        detected = frontend.submit(
+            AuthenticateRequest(user_id="alice", features=probe)
+        )
+        reported = frontend.submit(
+            AuthenticateRequest(user_id="alice", features=probe, contexts=truth)
+        )
+        assert isinstance(detected, AuthenticationResponse)
+        np.testing.assert_array_equal(detected.scores, reported.scores)
+        np.testing.assert_array_equal(detected.accepted, reported.accepted)
+        assert detected.result.model_contexts == truth
+        assert frontend.telemetry.counter_value("context.detections") == 6
+
+    def test_detection_shares_one_pass_across_requests(self, frontend):
+        train_alice(frontend)
+        training = matrix("alice", 0.0, n=40, context="stationary", seed=17).concatenate(
+            matrix("alice", 5.0, n=40, context="moving", seed=18)
+        )
+        frontend.gateway.train_context_detector(training)
+        probe = matrix("alice", 0.0, n=4, seed=19)
+        responses = frontend.submit_many(
+            [
+                AuthenticateRequest(user_id="alice", features=probe.values[:2]),
+                AuthenticateRequest(user_id="alice", features=probe.values[2:]),
+            ]
+        )
+        assert all(isinstance(r, AuthenticationResponse) for r in responses)
+        # Both requests' rows were labelled by one detector call inside the
+        # coalesced pass; the detection counter covers all 4 windows.
+        assert frontend.telemetry.counter_value("context.detections") == 4
+
+
+class TestMicroBatchQueue:
+    def test_concurrent_submissions_coalesce_and_fan_out(self, frontend):
+        train_alice(frontend)
+        for uid in ("bg1", "bg2"):
+            frontend.gateway.train(uid)
+        probes = {
+            "alice": matrix("alice", 0.0, n=4, seed=20),
+            "bg1": matrix("bg1", 4.0, n=4, seed=21),
+            "bg2": matrix("bg2", 6.0, n=4, seed=22),
+        }
+        contexts = (CoarseContext.STATIONARY,) * 4
+        with MicroBatchQueue(frontend, max_batch=64, max_delay_s=0.02) as queue:
+            barrier = threading.Barrier(len(probes))
+            futures = {}
+
+            def submit(uid):
+                barrier.wait()
+                futures[uid] = queue.submit(
+                    AuthenticateRequest(
+                        user_id=uid, features=probes[uid].values, contexts=contexts
+                    )
+                )
+
+            threads = [
+                threading.Thread(target=submit, args=(uid,)) for uid in probes
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for uid, future in futures.items():
+                response = future.result(timeout=5)
+                assert isinstance(response, AuthenticationResponse)
+                assert response.user_id == uid
+                expected = frontend.gateway.scorer_for(uid).score(
+                    probes[uid].values, list(contexts)
+                )
+                np.testing.assert_array_equal(response.scores, expected.scores)
+
+    def test_submit_requires_running_worker(self, frontend):
+        queue = MicroBatchQueue(frontend)
+        with pytest.raises(RuntimeError, match="not running"):
+            queue.submit(SnapshotRequest())
+
+    def test_submit_after_stop_raises_instead_of_hanging(self, frontend):
+        queue = MicroBatchQueue(frontend)
+        queue.start()
+        queue.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            queue.submit(SnapshotRequest())
+        # Restart works and serves again.
+        with queue:
+            assert isinstance(
+                queue.submit(SnapshotRequest()).result(timeout=5), SnapshotResponse
+            )
+
+    def test_cancelled_future_does_not_kill_the_worker(self, frontend):
+        with MicroBatchQueue(frontend, max_batch=4, max_delay_s=0.05) as queue:
+            first = queue.submit(SnapshotRequest())
+            first.cancel()  # may or may not win the race with the worker
+            second = queue.submit(SnapshotRequest())
+            assert isinstance(second.result(timeout=5), SnapshotResponse)
+            # The worker survived whichever way the cancellation raced.
+            third = queue.submit(SnapshotRequest())
+            assert isinstance(third.result(timeout=5), SnapshotResponse)
+            if not first.cancelled():
+                assert isinstance(first.result(timeout=5), SnapshotResponse)
+
+    def test_non_protocol_submission_rejected_before_enqueue(self, frontend):
+        """Invalid input fails synchronously, never poisoning a batch slice."""
+        with MicroBatchQueue(frontend, max_batch=8, max_delay_s=0.05) as queue:
+            good = queue.submit(SnapshotRequest())
+            with pytest.raises(TypeError, match="not a protocol request"):
+                queue.submit("junk")  # type: ignore[arg-type]
+            assert isinstance(good.result(timeout=5), SnapshotResponse)
+
+    def test_stop_drains_pending_requests(self, frontend):
+        queue = MicroBatchQueue(frontend, max_batch=8, max_delay_s=0.2)
+        queue.start()
+        futures = [queue.submit(SnapshotRequest()) for _ in range(5)]
+        queue.stop()
+        for future in futures:
+            assert isinstance(future.result(timeout=1), SnapshotResponse)
+
+    def test_rejects_degenerate_parameters(self, frontend):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatchQueue(frontend, max_batch=0)
+        with pytest.raises(ValueError, match="max_delay_s"):
+            MicroBatchQueue(frontend, max_delay_s=-1.0)

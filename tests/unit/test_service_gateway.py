@@ -282,6 +282,24 @@ class TestTelemetryPrimitives:
         # Percentiles reflect the most recent window (900..999).
         assert recorder.percentile_seconds(0.0) == 900.0
 
+    def test_hub_entry_points_are_thread_safe(self):
+        import threading
+
+        hub = TelemetryHub()
+
+        def work():
+            for _ in range(5000):
+                hub.increment("events")
+                hub.record("op", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hub.counter_value("events") == 20000
+        assert hub.snapshot()["latencies"]["op"]["count"] == 20000
+
     def test_hub_timer_and_snapshot(self):
         hub = TelemetryHub()
         with hub.timer("work"):

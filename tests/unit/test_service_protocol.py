@@ -1,0 +1,207 @@
+"""Unit tests for the typed request/response protocol and its wire codec."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import BatchScoreResult
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service import protocol
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    DriftReport,
+    DriftResponse,
+    EnrollRequest,
+    EnrollResponse,
+    ErrorResponse,
+    RollbackRequest,
+    RollbackResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+)
+
+
+def matrix(uid="alice", n=6, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(0.0, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=["stationary", "moving"] * (n // 2),
+    )
+
+
+def roundtrip_request(request):
+    return protocol.loads_request(protocol.dumps_request(request))
+
+
+def roundtrip_response(response):
+    return protocol.loads_response(protocol.dumps_response(response))
+
+
+class TestRequestRoundTrips:
+    def test_enroll_request_lossless(self):
+        original = EnrollRequest(user_id="alice", matrix=matrix(), train=True)
+        restored = roundtrip_request(original)
+        assert isinstance(restored, EnrollRequest)
+        assert restored.user_id == "alice"
+        assert restored.train is True
+        np.testing.assert_array_equal(restored.matrix.values, original.matrix.values)
+        assert restored.matrix.values.dtype == original.matrix.values.dtype
+        assert restored.matrix.feature_names == original.matrix.feature_names
+        assert restored.matrix.user_ids == original.matrix.user_ids
+        assert restored.matrix.contexts == original.matrix.contexts
+
+    def test_enroll_request_train_none_preserved(self):
+        restored = roundtrip_request(EnrollRequest(user_id="a", matrix=matrix()))
+        assert restored.train is None
+
+    def test_authenticate_request_lossless(self):
+        rng = np.random.default_rng(3)
+        original = AuthenticateRequest(
+            user_id="bob",
+            features=rng.normal(0, 2, size=(5, 3)),
+            contexts=(
+                CoarseContext.MOVING,
+                CoarseContext.STATIONARY,
+                CoarseContext.MOVING,
+                CoarseContext.MOVING,
+                CoarseContext.STATIONARY,
+            ),
+            version=4,
+        )
+        restored = roundtrip_request(original)
+        assert isinstance(restored, AuthenticateRequest)
+        assert restored.user_id == "bob"
+        assert restored.version == 4
+        assert restored.contexts == original.contexts
+        np.testing.assert_array_equal(restored.features, original.features)
+        assert restored.features.dtype == original.features.dtype
+
+    def test_authenticate_request_detected_contexts_preserved_as_none(self):
+        original = AuthenticateRequest(user_id="bob", features=np.zeros((2, 3)))
+        restored = roundtrip_request(original)
+        assert restored.contexts is None
+        assert restored.version is None
+
+    def test_drift_report_lossless(self):
+        original = DriftReport(user_id="carol", matrix=matrix("carol", seed=5))
+        restored = roundtrip_request(original)
+        assert isinstance(restored, DriftReport)
+        np.testing.assert_array_equal(restored.matrix.values, original.matrix.values)
+
+    def test_rollback_and_snapshot(self):
+        assert roundtrip_request(RollbackRequest(user_id="dave")) == RollbackRequest(
+            user_id="dave"
+        )
+        assert isinstance(roundtrip_request(SnapshotRequest()), SnapshotRequest)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="protocol request"):
+            protocol.request_from_payload({"kind": "teleport"})
+
+    def test_request_kind_rejects_foreign_objects(self):
+        with pytest.raises(TypeError, match="not a protocol request"):
+            protocol.request_kind("enroll me")  # type: ignore[arg-type]
+
+
+class TestRequestValidation:
+    def test_empty_user_id_rejected(self):
+        with pytest.raises(ValueError, match="user_id"):
+            RollbackRequest(user_id="")
+
+    def test_authenticate_promotes_single_window(self):
+        request = AuthenticateRequest(user_id="a", features=np.zeros(3))
+        assert request.features.shape == (1, 3)
+
+    def test_authenticate_context_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="context labels"):
+            AuthenticateRequest(
+                user_id="a",
+                features=np.zeros((3, 2)),
+                contexts=(CoarseContext.MOVING,),
+            )
+
+    def test_enroll_requires_feature_matrix(self):
+        with pytest.raises(ValueError, match="FeatureMatrix"):
+            EnrollRequest(user_id="a", matrix=np.zeros((3, 2)))  # type: ignore[arg-type]
+
+
+class TestResponseRoundTrips:
+    def test_enroll_response(self):
+        assert roundtrip_response(
+            EnrollResponse(user_id="a", status="trained", windows_stored=24, model_version=2)
+        ) == EnrollResponse(user_id="a", status="trained", windows_stored=24, model_version=2)
+        assert roundtrip_response(
+            EnrollResponse(user_id="a", status="buffered", windows_stored=3)
+        ).model_version is None
+
+    def test_authentication_response_lossless(self):
+        rng = np.random.default_rng(11)
+        result = BatchScoreResult(
+            scores=rng.normal(0, 1, 7),
+            accepted=rng.normal(0, 1, 7) > 0,
+            model_contexts=tuple(
+                CoarseContext.MOVING if i % 2 else CoarseContext.STATIONARY
+                for i in range(7)
+            ),
+            model_version=3,
+        )
+        restored = roundtrip_response(AuthenticationResponse(user_id="a", result=result))
+        assert isinstance(restored, AuthenticationResponse)
+        np.testing.assert_array_equal(restored.scores, result.scores)
+        assert restored.scores.dtype == result.scores.dtype
+        np.testing.assert_array_equal(restored.accepted, result.accepted)
+        assert restored.accepted.dtype == np.bool_
+        assert restored.result.model_contexts == result.model_contexts
+        assert restored.model_version == 3
+        assert restored.accept_rate == result.accept_rate
+
+    def test_drift_rollback_snapshot_error(self):
+        assert roundtrip_response(
+            DriftResponse(user_id="a", previous_version=1, new_version=2)
+        ) == DriftResponse(user_id="a", previous_version=1, new_version=2)
+        assert roundtrip_response(
+            RollbackResponse(user_id="a", serving_version=1)
+        ) == RollbackResponse(user_id="a", serving_version=1)
+        snapshot = SnapshotResponse(snapshot={"counters": {"auth.windows": 5}})
+        assert roundtrip_response(snapshot).snapshot == snapshot.snapshot
+        error = ErrorResponse(
+            request_kind="authenticate",
+            error="KeyError",
+            message="no active model versions published for 'ghost'",
+            user_id="ghost",
+        )
+        assert roundtrip_response(error) == error
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="protocol response"):
+            protocol.response_from_payload({"kind": "nope"})
+        with pytest.raises(TypeError, match="not a protocol response"):
+            protocol.response_to_payload({"kind": "dict"})  # type: ignore[arg-type]
+
+
+class TestWireFormat:
+    def test_wire_form_is_json_text(self):
+        import json
+
+        text = protocol.dumps_request(
+            AuthenticateRequest(user_id="a", features=np.zeros((1, 2)))
+        )
+        payload = json.loads(text)
+        assert payload["kind"] == "authenticate"
+        assert payload["features"]["__ndarray__"] == [[0.0, 0.0]]
+
+    def test_every_request_kind_round_trips_through_payloads(self):
+        requests = [
+            EnrollRequest(user_id="u", matrix=matrix()),
+            AuthenticateRequest(user_id="u", features=np.ones((2, 4))),
+            DriftReport(user_id="u", matrix=matrix()),
+            RollbackRequest(user_id="u"),
+            SnapshotRequest(),
+        ]
+        for request in requests:
+            payload = protocol.request_to_payload(request)
+            assert payload["kind"] == protocol.request_kind(request)
+            assert type(protocol.request_from_payload(payload)) is type(request)
