@@ -6,13 +6,13 @@ windows/sec (run pytest with ``-s`` to see the numbers):
 * **fleet enrollment** — uploading every user's windows into the sharded
   feature store and training per-context models for the whole fleet;
 * **batch scoring** — authenticating a 1000-window batch through the
-  vectorized :class:`~repro.service.batch.BatchScorer`.
+  vectorized :class:`~repro.core.scoring.BatchScorer`.
 """
 
 import numpy as np
 
+from repro.core.scoring import BatchScorer
 from repro.sensors.types import CoarseContext
-from repro.service.batch import BatchScorer
 from repro.service.fleet import FleetConfig, FleetSimulator
 
 #: Fleet size for the enrollment benchmark (kept modest so the suite stays

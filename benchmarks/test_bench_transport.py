@@ -1,0 +1,161 @@
+"""Benchmark: fused-stack caching and the HTTP transport at fleet scale.
+
+Two measurements on the ISSUE 3 acceptance shape (a 500-user fleet batch):
+
+1. **Fused-stack cache** — coalesced :func:`~repro.core.scoring.score_requests`
+   throughput with a warm :class:`~repro.core.scoring.FusedStackCache`
+   versus the PR 2 baseline that rebuilds the stacked parameter matrices on
+   every flush.  The acceptance bar is a measurable speedup with bit-for-bit
+   identical decisions.
+2. **Transport** — the same coalesced batch submitted through a live
+   :class:`~repro.service.transport.ServiceHTTPServer` over a real socket
+   (JSON wire codec both ways), versus the in-process frontend.
+
+Results land in ``BENCH_transport.json`` at the repository root (run pytest
+with ``-s`` to see the numbers inline).
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.scoring import FusedStackCache, score_requests
+from repro.sensors.types import CoarseContext
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.protocol import AuthenticateRequest, AuthenticationResponse
+from repro.service.transport import ServiceClient, ServiceHTTPServer
+
+#: The ISSUE's acceptance fleet size.
+BENCH_FLEET_USERS = 500
+
+#: Windows per user per authenticate request (split across both contexts).
+BENCH_WINDOWS_PER_USER = 8
+
+#: Timing rounds; the best round of each path is compared.
+BENCH_ROUNDS = 5
+
+#: Acceptance bar: the warm cache must beat rebuild-every-flush by at least
+#: this factor (measured ~1.2x on the reference machine; the bar is kept
+#: conservative so CI noise cannot flake the suite).
+REQUIRED_CACHE_SPEEDUP = 1.03
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+
+
+def _best(callable_, rounds=BENCH_ROUNDS):
+    times = []
+    for _ in range(rounds):
+        start = perf_counter()
+        callable_()
+        times.append(perf_counter() - start)
+    return min(times)
+
+
+def test_bench_transport_and_fused_stack_cache():
+    config = FleetConfig(n_users=BENCH_FLEET_USERS, seed=5, server_side_contexts=False)
+    simulator = FleetSimulator(config)
+    simulator.build_users()
+    simulator.enroll_fleet()
+
+    rng = np.random.default_rng(23)
+    probes = [
+        user.sample_windows(
+            BENCH_WINDOWS_PER_USER // 2,
+            config.window_noise,
+            rng,
+            simulator.feature_names,
+        )
+        for user in simulator.users
+    ]
+    total_windows = BENCH_FLEET_USERS * BENCH_WINDOWS_PER_USER
+
+    # ------------------------------------------------------------------ #
+    # 1. coalesced scoring: warm cache vs rebuild-every-flush (PR 2)
+    # ------------------------------------------------------------------ #
+    scorers = [simulator.gateway.scorer_for(user.user_id) for user in simulator.users]
+    features_list = [probe.values for probe in probes]
+    contexts_list = [
+        [CoarseContext(label) for label in probe.contexts] for probe in probes
+    ]
+
+    baseline_results = score_requests(scorers, features_list, contexts_list)
+    cache = FusedStackCache()
+    cached_results = score_requests(scorers, features_list, contexts_list, cache)
+    for baseline, cached in zip(baseline_results, cached_results):
+        np.testing.assert_array_equal(cached.scores, baseline.scores)
+        np.testing.assert_array_equal(cached.accepted, baseline.accepted)
+
+    uncached_s = _best(lambda: score_requests(scorers, features_list, contexts_list))
+    cached_s = _best(
+        lambda: score_requests(scorers, features_list, contexts_list, cache)
+    )
+    cache_speedup = uncached_s / cached_s
+    assert cache.hits >= BENCH_ROUNDS  # every timed cached flush hit
+
+    # ------------------------------------------------------------------ #
+    # 2. the same batch over a live HTTP socket
+    # ------------------------------------------------------------------ #
+    requests = [
+        AuthenticateRequest(
+            user_id=user.user_id,
+            features=probe.values,
+            contexts=tuple(CoarseContext(label) for label in probe.contexts),
+        )
+        for user, probe in zip(simulator.users, probes)
+    ]
+    in_process = simulator.frontend.submit_many(requests)
+    with ServiceHTTPServer(simulator.frontend) as server:
+        with ServiceClient(port=server.port) as client:
+            over_the_wire = client.submit_many(requests)  # warm the connection
+            for local, remote in zip(in_process, over_the_wire):
+                assert isinstance(remote, AuthenticationResponse)
+                np.testing.assert_array_equal(remote.scores, local.scores)
+                np.testing.assert_array_equal(remote.accepted, local.accepted)
+            transport_s = _best(lambda: client.submit_many(requests))
+            inprocess_s = _best(lambda: simulator.frontend.submit_many(requests))
+
+    result = {
+        "fleet_users": BENCH_FLEET_USERS,
+        "windows_per_user": BENCH_WINDOWS_PER_USER,
+        "total_windows": total_windows,
+        "rounds": BENCH_ROUNDS,
+        "coalesced_uncached_s": uncached_s,
+        "coalesced_cached_s": cached_s,
+        "coalesced_uncached_windows_per_s": total_windows / uncached_s,
+        "coalesced_cached_windows_per_s": total_windows / cached_s,
+        "cache_speedup": cache_speedup,
+        "transport_batch_s": transport_s,
+        "transport_windows_per_s": total_windows / transport_s,
+        "inprocess_batch_s": inprocess_s,
+        "inprocess_windows_per_s": total_windows / inprocess_s,
+        "transport_overhead_factor": transport_s / inprocess_s,
+        "identical_decisions": True,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print()
+    print(
+        f"coalesced, rebuild every flush: {total_windows} windows in "
+        f"{uncached_s * 1e3:.1f} ms ({total_windows / uncached_s:,.0f} windows/s)"
+    )
+    print(
+        f"coalesced, warm stack cache   : {total_windows} windows in "
+        f"{cached_s * 1e3:.1f} ms ({total_windows / cached_s:,.0f} windows/s)"
+    )
+    print(
+        f"cache speedup                 : {cache_speedup:.2f}x "
+        f"(bar: >= {REQUIRED_CACHE_SPEEDUP}x)"
+    )
+    print(
+        f"HTTP transport (one batch)    : {total_windows} windows in "
+        f"{transport_s * 1e3:.1f} ms ({total_windows / transport_s:,.0f} windows/s; "
+        f"{transport_s / inprocess_s:.1f}x the in-process dispatch)  "
+        f"-> {RESULT_PATH.name}"
+    )
+
+    assert cache_speedup >= REQUIRED_CACHE_SPEEDUP, (
+        f"fused-stack cache only {cache_speedup:.3f}x faster than rebuilding "
+        f"every flush (required {REQUIRED_CACHE_SPEEDUP}x)"
+    )

@@ -1,15 +1,16 @@
-"""Fleet-scale serving: 500 users through the typed service front door.
+"""Fleet-scale serving over HTTP: 500 users through the wire protocol.
 
 Where the other examples drive a single user through the sensor-accurate
 paper pipeline, this one exercises the ``repro.service`` subsystem end to
-end: a 500-user fleet is enrolled into a sharded ring-buffer feature store,
-each user's per-context models are trained in the simulated cloud and
-published to the versioned model registry, and the whole fleet then runs
-continuous authentication, masquerade attacks, behavioural drift and
-retraining — every operation a typed protocol request submitted through the
-micro-batching ``ServiceFrontend``, which coalesces each phase's 500
-authenticate requests into a single fused scoring pass and detects every
-window's context server-side with the registry-published detector.
+end **over real sockets**: an HTTP server (``repro.service.transport``)
+exposes the micro-batching ``ServiceFrontend`` at ``POST /v1/requests``,
+and a 500-user fleet runs its whole lifecycle — enrollment into a sharded
+ring-buffer feature store, per-context training published to the versioned
+model registry, continuous authentication, masquerade attacks, behavioural
+drift and retraining — with every protocol request JSON-encoded, sent
+through a ``ServiceClient``, and batch-coalesced into fused scoring passes
+on the server side, where the registry-published detector labels every
+window's context.
 
 Run with::
 
@@ -19,70 +20,69 @@ Run with::
 import numpy as np
 
 from repro.service.fleet import FleetConfig, FleetSimulator
-from repro.service.protocol import (
-    AuthenticateRequest,
-    RollbackRequest,
-    dumps_request,
-    loads_request,
-)
+from repro.service.protocol import AuthenticateRequest, RollbackRequest
+from repro.service.transport import ServiceClient, ServiceHTTPServer
 
 
 def main() -> None:
-    # 1. Configure and run the full lifecycle for a 500-user fleet.  Every
-    #    phase issues protocol requests through the micro-batching frontend;
-    #    authentication requests carry no device-reported contexts.
+    # 1. Configure the 500-user fleet, expose its frontend over HTTP on a
+    #    free local port, and point the simulator's request channel at an
+    #    HTTP client: every enroll / authenticate / drift request now
+    #    crosses a real socket through the JSON wire codec.
     config = FleetConfig(n_users=500, seed=7)
     simulator = FleetSimulator(config)
-    print(f"Running the {config.n_users}-user lifecycle "
-          "(enroll -> auth -> attack -> drift -> retrain)...")
-    report = simulator.run()
-    print()
-    print(report.to_text())
+    with ServiceHTTPServer(simulator.frontend) as server:
+        client = ServiceClient(port=server.port)
+        simulator.channel = client
+        print(f"serving the fleet protocol on http://127.0.0.1:{server.port}")
+        print(f"running the {config.n_users}-user lifecycle "
+              "(enroll -> auth -> attack -> drift -> retrain) over HTTP...")
+        report = simulator.run()
+        print()
+        print(report.to_text())
 
-    # 2. The registry keeps every trained version; roll one user back by
-    #    submitting a typed RollbackRequest through the frontend.
-    frontend = simulator.frontend
-    registry = simulator.gateway.registry
-    drifted_user = simulator.users[0]  # drifted, so it has two versions
-    versions = registry.versions(drifted_user.user_id)
-    serving = registry.latest_version(drifted_user.user_id)
-    rollback = frontend.submit(RollbackRequest(user_id=drifted_user.user_id))
-    print()
-    print(f"{drifted_user.user_id}: versions={versions}, was serving v{serving}, "
-          f"rolled back to v{rollback.serving_version}")
+        # 2. The registry keeps every trained version; roll one user back by
+        #    submitting a typed RollbackRequest over the wire.
+        registry = simulator.gateway.registry
+        drifted_user = simulator.users[0]  # drifted, so it has two versions
+        versions = registry.versions(drifted_user.user_id)
+        serving = registry.latest_version(drifted_user.user_id)
+        rollback = client.submit(RollbackRequest(user_id=drifted_user.user_id))
+        print()
+        print(f"{drifted_user.user_id}: versions={versions}, was serving "
+              f"v{serving}, rolled back to v{rollback.serving_version}")
 
-    # 3. Authenticate once more against the rolled-back (pre-drift) model:
-    #    the drifted user's fresh windows should score noticeably worse.
-    #    The request round-trips through the JSON wire codec on the way, as
-    #    it would over a real transport, and the service detects the
-    #    windows' contexts itself (contexts=None).
-    matrix = drifted_user.sample_windows(
-        8, config.window_noise, np.random.default_rng(0), simulator.feature_names
-    )
-    request = loads_request(
-        dumps_request(
+        # 3. Authenticate once more against the rolled-back (pre-drift)
+        #    model: the drifted user's fresh windows should score noticeably
+        #    worse.  The service detects the windows' contexts itself
+        #    (contexts=None) inside the same coalesced pass.
+        matrix = drifted_user.sample_windows(
+            8, config.window_noise, np.random.default_rng(0), simulator.feature_names
+        )
+        response = client.submit(
             AuthenticateRequest(user_id=drifted_user.user_id, features=matrix.values)
         )
-    )
-    response = frontend.submit(request)
-    print(f"post-rollback accept rate on drifted behaviour: "
-          f"{response.accept_rate:.1%} (model v{response.model_version})")
+        print(f"post-rollback accept rate on drifted behaviour: "
+              f"{response.accept_rate:.1%} (model v{response.model_version})")
 
-    # 4. Storage stays bounded no matter how long the fleet runs, and the
-    #    frontend's middleware telemetry lands in the same snapshot as the
-    #    backend counters.
-    stats = simulator.gateway.server.store.stats()
-    print(f"feature store: {stats.n_windows} windows across {stats.n_buffers} "
-          f"ring buffers on {len(stats.windows_per_shard)} shards "
-          f"({stats.total_evicted} old windows evicted)")
-    snapshot = simulator.gateway.snapshot()
-    counters = snapshot["counters"]
-    auth_latency = snapshot["latencies"]["frontend.authenticate"]
-    print(f"frontend: {counters['frontend.requests']} requests, "
-          f"{counters['frontend.coalesced_windows']} windows coalesced into "
-          f"{counters['frontend.coalesced_batches']} batches, "
-          f"{counters['context.detections']} contexts detected server-side, "
-          f"p95 batch latency {auth_latency['p95_s'] * 1e3:.1f} ms")
+        # 4. Storage stays bounded no matter how long the fleet runs, and
+        #    the transport, frontend and backend metrics all land in the one
+        #    snapshot the /metrics endpoint serves.
+        stats = simulator.gateway.server.store.stats()
+        print(f"feature store: {stats.n_windows} windows across {stats.n_buffers} "
+              f"ring buffers on {len(stats.windows_per_shard)} shards "
+              f"({stats.total_evicted} old windows evicted)")
+        snapshot = client.metrics()
+        counters = snapshot["counters"]
+        auth_latency = snapshot["latencies"]["frontend.authenticate"]
+        print(f"transport: {counters['transport.requests']} HTTP exchanges; "
+              f"frontend: {counters['frontend.requests']} requests, "
+              f"{counters['frontend.coalesced_windows']} windows coalesced into "
+              f"{counters['frontend.coalesced_batches']} batches "
+              f"({counters['frontend.stack_cache.hits']} fused-stack cache hits), "
+              f"{counters['context.detections']} contexts detected server-side, "
+              f"p95 batch latency {auth_latency['p95_s'] * 1e3:.1f} ms")
+        client.close()
 
 
 if __name__ == "__main__":

@@ -4,6 +4,13 @@ The detector classifies each window as *stationary* or *moving* from the
 smartphone feature vector only, using a random forest trained on other
 users' labelled lab data.  Detection runs before authentication so that the
 authenticator can select the matching per-context model.
+
+Training goes through :func:`repro.devices.cloud.fit_context_detector` —
+the same single entry point the cloud server and the service gateway use —
+so the phone-side reproduction and the registry-served detector are always
+products of one factory and one fitting policy.  A detector published to
+(or loaded from) the model registry rehydrates into this class via
+:meth:`ContextDetector.from_parts`.
 """
 
 from __future__ import annotations
@@ -12,9 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devices.cloud import default_context_detector_factory, fit_context_detector
 from repro.features.vector import FeatureMatrix, FeatureVectorSpec
 from repro.ml.base import BaseClassifier
-from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import accuracy_score, confusion_matrix
 from repro.ml.preprocessing import StandardScaler
 from repro.sensors.types import CoarseContext, DeviceType
@@ -70,16 +77,44 @@ class ContextDetector:
         random_state: RandomState = 7,
     ) -> None:
         self.spec = spec or FeatureVectorSpec(devices=(DeviceType.SMARTPHONE,))
-        self.classifier = classifier or RandomForestClassifier(
-            n_estimators=40, max_depth=12, random_state=random_state
-        )
+        self.classifier = classifier or default_context_detector_factory(random_state)
         self.scaler = StandardScaler()
         self._fitted = False
+
+    @classmethod
+    def from_parts(
+        cls,
+        scaler: StandardScaler,
+        classifier: BaseClassifier,
+        spec: FeatureVectorSpec | None = None,
+    ) -> "ContextDetector":
+        """Rehydrate a detector from a fitted ``(scaler, classifier)`` pair.
+
+        The inverse of publication: a detector trained anywhere (the cloud
+        server, the gateway) and stored in the model registry comes back as
+        a ready-to-detect paper-path object.
+
+        Raises
+        ------
+        ValueError
+            If either part is of the wrong type.
+        """
+        if not isinstance(scaler, StandardScaler):
+            raise ValueError("scaler must be a fitted StandardScaler")
+        if not isinstance(classifier, BaseClassifier):
+            raise ValueError("classifier must be a fitted BaseClassifier")
+        detector = cls(spec=spec, classifier=classifier)
+        detector.scaler = scaler
+        detector._fitted = True
+        return detector
 
     # ------------------------------------------------------------------ #
 
     def fit(self, matrix: FeatureMatrix, exclude_user: str | None = None) -> "ContextDetector":
         """Train on labelled phone feature windows.
+
+        Delegates to :func:`repro.devices.cloud.fit_context_detector`, the
+        training entry point shared with the serving path.
 
         Parameters
         ----------
@@ -88,18 +123,19 @@ class ContextDetector:
         exclude_user:
             Optionally exclude one user's rows, making the detector
             user-agnostic with respect to that user.
+
+        Raises
+        ------
+        ValueError
+            If the matrix has no context labels, or fewer than two distinct
+            contexts remain after the exclusion.
         """
-        if not matrix.contexts:
-            raise ValueError("matrix must carry context labels")
-        values = matrix.values
-        labels = np.asarray(matrix.contexts, dtype=object)
-        if exclude_user is not None and matrix.user_ids:
-            keep = np.array([uid != exclude_user for uid in matrix.user_ids])
-            values, labels = values[keep], labels[keep]
-        if len(np.unique(labels)) < 2:
-            raise ValueError("context training data must contain both contexts")
-        self.scaler = StandardScaler().fit(values)
-        self.classifier.fit(self.scaler.transform(values), labels)
+        self.scaler, self.classifier = fit_context_detector(
+            matrix,
+            exclude_user=exclude_user,
+            classifier=self.classifier,
+            require_both_contexts=True,
+        )
         self._fitted = True
         return self
 

@@ -31,6 +31,8 @@ concrete model types live in :mod:`repro.devices.cloud`; the old import path
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
@@ -226,10 +228,170 @@ class BatchScorer:
 # ---------------------------------------------------------------------- #
 
 
+@dataclass(frozen=True)
+class FusedStacks:
+    """The stacked affine parameters of one fused model set.
+
+    One row per fused model, in the canonical (id-sorted) order of the
+    ``rules`` tuple.  Holding the rules themselves keeps them alive for the
+    lifetime of the entry, so an ``id``-based cache key can never be reused
+    by a different rule object while this entry exists.
+
+    Attributes
+    ----------
+    rules:
+        The fused decision rules, id-sorted; the cache key derives from it.
+    mean, scale, x_offset, coef:
+        ``(n_models, n_features)`` parameter matrices (standardisation,
+        centring and projection coefficients, stacked row-wise).
+    y_offset, sign:
+        ``(n_models,)`` projection intercepts and score sign adjustments.
+    accept_nonneg:
+        ``(n_models,)`` boolean accept-threshold orientations.
+    position_by_id:
+        Maps ``id(rule)`` to its row in the stacked matrices, so a flush
+        that uses only a subset of the model set can gather its rows
+        without rebuilding anything.
+    """
+
+    rules: tuple[LinearDecisionRule, ...]
+    mean: np.ndarray
+    scale: np.ndarray
+    x_offset: np.ndarray
+    coef: np.ndarray
+    y_offset: np.ndarray
+    sign: np.ndarray
+    accept_nonneg: np.ndarray
+    position_by_id: dict[int, int]
+
+    @classmethod
+    def build(cls, rules: Sequence[LinearDecisionRule]) -> "FusedStacks":
+        """Stack the parameters of *rules* (assumed already id-sorted)."""
+        return cls(
+            rules=tuple(rules),
+            mean=np.stack([rule.mean for rule in rules]),
+            scale=np.stack([rule.scale for rule in rules]),
+            x_offset=np.stack([rule.x_offset for rule in rules]),
+            coef=np.stack([rule.coef for rule in rules]),
+            y_offset=np.asarray([rule.y_offset for rule in rules]),
+            sign=np.asarray([rule.sign for rule in rules]),
+            accept_nonneg=np.asarray(
+                [rule.accept_on_nonnegative for rule in rules], dtype=bool
+            ),
+            position_by_id={id(rule): index for index, rule in enumerate(rules)},
+        )
+
+
+class FusedStackCache:
+    """LRU cache of :class:`FusedStacks` keyed by the serving model set.
+
+    Rebuilding the stacked parameter matrices on every flush is the dominant
+    cost of a coalesced pass once the einsum itself is cheap (hundreds of
+    small per-rule stacking operations per flush).  A serving frontend that
+    flushes the same fleet repeatedly reuses one entry for as long as the
+    served models do not change: the stacks cover every fusible model the
+    flush's scorers *serve* (not just the ones this flush's detected
+    contexts happened to select), so per-flush context variation still hits.
+
+    The key is the tuple of the rules' ``id``\\ s in canonical (sorted)
+    order — the *serving model-set fingerprint*.  Rules are immutable and
+    memoised per trained model, so a retrain, rollback or ``use_context``
+    flip yields different rule objects and therefore a different key;
+    each entry also holds strong references to its rules, so a key can
+    never be recycled by the allocator while its entry is alive.  Explicit
+    invalidation (:meth:`clear`) is therefore a memory-hygiene hook — the
+    service frontend clears the cache whenever the model registry's
+    generation moves — not a correctness requirement.
+
+    Thread-safe: lookups, inserts, eviction and :meth:`clear` serialize on
+    an internal lock, because the threaded HTTP transport can drive
+    concurrent coalesced flushes for disjoint user sets through one shared
+    cache.  (Entry *construction* happens outside the lock; two racing
+    misses may both build, and the last insert wins — wasted work, never a
+    wrong result, since entries for one key are interchangeable.)
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on distinct model sets kept (least recently used evicted).
+
+    Raises
+    ------
+    ValueError
+        If ``max_entries`` is not positive.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple[int, ...], FusedStacks]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stacks_for(self, rules: Sequence[LinearDecisionRule]) -> FusedStacks:
+        """The stacked parameters of *rules* (assumed id-sorted), cached.
+
+        Returns
+        -------
+        FusedStacks
+            A cached entry when this exact rule set was stacked before,
+            otherwise a freshly built (and now cached) one.
+        """
+        key = tuple(id(rule) for rule in rules)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+        entry = FusedStacks.build(rules)
+        with self._lock:
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every cached entry (hit/miss statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+def _serving_rules(
+    scorers: Sequence[BatchScorer], width: int
+) -> list[LinearDecisionRule]:
+    """Every fusible *width*-column rule served by the distinct scorers.
+
+    Returned id-sorted (the canonical cache order).  Rules of other widths
+    are skipped: they can never score this flush's rows — a *used* model of
+    the wrong width is rejected explicitly before gathering — and stacking
+    them alongside would be a shape error.
+    """
+    rules: dict[int, LinearDecisionRule] = {}
+    seen: set[int] = set()
+    for scorer in scorers:
+        if id(scorer) in seen:
+            continue
+        seen.add(id(scorer))
+        for model in scorer.bundle.models.values():
+            rule = model.decision_rule() if hasattr(model, "decision_rule") else None
+            if rule is not None and rule.coef.shape[-1] == width:
+                rules[id(rule)] = rule
+    return sorted(rules.values(), key=id)
+
+
 def score_requests(
     scorers: Sequence[BatchScorer],
     features_list: Sequence[np.ndarray],
     contexts_list: Sequence[Sequence[CoarseContext]],
+    stack_cache: FusedStackCache | None = None,
 ) -> list[BatchScoreResult]:
     """Score many concurrent authenticate requests in one coalesced pass.
 
@@ -252,7 +414,28 @@ def score_requests(
     the same elementwise standardisation, centering and per-row einsum
     reduction the per-model path performs.
 
-    Returns one :class:`BatchScoreResult` per request, in request order.
+    Parameters
+    ----------
+    scorers, features_list, contexts_list:
+        One entry per concurrent request (equal lengths required).
+    stack_cache:
+        Optional :class:`FusedStackCache`.  When given, the stacked
+        parameter matrices of the fused model set are reused across calls
+        instead of being rebuilt on every flush; results are identical
+        either way because the cached stacks are built from the very same
+        immutable rules.
+
+    Returns
+    -------
+    list[BatchScoreResult]
+        One result per request, in request order.
+
+    Raises
+    ------
+    ValueError
+        If the three sequences disagree in length, a request's features and
+        contexts disagree in length, or a request's feature width does not
+        match its selected model.
     """
     if not (len(scorers) == len(features_list) == len(contexts_list)):
         raise ValueError(
@@ -337,6 +520,14 @@ def score_requests(
             scores[rows], accepted[rows] = model.batch_decisions(stacked[rows])
 
     if fused_rules:
+        if stack_cache is not None:
+            # Stack the whole serving model set, not just this flush's used
+            # subset: the fingerprint then survives per-flush variation in
+            # which contexts the windows resolved to, so repeated fleet
+            # flushes keep hitting one entry until the served models change.
+            stacks = stack_cache.stacks_for(_serving_rules(scorers, stacked.shape[1]))
+        else:
+            stacks = FusedStacks.build(fused_rules)
         # One parameter row per model, gathered out to one row per window:
         # the whole fleet batch then reduces in a single einsum.  Each
         # elementwise operation matches the per-model path exactly
@@ -346,16 +537,19 @@ def score_requests(
         lengths = np.fromiter(
             (len(rows) for rows in fused_rows), dtype=int, count=len(fused_rows)
         )
-        gather = np.repeat(np.arange(len(fused_rules)), lengths)
-        mean = np.stack([rule.mean for rule in fused_rules])[gather]
-        scale = np.stack([rule.scale for rule in fused_rules])[gather]
-        x_offset = np.stack([rule.x_offset for rule in fused_rules])[gather]
-        coef = np.stack([rule.coef for rule in fused_rules])[gather]
-        y_offset = np.asarray([rule.y_offset for rule in fused_rules])[gather]
-        sign = np.asarray([rule.sign for rule in fused_rules])[gather]
-        accept_nonneg = np.asarray(
-            [rule.accept_on_nonnegative for rule in fused_rules], dtype=bool
-        )[gather]
+        gather = np.repeat(
+            np.asarray(
+                [stacks.position_by_id[id(rule)] for rule in fused_rules], dtype=int
+            ),
+            lengths,
+        )
+        mean = stacks.mean[gather]
+        scale = stacks.scale[gather]
+        x_offset = stacks.x_offset[gather]
+        coef = stacks.coef[gather]
+        y_offset = stacks.y_offset[gather]
+        sign = stacks.sign[gather]
+        accept_nonneg = stacks.accept_nonneg[gather]
         centred = (stacked[row_index] - mean) / scale - x_offset
         raw = np.einsum("ij,ij->i", centred, coef) + y_offset
         scores[row_index] = sign * raw

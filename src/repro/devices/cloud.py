@@ -194,6 +194,78 @@ def default_classifier_factory() -> BaseClassifier:
     return KernelRidgeClassifier(ridge=1.0, kernel="linear", solver="auto")
 
 
+def default_context_detector_factory(random_state: RandomState = 7) -> BaseClassifier:
+    """The paper's user-agnostic context detector: a Section V-E random forest.
+
+    The single source of the detector configuration — the paper-path
+    :class:`~repro.core.context.ContextDetector`, this cloud server and the
+    service gateway all build their detector from this factory, so the
+    model a phone would run and the model the registry serves can never
+    silently diverge.
+    """
+    return RandomForestClassifier(n_estimators=40, max_depth=12, random_state=random_state)
+
+
+def fit_context_detector(
+    matrix: FeatureMatrix,
+    exclude_user: str | None = None,
+    classifier: BaseClassifier | None = None,
+    require_both_contexts: bool = False,
+) -> tuple[StandardScaler, BaseClassifier]:
+    """Train a user-agnostic context detector; the ONE training entry point.
+
+    Both the paper path (:meth:`repro.core.context.ContextDetector.fit`)
+    and the serving path (:meth:`AuthenticationServer.train_context_detector`,
+    published to the registry by the gateway) delegate here, so scaling and
+    fitting policy cannot drift between the phone-side reproduction and the
+    fleet service.
+
+    Parameters
+    ----------
+    matrix:
+        Labelled context feature windows (``matrix.contexts`` holds the
+        ground-truth coarse context per row).
+    exclude_user:
+        Optionally leave one user's rows out, so the detector used for a
+        given user was trained only on *other* users' data (the paper's
+        user-agnostic protocol).
+    classifier:
+        Unfitted detector classifier; defaults to
+        :func:`default_context_detector_factory`.
+    require_both_contexts:
+        When true, reject training data whose remaining rows cover fewer
+        than two distinct contexts (the paper path's policy: a detector
+        that has only ever seen one context cannot discriminate).
+
+    Returns
+    -------
+    tuple[StandardScaler, BaseClassifier]
+        The fitted scaler and classifier pair.
+
+    Raises
+    ------
+    ValueError
+        If the matrix carries no context labels, no training rows remain
+        after the exclusion, or (with ``require_both_contexts``) only one
+        distinct context remains.
+    """
+    if not matrix.contexts:
+        raise ValueError("matrix must carry context labels")
+    values = matrix.values
+    labels = np.asarray(matrix.contexts, dtype=object)
+    if exclude_user is not None and matrix.user_ids:
+        keep = np.array([uid != exclude_user for uid in matrix.user_ids])
+        values, labels = values[keep], labels[keep]
+    if len(values) == 0:
+        raise ValueError("no training rows left for the context detector")
+    if require_both_contexts and len(np.unique(labels)) < 2:
+        raise ValueError("context training data must contain both contexts")
+    scaler = StandardScaler().fit(values)
+    detector = classifier if classifier is not None else default_context_detector_factory()
+    detector.fit(scaler.transform(values), labels)
+    return scaler, detector
+
+
 class AuthenticationServer:
     """The trusted cloud server running the training module.
 
@@ -233,8 +305,8 @@ class AuthenticationServer:
         if max_other_users_windows < 1:
             raise ValueError("max_other_users_windows must be >= 1")
         self.classifier_factory = classifier_factory
-        self.context_detector_factory = context_detector_factory or (
-            lambda: RandomForestClassifier(n_estimators=40, max_depth=12, random_state=7)
+        self.context_detector_factory = (
+            context_detector_factory or default_context_detector_factory
         )
         self.max_other_users_windows = max_other_users_windows
         self._seed = seed
@@ -323,6 +395,11 @@ class AuthenticationServer:
     ) -> BaseClassifier:
         """Train the user-agnostic context detector from labelled windows.
 
+        Delegates to :func:`fit_context_detector` — the same entry point
+        the paper-path :class:`~repro.core.context.ContextDetector` trains
+        through — with this server's ``context_detector_factory`` supplying
+        the unfitted classifier.
+
         Parameters
         ----------
         matrix:
@@ -332,25 +409,55 @@ class AuthenticationServer:
             Optionally leave one user's rows out, so the detector used for a
             given user was trained only on *other* users' data (the paper's
             user-agnostic protocol).
+
+        Returns
+        -------
+        BaseClassifier
+            The fitted detector (also retained for
+            :meth:`download_context_detector`).
+
+        Raises
+        ------
+        ValueError
+            If the matrix carries no context labels, or no rows remain
+            after the exclusion.
         """
-        if not matrix.contexts:
-            raise ValueError("matrix must carry context labels")
-        values = matrix.values
-        labels = np.asarray(matrix.contexts, dtype=object)
-        if exclude_user is not None and matrix.user_ids:
-            keep = np.array([uid != exclude_user for uid in matrix.user_ids])
-            values, labels = values[keep], labels[keep]
-        if len(values) == 0:
-            raise ValueError("no training rows left for the context detector")
-        scaler = StandardScaler().fit(values)
-        detector = self.context_detector_factory()
-        detector.fit(scaler.transform(values), labels)
+        scaler, detector = fit_context_detector(
+            matrix, exclude_user=exclude_user, classifier=self.context_detector_factory()
+        )
         self._context_detector = detector
         self._context_scaler = scaler
         return detector
 
+    def install_context_detector(
+        self, scaler: StandardScaler, classifier: BaseClassifier
+    ) -> None:
+        """Adopt an externally trained ``(scaler, classifier)`` detector pair.
+
+        Lets the service gateway train a detector through the paper-path
+        :class:`~repro.core.context.ContextDetector` (or rehydrate one from
+        the registry) and make this server serve exactly that model.
+
+        Raises
+        ------
+        ValueError
+            If either part is of the wrong type.
+        """
+        if not isinstance(scaler, StandardScaler):
+            raise ValueError("scaler must be a fitted StandardScaler")
+        if not isinstance(classifier, BaseClassifier):
+            raise ValueError("classifier must be a fitted BaseClassifier")
+        self._context_scaler = scaler
+        self._context_detector = classifier
+
     def download_context_detector(self) -> tuple[StandardScaler, BaseClassifier]:
-        """Return the trained context detector for deployment on a phone."""
+        """Return the trained context detector for deployment on a phone.
+
+        Raises
+        ------
+        RuntimeError
+            If no detector has been trained or installed yet.
+        """
         if self._context_detector is None or self._context_scaler is None:
             raise RuntimeError("the context detector has not been trained yet")
         return self._context_scaler, self._context_detector

@@ -6,10 +6,16 @@ but absent from the paper's prototype:
 
 * :mod:`repro.service.protocol` — typed request/response dataclasses with a
   lossless JSON wire codec (the transport-agnostic service contract);
+* :mod:`repro.service.transport` — the HTTP transport actually speaking
+  that codec over sockets: a stdlib threaded server exposing
+  ``POST /v1/requests`` (+ ``/healthz``, ``/metrics``) and a
+  connection-reusing client with batch submit;
 * :mod:`repro.service.frontend` — the micro-batching front door: validates,
   routes and coalesces concurrent authenticate requests into single
-  vectorized scoring passes, with telemetry / error-mapping / per-user
-  serialization middleware;
+  vectorized scoring passes (reusing fused parameter stacks across flushes
+  via :class:`~repro.core.scoring.FusedStackCache`), with telemetry /
+  error-mapping / per-user serialization middleware and admission-controlled
+  queuing (:class:`~repro.service.frontend.MicroBatchQueue`);
 * :mod:`repro.service.gateway` — the backend dispatcher executing protocol
   requests against storage, training, registry and scoring;
 * :mod:`repro.service.registry` — a versioned model registry that persists
@@ -33,11 +39,12 @@ package imports eagerly: no lazy-import workarounds remain.
 from repro.core.scoring import (
     BatchScorer,
     BatchScoreResult,
+    FusedStackCache,
     score_fleet,
     score_requests,
 )
 from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer, StoreStats
-from repro.service.fleet import FleetConfig, FleetReport, FleetSimulator
+from repro.service.fleet import FleetConfig, FleetReport, FleetSimulator, RequestChannel
 from repro.service.frontend import MicroBatchQueue, ServiceFrontend
 from repro.service.gateway import AuthenticationGateway
 from repro.service.protocol import (
@@ -52,9 +59,11 @@ from repro.service.protocol import (
     RollbackResponse,
     SnapshotRequest,
     SnapshotResponse,
+    ThrottledResponse,
 )
 from repro.service.registry import ModelRecord, ModelRegistry
 from repro.service.telemetry import Counter, LatencyRecorder, TelemetryHub
+from repro.service.transport import ServiceClient, ServiceHTTPServer
 
 __all__ = [
     "ANY_CONTEXT",
@@ -73,18 +82,23 @@ __all__ = [
     "FleetConfig",
     "FleetReport",
     "FleetSimulator",
+    "FusedStackCache",
     "LatencyRecorder",
     "MicroBatchQueue",
     "ModelRecord",
     "ModelRegistry",
+    "RequestChannel",
     "RingBuffer",
     "RollbackRequest",
     "RollbackResponse",
+    "ServiceClient",
     "ServiceFrontend",
+    "ServiceHTTPServer",
     "SnapshotRequest",
     "SnapshotResponse",
     "StoreStats",
     "TelemetryHub",
+    "ThrottledResponse",
     "score_fleet",
     "score_requests",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -39,10 +40,30 @@ from repro.service.protocol import (
     DriftReport,
     EnrollRequest,
     ErrorResponse,
+    Request,
     Response,
 )
 from repro.service.registry import ModelRegistry
 from repro.utils.rng import RandomState, derive_rng
+
+
+@runtime_checkable
+class RequestChannel(Protocol):
+    """Anything protocol requests can be submitted through.
+
+    Satisfied by the in-process
+    :class:`~repro.service.frontend.ServiceFrontend` and by the HTTP
+    :class:`~repro.service.transport.ServiceClient`, so the fleet lifecycle
+    runs identically in process and over real sockets.
+    """
+
+    def submit(self, request: Request) -> Response:
+        """Dispatch one protocol request."""
+        ...
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Response]:
+        """Dispatch a batch of protocol requests, responses in order."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -210,13 +231,39 @@ def _expect(response: Response) -> Response:
 
 
 class FleetSimulator:
-    """Runs the full multi-user lifecycle through the service front door."""
+    """Runs the full multi-user lifecycle through the service front door.
+
+    Parameters
+    ----------
+    config:
+        Scale and behaviour knobs (a default 500-user config when omitted).
+    gateway:
+        Optional pre-configured backend gateway; created when omitted.
+    frontend:
+        Optional pre-configured frontend; must wrap *gateway* when both are
+        given.
+    channel:
+        Optional :class:`RequestChannel` every protocol request is
+        submitted through instead of the in-process frontend — e.g. an
+        HTTP :class:`~repro.service.transport.ServiceClient` pointed at a
+        :class:`~repro.service.transport.ServiceHTTPServer` wrapping this
+        simulator's frontend, which runs the whole lifecycle over real
+        sockets.  Training rounds and registry queries still go through
+        the local *gateway* (the simulator is the operator, not a device),
+        so the gateway must be the same one the remote channel serves.
+
+    Raises
+    ------
+    ValueError
+        If *gateway* and *frontend* disagree.
+    """
 
     def __init__(
         self,
         config: FleetConfig | None = None,
         gateway: AuthenticationGateway | None = None,
         frontend: ServiceFrontend | None = None,
+        channel: RequestChannel | None = None,
     ) -> None:
         self.config = config or FleetConfig()
         if frontend is not None:
@@ -251,6 +298,7 @@ class FleetSimulator:
             )
         self.gateway = gateway
         self.frontend = frontend if frontend is not None else ServiceFrontend(gateway)
+        self.channel: RequestChannel = channel if channel is not None else self.frontend
         self.feature_names = [f"f{i:02d}" for i in range(self.config.n_features)]
         self.users: list[SimulatedUser] = []
 
@@ -305,7 +353,7 @@ class FleetSimulator:
             )
             for user in self.users
         ]
-        for response in self.frontend.submit_many(
+        for response in self.channel.submit_many(
             [
                 EnrollRequest(user_id=user.user_id, matrix=matrix, train=False)
                 for user, matrix in zip(self.users, matrices)
@@ -380,7 +428,7 @@ class FleetSimulator:
             for user in users
         ]
         accepted = total = 0
-        for response in self.frontend.submit_many(
+        for response in self.channel.submit_many(
             self._authenticate_requests(users, matrices)
         ):
             result = _expect(response).result  # type: ignore[union-attr]
@@ -406,7 +454,7 @@ class FleetSimulator:
             for index in range(len(self.users))
         ]
         rejected = total = 0
-        for response in self.frontend.submit_many(
+        for response in self.channel.submit_many(
             self._authenticate_requests(victims, matrices)
         ):
             result = _expect(response).result  # type: ignore[union-attr]
@@ -452,7 +500,7 @@ class FleetSimulator:
             )
             for user in drifted
         ]
-        for response in self.frontend.submit_many(reports):
+        for response in self.channel.submit_many(reports):
             _expect(response)
         after = self.authenticate_fleet(drifted) if drifted else 0.0
         return drifted, before, after

@@ -22,9 +22,18 @@ the responses are fanned back out in request order.  Windows whose requests
 carry no device-reported contexts are labelled inside the same batched pass
 by the registry-published context detector.
 
+The coalesced pass reuses the stacked model parameters across flushes
+through a :class:`~repro.core.scoring.FusedStackCache` keyed by the serving
+model set, invalidated whenever the model registry's generation moves
+(publish / rollback / detector publish).
+
 :class:`MicroBatchQueue` adds the asynchronous variant: concurrent callers
 enqueue single requests and receive futures, while a background worker
-drains the queue into coalesced ``submit_many`` batches.
+drains the queue into coalesced ``submit_many`` batches.  Its admission
+control bounds the pending-request depth, rejecting (with a typed
+:class:`~repro.service.protocol.ThrottledResponse`) or blocking — the
+``overflow`` policy — once the bound is hit, and records every request's
+time-in-queue.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.scoring import score_requests
+from repro.core.scoring import FusedStackCache, score_requests
 from repro.service.gateway import AuthenticationGateway
 from repro.service.protocol import (
     AuthenticateRequest,
@@ -46,6 +55,7 @@ from repro.service.protocol import (
     ErrorResponse,
     Request,
     Response,
+    ThrottledResponse,
     request_kind,
 )
 from repro.service.telemetry import TelemetryHub
@@ -62,15 +72,25 @@ class ServiceFrontend:
     telemetry:
         Optional telemetry hub for frontend metrics; defaults to the
         gateway's hub so frontend and backend metrics land in one snapshot.
+    stack_cache:
+        Optional :class:`~repro.core.scoring.FusedStackCache` reused across
+        coalesced flushes (a fresh one is created when omitted).  The cache
+        is cleared automatically whenever the gateway registry's
+        :attr:`~repro.service.registry.ModelRegistry.generation` moves
+        (publish, rollback, detector publish), so stale stacks never
+        accumulate after a retrain.
     """
 
     def __init__(
         self,
         gateway: AuthenticationGateway | None = None,
         telemetry: TelemetryHub | None = None,
+        stack_cache: FusedStackCache | None = None,
     ) -> None:
         self.gateway = gateway if gateway is not None else AuthenticationGateway()
         self.telemetry = telemetry if telemetry is not None else self.gateway.telemetry
+        self.stack_cache = stack_cache if stack_cache is not None else FusedStackCache()
+        self._stack_generation = self.gateway.registry.generation
         # Weak-valued, so the table stays bounded by *in-flight* users
         # rather than growing one entry per user id ever seen (including
         # attacker-controlled ids that only ever produce ErrorResponses):
@@ -108,7 +128,20 @@ class ServiceFrontend:
     # ------------------------------------------------------------------ #
 
     def submit(self, request: Request) -> Response:
-        """Dispatch one protocol request through the full middleware stack."""
+        """Dispatch one protocol request through the full middleware stack.
+
+        Returns
+        -------
+        Response
+            The request's typed response; backend failures come back as
+            :class:`~repro.service.protocol.ErrorResponse`, they do not
+            raise.
+
+        Raises
+        ------
+        TypeError
+            If *request* is not a protocol request.
+        """
         return self.submit_many([request])[0]
 
     def submit_many(self, requests: Sequence[Request]) -> list[Response]:
@@ -118,6 +151,12 @@ class ServiceFrontend:
         :class:`AuthenticateRequest`\\ s is scored in one coalesced
         vectorized pass.  Each request independently maps to its response
         (or :class:`ErrorResponse`), in the same order as submitted.
+
+        Raises
+        ------
+        TypeError
+            If any entry is not a protocol request (checked up front, so a
+            bad entry never fails its neighbours mid-batch).
         """
         for request in requests:
             request_kind(request)  # raises TypeError on non-protocol input
@@ -233,9 +272,19 @@ class ServiceFrontend:
                 len({features.shape[1] for features in features_list if len(features)})
                 <= 1
             )
+            # A registry change (publish / rollback / detector publish) may
+            # have retired some served models; drop their stacks so the
+            # cache holds only sets that can still be served.
+            generation = self.gateway.registry.generation
+            if generation != self._stack_generation:
+                self.stack_cache.clear()
+                self._stack_generation = generation
+            hits, misses = self.stack_cache.hits, self.stack_cache.misses
             try:
                 with self.telemetry.timer("authenticate"):
-                    results = score_requests(scorers, features_list, contexts_list)
+                    results = score_requests(
+                        scorers, features_list, contexts_list, self.stack_cache
+                    )
             except Exception:
                 coalesced = False
                 results = []
@@ -254,6 +303,12 @@ class ServiceFrontend:
                         )
             if coalesced:
                 self.telemetry.increment("frontend.coalesced_batches")
+            self.telemetry.increment(
+                "frontend.stack_cache.hits", self.stack_cache.hits - hits
+            )
+            self.telemetry.increment(
+                "frontend.stack_cache.misses", self.stack_cache.misses - misses
+            )
             for index, result in zip(live, results):
                 if result is None:
                     continue
@@ -286,22 +341,73 @@ class MicroBatchQueue:
     through :meth:`ServiceFrontend.submit_many`, where consecutive
     authenticate requests coalesce into single vectorized passes.
 
+    **Admission control.**  ``max_depth`` bounds how many accepted requests
+    may be pending at once; without it a slow backend lets callers enqueue
+    unbounded work (and memory).  When the bound is hit, the ``overflow``
+    policy decides what a new submission does:
+
+    * ``"reject"`` (default) — the returned future resolves immediately to
+      a typed :class:`~repro.service.protocol.ThrottledResponse` carrying
+      the queue state and a retry hint; nothing is enqueued.
+    * ``"block"`` — the submitting thread waits until the worker drains a
+      slot (or the queue stops, which raises ``RuntimeError``), applying
+      backpressure to the caller instead of the queue.
+
+    Every dispatched request's time-in-queue lands in the frontend
+    telemetry's ``frontend.queue_wait`` latency recorder; rejections count
+    in the ``frontend.throttled`` counter.
+
     Use as a context manager, or call :meth:`start`/:meth:`stop`.
+
+    Parameters
+    ----------
+    frontend:
+        The frontend whose :meth:`~ServiceFrontend.submit_many` dispatches
+        each drained slice (and whose telemetry hub records queue metrics).
+    max_batch:
+        Most requests dispatched in one slice (>= 1).
+    max_delay_s:
+        Longest the worker waits after the first pending request before
+        dispatching a partial slice (>= 0).
+    max_depth:
+        Bound on pending (accepted but not yet dispatched) requests;
+        ``None`` (default) keeps the queue unbounded.
+    overflow:
+        ``"reject"`` or ``"block"`` — what :meth:`submit` does when
+        ``max_depth`` pending requests already wait.
+
+    Raises
+    ------
+    ValueError
+        If any knob is out of range or ``overflow`` names no policy.
     """
+
+    #: Valid ``overflow`` policies.
+    OVERFLOW_POLICIES = ("reject", "block")
 
     def __init__(
         self,
         frontend: ServiceFrontend,
         max_batch: int = 256,
         max_delay_s: float = 0.005,
+        max_depth: int | None = None,
+        overflow: str = "reject",
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay_s < 0.0:
             raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 (or None), got {max_depth}")
+        if overflow not in self.OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {self.OVERFLOW_POLICIES}, got {overflow!r}"
+            )
         self.frontend = frontend
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
+        self.max_depth = max_depth
+        self.overflow = overflow
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._worker: threading.Thread | None = None
         # submit() enqueues under this lock and stop() flips _closed under
@@ -309,7 +415,18 @@ class MicroBatchQueue:
         # ordered ahead of the sentinel and gets processed — a concurrent
         # submit/stop race can never strand a future unresolved.
         self._submit_guard = threading.Lock()
+        # Pending-request count, guarded by its own condition: the worker
+        # decrements (and wakes blocked submitters) without ever touching
+        # the submit guard, which stop() holds while joining the worker.
+        self._depth_cond = threading.Condition()
+        self._depth = 0
         self._closed = True
+
+    @property
+    def depth(self) -> int:
+        """Accepted requests still waiting to be dispatched."""
+        with self._depth_cond:
+            return self._depth
 
     # ------------------------------------------------------------------ #
 
@@ -342,6 +459,10 @@ class MicroBatchQueue:
                 if not self._closed:
                     self._closed = True
                     self._queue.put(_SENTINEL)
+                # Submitters blocked on a full queue must observe the close
+                # and bail out instead of waiting for capacity forever.
+                with self._depth_cond:
+                    self._depth_cond.notify_all()
                 worker.join()
             self._closed = True
             self._worker = None
@@ -359,15 +480,69 @@ class MicroBatchQueue:
 
         Non-protocol objects are rejected here, synchronously, so an
         invalid submission can never reach a batch slice and fail its
-        neighbours' futures.
+        neighbours' futures.  When ``max_depth`` pending requests already
+        wait, the configured ``overflow`` policy applies: ``"reject"``
+        resolves the returned future immediately to a
+        :class:`~repro.service.protocol.ThrottledResponse`, ``"block"``
+        waits for a free slot.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to the request's protocol response (which may be a
+            :class:`~repro.service.protocol.ThrottledResponse` under the
+            reject policy).
+
+        Raises
+        ------
+        TypeError
+            If *request* is not a protocol request.
+        RuntimeError
+            If the queue is not running, or stops while this submission is
+            blocked waiting for capacity.
         """
-        request_kind(request)  # raises TypeError on non-protocol input
-        with self._submit_guard:
-            if self._closed or self._worker is None or not self._worker.is_alive():
-                raise RuntimeError("MicroBatchQueue is not running; call start() first")
-            future: "Future[Response]" = Future()
-            self._queue.put((request, future))
-            return future
+        kind = request_kind(request)  # raises TypeError on non-protocol input
+        while True:
+            with self._submit_guard:
+                if self._closed or self._worker is None or not self._worker.is_alive():
+                    raise RuntimeError(
+                        "MicroBatchQueue is not running; call start() first"
+                    )
+                with self._depth_cond:
+                    if self.max_depth is None or self._depth < self.max_depth:
+                        self._depth += 1
+                        future: "Future[Response]" = Future()
+                        self._queue.put((request, future, monotonic()))
+                        return future
+                    if self.overflow == "reject":
+                        self.frontend.telemetry.increment("frontend.throttled")
+                        throttled: "Future[Response]" = Future()
+                        throttled.set_result(
+                            ThrottledResponse(
+                                request_kind=kind,
+                                reason="queue-full",
+                                queue_depth=self._depth,
+                                max_depth=self.max_depth,
+                                retry_after_s=self.max_delay_s,
+                                user_id=getattr(request, "user_id", None),
+                            )
+                        )
+                        return throttled
+            # Block policy: wait for capacity OUTSIDE the submit guard so a
+            # concurrent stop() (which holds the guard while joining the
+            # worker) can still proceed and wake us up to fail cleanly.
+            with self._depth_cond:
+                self._depth_cond.wait_for(
+                    lambda: self._closed
+                    or self.max_depth is None
+                    or self._depth < self.max_depth
+                )
+
+    def _release_slot(self) -> None:
+        """Free one depth slot and wake a submitter blocked on capacity."""
+        with self._depth_cond:
+            self._depth -= 1
+            self._depth_cond.notify()
 
     def _run(self) -> None:
         stopping = False
@@ -375,6 +550,7 @@ class MicroBatchQueue:
             item = self._queue.get()
             if item is _SENTINEL:
                 break
+            self._release_slot()
             pending = [item]
             deadline = monotonic() + self.max_delay_s
             while len(pending) < self.max_batch:
@@ -388,25 +564,31 @@ class MicroBatchQueue:
                 if item is _SENTINEL:
                     stopping = True
                     break
+                self._release_slot()
                 pending.append(item)
             # Claim every future before dispatching: one that was cancelled
             # while pending is dropped here, and can no longer be cancelled
             # mid-dispatch — so the set_result below cannot raise and kill
             # the worker, stranding the other futures in the slice.
             claimed = [
-                (request, future)
-                for request, future in pending
+                (request, future, enqueued_at)
+                for request, future, enqueued_at in pending
                 if future.set_running_or_notify_cancel()
             ]
             if not claimed:
                 continue
+            drained_at = monotonic()
+            for _, _, enqueued_at in claimed:
+                self.frontend.telemetry.record(
+                    "frontend.queue_wait", drained_at - enqueued_at
+                )
             try:
                 responses = self.frontend.submit_many(
-                    [request for request, _ in claimed]
+                    [request for request, _, _ in claimed]
                 )
             except Exception as error:  # defensive: submit_many maps errors
-                for _, future in claimed:
+                for _, future, _ in claimed:
                     future.set_exception(error)
             else:
-                for (_, future), response in zip(claimed, responses):
+                for (_, future, _), response in zip(claimed, responses):
                     future.set_result(response)

@@ -10,16 +10,18 @@ versioned :class:`~repro.service.registry.ModelRegistry`, per-user cached
 convenience methods (:meth:`enroll`, :meth:`authenticate`, …) are thin
 wrappers that build the protocol request and dispatch it, so the
 per-method API, the micro-batching
-:class:`~repro.service.frontend.ServiceFrontend` and any future transport
-all share one front door.
+:class:`~repro.service.frontend.ServiceFrontend` and the HTTP transport
+(:mod:`repro.service.transport`) all share one front door.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.context import ContextDetector
 from repro.core.scoring import BatchScorer, BatchScoreResult, canonicalize_rows
 from repro.devices.cloud import MIN_WINDOWS_PER_CONTEXT, AuthenticationServer
 from repro.features.vector import FeatureMatrix
@@ -219,22 +221,89 @@ class AuthenticationGateway:
     # ------------------------------------------------------------------ #
 
     def train_context_detector(
-        self, matrix: FeatureMatrix, exclude_user: str | None = None
+        self,
+        matrix: FeatureMatrix | None = None,
+        exclude_user: str | None = None,
+        detector: ContextDetector | None = None,
     ) -> int:
-        """Train the user-agnostic context detector and publish it.
+        """Train (or adopt) the user-agnostic context detector and publish it.
 
-        The trained ``(scaler, classifier)`` pair is published to the model
-        registry, versioned exactly like authentication bundles, so every
-        serving path — gateway and micro-batching frontend alike — scores
-        detection from the registry instead of trusting device-reported
-        contexts.  Returns the published detector version.
+        Training runs through the single shared entry point
+        (:func:`repro.devices.cloud.fit_context_detector`) the paper-path
+        :class:`~repro.core.context.ContextDetector` uses, so what the
+        registry serves is exactly what the phone-side reproduction would
+        run.  The trained ``(scaler, classifier)`` pair is installed on the
+        cloud server and published to the model registry, versioned exactly
+        like authentication bundles, so every serving path — gateway and
+        micro-batching frontend alike — scores detection from the registry
+        instead of trusting device-reported contexts.
+
+        Parameters
+        ----------
+        matrix:
+            Labelled context windows to train from (required unless a
+            pre-fitted *detector* is supplied).
+        exclude_user:
+            Optionally leave one user's rows out of training.
+        detector:
+            A pre-fitted paper-path detector to publish verbatim instead
+            of training a new one.
+
+        Returns
+        -------
+        int
+            The published detector version.
+
+        Raises
+        ------
+        ValueError
+            If neither *matrix* nor a fitted *detector* is supplied (or
+            both are), or training data is unusable.
         """
+        if (matrix is None) == (detector is None):
+            raise ValueError(
+                "pass exactly one of matrix (train a detector) or detector "
+                "(publish a pre-fitted one)"
+            )
         with self.telemetry.timer("train_context_detector"):
-            self.server.train_context_detector(matrix, exclude_user=exclude_user)
-            scaler, classifier = self.server.download_context_detector()
+            if detector is not None:
+                if not detector._fitted:
+                    raise ValueError("detector must be fitted before publication")
+                # Publish a snapshot, not the live objects: refitting the
+                # caller's detector later must not mutate the immutable
+                # published version (fit_context_detector refits the SAME
+                # classifier instance in place).
+                scaler = copy.deepcopy(detector.scaler)
+                classifier = copy.deepcopy(detector.classifier)
+                self.server.install_context_detector(scaler, classifier)
+            else:
+                self.server.train_context_detector(matrix, exclude_user=exclude_user)
+                scaler, classifier = self.server.download_context_detector()
             version = self.registry.publish_context_detector(scaler, classifier)
         self.telemetry.increment("context.detector_versions")
         return version
+
+    def context_detector(self, version: int | None = None) -> ContextDetector:
+        """The served detector, rehydrated as a paper-path object.
+
+        The returned detector holds *copies* of the published parts, so
+        refitting it (e.g. to experiment on a phone-side variant) can
+        never mutate the immutable registry version it came from.
+
+        Parameters
+        ----------
+        version:
+            A specific published detector version (default: the newest).
+
+        Raises
+        ------
+        KeyError
+            If no context detector has been published.
+        """
+        scaler, classifier = self.registry.context_detector(version)
+        return ContextDetector.from_parts(
+            copy.deepcopy(scaler), copy.deepcopy(classifier)
+        )
 
     def detect_contexts(self, features: np.ndarray) -> tuple[CoarseContext, ...]:
         """Detect each row's coarse context with the registry-served detector.

@@ -5,8 +5,9 @@ types — one per operation a device fleet can issue — plus matching response
 types, with a lossless JSON wire codec mirroring the model registry's
 bundle format (NumPy arrays tagged with their dtype, enums stored by
 value).  Keeping the protocol transport-agnostic means the in-process
-:class:`~repro.service.frontend.ServiceFrontend`, a future HTTP/RPC layer,
-and the test-suite all share one contract:
+:class:`~repro.service.frontend.ServiceFrontend`, the HTTP transport
+(:mod:`repro.service.transport`), and the test-suite all share one
+contract:
 
 * :class:`EnrollRequest` — upload feature windows (optionally training);
 * :class:`AuthenticateRequest` — score windows against the served model;
@@ -209,6 +210,40 @@ class SnapshotResponse:
 
 
 @dataclass(frozen=True)
+class ThrottledResponse:
+    """A request rejected by admission control before it was dispatched.
+
+    Emitted by the micro-batching queue when its bounded depth is exhausted
+    under the ``"reject"`` overflow policy, and mapped to HTTP 429 by the
+    transport.  Unlike :class:`ErrorResponse` this is not a failure of the
+    request itself: retrying after ``retry_after_s`` is expected to succeed
+    once the backlog drains.
+
+    Attributes
+    ----------
+    request_kind:
+        The wire kind of the throttled request (e.g. ``"authenticate"``).
+    reason:
+        Why admission was refused (currently always ``"queue-full"``).
+    queue_depth:
+        Pending requests at the moment of rejection.
+    max_depth:
+        The queue's configured admission bound.
+    retry_after_s:
+        Suggested client back-off before retrying, in seconds.
+    user_id:
+        The requesting user, when the request carried one.
+    """
+
+    request_kind: str
+    reason: str
+    queue_depth: int
+    max_depth: int
+    retry_after_s: float = 0.0
+    user_id: str | None = None
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """A failed request, mapped from the exception that rejected it.
 
@@ -236,6 +271,7 @@ Response = (
     | DriftResponse
     | RollbackResponse
     | SnapshotResponse
+    | ThrottledResponse
     | ErrorResponse
 )
 
@@ -257,6 +293,7 @@ _RESPONSE_KINDS: dict[type, str] = {
     DriftResponse: "drift-response",
     RollbackResponse: "rollback-response",
     SnapshotResponse: "snapshot-response",
+    ThrottledResponse: "throttled-response",
     ErrorResponse: "error-response",
 }
 
@@ -333,35 +370,58 @@ def request_to_payload(request: Request) -> dict[str, Any]:
 
 
 def request_from_payload(payload: Mapping[str, Any]) -> Request:
-    """Rebuild a protocol request from :func:`request_to_payload` output."""
+    """Rebuild a protocol request from :func:`request_to_payload` output.
+
+    Unknown payload keys are ignored (a tolerant reader lets newer clients
+    talk to older servers); unknown or missing ``kind`` values, and missing
+    required fields, are not.
+
+    Raises
+    ------
+    ValueError
+        If *payload* is not a mapping, its ``kind`` names no request type,
+        a required field for the tagged kind is missing, or a field fails
+        the request's own validation.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(
+            f"payload must be a mapping, got {type(payload).__name__}"
+        )
     kind = payload.get("kind")
-    if kind == "enroll":
-        return EnrollRequest(
-            user_id=payload["user_id"],
-            matrix=_matrix_from_payload(payload["matrix"]),
-            train=payload.get("train"),
-        )
-    if kind == "authenticate":
-        contexts = payload.get("contexts")
-        return AuthenticateRequest(
-            user_id=payload["user_id"],
-            features=np.asarray(payload["features"], dtype=float),
-            contexts=(
-                None
-                if contexts is None
-                else tuple(CoarseContext(value) for value in contexts)
-            ),
-            version=payload.get("version"),
-        )
-    if kind == "drift-report":
-        return DriftReport(
-            user_id=payload["user_id"],
-            matrix=_matrix_from_payload(payload["matrix"]),
-        )
-    if kind == "rollback":
-        return RollbackRequest(user_id=payload["user_id"])
-    if kind == "snapshot":
-        return SnapshotRequest()
+    try:
+        if kind == "enroll":
+            return EnrollRequest(
+                user_id=payload["user_id"],
+                matrix=_matrix_from_payload(payload["matrix"]),
+                train=payload.get("train"),
+            )
+        if kind == "authenticate":
+            contexts = payload.get("contexts")
+            return AuthenticateRequest(
+                user_id=payload["user_id"],
+                features=np.asarray(payload["features"], dtype=float),
+                contexts=(
+                    None
+                    if contexts is None
+                    else tuple(CoarseContext(value) for value in contexts)
+                ),
+                version=payload.get("version"),
+            )
+        if kind == "drift-report":
+            return DriftReport(
+                user_id=payload["user_id"],
+                matrix=_matrix_from_payload(payload["matrix"]),
+            )
+        if kind == "rollback":
+            return RollbackRequest(user_id=payload["user_id"])
+        if kind == "snapshot":
+            return SnapshotRequest()
+    except KeyError as error:
+        # A missing field is a malformed payload (the sender's fault), not
+        # a missing resource: surface it as the parser's ValueError.
+        raise ValueError(
+            f"{kind!r} payload is missing required field {error.args[0]!r}"
+        ) from None
     raise ValueError(f"payload does not describe a protocol request: kind={kind!r}")
 
 
@@ -394,6 +454,15 @@ def response_to_payload(response: Response) -> dict[str, Any]:
         )
     elif isinstance(response, SnapshotResponse):
         payload.update(snapshot=response.snapshot)
+    elif isinstance(response, ThrottledResponse):
+        payload.update(
+            request_kind=response.request_kind,
+            reason=response.reason,
+            queue_depth=int(response.queue_depth),
+            max_depth=int(response.max_depth),
+            retry_after_s=float(response.retry_after_s),
+            user_id=response.user_id,
+        )
     elif isinstance(response, ErrorResponse):
         payload.update(
             request_kind=response.request_kind,
@@ -405,8 +474,28 @@ def response_to_payload(response: Response) -> dict[str, Any]:
 
 
 def response_from_payload(payload: Mapping[str, Any]) -> Response:
-    """Rebuild a protocol response from :func:`response_to_payload` output."""
+    """Rebuild a protocol response from :func:`response_to_payload` output.
+
+    Raises
+    ------
+    ValueError
+        If *payload* is not a mapping, its ``kind`` names no response type,
+        or a required field for the tagged kind is missing.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(
+            f"payload must be a mapping, got {type(payload).__name__}"
+        )
     kind = payload.get("kind")
+    try:
+        return _response_from_tagged_payload(kind, payload)
+    except KeyError as error:
+        raise ValueError(
+            f"{kind!r} payload is missing required field {error.args[0]!r}"
+        ) from None
+
+
+def _response_from_tagged_payload(kind: Any, payload: Mapping[str, Any]) -> Response:
     if kind == "enroll-response":
         model_version = payload.get("model_version")
         return EnrollResponse(
@@ -433,6 +522,15 @@ def response_from_payload(payload: Mapping[str, Any]) -> Response:
         )
     if kind == "snapshot-response":
         return SnapshotResponse(snapshot=dict(payload.get("snapshot", {})))
+    if kind == "throttled-response":
+        return ThrottledResponse(
+            request_kind=payload["request_kind"],
+            reason=payload["reason"],
+            queue_depth=int(payload["queue_depth"]),
+            max_depth=int(payload["max_depth"]),
+            retry_after_s=float(payload.get("retry_after_s", 0.0)),
+            user_id=payload.get("user_id"),
+        )
     if kind == "error-response":
         return ErrorResponse(
             request_kind=payload["request_kind"],
@@ -444,20 +542,46 @@ def response_from_payload(payload: Mapping[str, Any]) -> Response:
 
 
 def dumps_request(request: Request) -> str:
-    """Serialise a request to its JSON wire form."""
+    """Serialise a request to its JSON wire form.
+
+    Raises
+    ------
+    TypeError
+        If *request* is not a protocol request.
+    """
     return serialization.dumps(request_to_payload(request))
 
 
 def loads_request(text: str) -> Request:
-    """Parse a request from its JSON wire form."""
+    """Parse a request from its JSON wire form.
+
+    Raises
+    ------
+    ValueError
+        If *text* is not JSON (``json.JSONDecodeError`` is a subclass) or
+        does not describe a protocol request.
+    """
     return request_from_payload(serialization.loads(text))
 
 
 def dumps_response(response: Response) -> str:
-    """Serialise a response to its JSON wire form."""
+    """Serialise a response to its JSON wire form.
+
+    Raises
+    ------
+    TypeError
+        If *response* is not a protocol response.
+    """
     return serialization.dumps(response_to_payload(response))
 
 
 def loads_response(text: str) -> Response:
-    """Parse a response from its JSON wire form."""
+    """Parse a response from its JSON wire form.
+
+    Raises
+    ------
+    ValueError
+        If *text* is not JSON (``json.JSONDecodeError`` is a subclass) or
+        does not describe a protocol response.
+    """
     return response_from_payload(serialization.loads(text))

@@ -261,6 +261,19 @@ class ModelRegistry:
         # like authentication bundles, so the serving path can score context
         # detection from the registry instead of trusting device reports.
         self._detectors: dict[int, tuple[StandardScaler, BaseClassifier]] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of serving-state changes.
+
+        Bumped by every :meth:`publish`, :meth:`publish_context_detector`,
+        :meth:`rollback` and :meth:`load` that changed what the registry
+        serves.  Caches keyed on the served model set (the frontend's
+        fused-stack cache, the gateway's scorer cache) compare generations
+        to decide when to invalidate without subscribing to every mutation.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------ #
     # publishing
@@ -308,6 +321,7 @@ class ModelRegistry:
             serialization.to_json_file(bundle_to_payload(bundle), path)
             record.path = path
         versions[bundle.version] = record
+        self._generation += 1
         return record
 
     # ------------------------------------------------------------------ #
@@ -327,6 +341,7 @@ class ModelRegistry:
             raise ValueError("classifier must be a fitted BaseClassifier")
         version = max(self._detectors, default=0) + 1
         self._detectors[version] = (scaler, classifier)
+        self._generation += 1
         if self.root is not None:
             serialization.to_json_file(
                 detector_to_payload(scaler, classifier, version),
@@ -381,14 +396,26 @@ class ModelRegistry:
         )
 
     def latest_version(self, user_id: str) -> int:
-        """The version :meth:`bundle_for` would serve right now."""
+        """The version :meth:`bundle_for` would serve right now.
+
+        Raises
+        ------
+        KeyError
+            If the user has no active published versions.
+        """
         active = self.active_versions(user_id)
         if not active:
             raise KeyError(f"no active model versions published for {user_id!r}")
         return active[-1]
 
     def record_for(self, user_id: str, version: int | None = None) -> ModelRecord:
-        """The record serving *user_id* (a specific version, or the newest)."""
+        """The record serving *user_id* (a specific version, or the newest).
+
+        Raises
+        ------
+        KeyError
+            If the user (or the requested version) has never been published.
+        """
         if version is None:
             version = self.latest_version(user_id)
         try:
@@ -399,7 +426,13 @@ class ModelRegistry:
             ) from None
 
     def bundle_for(self, user_id: str, version: int | None = None) -> TrainedModelBundle:
-        """The bundle serving *user_id* (a specific version, or the newest)."""
+        """The bundle serving *user_id* (a specific version, or the newest).
+
+        Raises
+        ------
+        KeyError
+            If the user (or the requested version) has never been published.
+        """
         return self.record_for(user_id, version).bundle
 
     def rollback(self, user_id: str) -> ModelRecord:
@@ -407,6 +440,17 @@ class ModelRegistry:
 
         The retired version stays stored (and addressable by explicit
         version number) but is no longer eligible as the serving default.
+
+        Returns
+        -------
+        ModelRecord
+            The record now serving (the previous active version).
+
+        Raises
+        ------
+        ValueError
+            If fewer than two active versions exist — the registry never
+            rolls back to nothing.
         """
         active = self.active_versions(user_id)
         if len(active) < 2:
@@ -415,6 +459,7 @@ class ModelRegistry:
                 f"versions, have {len(active)}"
             )
         self._records[user_id][active[-1]].active = False
+        self._generation += 1
         self._persist_serving_state(user_id)
         return self._records[user_id][active[-2]]
 
@@ -423,10 +468,18 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
 
     def load(self) -> int:
-        """Rehydrate the registry from ``root``; returns bundles loaded.
+        """Rehydrate the registry from ``root``; returns items loaded.
 
         Already-registered (user, version) pairs are left untouched, so
         ``load`` is safe to call on a warm registry.
+
+        Raises
+        ------
+        RuntimeError
+            If this registry was built without a persistence root.
+        ValueError
+            If a payload on disk is malformed or names a class outside the
+            :mod:`repro` package.
         """
         if self.root is None:
             raise RuntimeError("this registry has no persistence root configured")
@@ -465,6 +518,8 @@ class ModelRegistry:
                 record = versions.get(int(version))
                 if record is not None:
                     record.active = False
+        if loaded:
+            self._generation += 1
         return loaded
 
     def roundtrip(self, bundle: TrainedModelBundle) -> TrainedModelBundle:

@@ -1,0 +1,688 @@
+"""HTTP transport for the service protocol (stdlib only, no new deps).
+
+PR 2 made the service API a transport-agnostic typed protocol with a
+lossless JSON wire codec; this module is the first thing that actually
+speaks it over a socket.  A :class:`ServiceHTTPServer` (a
+``ThreadingHTTPServer``) exposes a :class:`~repro.service.frontend.ServiceFrontend`
+on three endpoints:
+
+``POST /v1/requests``
+    The protocol front door.  The body is either **one** wire-encoded
+    request payload (a JSON object) or a **batch** (a JSON array of
+    payloads).  A single request answers with its wire-encoded response and
+    a status code derived from the response type (see
+    :func:`status_for_response`); a batch always answers ``200`` with a
+    JSON array of per-item responses in submission order — each item is
+    individually tagged (``*-response`` / ``error-response`` /
+    ``throttled-response``), so one bad request never poisons its
+    neighbours, exactly as in :meth:`ServiceFrontend.submit_many
+    <repro.service.frontend.ServiceFrontend.submit_many>`.
+
+``GET /healthz``
+    Cheap liveness probe: ``{"status": "ok", ...}`` with uptime and
+    request totals.
+
+``GET /metrics``
+    The full :class:`~repro.service.telemetry.TelemetryHub` snapshot
+    (counters + latency summaries) as JSON.
+
+Single requests are routed through an optional
+:class:`~repro.service.frontend.MicroBatchQueue`, so *concurrent HTTP
+connections* coalesce into fused scoring passes and inherit its admission
+control — a full queue surfaces as a typed
+:class:`~repro.service.protocol.ThrottledResponse` with HTTP 429 and a
+``Retry-After`` header.  Batch arrays bypass the queue (they already are a
+batch) and dispatch straight through ``submit_many``.
+
+The matching :class:`ServiceClient` keeps one persistent HTTP/1.1
+connection per client (re-established transparently after a drop) and
+offers the same ``submit`` / ``submit_many`` API as the in-process
+frontend, so :class:`~repro.service.fleet.FleetSimulator` can run the whole
+lifecycle over real sockets.
+
+Run a server from the command line (see ``docs/serving.md``)::
+
+    PYTHONPATH=src python -m repro.service.transport --port 8414 --demo-fleet 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.client import HTTPConnection, HTTPException
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+from typing import Any, Sequence
+
+from repro.service.frontend import MicroBatchQueue, ServiceFrontend
+from repro.service.protocol import (
+    ErrorResponse,
+    Request,
+    Response,
+    ThrottledResponse,
+    dumps_request,
+    dumps_response,
+    loads_response,
+    request_to_payload,
+    response_from_payload,
+    response_to_payload,
+    request_from_payload,
+)
+from repro.utils import serialization
+
+#: The protocol endpoint every request POSTs to.
+REQUESTS_PATH = "/v1/requests"
+#: Liveness endpoint.
+HEALTH_PATH = "/healthz"
+#: Telemetry endpoint.
+METRICS_PATH = "/metrics"
+
+#: HTTP status for an ErrorResponse, by the exception class that caused it.
+#: KeyError marks a missing resource (unknown user / version / detector);
+#: validation failures are the client's fault; anything else is a server
+#: fault.
+_STATUS_BY_ERROR = {
+    "KeyError": 404,
+    "ValueError": 400,
+    "TypeError": 400,
+    "JSONDecodeError": 400,
+}
+
+
+def status_for_response(response: Response) -> int:
+    """The HTTP status code a single wire response answers with.
+
+    * Success responses → ``200``;
+    * :class:`~repro.service.protocol.ThrottledResponse` → ``429``;
+    * :class:`~repro.service.protocol.ErrorResponse` → ``404`` for missing
+      resources (``KeyError``), ``400`` for validation failures
+      (``ValueError`` / ``TypeError`` / malformed JSON), ``500`` otherwise.
+    """
+    if isinstance(response, ThrottledResponse):
+        return 429
+    if isinstance(response, ErrorResponse):
+        return _STATUS_BY_ERROR.get(response.error, 500)
+    return 200
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP exchanges onto the typed protocol (one instance per request)."""
+
+    # HTTP/1.1 + explicit Content-Length keeps client connections alive, so
+    # a ServiceClient reuses one socket for its whole session.
+    protocol_version = "HTTP/1.1"
+    server: "ServiceHTTPServer"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route per-request logging into telemetry instead of stderr."""
+
+    def _send_json(self, status: int, body: str, headers: dict[str, str] | None = None) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_response(self, response: Response) -> None:
+        headers = {}
+        if isinstance(response, ThrottledResponse):
+            headers["Retry-After"] = str(max(1, round(response.retry_after_s + 0.5)))
+        self._send_json(status_for_response(response), dumps_response(response), headers)
+
+    def _client_error(self, kind: str, error: Exception) -> ErrorResponse:
+        self.server.telemetry.increment("transport.client_errors")
+        return ErrorResponse(
+            request_kind=kind, error=type(error).__name__, message=str(error)
+        )
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == HEALTH_PATH:
+            self._send_json(200, json.dumps(self.server.health(), sort_keys=True))
+        elif self.path == METRICS_PATH:
+            self._send_json(
+                200, serialization.dumps(self.server.telemetry.snapshot())
+            )
+        else:
+            self._send_json(
+                404,
+                dumps_response(
+                    ErrorResponse(
+                        request_kind="transport",
+                        error="KeyError",
+                        message=f"no such endpoint: GET {self.path}",
+                    )
+                ),
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path != REQUESTS_PATH:
+            self._send_json(
+                404,
+                dumps_response(
+                    ErrorResponse(
+                        request_kind="transport",
+                        error="KeyError",
+                        message=f"no such endpoint: POST {self.path}; "
+                        f"protocol requests go to {REQUESTS_PATH}",
+                    )
+                ),
+            )
+            return
+        self.server.telemetry.increment("transport.requests")
+        with self.server.telemetry.timer("transport.request"):
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = serialization.loads(self.rfile.read(length).decode("utf-8"))
+            except Exception as error:  # malformed JSON / encoding
+                self._send_response(self._client_error("transport", error))
+                return
+            if isinstance(payload, list):
+                self._handle_batch(payload)
+            elif isinstance(payload, dict):
+                self._handle_single(payload)
+            else:
+                self._send_response(
+                    self._client_error(
+                        "transport",
+                        TypeError(
+                            "request body must be a wire-encoded request object "
+                            f"or an array of them, got {type(payload).__name__}"
+                        ),
+                    )
+                )
+
+    def _handle_single(self, payload: dict) -> None:
+        kind = str(payload.get("kind", "unknown"))
+        try:
+            request = request_from_payload(payload)
+        except Exception as error:
+            self._send_response(self._client_error(kind, error))
+            return
+        try:
+            response = self.server.dispatch(request)
+        except Exception as error:  # defensive: the frontend maps errors
+            self.server.telemetry.increment("transport.server_errors")
+            response = ErrorResponse(
+                request_kind=kind, error=type(error).__name__, message=str(error)
+            )
+        self._send_response(response)
+
+    def _handle_batch(self, payloads: list) -> None:
+        limit = self.server.max_batch_items
+        if limit is not None and len(payloads) > limit:
+            # Admission control for batch bodies: the micro-batch queue
+            # only bounds single-request submissions, so an unbounded array
+            # would be a trivial way around --max-depth.
+            self.server.telemetry.increment("transport.throttled_batches")
+            self._send_response(
+                ThrottledResponse(
+                    request_kind="batch",
+                    reason="batch-too-large",
+                    queue_depth=len(payloads),
+                    max_depth=limit,
+                    retry_after_s=0.0,
+                )
+            )
+            return
+        responses: list[Response | None] = [None] * len(payloads)
+        requests: list[Request] = []
+        positions: list[int] = []
+        for index, item in enumerate(payloads):
+            try:
+                if not isinstance(item, dict):
+                    raise TypeError(
+                        f"batch item {index} must be a wire-encoded request "
+                        f"object, got {type(item).__name__}"
+                    )
+                requests.append(request_from_payload(item))
+            except Exception as error:
+                kind = str(item.get("kind", "unknown")) if isinstance(item, dict) else "unknown"
+                responses[index] = self._client_error(kind, error)
+            else:
+                positions.append(index)
+        try:
+            dispatched = self.server.dispatch_many(requests)
+        except Exception as error:  # defensive: the frontend maps errors
+            self.server.telemetry.increment("transport.server_errors")
+            dispatched = [
+                ErrorResponse(
+                    request_kind="unknown",
+                    error=type(error).__name__,
+                    message=str(error),
+                )
+                for _ in requests
+            ]
+        for position, response in zip(positions, dispatched):
+            responses[position] = response
+        body = serialization.dumps(
+            [response_to_payload(response) for response in responses]
+        )
+        # A batch always answers 200: each item carries its own outcome
+        # (including error-response / throttled-response), mirroring
+        # submit_many's one-bad-request-never-poisons-the-batch contract.
+        self._send_json(200, body)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Serves a :class:`~repro.service.frontend.ServiceFrontend` over HTTP.
+
+    One handler thread per connection (``ThreadingHTTPServer``); single
+    requests from concurrent connections meet again in the optional
+    micro-batch queue and coalesce into fused scoring passes.
+
+    Parameters
+    ----------
+    frontend:
+        The typed front door to expose (a fresh one, with a fresh gateway,
+        is created when omitted).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    queue:
+        Optional :class:`~repro.service.frontend.MicroBatchQueue` wrapping
+        *frontend*; single-request POSTs are submitted through it, gaining
+        cross-connection coalescing and admission control.  The server
+        starts/stops it together with itself.  Pass ``None`` to dispatch
+        single requests synchronously on the connection thread.
+    max_batch_items:
+        Admission bound on the length of a batch-array POST (the queue's
+        ``max_depth`` only covers single-request bodies); an oversized
+        array answers 429 with a ``batch-too-large``
+        :class:`~repro.service.protocol.ThrottledResponse` before any item
+        is parsed into a typed request.  ``None`` disables the bound.
+
+    Raises
+    ------
+    ValueError
+        If *queue* wraps a different frontend than *frontend*, or
+        ``max_batch_items`` is not positive.
+    OSError
+        If the address cannot be bound.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        frontend: ServiceFrontend | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue: MicroBatchQueue | None = None,
+        max_batch_items: int | None = 4096,
+    ) -> None:
+        self.frontend = frontend if frontend is not None else ServiceFrontend()
+        if queue is not None and queue.frontend is not self.frontend:
+            raise ValueError(
+                "conflicting queue and frontend: the supplied queue wraps a "
+                "different frontend"
+            )
+        if max_batch_items is not None and max_batch_items < 1:
+            raise ValueError(
+                f"max_batch_items must be >= 1 (or None), got {max_batch_items}"
+            )
+        self.queue = queue
+        self.max_batch_items = max_batch_items
+        self.telemetry = self.frontend.telemetry
+        self.started_at = monotonic()
+        self._serve_thread: threading.Thread | None = None
+        super().__init__((host, port), _ServiceRequestHandler)
+
+    # ------------------------------------------------------------------ #
+    # dispatch (shared by single and batch endpoints)
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, request: Request) -> Response:
+        """Dispatch one protocol request (through the queue when attached)."""
+        if self.queue is not None:
+            return self.queue.submit(request).result()
+        return self.frontend.submit(request)
+
+    def dispatch_many(self, requests: Sequence[Request]) -> list[Response]:
+        """Dispatch an already-formed batch straight through the frontend."""
+        if not requests:
+            return []
+        return self.frontend.submit_many(requests)
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` payload: liveness plus coarse service totals."""
+        return {
+            "status": "ok",
+            "uptime_s": monotonic() - self.started_at,
+            "transport_requests": self.telemetry.counter_value("transport.requests"),
+            "frontend_requests": self.telemetry.counter_value("frontend.requests"),
+            "queue_depth": self.queue.depth if self.queue is not None else 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    def serve_background(self) -> "ServiceHTTPServer":
+        """Start serving on a daemon thread; returns ``self`` (idempotent)."""
+        if self.queue is not None:
+            self.queue.start()
+        if self._serve_thread is None or not self._serve_thread.is_alive():
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="service-http-server", daemon=True
+            )
+            self._serve_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving, join the background thread and stop the queue."""
+        super().shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+        if self.queue is not None:
+            self.queue.stop()
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        return self.serve_background()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+class ServiceClient:
+    """Typed protocol client speaking the JSON wire codec over HTTP.
+
+    Presents the same ``submit`` / ``submit_many`` surface as the
+    in-process :class:`~repro.service.frontend.ServiceFrontend`, so any
+    caller of one can be pointed at the other — including
+    :class:`~repro.service.fleet.FleetSimulator`.
+
+    One persistent HTTP/1.1 connection is kept per client and reused across
+    calls (re-established transparently once after a connection drop);
+    calls serialize on an internal lock, so a single client is thread-safe
+    but not concurrent — use one client per thread for parallel load.
+
+    Parameters
+    ----------
+    host, port:
+        The server address (e.g. ``server.port`` of an in-process
+        :class:`ServiceHTTPServer`).
+    timeout_s:
+        Socket timeout for connect/read, in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8414, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._connection: HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # wire plumbing
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drop the persistent connection (a later call reconnects)."""
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _roundtrip(self, method: str, path: str, body: str | None = None) -> str:
+        """One HTTP exchange, reusing (and once re-establishing) the connection.
+
+        Retry policy: a failure while *sending* (connect or write — the
+        server cannot have processed anything) is retried once on a fresh
+        socket for any method; a failure while *reading the response* is
+        retried only for idempotent ``GET``\\ s.  A ``POST`` whose request
+        was transmitted is never re-sent — the server may already have
+        executed a non-idempotent operation (enroll, drift retrain), and a
+        blind replay would duplicate it.
+
+        Raises
+        ------
+        ConnectionError
+            If the server cannot be reached, or a non-idempotent exchange
+            failed after its request may have been processed.
+        """
+        with self._lock:
+            last_error: Exception | None = None
+            for attempt in range(2):
+                if self._connection is None:
+                    self._connection = HTTPConnection(
+                        self.host, self.port, timeout=self.timeout_s
+                    )
+                try:
+                    self._connection.request(
+                        method,
+                        path,
+                        body=None if body is None else body.encode("utf-8"),
+                        headers={"Content-Type": "application/json"},
+                    )
+                except (HTTPException, OSError) as error:
+                    # Send-phase failure (stale keep-alive socket, refused
+                    # connect): nothing reached the server, safe to retry.
+                    last_error = error
+                    self._close_locked()
+                    continue
+                try:
+                    response = self._connection.getresponse()
+                    return response.read().decode("utf-8")
+                except (HTTPException, OSError) as error:
+                    last_error = error
+                    self._close_locked()
+                    if method != "GET":
+                        raise ConnectionError(
+                            f"{method} {path} to {self.host}:{self.port} failed "
+                            f"after the request was sent ({error}); not retrying "
+                            "a possibly-executed non-idempotent operation"
+                        ) from error
+            raise ConnectionError(
+                f"cannot reach service at {self.host}:{self.port}: {last_error}"
+            ) from last_error
+
+    # ------------------------------------------------------------------ #
+    # protocol surface (mirrors ServiceFrontend)
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> Response:
+        """Send one typed request; returns its typed response.
+
+        Transport-level failures (unreachable server, non-protocol body)
+        raise; protocol-level failures come back as typed
+        :class:`~repro.service.protocol.ErrorResponse` /
+        :class:`~repro.service.protocol.ThrottledResponse` values, exactly
+        as from the in-process frontend.
+
+        Raises
+        ------
+        TypeError
+            If *request* is not a protocol request.
+        ConnectionError
+            If the server cannot be reached.
+        ValueError
+            If the server's answer is not a wire-encoded response.
+        """
+        return loads_response(self._roundtrip("POST", REQUESTS_PATH, dumps_request(request)))
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Response]:
+        """Send a batch in one exchange; responses come back in order.
+
+        The server dispatches the array through
+        :meth:`ServiceFrontend.submit_many
+        <repro.service.frontend.ServiceFrontend.submit_many>`, so
+        consecutive authenticate requests coalesce into fused scoring
+        passes on the server side exactly as they would in process.
+
+        Raises
+        ------
+        TypeError
+            If any entry is not a protocol request.
+        ConnectionError
+            If the server cannot be reached.
+        ValueError
+            If the server's answer is not an array of wire responses.
+        """
+        if not requests:
+            return []
+        body = serialization.dumps(
+            [request_to_payload(request) for request in requests]
+        )
+        payload = serialization.loads(self._roundtrip("POST", REQUESTS_PATH, body))
+        if not isinstance(payload, list) or len(payload) != len(requests):
+            raise ValueError(
+                f"expected {len(requests)} wire responses, got "
+                f"{type(payload).__name__}"
+                + (f" of length {len(payload)}" if isinstance(payload, list) else "")
+            )
+        return [response_from_payload(item) for item in payload]
+
+    def health(self) -> dict[str, Any]:
+        """The server's ``/healthz`` payload."""
+        return json.loads(self._roundtrip("GET", HEALTH_PATH))
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's ``/metrics`` telemetry snapshot."""
+        return serialization.loads(self._roundtrip("GET", METRICS_PATH))
+
+
+# --------------------------------------------------------------------- #
+# command line
+# --------------------------------------------------------------------- #
+
+
+def _build_demo_frontend(n_users: int, seed: int) -> ServiceFrontend:
+    """A frontend whose gateway serves a freshly enrolled synthetic fleet."""
+    from repro.service.fleet import FleetConfig, FleetSimulator
+
+    simulator = FleetSimulator(FleetConfig(n_users=n_users, seed=seed))
+    simulator.build_users()
+    simulator.enroll_fleet()
+    return simulator.frontend
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: serve a frontend over HTTP until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.transport",
+        description="Serve the authentication service protocol over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8414, help="TCP port (0 = pick free)")
+    parser.add_argument(
+        "--registry-root",
+        default=None,
+        help="directory of a persisted ModelRegistry to load and serve",
+    )
+    parser.add_argument(
+        "--demo-fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pre-enroll N synthetic fleet users (feature columns f00..f11) "
+        "so clients can authenticate immediately",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="demo-fleet seed")
+    parser.add_argument(
+        "--max-batch", type=int, default=256, help="micro-batch queue slice size"
+    )
+    parser.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch queue flush delay (milliseconds)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=1024,
+        help="admission-control bound on pending requests (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--overflow",
+        choices=MicroBatchQueue.OVERFLOW_POLICIES,
+        default="reject",
+        help="what a full queue does with new submissions",
+    )
+    parser.add_argument(
+        "--max-batch-items",
+        type=int,
+        default=4096,
+        help="admission bound on batch-array POST length (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--no-queue",
+        action="store_true",
+        help="dispatch single requests synchronously instead of micro-batching",
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo_fleet:
+        print(f"enrolling a {args.demo_fleet}-user demo fleet...", flush=True)
+        frontend = _build_demo_frontend(args.demo_fleet, args.seed)
+    elif args.registry_root is not None:
+        from repro.service.gateway import AuthenticationGateway
+        from repro.service.registry import ModelRegistry
+
+        registry = ModelRegistry(root=args.registry_root)
+        loaded = registry.load()
+        print(f"loaded {loaded} bundle(s) from {args.registry_root}", flush=True)
+        frontend = ServiceFrontend(AuthenticationGateway(registry=registry))
+    else:
+        frontend = ServiceFrontend()
+
+    queue = (
+        None
+        if args.no_queue
+        else MicroBatchQueue(
+            frontend,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+            max_depth=args.max_depth or None,
+            overflow=args.overflow,
+        )
+    )
+    with ServiceHTTPServer(
+        frontend,
+        host=args.host,
+        port=args.port,
+        queue=queue,
+        max_batch_items=args.max_batch_items or None,
+    ) as server:
+        print(
+            f"serving {REQUESTS_PATH} on http://{args.host}:{server.port} "
+            f"(healthz: {HEALTH_PATH}, metrics: {METRICS_PATH}); Ctrl-C stops",
+            flush=True,
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("\nshutting down...", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""HTTP transport equivalence: wire decisions == in-process decisions.
+
+The ISSUE 3 acceptance bar: for a 500-user fleet, authentication decisions
+served over the HTTP transport must be bit-for-bit identical to dispatching
+the same requests in process — through ``AuthenticationGateway.handle()``
+and through the coalescing ``ServiceFrontend.submit_many()`` alike — and
+the whole fleet lifecycle must be able to run over real sockets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sensors.types import CoarseContext
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.frontend import MicroBatchQueue
+from repro.service.protocol import AuthenticateRequest, AuthenticationResponse
+from repro.service.transport import ServiceClient, ServiceHTTPServer
+
+FLEET_USERS = 500
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """An enrolled-and-trained 500-user fleet (shared across tests)."""
+    simulator = FleetSimulator(FleetConfig(n_users=FLEET_USERS, seed=11))
+    simulator.build_users()
+    simulator.enroll_fleet()
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def probes(fleet):
+    """Per-user probe requests: half detected contexts, half device-reported."""
+    rng = np.random.default_rng(99)
+    requests = []
+    for index, user in enumerate(fleet.users):
+        probe = user.sample_windows(3, fleet.config.window_noise, rng, fleet.feature_names)
+        if index % 2:
+            contexts = tuple(CoarseContext(label) for label in probe.contexts)
+        else:
+            contexts = None  # the service detects these server-side
+        requests.append(
+            AuthenticateRequest(
+                user_id=user.user_id, features=probe.values, contexts=contexts
+            )
+        )
+    return requests
+
+
+class TestTransportEquivalence:
+    def test_wire_decisions_bit_for_bit_identical_to_in_process(self, fleet, probes):
+        in_process = fleet.frontend.submit_many(probes)
+        with ServiceHTTPServer(fleet.frontend) as server:
+            with ServiceClient(port=server.port) as client:
+                over_the_wire = client.submit_many(probes)
+        assert len(over_the_wire) == FLEET_USERS
+        for request, local, remote in zip(probes, in_process, over_the_wire):
+            assert isinstance(remote, AuthenticationResponse)
+            assert remote.user_id == request.user_id
+            np.testing.assert_array_equal(remote.scores, local.scores)
+            np.testing.assert_array_equal(remote.accepted, local.accepted)
+            assert remote.result.model_contexts == local.result.model_contexts
+            assert remote.model_version == local.model_version
+
+    def test_wire_decisions_match_gateway_handle_per_request(self, fleet, probes):
+        """Transport == the untouched backend dispatcher, one user at a time."""
+        sample = probes[::50]  # every 50th user keeps the HTTP round-trips sane
+        with ServiceHTTPServer(fleet.frontend) as server:
+            with ServiceClient(port=server.port) as client:
+                for request in sample:
+                    local = fleet.gateway.handle(request)
+                    remote = client.submit(request)
+                    assert isinstance(remote, AuthenticationResponse)
+                    np.testing.assert_array_equal(remote.scores, local.scores)
+                    np.testing.assert_array_equal(remote.accepted, local.accepted)
+
+    def test_wire_decisions_identical_through_the_microbatch_queue(self, fleet, probes):
+        """Cross-connection coalescing must not change a single bit either."""
+        sample = probes[::25]
+        in_process = fleet.frontend.submit_many(sample)
+        queue = MicroBatchQueue(fleet.frontend, max_batch=64, max_delay_s=0.005)
+        with ServiceHTTPServer(fleet.frontend, queue=queue) as server:
+            with ServiceClient(port=server.port) as client:
+                for request, local in zip(sample, in_process):
+                    remote = client.submit(request)
+                    np.testing.assert_array_equal(remote.scores, local.scores)
+                    np.testing.assert_array_equal(remote.accepted, local.accepted)
+
+
+class TestFleetLifecycleOverSockets:
+    def test_full_lifecycle_runs_over_the_wire(self):
+        """A (smaller) fleet's whole lifecycle driven through ServiceClient."""
+        simulator = FleetSimulator(FleetConfig(n_users=60, seed=23))
+        with ServiceHTTPServer(simulator.frontend) as server:
+            with ServiceClient(port=server.port) as client:
+                simulator.channel = client
+                report = simulator.run()
+        assert report.enrolled_users == 60
+        assert report.legitimate_accept_rate > 0.85
+        assert report.attack_reject_rate > 0.85
+        assert report.drifted_accept_rate_after_retrain > report.drifted_accept_rate_before_retrain
+        counters = report.telemetry["counters"]
+        # Every protocol request crossed the transport.
+        assert counters["transport.requests"] >= 5
+        assert counters["frontend.coalesced_batches"] >= 1

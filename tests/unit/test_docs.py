@@ -1,0 +1,37 @@
+"""The documentation stays consistent with the tree (tools/check_docs.py).
+
+The same checks run as a standalone CI job; running them in tier-1 as well
+means a PR that moves a module or breaks a docs link fails locally first.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_documentation_files_exist():
+    for path in check_docs.doc_files():
+        assert path.is_file(), f"missing documentation file: {path}"
+
+
+def test_internal_links_resolve():
+    problems = [p for path in check_docs.doc_files() for p in check_docs.check_links(path)]
+    assert problems == []
+
+
+def test_architecture_module_list_matches_the_tree():
+    problems = [
+        p for path in check_docs.doc_files() for p in check_docs.check_module_paths(path)
+    ]
+    assert problems == []
+
+
+def test_checker_detects_a_broken_link(tmp_path):
+    broken = tmp_path / "broken.md"
+    broken.write_text("see [missing](no/such/file.md) and `src/repro/ghost.py`")
+    assert any("broken internal link" in p for p in check_docs.check_links(broken))
+    assert any("missing module" in p for p in check_docs.check_module_paths(broken))

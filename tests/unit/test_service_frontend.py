@@ -1,6 +1,7 @@
 """Unit tests for the micro-batching service frontend."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -21,6 +22,7 @@ from repro.service.protocol import (
     RollbackResponse,
     SnapshotRequest,
     SnapshotResponse,
+    ThrottledResponse,
 )
 
 
@@ -431,3 +433,204 @@ class TestMicroBatchQueue:
             MicroBatchQueue(frontend, max_batch=0)
         with pytest.raises(ValueError, match="max_delay_s"):
             MicroBatchQueue(frontend, max_delay_s=-1.0)
+        with pytest.raises(ValueError, match="max_depth"):
+            MicroBatchQueue(frontend, max_depth=0)
+        with pytest.raises(ValueError, match="overflow"):
+            MicroBatchQueue(frontend, overflow="shed")
+
+
+def _block_gateway(frontend):
+    """Make the gateway block on an event; returns (entered, release)."""
+    entered, release = threading.Event(), threading.Event()
+    original = frontend.gateway.handle
+
+    def slow_handle(request):
+        entered.set()
+        assert release.wait(timeout=10), "test never released the gateway"
+        return original(request)
+
+    frontend.gateway.handle = slow_handle
+    return entered, release
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_throttled_response(self, frontend):
+        entered, release = _block_gateway(frontend)
+        queue = MicroBatchQueue(
+            frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="reject"
+        )
+        with queue:
+            first = queue.submit(SnapshotRequest())  # claimed by the worker
+            assert entered.wait(timeout=5)  # ...which is now stuck in dispatch
+            second = queue.submit(SnapshotRequest())  # fills the only slot
+            assert queue.depth == 1
+            third = queue.submit(
+                AuthenticateRequest(
+                    user_id="alice",
+                    features=np.zeros((1, 5)),
+                    contexts=(CoarseContext.STATIONARY,),
+                )
+            )
+            # The reject policy resolves the future immediately and typed.
+            response = third.result(timeout=1)
+            assert isinstance(response, ThrottledResponse)
+            assert response.reason == "queue-full"
+            assert response.request_kind == "authenticate"
+            assert response.user_id == "alice"
+            assert response.queue_depth == 1
+            assert response.max_depth == 1
+            assert frontend.telemetry.counter_value("frontend.throttled") == 1
+            release.set()
+            assert isinstance(first.result(timeout=5), SnapshotResponse)
+            assert isinstance(second.result(timeout=5), SnapshotResponse)
+        # Accepted requests were never throttled.
+        assert frontend.telemetry.counter_value("frontend.throttled") == 1
+
+    def test_block_policy_applies_backpressure_to_the_submitter(self, frontend):
+        entered, release = _block_gateway(frontend)
+        queue = MicroBatchQueue(
+            frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="block"
+        )
+        with queue:
+            first = queue.submit(SnapshotRequest())
+            assert entered.wait(timeout=5)
+            second = queue.submit(SnapshotRequest())
+            resolved = []
+
+            def blocked_submit():
+                resolved.append(queue.submit(SnapshotRequest()))
+
+            submitter = threading.Thread(target=blocked_submit)
+            submitter.start()
+            time.sleep(0.1)
+            assert not resolved  # still waiting for a slot, nothing dropped
+            release.set()
+            submitter.join(timeout=5)
+            assert not submitter.is_alive()
+            for future in (first, second, *resolved):
+                assert isinstance(future.result(timeout=5), SnapshotResponse)
+        assert frontend.telemetry.counter_value("frontend.throttled") == 0
+
+    def test_stop_fails_a_blocked_submitter_cleanly(self, frontend):
+        entered, release = _block_gateway(frontend)
+        queue = MicroBatchQueue(
+            frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="block"
+        )
+        queue.start()
+        first = queue.submit(SnapshotRequest())
+        assert entered.wait(timeout=5)
+        second = queue.submit(SnapshotRequest())
+        outcome = []
+
+        def blocked_submit():
+            try:
+                outcome.append(queue.submit(SnapshotRequest()))
+            except RuntimeError as error:
+                outcome.append(error)
+
+        submitter = threading.Thread(target=blocked_submit)
+        submitter.start()
+        time.sleep(0.1)
+        stopper = threading.Thread(target=queue.stop)
+        stopper.start()
+        time.sleep(0.1)
+        release.set()
+        stopper.join(timeout=10)
+        submitter.join(timeout=10)
+        assert not stopper.is_alive() and not submitter.is_alive()
+        # The blocked submission observed the shutdown (RuntimeError) rather
+        # than hanging forever or being silently dropped...
+        assert len(outcome) == 1 and isinstance(outcome[0], RuntimeError)
+        # ...while both accepted requests were drained and answered.
+        assert isinstance(first.result(timeout=5), SnapshotResponse)
+        assert isinstance(second.result(timeout=5), SnapshotResponse)
+
+    def test_queue_wait_telemetry_recorded_per_dispatched_request(self, frontend):
+        with MicroBatchQueue(frontend, max_batch=4, max_delay_s=0.01) as queue:
+            futures = [queue.submit(SnapshotRequest()) for _ in range(3)]
+            for future in futures:
+                future.result(timeout=5)
+        recorder = frontend.telemetry.latency("frontend.queue_wait")
+        assert recorder.count == 3
+        assert recorder.max_seconds < 5.0
+
+    def test_unbounded_queue_never_throttles(self, frontend):
+        with MicroBatchQueue(frontend, max_batch=2, max_delay_s=0.0) as queue:
+            futures = [queue.submit(SnapshotRequest()) for _ in range(20)]
+            for future in futures:
+                assert isinstance(future.result(timeout=5), SnapshotResponse)
+        assert frontend.telemetry.counter_value("frontend.throttled") == 0
+
+
+class TestFusedStackCacheIntegration:
+    def _requests(self, frontend, seed):
+        probes = {
+            uid: matrix(uid, mean, n=6, seed=seed + offset)
+            for offset, (uid, mean) in enumerate(
+                (("alice", 0.0), ("bg1", 4.0), ("bg2", 6.0))
+            )
+        }
+        contexts = (CoarseContext.STATIONARY, CoarseContext.MOVING) * 3
+        return [
+            AuthenticateRequest(user_id=uid, features=probe.values, contexts=contexts)
+            for uid, probe in probes.items()
+        ]
+
+    def _trained(self, frontend):
+        train_alice(frontend)
+        for uid in ("bg1", "bg2"):
+            frontend.gateway.train(uid)
+
+    def test_repeated_flushes_hit_the_cache_with_identical_scores(self, frontend):
+        self._trained(frontend)
+        first = frontend.submit_many(self._requests(frontend, seed=40))
+        assert frontend.stack_cache.misses >= 1
+        hits_before = frontend.stack_cache.hits
+        second = frontend.submit_many(self._requests(frontend, seed=40))
+        assert frontend.stack_cache.hits == hits_before + 1
+        assert len(frontend.stack_cache) == 1
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.scores, b.scores)
+        counters = frontend.gateway.snapshot()["counters"]
+        assert counters["frontend.stack_cache.hits"] == frontend.stack_cache.hits
+        assert counters["frontend.stack_cache.misses"] == frontend.stack_cache.misses
+
+    def test_cached_flush_matches_per_request_gateway_scores(self, frontend):
+        self._trained(frontend)
+        requests = self._requests(frontend, seed=50)
+        frontend.submit_many(requests)  # warm the cache
+        for request, response in zip(requests, frontend.submit_many(requests)):
+            expected = frontend.gateway.scorer_for(request.user_id).score(
+                request.features, list(request.contexts)
+            )
+            np.testing.assert_array_equal(response.scores, expected.scores)
+            np.testing.assert_array_equal(response.accepted, expected.accepted)
+
+    def test_publish_invalidates_the_cache(self, frontend):
+        self._trained(frontend)
+        requests = self._requests(frontend, seed=60)
+        frontend.submit_many(requests)
+        assert len(frontend.stack_cache) == 1
+        # A drift retrain publishes a new version -> generation moves.
+        frontend.submit(
+            DriftReport(user_id="alice", matrix=matrix("alice", 0.3, n=30, seed=61))
+        )
+        responses = frontend.submit_many(requests)
+        assert all(isinstance(r, AuthenticationResponse) for r in responses)
+        # The old entry was dropped; the new model set occupies one entry.
+        assert len(frontend.stack_cache) == 1
+        assert responses[0].model_version == 2  # alice is served the retrain
+
+    def test_rollback_invalidates_the_cache(self, frontend):
+        self._trained(frontend)
+        frontend.submit(
+            DriftReport(user_id="alice", matrix=matrix("alice", 0.3, n=30, seed=62))
+        )
+        requests = self._requests(frontend, seed=63)
+        frontend.submit_many(requests)
+        entries_before = len(frontend.stack_cache)
+        assert entries_before >= 1
+        frontend.submit(RollbackRequest(user_id="alice"))
+        responses = frontend.submit_many(requests)
+        assert all(isinstance(r, AuthenticationResponse) for r in responses)
+        assert responses[0].model_version == 1  # alice serves v1 again

@@ -312,3 +312,105 @@ class TestTelemetryPrimitives:
         assert snapshot["latencies"]["work"]["total_s"] >= 0.0
         hub.reset()
         assert hub.snapshot() == {"counters": {}, "latencies": {}}
+
+
+class TestUnifiedContextDetectorTraining:
+    """The paper path and the served publication share one entry point."""
+
+    def _labelled(self, uid="alice", seed=30):
+        return matrix(uid, 0.0, n=40, context="stationary", seed=seed).concatenate(
+            matrix(uid, 5.0, n=40, context="moving", seed=seed + 1)
+        )
+
+    def test_default_factories_are_the_same_object(self):
+        from repro.core.context import ContextDetector
+        from repro.devices.cloud import AuthenticationServer, default_context_detector_factory
+
+        server = AuthenticationServer()
+        assert server.context_detector_factory is default_context_detector_factory
+        detector = ContextDetector()
+        reference = default_context_detector_factory()
+        assert type(detector.classifier) is type(reference)
+        assert detector.classifier.get_params() == reference.get_params()
+
+    def test_paper_path_and_server_training_agree_bit_for_bit(self, gateway):
+        from repro.core.context import ContextDetector
+
+        training = self._labelled()
+        paper = ContextDetector().fit(training)
+        gateway.train_context_detector(training)
+        scaler, classifier = gateway.server.download_context_detector()
+        probe = np.vstack([training.values[:5], training.values[-5:]])
+        np.testing.assert_array_equal(
+            paper.scaler.transform(probe), scaler.transform(probe)
+        )
+        paper_labels = [context.value for context in paper.detect(probe)]
+        served_labels = list(classifier.predict(scaler.transform(probe)))
+        assert paper_labels == [str(label) for label in served_labels]
+
+    def test_publish_a_pre_fitted_paper_detector(self, gateway):
+        from repro.core.context import ContextDetector
+
+        training = self._labelled(seed=40)
+        detector = ContextDetector().fit(training)
+        version = gateway.train_context_detector(detector=detector)
+        assert version == 1
+        # The registry and the cloud server both serve that model's
+        # behaviour exactly (published as a snapshot, not by reference).
+        scaler, classifier = gateway.registry.context_detector()
+        probe = training.values[:6]
+        np.testing.assert_array_equal(
+            detector.scaler.transform(probe), scaler.transform(probe)
+        )
+        assert [c.value for c in detector.detect(probe)] == [
+            str(label) for label in classifier.predict(scaler.transform(probe))
+        ]
+        assert gateway.server.download_context_detector() == (scaler, classifier)
+
+    def test_refitting_a_published_detector_cannot_corrupt_the_registry(self, gateway):
+        """The registry holds a snapshot: later refits must not leak in."""
+        from repro.core.context import ContextDetector
+
+        training = self._labelled(seed=42)
+        detector = ContextDetector().fit(training)
+        gateway.train_context_detector(detector=detector)
+        probe = training.values[:6]
+        before = gateway.detect_contexts(probe)
+        # Refit the caller's object on shifted data (new scaler, classifier
+        # refitted in place); the published version must be unaffected.
+        shifted = matrix("alice", 50.0, n=40, context="stationary", seed=43).concatenate(
+            matrix("alice", 90.0, n=40, context="moving", seed=44)
+        )
+        detector.fit(shifted)
+        assert gateway.detect_contexts(probe) == before
+        # And the rehydrated copy is detached too.
+        rehydrated = gateway.context_detector()
+        rehydrated.fit(shifted)
+        assert gateway.detect_contexts(probe) == before
+
+    def test_served_detector_rehydrates_as_a_paper_path_object(self, gateway):
+        from repro.core.context import ContextDetector
+
+        training = self._labelled(seed=50)
+        gateway.train_context_detector(training)
+        rehydrated = gateway.context_detector()
+        assert isinstance(rehydrated, ContextDetector)
+        probe = training.values[:6]
+        assert [c.value for c in rehydrated.detect(probe)] == [
+            c.value for c in gateway.detect_contexts(probe)
+        ]
+
+    def test_matrix_and_detector_arguments_are_mutually_exclusive(self, gateway):
+        from repro.core.context import ContextDetector
+
+        with pytest.raises(ValueError, match="exactly one"):
+            gateway.train_context_detector()
+        detector = ContextDetector().fit(self._labelled(seed=60))
+        with pytest.raises(ValueError, match="exactly one"):
+            gateway.train_context_detector(self._labelled(seed=61), detector=detector)
+
+    def test_unfitted_detector_rejected(self, gateway):
+        from repro.core.context import ContextDetector
+
+        with pytest.raises(ValueError, match="fitted"):
+            gateway.train_context_detector(detector=ContextDetector())

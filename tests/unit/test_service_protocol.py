@@ -19,6 +19,7 @@ from repro.service.protocol import (
     RollbackResponse,
     SnapshotRequest,
     SnapshotResponse,
+    ThrottledResponse,
 )
 
 
@@ -175,11 +176,98 @@ class TestResponseRoundTrips:
         )
         assert roundtrip_response(error) == error
 
+    def test_throttled_response_lossless(self):
+        throttled = ThrottledResponse(
+            request_kind="authenticate",
+            reason="queue-full",
+            queue_depth=128,
+            max_depth=128,
+            retry_after_s=0.005,
+            user_id="alice",
+        )
+        assert roundtrip_response(throttled) == throttled
+        anonymous = ThrottledResponse(
+            request_kind="snapshot", reason="queue-full", queue_depth=4, max_depth=4
+        )
+        restored = roundtrip_response(anonymous)
+        assert restored.user_id is None
+        assert restored.retry_after_s == 0.0
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="protocol response"):
             protocol.response_from_payload({"kind": "nope"})
         with pytest.raises(TypeError, match="not a protocol response"):
             protocol.response_to_payload({"kind": "dict"})  # type: ignore[arg-type]
+
+
+class TestWireCodecEdgeCases:
+    """The malformed-input behaviour the transport layer relies on."""
+
+    def test_malformed_json_raises_value_error(self):
+        with pytest.raises(ValueError):
+            protocol.loads_request("{this is not json")
+        with pytest.raises(ValueError):
+            protocol.loads_response("]")
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            protocol.request_from_payload([1, 2, 3])  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="mapping"):
+            protocol.response_from_payload("authenticate")  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="mapping"):
+            protocol.loads_request("[1, 2, 3]")
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind=None"):
+            protocol.request_from_payload({"user_id": "alice"})
+        with pytest.raises(ValueError, match="kind=None"):
+            protocol.response_from_payload({"user_id": "alice"})
+
+    def test_missing_required_field_raises_value_error(self):
+        with pytest.raises(ValueError, match="missing required field 'user_id'"):
+            protocol.request_from_payload({"kind": "authenticate"})
+        with pytest.raises(ValueError, match="missing required field 'matrix'"):
+            protocol.request_from_payload({"kind": "enroll", "user_id": "a"})
+        with pytest.raises(ValueError, match="missing required field"):
+            protocol.response_from_payload({"kind": "rollback-response", "user_id": "a"})
+
+    def test_extra_fields_are_ignored_by_a_tolerant_reader(self):
+        payload = protocol.request_to_payload(RollbackRequest(user_id="alice"))
+        payload["shiny_new_field"] = {"nested": [1, 2, 3]}
+        restored = protocol.request_from_payload(payload)
+        assert restored == RollbackRequest(user_id="alice")
+
+    def test_invalid_field_values_raise_the_dataclass_validation(self):
+        with pytest.raises(ValueError, match="user_id"):
+            protocol.request_from_payload({"kind": "rollback", "user_id": ""})
+        with pytest.raises(ValueError, match="context labels"):
+            protocol.request_from_payload(
+                {
+                    "kind": "authenticate",
+                    "user_id": "a",
+                    "features": np.zeros((3, 2)),
+                    "contexts": ["moving"],
+                }
+            )
+
+    def test_non_finite_scores_round_trip_losslessly(self):
+        scores = np.array([np.nan, np.inf, -np.inf, 1.5e308, 5e-324, -0.0])
+        result = BatchScoreResult(
+            scores=scores,
+            accepted=np.array([False, True, False, True, False, True]),
+            model_contexts=(CoarseContext.STATIONARY,) * 6,
+            model_version=1,
+        )
+        restored = roundtrip_response(AuthenticationResponse(user_id="a", result=result))
+        np.testing.assert_array_equal(restored.scores, scores)
+        assert np.signbit(restored.scores[-1])  # -0.0 keeps its sign
+
+    def test_non_finite_features_round_trip_losslessly(self):
+        features = np.array([[np.nan, -np.inf], [np.inf, 2.0 ** -1074]])
+        restored = roundtrip_request(
+            AuthenticateRequest(user_id="a", features=features)
+        )
+        np.testing.assert_array_equal(restored.features, features)
 
 
 class TestWireFormat:

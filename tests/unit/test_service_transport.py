@@ -1,0 +1,348 @@
+"""Unit tests for the HTTP transport (server, client, status mapping)."""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.frontend import MicroBatchQueue, ServiceFrontend
+from repro.service.gateway import AuthenticationGateway
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    EnrollRequest,
+    EnrollResponse,
+    ErrorResponse,
+    RollbackRequest,
+    SnapshotRequest,
+    SnapshotResponse,
+    ThrottledResponse,
+)
+from repro.service.transport import (
+    HEALTH_PATH,
+    METRICS_PATH,
+    REQUESTS_PATH,
+    ServiceClient,
+    ServiceHTTPServer,
+    status_for_response,
+)
+
+
+def matrix(uid, mean, n=15, d=5, context="stationary", seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        values=rng.normal(mean, 1.0, size=(n, d)),
+        feature_names=[f"f{i}" for i in range(d)],
+        user_ids=[uid] * n,
+        contexts=[context] * n,
+    )
+
+
+@pytest.fixture()
+def frontend():
+    frontend = ServiceFrontend(AuthenticationGateway(min_windows_to_train=20))
+    for uid, mean, seed in (("bg1", 4.0, 1), ("bg2", 6.0, 2), ("alice", 0.0, 3)):
+        for context in ("stationary", "moving"):
+            frontend.submit(
+                EnrollRequest(
+                    user_id=uid,
+                    matrix=matrix(uid, mean, context=context, seed=seed),
+                    train=False,
+                )
+            )
+    frontend.gateway.train("alice")
+    return frontend
+
+
+@pytest.fixture()
+def server(frontend):
+    with ServiceHTTPServer(frontend) as server:
+        yield server
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(port=server.port) as client:
+        yield client
+
+
+def raw_post(server, body, path=REQUESTS_PATH):
+    """POST raw bytes, returning (status, parsed JSON body)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body.encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestStatusMapping:
+    def test_success_is_200(self):
+        assert status_for_response(SnapshotResponse(snapshot={})) == 200
+
+    def test_missing_resource_is_404(self):
+        error = ErrorResponse(request_kind="authenticate", error="KeyError", message="x")
+        assert status_for_response(error) == 404
+
+    def test_validation_failures_are_400(self):
+        for name in ("ValueError", "TypeError", "JSONDecodeError"):
+            error = ErrorResponse(request_kind="enroll", error=name, message="x")
+            assert status_for_response(error) == 400
+
+    def test_unexpected_errors_are_500(self):
+        error = ErrorResponse(request_kind="drift-report", error="RuntimeError", message="x")
+        assert status_for_response(error) == 500
+
+    def test_throttled_is_429(self):
+        throttled = ThrottledResponse(
+            request_kind="authenticate", reason="queue-full", queue_depth=1, max_depth=1
+        )
+        assert status_for_response(throttled) == 429
+
+
+class TestEndpoints:
+    def test_healthz_reports_ok(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0.0
+
+    def test_metrics_serves_the_telemetry_snapshot(self, client):
+        client.submit(SnapshotRequest())
+        snapshot = client.metrics()
+        assert "counters" in snapshot and "latencies" in snapshot
+        assert snapshot["counters"]["transport.requests"] >= 1
+
+    def test_unknown_paths_answer_404(self, server):
+        status, payload = raw_post(server, "{}", path="/v2/nothing")
+        assert status == 404
+        assert payload["kind"] == "error-response"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://127.0.0.1:{server.port}/nope")
+        assert excinfo.value.code == 404
+
+    def test_malformed_json_answers_400(self, server):
+        status, payload = raw_post(server, "{this is not json")
+        assert status == 400
+        assert payload["kind"] == "error-response"
+        assert payload["error"] == "JSONDecodeError"
+
+    def test_non_request_json_answers_400(self, server):
+        status, payload = raw_post(server, '"just a string"')
+        assert status == 400
+        assert payload["error"] == "TypeError"
+        status, payload = raw_post(server, '{"kind": "teleport"}')
+        assert status == 400
+        assert payload["error"] == "ValueError"
+
+    def test_missing_required_field_answers_400(self, server):
+        status, payload = raw_post(server, '{"kind": "authenticate"}')
+        assert status == 400
+        assert payload["error"] == "ValueError"
+        assert "missing required field" in payload["message"]
+        assert payload["request_kind"] == "authenticate"
+
+
+class TestSingleRequests:
+    def test_authenticate_round_trips_bit_for_bit(self, frontend, client):
+        own = matrix("alice", 0.0, n=4, seed=9)
+        response = client.submit(
+            AuthenticateRequest(
+                user_id="alice",
+                features=own.values,
+                contexts=(CoarseContext.STATIONARY,) * 4,
+            )
+        )
+        assert isinstance(response, AuthenticationResponse)
+        expected = frontend.gateway.scorer_for("alice").score(
+            own.values, [CoarseContext.STATIONARY] * 4
+        )
+        np.testing.assert_array_equal(response.scores, expected.scores)
+        np.testing.assert_array_equal(response.accepted, expected.accepted)
+        assert response.result.model_contexts == expected.model_contexts
+
+    def test_unknown_user_maps_to_404_with_typed_error(self, server, client):
+        response = client.submit(
+            AuthenticateRequest(
+                user_id="ghost",
+                features=np.zeros((1, 5)),
+                contexts=(CoarseContext.STATIONARY,),
+            )
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "KeyError"
+        # And the raw HTTP exchange used the mapped status code.
+        status, _ = raw_post(
+            server,
+            json.dumps(
+                {
+                    "kind": "authenticate",
+                    "user_id": "ghost",
+                    "features": [[0.0] * 5],
+                    "contexts": ["stationary"],
+                }
+            ),
+        )
+        assert status == 404
+
+    def test_enroll_then_authenticate_over_the_wire(self, client):
+        response = client.submit(
+            EnrollRequest(user_id="dora", matrix=matrix("dora", 2.0, seed=11), train=False)
+        )
+        assert isinstance(response, EnrollResponse)
+        assert response.status == "buffered"
+
+
+class TestBatchRequests:
+    def test_batch_preserves_order_and_isolates_failures(self, client):
+        own = matrix("alice", 0.0, n=3, seed=12)
+        responses = client.submit_many(
+            [
+                SnapshotRequest(),
+                AuthenticateRequest(
+                    user_id="alice",
+                    features=own.values,
+                    contexts=(CoarseContext.STATIONARY,) * 3,
+                ),
+                RollbackRequest(user_id="ghost"),
+            ]
+        )
+        assert isinstance(responses[0], SnapshotResponse)
+        assert isinstance(responses[1], AuthenticationResponse)
+        assert isinstance(responses[2], ErrorResponse)
+
+    def test_batch_with_malformed_item_answers_per_item(self, server):
+        body = json.dumps(
+            [
+                {"kind": "snapshot"},
+                {"kind": "teleport"},
+                "not even an object",
+                {
+                    "kind": "authenticate",
+                    "user_id": "ghost",
+                    "features": [[0.0] * 5],
+                    "contexts": ["stationary"],
+                },
+            ]
+        )
+        status, payload = raw_post(server, body)
+        assert status == 200  # batch: per-item outcomes, not a single status
+        kinds = [item["kind"] for item in payload]
+        assert kinds == [
+            "snapshot-response",
+            "error-response",
+            "error-response",
+            "error-response",
+        ]
+        assert payload[1]["error"] == "ValueError"
+        assert payload[2]["error"] == "TypeError"
+        assert payload[3]["error"] == "KeyError"
+
+    def test_empty_batch_answers_empty_array(self, server, client):
+        assert client.submit_many([]) == []
+        status, payload = raw_post(server, "[]")
+        assert status == 200
+        assert payload == []
+
+    def test_oversized_batch_is_throttled_not_dispatched(self, frontend):
+        with ServiceHTTPServer(frontend, max_batch_items=3) as server:
+            requests_before = frontend.telemetry.counter_value("frontend.requests")
+            body = json.dumps([{"kind": "snapshot"}] * 4)
+            status, payload = raw_post(server, body)
+            assert status == 429
+            assert payload["kind"] == "throttled-response"
+            assert payload["reason"] == "batch-too-large"
+            assert payload["queue_depth"] == 4
+            assert payload["max_depth"] == 3
+            # Nothing reached the frontend; a within-bound batch still works.
+            assert frontend.telemetry.counter_value("frontend.requests") == requests_before
+            status, payload = raw_post(server, json.dumps([{"kind": "snapshot"}] * 3))
+            assert status == 200
+            assert len(payload) == 3
+
+    def test_rejects_degenerate_batch_bound(self, frontend):
+        with pytest.raises(ValueError, match="max_batch_items"):
+            ServiceHTTPServer(frontend, max_batch_items=0)
+
+
+class TestThrottlingOverTheWire:
+    def test_queue_full_answers_429_with_retry_after(self, frontend):
+        entered, release = threading.Event(), threading.Event()
+        original = frontend.gateway.handle
+
+        def slow_handle(request):
+            entered.set()
+            assert release.wait(timeout=10)
+            return original(request)
+
+        frontend.gateway.handle = slow_handle
+        queue = MicroBatchQueue(
+            frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="reject"
+        )
+        with ServiceHTTPServer(frontend, queue=queue) as server:
+            results = {}
+
+            def post(name):
+                with ServiceClient(port=server.port) as client:
+                    results[name] = client.submit(SnapshotRequest())
+
+            first = threading.Thread(target=post, args=("first",))
+            first.start()
+            assert entered.wait(timeout=5)  # worker is stuck dispatching
+            second = threading.Thread(target=post, args=("second",))
+            second.start()
+            deadline = threading.Event()
+            for _ in range(100):  # wait until the slot is actually occupied
+                if queue.depth == 1:
+                    break
+                deadline.wait(0.01)
+            assert queue.depth == 1
+            # The third concurrent request finds the queue full: typed 429.
+            body = '{"kind": "snapshot"}'
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}{REQUESTS_PATH}",
+                data=body.encode("utf-8"),
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request) as response:
+                    raise AssertionError(f"expected 429, got {response.status}")
+            except urllib.error.HTTPError as error:
+                assert error.code == 429
+                assert error.headers["Retry-After"] is not None
+                payload = json.loads(error.read().decode("utf-8"))
+            assert payload["kind"] == "throttled-response"
+            assert payload["reason"] == "queue-full"
+            assert payload["max_depth"] == 1
+            release.set()
+            first.join(timeout=10)
+            second.join(timeout=10)
+            assert isinstance(results["first"], SnapshotResponse)
+            assert isinstance(results["second"], SnapshotResponse)
+
+
+class TestClientConnection:
+    def test_connection_is_reused_across_calls(self, server, client):
+        client.health()
+        connection = client._connection
+        assert connection is not None
+        client.submit(SnapshotRequest())
+        assert client._connection is connection
+
+    def test_client_reconnects_after_a_drop(self, server, client):
+        assert client.health()["status"] == "ok"
+        client._connection.close()  # simulate the server dropping keep-alive
+        assert client.health()["status"] == "ok"
+
+    def test_unreachable_server_raises_connection_error(self):
+        with ServiceClient(port=1, timeout_s=0.2) as client:
+            with pytest.raises(ConnectionError):
+                client.submit(SnapshotRequest())

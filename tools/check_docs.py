@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (stdlib only; used by CI and tier-1).
+
+Two guarantees, so the docs cannot silently rot as the code moves:
+
+1. every relative (internal) markdown link in ``docs/*.md`` and
+   ``README.md`` resolves to an existing file;
+2. every ``src/...`` module path mentioned in ``docs/architecture.md``
+   (and the other docs pages) exists in the tree.
+
+Run from anywhere::
+
+    python tools/check_docs.py            # exit 0 = consistent
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose internal links are checked.
+DOC_FILES = ("README.md", "docs/architecture.md", "docs/protocol.md", "docs/serving.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_MODULE_PATH = re.compile(r"`(src/[A-Za-z0-9_./-]+?)/?`")
+_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown files under check; missing ones are themselves errors."""
+    return [root / name for name in DOC_FILES]
+
+
+def _label(path: Path) -> str:
+    """Repo-relative display name (absolute for files outside the repo)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_links(path: Path) -> list[str]:
+    """Problems with *path*'s internal links (empty list = consistent)."""
+    problems = []
+    if not path.is_file():
+        return [f"{_label(path)}: documentation file is missing"]
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(_SCHEMES) or target.startswith("#"):
+            continue  # external links and in-page anchors are not ours to check
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{_label(path)}: broken internal link -> {target}")
+    return problems
+
+
+def check_module_paths(path: Path) -> list[str]:
+    """Problems with *path*'s ``src/...`` module references."""
+    problems = []
+    if not path.is_file():
+        return [f"{_label(path)}: documentation file is missing"]
+    for module in _MODULE_PATH.findall(path.read_text(encoding="utf-8")):
+        if not (REPO_ROOT / module).exists():
+            problems.append(f"{_label(path)}: references missing module -> {module}")
+    return problems
+
+
+def check_all(root: Path = REPO_ROOT) -> list[str]:
+    """Every documentation problem found (empty list = consistent)."""
+    problems = []
+    for path in doc_files(root):
+        problems.extend(check_links(path))
+        problems.extend(check_module_paths(path))
+    return problems
+
+
+def main() -> int:
+    problems = check_all()
+    for problem in problems:
+        print(f"ERROR: {problem}", file=sys.stderr)
+    checked = ", ".join(DOC_FILES)
+    if problems:
+        print(f"{len(problems)} documentation problem(s) in: {checked}", file=sys.stderr)
+        return 1
+    print(f"docs consistent: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
