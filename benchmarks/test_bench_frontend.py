@@ -8,6 +8,13 @@ ISSUE's acceptance shape: a 500-user fleet batch.  The acceptance bar is a
 >= 2x speedup with bit-for-bit identical accept/reject decisions; measured
 results land in ``BENCH_frontend.json`` at the repository root (run pytest
 with ``-s`` to see the numbers inline).
+
+A second harness pins the win from int-encoding contexts end-to-end: the
+per-flush row→model *bucketing* used to be a per-row Python loop (dict
+lookups, ``setdefault``, list appends for every window); it is now a pure
+array gather over ``int8`` context codes.  ``bucketing_speedup`` in the
+result file is the measured ratio on the same 500-user batch, against a
+faithful reconstruction of the old loop.
 """
 
 import json
@@ -16,6 +23,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.core.scoring import CONTEXT_BY_CODE
 from repro.sensors.types import CoarseContext
 from repro.service.fleet import FleetConfig, FleetSimulator
 from repro.service.protocol import AuthenticateRequest, AuthenticationResponse
@@ -119,4 +127,147 @@ def test_bench_frontend_coalesced_vs_sequential():
     assert speedup >= REQUIRED_SPEEDUP, (
         f"coalesced frontend only {speedup:.2f}x faster than per-request "
         f"gateway calls (required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# per-row vs vectorized bucketing (the ISSUE 4 hot-path satellite)
+# --------------------------------------------------------------------- #
+
+
+def _per_row_bucketing(scorers, context_batches, offsets, total):
+    """Faithful reconstruction of the pre-vectorization bucketing loop,
+    through building the fused gather (row index + per-row parameter
+    position) exactly as ``score_requests`` used to."""
+    models_by_key: dict[int, object] = {}
+    rows_by_key: dict[int, list[int]] = {}
+    model_contexts = np.empty(total, dtype=object)
+    for index, contexts in enumerate(context_batches):
+        scorer = scorers[index]
+        resolved = {context: scorer.select_model(context) for context in set(contexts)}
+        base = int(offsets[index])
+        for position, context in enumerate(contexts):
+            model = resolved[context]
+            key = id(model)
+            models_by_key[key] = model
+            rows_by_key.setdefault(key, []).append(base + position)
+            model_contexts[base + position] = model.context
+    fused_rows = [np.asarray(rows) for rows in rows_by_key.values()]
+    row_index = np.concatenate(fused_rows)
+    lengths = np.fromiter(
+        (len(rows) for rows in fused_rows), dtype=int, count=len(fused_rows)
+    )
+    gather = np.repeat(np.arange(len(fused_rows)), lengths)
+    row_models = np.empty(total, dtype=np.int64)
+    for key, rows in rows_by_key.items():
+        row_models[rows] = key
+    return row_models, model_contexts, row_index, gather
+
+
+def _vectorized_bucketing(scorers, code_batches, lengths):
+    """The shipped path: one code→slot lookup matrix + array gathers,
+    through the fused gather (per-row parameter position)."""
+    distinct: list[object] = []
+    slot_by_model: dict[int, int] = {}
+    lut_rows: list[list[int]] = []
+    lut_row_by_scorer: dict[int, int] = {}
+    request_lut_rows = np.empty(len(scorers), dtype=np.intp)
+    for index, scorer in enumerate(scorers):
+        lut_row = lut_row_by_scorer.get(id(scorer))
+        if lut_row is None:
+            entry = []
+            for model in scorer.model_by_code():
+                slot = slot_by_model.get(id(model))
+                if slot is None:
+                    slot = slot_by_model[id(model)] = len(distinct)
+                    distinct.append(model)
+                entry.append(slot)
+            lut_row = lut_row_by_scorer[id(scorer)] = len(lut_rows)
+            lut_rows.append(entry)
+        request_lut_rows[index] = lut_row
+    lut_matrix = np.asarray(lut_rows, dtype=np.intp)
+    all_codes = np.concatenate(code_batches)
+    row_slots = lut_matrix[np.repeat(request_lut_rows, lengths), all_codes]
+    context_by_slot = np.fromiter(
+        (model.context for model in distinct), dtype=object, count=len(distinct)
+    )
+    position_by_slot = np.arange(len(distinct), dtype=np.intp)
+    gather = position_by_slot[row_slots]
+    id_by_slot = np.fromiter(
+        (id(model) for model in distinct), dtype=np.int64, count=len(distinct)
+    )
+    return id_by_slot[row_slots], context_by_slot[row_slots], gather
+
+
+def test_bench_context_code_bucketing_vectorization():
+    """Measure the per-flush bucketing win from int-encoded contexts."""
+    config = FleetConfig(n_users=BENCH_FLEET_USERS, seed=5, server_side_contexts=False)
+    simulator = FleetSimulator(config)
+    simulator.build_users()
+    simulator.enroll_fleet()
+    gateway = simulator.gateway
+
+    rng = np.random.default_rng(29)
+    contexts = tuple(CoarseContext) * (BENCH_WINDOWS_PER_USER // 2)
+    scorers = [gateway.scorer_for(user.user_id) for user in simulator.users]
+    context_batches = [list(contexts) for _ in simulator.users]
+    code_batches = [
+        np.asarray([0, 1] * (BENCH_WINDOWS_PER_USER // 2), dtype=np.int8)
+        for _ in simulator.users
+    ]
+    offsets = np.arange(len(scorers) + 1, dtype=int) * BENCH_WINDOWS_PER_USER
+    total = int(offsets[-1])
+    del rng  # population fixed above; nothing random in the timed region
+
+    lengths = np.full(len(scorers), BENCH_WINDOWS_PER_USER, dtype=np.intp)
+    per_row_times, vectorized_times = [], []
+    for _ in range(BENCH_ROUNDS + 1):  # first round warms both paths
+        start = perf_counter()
+        per_row_models, per_row_contexts, _, _ = _per_row_bucketing(
+            scorers, context_batches, offsets, total
+        )
+        per_row_times.append(perf_counter() - start)
+
+        start = perf_counter()
+        vectorized_models, vectorized_contexts, _ = _vectorized_bucketing(
+            scorers, code_batches, lengths
+        )
+        vectorized_times.append(perf_counter() - start)
+
+    # Both bucketings describe the same work: every row resolves to the
+    # same model object under the same model context.
+    np.testing.assert_array_equal(per_row_models, vectorized_models)
+    assert list(per_row_contexts) == list(vectorized_contexts)
+
+    per_row_s = min(per_row_times[1:])
+    vectorized_s = min(vectorized_times[1:])
+    bucketing_speedup = per_row_s / vectorized_s
+
+    result = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    result.update(
+        {
+            "bucketing_per_row_s": per_row_s,
+            "bucketing_vectorized_s": vectorized_s,
+            "bucketing_speedup": bucketing_speedup,
+            "bucketing_rows": total,
+            "bucketing_rows_per_s_vectorized": total / vectorized_s,
+        }
+    )
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print()
+    print(
+        f"per-row bucketing   : {total} rows in {per_row_s * 1e3:.2f} ms "
+        f"({total / per_row_s:,.0f} rows/s)"
+    )
+    print(
+        f"vectorized bucketing: {total} rows in {vectorized_s * 1e3:.2f} ms "
+        f"({total / vectorized_s:,.0f} rows/s)"
+    )
+    print(f"speedup             : {bucketing_speedup:.1f}x  -> {RESULT_PATH.name}")
+
+    # The win should be decisive; 2x is a conservative floor for CI noise.
+    assert bucketing_speedup >= 2.0, (
+        f"vectorized bucketing only {bucketing_speedup:.2f}x faster than the "
+        "per-row loop"
     )

@@ -1,17 +1,20 @@
 """Client-side walkthrough of the HTTP transport (run against a live server).
 
-Start a server first (terminal 1)::
+Start a server first (terminal 1) — it prints a provisioned v2 API key::
 
     PYTHONPATH=src python -m repro.service.transport --port 8414 --demo-fleet 50
 
-then run this client against it (terminal 2)::
+then run this client against it (terminal 2), passing that key::
 
-    PYTHONPATH=src python examples/transport_client.py --port 8414
+    PYTHONPATH=src python examples/transport_client.py --port 8414 --api-key KEY
 
 Everything below happens over the wire: enrollment uploads, a forced
 training round, batched authentications (coalesced server-side into one
 fused scoring pass), a drift report, a rollback and the telemetry
 snapshot — each a typed protocol request JSON-encoded by the wire codec.
+With ``--api-key`` every request travels in a versioned caller envelope on
+the ``/v2`` endpoints (the rollback automatically routes to ``/v2/admin``);
+without it the client speaks the legacy unauthenticated ``/v1`` surface.
 The demo fleet serves 12 feature columns named ``f00``..``f11``; this
 client synthesises windows against that schema.
 """
@@ -52,13 +55,20 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8414)
+    parser.add_argument(
+        "--api-key",
+        default=None,
+        help="v2 caller credential (printed by the server at startup); "
+        "omit to speak the legacy /v1 surface",
+    )
     args = parser.parse_args()
 
     rng = np.random.default_rng(42)
     user = "wire-example-user"
-    with ServiceClient(host=args.host, port=args.port) as client:
+    with ServiceClient(host=args.host, port=args.port, api_key=args.api_key) as client:
         health = client.health()
-        print(f"server ok, uptime {health['uptime_s']:.1f}s, "
+        print(f"speaking API v{client.api_version}; server ok, "
+              f"uptime {health['uptime_s']:.1f}s, "
               f"{health['frontend_requests']} frontend requests so far")
 
         # 1. Enroll: buffer windows, then force one training round.

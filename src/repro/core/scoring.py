@@ -25,8 +25,7 @@ This module sits *below* :mod:`repro.devices`: it scores any bundle exposing
 the structural interfaces below (:class:`ScorableModel`,
 :class:`ScorableBundle`) and never imports the device or service layers, so
 the dependency graph stays acyclic with no lazy-import workarounds.  The
-concrete model types live in :mod:`repro.devices.cloud`; the old import path
-:mod:`repro.service.batch` re-exports these names.
+concrete model types live in :mod:`repro.devices.cloud`.
 """
 
 from __future__ import annotations
@@ -40,6 +39,88 @@ import numpy as np
 
 from repro.ml.base import LinearDecisionRule
 from repro.sensors.types import CoarseContext
+
+# --------------------------------------------------------------------- #
+# context int-encoding
+# --------------------------------------------------------------------- #
+
+#: Canonical decode table: ``CONTEXT_BY_CODE[code]`` is the coarse context
+#: a small-int context code stands for.  The scoring hot path carries
+#: contexts as ``int8`` code arrays end-to-end (protocol requests encode at
+#: construction, the gateway detector emits codes directly), so the
+#: per-flush bucketing below is pure NumPy with no per-row Python.
+CONTEXT_BY_CODE: tuple[CoarseContext, ...] = tuple(CoarseContext)
+
+#: Canonical encode table, the inverse of :data:`CONTEXT_BY_CODE`.
+CONTEXT_CODES: dict[CoarseContext, int] = {
+    context: code for code, context in enumerate(CONTEXT_BY_CODE)
+}
+
+#: Sorted context label values, for vectorized label→code translation.
+_SORTED_LABELS = np.array(sorted(context.value for context in CONTEXT_BY_CODE))
+_CODE_BY_SORTED_LABEL = np.asarray(
+    [CONTEXT_CODES[CoarseContext(label)] for label in _SORTED_LABELS],
+    dtype=np.int8,
+)
+
+
+def encode_contexts(contexts: Sequence[CoarseContext] | np.ndarray) -> np.ndarray:
+    """Encode per-window context labels as canonical ``int8`` codes.
+
+    Accepts an already-encoded integer array (validated and passed through),
+    a NumPy array of label strings (translated in one vectorized
+    ``searchsorted`` pass — the context detector's output path), or any
+    sequence of :class:`~repro.sensors.types.CoarseContext` / label values.
+
+    Raises
+    ------
+    ValueError
+        If an integer code is out of range or a label names no context.
+    """
+    if isinstance(contexts, np.ndarray):
+        if np.issubdtype(contexts.dtype, np.integer):
+            # Range-check BEFORE any narrowing cast: an out-of-range code
+            # that wraps to a valid int8 value (e.g. 256 -> 0) must be
+            # rejected, never silently scored under the wrong model.
+            if len(contexts) and (
+                int(contexts.min()) < 0
+                or int(contexts.max()) >= len(CONTEXT_BY_CODE)
+            ):
+                raise ValueError(
+                    f"context codes must be in [0, {len(CONTEXT_BY_CODE)}), "
+                    f"got values outside that range"
+                )
+            return contexts.astype(np.int8, copy=False)
+        if contexts.dtype.kind in "US":
+            return _encode_labels(contexts)
+    return np.fromiter(
+        (
+            CONTEXT_CODES[
+                context
+                if isinstance(context, CoarseContext)
+                else CoarseContext(context)
+            ]
+            for context in contexts
+        ),
+        dtype=np.int8,
+        count=len(contexts),
+    )
+
+
+def _encode_labels(labels: np.ndarray) -> np.ndarray:
+    """Vectorized label-string → code translation (detector predictions)."""
+    positions = np.searchsorted(_SORTED_LABELS, labels)
+    positions = np.clip(positions, 0, len(_SORTED_LABELS) - 1)
+    matched = _SORTED_LABELS[positions] == labels
+    if not matched.all():
+        bad = labels[~matched][0]
+        raise ValueError(f"{bad!r} is not a known coarse context label")
+    return _CODE_BY_SORTED_LABEL[positions]
+
+
+def decode_contexts(codes: np.ndarray) -> tuple[CoarseContext, ...]:
+    """The coarse contexts a code array stands for (inverse of encoding)."""
+    return tuple(CONTEXT_BY_CODE[code] for code in codes)
 
 
 @runtime_checkable
@@ -120,16 +201,30 @@ def canonicalize_rows(features: np.ndarray) -> np.ndarray:
 
 
 def _validate_batch(
-    features: np.ndarray, contexts: Sequence[CoarseContext]
-) -> tuple[np.ndarray, list[CoarseContext]]:
-    """Canonicalise one request's ``(features, contexts)`` pair."""
+    features: np.ndarray, contexts: Sequence[CoarseContext] | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalise one request's ``(features, context codes)`` pair."""
     features = canonicalize_rows(features)
-    contexts = list(contexts)
-    if len(contexts) != len(features):
+    codes = encode_contexts(contexts)
+    if len(codes) != len(features):
         raise ValueError(
-            f"got {len(features)} feature rows but {len(contexts)} context labels"
+            f"got {len(features)} feature rows but {len(codes)} context labels"
         )
-    return features, contexts
+    return features, codes
+
+
+def _rows_by_slot(row_slots: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """Group row indices by their model slot, without per-row Python.
+
+    Returns ``(slot, row_indices)`` pairs; each ``row_indices`` array holds
+    the positions whose entry in *row_slots* equals ``slot``, in ascending
+    row order (the stable sort preserves it).
+    """
+    order = np.argsort(row_slots, kind="stable")
+    sorted_slots = row_slots[order]
+    boundaries = np.flatnonzero(sorted_slots[1:] != sorted_slots[:-1]) + 1
+    groups = np.split(order, boundaries)
+    return [(int(row_slots[group[0]]), group) for group in groups if len(group)]
 
 
 class BatchScorer:
@@ -170,19 +265,40 @@ class BatchScorer:
 
     # ------------------------------------------------------------------ #
 
+    def model_by_code(self) -> list[ScorableModel]:
+        """Every context code's resolved model (the bucketing lookup table).
+
+        Index *c* holds the model that scores windows whose detected context
+        encodes to code *c* — fall-backs for never-enrolled contexts and the
+        ``use_context=False`` single-model mode already applied.  Memoised
+        per ``use_context`` value: the bundle is immutable, so resolution
+        can never change under a fixed mode, and the serving hot path looks
+        this table up once per scorer per coalesced flush.
+        """
+        cached = self.__dict__.get("_model_by_code")
+        if cached is not None and cached[0] == self.use_context:
+            return cached[1]
+        models = [self.select_model(context) for context in CONTEXT_BY_CODE]
+        self.__dict__["_model_by_code"] = (self.use_context, models)
+        return models
+
+    # ------------------------------------------------------------------ #
+
     def score(
-        self, features: np.ndarray, contexts: Sequence[CoarseContext]
+        self, features: np.ndarray, contexts: Sequence[CoarseContext] | np.ndarray
     ) -> BatchScoreResult:
         """Score a batch of windows, each with its detected context.
 
-        Rows sharing a resolved model are scored in a single vectorized
-        call; results are scattered back into window order.
+        *contexts* may be coarse-context labels or an already-encoded
+        ``int8`` code array (see :func:`encode_contexts`).  Rows sharing a
+        resolved model are grouped in one vectorized pass — no per-row
+        Python — and scored in a single call per model; results are
+        scattered back into window order.
         """
-        features, contexts = _validate_batch(features, contexts)
+        features, codes = _validate_batch(features, contexts)
         n_windows = len(features)
         scores = np.empty(n_windows)
         accepted = np.empty(n_windows, dtype=bool)
-        model_contexts: list[CoarseContext] = [CoarseContext.STATIONARY] * n_windows
         if n_windows == 0:
             return BatchScoreResult(
                 scores=scores,
@@ -190,34 +306,39 @@ class BatchScorer:
                 model_contexts=tuple(),
                 model_version=self.bundle.version,
             )
-        # Resolve each distinct detected context to its model once, then
-        # bucket window indices by the *resolved* model (several detected
-        # contexts may fall back onto the same model).
-        resolved: dict[CoarseContext, ScorableModel] = {
-            context: self.select_model(context) for context in set(contexts)
-        }
-        buckets: dict[int, list[int]] = {}
-        models_by_id: dict[int, ScorableModel] = {}
-        for index, context in enumerate(contexts):
-            model = resolved[context]
-            key = id(model)
-            models_by_id[key] = model
-            buckets.setdefault(key, []).append(index)
-        for key, indices in buckets.items():
-            model = models_by_id[key]
-            rows = features[indices]
-            scores[indices], accepted[indices] = model.batch_decisions(rows)
-            for index in indices:
-                model_contexts[index] = model.context
+        # Resolve every possible context code to its model once (a handful
+        # of lookups), then bucket window indices by resolved model with
+        # pure array operations: several detected contexts may fall back
+        # onto the same model, so codes first map onto model *slots*.
+        models = self.model_by_code()
+        slot_by_id: dict[int, int] = {}
+        distinct: list[ScorableModel] = []
+        slot_by_code = np.empty(len(models), dtype=np.intp)
+        for code, model in enumerate(models):
+            slot = slot_by_id.get(id(model))
+            if slot is None:
+                slot = slot_by_id[id(model)] = len(distinct)
+                distinct.append(model)
+            slot_by_code[code] = slot
+        row_slots = slot_by_code[codes]
+        for slot in np.unique(row_slots):
+            indices = np.flatnonzero(row_slots == slot)
+            model = distinct[slot]
+            scores[indices], accepted[indices] = model.batch_decisions(
+                features[indices]
+            )
+        context_by_slot = np.fromiter(
+            (model.context for model in distinct), dtype=object, count=len(distinct)
+        )
         return BatchScoreResult(
             scores=scores,
             accepted=accepted,
-            model_contexts=tuple(model_contexts),
+            model_contexts=tuple(context_by_slot[row_slots]),
             model_version=self.bundle.version,
         )
 
     def confidence_scores(
-        self, features: np.ndarray, contexts: Sequence[CoarseContext]
+        self, features: np.ndarray, contexts: Sequence[CoarseContext] | np.ndarray
     ) -> np.ndarray:
         """Confidence score per window (the retraining monitor's input)."""
         return self.score(features, contexts).scores
@@ -390,7 +511,7 @@ def _serving_rules(
 def score_requests(
     scorers: Sequence[BatchScorer],
     features_list: Sequence[np.ndarray],
-    contexts_list: Sequence[Sequence[CoarseContext]],
+    contexts_list: Sequence[Sequence[CoarseContext] | np.ndarray],
     stack_cache: FusedStackCache | None = None,
 ) -> list[BatchScoreResult]:
     """Score many concurrent authenticate requests in one coalesced pass.
@@ -398,6 +519,10 @@ def score_requests(
     ``scorers[i]`` scores request *i*'s ``(features_list[i],
     contexts_list[i])`` windows; the same :class:`BatchScorer` object may
     appear many times (several requests for one user's served version).
+    Context entries may be label sequences or already-encoded ``int8`` code
+    arrays (:func:`encode_contexts`); the serving path passes codes, so
+    resolving every window to its model is a pure array gather — the
+    per-row Python bucketing loop this function used to run is gone.
 
     Every row in the combined batch whose resolved model exposes a
     :class:`~repro.ml.base.LinearDecisionRule` — the paper's kernel-ridge
@@ -473,53 +598,85 @@ def score_requests(
         ]
     stacked = np.vstack([features for features, _ in batches if len(features)])
 
-    # Resolve every row to its model; bucket rows per unique model object.
-    models_by_key: dict[int, ScorableModel] = {}
-    rows_by_key: dict[int, list[int]] = {}
-    model_contexts = np.empty(total, dtype=object)
+    # Resolve every row to its model with array gathers alone.  Each
+    # distinct scorer contributes one row of a code→slot lookup matrix
+    # (its memoised code→model table mapped onto call-local model slots —
+    # O(distinct scorers) cheap Python); the whole fleet batch then
+    # resolves in two vectorized gathers: repeat each request's lut row
+    # over its windows, and index the matrix with (lut row, context code)
+    # pairs.  No per-row Python anywhere.
+    distinct_models: list[ScorableModel] = []
+    slot_by_model_id: dict[int, int] = {}
+    lut_rows: list[list[int]] = []
+    lut_row_by_scorer: dict[int, int] = {}
+    request_lut_rows = np.empty(n_requests, dtype=np.intp)
+    lengths = np.empty(n_requests, dtype=np.intp)
     for index in range(n_requests):
-        features, contexts = batches[index]
+        features, _ = batches[index]
+        lengths[index] = len(features)
         if not len(features):
+            request_lut_rows[index] = 0
             continue
         scorer = scorers[index]
-        resolved: dict[CoarseContext, ScorableModel] = {
-            context: scorer.select_model(context) for context in set(contexts)
-        }
-        base = int(offsets[index])
-        for position, context in enumerate(contexts):
-            model = resolved[context]
-            key = id(model)
-            models_by_key[key] = model
-            rows_by_key.setdefault(key, []).append(base + position)
-            model_contexts[base + position] = model.context
+        lut_row = lut_row_by_scorer.get(id(scorer))
+        if lut_row is None:
+            entry = []
+            for model in scorer.model_by_code():
+                slot = slot_by_model_id.get(id(model))
+                if slot is None:
+                    slot = slot_by_model_id[id(model)] = len(distinct_models)
+                    distinct_models.append(model)
+                entry.append(slot)
+            lut_row = lut_row_by_scorer[id(scorer)] = len(lut_rows)
+            lut_rows.append(entry)
+        request_lut_rows[index] = lut_row
+    lut_matrix = np.asarray(lut_rows, dtype=np.intp)
+    all_codes = np.concatenate([codes for _, codes in batches])
+    row_slots = lut_matrix[np.repeat(request_lut_rows, lengths), all_codes]
+    context_by_slot = np.fromiter(
+        (model.context for model in distinct_models),
+        dtype=object,
+        count=len(distinct_models),
+    )
+    model_contexts = context_by_slot[row_slots]
 
     scores = np.empty(total)
     accepted = np.empty(total, dtype=bool)
 
-    # Split models into fusible (affine decision rule) and fallback.
-    fused_rules: list[LinearDecisionRule] = []
-    fused_rows: list[np.ndarray] = []
-    for key, row_list in rows_by_key.items():
-        model = models_by_key[key]
+    # Split the *used* model slots into fusible (affine decision rule) and
+    # fallback — an O(models) loop, never O(rows).
+    rule_by_slot: list[LinearDecisionRule | None] = [None] * len(distinct_models)
+    fusible = np.zeros(len(distinct_models), dtype=bool)
+    used_slots = np.unique(row_slots)
+    for slot in used_slots:
+        model = distinct_models[slot]
         rule = model.decision_rule() if hasattr(model, "decision_rule") else None
-        if rule is not None:
-            if rule.coef.shape[-1] != stacked.shape[1]:
-                # The fallback path rejects this inside scaler.transform;
-                # the fused gather must refuse too, or NumPy broadcasting
-                # (e.g. width-1 rows against d-wide parameters) would
-                # silently score — and possibly accept — malformed probes.
-                raise ValueError(
-                    f"feature rows have {stacked.shape[1]} columns but the "
-                    f"model for context {model.context.value!r} was trained "
-                    f"on {rule.coef.shape[-1]} features"
-                )
-            fused_rules.append(rule)
-            fused_rows.append(np.asarray(row_list))
-        else:
-            rows = np.asarray(row_list)
+        if rule is None:
+            continue
+        if rule.coef.shape[-1] != stacked.shape[1]:
+            # The fallback path rejects this inside scaler.transform;
+            # the fused gather must refuse too, or NumPy broadcasting
+            # (e.g. width-1 rows against d-wide parameters) would
+            # silently score — and possibly accept — malformed probes.
+            raise ValueError(
+                f"feature rows have {stacked.shape[1]} columns but the "
+                f"model for context {model.context.value!r} was trained "
+                f"on {rule.coef.shape[-1]} features"
+            )
+        rule_by_slot[slot] = rule
+        fusible[slot] = True
+
+    # Fallback models (probability-vote forests, non-linear kernels): one
+    # vectorized batch_decisions call per model, shared across requests.
+    all_fusible = bool(fusible[used_slots].all())
+    if not all_fusible:
+        fallback_rows = np.flatnonzero(~fusible[row_slots])
+        for slot, group in _rows_by_slot(row_slots[fallback_rows]):
+            rows = fallback_rows[group]
+            model = distinct_models[slot]
             scores[rows], accepted[rows] = model.batch_decisions(stacked[rows])
 
-    if fused_rules:
+    if fusible.any():
         if stack_cache is not None:
             # Stack the whole serving model set, not just this flush's used
             # subset: the fingerprint then survives per-flush variation in
@@ -527,22 +684,26 @@ def score_requests(
             # flushes keep hitting one entry until the served models change.
             stacks = stack_cache.stacks_for(_serving_rules(scorers, stacked.shape[1]))
         else:
-            stacks = FusedStacks.build(fused_rules)
+            stacks = FusedStacks.build(
+                [rule_by_slot[slot] for slot in used_slots if fusible[slot]]
+            )
         # One parameter row per model, gathered out to one row per window:
         # the whole fleet batch then reduces in a single einsum.  Each
         # elementwise operation matches the per-model path exactly
         # (standardise, centre, project, sign-adjust), so the fused scores
         # are bit-for-bit identical.
-        row_index = np.concatenate(fused_rows)
-        lengths = np.fromiter(
-            (len(rows) for rows in fused_rows), dtype=int, count=len(fused_rows)
-        )
-        gather = np.repeat(
-            np.asarray(
-                [stacks.position_by_id[id(rule)] for rule in fused_rules], dtype=int
-            ),
-            lengths,
-        )
+        position_by_slot = np.zeros(len(distinct_models), dtype=np.intp)
+        for slot in used_slots:
+            if fusible[slot]:
+                position_by_slot[slot] = stacks.position_by_id[id(rule_by_slot[slot])]
+        if all_fusible:
+            row_index: np.ndarray | slice = slice(None)
+            rows_features = stacked
+            gather = position_by_slot[row_slots]
+        else:
+            row_index = np.flatnonzero(fusible[row_slots])
+            rows_features = stacked[row_index]
+            gather = position_by_slot[row_slots[row_index]]
         mean = stacks.mean[gather]
         scale = stacks.scale[gather]
         x_offset = stacks.x_offset[gather]
@@ -550,7 +711,7 @@ def score_requests(
         y_offset = stacks.y_offset[gather]
         sign = stacks.sign[gather]
         accept_nonneg = stacks.accept_nonneg[gather]
-        centred = (stacked[row_index] - mean) / scale - x_offset
+        centred = (rows_features - mean) / scale - x_offset
         raw = np.einsum("ij,ij->i", centred, coef) + y_offset
         scores[row_index] = sign * raw
         accepted[row_index] = np.where(accept_nonneg, raw >= 0.0, raw < 0.0)
@@ -585,7 +746,7 @@ def score_fleet(
     Mapping from user id to that user's combined batch result.
     """
     grouped_rows: dict[str, list[np.ndarray]] = {}
-    grouped_contexts: dict[str, list[CoarseContext]] = {}
+    grouped_codes: dict[str, list[np.ndarray]] = {}
     for index, (user_id, features, contexts) in enumerate(requests):
         if user_id not in scorers:
             raise KeyError(f"no scorer available for user {user_id!r}")
@@ -593,16 +754,17 @@ def score_fleet(
         # for the same user would otherwise silently score windows under
         # the wrong contexts.
         try:
-            rows, contexts = _validate_batch(features, contexts)
+            rows, codes = _validate_batch(features, contexts)
         except ValueError as error:
             raise ValueError(
                 f"request {index} for user {user_id!r}: {error}"
             ) from None
         grouped_rows.setdefault(user_id, []).append(rows)
-        grouped_contexts.setdefault(user_id, []).extend(contexts)
+        grouped_codes.setdefault(user_id, []).append(codes)
     return {
         user_id: scorers[user_id].score(
-            np.vstack(grouped_rows[user_id]), grouped_contexts[user_id]
+            np.vstack(grouped_rows[user_id]),
+            np.concatenate(grouped_codes[user_id]),
         )
         for user_id in grouped_rows
     }

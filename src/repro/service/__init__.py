@@ -5,35 +5,48 @@ is the serving subsystem implied by the SmarterYou architecture (Figure 1)
 but absent from the paper's prototype:
 
 * :mod:`repro.service.protocol` — typed request/response dataclasses with a
-  lossless JSON wire codec (the transport-agnostic service contract);
+  lossless JSON wire codec (the transport-agnostic service contract), split
+  into a hot **data plane** (enroll / authenticate / drift-report) and an
+  admin **control plane** (rollback / snapshot / eviction / detector
+  training);
+* :mod:`repro.service.envelope` — the versioned (v2) API surface: frozen
+  request :class:`~repro.service.envelope.Envelope`\\ s carrying
+  ``api_version`` / ``request_id`` / idempotency key / caller credentials,
+  a :class:`~repro.service.envelope.CallerRegistry` of hashed API keys and
+  per-caller scopes, and the :class:`~repro.service.envelope.EnvelopeProcessor`
+  that authorizes every envelope *before* it can reach the gateway;
 * :mod:`repro.service.transport` — the HTTP transport actually speaking
-  that codec over sockets: a stdlib threaded server exposing
-  ``POST /v1/requests`` (+ ``/healthz``, ``/metrics``) and a
-  connection-reusing client with batch submit;
+  those codecs over sockets: a stdlib threaded server exposing
+  ``POST /v1/requests`` (legacy), ``POST /v2/requests`` (enveloped data
+  plane) and ``POST /v2/admin`` (enveloped control plane), plus
+  ``/healthz`` and ``/metrics``, and a connection-reusing client;
 * :mod:`repro.service.frontend` — the micro-batching front door: validates,
   routes and coalesces concurrent authenticate requests into single
   vectorized scoring passes (reusing fused parameter stacks across flushes
   via :class:`~repro.core.scoring.FusedStackCache`), with telemetry /
   error-mapping / per-user serialization middleware and admission-controlled
-  queuing (:class:`~repro.service.frontend.MicroBatchQueue`);
+  queuing (:class:`~repro.service.frontend.MicroBatchQueue`, data plane
+  only);
 * :mod:`repro.service.gateway` — the backend dispatcher executing protocol
-  requests against storage, training, registry and scoring;
+  requests against storage, training, registry and scoring, through its
+  :class:`~repro.service.gateway.DataPlane` and
+  :class:`~repro.service.gateway.ControlPlane`;
 * :mod:`repro.service.registry` — a versioned model registry that persists
   and serves :class:`~repro.devices.cloud.TrainedModelBundle`\\ s (and the
-  user-agnostic context detector) with rollback;
+  user-agnostic context detector) with rollback and eviction;
 * :mod:`repro.service.fleet` — a fleet simulator driving hundreds of users
-  through the full enroll → auth → attack → drift → retrain lifecycle;
+  through the full enroll → auth → attack → drift → retrain lifecycle over
+  the v2 API;
 * :mod:`repro.service.telemetry` — counters and latency statistics for all
   of the above.
 
 The storage and scoring engines live in the layers below —
 :class:`~repro.devices.store.FeatureStore` in :mod:`repro.devices.store` and
 :class:`~repro.core.scoring.BatchScorer` in :mod:`repro.core.scoring` — and
-are re-exported here (and from :mod:`repro.service.store` /
-:mod:`repro.service.batch`) under their historical names.  The dependency
-graph is strictly acyclic — store and scoring sit below the cloud server,
-which sits below the core facade, with ``service`` on top — so this
-package imports eagerly: no lazy-import workarounds remain.
+are re-exported here under their historical names.  The dependency graph is
+strictly acyclic — store and scoring sit below the cloud server, which sits
+below the core facade, with ``service`` on top — so this package imports
+eagerly: no lazy-import workarounds remain.
 """
 
 from repro.core.scoring import (
@@ -44,17 +57,37 @@ from repro.core.scoring import (
     score_requests,
 )
 from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer, StoreStats
+from repro.service.envelope import (
+    API_VERSION,
+    SCOPE_ADMIN,
+    SCOPE_DATA_WRITE,
+    CallerRegistry,
+    DeniedResponse,
+    Envelope,
+    EnvelopeChannel,
+    EnvelopeProcessor,
+    SealedResponse,
+)
 from repro.service.fleet import FleetConfig, FleetReport, FleetSimulator, RequestChannel
 from repro.service.frontend import MicroBatchQueue, ServiceFrontend
-from repro.service.gateway import AuthenticationGateway
+from repro.service.gateway import (
+    AuthenticationGateway,
+    ControlPlane,
+    DataPlane,
+    PlaneMismatchError,
+)
 from repro.service.protocol import (
     AuthenticateRequest,
     AuthenticationResponse,
+    DetectorTrainRequest,
+    DetectorTrainResponse,
     DriftReport,
     DriftResponse,
     EnrollRequest,
     EnrollResponse,
     ErrorResponse,
+    EvictRequest,
+    EvictResponse,
     RollbackRequest,
     RollbackResponse,
     SnapshotRequest,
@@ -67,17 +100,29 @@ from repro.service.transport import ServiceClient, ServiceHTTPServer
 
 __all__ = [
     "ANY_CONTEXT",
+    "API_VERSION",
     "AuthenticateRequest",
     "AuthenticationGateway",
     "AuthenticationResponse",
     "BatchScoreResult",
     "BatchScorer",
+    "CallerRegistry",
+    "ControlPlane",
     "Counter",
+    "DataPlane",
+    "DeniedResponse",
+    "DetectorTrainRequest",
+    "DetectorTrainResponse",
     "DriftReport",
     "DriftResponse",
     "EnrollRequest",
     "EnrollResponse",
+    "Envelope",
+    "EnvelopeChannel",
+    "EnvelopeProcessor",
     "ErrorResponse",
+    "EvictRequest",
+    "EvictResponse",
     "FeatureStore",
     "FleetConfig",
     "FleetReport",
@@ -87,10 +132,14 @@ __all__ = [
     "MicroBatchQueue",
     "ModelRecord",
     "ModelRegistry",
+    "PlaneMismatchError",
     "RequestChannel",
     "RingBuffer",
     "RollbackRequest",
     "RollbackResponse",
+    "SCOPE_ADMIN",
+    "SCOPE_DATA_WRITE",
+    "SealedResponse",
     "ServiceClient",
     "ServiceFrontend",
     "ServiceHTTPServer",

@@ -3,9 +3,10 @@
 Drives hundreds of simulated users through the full SmarterYou lifecycle —
 enroll → continuous authentication → masquerade attack → behavioural drift →
 retrain — entirely by issuing typed :mod:`repro.service.protocol` requests
-through the micro-batching :class:`~repro.service.frontend.ServiceFrontend`,
-and reports counters, accept/reject rates and latency statistics from the
-service telemetry.  Each authentication phase submits the whole fleet's
+over the v2 enveloped API (an authenticated ``fleet-operator`` caller
+whose envelopes dispatch through the micro-batching
+:class:`~repro.service.frontend.ServiceFrontend`), and reports counters,
+accept/reject rates and latency statistics from the service telemetry.  Each authentication phase submits the whole fleet's
 requests in one batch, so they coalesce into a single fused scoring pass;
 by default the fleet also trains and publishes the user-agnostic context
 detector, and authentication requests carry *no* device-reported contexts —
@@ -33,6 +34,13 @@ from repro.devices.store import FeatureStore
 from repro.ml.kernel_ridge import KernelRidgeClassifier
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
+from repro.service.envelope import (
+    SCOPE_ADMIN,
+    SCOPE_DATA_WRITE,
+    CallerRegistry,
+    EnvelopeChannel,
+    EnvelopeProcessor,
+)
 from repro.service.frontend import ServiceFrontend
 from repro.service.gateway import AuthenticationGateway
 from repro.service.protocol import (
@@ -244,13 +252,19 @@ class FleetSimulator:
         given.
     channel:
         Optional :class:`RequestChannel` every protocol request is
-        submitted through instead of the in-process frontend — e.g. an
-        HTTP :class:`~repro.service.transport.ServiceClient` pointed at a
+        submitted through instead of the default — e.g. an HTTP
+        :class:`~repro.service.transport.ServiceClient` pointed at a
         :class:`~repro.service.transport.ServiceHTTPServer` wrapping this
         simulator's frontend, which runs the whole lifecycle over real
-        sockets.  Training rounds and registry queries still go through
-        the local *gateway* (the simulator is the operator, not a device),
-        so the gateway must be the same one the remote channel serves.
+        sockets.  When omitted, the fleet speaks the **v2 enveloped API**
+        in process: a ``fleet-operator`` caller is provisioned in
+        :attr:`callers` (its key in :attr:`api_key` — hand it to a
+        :class:`~repro.service.transport.ServiceClient` to run the same
+        lifecycle over the v2 endpoints) and every request travels through
+        an :class:`~repro.service.envelope.EnvelopeChannel`.  Training
+        rounds and registry queries still go through the local *gateway*
+        (the simulator is the operator, not a device), so the gateway must
+        be the same one a remote channel serves.
 
     Raises
     ------
@@ -298,7 +312,20 @@ class FleetSimulator:
             )
         self.gateway = gateway
         self.frontend = frontend if frontend is not None else ServiceFrontend(gateway)
-        self.channel: RequestChannel = channel if channel is not None else self.frontend
+        # The fleet is a v2 API caller: its requests travel in envelopes
+        # under the fleet-operator credential (both scopes: the lifecycle
+        # enrolls AND retrains).  The same registry/key serve a
+        # ServiceHTTPServer + ServiceClient pair for the socket variant.
+        self.callers = CallerRegistry(telemetry=self.frontend.telemetry)
+        self.api_key = self.callers.register(
+            "fleet-operator", (SCOPE_DATA_WRITE, SCOPE_ADMIN)
+        )
+        self.processor = EnvelopeProcessor(self.frontend, callers=self.callers)
+        self.channel: RequestChannel = (
+            channel
+            if channel is not None
+            else EnvelopeChannel(self.processor, self.api_key)
+        )
         self.feature_names = [f"f{i:02d}" for i in range(self.config.n_features)]
         self.users: list[SimulatedUser] = []
 

@@ -48,7 +48,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.scoring import FusedStackCache, score_requests
-from repro.service.gateway import AuthenticationGateway
+from repro.service.gateway import AuthenticationGateway, PlaneMismatchError
 from repro.service.protocol import (
     AuthenticateRequest,
     AuthenticationResponse,
@@ -56,6 +56,8 @@ from repro.service.protocol import (
     Request,
     Response,
     ThrottledResponse,
+    is_control_plane,
+    is_data_plane,
     request_kind,
 )
 from repro.service.telemetry import TelemetryHub
@@ -144,6 +146,26 @@ class ServiceFrontend:
         """
         return self.submit_many([request])[0]
 
+    def submit_control(self, request: Request) -> Response:
+        """Dispatch one control-plane request through the middleware stack.
+
+        The admin door: same telemetry / error-mapping / per-user-lock
+        middleware as :meth:`submit`, but restricted to the control plane's
+        typed request set — the v2 admin endpoint dispatches through here,
+        so a data-plane operation can never ride in on it.
+
+        Raises
+        ------
+        PlaneMismatchError
+            If *request* is a data-plane operation.
+        TypeError
+            If *request* is not a protocol request.
+        """
+        if not is_control_plane(request):
+            request_kind(request)  # raises TypeError on non-protocol input
+            raise PlaneMismatchError(request, plane="control", expected="data")
+        return self._submit_one(request)
+
     def submit_many(self, requests: Sequence[Request]) -> list[Response]:
         """Dispatch a batch of requests, coalescing authenticate runs.
 
@@ -213,20 +235,22 @@ class ServiceFrontend:
         responses: list[Response | None] = [None] * len(batch)
 
         # 1. Context detection for every request that did not report
-        #    contexts, in ONE vectorized detector pass over all their rows.
-        #    If the shared pass fails (e.g. one request's malformed feature
-        #    width breaks the stack), fall back to per-request detection so
-        #    only the offending requests are rejected.
-        detected: dict[int, tuple] = {}
+        #    contexts, in ONE vectorized detector pass over all their rows
+        #    (emitting int context codes — the hot path never builds enum
+        #    tuples).  If the shared pass fails (e.g. one request's
+        #    malformed feature width breaks the stack), fall back to
+        #    per-request detection so only the offending requests are
+        #    rejected.
+        detected: dict[int, np.ndarray] = {}
         needing = [index for index, request in enumerate(batch) if request.contexts is None]
         if needing:
             rows = [batch[index].features for index in needing]
             try:
-                labels = self.gateway.detect_contexts(np.vstack(rows))
+                codes = self.gateway.detect_context_codes(np.vstack(rows))
             except Exception:
                 for index in needing:
                     try:
-                        detected[index] = self.gateway.detect_contexts(
+                        detected[index] = self.gateway.detect_context_codes(
                             batch[index].features
                         )
                     except Exception as error:
@@ -236,7 +260,7 @@ class ServiceFrontend:
             else:
                 offset = 0
                 for index, request_rows in zip(needing, rows):
-                    detected[index] = labels[offset : offset + len(request_rows)]
+                    detected[index] = codes[offset : offset + len(request_rows)]
                     offset += len(request_rows)
 
         # 2. Resolve each remaining request's served scorer; a missing
@@ -255,7 +279,7 @@ class ServiceFrontend:
             scorers.append(scorer)
             features_list.append(request.features)
             contexts_list.append(
-                detected[index] if request.contexts is None else request.contexts
+                detected[index] if request.contexts is None else request.context_codes
             )
 
         # 3. One coalesced scoring pass over every surviving request; the
@@ -496,12 +520,22 @@ class MicroBatchQueue:
         Raises
         ------
         TypeError
-            If *request* is not a protocol request.
+            If *request* is not a protocol request, or is a control-plane
+            operation — the queue admits only the hot data path (enroll /
+            authenticate / drift-report); admin operations dispatch through
+            :meth:`ServiceFrontend.submit_control`.
         RuntimeError
             If the queue is not running, or stops while this submission is
             blocked waiting for capacity.
         """
         kind = request_kind(request)  # raises TypeError on non-protocol input
+        if not is_data_plane(request):
+            raise TypeError(
+                f"the micro-batch queue admits only data-plane requests "
+                f"(enroll / authenticate / drift-report); {kind!r} is a "
+                "control-plane operation — dispatch it through "
+                "ServiceFrontend.submit_control()"
+            )
         while True:
             with self._submit_guard:
                 if self._closed or self._worker is None or not self._worker.is_alive():

@@ -22,34 +22,155 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.context import ContextDetector
-from repro.core.scoring import BatchScorer, BatchScoreResult, canonicalize_rows
+from repro.core.scoring import (
+    BatchScorer,
+    BatchScoreResult,
+    canonicalize_rows,
+    decode_contexts,
+    encode_contexts,
+)
 from repro.devices.cloud import MIN_WINDOWS_PER_CONTEXT, AuthenticationServer
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
 from repro.service.protocol import (
     AuthenticateRequest,
     AuthenticationResponse,
+    DetectorTrainRequest,
+    DetectorTrainResponse,
     DriftReport,
     DriftResponse,
     EnrollRequest,
     EnrollResponse,
+    EvictRequest,
+    EvictResponse,
     Request,
     Response,
     RollbackRequest,
     RollbackResponse,
     SnapshotRequest,
     SnapshotResponse,
+    request_kind,
 )
 from repro.service.registry import ModelRegistry
 from repro.service.telemetry import TelemetryHub
 
 __all__ = [
     "AuthenticationGateway",
+    "ControlPlane",
+    "DataPlane",
+    "PlaneMismatchError",
     # Response types historically lived here; re-exported for compatibility.
     "EnrollResponse",
     "AuthenticationResponse",
     "DriftResponse",
 ]
+
+
+class PlaneMismatchError(TypeError):
+    """A protocol request was dispatched to the wrong plane.
+
+    Raised when a control-plane operation (rollback, snapshot, eviction,
+    detector training) reaches the :class:`DataPlane` — or a hot-path
+    operation reaches the :class:`ControlPlane`.  Carries the typed wire
+    error code the transport maps to an HTTP status.
+    """
+
+    #: Typed error code surfaced on the wire.
+    code = "wrong-plane"
+
+    def __init__(self, request: Request, plane: str, expected: str) -> None:
+        super().__init__(
+            f"{type(request).__name__} ({request_kind(request)!r}) is a "
+            f"{expected}-plane operation and is unreachable from the "
+            f"{plane} plane"
+        )
+
+
+class Plane:
+    """One dispatch plane: a named, typed subset of the gateway's API.
+
+    A request of the *other* plane dispatched here raises
+    :class:`PlaneMismatchError` — the planes are structurally sealed off
+    from each other.
+    """
+
+    #: This plane's name ("data" / "control").
+    name: str
+    #: The other plane's name (for the mismatch error message).
+    other: str
+
+    def __init__(
+        self,
+        gateway: "AuthenticationGateway",
+        handlers: dict[type, Callable[[Request], Response]],
+    ) -> None:
+        self.gateway = gateway
+        self._handlers = handlers
+
+    @property
+    def request_types(self) -> tuple[type, ...]:
+        """The typed request set this plane serves."""
+        return tuple(self._handlers)
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one of this plane's requests.
+
+        Raises
+        ------
+        PlaneMismatchError
+            If *request* belongs to the other plane (or is any protocol
+            request this plane does not serve).
+        TypeError
+            If *request* is not a protocol request at all.
+        """
+        handler = self._handlers.get(type(request))
+        if handler is None:
+            raise PlaneMismatchError(request, plane=self.name, expected=self.other)
+        return handler(request)
+
+
+class DataPlane(Plane):
+    """The hot-path dispatcher: enroll / authenticate / drift-report only.
+
+    The only operations the micro-batching frontend coalesces, the
+    micro-batch queue admits, and ``POST /v2/requests`` accepts.
+    """
+
+    name = "data"
+    other = "control"
+
+    def __init__(self, gateway: "AuthenticationGateway") -> None:
+        super().__init__(
+            gateway,
+            {
+                EnrollRequest: gateway._handle_enroll,
+                AuthenticateRequest: gateway._handle_authenticate,
+                DriftReport: gateway._handle_drift,
+            },
+        )
+
+
+class ControlPlane(Plane):
+    """The admin dispatcher: rollback / snapshot / evict / detector training.
+
+    Rare, operator-initiated operations with their own typed request set
+    and the ``admin`` caller scope; served at ``POST /v2/admin``, never
+    coalesced and never admitted by the micro-batch queue.
+    """
+
+    name = "control"
+    other = "data"
+
+    def __init__(self, gateway: "AuthenticationGateway") -> None:
+        super().__init__(
+            gateway,
+            {
+                RollbackRequest: gateway._handle_rollback,
+                SnapshotRequest: gateway._handle_snapshot,
+                EvictRequest: gateway._handle_evict,
+                DetectorTrainRequest: gateway._handle_train_detector,
+            },
+        )
 
 
 class AuthenticationGateway:
@@ -105,35 +226,49 @@ class AuthenticationGateway:
         # it was built for, so memory stays bounded by fleet size and a
         # mode flip or retrain invalidates stale entries.
         self._scorers: dict[str, tuple[int, bool, BatchScorer]] = {}
-        self._handlers: dict[type, Callable[[Request], Response]] = {
-            EnrollRequest: self._handle_enroll,
-            AuthenticateRequest: self._handle_authenticate,
-            DriftReport: self._handle_drift,
-            RollbackRequest: self._handle_rollback,
-            SnapshotRequest: self._handle_snapshot,
-        }
+        # The two dispatch planes: the hot device path and the rare admin
+        # path, each with its own typed request set.  Versioned (v2)
+        # callers reach exactly one of them per endpoint; handle() below
+        # remains the plane-agnostic in-process facade.
+        self.data_plane = DataPlane(self)
+        self.control_plane = ControlPlane(self)
 
     # ------------------------------------------------------------------ #
     # protocol dispatch
     # ------------------------------------------------------------------ #
 
+    def plane_for(self, request: Request) -> DataPlane | ControlPlane:
+        """The plane serving *request*'s operation.
+
+        Raises
+        ------
+        TypeError
+            If *request* is not a protocol request.
+        """
+        if type(request) in self.data_plane._handlers:
+            return self.data_plane
+        if type(request) in self.control_plane._handlers:
+            return self.control_plane
+        raise TypeError(
+            f"not a protocol request: {type(request).__name__!r}; expected "
+            "one of EnrollRequest, AuthenticateRequest, DriftReport, "
+            "RollbackRequest, SnapshotRequest, EvictRequest, "
+            "DetectorTrainRequest"
+        )
+
     def handle(self, request: Request) -> Response:
         """Route one typed protocol request to its operation.
 
-        This is the gateway's single entry point: the convenience methods
-        below and the micro-batching frontend both dispatch through it.
-        Errors propagate as exceptions; mapping them to
+        This is the gateway's plane-agnostic in-process entry point: the
+        convenience methods below and the micro-batching frontend dispatch
+        through it, and it routes to whichever plane serves the request.
+        (Versioned API callers go through the planes directly — a data
+        endpoint can never reach a control operation.)  Errors propagate as
+        exceptions; mapping them to
         :class:`~repro.service.protocol.ErrorResponse` is the frontend
         middleware's job.
         """
-        handler = self._handlers.get(type(request))
-        if handler is None:
-            raise TypeError(
-                f"not a protocol request: {type(request).__name__!r}; expected "
-                "one of EnrollRequest, AuthenticateRequest, DriftReport, "
-                "RollbackRequest, SnapshotRequest"
-            )
-        return handler(request)
+        return self.plane_for(request).handle(request)
 
     # ------------------------------------------------------------------ #
     # enrollment
@@ -305,8 +440,13 @@ class AuthenticationGateway:
             copy.deepcopy(scaler), copy.deepcopy(classifier)
         )
 
-    def detect_contexts(self, features: np.ndarray) -> tuple[CoarseContext, ...]:
-        """Detect each row's coarse context with the registry-served detector.
+    def detect_context_codes(self, features: np.ndarray) -> np.ndarray:
+        """Detect each row's context as int codes, fully vectorized.
+
+        The serving hot path's form of :meth:`detect_contexts`: predictions
+        translate to canonical ``int8`` context codes in one array pass
+        (:func:`repro.core.scoring.encode_contexts`), so coalesced scoring
+        never touches per-row Python.
 
         Raises
         ------
@@ -316,11 +456,21 @@ class AuthenticationGateway:
         scaler, classifier = self.registry.context_detector()
         features = canonicalize_rows(features)
         if len(features) == 0:
-            return tuple()
+            return np.empty(0, dtype=np.int8)
         with self.telemetry.timer("detect_contexts"):
             predictions = classifier.predict(scaler.transform(features))
         self.telemetry.increment("context.detections", len(features))
-        return tuple(CoarseContext(str(label)) for label in predictions)
+        return encode_contexts(np.asarray(predictions).astype(str))
+
+    def detect_contexts(self, features: np.ndarray) -> tuple[CoarseContext, ...]:
+        """Detect each row's coarse context with the registry-served detector.
+
+        Raises
+        ------
+        KeyError
+            If no context detector has been published.
+        """
+        return decode_contexts(self.detect_context_codes(features))
 
     # ------------------------------------------------------------------ #
     # authentication
@@ -389,15 +539,15 @@ class AuthenticationGateway:
         )
 
     def _handle_authenticate(self, request: AuthenticateRequest) -> AuthenticationResponse:
-        contexts = request.contexts
-        if contexts is None:
+        codes = request.context_codes
+        if codes is None:
             # Detection runs outside the "authenticate" timer (it has its
             # own "detect_contexts" recorder) so that recorder measures
             # scoring alone on this door and the coalescing frontend alike.
-            contexts = self.detect_contexts(request.features)
+            codes = self.detect_context_codes(request.features)
         with self.telemetry.timer("authenticate"):
             result = self.scorer_for(request.user_id, request.version).score(
-                request.features, contexts
+                request.features, codes
             )
         self.record_authentication(result)
         return AuthenticationResponse(user_id=request.user_id, result=result)
@@ -433,6 +583,41 @@ class AuthenticationGateway:
         record = self.registry.rollback(request.user_id)
         self.telemetry.increment("rollback.count")
         return RollbackResponse(user_id=request.user_id, serving_version=record.version)
+
+    # ------------------------------------------------------------------ #
+    # registry eviction
+    # ------------------------------------------------------------------ #
+
+    def evict(
+        self,
+        policy: str = "max_versions",
+        max_versions: int = 4,
+        user_id: str | None = None,
+    ) -> EvictResponse:
+        """Evict old registry versions (see :meth:`ModelRegistry.evict`)."""
+        return self.handle(
+            EvictRequest(policy=policy, max_versions=max_versions, user_id=user_id)
+        )
+
+    def _handle_evict(self, request: EvictRequest) -> EvictResponse:
+        with self.telemetry.timer("evict"):
+            evicted = self.registry.evict(
+                policy=request.policy,
+                max_versions=request.max_versions,
+                user_id=request.user_id,
+            )
+        self.telemetry.increment(
+            "registry.evicted", sum(len(versions) for versions in evicted.values())
+        )
+        return EvictResponse(policy=request.policy, evicted=evicted)
+
+    def _handle_train_detector(
+        self, request: DetectorTrainRequest
+    ) -> DetectorTrainResponse:
+        version = self.train_context_detector(
+            matrix=request.matrix, exclude_user=request.exclude_user
+        )
+        return DetectorTrainResponse(version=version)
 
     # ------------------------------------------------------------------ #
 

@@ -9,13 +9,23 @@ value).  Keeping the protocol transport-agnostic means the in-process
 (:mod:`repro.service.transport`), and the test-suite all share one
 contract:
 
+The operations split into two *planes* (the v2 API serves them on separate
+endpoints with separate caller scopes; see :mod:`repro.service.envelope`):
+
+**Data plane** — the high-traffic device path (scope ``data:write``):
+
 * :class:`EnrollRequest` — upload feature windows (optionally training);
 * :class:`AuthenticateRequest` — score windows against the served model;
   ``contexts=None`` asks the server to detect contexts itself with the
   registry-published context detector instead of trusting the device;
-* :class:`DriftReport` — report behavioural drift with fresh windows;
+* :class:`DriftReport` — report behavioural drift with fresh windows.
+
+**Control plane** — rare operator/admin actions (scope ``admin``):
+
 * :class:`RollbackRequest` — retire the newest model version;
-* :class:`SnapshotRequest` — fetch telemetry and storage statistics.
+* :class:`SnapshotRequest` — fetch telemetry and storage statistics;
+* :class:`EvictRequest` — evict old registry versions (long-lived fleets);
+* :class:`DetectorTrainRequest` — train + publish the context detector.
 
 Every request/response round-trips losslessly through
 :func:`dumps_request`/:func:`loads_request` and
@@ -29,7 +39,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.scoring import BatchScoreResult, canonicalize_rows
+from repro.core.scoring import BatchScoreResult, canonicalize_rows, encode_contexts
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
 from repro.utils import serialization
@@ -87,12 +97,20 @@ class AuthenticateRequest:
         the registry-published user-agnostic detector.
     version:
         Optional pinned model version (default: the newest active one).
+    context_codes:
+        Derived, not a constructor argument: the int-encoded form of
+        ``contexts`` (``None`` when contexts are server-detected), computed
+        once at construction so the serving hot path buckets windows with
+        pure array gathers (:func:`repro.core.scoring.encode_contexts`).
     """
 
     user_id: str
     features: np.ndarray
     contexts: tuple[CoarseContext, ...] | None = None
     version: int | None = None
+    context_codes: np.ndarray | None = field(
+        init=False, default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         _check_user_id(self.user_id)
@@ -107,6 +125,9 @@ class AuthenticateRequest:
                     "context labels"
                 )
             object.__setattr__(self, "contexts", contexts)
+            codes = encode_contexts(contexts)
+            codes.setflags(write=False)
+            object.__setattr__(self, "context_codes", codes)
 
 
 @dataclass(frozen=True, eq=False)
@@ -140,7 +161,100 @@ class SnapshotRequest:
     """Fetch the service's telemetry counters and storage statistics."""
 
 
-Request = EnrollRequest | AuthenticateRequest | DriftReport | RollbackRequest | SnapshotRequest
+#: Eviction policies :class:`EvictRequest` accepts.
+EVICTION_POLICIES = ("max_versions", "lru")
+
+
+@dataclass(frozen=True)
+class EvictRequest:
+    """Evict old model versions from the registry (long-lived fleets).
+
+    A control-plane operation: long-lived fleets accumulate one bundle per
+    retrain per user, and without eviction registry memory (and on-disk
+    payloads) grow without bound.  The serving bundle is never evicted.
+
+    Attributes
+    ----------
+    policy:
+        ``"max_versions"`` keeps each user's newest versions;
+        ``"lru"`` keeps each user's most recently *served* versions.
+    max_versions:
+        How many versions each policy keeps per user (the serving version
+        is always kept, even beyond this budget).
+    user_id:
+        Restrict eviction to one user (default: the whole registry).
+    """
+
+    policy: str = "max_versions"
+    max_versions: int = 4
+    user_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {EVICTION_POLICIES}, got {self.policy!r}"
+            )
+        if not isinstance(self.max_versions, int) or self.max_versions < 1:
+            raise ValueError(
+                f"max_versions must be an int >= 1, got {self.max_versions!r}"
+            )
+        if self.user_id is not None:
+            _check_user_id(self.user_id)
+
+
+@dataclass(frozen=True, eq=False)
+class DetectorTrainRequest:
+    """Train the user-agnostic context detector and publish it.
+
+    A control-plane operation: the labelled *matrix* trains the shared
+    ``(scaler, classifier)`` detector through the paper-path entry point
+    and publishes it to the model registry, versioned like bundles.
+
+    ``eq=False`` for the same array-field reason as :class:`EnrollRequest`.
+    """
+
+    matrix: FeatureMatrix
+    exclude_user: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.matrix, FeatureMatrix):
+            raise ValueError("matrix must be a FeatureMatrix")
+        if self.exclude_user is not None:
+            _check_user_id(self.exclude_user)
+
+
+Request = (
+    EnrollRequest
+    | AuthenticateRequest
+    | DriftReport
+    | RollbackRequest
+    | SnapshotRequest
+    | EvictRequest
+    | DetectorTrainRequest
+)
+
+#: The hot-path operations: the only request types the data plane serves,
+#: the micro-batch queue admits, and ``POST /v2/requests`` accepts.
+DATA_PLANE_TYPES: tuple[type, ...] = (EnrollRequest, AuthenticateRequest, DriftReport)
+
+#: The admin operations: served by the control plane at ``POST /v2/admin``,
+#: requiring the ``admin`` caller scope.
+CONTROL_PLANE_TYPES: tuple[type, ...] = (
+    RollbackRequest,
+    SnapshotRequest,
+    EvictRequest,
+    DetectorTrainRequest,
+)
+
+
+def is_data_plane(request: Request) -> bool:
+    """True when *request* is a hot-path (data-plane) operation."""
+    return type(request) in DATA_PLANE_TYPES
+
+
+def is_control_plane(request: Request) -> bool:
+    """True when *request* is an admin (control-plane) operation."""
+    return type(request) in CONTROL_PLANE_TYPES
 
 # --------------------------------------------------------------------- #
 # responses
@@ -210,6 +324,36 @@ class SnapshotResponse:
 
 
 @dataclass(frozen=True)
+class EvictResponse:
+    """Outcome of a registry eviction pass.
+
+    Attributes
+    ----------
+    policy:
+        The policy that ran (``"max_versions"`` or ``"lru"``).
+    evicted:
+        Mapping of user id to the version numbers evicted for that user
+        (users with nothing to evict are omitted).
+    versions_evicted:
+        Total versions dropped across all users.
+    """
+
+    policy: str
+    evicted: dict = field(default_factory=dict)
+
+    @property
+    def versions_evicted(self) -> int:
+        return sum(len(versions) for versions in self.evicted.values())
+
+
+@dataclass(frozen=True)
+class DetectorTrainResponse:
+    """Outcome of a detector training round: the published version."""
+
+    version: int
+
+
+@dataclass(frozen=True)
 class ThrottledResponse:
     """A request rejected by admission control before it was dispatched.
 
@@ -271,6 +415,8 @@ Response = (
     | DriftResponse
     | RollbackResponse
     | SnapshotResponse
+    | EvictResponse
+    | DetectorTrainResponse
     | ThrottledResponse
     | ErrorResponse
 )
@@ -285,6 +431,8 @@ _REQUEST_KINDS: dict[type, str] = {
     DriftReport: "drift-report",
     RollbackRequest: "rollback",
     SnapshotRequest: "snapshot",
+    EvictRequest: "evict",
+    DetectorTrainRequest: "train-detector",
 }
 
 _RESPONSE_KINDS: dict[type, str] = {
@@ -293,6 +441,8 @@ _RESPONSE_KINDS: dict[type, str] = {
     DriftResponse: "drift-response",
     RollbackResponse: "rollback-response",
     SnapshotResponse: "snapshot-response",
+    EvictResponse: "evict-response",
+    DetectorTrainResponse: "train-detector-response",
     ThrottledResponse: "throttled-response",
     ErrorResponse: "error-response",
 }
@@ -366,6 +516,13 @@ def request_to_payload(request: Request) -> dict[str, Any]:
         payload["matrix"] = _matrix_to_payload(request.matrix)
     elif isinstance(request, RollbackRequest):
         payload["user_id"] = request.user_id
+    elif isinstance(request, EvictRequest):
+        payload["policy"] = request.policy
+        payload["max_versions"] = int(request.max_versions)
+        payload["user_id"] = request.user_id
+    elif isinstance(request, DetectorTrainRequest):
+        payload["matrix"] = _matrix_to_payload(request.matrix)
+        payload["exclude_user"] = request.exclude_user
     return payload
 
 
@@ -416,6 +573,17 @@ def request_from_payload(payload: Mapping[str, Any]) -> Request:
             return RollbackRequest(user_id=payload["user_id"])
         if kind == "snapshot":
             return SnapshotRequest()
+        if kind == "evict":
+            return EvictRequest(
+                policy=payload.get("policy", "max_versions"),
+                max_versions=int(payload.get("max_versions", 4)),
+                user_id=payload.get("user_id"),
+            )
+        if kind == "train-detector":
+            return DetectorTrainRequest(
+                matrix=_matrix_from_payload(payload["matrix"]),
+                exclude_user=payload.get("exclude_user"),
+            )
     except KeyError as error:
         # A missing field is a malformed payload (the sender's fault), not
         # a missing resource: surface it as the parser's ValueError.
@@ -454,6 +622,16 @@ def response_to_payload(response: Response) -> dict[str, Any]:
         )
     elif isinstance(response, SnapshotResponse):
         payload.update(snapshot=response.snapshot)
+    elif isinstance(response, EvictResponse):
+        payload.update(
+            policy=response.policy,
+            evicted={
+                user_id: [int(version) for version in versions]
+                for user_id, versions in response.evicted.items()
+            },
+        )
+    elif isinstance(response, DetectorTrainResponse):
+        payload.update(version=int(response.version))
     elif isinstance(response, ThrottledResponse):
         payload.update(
             request_kind=response.request_kind,
@@ -522,6 +700,16 @@ def _response_from_tagged_payload(kind: Any, payload: Mapping[str, Any]) -> Resp
         )
     if kind == "snapshot-response":
         return SnapshotResponse(snapshot=dict(payload.get("snapshot", {})))
+    if kind == "evict-response":
+        return EvictResponse(
+            policy=payload["policy"],
+            evicted={
+                user_id: [int(version) for version in versions]
+                for user_id, versions in dict(payload.get("evicted", {})).items()
+            },
+        )
+    if kind == "train-detector-response":
+        return DetectorTrainResponse(version=int(payload["version"]))
     if kind == "throttled-response":
         return ThrottledResponse(
             request_kind=payload["request_kind"],

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import importlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -28,6 +29,7 @@ from repro.devices.cloud import ContextModel, TrainedModelBundle
 from repro.ml.base import BaseClassifier, BaseEstimator
 from repro.ml.preprocessing import StandardScaler
 from repro.sensors.types import CoarseContext
+from repro.service.protocol import EVICTION_POLICIES as _EVICTION_POLICIES
 from repro.utils import serialization
 
 #: Tag keys used in the serialised estimator payloads.
@@ -198,13 +200,21 @@ def bundle_from_payload(payload: dict[str, Any]) -> TrainedModelBundle:
 
 @dataclass
 class ModelRecord:
-    """One published bundle version and its serving status."""
+    """One published bundle version and its serving status.
+
+    ``last_served`` is a registry-local monotonic tick stamped every time
+    :meth:`ModelRegistry.record_for` hands this record out (the gateway
+    fetches a bundle once per scorer-cache rebuild, so the tick tracks
+    *serving* recency, not per-request traffic); the LRU eviction policy
+    orders versions by it.
+    """
 
     user_id: str
     version: int
     bundle: TrainedModelBundle
     active: bool = True
     path: Path | None = None
+    last_served: int = 0
 
 
 #: Directory under the registry root holding context-detector versions.
@@ -262,6 +272,14 @@ class ModelRegistry:
         # detection from the registry instead of trusting device reports.
         self._detectors: dict[int, tuple[StandardScaler, BaseClassifier]] = {}
         self._generation = 0
+        self._serve_tick = 0
+        # Serializes record mutation and lookup: the threaded transport can
+        # run a fleet-wide eviction (a periodic admin call) concurrently
+        # with serving lookups and retrain publishes; without the lock an
+        # eviction pass iterating a user's version dict would race a
+        # publish inserting into it.  Reentrant, because serving helpers
+        # (latest_version → record_for) nest.
+        self._lock = threading.RLock()
 
     @property
     def generation(self) -> int:
@@ -273,7 +291,8 @@ class ModelRegistry:
         fused-stack cache, the gateway's scorer cache) compare generations
         to decide when to invalidate without subscribing to every mutation.
         """
-        return self._generation
+        with self._lock:
+            return self._generation
 
     # ------------------------------------------------------------------ #
     # publishing
@@ -286,16 +305,33 @@ class ModelRegistry:
         return self.root / f"{safe or 'user'}-{digest}"
 
     def _persist_serving_state(self, user_id: str) -> None:
-        """Persist which versions are retired, so rollback survives restarts."""
+        """Persist retired versions and serving recency across restarts.
+
+        Written on every rollback/eviction: ``retired_versions`` keeps a
+        rollback effective after a reload, ``last_served`` keeps the LRU
+        eviction ordering meaningful (serves since the last state write are
+        lost on a crash — the ticks are not flushed per request — so a
+        freshly restarted registry degrades gracefully toward version
+        order until versions are served again).
+        """
         if self.root is None:
             return
+        records = self._records.get(user_id, {})
         retired = sorted(
-            version
-            for version, record in self._records.get(user_id, {}).items()
-            if not record.active
+            version for version, record in records.items() if not record.active
         )
+        last_served = {
+            str(version): record.last_served
+            for version, record in records.items()
+            if record.last_served
+        }
         serialization.to_json_file(
-            {"kind": "registry-state", "user_id": user_id, "retired_versions": retired},
+            {
+                "kind": "registry-state",
+                "user_id": user_id,
+                "retired_versions": retired,
+                "last_served": last_served,
+            },
             self._user_dir(user_id) / "state.json",
         )
 
@@ -307,22 +343,23 @@ class ModelRegistry:
         ValueError
             If this user already has a bundle with the same version number.
         """
-        versions = self._records.setdefault(bundle.user_id, {})
-        if bundle.version in versions:
-            raise ValueError(
-                f"user {bundle.user_id!r} already has a published version "
-                f"{bundle.version}; versions are immutable"
+        with self._lock:
+            versions = self._records.setdefault(bundle.user_id, {})
+            if bundle.version in versions:
+                raise ValueError(
+                    f"user {bundle.user_id!r} already has a published version "
+                    f"{bundle.version}; versions are immutable"
+                )
+            record = ModelRecord(
+                user_id=bundle.user_id, version=bundle.version, bundle=bundle
             )
-        record = ModelRecord(
-            user_id=bundle.user_id, version=bundle.version, bundle=bundle
-        )
-        if self.root is not None:
-            path = self._user_dir(bundle.user_id) / f"v{bundle.version}.json"
-            serialization.to_json_file(bundle_to_payload(bundle), path)
-            record.path = path
-        versions[bundle.version] = record
-        self._generation += 1
-        return record
+            if self.root is not None:
+                path = self._user_dir(bundle.user_id) / f"v{bundle.version}.json"
+                serialization.to_json_file(bundle_to_payload(bundle), path)
+                record.path = path
+            versions[bundle.version] = record
+            self._generation += 1
+            return record
 
     # ------------------------------------------------------------------ #
     # context detector
@@ -339,19 +376,21 @@ class ModelRegistry:
             raise ValueError("scaler must be a fitted StandardScaler")
         if not isinstance(classifier, BaseClassifier):
             raise ValueError("classifier must be a fitted BaseClassifier")
-        version = max(self._detectors, default=0) + 1
-        self._detectors[version] = (scaler, classifier)
-        self._generation += 1
-        if self.root is not None:
-            serialization.to_json_file(
-                detector_to_payload(scaler, classifier, version),
-                self.root / _DETECTOR_DIR / f"v{version}.json",
-            )
-        return version
+        with self._lock:
+            version = max(self._detectors, default=0) + 1
+            self._detectors[version] = (scaler, classifier)
+            self._generation += 1
+            if self.root is not None:
+                serialization.to_json_file(
+                    detector_to_payload(scaler, classifier, version),
+                    self.root / _DETECTOR_DIR / f"v{version}.json",
+                )
+            return version
 
     def context_detector_versions(self) -> list[int]:
         """All published context-detector versions (ascending)."""
-        return sorted(self._detectors)
+        with self._lock:
+            return sorted(self._detectors)
 
     def context_detector(
         self, version: int | None = None
@@ -363,17 +402,20 @@ class ModelRegistry:
         KeyError
             If no context detector has been published.
         """
-        if version is None:
-            if not self._detectors:
+        with self._lock:
+            if version is None:
+                if not self._detectors:
+                    raise KeyError(
+                        "no context detector published; train one and publish "
+                        "it via publish_context_detector()"
+                    )
+                version = max(self._detectors)
+            try:
+                return self._detectors[version]
+            except KeyError:
                 raise KeyError(
-                    "no context detector published; train one and publish it "
-                    "via publish_context_detector()"
-                )
-            version = max(self._detectors)
-        try:
-            return self._detectors[version]
-        except KeyError:
-            raise KeyError(f"no published context-detector version {version}") from None
+                    f"no published context-detector version {version}"
+                ) from None
 
     # ------------------------------------------------------------------ #
     # serving
@@ -381,19 +423,22 @@ class ModelRegistry:
 
     def users(self) -> list[str]:
         """Every user with at least one published bundle."""
-        return sorted(self._records)
+        with self._lock:
+            return sorted(self._records)
 
     def versions(self, user_id: str) -> list[int]:
         """All published version numbers for *user_id* (ascending)."""
-        return sorted(self._records.get(user_id, {}))
+        with self._lock:
+            return sorted(self._records.get(user_id, {}))
 
     def active_versions(self, user_id: str) -> list[int]:
         """Versions currently eligible for serving (ascending)."""
-        return sorted(
-            version
-            for version, record in self._records.get(user_id, {}).items()
-            if record.active
-        )
+        with self._lock:
+            return sorted(
+                version
+                for version, record in self._records.get(user_id, {}).items()
+                if record.active
+            )
 
     def latest_version(self, user_id: str) -> int:
         """The version :meth:`bundle_for` would serve right now.
@@ -403,10 +448,13 @@ class ModelRegistry:
         KeyError
             If the user has no active published versions.
         """
-        active = self.active_versions(user_id)
-        if not active:
-            raise KeyError(f"no active model versions published for {user_id!r}")
-        return active[-1]
+        with self._lock:
+            active = self.active_versions(user_id)
+            if not active:
+                raise KeyError(
+                    f"no active model versions published for {user_id!r}"
+                )
+            return active[-1]
 
     def record_for(self, user_id: str, version: int | None = None) -> ModelRecord:
         """The record serving *user_id* (a specific version, or the newest).
@@ -416,14 +464,18 @@ class ModelRegistry:
         KeyError
             If the user (or the requested version) has never been published.
         """
-        if version is None:
-            version = self.latest_version(user_id)
-        try:
-            return self._records[user_id][version]
-        except KeyError:
-            raise KeyError(
-                f"no published version {version} for user {user_id!r}"
-            ) from None
+        with self._lock:
+            if version is None:
+                version = self.latest_version(user_id)
+            try:
+                record = self._records[user_id][version]
+            except KeyError:
+                raise KeyError(
+                    f"no published version {version} for user {user_id!r}"
+                ) from None
+            self._serve_tick += 1
+            record.last_served = self._serve_tick
+            return record
 
     def bundle_for(self, user_id: str, version: int | None = None) -> TrainedModelBundle:
         """The bundle serving *user_id* (a specific version, or the newest).
@@ -452,16 +504,119 @@ class ModelRegistry:
             If fewer than two active versions exist — the registry never
             rolls back to nothing.
         """
+        with self._lock:
+            active = self.active_versions(user_id)
+            if len(active) < 2:
+                raise ValueError(
+                    f"cannot roll back {user_id!r}: need at least two active "
+                    f"versions, have {len(active)}"
+                )
+            self._records[user_id][active[-1]].active = False
+            self._generation += 1
+            self._persist_serving_state(user_id)
+            return self._records[user_id][active[-2]]
+
+    # ------------------------------------------------------------------ #
+    # eviction
+    # ------------------------------------------------------------------ #
+
+    #: Eviction policies :meth:`evict` accepts — the same tuple the wire
+    #: protocol's :class:`~repro.service.protocol.EvictRequest` validates
+    #: against, so the API and the implementation can never drift apart.
+    EVICTION_POLICIES = _EVICTION_POLICIES
+
+    def _keep_set(self, user_id: str, policy: str, max_versions: int) -> set[int]:
+        """The versions eviction must keep for *user_id* under *policy*."""
+        records = self._records[user_id]
+        if policy == "max_versions":
+            ranked = sorted(records)  # keep the newest version numbers
+        else:  # "lru": keep the most recently served (ties -> newer wins)
+            ranked = [
+                record.version
+                for record in sorted(
+                    records.values(), key=lambda r: (r.last_served, r.version)
+                )
+            ]
+        keep = set(ranked[-max_versions:])
+        # The serving bundle is never evicted, even beyond the budget; a
+        # user whose versions are somehow all retired keeps the newest.
         active = self.active_versions(user_id)
-        if len(active) < 2:
+        keep.add(active[-1] if active else max(records))
+        return keep
+
+    def evict(
+        self,
+        policy: str = "max_versions",
+        max_versions: int = 4,
+        user_id: str | None = None,
+    ) -> dict[str, list[int]]:
+        """Drop old bundle versions, keeping the serving bundle safe.
+
+        Long-lived fleets retrain indefinitely; every round publishes a new
+        immutable version, so without eviction registry memory (and disk,
+        for persistent registries) grows without bound.  Eviction removes
+        records — and deletes their persisted payload files — by policy:
+
+        * ``"max_versions"`` keeps each user's *newest* ``max_versions``
+          version numbers;
+        * ``"lru"`` keeps each user's ``max_versions`` most recently
+          *served* versions (see :attr:`ModelRecord.last_served`), which
+          preserves an old version an operator still pins explicitly.
+
+        The currently serving version (newest active) is always kept, even
+        when it falls outside the policy's budget, so eviction can never
+        break the serving path.  Evicting bumps :attr:`generation` exactly
+        like publish/rollback, invalidating serving caches.
+
+        Parameters
+        ----------
+        policy:
+            ``"max_versions"`` (default) or ``"lru"``.
+        max_versions:
+            Versions each policy keeps per user (>= 1).
+        user_id:
+            Restrict the pass to one user (default: every user).
+
+        Returns
+        -------
+        dict[str, list[int]]
+            Evicted version numbers per user; users with nothing to evict
+            are omitted.
+
+        Raises
+        ------
+        ValueError
+            If *policy* is unknown or ``max_versions < 1``.
+        KeyError
+            If *user_id* names a user with no published versions.
+        """
+        if policy not in self.EVICTION_POLICIES:
             raise ValueError(
-                f"cannot roll back {user_id!r}: need at least two active "
-                f"versions, have {len(active)}"
+                f"policy must be one of {self.EVICTION_POLICIES}, got {policy!r}"
             )
-        self._records[user_id][active[-1]].active = False
-        self._generation += 1
-        self._persist_serving_state(user_id)
-        return self._records[user_id][active[-2]]
+        if max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {max_versions}")
+        with self._lock:
+            if user_id is not None and user_id not in self._records:
+                raise KeyError(f"no published versions for user {user_id!r}")
+            evicted: dict[str, list[int]] = {}
+            for uid in [user_id] if user_id is not None else list(self._records):
+                records = self._records[uid]
+                keep = self._keep_set(uid, policy, max_versions)
+                dropped = sorted(
+                    version for version in records if version not in keep
+                )
+                if not dropped:
+                    continue
+                for version in dropped:
+                    record = records.pop(version)
+                    if record.path is not None:
+                        record.path.unlink(missing_ok=True)
+                self._persist_serving_state(uid)
+                evicted[uid] = dropped
+            if evicted:
+                self._generation += 1
+            return evicted
 
     # ------------------------------------------------------------------ #
     # persistence
@@ -508,7 +663,8 @@ class ModelRegistry:
                 path=path,
             )
             loaded += 1
-        # Re-apply persisted serving state (rollbacks) after the bundles.
+        # Re-apply persisted serving state (rollbacks, LRU recency) after
+        # the bundles.
         for user_id, versions in self._records.items():
             state_path = self._user_dir(user_id) / "state.json"
             if not state_path.exists():
@@ -518,6 +674,11 @@ class ModelRegistry:
                 record = versions.get(int(version))
                 if record is not None:
                     record.active = False
+            for version, tick in state.get("last_served", {}).items():
+                record = versions.get(int(version))
+                if record is not None and record.last_served == 0:
+                    record.last_served = int(tick)
+                    self._serve_tick = max(self._serve_tick, int(tick))
         if loaded:
             self._generation += 1
         return loaded

@@ -1,22 +1,38 @@
 """HTTP transport for the service protocol (stdlib only, no new deps).
 
 PR 2 made the service API a transport-agnostic typed protocol with a
-lossless JSON wire codec; this module is the first thing that actually
-speaks it over a socket.  A :class:`ServiceHTTPServer` (a
-``ThreadingHTTPServer``) exposes a :class:`~repro.service.frontend.ServiceFrontend`
-on three endpoints:
+lossless JSON wire codec; this module speaks it over a socket.  A
+:class:`ServiceHTTPServer` (a ``ThreadingHTTPServer``) exposes a
+:class:`~repro.service.frontend.ServiceFrontend` on these endpoints:
 
 ``POST /v1/requests``
-    The protocol front door.  The body is either **one** wire-encoded
-    request payload (a JSON object) or a **batch** (a JSON array of
-    payloads).  A single request answers with its wire-encoded response and
-    a status code derived from the response type (see
+    The legacy protocol front door, kept bit-for-bit compatible.  The body
+    is either **one** wire-encoded request payload (a JSON object) or a
+    **batch** (a JSON array of payloads).  Internally every legacy payload
+    rides in a default-caller envelope (full scopes), so /v1 and /v2 share
+    one dispatch path.  A single request answers with its wire-encoded
+    response and a status code derived from the response type (see
     :func:`status_for_response`); a batch always answers ``200`` with a
     JSON array of per-item responses in submission order — each item is
-    individually tagged (``*-response`` / ``error-response`` /
-    ``throttled-response``), so one bad request never poisons its
-    neighbours, exactly as in :meth:`ServiceFrontend.submit_many
-    <repro.service.frontend.ServiceFrontend.submit_many>`.
+    individually tagged, so one bad request never poisons its neighbours.
+
+``POST /v2/requests``
+    The versioned **data-plane** endpoint: the body is one wire-encoded
+    :class:`~repro.service.envelope.Envelope` (or an array of them)
+    wrapping an enroll / authenticate / drift-report request.  The
+    :class:`~repro.service.envelope.EnvelopeProcessor` authorizes the
+    caller's API key against the ``data:write`` scope *before* dispatch —
+    a missing/unknown key answers 401, an under-scoped caller or a
+    control-plane operation answers 403, with typed codes (see
+    :func:`status_for_sealed`).  Responses are sealed
+    (``sealed-response``) and echo the envelope's ``request_id``.
+
+``POST /v2/admin``
+    The versioned **control-plane** endpoint (single envelope only):
+    rollback / snapshot / eviction / detector training under the
+    ``admin`` scope.  Data-plane operations are rejected 403
+    (``wrong-plane``) — and vice versa on ``/v2/requests`` — so the hot
+    path can never reach an admin operation.
 
 ``GET /healthz``
     Cheap liveness probe: ``{"status": "ok", ...}`` with uptime and
@@ -24,9 +40,9 @@ on three endpoints:
 
 ``GET /metrics``
     The full :class:`~repro.service.telemetry.TelemetryHub` snapshot
-    (counters + latency summaries) as JSON.
+    (counters + latency summaries) plus per-caller request/denial counts.
 
-Single requests are routed through an optional
+Single data-plane requests are routed through an optional
 :class:`~repro.service.frontend.MicroBatchQueue`, so *concurrent HTTP
 connections* coalesce into fused scoring passes and inherit its admission
 control — a full queue surfaces as a typed
@@ -37,10 +53,12 @@ batch) and dispatch straight through ``submit_many``.
 The matching :class:`ServiceClient` keeps one persistent HTTP/1.1
 connection per client (re-established transparently after a drop) and
 offers the same ``submit`` / ``submit_many`` API as the in-process
-frontend, so :class:`~repro.service.fleet.FleetSimulator` can run the whole
-lifecycle over real sockets.
+frontend — in v1 (no key) or v2 (``api_key=...``) mode — so
+:class:`~repro.service.fleet.FleetSimulator` can run the whole lifecycle
+over real sockets on either API revision.
 
-Run a server from the command line (see ``docs/serving.md``)::
+Run a server from the command line (see ``docs/serving.md``); it
+provisions an operator caller and prints its v2 API key once::
 
     PYTHONPATH=src python -m repro.service.transport --port 8414 --demo-fleet 50
 """
@@ -52,9 +70,27 @@ import json
 import threading
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from itertools import count
 from time import monotonic
 from typing import Any, Sequence
 
+from repro.service.envelope import (
+    SCOPE_ADMIN,
+    SCOPE_DATA_WRITE,
+    CallerRegistry,
+    DeniedResponse,
+    Envelope,
+    EnvelopeProcessor,
+    SealedResponse,
+    dumps_envelope,
+    dumps_sealed,
+    envelope_from_payload,
+    envelope_to_payload,
+    loads_sealed,
+    sealed_from_payload,
+    sealed_to_payload,
+    unseal,
+)
 from repro.service.frontend import MicroBatchQueue, ServiceFrontend
 from repro.service.protocol import (
     ErrorResponse,
@@ -63,7 +99,9 @@ from repro.service.protocol import (
     ThrottledResponse,
     dumps_request,
     dumps_response,
+    is_data_plane,
     loads_response,
+    request_kind,
     request_to_payload,
     response_from_payload,
     response_to_payload,
@@ -71,8 +109,12 @@ from repro.service.protocol import (
 )
 from repro.utils import serialization
 
-#: The protocol endpoint every request POSTs to.
+#: The legacy (v1) protocol endpoint: bare wire requests, default caller.
 REQUESTS_PATH = "/v1/requests"
+#: The v2 data-plane endpoint: enveloped requests, single + batched.
+V2_REQUESTS_PATH = "/v2/requests"
+#: The v2 control-plane endpoint: enveloped admin requests (single only).
+V2_ADMIN_PATH = "/v2/admin"
 #: Liveness endpoint.
 HEALTH_PATH = "/healthz"
 #: Telemetry endpoint.
@@ -87,6 +129,7 @@ _STATUS_BY_ERROR = {
     "ValueError": 400,
     "TypeError": 400,
     "JSONDecodeError": 400,
+    "PermissionError": 403,
 }
 
 
@@ -104,6 +147,19 @@ def status_for_response(response: Response) -> int:
     if isinstance(response, ErrorResponse):
         return _STATUS_BY_ERROR.get(response.error, 500)
     return 200
+
+
+def status_for_sealed(sealed: SealedResponse) -> int:
+    """The HTTP status a single v2 sealed response answers with.
+
+    A typed caller rejection maps by its code — 401 for missing/unknown
+    credentials, 403 for insufficient scope or a wrong-plane dispatch, 400
+    for an unsupported ``api_version`` — everything else maps exactly as
+    on the v1 endpoint (:func:`status_for_response`).
+    """
+    if isinstance(sealed.response, DeniedResponse):
+        return sealed.response.http_status
+    return status_for_response(sealed.response)
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -137,6 +193,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             headers["Retry-After"] = str(max(1, round(response.retry_after_s + 0.5)))
         self._send_json(status_for_response(response), dumps_response(response), headers)
 
+    def _send_sealed(self, sealed: SealedResponse) -> None:
+        headers = {}
+        if isinstance(sealed.response, ThrottledResponse):
+            headers["Retry-After"] = str(
+                max(1, round(sealed.response.retry_after_s + 0.5))
+            )
+        self._send_json(status_for_sealed(sealed), dumps_sealed(sealed), headers)
+
     def _client_error(self, kind: str, error: Exception) -> ErrorResponse:
         self.server.telemetry.increment("transport.client_errors")
         return ErrorResponse(
@@ -151,9 +215,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.path == HEALTH_PATH:
             self._send_json(200, json.dumps(self.server.health(), sort_keys=True))
         elif self.path == METRICS_PATH:
-            self._send_json(
-                200, serialization.dumps(self.server.telemetry.snapshot())
-            )
+            snapshot = self.server.telemetry.snapshot()
+            snapshot["callers"] = self.server.callers.snapshot()
+            self._send_json(200, serialization.dumps(snapshot))
         else:
             self._send_json(
                 404,
@@ -167,15 +231,17 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path != REQUESTS_PATH:
+        if self.path not in (REQUESTS_PATH, V2_REQUESTS_PATH, V2_ADMIN_PATH):
             self._send_json(
                 404,
                 dumps_response(
                     ErrorResponse(
                         request_kind="transport",
                         error="KeyError",
-                        message=f"no such endpoint: POST {self.path}; "
-                        f"protocol requests go to {REQUESTS_PATH}",
+                        message=f"no such endpoint: POST {self.path}; protocol "
+                        f"requests go to {REQUESTS_PATH} (legacy), "
+                        f"{V2_REQUESTS_PATH} (enveloped data plane) or "
+                        f"{V2_ADMIN_PATH} (enveloped control plane)",
                     )
                 ),
             )
@@ -188,7 +254,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             except Exception as error:  # malformed JSON / encoding
                 self._send_response(self._client_error("transport", error))
                 return
-            if isinstance(payload, list):
+            if self.path == V2_REQUESTS_PATH:
+                self._handle_v2(payload, plane="data", allow_batch=True)
+            elif self.path == V2_ADMIN_PATH:
+                self._handle_v2(payload, plane="control", allow_batch=False)
+            elif isinstance(payload, list):
                 self._handle_batch(payload)
             elif isinstance(payload, dict):
                 self._handle_single(payload)
@@ -211,13 +281,124 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_response(self._client_error(kind, error))
             return
         try:
-            response = self.server.dispatch(request)
+            # Legacy payloads ride in a default-caller envelope, so the v1
+            # endpoint shares the processor's dispatch path (and telemetry)
+            # with /v2 while staying bit-for-bit compatible on the wire.
+            response = self.server.dispatch_legacy(request)
         except Exception as error:  # defensive: the frontend maps errors
             self.server.telemetry.increment("transport.server_errors")
             response = ErrorResponse(
                 request_kind=kind, error=type(error).__name__, message=str(error)
             )
         self._send_response(response)
+
+    # ------------------------------------------------------------------ #
+    # the v2 (enveloped) endpoints
+    # ------------------------------------------------------------------ #
+
+    def _handle_v2(self, payload: Any, plane: str, allow_batch: bool) -> None:
+        if isinstance(payload, list):
+            if not allow_batch:
+                self._send_response(
+                    self._client_error(
+                        "transport",
+                        TypeError(
+                            f"POST {V2_ADMIN_PATH} accepts a single envelope; "
+                            "admin operations do not batch"
+                        ),
+                    )
+                )
+                return
+            self._handle_v2_batch(payload, plane)
+            return
+        if not isinstance(payload, dict):
+            self._send_response(
+                self._client_error(
+                    "transport",
+                    TypeError(
+                        "request body must be a wire-encoded envelope object"
+                        + (" or an array of them" if allow_batch else "")
+                        + f", got {type(payload).__name__}"
+                    ),
+                )
+            )
+            return
+        try:
+            envelope = envelope_from_payload(payload)
+        except Exception as error:
+            self._send_response(self._client_error("envelope", error))
+            return
+        try:
+            sealed = self.server.processor.process(envelope, plane=plane)
+        except Exception as error:  # defensive: the processor maps errors
+            self.server.telemetry.increment("transport.server_errors")
+            sealed = SealedResponse(
+                response=ErrorResponse(
+                    request_kind="envelope",
+                    error=type(error).__name__,
+                    message=str(error),
+                ),
+                request_id=envelope.request_id,
+            )
+        self._send_sealed(sealed)
+
+    def _handle_v2_batch(self, payloads: list, plane: str) -> None:
+        limit = self.server.max_batch_items
+        if limit is not None and len(payloads) > limit:
+            self.server.telemetry.increment("transport.throttled_batches")
+            self._send_response(
+                ThrottledResponse(
+                    request_kind="batch",
+                    reason="batch-too-large",
+                    queue_depth=len(payloads),
+                    max_depth=limit,
+                    retry_after_s=0.0,
+                )
+            )
+            return
+        sealed: list[SealedResponse | None] = [None] * len(payloads)
+        envelopes: list[Envelope] = []
+        positions: list[int] = []
+        for index, item in enumerate(payloads):
+            try:
+                envelopes.append(envelope_from_payload(item))
+            except Exception as error:
+                # A malformed item answers in place; its request_id (when
+                # one was parseable) is still echoed for correlation.
+                request_id = (
+                    str(item.get("request_id", "")) if isinstance(item, dict) else ""
+                )
+                self.server.telemetry.increment("transport.client_errors")
+                sealed[index] = SealedResponse(
+                    response=ErrorResponse(
+                        request_kind="envelope",
+                        error=type(error).__name__,
+                        message=str(error),
+                    ),
+                    request_id=request_id,
+                )
+            else:
+                positions.append(index)
+        try:
+            processed = self.server.processor.process_many(envelopes, plane=plane)
+        except Exception as error:  # defensive: the processor maps errors
+            self.server.telemetry.increment("transport.server_errors")
+            processed = [
+                SealedResponse(
+                    response=ErrorResponse(
+                        request_kind="envelope",
+                        error=type(error).__name__,
+                        message=str(error),
+                    ),
+                    request_id=envelope.request_id,
+                )
+                for envelope in envelopes
+            ]
+        for position, item in zip(positions, processed):
+            sealed[position] = item
+        body = serialization.dumps([sealed_to_payload(item) for item in sealed])
+        # Batches answer 200 with per-item sealed outcomes, mirroring /v1.
+        self._send_json(200, body)
 
     def _handle_batch(self, payloads: list) -> None:
         limit = self.server.max_batch_items
@@ -253,7 +434,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             else:
                 positions.append(index)
         try:
-            dispatched = self.server.dispatch_many(requests)
+            dispatched = self.server.dispatch_many_legacy(requests)
         except Exception as error:  # defensive: the frontend maps errors
             self.server.telemetry.increment("transport.server_errors")
             dispatched = [
@@ -275,12 +456,47 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, body)
 
 
+class _ServerChannel:
+    """The processor's dispatch hook: queue-aware, plane-aware.
+
+    Admitted single data-plane requests go through the server's micro-batch
+    queue (cross-connection coalescing + admission control) when one is
+    attached; control-plane singles use the frontend's control door; batch
+    dispatch goes straight through ``submit_many`` (a batch already is a
+    batch).
+    """
+
+    def __init__(self, server: "ServiceHTTPServer") -> None:
+        self.server = server
+
+    def submit(self, request: Request) -> Response:
+        if is_data_plane(request):
+            if self.server.queue is not None:
+                return self.server.queue.submit(request).result()
+            return self.server.frontend.submit(request)
+        return self.server.frontend.submit_control(request)
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Response]:
+        return self.server.frontend.submit_many(requests)
+
+
 class ServiceHTTPServer(ThreadingHTTPServer):
     """Serves a :class:`~repro.service.frontend.ServiceFrontend` over HTTP.
 
     One handler thread per connection (``ThreadingHTTPServer``); single
     requests from concurrent connections meet again in the optional
     micro-batch queue and coalesce into fused scoring passes.
+
+    Three protocol endpoints are mounted:
+
+    * ``POST /v1/requests`` — the legacy unauthenticated surface, kept
+      bit-for-bit compatible: bare wire payloads are internally wrapped in
+      a default-caller envelope (full scopes) and dispatched through the
+      same processor as /v2;
+    * ``POST /v2/requests`` — the enveloped data plane (single + batched),
+      requiring a caller key with the ``data:write`` scope;
+    * ``POST /v2/admin`` — the enveloped control plane (single), requiring
+      the ``admin`` scope.
 
     Parameters
     ----------
@@ -301,6 +517,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         array answers 429 with a ``batch-too-large``
         :class:`~repro.service.protocol.ThrottledResponse` before any item
         is parsed into a typed request.  ``None`` disables the bound.
+    callers:
+        Optional :class:`~repro.service.envelope.CallerRegistry` holding
+        provisioned API callers.  A fresh one is created when omitted —
+        then every /v2 request is rejected 401 until a caller is
+        registered (the CLI provisions an operator caller at startup).
 
     Raises
     ------
@@ -314,6 +535,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
+    #: Caller id of the internal default caller legacy /v1 payloads ride on.
+    LEGACY_CALLER_ID = "legacy-v1"
+
     def __init__(
         self,
         frontend: ServiceFrontend | None = None,
@@ -321,6 +545,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         port: int = 0,
         queue: MicroBatchQueue | None = None,
         max_batch_items: int | None = 4096,
+        callers: CallerRegistry | None = None,
     ) -> None:
         self.frontend = frontend if frontend is not None else ServiceFrontend()
         if queue is not None and queue.frontend is not self.frontend:
@@ -335,9 +560,36 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.queue = queue
         self.max_batch_items = max_batch_items
         self.telemetry = self.frontend.telemetry
+        self.callers = (
+            callers
+            if callers is not None
+            else CallerRegistry(telemetry=self.telemetry)
+        )
+        # The default caller legacy payloads are wrapped under: full scopes,
+        # so /v1 keeps doing everything it always did.  The key never
+        # leaves this process.
+        self._legacy_api_key = self.callers.register(
+            self._unique_caller_id(self.LEGACY_CALLER_ID),
+            (SCOPE_DATA_WRITE, SCOPE_ADMIN),
+        )
+        self.processor = EnvelopeProcessor(
+            self.frontend, callers=self.callers, channel=_ServerChannel(self)
+        )
+        # Cheap sequential ids for internally wrapped legacy requests (the
+        # caller never sees them; a uuid4 per /v1 request would be waste).
+        self._legacy_ids = count(1)
         self.started_at = monotonic()
         self._serve_thread: threading.Thread | None = None
         super().__init__((host, port), _ServiceRequestHandler)
+
+    def _unique_caller_id(self, base: str) -> str:
+        """*base*, suffixed if an operator already registered that id."""
+        if base not in self.callers.callers():
+            return base
+        index = 2
+        while f"{base}-{index}" in self.callers.callers():
+            index += 1
+        return f"{base}-{index}"
 
     # ------------------------------------------------------------------ #
     # dispatch (shared by single and batch endpoints)
@@ -345,15 +597,56 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     def dispatch(self, request: Request) -> Response:
         """Dispatch one protocol request (through the queue when attached)."""
-        if self.queue is not None:
-            return self.queue.submit(request).result()
-        return self.frontend.submit(request)
+        return self.dispatch_legacy(request)
+
+    @staticmethod
+    def _as_legacy_response(sealed: SealedResponse) -> Response:
+        """Unwrap a legacy-envelope outcome into a bare v1 response.
+
+        The default caller carries full scopes, so denial only happens if
+        an operator revoked it (a legitimate way to switch the v1 surface
+        off); that surfaces as a typed 403 ``ErrorResponse``, never as a
+        crashed handler thread.
+        """
+        if isinstance(sealed.response, DeniedResponse):
+            return ErrorResponse(
+                request_kind=sealed.response.request_kind,
+                error="PermissionError",
+                message=f"the legacy /v1 caller was revoked "
+                f"({sealed.response.code}); use the authenticated /v2 API",
+            )
+        return sealed.response
+
+    def dispatch_legacy(self, request: Request) -> Response:
+        """Dispatch one bare (v1) request under the default-caller envelope."""
+        sealed = self.processor.process(
+            Envelope(
+                request=request,
+                api_key=self._legacy_api_key,
+                request_id=f"legacy-{next(self._legacy_ids)}",
+            )
+        )
+        return self._as_legacy_response(sealed)
 
     def dispatch_many(self, requests: Sequence[Request]) -> list[Response]:
         """Dispatch an already-formed batch straight through the frontend."""
+        return self.dispatch_many_legacy(requests)
+
+    def dispatch_many_legacy(self, requests: Sequence[Request]) -> list[Response]:
+        """Dispatch a bare (v1) batch under default-caller envelopes."""
         if not requests:
             return []
-        return self.frontend.submit_many(requests)
+        sealed = self.processor.process_many(
+            [
+                Envelope(
+                    request=request,
+                    api_key=self._legacy_api_key,
+                    request_id=f"legacy-{next(self._legacy_ids)}",
+                )
+                for request in requests
+            ]
+        )
+        return [self._as_legacy_response(item) for item in sealed]
 
     def health(self) -> dict[str, Any]:
         """The ``/healthz`` payload: liveness plus coarse service totals."""
@@ -410,6 +703,14 @@ class ServiceClient:
     caller of one can be pointed at the other — including
     :class:`~repro.service.fleet.FleetSimulator`.
 
+    With an ``api_key`` the client speaks the **v2** enveloped API: every
+    request is wrapped in an :class:`~repro.service.envelope.Envelope`
+    (fresh ``request_id``, the caller credential), data-plane operations
+    POST to ``/v2/requests``, control-plane operations to ``/v2/admin``,
+    and the echoed ``request_id`` of every sealed response is verified.
+    A typed caller rejection (401/403) raises :class:`PermissionError`.
+    Without a key the client speaks the legacy ``/v1`` surface unchanged.
+
     One persistent HTTP/1.1 connection is kept per client and reused across
     calls (re-established transparently once after a connection drop);
     calls serialize on an internal lock, so a single client is thread-safe
@@ -422,14 +723,29 @@ class ServiceClient:
         :class:`ServiceHTTPServer`).
     timeout_s:
         Socket timeout for connect/read, in seconds.
+    api_key:
+        Caller credential; providing one switches the client to the v2
+        enveloped endpoints.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8414, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8414,
+        timeout_s: float = 30.0,
+        api_key: str | None = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.api_key = api_key
         self._lock = threading.Lock()
         self._connection: HTTPConnection | None = None
+
+    @property
+    def api_version(self) -> int:
+        """The protocol revision this client speaks (1 without a key)."""
+        return 2 if self.api_key is not None else 1
 
     # ------------------------------------------------------------------ #
     # wire plumbing
@@ -508,12 +824,23 @@ class ServiceClient:
     # protocol surface (mirrors ServiceFrontend)
     # ------------------------------------------------------------------ #
 
-    def submit(self, request: Request) -> Response:
+    # The v2 unseal contract (request-id echo check, denial →
+    # PermissionError) is defined once in the envelope module and shared
+    # with the in-process EnvelopeChannel.
+    _unseal = staticmethod(unseal)
+
+    def submit(
+        self, request: Request, idempotency_key: str | None = None
+    ) -> Response:
         """Send one typed request; returns its typed response.
 
-        Transport-level failures (unreachable server, non-protocol body)
-        raise; protocol-level failures come back as typed
-        :class:`~repro.service.protocol.ErrorResponse` /
+        In v2 mode the request travels enveloped: data-plane operations go
+        to ``/v2/requests``, control-plane operations to ``/v2/admin``, and
+        *idempotency_key* (v2 only) makes retries of non-idempotent
+        operations safe — the server executes once and replays the recorded
+        response.  Transport-level failures (unreachable server,
+        non-protocol body) raise; protocol-level failures come back as
+        typed :class:`~repro.service.protocol.ErrorResponse` /
         :class:`~repro.service.protocol.ThrottledResponse` values, exactly
         as from the in-process frontend.
 
@@ -524,9 +851,32 @@ class ServiceClient:
         ConnectionError
             If the server cannot be reached.
         ValueError
-            If the server's answer is not a wire-encoded response.
+            If the server's answer is not a wire-encoded response (or, in
+            v2 mode, echoes the wrong request id), or *idempotency_key* is
+            passed without an API key.
+        PermissionError
+            In v2 mode, when the server rejects this client's caller
+            credential or scope (HTTP 401/403).
         """
-        return loads_response(self._roundtrip("POST", REQUESTS_PATH, dumps_request(request)))
+        if self.api_key is None:
+            if idempotency_key is not None:
+                raise ValueError(
+                    "idempotency keys require the v2 API; construct the "
+                    "client with an api_key"
+                )
+            return loads_response(
+                self._roundtrip("POST", REQUESTS_PATH, dumps_request(request))
+            )
+        envelope = Envelope(
+            request=request,
+            api_key=self.api_key,
+            idempotency_key=idempotency_key,
+        )
+        path = V2_REQUESTS_PATH if is_data_plane(request) else V2_ADMIN_PATH
+        sealed = loads_sealed(
+            self._roundtrip("POST", path, dumps_envelope(envelope))
+        )
+        return self._unseal(envelope, sealed)
 
     def submit_many(self, requests: Sequence[Request]) -> list[Response]:
         """Send a batch in one exchange; responses come back in order.
@@ -535,7 +885,10 @@ class ServiceClient:
         :meth:`ServiceFrontend.submit_many
         <repro.service.frontend.ServiceFrontend.submit_many>`, so
         consecutive authenticate requests coalesce into fused scoring
-        passes on the server side exactly as they would in process.
+        passes on the server side exactly as they would in process.  In v2
+        mode the batch travels as an array of envelopes on the data-plane
+        endpoint — control-plane operations do not batch; send them one at
+        a time through :meth:`submit`.
 
         Raises
         ------
@@ -544,21 +897,52 @@ class ServiceClient:
         ConnectionError
             If the server cannot be reached.
         ValueError
-            If the server's answer is not an array of wire responses.
+            If the server's answer is not an array of wire responses, or
+            (v2) a control-plane request was included in the batch.
+        PermissionError
+            In v2 mode, when the server rejects this client's caller
+            credential or scope (HTTP 401/403).
         """
         if not requests:
             return []
+        if self.api_key is None:
+            body = serialization.dumps(
+                [request_to_payload(request) for request in requests]
+            )
+            payload = serialization.loads(self._roundtrip("POST", REQUESTS_PATH, body))
+            if not isinstance(payload, list) or len(payload) != len(requests):
+                raise ValueError(
+                    f"expected {len(requests)} wire responses, got "
+                    f"{type(payload).__name__}"
+                    + (f" of length {len(payload)}" if isinstance(payload, list) else "")
+                )
+            return [response_from_payload(item) for item in payload]
+        for request in requests:
+            if not is_data_plane(request):
+                raise ValueError(
+                    f"{request_kind(request)!r} is a control-plane operation; "
+                    "v2 batches carry data-plane requests only — submit() "
+                    "admin operations one at a time"
+                )
+        envelopes = [
+            Envelope(request=request, api_key=self.api_key) for request in requests
+        ]
         body = serialization.dumps(
-            [request_to_payload(request) for request in requests]
+            [envelope_to_payload(envelope) for envelope in envelopes]
         )
-        payload = serialization.loads(self._roundtrip("POST", REQUESTS_PATH, body))
+        payload = serialization.loads(
+            self._roundtrip("POST", V2_REQUESTS_PATH, body)
+        )
         if not isinstance(payload, list) or len(payload) != len(requests):
             raise ValueError(
-                f"expected {len(requests)} wire responses, got "
+                f"expected {len(requests)} sealed wire responses, got "
                 f"{type(payload).__name__}"
                 + (f" of length {len(payload)}" if isinstance(payload, list) else "")
             )
-        return [response_from_payload(item) for item in payload]
+        return [
+            self._unseal(envelope, sealed_from_payload(item))
+            for envelope, item in zip(envelopes, payload)
+        ]
 
     def health(self) -> dict[str, Any]:
         """The server's ``/healthz`` payload."""
@@ -638,6 +1022,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="dispatch single requests synchronously instead of micro-batching",
     )
+    parser.add_argument(
+        "--caller-id",
+        default="operator",
+        help="caller id provisioned at startup for the v2 API (its key is "
+        "printed once)",
+    )
+    parser.add_argument(
+        "--caller-scopes",
+        default="data:write,admin",
+        help="comma-separated scopes of the provisioned caller "
+        "(subset of: data:write, admin)",
+    )
     args = parser.parse_args(argv)
 
     if args.demo_fleet:
@@ -672,9 +1068,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         queue=queue,
         max_batch_items=args.max_batch_items or None,
     ) as server:
+        scopes = tuple(
+            scope.strip() for scope in args.caller_scopes.split(",") if scope.strip()
+        )
+        api_key = server.callers.register(args.caller_id, scopes)
         print(
-            f"serving {REQUESTS_PATH} on http://{args.host}:{server.port} "
+            f"serving {REQUESTS_PATH} (legacy), {V2_REQUESTS_PATH} and "
+            f"{V2_ADMIN_PATH} on http://{args.host}:{server.port} "
             f"(healthz: {HEALTH_PATH}, metrics: {METRICS_PATH}); Ctrl-C stops",
+            flush=True,
+        )
+        print(
+            f"v2 caller {args.caller_id!r} (scopes: {', '.join(scopes)}) "
+            f"API key: {api_key}",
             flush=True,
         )
         try:

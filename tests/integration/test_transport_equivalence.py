@@ -1,10 +1,16 @@
-"""HTTP transport equivalence: wire decisions == in-process decisions.
+"""Transport/API equivalence: /v1, /v2 and in-process decisions agree.
 
 The ISSUE 3 acceptance bar: for a 500-user fleet, authentication decisions
 served over the HTTP transport must be bit-for-bit identical to dispatching
 the same requests in process — through ``AuthenticationGateway.handle()``
 and through the coalescing ``ServiceFrontend.submit_many()`` alike — and
 the whole fleet lifecycle must be able to run over real sockets.
+
+The ISSUE 4 acceptance bar extends it across API revisions: the same
+fleet's decisions must be bit-for-bit identical over the legacy ``/v1``
+endpoint, the enveloped ``/v2`` endpoints (authenticated caller, sealed
+responses) and in-process dispatch — and the whole lifecycle must produce
+identical reports over all three doors.
 """
 
 import numpy as np
@@ -85,6 +91,57 @@ class TestTransportEquivalence:
                     remote = client.submit(request)
                     np.testing.assert_array_equal(remote.scores, local.scores)
                     np.testing.assert_array_equal(remote.accepted, local.accepted)
+
+
+class TestV1V2Equivalence:
+    def test_500_user_decisions_identical_over_v1_v2_and_in_process(self, fleet, probes):
+        """The ISSUE 4 acceptance shape: three doors, zero bit differences."""
+        in_process = fleet.frontend.submit_many(probes)
+        with ServiceHTTPServer(fleet.frontend, callers=fleet.callers) as server:
+            with ServiceClient(port=server.port) as v1_client:
+                over_v1 = v1_client.submit_many(probes)
+            with ServiceClient(port=server.port, api_key=fleet.api_key) as v2_client:
+                over_v2 = v2_client.submit_many(probes)
+        assert len(over_v1) == len(over_v2) == FLEET_USERS
+        for local, v1_response, v2_response in zip(in_process, over_v1, over_v2):
+            assert isinstance(v1_response, AuthenticationResponse)
+            assert isinstance(v2_response, AuthenticationResponse)
+            for remote in (v1_response, v2_response):
+                np.testing.assert_array_equal(remote.scores, local.scores)
+                np.testing.assert_array_equal(remote.accepted, local.accepted)
+                assert remote.result.model_contexts == local.result.model_contexts
+                assert remote.model_version == local.model_version
+
+    def test_lifecycle_reports_identical_over_all_three_doors(self):
+        """Same seed, three channels — the aggregate decisions match exactly."""
+        reports = {}
+        for door in ("in-process", "v1", "v2"):
+            simulator = FleetSimulator(FleetConfig(n_users=60, seed=23))
+            if door == "in-process":
+                simulator.channel = simulator.frontend
+                reports[door] = simulator.run()
+                continue
+            with ServiceHTTPServer(
+                simulator.frontend, callers=simulator.callers
+            ) as server:
+                api_key = simulator.api_key if door == "v2" else None
+                with ServiceClient(port=server.port, api_key=api_key) as client:
+                    simulator.channel = client
+                    reports[door] = simulator.run()
+        baseline = reports["in-process"]
+        for door in ("v1", "v2"):
+            report = reports[door]
+            assert report.legitimate_accept_rate == baseline.legitimate_accept_rate
+            assert report.attack_reject_rate == baseline.attack_reject_rate
+            assert (
+                report.drifted_accept_rate_before_retrain
+                == baseline.drifted_accept_rate_before_retrain
+            )
+            assert (
+                report.drifted_accept_rate_after_retrain
+                == baseline.drifted_accept_rate_after_retrain
+            )
+            assert report.trained_versions == baseline.trained_versions
 
 
 class TestFleetLifecycleOverSockets:

@@ -1,0 +1,78 @@
+"""The benchmark-regression gate (tools/check_bench.py) does its job.
+
+The same check runs as a CI step in the docs job; testing it in tier-1
+means a PR that breaks the checker itself fails locally first.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench  # noqa: E402
+
+
+def _write(path: Path, payload: dict) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_committed_baselines_exist_and_carry_throughput_metrics():
+    """Structure only: the committed-vs-baseline comparison itself runs in
+    the docs CI job on a fresh checkout (here the benchmarks may have just
+    rewritten BENCH_*.json with this machine's numbers, so comparing values
+    would test the hardware, not the code)."""
+    baselines = sorted(check_bench.BASELINE_DIR.glob("BENCH_*.json"))
+    names = [path.name for path in baselines]
+    assert "BENCH_frontend.json" in names
+    assert "BENCH_transport.json" in names
+    for path in baselines:
+        metrics = check_bench.throughput_keys(json.loads(path.read_text()))
+        assert metrics, f"{path.name} baseline carries no *_per_s metrics"
+
+
+def test_within_tolerance_passes(tmp_path):
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json", {"windows_per_s": 1000.0}
+    )
+    _write(tmp_path / "BENCH_x.json", {"windows_per_s": 900.0})  # -10%
+    assert check_bench.check_file(tmp_path / "BENCH_x.json", baseline) == []
+
+
+def test_large_drop_fails(tmp_path):
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json",
+        {"windows_per_s": 1000.0, "speedup": 4.0},
+    )
+    _write(
+        tmp_path / "BENCH_x.json", {"windows_per_s": 700.0, "speedup": 1.0}
+    )  # -30% throughput; speedup is not a *_per_s key and is not gated
+    problems = check_bench.check_file(tmp_path / "BENCH_x.json", baseline)
+    assert len(problems) == 1
+    assert "windows_per_s" in problems[0] and "30%" in problems[0]
+
+
+def test_missing_result_or_metric_fails(tmp_path):
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json", {"windows_per_s": 1000.0}
+    )
+    assert any(
+        "missing" in problem
+        for problem in check_bench.check_file(tmp_path / "BENCH_x.json", baseline)
+    )
+    _write(tmp_path / "BENCH_x.json", {"other_metric": 1.0})
+    assert any(
+        "disappeared" in problem
+        for problem in check_bench.check_file(tmp_path / "BENCH_x.json", baseline)
+    )
+
+
+def test_empty_baseline_dir_is_an_error(tmp_path):
+    problems, checked = check_bench.check_all(
+        root=tmp_path, baseline_dir=tmp_path / "baselines"
+    )
+    assert checked == []
+    assert any("no baselines" in problem for problem in problems)

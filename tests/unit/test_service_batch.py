@@ -7,7 +7,7 @@ from repro.core.authenticator import ContextualAuthenticator
 from repro.devices.cloud import AuthenticationServer
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
-from repro.service.batch import BatchScorer, score_fleet
+from repro.core.scoring import BatchScorer, score_fleet
 
 
 def matrix(uid, mean, n=30, d=6, context="stationary", seed=0):
@@ -198,3 +198,55 @@ class TestPredictFromDecisionHooks:
         from repro.ml.forest import RandomForestClassifier
 
         assert RandomForestClassifier().predict_from_decision(np.zeros(3)) is None
+
+
+class TestContextEncoding:
+    """Int-encoding of contexts: the hot path's end-to-end code form."""
+
+    def test_round_trip_labels_and_codes(self):
+        from repro.core.scoring import (
+            CONTEXT_BY_CODE,
+            decode_contexts,
+            encode_contexts,
+        )
+
+        labels = (CoarseContext.MOVING, CoarseContext.STATIONARY)
+        codes = encode_contexts(labels)
+        assert codes.dtype == np.int8
+        assert decode_contexts(codes) == labels
+        # String labels (what a detector predicts) encode vectorized too.
+        as_strings = np.asarray([context.value for context in CONTEXT_BY_CODE])
+        np.testing.assert_array_equal(
+            encode_contexts(as_strings), np.arange(len(CONTEXT_BY_CODE), dtype=np.int8)
+        )
+
+    def test_out_of_range_codes_rejected_even_when_they_wrap(self):
+        from repro.core.scoring import encode_contexts
+
+        with pytest.raises(ValueError, match="context codes"):
+            encode_contexts(np.array([-1]))
+        with pytest.raises(ValueError, match="context codes"):
+            encode_contexts(np.array([7]))
+        # 256 wraps to 0 under an int8 cast; it must still be rejected.
+        with pytest.raises(ValueError, match="context codes"):
+            encode_contexts(np.array([256]))
+
+    def test_unknown_labels_rejected(self):
+        from repro.core.scoring import encode_contexts
+
+        with pytest.raises(ValueError, match="not a known coarse context"):
+            encode_contexts(np.asarray(["driving"]))
+        with pytest.raises(ValueError):
+            encode_contexts(["driving"])
+
+    def test_scorer_accepts_codes_and_labels_identically(self, bundle):
+        from repro.core.scoring import encode_contexts
+
+        scorer = BatchScorer(bundle)
+        rows = np.random.default_rng(9).normal(0.0, 2.0, size=(6, 6))
+        labels = [CoarseContext.STATIONARY, CoarseContext.MOVING] * 3
+        by_labels = scorer.score(rows, labels)
+        by_codes = scorer.score(rows, encode_contexts(labels))
+        np.testing.assert_array_equal(by_labels.scores, by_codes.scores)
+        np.testing.assert_array_equal(by_labels.accepted, by_codes.accepted)
+        assert by_labels.model_contexts == by_codes.model_contexts

@@ -50,6 +50,23 @@ def frontend():
     return frontend
 
 
+_PROBE_COUNTER = iter(range(10**6))
+
+
+def probe():
+    """A cheap data-plane request for queue plumbing tests (buffers 1 window).
+
+    The micro-batch queue admits only data-plane operations, so queue tests
+    probe it with tiny enrollments (``train=False`` → always ``buffered``).
+    """
+    seed = next(_PROBE_COUNTER)
+    return EnrollRequest(
+        user_id="queue-probe",
+        matrix=matrix("queue-probe", 1.0, n=1, seed=seed),
+        train=False,
+    )
+
+
 def train_alice(frontend):
     for context in ("stationary", "moving"):
         frontend.submit(
@@ -344,6 +361,38 @@ class TestServerSideContextDetection:
         assert frontend.telemetry.counter_value("context.detections") == 4
 
 
+class TestControlDoor:
+    def test_submit_control_dispatches_with_error_mapping(self, frontend):
+        response = frontend.submit_control(RollbackRequest(user_id="ghost"))
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ValueError"  # nothing to roll back to
+        snapshot = frontend.submit_control(SnapshotRequest())
+        assert isinstance(snapshot, SnapshotResponse)
+
+    def test_submit_control_rejects_data_plane_requests(self, frontend):
+        from repro.service.gateway import PlaneMismatchError
+
+        with pytest.raises(PlaneMismatchError, match="unreachable"):
+            frontend.submit_control(
+                AuthenticateRequest(
+                    user_id="alice",
+                    features=np.zeros((1, 5)),
+                    contexts=(CoarseContext.STATIONARY,),
+                )
+            )
+        with pytest.raises(TypeError, match="not a protocol request"):
+            frontend.submit_control("snapshot")  # type: ignore[arg-type]
+
+    def test_queue_admits_only_the_data_plane(self, frontend):
+        with MicroBatchQueue(frontend, max_batch=4, max_delay_s=0.01) as queue:
+            accepted = queue.submit(probe())
+            with pytest.raises(TypeError, match="data-plane"):
+                queue.submit(SnapshotRequest())
+            with pytest.raises(TypeError, match="data-plane"):
+                queue.submit(RollbackRequest(user_id="alice"))
+            assert isinstance(accepted.result(timeout=5), EnrollResponse)
+
+
 class TestMicroBatchQueue:
     def test_concurrent_submissions_coalesce_and_fan_out(self, frontend):
         train_alice(frontend)
@@ -386,47 +435,47 @@ class TestMicroBatchQueue:
     def test_submit_requires_running_worker(self, frontend):
         queue = MicroBatchQueue(frontend)
         with pytest.raises(RuntimeError, match="not running"):
-            queue.submit(SnapshotRequest())
+            queue.submit(probe())
 
     def test_submit_after_stop_raises_instead_of_hanging(self, frontend):
         queue = MicroBatchQueue(frontend)
         queue.start()
         queue.stop()
         with pytest.raises(RuntimeError, match="not running"):
-            queue.submit(SnapshotRequest())
+            queue.submit(probe())
         # Restart works and serves again.
         with queue:
             assert isinstance(
-                queue.submit(SnapshotRequest()).result(timeout=5), SnapshotResponse
+                queue.submit(probe()).result(timeout=5), EnrollResponse
             )
 
     def test_cancelled_future_does_not_kill_the_worker(self, frontend):
         with MicroBatchQueue(frontend, max_batch=4, max_delay_s=0.05) as queue:
-            first = queue.submit(SnapshotRequest())
+            first = queue.submit(probe())
             first.cancel()  # may or may not win the race with the worker
-            second = queue.submit(SnapshotRequest())
-            assert isinstance(second.result(timeout=5), SnapshotResponse)
+            second = queue.submit(probe())
+            assert isinstance(second.result(timeout=5), EnrollResponse)
             # The worker survived whichever way the cancellation raced.
-            third = queue.submit(SnapshotRequest())
-            assert isinstance(third.result(timeout=5), SnapshotResponse)
+            third = queue.submit(probe())
+            assert isinstance(third.result(timeout=5), EnrollResponse)
             if not first.cancelled():
-                assert isinstance(first.result(timeout=5), SnapshotResponse)
+                assert isinstance(first.result(timeout=5), EnrollResponse)
 
     def test_non_protocol_submission_rejected_before_enqueue(self, frontend):
         """Invalid input fails synchronously, never poisoning a batch slice."""
         with MicroBatchQueue(frontend, max_batch=8, max_delay_s=0.05) as queue:
-            good = queue.submit(SnapshotRequest())
+            good = queue.submit(probe())
             with pytest.raises(TypeError, match="not a protocol request"):
                 queue.submit("junk")  # type: ignore[arg-type]
-            assert isinstance(good.result(timeout=5), SnapshotResponse)
+            assert isinstance(good.result(timeout=5), EnrollResponse)
 
     def test_stop_drains_pending_requests(self, frontend):
         queue = MicroBatchQueue(frontend, max_batch=8, max_delay_s=0.2)
         queue.start()
-        futures = [queue.submit(SnapshotRequest()) for _ in range(5)]
+        futures = [queue.submit(probe()) for _ in range(5)]
         queue.stop()
         for future in futures:
-            assert isinstance(future.result(timeout=1), SnapshotResponse)
+            assert isinstance(future.result(timeout=1), EnrollResponse)
 
     def test_rejects_degenerate_parameters(self, frontend):
         with pytest.raises(ValueError, match="max_batch"):
@@ -460,9 +509,9 @@ class TestAdmissionControl:
             frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="reject"
         )
         with queue:
-            first = queue.submit(SnapshotRequest())  # claimed by the worker
+            first = queue.submit(probe())  # claimed by the worker
             assert entered.wait(timeout=5)  # ...which is now stuck in dispatch
-            second = queue.submit(SnapshotRequest())  # fills the only slot
+            second = queue.submit(probe())  # fills the only slot
             assert queue.depth == 1
             third = queue.submit(
                 AuthenticateRequest(
@@ -481,8 +530,8 @@ class TestAdmissionControl:
             assert response.max_depth == 1
             assert frontend.telemetry.counter_value("frontend.throttled") == 1
             release.set()
-            assert isinstance(first.result(timeout=5), SnapshotResponse)
-            assert isinstance(second.result(timeout=5), SnapshotResponse)
+            assert isinstance(first.result(timeout=5), EnrollResponse)
+            assert isinstance(second.result(timeout=5), EnrollResponse)
         # Accepted requests were never throttled.
         assert frontend.telemetry.counter_value("frontend.throttled") == 1
 
@@ -492,13 +541,13 @@ class TestAdmissionControl:
             frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="block"
         )
         with queue:
-            first = queue.submit(SnapshotRequest())
+            first = queue.submit(probe())
             assert entered.wait(timeout=5)
-            second = queue.submit(SnapshotRequest())
+            second = queue.submit(probe())
             resolved = []
 
             def blocked_submit():
-                resolved.append(queue.submit(SnapshotRequest()))
+                resolved.append(queue.submit(probe()))
 
             submitter = threading.Thread(target=blocked_submit)
             submitter.start()
@@ -508,7 +557,7 @@ class TestAdmissionControl:
             submitter.join(timeout=5)
             assert not submitter.is_alive()
             for future in (first, second, *resolved):
-                assert isinstance(future.result(timeout=5), SnapshotResponse)
+                assert isinstance(future.result(timeout=5), EnrollResponse)
         assert frontend.telemetry.counter_value("frontend.throttled") == 0
 
     def test_stop_fails_a_blocked_submitter_cleanly(self, frontend):
@@ -517,14 +566,14 @@ class TestAdmissionControl:
             frontend, max_batch=1, max_delay_s=0.0, max_depth=1, overflow="block"
         )
         queue.start()
-        first = queue.submit(SnapshotRequest())
+        first = queue.submit(probe())
         assert entered.wait(timeout=5)
-        second = queue.submit(SnapshotRequest())
+        second = queue.submit(probe())
         outcome = []
 
         def blocked_submit():
             try:
-                outcome.append(queue.submit(SnapshotRequest()))
+                outcome.append(queue.submit(probe()))
             except RuntimeError as error:
                 outcome.append(error)
 
@@ -542,12 +591,12 @@ class TestAdmissionControl:
         # than hanging forever or being silently dropped...
         assert len(outcome) == 1 and isinstance(outcome[0], RuntimeError)
         # ...while both accepted requests were drained and answered.
-        assert isinstance(first.result(timeout=5), SnapshotResponse)
-        assert isinstance(second.result(timeout=5), SnapshotResponse)
+        assert isinstance(first.result(timeout=5), EnrollResponse)
+        assert isinstance(second.result(timeout=5), EnrollResponse)
 
     def test_queue_wait_telemetry_recorded_per_dispatched_request(self, frontend):
         with MicroBatchQueue(frontend, max_batch=4, max_delay_s=0.01) as queue:
-            futures = [queue.submit(SnapshotRequest()) for _ in range(3)]
+            futures = [queue.submit(probe()) for _ in range(3)]
             for future in futures:
                 future.result(timeout=5)
         recorder = frontend.telemetry.latency("frontend.queue_wait")
@@ -556,9 +605,9 @@ class TestAdmissionControl:
 
     def test_unbounded_queue_never_throttles(self, frontend):
         with MicroBatchQueue(frontend, max_batch=2, max_delay_s=0.0) as queue:
-            futures = [queue.submit(SnapshotRequest()) for _ in range(20)]
+            futures = [queue.submit(probe()) for _ in range(20)]
             for future in futures:
-                assert isinstance(future.result(timeout=5), SnapshotResponse)
+                assert isinstance(future.result(timeout=5), EnrollResponse)
         assert frontend.telemetry.counter_value("frontend.throttled") == 0
 
 

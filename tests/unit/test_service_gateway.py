@@ -175,7 +175,7 @@ class TestDriftAndRollback:
         gateway.use_context = False
         without_context = gateway.authenticate("alice", own.values, contexts)
         bundle = gateway.registry.bundle_for("alice")
-        from repro.service.batch import BatchScorer
+        from repro.core.scoring import BatchScorer
 
         expected = BatchScorer(bundle, use_context=False).score(own.values, contexts)
         np.testing.assert_array_equal(without_context.scores, expected.scores)
@@ -215,6 +215,109 @@ class TestDriftAndRollback:
             "alice", own.values, [CoarseContext.STATIONARY] * 4
         )
         assert response.model_version == 1
+
+
+class TestPlaneSplit:
+    def _trained_alice(self, gateway):
+        for context in ("stationary", "moving"):
+            gateway.enroll("alice", matrix("alice", 0.0, context=context, seed=90))
+
+    def test_handle_routes_both_planes(self, gateway):
+        from repro.service.protocol import (
+            EvictRequest,
+            EvictResponse,
+            RollbackRequest,
+            SnapshotRequest,
+        )
+
+        self._trained_alice(gateway)
+        assert gateway.handle(SnapshotRequest()).snapshot["counters"]
+        assert isinstance(gateway.handle(EvictRequest()), EvictResponse)
+        with pytest.raises(ValueError):  # single version: nothing to roll back to
+            gateway.handle(RollbackRequest(user_id="alice"))
+
+    def test_data_plane_serves_only_the_hot_path(self, gateway):
+        from repro.service.gateway import PlaneMismatchError
+        from repro.service.protocol import (
+            AuthenticateRequest,
+            DetectorTrainRequest,
+            EvictRequest,
+            RollbackRequest,
+            SnapshotRequest,
+        )
+
+        self._trained_alice(gateway)
+        own = matrix("alice", 0.0, n=2, seed=91)
+        response = gateway.data_plane.handle(
+            AuthenticateRequest(
+                user_id="alice",
+                features=own.values,
+                contexts=(CoarseContext.STATIONARY,) * 2,
+            )
+        )
+        assert len(response.result) == 2
+        for control_request in (
+            RollbackRequest(user_id="alice"),
+            SnapshotRequest(),
+            EvictRequest(),
+            DetectorTrainRequest(matrix=matrix("alice", 0.0, seed=92)),
+        ):
+            with pytest.raises(PlaneMismatchError, match="unreachable"):
+                gateway.data_plane.handle(control_request)
+
+    def test_control_plane_rejects_the_hot_path(self, gateway):
+        from repro.service.gateway import PlaneMismatchError
+        from repro.service.protocol import AuthenticateRequest, EnrollRequest
+
+        for data_request in (
+            EnrollRequest(user_id="alice", matrix=matrix("alice", 0.0, seed=93)),
+            AuthenticateRequest(
+                user_id="alice",
+                features=np.zeros((1, 5)),
+                contexts=(CoarseContext.STATIONARY,),
+            ),
+        ):
+            with pytest.raises(PlaneMismatchError, match="unreachable"):
+                gateway.control_plane.handle(data_request)
+
+    def test_non_protocol_request_raises_type_error(self, gateway):
+        with pytest.raises(TypeError, match="not a protocol request"):
+            gateway.handle("rollback alice")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            gateway.data_plane.handle("rollback alice")  # type: ignore[arg-type]
+
+    def test_plane_request_sets_cover_the_protocol(self, gateway):
+        from repro.service import protocol
+
+        data = set(gateway.data_plane.request_types)
+        control = set(gateway.control_plane.request_types)
+        assert data == set(protocol.DATA_PLANE_TYPES)
+        assert control == set(protocol.CONTROL_PLANE_TYPES)
+        assert not data & control
+
+    def test_evict_op_drops_old_versions_and_counts(self, gateway):
+        self._trained_alice(gateway)
+        for round_number in range(3):
+            gateway.report_drift(
+                "alice",
+                matrix("alice", 0.1, n=30, context="stationary", seed=94 + round_number),
+            )
+        assert gateway.registry.versions("alice") == [1, 2, 3, 4]
+        response = gateway.evict(policy="max_versions", max_versions=2)
+        assert response.evicted == {"alice": [1, 2]}
+        assert response.versions_evicted == 2
+        assert gateway.registry.versions("alice") == [3, 4]
+        assert gateway.snapshot()["counters"]["registry.evicted"] == 2
+
+    def test_train_detector_op_publishes_a_version(self, gateway):
+        from repro.service.protocol import DetectorTrainRequest
+
+        training = matrix("alice", 0.0, n=40, context="stationary", seed=96).concatenate(
+            matrix("alice", 5.0, n=40, context="moving", seed=97)
+        )
+        response = gateway.handle(DetectorTrainRequest(matrix=training))
+        assert response.version == 1
+        assert gateway.registry.context_detector_versions() == [1]
 
 
 class TestRegistryWiring:

@@ -1,11 +1,11 @@
-"""Layering contract of the service package after the PR-2 redesign.
+"""Layering contract of the service package.
 
-The storage and scoring engines moved down to :mod:`repro.devices.store`
-and :mod:`repro.core.scoring`; :mod:`repro.service` (and the old submodule
-paths) must keep re-exporting them, while the low-level modules must be
-importable without pulling the service layer in — with no PEP 562 lazy
-``__getattr__`` or ``TYPE_CHECKING`` import-cycle workarounds anywhere on
-the old cycle.
+The storage and scoring engines live in :mod:`repro.devices.store` and
+:mod:`repro.core.scoring`; :mod:`repro.service` re-exports them under their
+historical names (the PR-2 ``repro.service.store`` / ``repro.service.batch``
+submodule shims are gone), while the low-level modules must be importable
+without pulling the service layer in — with no PEP 562 lazy ``__getattr__``
+or ``TYPE_CHECKING`` import-cycle workarounds anywhere on the old cycle.
 """
 
 import os
@@ -13,13 +13,13 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 import repro.core.authenticator
 import repro.core.scoring
 import repro.devices.cloud
 import repro.devices.store
 import repro.service
-import repro.service.batch
-import repro.service.store
 
 
 class TestLegacyImportPaths:
@@ -44,14 +44,13 @@ class TestLegacyImportPaths:
         assert score_fleet is repro.core.scoring.score_fleet
         assert score_requests is repro.core.scoring.score_requests
 
-    def test_submodule_shims_resolve_to_new_homes(self):
-        assert repro.service.store.FeatureStore is repro.devices.store.FeatureStore
-        assert repro.service.store.RingBuffer is repro.devices.store.RingBuffer
-        assert repro.service.batch.BatchScorer is repro.core.scoring.BatchScorer
-        assert (
-            repro.service.batch.BatchScoreResult
-            is repro.core.scoring.BatchScoreResult
-        )
+    def test_deprecated_submodule_shims_are_gone(self):
+        """Every import goes through the real homes now; the PR-2 shims
+        (``repro.service.store`` / ``repro.service.batch``) were removed."""
+        with pytest.raises(ModuleNotFoundError):
+            import repro.service.store  # noqa: F401
+        with pytest.raises(ModuleNotFoundError):
+            import repro.service.batch  # noqa: F401
 
     def test_every_declared_service_export_resolves(self):
         for name in repro.service.__all__:

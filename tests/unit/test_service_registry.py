@@ -90,6 +90,116 @@ class TestRollback:
             registry.rollback("owner")
 
 
+class TestEviction:
+    def _registry_with_versions(self, server, n_versions, root=None):
+        registry = ModelRegistry(root=root)
+        server.registry = registry
+        server.train_authentication_models("owner")
+        for index in range(n_versions - 1):
+            server.retrain("owner", matrix("owner", 0.1 * (index + 1), seed=20 + index))
+        return registry
+
+    def test_max_versions_keeps_the_newest(self, server):
+        registry = self._registry_with_versions(server, 5)
+        evicted = registry.evict(policy="max_versions", max_versions=2)
+        assert evicted == {"owner": [1, 2, 3]}
+        assert registry.versions("owner") == [4, 5]
+        assert registry.latest_version("owner") == 5
+
+    def test_eviction_never_drops_the_serving_version(self, server):
+        registry = self._registry_with_versions(server, 3)
+        # Roll back so v2 serves while v3 is retired-but-stored.
+        registry.rollback("owner")
+        evicted = registry.evict(policy="max_versions", max_versions=1)
+        # The budget of one would keep only v3 (newest number), but the
+        # serving version v2 must survive as well.
+        assert 2 not in evicted["owner"]
+        assert registry.latest_version("owner") == 2
+        assert set(registry.versions("owner")) == {2, 3}
+
+    def test_lru_keeps_recently_served_versions(self, server):
+        registry = self._registry_with_versions(server, 4)
+        # Pin v1 by serving it explicitly (an operator's forensic re-score);
+        # v2 is never touched again.
+        registry.bundle_for("owner", version=1)
+        evicted = registry.evict(policy="lru", max_versions=2)
+        # Keep = {1 (recently served), 4 (serving)}; evict 2 and 3.
+        assert evicted == {"owner": [2, 3]}
+        assert set(registry.versions("owner")) == {1, 4}
+
+    def test_eviction_bumps_generation_only_when_something_dropped(self, server):
+        registry = self._registry_with_versions(server, 2)
+        generation = registry.generation
+        assert registry.evict(policy="max_versions", max_versions=4) == {}
+        assert registry.generation == generation
+        registry.evict(policy="max_versions", max_versions=1)
+        assert registry.generation == generation + 1
+
+    def test_eviction_restricted_to_one_user(self, server):
+        registry = self._registry_with_versions(server, 3)
+        for context in ("stationary", "moving"):
+            server.upload_features("other1", matrix("other1", 3.0, context=context, seed=2))
+        server.train_authentication_models("other1")
+        server.retrain("other1", matrix("other1", 3.1, seed=40))
+        evicted = registry.evict(policy="max_versions", max_versions=1, user_id="owner")
+        assert set(evicted) == {"owner"}
+        assert registry.versions("other1") == [1, 2]
+        with pytest.raises(KeyError, match="no published versions"):
+            registry.evict(user_id="ghost")
+
+    def test_lru_recency_survives_a_restart(self, server, tmp_path):
+        """A pinned old version stays pinned for LRU after reload (the
+        recency ticks are persisted with the serving state)."""
+        registry = self._registry_with_versions(server, 4, root=tmp_path / "models")
+        registry.bundle_for("owner", version=1)  # operator pins v1
+        # A rollback persists the serving state (including recency ticks).
+        registry.rollback("owner")
+        fresh = ModelRegistry(root=tmp_path / "models")
+        fresh.load()
+        evicted = fresh.evict(policy="lru", max_versions=2)
+        # Keep = {1 (recently served), 3 (serving after rollback), 4 (most
+        # recent tick from rollback's record_for... kept by budget)}; the
+        # never-pinned v2 goes first.
+        assert 1 not in evicted.get("owner", [])
+        assert 2 in evicted["owner"]
+
+    def test_eviction_validates_inputs(self, bundle):
+        registry = ModelRegistry()
+        registry.publish(bundle)
+        with pytest.raises(ValueError, match="policy"):
+            registry.evict(policy="fifo")
+        with pytest.raises(ValueError, match="max_versions"):
+            registry.evict(max_versions=0)
+
+    def test_eviction_deletes_persisted_payloads(self, server, tmp_path):
+        registry = self._registry_with_versions(server, 3, root=tmp_path / "models")
+        paths = {
+            version: registry.record_for("owner", version).path
+            for version in registry.versions("owner")
+        }
+        assert all(path is not None and path.exists() for path in paths.values())
+        registry.evict(policy="max_versions", max_versions=1)
+        assert not paths[1].exists() and not paths[2].exists()
+        assert paths[3].exists()
+        # A fresh registry reloads only what survived.
+        fresh = ModelRegistry(root=tmp_path / "models")
+        assert fresh.load() == 1
+        assert fresh.versions("owner") == [3]
+
+    def test_evicted_retired_versions_drop_from_persisted_state(self, server, tmp_path):
+        registry = self._registry_with_versions(server, 4, root=tmp_path / "models")
+        registry.rollback("owner")  # v4 retired, v3 serving
+        # Budget 1 keeps v4 (newest number) plus v3 (serving); v1, v2 drop.
+        assert registry.evict(policy="max_versions", max_versions=1) == {
+            "owner": [1, 2]
+        }
+        fresh = ModelRegistry(root=tmp_path / "models")
+        fresh.load()
+        assert fresh.versions("owner") == [3, 4]
+        # The persisted retired-state still marks v4 retired: v3 serves.
+        assert fresh.latest_version("owner") == 3
+
+
 class TestSerialization:
     def test_roundtrip_preserves_metadata(self, bundle):
         rebuilt = ModelRegistry().roundtrip(bundle)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.features.vector import FeatureMatrix
-from repro.service.store import ANY_CONTEXT, FeatureStore, RingBuffer
+from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer
 
 
 def matrix(uid, mean, n=10, d=4, context="stationary", seed=0):

@@ -290,14 +290,20 @@ class TestThrottlingOverTheWire:
         with ServiceHTTPServer(frontend, queue=queue) as server:
             results = {}
 
-            def post(name):
+            def post(name, seed):
                 with ServiceClient(port=server.port) as client:
-                    results[name] = client.submit(SnapshotRequest())
+                    results[name] = client.submit(
+                        EnrollRequest(
+                            user_id=f"slow-{name}",
+                            matrix=matrix(f"slow-{name}", 1.0, n=1, seed=seed),
+                            train=False,
+                        )
+                    )
 
-            first = threading.Thread(target=post, args=("first",))
+            first = threading.Thread(target=post, args=("first", 31))
             first.start()
             assert entered.wait(timeout=5)  # worker is stuck dispatching
-            second = threading.Thread(target=post, args=("second",))
+            second = threading.Thread(target=post, args=("second", 32))
             second.start()
             deadline = threading.Event()
             for _ in range(100):  # wait until the slot is actually occupied
@@ -305,8 +311,16 @@ class TestThrottlingOverTheWire:
                     break
                 deadline.wait(0.01)
             assert queue.depth == 1
-            # The third concurrent request finds the queue full: typed 429.
-            body = '{"kind": "snapshot"}'
+            # A third concurrent data-plane request finds the queue full:
+            # typed 429.
+            body = json.dumps(
+                {
+                    "kind": "authenticate",
+                    "user_id": "ghost",
+                    "features": [[0.0] * 5],
+                    "contexts": ["stationary"],
+                }
+            )
             request = urllib.request.Request(
                 f"http://127.0.0.1:{server.port}{REQUESTS_PATH}",
                 data=body.encode("utf-8"),
@@ -325,8 +339,266 @@ class TestThrottlingOverTheWire:
             release.set()
             first.join(timeout=10)
             second.join(timeout=10)
-            assert isinstance(results["first"], SnapshotResponse)
-            assert isinstance(results["second"], SnapshotResponse)
+            assert isinstance(results["first"], EnrollResponse)
+            assert isinstance(results["second"], EnrollResponse)
+
+
+class TestV2Endpoints:
+    """The enveloped endpoints: caller auth, plane split, status codes."""
+
+    def _keys(self, server):
+        data_key = server.callers.register("device-gw", ("data:write",))
+        admin_key = server.callers.register("operator", ("admin",))
+        full_key = server.callers.register("fleet", ("data:write", "admin"))
+        return data_key, admin_key, full_key
+
+    def _envelope_body(self, request_payload, api_key, request_id="req-1", **extra):
+        return json.dumps(
+            {
+                "kind": "envelope",
+                "api_version": 2,
+                "request_id": request_id,
+                "api_key": api_key,
+                "request": request_payload,
+                **extra,
+            }
+        )
+
+    AUTH_PAYLOAD = {
+        "kind": "authenticate",
+        "user_id": "alice",
+        "features": [[0.0] * 5],
+        "contexts": ["stationary"],
+    }
+
+    def test_missing_api_key_answers_401_and_never_reaches_the_gateway(self, frontend, server):
+        calls = []
+        original = frontend.gateway.handle
+        frontend.gateway.handle = lambda request: calls.append(request) or original(request)
+        status, payload = raw_post(
+            server, self._envelope_body(self.AUTH_PAYLOAD, None), path="/v2/requests"
+        )
+        assert status == 401
+        assert payload["kind"] == "sealed-response"
+        assert payload["response"]["kind"] == "denied-response"
+        assert payload["response"]["code"] == "missing-api-key"
+        assert payload["request_id"] == "req-1"
+        assert calls == []
+
+    def test_unknown_api_key_answers_401(self, server):
+        status, payload = raw_post(
+            server, self._envelope_body(self.AUTH_PAYLOAD, "bogus"), path="/v2/requests"
+        )
+        assert status == 401
+        assert payload["response"]["code"] == "unknown-api-key"
+
+    def test_insufficient_scope_answers_403(self, frontend, server):
+        data_key, admin_key, _ = self._keys(server)
+        calls = []
+        original = frontend.gateway.handle
+        frontend.gateway.handle = lambda request: calls.append(request) or original(request)
+        # A data-scoped caller cannot roll back...
+        status, payload = raw_post(
+            server,
+            self._envelope_body({"kind": "rollback", "user_id": "alice"}, data_key),
+            path="/v2/admin",
+        )
+        assert status == 403
+        assert payload["response"]["code"] == "insufficient-scope"
+        assert payload["response"]["required_scope"] == "admin"
+        # ...and an admin-scoped caller cannot authenticate.
+        status, payload = raw_post(
+            server,
+            self._envelope_body(self.AUTH_PAYLOAD, admin_key),
+            path="/v2/requests",
+        )
+        assert status == 403
+        assert payload["response"]["code"] == "insufficient-scope"
+        assert calls == []
+
+    def test_control_ops_unreachable_from_the_data_endpoint(self, server):
+        """Even full scopes cannot reach rollback through /v2/requests."""
+        _, _, full_key = self._keys(server)
+        status, payload = raw_post(
+            server,
+            self._envelope_body({"kind": "rollback", "user_id": "alice"}, full_key),
+            path="/v2/requests",
+        )
+        assert status == 403
+        assert payload["response"]["code"] == "wrong-plane"
+
+    def test_data_ops_unreachable_from_the_admin_endpoint(self, server):
+        _, _, full_key = self._keys(server)
+        status, payload = raw_post(
+            server,
+            self._envelope_body(self.AUTH_PAYLOAD, full_key),
+            path="/v2/admin",
+        )
+        assert status == 403
+        assert payload["response"]["code"] == "wrong-plane"
+
+    def test_unsupported_api_version_answers_400(self, server):
+        _, _, full_key = self._keys(server)
+        body = json.dumps(
+            {
+                "kind": "envelope",
+                "api_version": 9,
+                "request_id": "req-9",
+                "api_key": full_key,
+                "request": self.AUTH_PAYLOAD,
+            }
+        )
+        status, payload = raw_post(server, body, path="/v2/requests")
+        assert status == 400
+        assert payload["response"]["code"] == "unsupported-api-version"
+
+    def test_admitted_envelope_echoes_request_id(self, frontend, server):
+        data_key, _, _ = self._keys(server)
+        status, payload = raw_post(
+            server,
+            self._envelope_body(self.AUTH_PAYLOAD, data_key, request_id="corr-42"),
+            path="/v2/requests",
+        )
+        assert status == 200
+        assert payload["request_id"] == "corr-42"
+        assert payload["caller_id"] == "device-gw"
+        assert payload["response"]["kind"] == "authenticate-response"
+
+    def test_v2_batch_answers_sealed_array(self, server):
+        data_key, _, _ = self._keys(server)
+        body = json.dumps(
+            [
+                json.loads(self._envelope_body(self.AUTH_PAYLOAD, data_key, request_id=f"b-{i}"))
+                for i in range(3)
+            ]
+        )
+        status, payload = raw_post(server, body, path="/v2/requests")
+        assert status == 200
+        assert [item["request_id"] for item in payload] == ["b-0", "b-1", "b-2"]
+        assert all(item["kind"] == "sealed-response" for item in payload)
+
+    def test_admin_endpoint_refuses_batches(self, server):
+        _, admin_key, _ = self._keys(server)
+        body = json.dumps(
+            [json.loads(self._envelope_body({"kind": "snapshot"}, admin_key))]
+        )
+        status, payload = raw_post(server, body, path="/v2/admin")
+        assert status == 400
+        assert payload["kind"] == "error-response"
+
+    def test_malformed_envelope_answers_400(self, server):
+        status, payload = raw_post(server, '{"kind": "envelope"}', path="/v2/requests")
+        assert status == 400
+        assert payload["kind"] == "error-response"
+        assert payload["error"] == "ValueError"
+
+
+class TestV2Client:
+    def test_v2_client_authenticates_and_routes_planes(self, frontend, server):
+        api_key = server.callers.register("fleet", ("data:write", "admin"))
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            assert client.api_version == 2
+            own = matrix("alice", 0.0, n=4, seed=9)
+            response = client.submit(
+                AuthenticateRequest(
+                    user_id="alice",
+                    features=own.values,
+                    contexts=(CoarseContext.STATIONARY,) * 4,
+                )
+            )
+            assert isinstance(response, AuthenticationResponse)
+            expected = frontend.gateway.scorer_for("alice").score(
+                own.values, [CoarseContext.STATIONARY] * 4
+            )
+            np.testing.assert_array_equal(response.scores, expected.scores)
+            # Control op: the client routes it to /v2/admin transparently.
+            snapshot = client.submit(SnapshotRequest())
+            assert isinstance(snapshot, SnapshotResponse)
+
+    def test_v2_client_denied_raises_permission_error(self, server):
+        data_key = server.callers.register("device-gw", ("data:write",))
+        with ServiceClient(port=server.port, api_key=data_key) as client:
+            with pytest.raises(PermissionError, match="insufficient-scope"):
+                client.submit(RollbackRequest(user_id="alice"))
+        with ServiceClient(port=server.port, api_key="bogus") as client:
+            with pytest.raises(PermissionError, match="unknown-api-key"):
+                client.submit(SnapshotRequest())
+
+    def test_v2_batch_matches_v1_batch_bit_for_bit(self, frontend, server):
+        api_key = server.callers.register("fleet", ("data:write",))
+        own = matrix("alice", 0.0, n=6, seed=13)
+        requests = [
+            AuthenticateRequest(
+                user_id="alice",
+                features=own.values[index : index + 2],
+                contexts=(CoarseContext.STATIONARY,) * 2,
+            )
+            for index in range(0, 6, 2)
+        ]
+        with ServiceClient(port=server.port) as v1_client:
+            v1_responses = v1_client.submit_many(requests)
+        with ServiceClient(port=server.port, api_key=api_key) as v2_client:
+            v2_responses = v2_client.submit_many(requests)
+        for v1_response, v2_response in zip(v1_responses, v2_responses):
+            np.testing.assert_array_equal(v2_response.scores, v1_response.scores)
+            np.testing.assert_array_equal(v2_response.accepted, v1_response.accepted)
+
+    def test_v2_batch_refuses_control_ops(self, server):
+        api_key = server.callers.register("fleet", ("data:write", "admin"))
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            with pytest.raises(ValueError, match="control-plane"):
+                client.submit_many([SnapshotRequest()])
+
+    def test_idempotent_retry_replays_over_the_wire(self, frontend, server):
+        api_key = server.callers.register("fleet", ("data:write",))
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            first = client.submit(
+                EnrollRequest(
+                    user_id="dora", matrix=matrix("dora", 2.0, n=5, seed=21), train=False
+                ),
+                idempotency_key="upload-1",
+            )
+            stored = frontend.gateway.server.stored_window_count("dora")
+            second = client.submit(
+                EnrollRequest(
+                    user_id="dora", matrix=matrix("dora", 2.0, n=5, seed=22), train=False
+                ),
+                idempotency_key="upload-1",
+            )
+        assert isinstance(first, EnrollResponse)
+        assert isinstance(second, EnrollResponse)
+        assert second.windows_stored == first.windows_stored
+        assert frontend.gateway.server.stored_window_count("dora") == stored
+
+    def test_v1_client_rejects_idempotency_keys(self, server):
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ValueError, match="v2"):
+                client.submit(SnapshotRequest(), idempotency_key="nope")
+
+    def test_metrics_report_per_caller_telemetry(self, server):
+        api_key = server.callers.register("device-gw", ("data:write",))
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            with pytest.raises(PermissionError):
+                client.submit(RollbackRequest(user_id="alice"))
+            metrics = client.metrics()
+        assert metrics["callers"]["device-gw"]["denied"] == 1
+        assert "legacy-v1" in metrics["callers"]
+
+
+class TestRevokedLegacyCaller:
+    def test_v1_answers_typed_403_after_the_legacy_caller_is_revoked(self, server):
+        """Switching the unauthenticated surface off is a typed denial, not
+        a crashed handler thread."""
+        assert server.callers.revoke(server.LEGACY_CALLER_ID) is True
+        status, payload = raw_post(server, '{"kind": "snapshot"}')
+        assert status == 403
+        assert payload["kind"] == "error-response"
+        assert payload["error"] == "PermissionError"
+        # Batches degrade the same way, per item.
+        status, payload = raw_post(server, '[{"kind": "snapshot"}]')
+        assert status == 200
+        assert payload[0]["kind"] == "error-response"
+        assert payload[0]["error"] == "PermissionError"
 
 
 class TestClientConnection:

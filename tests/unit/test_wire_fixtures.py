@@ -1,0 +1,243 @@
+"""Golden wire fixtures: the JSON payloads are pinned byte-for-byte.
+
+Deployed fleets mix client and server builds, so the wire format is a
+compatibility contract, not an implementation detail: any change to field
+names, tagging, ordering (the codec sorts keys) or float formatting shows
+up here as a byte diff against the committed fixture files.  The v1
+fixtures pin the legacy surface old device firmware speaks; the envelope
+fixtures pin the v2 contract.
+
+Regenerating (only for a *deliberate*, documented wire change)::
+
+    PYTHONPATH=src python tests/unit/test_wire_fixtures.py --regenerate
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import BatchScoreResult
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service.envelope import (
+    DeniedResponse,
+    Envelope,
+    SealedResponse,
+    dumps_envelope,
+    dumps_sealed,
+    loads_envelope,
+    loads_sealed,
+)
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    DetectorTrainRequest,
+    DetectorTrainResponse,
+    DriftReport,
+    DriftResponse,
+    EnrollRequest,
+    EnrollResponse,
+    ErrorResponse,
+    EvictRequest,
+    EvictResponse,
+    RollbackRequest,
+    RollbackResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    ThrottledResponse,
+    dumps_request,
+    dumps_response,
+    loads_request,
+    loads_response,
+)
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "wire"
+
+
+def _matrix() -> FeatureMatrix:
+    return FeatureMatrix(
+        values=np.array([[0.5, -1.25], [3.0, 0.0]]),
+        feature_names=["f00", "f01"],
+        user_ids=["alice", "alice"],
+        contexts=["stationary", "moving"],
+    )
+
+
+def _result() -> BatchScoreResult:
+    return BatchScoreResult(
+        scores=np.array([1.5, -0.25]),
+        accepted=np.array([True, False]),
+        model_contexts=(CoarseContext.STATIONARY, CoarseContext.MOVING),
+        model_version=3,
+    )
+
+
+def v1_request_fixtures() -> dict[str, str]:
+    """Canonical v1 request payloads, name → exact wire text."""
+    return {
+        "request-enroll": dumps_request(
+            EnrollRequest(user_id="alice", matrix=_matrix(), train=False)
+        ),
+        "request-authenticate": dumps_request(
+            AuthenticateRequest(
+                user_id="alice",
+                features=np.array([[0.5, -1.25]]),
+                contexts=(CoarseContext.STATIONARY,),
+                version=3,
+            )
+        ),
+        "request-authenticate-detected": dumps_request(
+            AuthenticateRequest(
+                user_id="alice", features=np.array([[0.5, -1.25]])
+            )
+        ),
+        "request-drift-report": dumps_request(
+            DriftReport(user_id="alice", matrix=_matrix())
+        ),
+        "request-rollback": dumps_request(RollbackRequest(user_id="alice")),
+        "request-snapshot": dumps_request(SnapshotRequest()),
+        "request-evict": dumps_request(
+            EvictRequest(policy="lru", max_versions=2, user_id="alice")
+        ),
+        "request-train-detector": dumps_request(
+            DetectorTrainRequest(matrix=_matrix(), exclude_user="mallory")
+        ),
+    }
+
+
+def v1_response_fixtures() -> dict[str, str]:
+    """Canonical v1 response payloads, name → exact wire text."""
+    return {
+        "response-enroll": dumps_response(
+            EnrollResponse(
+                user_id="alice", status="trained", windows_stored=24, model_version=1
+            )
+        ),
+        "response-authenticate": dumps_response(
+            AuthenticationResponse(user_id="alice", result=_result())
+        ),
+        "response-drift": dumps_response(
+            DriftResponse(user_id="alice", previous_version=3, new_version=4)
+        ),
+        "response-rollback": dumps_response(
+            RollbackResponse(user_id="alice", serving_version=2)
+        ),
+        "response-snapshot": dumps_response(
+            SnapshotResponse(snapshot={"counters": {"auth.windows": 8}})
+        ),
+        "response-evict": dumps_response(
+            EvictResponse(policy="lru", evicted={"alice": [1, 2]})
+        ),
+        "response-train-detector": dumps_response(DetectorTrainResponse(version=2)),
+        "response-throttled": dumps_response(
+            ThrottledResponse(
+                request_kind="authenticate",
+                reason="queue-full",
+                queue_depth=4,
+                max_depth=4,
+                retry_after_s=0.005,
+                user_id="alice",
+            )
+        ),
+        "response-error": dumps_response(
+            ErrorResponse(
+                request_kind="authenticate",
+                error="KeyError",
+                message="no active model versions published for 'ghost'",
+                user_id="ghost",
+            )
+        ),
+    }
+
+
+def envelope_fixtures() -> dict[str, str]:
+    """Canonical v2 envelope payloads, name → exact wire text."""
+    return {
+        "envelope-authenticate": dumps_envelope(
+            Envelope(
+                request=AuthenticateRequest(
+                    user_id="alice", features=np.array([[0.5, -1.25]])
+                ),
+                api_key="fixture-api-key",
+                request_id="req-0001",
+                idempotency_key="idem-0001",
+            )
+        ),
+        "sealed-authenticate": dumps_sealed(
+            SealedResponse(
+                response=AuthenticationResponse(user_id="alice", result=_result()),
+                request_id="req-0001",
+                caller_id="device-gw",
+            )
+        ),
+        "sealed-denied": dumps_sealed(
+            SealedResponse(
+                response=DeniedResponse(
+                    request_kind="rollback",
+                    code="insufficient-scope",
+                    message="caller 'device-gw' lacks the 'admin' scope "
+                    "required by 'rollback'",
+                    required_scope="admin",
+                ),
+                request_id="req-0002",
+            )
+        ),
+    }
+
+
+def all_fixtures() -> dict[str, str]:
+    return {**v1_request_fixtures(), **v1_response_fixtures(), **envelope_fixtures()}
+
+
+@pytest.mark.parametrize("name", sorted(all_fixtures()))
+def test_wire_payload_matches_golden_fixture_byte_for_byte(name):
+    fixture_path = FIXTURE_DIR / f"{name}.json"
+    assert fixture_path.is_file(), (
+        f"missing golden fixture {fixture_path}; regenerate deliberately with "
+        "PYTHONPATH=src python tests/unit/test_wire_fixtures.py --regenerate"
+    )
+    assert all_fixtures()[name] == fixture_path.read_text(encoding="utf-8"), (
+        f"wire payload {name!r} drifted from its golden fixture — this breaks "
+        "deployed clients; if the change is deliberate, regenerate the "
+        "fixtures and document the wire change"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(v1_request_fixtures()))
+def test_golden_requests_still_parse(name):
+    request = loads_request((FIXTURE_DIR / f"{name}.json").read_text(encoding="utf-8"))
+    assert dumps_request(request) == all_fixtures()[name]
+
+
+@pytest.mark.parametrize("name", sorted(v1_response_fixtures()))
+def test_golden_responses_still_parse(name):
+    response = loads_response((FIXTURE_DIR / f"{name}.json").read_text(encoding="utf-8"))
+    assert dumps_response(response) == all_fixtures()[name]
+
+
+def test_golden_envelopes_still_parse():
+    fixtures = envelope_fixtures()
+    envelope = loads_envelope(
+        (FIXTURE_DIR / "envelope-authenticate.json").read_text(encoding="utf-8")
+    )
+    assert dumps_envelope(envelope) == fixtures["envelope-authenticate"]
+    for name in ("sealed-authenticate", "sealed-denied"):
+        sealed = loads_sealed((FIXTURE_DIR / f"{name}.json").read_text(encoding="utf-8"))
+        assert dumps_sealed(sealed) == fixtures[name]
+
+
+def _regenerate() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for name, text in all_fixtures().items():
+        (FIXTURE_DIR / f"{name}.json").write_text(text, encoding="utf-8")
+        print(f"wrote {FIXTURE_DIR / f'{name}.json'}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate (stdlib only; used by CI's docs job).
+
+The benchmark harnesses under ``benchmarks/`` write their measured numbers
+to ``BENCH_*.json`` at the repository root, and those files are committed.
+This checker compares every committed result against its baseline snapshot
+in ``benchmarks/baselines/`` and **fails when any throughput metric (a key
+ending in ``_per_s``) drops by more than 20%** — so a PR cannot silently
+regress the serving hot path and update the numbers without anyone
+noticing.
+
+A deliberate trade-off (or a faster implementation) updates the baseline
+in the same PR::
+
+    cp BENCH_frontend.json BENCH_transport.json benchmarks/baselines/
+
+Run from anywhere::
+
+    python tools/check_bench.py            # exit 0 = no regression
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Where the committed baseline snapshots live.
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+#: Largest tolerated throughput drop relative to the baseline (20%).
+MAX_DROP = 0.20
+
+#: Keys compared: higher is better, dimension = work per second.
+THROUGHPUT_SUFFIX = "_per_s"
+
+
+def throughput_keys(payload: dict) -> dict[str, float]:
+    """The throughput metrics of one benchmark result file."""
+    return {
+        key: float(value)
+        for key, value in payload.items()
+        if key.endswith(THROUGHPUT_SUFFIX) and isinstance(value, (int, float))
+    }
+
+
+def check_file(current_path: Path, baseline_path: Path) -> list[str]:
+    """Regressions of one result file against its baseline (empty = pass)."""
+    problems: list[str] = []
+    if not current_path.is_file():
+        return [f"{current_path.name}: benchmark result file is missing"]
+    current = throughput_keys(json.loads(current_path.read_text()))
+    baseline = throughput_keys(json.loads(baseline_path.read_text()))
+    for key, reference in sorted(baseline.items()):
+        if reference <= 0.0:
+            continue
+        measured = current.get(key)
+        if measured is None:
+            problems.append(
+                f"{current_path.name}: throughput metric {key!r} disappeared "
+                "(present in the baseline)"
+            )
+            continue
+        drop = 1.0 - measured / reference
+        if drop > MAX_DROP:
+            problems.append(
+                f"{current_path.name}: {key} dropped {drop:.0%} "
+                f"({measured:,.0f} vs baseline {reference:,.0f}; "
+                f"tolerated: {MAX_DROP:.0%})"
+            )
+    return problems
+
+
+def check_all(
+    root: Path = REPO_ROOT, baseline_dir: Path = BASELINE_DIR
+) -> tuple[list[str], list[str]]:
+    """``(problems, checked-file names)`` across every baseline snapshot."""
+    problems: list[str] = []
+    checked: list[str] = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        problems.append(
+            f"no baselines found under {baseline_dir}; commit snapshots of "
+            "the BENCH_*.json results there"
+        )
+    for baseline_path in baselines:
+        checked.append(baseline_path.name)
+        problems.extend(check_file(root / baseline_path.name, baseline_path))
+    return problems, checked
+
+
+def main() -> int:
+    problems, checked = check_all()
+    for problem in problems:
+        print(f"ERROR: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} benchmark regression problem(s) in: "
+            + ", ".join(checked),
+            file=sys.stderr,
+        )
+        print(
+            "If the change is a deliberate trade-off, update "
+            "benchmarks/baselines/ in the same PR.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchmarks within {MAX_DROP:.0%} of baseline: {', '.join(checked)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
