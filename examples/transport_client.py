@@ -15,6 +15,9 @@ snapshot — each a typed protocol request JSON-encoded by the wire codec.
 With ``--api-key`` every request travels in a versioned caller envelope on
 the ``/v2`` endpoints (the rollback automatically routes to ``/v2/admin``);
 without it the client speaks the legacy unauthenticated ``/v1`` surface.
+Add ``--codec binary`` (requires the key) to ship batches as binary
+columnar frames — one contiguous float64 block per batch instead of JSON —
+and watch the authenticate step also run as a chunked streaming upload.
 The demo fleet serves 12 feature columns named ``f00``..``f11``; this
 client synthesises windows against that schema.
 """
@@ -61,11 +64,19 @@ def main() -> None:
         help="v2 caller credential (printed by the server at startup); "
         "omit to speak the legacy /v1 surface",
     )
+    parser.add_argument(
+        "--codec",
+        choices=ServiceClient.CODECS,
+        default="json",
+        help="wire form of submit_many batches (binary requires --api-key)",
+    )
     args = parser.parse_args()
 
     rng = np.random.default_rng(42)
     user = "wire-example-user"
-    with ServiceClient(host=args.host, port=args.port, api_key=args.api_key) as client:
+    with ServiceClient(
+        host=args.host, port=args.port, api_key=args.api_key, codec=args.codec
+    ) as client:
         health = client.health()
         print(f"speaking API v{client.api_version}; server ok, "
               f"uptime {health['uptime_s']:.1f}s, "
@@ -93,8 +104,24 @@ def main() -> None:
             ]
         )
         print(f"own windows accepted      : {own_resp.accept_rate:6.1%} "
-              f"(model v{own_resp.model_version})")
+              f"(model v{own_resp.model_version}, {args.codec} codec)")
         print(f"imposter windows accepted : {imposter_resp.accept_rate:6.1%}")
+
+        # 2b. With the binary codec, the same batch also streams as chunked
+        #     columnar frames — the shape a 100k-window upload would take.
+        if args.codec == "binary":
+            streamed = client.submit_stream(
+                iter(
+                    [
+                        AuthenticateRequest(user_id=user, features=own.values),
+                        AuthenticateRequest(user_id=user, features=imposter.values),
+                    ]
+                ),
+                chunk_windows=own.values.shape[0],
+            )
+            print(f"streamed upload           : {len(streamed)} responses, "
+                  f"accept rates {streamed[0].accept_rate:.1%} / "
+                  f"{streamed[1].accept_rate:.1%}")
 
         # 3. Report drift (retrains server-side), then roll it back.
         drift = client.submit(

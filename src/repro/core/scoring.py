@@ -118,9 +118,16 @@ def _encode_labels(labels: np.ndarray) -> np.ndarray:
     return _CODE_BY_SORTED_LABEL[positions]
 
 
+#: Object-dtype decode table: one vectorized gather turns a whole code
+#: array back into enum members (no per-row ``CONTEXT_BY_CODE[...]`` calls).
+_CONTEXT_OBJECTS = np.fromiter(
+    CONTEXT_BY_CODE, dtype=object, count=len(CONTEXT_BY_CODE)
+)
+
+
 def decode_contexts(codes: np.ndarray) -> tuple[CoarseContext, ...]:
     """The coarse contexts a code array stands for (inverse of encoding)."""
-    return tuple(CONTEXT_BY_CODE[code] for code in codes)
+    return tuple(_CONTEXT_OBJECTS[np.asarray(codes, dtype=np.intp)])
 
 
 @runtime_checkable
@@ -179,6 +186,15 @@ class BatchScoreResult:
     @property
     def accept_rate(self) -> float:
         return float(np.mean(self.accepted)) if len(self.scores) else 0.0
+
+
+def offsets_from_lengths(lengths: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Slice boundaries of back-to-back request blocks: ``offsets[i:i+2]``
+    brackets request *i*'s rows in the combined batch."""
+    lengths = np.asarray(lengths, dtype=np.intp)
+    offsets = np.zeros(len(lengths) + 1, dtype=np.intp)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
 
 
 def canonicalize_rows(features: np.ndarray) -> np.ndarray:
@@ -508,95 +524,138 @@ def _serving_rules(
     return sorted(rules.values(), key=id)
 
 
-def score_requests(
+@dataclass(frozen=True, eq=False)
+class StackedScoreResult:
+    """Columnar outcome of one coalesced scoring pass (no per-request split).
+
+    The zero-copy serving path keeps results in this block form end-to-end:
+    the binary wire codec frames the ``scores`` / ``accepted`` /
+    ``model_context_codes`` columns directly, so per-request Python objects
+    are only ever built for callers that ask for them
+    (:meth:`result_for` / :meth:`results`).
+
+    ``eq=False``: holds NumPy arrays (see
+    :class:`~repro.service.protocol.EnrollRequest` for the rationale).
+
+    Attributes
+    ----------
+    scores, accepted:
+        One entry per window of the combined batch, in submission order.
+    model_context_codes:
+        ``int8`` context code of the model that actually scored each window
+        (after fall-back resolution) — decode with :func:`decode_contexts`.
+    model_versions:
+        One bundle version per *request*.
+    offsets:
+        Request slice boundaries: request *i* owns rows
+        ``offsets[i]:offsets[i + 1]``.
+    """
+
+    scores: np.ndarray
+    accepted: np.ndarray
+    model_context_codes: np.ndarray
+    model_versions: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.model_versions)
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def result_for(self, index: int) -> BatchScoreResult:
+        """Request *index*'s slice as a per-request :class:`BatchScoreResult`."""
+        start, stop = int(self.offsets[index]), int(self.offsets[index + 1])
+        return BatchScoreResult(
+            scores=self.scores[start:stop],
+            accepted=self.accepted[start:stop],
+            model_contexts=decode_contexts(self.model_context_codes[start:stop]),
+            model_version=int(self.model_versions[index]),
+        )
+
+    def results(self) -> list[BatchScoreResult]:
+        """Every request's slice, in request order."""
+        return [self.result_for(index) for index in range(self.n_requests)]
+
+
+def score_stacked(
     scorers: Sequence[BatchScorer],
-    features_list: Sequence[np.ndarray],
-    contexts_list: Sequence[Sequence[CoarseContext] | np.ndarray],
+    stacked: np.ndarray,
+    lengths: Sequence[int] | np.ndarray,
+    codes: np.ndarray,
     stack_cache: FusedStackCache | None = None,
-) -> list[BatchScoreResult]:
-    """Score many concurrent authenticate requests in one coalesced pass.
+) -> StackedScoreResult:
+    """Score an already-stacked fleet batch in one coalesced pass.
 
-    ``scorers[i]`` scores request *i*'s ``(features_list[i],
-    contexts_list[i])`` windows; the same :class:`BatchScorer` object may
-    appear many times (several requests for one user's served version).
-    Context entries may be label sequences or already-encoded ``int8`` code
-    arrays (:func:`encode_contexts`); the serving path passes codes, so
-    resolving every window to its model is a pure array gather — the
-    per-row Python bucketing loop this function used to run is gone.
-
-    Every row in the combined batch whose resolved model exposes a
-    :class:`~repro.ml.base.LinearDecisionRule` — the paper's kernel-ridge
-    configuration, and every other classifier whose prediction is a
-    threshold on an affine projection — is scored in a *single* fused
-    gather-and-einsum over the entire fleet batch, regardless of how many
-    users and model versions are involved.  Rows whose models cannot be
-    fused (e.g. probability-vote forests, non-linear kernels) fall back to
-    one vectorized :meth:`~ScorableModel.batch_decisions` call per model,
-    still shared across requests.
-
-    Scores and decisions are bit-for-bit identical to calling
-    ``scorers[i].score(...)`` per request: the fused pass performs exactly
-    the same elementwise standardisation, centering and per-row einsum
-    reduction the per-model path performs.
+    The columnar twin of :func:`score_requests` (which delegates here):
+    instead of per-request feature arrays, the caller hands one contiguous
+    ``(total_windows, n_features)`` block plus per-request *lengths* —
+    exactly the shape the binary wire codec decodes a batch frame into with
+    :func:`np.frombuffer` views — so the serving hot path never
+    concatenates, copies or materializes per-request objects.
 
     Parameters
     ----------
-    scorers, features_list, contexts_list:
-        One entry per concurrent request (equal lengths required).
+    scorers:
+        One :class:`BatchScorer` per request (duplicates allowed).
+    stacked:
+        The combined feature rows, request slices back to back.
+    lengths:
+        Windows per request; must sum to ``len(stacked)``.
+    codes:
+        Per-window ``int8`` context codes (already encoded; label input is
+        accepted and encoded via :func:`encode_contexts`).
     stack_cache:
-        Optional :class:`FusedStackCache`.  When given, the stacked
-        parameter matrices of the fused model set are reused across calls
-        instead of being rebuilt on every flush; results are identical
-        either way because the cached stacks are built from the very same
-        immutable rules.
+        Optional :class:`FusedStackCache` reused across flushes.
 
     Returns
     -------
-    list[BatchScoreResult]
-        One result per request, in request order.
+    StackedScoreResult
+        Columnar scores/decisions plus the request slice offsets.  Scores
+        and decisions are bit-for-bit identical to scoring each request
+        through its own scorer.
 
     Raises
     ------
     ValueError
-        If the three sequences disagree in length, a request's features and
-        contexts disagree in length, or a request's feature width does not
-        match its selected model.
+        If the shapes disagree, a context code is out of range, or the
+        feature width does not match a selected model.
     """
-    if not (len(scorers) == len(features_list) == len(contexts_list)):
+    stacked = canonicalize_rows(stacked)
+    lengths = np.asarray(lengths, dtype=np.intp)
+    n_requests = len(lengths)
+    if len(scorers) != n_requests:
         raise ValueError(
-            f"got {len(scorers)} scorers for {len(features_list)} feature "
-            f"batches and {len(contexts_list)} context batches"
+            f"got {len(scorers)} scorers for {n_requests} request lengths"
         )
-    n_requests = len(scorers)
-    batches: list[tuple[np.ndarray, list[CoarseContext]]] = []
-    for index in range(n_requests):
-        try:
-            batches.append(_validate_batch(features_list[index], contexts_list[index]))
-        except ValueError as error:
-            raise ValueError(f"request {index}: {error}") from None
-    widths = {features.shape[1] for features, _ in batches if len(features)}
-    if len(widths) > 1:
-        # Mixed feature schemas cannot share one stacked batch; score each
-        # request through its own scorer (identical results, just no fusion).
-        return [scorers[index].score(*batches[index]) for index in range(n_requests)]
-
-    # Concatenate every request's rows into one fleet batch, remembering
-    # each request's slice.
-    offsets = np.zeros(n_requests + 1, dtype=int)
-    for index, (features, _) in enumerate(batches):
-        offsets[index + 1] = offsets[index] + len(features)
+    if len(lengths) and int(lengths.min()) < 0:
+        raise ValueError("request lengths must be non-negative")
+    offsets = offsets_from_lengths(lengths)
     total = int(offsets[-1])
+    if total != len(stacked):
+        raise ValueError(
+            f"request lengths sum to {total} but the stacked batch has "
+            f"{len(stacked)} rows"
+        )
+    codes = encode_contexts(codes)
+    if len(codes) != total:
+        raise ValueError(
+            f"got {total} stacked feature rows but {len(codes)} context codes"
+        )
+    model_versions = np.fromiter(
+        (scorer.bundle.version for scorer in scorers),
+        dtype=np.int64,
+        count=n_requests,
+    )
     if total == 0:
-        return [
-            BatchScoreResult(
-                scores=np.empty(0),
-                accepted=np.empty(0, dtype=bool),
-                model_contexts=tuple(),
-                model_version=scorers[index].bundle.version,
-            )
-            for index in range(n_requests)
-        ]
-    stacked = np.vstack([features for features, _ in batches if len(features)])
+        return StackedScoreResult(
+            scores=np.empty(0),
+            accepted=np.empty(0, dtype=bool),
+            model_context_codes=np.empty(0, dtype=np.int8),
+            model_versions=model_versions,
+            offsets=offsets,
+        )
 
     # Resolve every row to its model with array gathers alone.  Each
     # distinct scorer contributes one row of a code→slot lookup matrix
@@ -610,11 +669,8 @@ def score_requests(
     lut_rows: list[list[int]] = []
     lut_row_by_scorer: dict[int, int] = {}
     request_lut_rows = np.empty(n_requests, dtype=np.intp)
-    lengths = np.empty(n_requests, dtype=np.intp)
     for index in range(n_requests):
-        features, _ = batches[index]
-        lengths[index] = len(features)
-        if not len(features):
+        if not lengths[index]:
             request_lut_rows[index] = 0
             continue
         scorer = scorers[index]
@@ -631,14 +687,13 @@ def score_requests(
             lut_rows.append(entry)
         request_lut_rows[index] = lut_row
     lut_matrix = np.asarray(lut_rows, dtype=np.intp)
-    all_codes = np.concatenate([codes for _, codes in batches])
-    row_slots = lut_matrix[np.repeat(request_lut_rows, lengths), all_codes]
-    context_by_slot = np.fromiter(
-        (model.context for model in distinct_models),
-        dtype=object,
+    row_slots = lut_matrix[np.repeat(request_lut_rows, lengths), codes]
+    code_by_slot = np.fromiter(
+        (CONTEXT_CODES[model.context] for model in distinct_models),
+        dtype=np.int8,
         count=len(distinct_models),
     )
-    model_contexts = context_by_slot[row_slots]
+    model_context_codes = code_by_slot[row_slots]
 
     scores = np.empty(total)
     accepted = np.empty(total, dtype=bool)
@@ -716,15 +771,106 @@ def score_requests(
         scores[row_index] = sign * raw
         accepted[row_index] = np.where(accept_nonneg, raw >= 0.0, raw < 0.0)
 
-    return [
-        BatchScoreResult(
-            scores=scores[offsets[index] : offsets[index + 1]],
-            accepted=accepted[offsets[index] : offsets[index + 1]],
-            model_contexts=tuple(model_contexts[offsets[index] : offsets[index + 1]]),
-            model_version=scorers[index].bundle.version,
+    return StackedScoreResult(
+        scores=scores,
+        accepted=accepted,
+        model_context_codes=model_context_codes,
+        model_versions=model_versions,
+        offsets=offsets,
+    )
+
+
+def score_requests(
+    scorers: Sequence[BatchScorer],
+    features_list: Sequence[np.ndarray],
+    contexts_list: Sequence[Sequence[CoarseContext] | np.ndarray],
+    stack_cache: FusedStackCache | None = None,
+) -> list[BatchScoreResult]:
+    """Score many concurrent authenticate requests in one coalesced pass.
+
+    ``scorers[i]`` scores request *i*'s ``(features_list[i],
+    contexts_list[i])`` windows; the same :class:`BatchScorer` object may
+    appear many times (several requests for one user's served version).
+    Context entries may be label sequences or already-encoded ``int8`` code
+    arrays (:func:`encode_contexts`); the serving path passes codes, so
+    resolving every window to its model is a pure array gather — no per-row
+    Python anywhere.  The per-request inputs are stacked into one fleet
+    batch and scored by :func:`score_stacked` (callers that already hold a
+    contiguous block — the binary wire codec — call it directly and skip
+    the copy).
+
+    Every row in the combined batch whose resolved model exposes a
+    :class:`~repro.ml.base.LinearDecisionRule` — the paper's kernel-ridge
+    configuration, and every other classifier whose prediction is a
+    threshold on an affine projection — is scored in a *single* fused
+    gather-and-einsum over the entire fleet batch, regardless of how many
+    users and model versions are involved.  Rows whose models cannot be
+    fused (e.g. probability-vote forests, non-linear kernels) fall back to
+    one vectorized :meth:`~ScorableModel.batch_decisions` call per model,
+    still shared across requests.
+
+    Scores and decisions are bit-for-bit identical to calling
+    ``scorers[i].score(...)`` per request: the fused pass performs exactly
+    the same elementwise standardisation, centering and per-row einsum
+    reduction the per-model path performs.
+
+    Parameters
+    ----------
+    scorers, features_list, contexts_list:
+        One entry per concurrent request (equal lengths required).
+    stack_cache:
+        Optional :class:`FusedStackCache`.  When given, the stacked
+        parameter matrices of the fused model set are reused across calls
+        instead of being rebuilt on every flush; results are identical
+        either way because the cached stacks are built from the very same
+        immutable rules.
+
+    Returns
+    -------
+    list[BatchScoreResult]
+        One result per request, in request order.
+
+    Raises
+    ------
+    ValueError
+        If the three sequences disagree in length, a request's features and
+        contexts disagree in length, or a request's feature width does not
+        match its selected model.
+    """
+    if not (len(scorers) == len(features_list) == len(contexts_list)):
+        raise ValueError(
+            f"got {len(scorers)} scorers for {len(features_list)} feature "
+            f"batches and {len(contexts_list)} context batches"
         )
-        for index in range(n_requests)
-    ]
+    n_requests = len(scorers)
+    batches: list[tuple[np.ndarray, np.ndarray]] = []
+    for index in range(n_requests):
+        try:
+            batches.append(_validate_batch(features_list[index], contexts_list[index]))
+        except ValueError as error:
+            raise ValueError(f"request {index}: {error}") from None
+    widths = {features.shape[1] for features, _ in batches if len(features)}
+    if len(widths) > 1:
+        # Mixed feature schemas cannot share one stacked batch; score each
+        # request through its own scorer (identical results, just no fusion).
+        return [scorers[index].score(*batches[index]) for index in range(n_requests)]
+
+    lengths = np.fromiter(
+        (len(features) for features, _ in batches), dtype=np.intp, count=n_requests
+    )
+    if not int(lengths.sum()):
+        return [
+            BatchScoreResult(
+                scores=np.empty(0),
+                accepted=np.empty(0, dtype=bool),
+                model_contexts=tuple(),
+                model_version=scorers[index].bundle.version,
+            )
+            for index in range(n_requests)
+        ]
+    stacked = np.vstack([features for features, _ in batches if len(features)])
+    codes = np.concatenate([codes for _, codes in batches])
+    return score_stacked(scorers, stacked, lengths, codes, stack_cache).results()
 
 
 def score_fleet(

@@ -15,11 +15,18 @@ but absent from the paper's prototype:
   a :class:`~repro.service.envelope.CallerRegistry` of hashed API keys and
   per-caller scopes, and the :class:`~repro.service.envelope.EnvelopeProcessor`
   that authorizes every envelope *before* it can reach the gateway;
+* :mod:`repro.service.wirebin` — the binary columnar batch codec: whole
+  data-plane batches framed as contiguous little-endian columns (one
+  float64 block for every feature vector, int8 context codes) the server
+  decodes with zero-copy ``np.frombuffer`` views straight into the fused
+  scoring pass;
 * :mod:`repro.service.transport` — the HTTP transport actually speaking
   those codecs over sockets: a stdlib threaded server exposing
   ``POST /v1/requests`` (legacy), ``POST /v2/requests`` (enveloped data
-  plane) and ``POST /v2/admin`` (enveloped control plane), plus
-  ``/healthz`` and ``/metrics``, and a connection-reusing client;
+  plane, JSON or content-negotiated binary frames, chunked streaming
+  uploads) and ``POST /v2/admin`` (enveloped control plane), plus
+  ``/healthz`` and ``/metrics``, and a connection-pooling client speaking
+  either codec;
 * :mod:`repro.service.frontend` — the micro-batching front door: validates,
   routes and coalesces concurrent authenticate requests into single
   vectorized scoring passes (reusing fused parameter stacks across flushes
@@ -55,7 +62,9 @@ from repro.core.scoring import (
     FusedStackCache,
     score_fleet,
     score_requests,
+    score_stacked,
 )
+from repro.service import wirebin
 from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer, StoreStats
 from repro.service.envelope import (
     API_VERSION,
@@ -150,4 +159,6 @@ __all__ = [
     "ThrottledResponse",
     "score_fleet",
     "score_requests",
+    "score_stacked",
+    "wirebin",
 ]

@@ -38,6 +38,7 @@ import threading
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import Any, Mapping, Sequence
 
 from repro.service.frontend import ServiceFrontend
@@ -203,6 +204,67 @@ class SealedResponse:
 # --------------------------------------------------------------------- #
 
 
+#: The typed :class:`~repro.service.protocol.ThrottledResponse` reason a
+#: per-caller rate limit rejects with (the transport maps it to HTTP 429
+#: with a ``Retry-After`` header, exactly like queue-full throttling).
+REASON_RATE_LIMITED = "rate-limited"
+
+#: The typed throttle reason for a batch/frame charging more tokens than
+#: the caller's bucket can ever hold: waiting cannot help — the caller
+#: must split the batch (or the operator must raise the burst).
+REASON_BATCH_EXCEEDS_BURST = "batch-exceeds-burst"
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate_per_s`` refill up to ``burst``.
+
+    The standard shape for per-caller quotas: sustained request rate is
+    bounded by the refill rate while short bursts up to the bucket size
+    pass untouched.  Time comes from the monotonic clock, so wall-clock
+    jumps cannot mint or destroy tokens.
+
+    Parameters
+    ----------
+    rate_per_s:
+        Sustained requests per second granted to the caller.
+    burst:
+        Bucket capacity (defaults to ``rate_per_s``); a batch larger than
+        this can never be granted in one piece, so size it above the
+        largest legitimate batch.
+
+    Raises
+    ------
+    ValueError
+        If either knob is not positive.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float | None = None) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        burst = float(rate_per_s) if burst is None else float(burst)
+        if burst <= 0.0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = burst
+        self._tokens = burst
+        self._stamp = monotonic()
+        self._lock = threading.Lock()
+
+    def acquire(self, tokens: int = 1) -> float:
+        """Try to take *tokens*; returns 0.0 on grant, else the suggested
+        back-off in seconds until enough tokens will have refilled."""
+        with self._lock:
+            now = monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate_per_s
+            )
+            self._stamp = now
+            if tokens <= self._tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate_per_s
+
+
 @dataclass
 class CallerRecord:
     """One registered caller: hashed credential, scopes and telemetry."""
@@ -212,14 +274,23 @@ class CallerRecord:
     scopes: frozenset[str]
     requests: int = 0
     denied: int = 0
+    throttled: int = 0
+    bucket: TokenBucket | None = None
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-type per-caller telemetry (no credential material)."""
-        return {
+        snapshot = {
             "scopes": sorted(self.scopes),
             "requests": self.requests,
             "denied": self.denied,
+            "throttled": self.throttled,
         }
+        if self.bucket is not None:
+            snapshot["rate_limit"] = {
+                "requests_per_s": self.bucket.rate_per_s,
+                "burst": self.bucket.burst,
+            }
+        return snapshot
 
 
 class CallerRegistry:
@@ -331,6 +402,81 @@ class CallerRegistry:
             }
 
     # ------------------------------------------------------------------ #
+    # per-caller rate limits (token buckets over the same records)
+    # ------------------------------------------------------------------ #
+
+    def set_rate_limit(
+        self,
+        caller_id: str,
+        requests_per_s: float,
+        burst: float | None = None,
+    ) -> None:
+        """Attach (or replace) a token-bucket quota on a registered caller.
+
+        Every authorized request consumes one token; a batch or binary
+        frame consumes one per request it carries.  Exhausted buckets
+        answer a typed ``rate-limited``
+        :class:`~repro.service.protocol.ThrottledResponse` (HTTP 429 with
+        ``Retry-After``) *before* dispatch — the operation never runs.
+
+        Parameters
+        ----------
+        caller_id:
+            A registered caller.
+        requests_per_s:
+            Sustained per-second budget.
+        burst:
+            Bucket capacity (defaults to ``requests_per_s``); size it above
+            the caller's largest legitimate batch.
+
+        Raises
+        ------
+        KeyError
+            If no such caller is registered.
+        ValueError
+            If a knob is not positive.
+        """
+        bucket = TokenBucket(requests_per_s, burst)
+        with self._lock:
+            self._by_id[caller_id].bucket = bucket
+
+    def clear_rate_limit(self, caller_id: str) -> None:
+        """Remove a caller's quota (KeyError if no such caller)."""
+        with self._lock:
+            self._by_id[caller_id].bucket = None
+
+    def acquire_rate(
+        self, record: CallerRecord, count: int = 1
+    ) -> tuple[str, float] | None:
+        """Charge *count* requests against a caller's quota.
+
+        Returns ``None`` when granted (or the caller has no quota), else a
+        ``(reason, retry_after_s)`` rejection: :data:`REASON_RATE_LIMITED`
+        when waiting will help, or :data:`REASON_BATCH_EXCEEDS_BURST` when
+        *count* exceeds the bucket's capacity outright — no amount of
+        waiting can ever grant it, so the caller must split the batch
+        instead of retrying (``retry_after_s`` is then the full-bucket
+        refill time, after which a burst-sized batch succeeds).
+        Rejections land in the ``callers.rate_limited`` counters and the
+        per-caller ``throttled`` tally.
+        """
+        bucket = record.bucket
+        if bucket is None:
+            return None
+        if count > bucket.burst:
+            rejection = (REASON_BATCH_EXCEEDS_BURST, bucket.burst / bucket.rate_per_s)
+        else:
+            retry_after = bucket.acquire(count)
+            if retry_after == 0.0:
+                return None
+            rejection = (REASON_RATE_LIMITED, retry_after)
+        with self._lock:
+            record.throttled += count
+        self.telemetry.increment("callers.rate_limited", count)
+        self.telemetry.increment(f"callers.{record.caller_id}.rate_limited", count)
+        return rejection
+
+    # ------------------------------------------------------------------ #
 
     def record_usage(self, record: CallerRecord, count: int = 1) -> None:
         """Fold *count* authorized requests into a caller's telemetry.
@@ -400,6 +546,30 @@ class CallerRegistry:
             )
         self.record_usage(record)
         return record
+
+    def authorize_many(
+        self, api_key: str | None, required_scope: str, kind: str, count: int
+    ) -> CallerRecord | DeniedResponse:
+        """Authorize *count* same-credential requests with one key check.
+
+        The columnar-frame form of :meth:`authorize`: the outcome of one
+        hash-and-scope check covers every request in the frame, and the
+        remaining ``count - 1`` grants or denials are folded into the
+        telemetry so the per-caller counters stay per-request accurate —
+        including the ``denied`` tally of a known caller rejected for
+        insufficient scope.
+        """
+        outcome = self.authorize(api_key, required_scope, kind)
+        if isinstance(outcome, DeniedResponse):
+            record = None
+            if outcome.code == CODE_INSUFFICIENT_SCOPE and api_key:
+                key_hash = self.hash_key(api_key)
+                with self._lock:
+                    record = self._by_hash.get(key_hash)
+            self.record_denied(record, count - 1)
+            return outcome
+        self.record_usage(outcome, count - 1)
+        return outcome
 
 
 # --------------------------------------------------------------------- #
@@ -481,6 +651,33 @@ class EnvelopeProcessor:
         """The caller scope *request*'s operation demands."""
         return SCOPE_DATA_WRITE if is_data_plane(request) else SCOPE_ADMIN
 
+    def authorize_frame(
+        self, api_key: str | None, kind: str, count: int
+    ) -> CallerRecord | DeniedResponse | ThrottledResponse:
+        """Authorize a columnar frame of *count* data-plane requests at once.
+
+        The binary codec's admission door: a whole frame travels under one
+        caller credential, so authorization (key hash, scope check) runs
+        **once** and its outcome covers every request — no per-envelope
+        object construction anywhere.  Per-caller telemetry stays
+        per-request accurate (the remaining ``count - 1`` grants or
+        denials are folded in), and the caller's rate-limit bucket is
+        charged *count* tokens atomically.
+
+        Returns the authorized record, a typed :class:`DeniedResponse`
+        (401/403) or a ``rate-limited``
+        :class:`~repro.service.protocol.ThrottledResponse` (429) for the
+        frame as a whole.
+        """
+        outcome = self.callers.authorize_many(api_key, SCOPE_DATA_WRITE, kind, count)
+        if isinstance(outcome, DeniedResponse):
+            self.telemetry.increment("envelope.denied", count)
+            return outcome
+        rejection = self.callers.acquire_rate(outcome, count)
+        if rejection is not None:
+            return self._rate_limited(kind, outcome, rejection)
+        return outcome
+
     def _admit(
         self,
         envelope: Envelope,
@@ -522,7 +719,38 @@ class EnvelopeProcessor:
                 SealedResponse(response=outcome, request_id=envelope.request_id),
                 None,
             )
+        rejection = self.callers.acquire_rate(outcome)
+        if rejection is not None:
+            return (
+                SealedResponse(
+                    response=self._rate_limited(
+                        kind, outcome, rejection, envelope.request
+                    ),
+                    request_id=envelope.request_id,
+                    caller_id=outcome.caller_id,
+                ),
+                None,
+            )
         return None, outcome
+
+    @staticmethod
+    def _rate_limited(
+        kind: str,
+        caller: CallerRecord,
+        rejection: tuple[str, float],
+        request: Request | None = None,
+    ) -> ThrottledResponse:
+        """The typed 429 a caller's exhausted token bucket answers with."""
+        reason, retry_after = rejection
+        bucket = caller.bucket
+        return ThrottledResponse(
+            request_kind=kind,
+            reason=reason,
+            queue_depth=0,
+            max_depth=int(bucket.burst) if bucket is not None else 0,
+            retry_after_s=retry_after,
+            user_id=getattr(request, "user_id", None),
+        )
 
     def _wrong_plane(self, envelope: Envelope, kind: str, plane: str) -> SealedResponse:
         other = "control" if plane == "data" else "data"

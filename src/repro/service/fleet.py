@@ -256,7 +256,9 @@ class FleetSimulator:
         :class:`~repro.service.transport.ServiceClient` pointed at a
         :class:`~repro.service.transport.ServiceHTTPServer` wrapping this
         simulator's frontend, which runs the whole lifecycle over real
-        sockets.  When omitted, the fleet speaks the **v2 enveloped API**
+        sockets (with ``codec="binary"`` every lifecycle phase ships as
+        binary columnar frames — the fleet's batches are homogeneous, so
+        nothing falls back to JSON).  When omitted, the fleet speaks the **v2 enveloped API**
         in process: a ``fleet-operator`` caller is provisioned in
         :attr:`callers` (its key in :attr:`api_key` — hand it to a
         :class:`~repro.service.transport.ServiceClient` to run the same

@@ -47,11 +47,19 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.scoring import FusedStackCache, score_requests
+from repro.core.scoring import (
+    CONTEXT_CODES,
+    FusedStackCache,
+    offsets_from_lengths,
+    score_requests,
+    score_stacked,
+)
 from repro.service.gateway import AuthenticationGateway, PlaneMismatchError
 from repro.service.protocol import (
+    AuthenticateColumns,
     AuthenticateRequest,
     AuthenticationResponse,
+    ColumnarAuthResult,
     ErrorResponse,
     Request,
     Response,
@@ -115,6 +123,18 @@ class ServiceFrontend:
                 lock = threading.Lock()
                 self._locks[user_id] = lock
             return lock
+
+    def _refresh_stack_cache(self) -> None:
+        """Drop cached fused stacks once the registry's generation moved.
+
+        A registry change (publish / rollback / detector publish) may have
+        retired some served models; clearing keeps the cache holding only
+        model sets that can still be served.
+        """
+        generation = self.gateway.registry.generation
+        if generation != self._stack_generation:
+            self.stack_cache.clear()
+            self._stack_generation = generation
 
     def _error(self, kind: str, error: Exception, user_id: str | None) -> ErrorResponse:
         self.telemetry.increment("frontend.errors")
@@ -214,6 +234,213 @@ class ServiceFrontend:
                 return self._error(kind, error, user_id)
 
     # ------------------------------------------------------------------ #
+    # the columnar (zero-copy) authenticate pass
+    # ------------------------------------------------------------------ #
+
+    def submit_columns(self, columns: AuthenticateColumns) -> ColumnarAuthResult:
+        """Dispatch a columnar authenticate batch through the middleware stack.
+
+        The zero-copy twin of submitting a run of
+        :class:`~repro.service.protocol.AuthenticateRequest`\\ s through
+        :meth:`submit_many`: same telemetry, same per-user locks, same
+        error isolation (a request that cannot be served answers a typed
+        :class:`~repro.service.protocol.ErrorResponse` in the result's
+        sparse error map without costing its neighbours) — but the feature
+        block travels straight from the wire decode into the fused scoring
+        pass (:func:`~repro.core.scoring.score_stacked`) with no
+        per-request protocol objects anywhere.  Decisions are bit-for-bit
+        identical to the per-request path.
+
+        Raises
+        ------
+        TypeError
+            If *columns* is not an
+            :class:`~repro.service.protocol.AuthenticateColumns`.
+        """
+        if not isinstance(columns, AuthenticateColumns):
+            raise TypeError(
+                f"submit_columns expects AuthenticateColumns, got "
+                f"{type(columns).__name__}"
+            )
+        self.telemetry.increment("frontend.requests", columns.n_requests)
+        with self.telemetry.timer("frontend.authenticate"):
+            locks = [self._lock_for(user) for user in sorted(set(columns.user_ids))]
+            for lock in locks:
+                lock.acquire()
+            try:
+                return self._score_columns(columns)
+            finally:
+                for lock in reversed(locks):
+                    lock.release()
+
+    def _score_columns(self, columns: AuthenticateColumns) -> ColumnarAuthResult:
+        n_requests = columns.n_requests
+        user_ids = columns.user_ids
+        lengths = columns.lengths
+        offsets = offsets_from_lengths(lengths)
+        errors: dict[int, ErrorResponse] = {}
+
+        # 1. Context detection over the WHOLE block in one vectorized pass
+        #    when the frame carries no device-reported contexts; if the
+        #    shared pass fails, fall back per request (on block slices) so
+        #    only the offending requests are rejected — mirroring the
+        #    object path.
+        codes = columns.context_codes
+        if codes is None:
+            try:
+                codes = self.gateway.detect_context_codes(columns.features)
+            except Exception:
+                codes = np.zeros(columns.n_windows, dtype=np.int8)
+                for index in range(n_requests):
+                    start, stop = int(offsets[index]), int(offsets[index + 1])
+                    try:
+                        codes[start:stop] = self.gateway.detect_context_codes(
+                            columns.features[start:stop]
+                        )
+                    except Exception as error:
+                        errors[index] = self._error(
+                            "authenticate", error, user_ids[index]
+                        )
+
+        # 2. Resolve each surviving request's served scorer; a missing
+        #    model rejects that request alone.
+        live: list[int] = []
+        scorers = []
+        for index in range(n_requests):
+            if index in errors:
+                continue
+            try:
+                scorer = self.gateway.scorer_for(
+                    user_ids[index], columns.version_for(index)
+                )
+            except Exception as error:
+                errors[index] = self._error("authenticate", error, user_ids[index])
+                continue
+            live.append(index)
+            scorers.append(scorer)
+
+        scored_lengths = np.zeros(n_requests, dtype=np.intp)
+        model_versions = np.zeros(n_requests, dtype=np.int64)
+        if not live:
+            return ColumnarAuthResult(
+                user_ids=user_ids,
+                scores=np.empty(0),
+                accepted=np.empty(0, dtype=bool),
+                model_context_codes=np.empty(0, dtype=np.int8),
+                lengths=scored_lengths,
+                model_versions=model_versions,
+                errors=errors,
+            )
+
+        if len(live) == n_requests:
+            # The hot common case: every request survives, so the wire
+            # block feeds the fused pass as-is — zero copies.
+            stacked, live_lengths, live_codes = columns.features, lengths, codes
+        else:
+            keep = np.zeros(columns.n_windows, dtype=bool)
+            for index in live:
+                keep[offsets[index] : offsets[index + 1]] = True
+            stacked = columns.features[keep]
+            live_lengths = lengths[live]
+            live_codes = codes[keep]
+
+        # 3. One coalesced scoring pass over every surviving request; if
+        #    the shared pass fails (e.g. one request's rows do not match
+        #    its model's width), score each request individually so one
+        #    bad request cannot poison its neighbours.
+        self._refresh_stack_cache()
+        hits, misses = self.stack_cache.hits, self.stack_cache.misses
+        try:
+            with self.telemetry.timer("authenticate"):
+                stacked_result = score_stacked(
+                    scorers, stacked, live_lengths, live_codes, self.stack_cache
+                )
+        except Exception:
+            scores, accepted, model_codes = self._score_columns_fallback(
+                live,
+                scorers,
+                stacked,
+                live_lengths,
+                live_codes,
+                user_ids,
+                errors,
+                scored_lengths,
+                model_versions,
+            )
+        else:
+            scores = stacked_result.scores
+            accepted = stacked_result.accepted
+            model_codes = stacked_result.model_context_codes
+            scored_lengths[live] = live_lengths
+            model_versions[live] = stacked_result.model_versions
+            self.telemetry.increment("frontend.coalesced_batches")
+            self.telemetry.increment("frontend.coalesced_windows", len(scores))
+        self.telemetry.increment(
+            "frontend.stack_cache.hits", self.stack_cache.hits - hits
+        )
+        self.telemetry.increment(
+            "frontend.stack_cache.misses", self.stack_cache.misses - misses
+        )
+        self.gateway.record_decision_counts(
+            len(scores), int(np.count_nonzero(accepted))
+        )
+        return ColumnarAuthResult(
+            user_ids=user_ids,
+            scores=scores,
+            accepted=accepted,
+            model_context_codes=model_codes,
+            lengths=scored_lengths,
+            model_versions=model_versions,
+            errors=errors,
+        )
+
+    def _score_columns_fallback(
+        self,
+        live: list[int],
+        scorers: list,
+        stacked: np.ndarray,
+        live_lengths: np.ndarray,
+        live_codes: np.ndarray,
+        user_ids: Sequence[str],
+        errors: dict[int, ErrorResponse],
+        scored_lengths: np.ndarray,
+        model_versions: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-request isolation path once the fused columnar pass failed."""
+        live_offsets = offsets_from_lengths(live_lengths)
+        kept_scores: list[np.ndarray] = []
+        kept_accepted: list[np.ndarray] = []
+        kept_codes: list[np.ndarray] = []
+        for position, index in enumerate(live):
+            start, stop = int(live_offsets[position]), int(live_offsets[position + 1])
+            try:
+                with self.telemetry.timer("authenticate"):
+                    result = scorers[position].score(
+                        stacked[start:stop], live_codes[start:stop]
+                    )
+            except Exception as error:
+                errors[index] = self._error("authenticate", error, user_ids[index])
+                continue
+            kept_scores.append(result.scores)
+            kept_accepted.append(result.accepted)
+            kept_codes.append(
+                np.fromiter(
+                    (CONTEXT_CODES[context] for context in result.model_contexts),
+                    dtype=np.int8,
+                    count=len(result),
+                )
+            )
+            scored_lengths[index] = len(result)
+            model_versions[index] = result.model_version
+        if not kept_scores:
+            return np.empty(0), np.empty(0, dtype=bool), np.empty(0, dtype=np.int8)
+        return (
+            np.concatenate(kept_scores),
+            np.concatenate(kept_accepted),
+            np.concatenate(kept_codes),
+        )
+
+    # ------------------------------------------------------------------ #
     # the coalesced authenticate pass
     # ------------------------------------------------------------------ #
 
@@ -296,13 +523,7 @@ class ServiceFrontend:
                 len({features.shape[1] for features in features_list if len(features)})
                 <= 1
             )
-            # A registry change (publish / rollback / detector publish) may
-            # have retired some served models; drop their stacks so the
-            # cache holds only sets that can still be served.
-            generation = self.gateway.registry.generation
-            if generation != self._stack_generation:
-                self.stack_cache.clear()
-                self._stack_generation = generation
+            self._refresh_stack_cache()
             hits, misses = self.stack_cache.hits, self.stack_cache.misses
             try:
                 with self.telemetry.timer("authenticate"):

@@ -506,9 +506,18 @@ class AuthenticationGateway:
         path, so ``auth.*`` counters stay consistent no matter which door a
         request came through.
         """
-        self.telemetry.increment("auth.windows", len(result))
-        self.telemetry.increment("auth.accepted", result.n_accepted)
-        self.telemetry.increment("auth.rejected", len(result) - result.n_accepted)
+        self.record_decision_counts(len(result), result.n_accepted)
+
+    def record_decision_counts(self, n_windows: int, n_accepted: int) -> None:
+        """Fold raw decision totals into the ``auth.*`` counters.
+
+        The columnar serving path counts accepts straight off its decision
+        block and folds the totals in here — same counters, no per-request
+        result objects.
+        """
+        self.telemetry.increment("auth.windows", n_windows)
+        self.telemetry.increment("auth.accepted", n_accepted)
+        self.telemetry.increment("auth.rejected", n_windows - n_accepted)
 
     def authenticate(
         self,

@@ -39,7 +39,13 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.scoring import BatchScoreResult, canonicalize_rows, encode_contexts
+from repro.core.scoring import (
+    BatchScoreResult,
+    canonicalize_rows,
+    decode_contexts,
+    encode_contexts,
+    offsets_from_lengths,
+)
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
 from repro.utils import serialization
@@ -232,6 +238,163 @@ Request = (
     | EvictRequest
     | DetectorTrainRequest
 )
+
+
+# --------------------------------------------------------------------- #
+# columnar batches (the zero-copy serving form)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class AuthenticateColumns:
+    """A batch of authenticate requests in columnar (struct-of-arrays) form.
+
+    The binary wire codec decodes a batch frame straight into this shape —
+    one contiguous feature block plus per-request metadata columns — and
+    :meth:`~repro.service.frontend.ServiceFrontend.submit_columns` hands it
+    to the fused scoring pass without ever materializing per-request
+    :class:`AuthenticateRequest` objects.  Unlike the per-request type, the
+    feature block is **not** defensively copied: the serving path builds it
+    from immutable wire bytes (:func:`np.frombuffer` views are read-only),
+    and copying a 100k-window block would defeat the zero-copy decode.
+
+    ``eq=False`` for the usual array-field reason.
+
+    Attributes
+    ----------
+    user_ids:
+        One user id per request.
+    features:
+        The combined ``(total_windows, n_features)`` feature block, request
+        slices back to back.
+    lengths:
+        Windows per request; must sum to ``len(features)``.
+    context_codes:
+        Per-window ``int8`` context codes — or ``None`` to have the service
+        detect every window's context server-side in one vectorized pass.
+    versions:
+        Optional pinned model version per request (``None`` entries select
+        the newest active version; ``versions=None`` means no pins at all).
+    """
+
+    user_ids: tuple[str, ...]
+    features: np.ndarray
+    lengths: np.ndarray
+    context_codes: np.ndarray | None = None
+    versions: tuple[int | None, ...] | None = None
+
+    def __post_init__(self) -> None:
+        for user_id in self.user_ids:
+            _check_user_id(user_id)
+        features = canonicalize_rows(self.features)
+        object.__setattr__(self, "features", features)
+        lengths = np.asarray(self.lengths, dtype=np.intp)
+        object.__setattr__(self, "lengths", lengths)
+        if len(lengths) != len(self.user_ids):
+            raise ValueError(
+                f"got {len(self.user_ids)} user ids but {len(lengths)} "
+                "request lengths"
+            )
+        if len(lengths) and int(lengths.min()) < 0:
+            raise ValueError("request lengths must be non-negative")
+        total = int(lengths.sum())
+        if total != len(features):
+            raise ValueError(
+                f"request lengths sum to {total} but the feature block has "
+                f"{len(features)} rows"
+            )
+        if self.context_codes is not None:
+            codes = encode_contexts(np.asarray(self.context_codes))
+            if len(codes) != total:
+                raise ValueError(
+                    f"got {total} feature rows but {len(codes)} context codes"
+                )
+            object.__setattr__(self, "context_codes", codes)
+        if self.versions is not None and len(self.versions) != len(self.user_ids):
+            raise ValueError(
+                f"got {len(self.user_ids)} user ids but {len(self.versions)} "
+                "version pins"
+            )
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.features)
+
+    def version_for(self, index: int) -> int | None:
+        """Request *index*'s pinned model version (``None`` = newest)."""
+        return None if self.versions is None else self.versions[index]
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnarAuthResult:
+    """Columnar outcome of one :class:`AuthenticateColumns` dispatch.
+
+    Mirrors the input shape: scored windows stay in contiguous blocks
+    (request slices back to back, **errored requests contributing zero
+    rows**) so the binary codec frames them without per-request objects.
+    ``eq=False`` for the usual array-field reason.
+
+    Attributes
+    ----------
+    user_ids:
+        One user id per request (echo of the batch).
+    scores, accepted, model_context_codes:
+        One entry per *scored* window, in request order.
+    lengths:
+        Scored windows per request (``0`` for errored requests).
+    model_versions:
+        Served bundle version per request (``0`` for errored requests —
+        consult :attr:`errors`).
+    errors:
+        Sparse map of request index to its typed
+        :class:`ErrorResponse`; requests present here contributed no rows.
+    """
+
+    user_ids: tuple[str, ...]
+    scores: np.ndarray
+    accepted: np.ndarray
+    model_context_codes: np.ndarray
+    lengths: np.ndarray
+    model_versions: np.ndarray
+    errors: dict[int, "ErrorResponse"] = field(default_factory=dict)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.user_ids)
+
+    def responses(self) -> list["Response"]:
+        """Materialize one typed response per request, in request order.
+
+        The compatibility bridge back to the per-request protocol: the
+        binary client uses it so callers of ``submit_many`` see exactly the
+        responses the JSON codec would have produced.
+        """
+        offsets = offsets_from_lengths(self.lengths)
+        responses: list[Response] = []
+        for index in range(self.n_requests):
+            error = self.errors.get(index)
+            if error is not None:
+                responses.append(error)
+                continue
+            start, stop = int(offsets[index]), int(offsets[index + 1])
+            responses.append(
+                AuthenticationResponse(
+                    user_id=self.user_ids[index],
+                    result=BatchScoreResult(
+                        scores=self.scores[start:stop],
+                        accepted=self.accepted[start:stop],
+                        model_contexts=decode_contexts(
+                            self.model_context_codes[start:stop]
+                        ),
+                        model_version=int(self.model_versions[index]),
+                    ),
+                )
+            )
+        return responses
 
 #: The hot-path operations: the only request types the data plane serves,
 #: the micro-batch queue admits, and ``POST /v2/requests`` accepts.

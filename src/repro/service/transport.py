@@ -27,6 +27,20 @@ lossless JSON wire codec; this module speaks it over a socket.  A
     :func:`status_for_sealed`).  Responses are sealed
     (``sealed-response``) and echo the envelope's ``request_id``.
 
+    The endpoint is **content-negotiated**: a body of type
+    ``application/x-repro-batch`` carries one or more **binary columnar
+    frames** (:mod:`repro.service.wirebin`) instead of JSON — a whole
+    batch of data-plane requests as one frame whose feature vectors travel
+    in a single contiguous float64 block.  The server authorizes each
+    frame once for all of its requests, decodes the columns as zero-copy
+    ``np.frombuffer`` views, and feeds authenticate frames straight into
+    the frontend's fused scoring pass
+    (:meth:`~repro.service.frontend.ServiceFrontend.submit_columns`)
+    without materializing per-request objects.  Chunked uploads
+    (``Transfer-Encoding: chunked``) decode and dispatch frame by frame,
+    so a 100k-window stream is served with memory bounded by one chunk.
+    JSON bodies — and the ``/v1`` surface — are bit-for-bit untouched.
+
 ``POST /v2/admin``
     The versioned **control-plane** endpoint (single envelope only):
     rollback / snapshot / eviction / detector training under the
@@ -67,6 +81,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
+import tempfile
 import threading
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -74,7 +90,10 @@ from itertools import count
 from time import monotonic
 from typing import Any, Sequence
 
+from repro.service import wirebin
 from repro.service.envelope import (
+    API_VERSION,
+    CODE_UNSUPPORTED_VERSION,
     SCOPE_ADMIN,
     SCOPE_DATA_WRITE,
     CallerRegistry,
@@ -248,6 +267,31 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         self.server.telemetry.increment("transport.requests")
         with self.server.telemetry.timer("transport.request"):
+            content_type = (
+                (self.headers.get("Content-Type") or "")
+                .split(";", 1)[0]
+                .strip()
+                .lower()
+            )
+            if content_type == wirebin.CONTENT_TYPE:
+                # Content-type negotiation: the binary columnar codec rides
+                # the same data-plane endpoint; JSON bodies are untouched.
+                if self.path != V2_REQUESTS_PATH:
+                    # The (possibly chunked) frame body is left unread, so
+                    # this connection cannot serve another exchange.
+                    self.close_connection = True
+                    self._send_response(
+                        self._client_error(
+                            "transport",
+                            TypeError(
+                                f"binary batch frames ({wirebin.CONTENT_TYPE}) "
+                                f"are accepted only at {V2_REQUESTS_PATH}"
+                            ),
+                        )
+                    )
+                    return
+                self._handle_v2_binary()
+                return
             try:
                 length = int(self.headers.get("Content-Length", 0))
                 payload = serialization.loads(self.rfile.read(length).decode("utf-8"))
@@ -400,6 +444,97 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         # Batches answer 200 with per-item sealed outcomes, mirroring /v1.
         self._send_json(200, body)
 
+    # ------------------------------------------------------------------ #
+    # the binary columnar endpoint (content-negotiated on /v2/requests)
+    # ------------------------------------------------------------------ #
+
+    def _handle_v2_binary(self) -> None:
+        """Decode and dispatch binary columnar frames, incrementally.
+
+        The body is one frame (``submit_many``) or a concatenated stream of
+        them (``submit_stream`` uses HTTP chunked transfer).  Frames are
+        read, authorized and dispatched **one at a time** straight off the
+        socket — request-side memory is bounded by the largest single
+        frame, not the upload — and each answers with its own response
+        frame, in order.  Accumulated response frames spool to a temporary
+        file beyond a small threshold (writing them to the socket mid-read
+        could deadlock against a client that sends its whole stream before
+        reading), so response-side memory is bounded too.  A corrupt or
+        truncated frame answers a typed 400 ``error-response`` (JSON) and
+        closes the connection, never a stack trace.
+        """
+        if (self.headers.get("Transfer-Encoding") or "").lower() == "chunked":
+            read = _ChunkedBodyReader(self.rfile).read
+        else:
+            read = _BoundedBodyReader(
+                self.rfile, int(self.headers.get("Content-Length", 0) or 0)
+            ).read
+        frames = 0
+        rejection: DeniedResponse | ThrottledResponse | None = None
+        with tempfile.SpooledTemporaryFile(max_size=1 << 23) as frames_out:
+            try:
+                for frame in wirebin.iter_request_frames(read):
+                    body, rejection = self.server.dispatch_frame(frame)
+                    frames += 1
+                    frames_out.write(body)
+            except ValueError as error:
+                # The remaining body is unreadable after a torn frame, so
+                # the connection cannot be reused for a next exchange.
+                self.close_connection = True
+                if frames:
+                    # Frames already executed (possibly non-idempotent
+                    # enrollments): deliver their responses, then a typed
+                    # stream-abort marker, so the caller can reconcile
+                    # instead of blindly re-submitting everything.
+                    self.server.telemetry.increment("transport.client_errors")
+                    frames_out.write(
+                        wirebin.encode_error_frame(
+                            ErrorResponse(
+                                request_kind="binary-frame",
+                                error=type(error).__name__,
+                                message=f"stream aborted after {frames} "
+                                f"dispatched frame(s): {error}",
+                            )
+                        )
+                    )
+                else:
+                    self._send_response(self._client_error("binary-frame", error))
+                    return
+            except Exception as error:  # defensive: dispatch maps errors
+                self.server.telemetry.increment("transport.server_errors")
+                self.close_connection = True
+                self._send_response(
+                    ErrorResponse(
+                        request_kind="binary-frame",
+                        error=type(error).__name__,
+                        message=str(error),
+                    )
+                )
+                return
+            # A single rejected frame answers with the rejection's mapped
+            # status (429 + Retry-After / 401 / 403), mirroring the JSON
+            # surface; a multi-frame stream answers 200 — its frames carry
+            # mixed per-frame outcomes that one status cannot express.
+            status = 200
+            headers: dict[str, str] = {}
+            if frames == 1 and rejection is not None:
+                if isinstance(rejection, ThrottledResponse):
+                    status = 429
+                    headers["Retry-After"] = str(
+                        max(1, round(rejection.retry_after_s + 0.5))
+                    )
+                else:
+                    status = rejection.http_status
+            length = frames_out.tell()
+            frames_out.seek(0)
+            self.send_response(status)
+            self.send_header("Content-Type", wirebin.CONTENT_TYPE)
+            self.send_header("Content-Length", str(length))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            shutil.copyfileobj(frames_out, self.wfile)
+
     def _handle_batch(self, payloads: list) -> None:
         limit = self.server.max_batch_items
         if limit is not None and len(payloads) > limit:
@@ -454,6 +589,85 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         # (including error-response / throttled-response), mirroring
         # submit_many's one-bad-request-never-poisons-the-batch contract.
         self._send_json(200, body)
+
+
+class _BoundedBodyReader:
+    """``read(n)`` over a Content-Length request body (never over-reads)."""
+
+    def __init__(self, rfile: Any, length: int) -> None:
+        self._rfile = rfile
+        self._remaining = max(0, length)
+
+    def read(self, n: int) -> bytes:
+        if self._remaining <= 0 or n <= 0:
+            return b""
+        chunk = self._rfile.read(min(n, self._remaining))
+        self._remaining -= len(chunk)
+        return chunk
+
+
+class _ChunkedBodyReader:
+    """``read(n)`` over a ``Transfer-Encoding: chunked`` request body.
+
+    ``http.server`` does not decode chunked uploads itself; streaming
+    clients need it (a 100k-window upload's total length is unknown when
+    the first frame is sent).  Malformed chunk framing raises
+    ``ValueError`` — mapped to the same typed 400 as a corrupt frame.
+    """
+
+    def __init__(self, rfile: Any) -> None:
+        self._rfile = rfile
+        self._chunk_remaining = 0
+        self._done = False
+
+    def _next_chunk(self) -> None:
+        line = self._rfile.readline(1026)
+        if not line:
+            # Only the 0-size terminal chunk ends a chunked body cleanly; a
+            # bare EOF here means the client died mid-upload.  Surfacing it
+            # keeps partial streams on the typed-400 path instead of being
+            # silently accepted as complete.
+            self._done = True
+            raise ValueError(
+                "malformed chunked encoding: stream ended before the "
+                "terminal chunk"
+            )
+        token = line.split(b";", 1)[0].strip()
+        try:
+            size = int(token, 16)
+        except ValueError:
+            raise ValueError(
+                f"malformed chunked encoding: bad chunk size {token!r}"
+            ) from None
+        if size == 0:
+            # Trailer section: discard header lines until the blank line.
+            while True:
+                trailer = self._rfile.readline(1026)
+                if trailer in (b"\r\n", b"\n", b""):
+                    break
+            self._done = True
+            return
+        self._chunk_remaining = size
+
+    def read(self, n: int) -> bytes:
+        if self._done or n <= 0:
+            return b""
+        if self._chunk_remaining == 0:
+            self._next_chunk()
+            if self._done:
+                return b""
+        chunk = self._rfile.read(min(n, self._chunk_remaining))
+        if not chunk:
+            self._done = True
+            raise ValueError("malformed chunked encoding: truncated chunk")
+        self._chunk_remaining -= len(chunk)
+        if self._chunk_remaining == 0:
+            if self._rfile.read(2) != b"\r\n":
+                self._done = True
+                raise ValueError(
+                    "malformed chunked encoding: missing CRLF after chunk"
+                )
+        return chunk
 
 
 class _ServerChannel:
@@ -648,6 +862,75 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         )
         return [self._as_legacy_response(item) for item in sealed]
 
+    def dispatch_frame(
+        self, frame: wirebin.RequestFrame
+    ) -> tuple[bytes, "DeniedResponse | ThrottledResponse | None"]:
+        """Authorize and dispatch one binary frame.
+
+        The whole frame travels under one caller credential, so admission
+        (batch bound, API version, authorization, rate limit) runs once for
+        all of its requests; an ``authenticate`` frame then flows straight
+        into the frontend's columnar fused pass with no per-request protocol
+        objects, while ``enroll`` / ``drift-report`` frames materialize
+        their per-user matrices (storage appends per user anyway) and ride
+        ``submit_many``.
+
+        Returns
+        -------
+        tuple[bytes, DeniedResponse | ThrottledResponse | None]
+            The encoded response frame, plus the frame-level rejection when
+            admission refused the whole frame (``None`` on dispatch) — a
+            single-frame POST answers with that rejection's mapped HTTP
+            status (429/401/403), mirroring the JSON surface.
+        """
+        self.telemetry.increment("transport.binary_frames")
+        count = frame.n_requests
+        rejection: DeniedResponse | ThrottledResponse | None = None
+        if self.max_batch_items is not None and count > self.max_batch_items:
+            self.telemetry.increment("transport.throttled_batches")
+            rejection = ThrottledResponse(
+                request_kind="batch",
+                reason="batch-too-large",
+                queue_depth=count,
+                max_depth=self.max_batch_items,
+                retry_after_s=0.0,
+            )
+        elif frame.api_version != API_VERSION:
+            self.telemetry.increment("envelope.denied", count)
+            rejection = DeniedResponse(
+                request_kind=frame.op,
+                code=CODE_UNSUPPORTED_VERSION,
+                message=f"api_version {frame.api_version} is not "
+                f"supported; this service speaks v{API_VERSION} "
+                "(and the legacy /v1 endpoint)",
+            )
+        else:
+            outcome = self.processor.authorize_frame(frame.api_key, frame.op, count)
+            if isinstance(outcome, (DeniedResponse, ThrottledResponse)):
+                rejection = outcome
+        if rejection is not None:
+            return (
+                wirebin.encode_rejection_frame(
+                    frame.op, rejection, frame.frame_id, count
+                ),
+                rejection,
+            )
+        if frame.op == "authenticate":
+            result = self.frontend.submit_columns(frame.to_columns())
+            return (
+                wirebin.encode_columnar_response(
+                    result, frame.frame_id, outcome.caller_id
+                ),
+                None,
+            )
+        responses = self.frontend.submit_many(frame.to_requests())
+        return (
+            wirebin.encode_response_frame(
+                frame.op, responses, frame.frame_id, outcome.caller_id
+            ),
+            None,
+        )
+
     def health(self) -> dict[str, Any]:
         """The ``/healthz`` payload: liveness plus coarse service totals."""
         return {
@@ -711,10 +994,22 @@ class ServiceClient:
     A typed caller rejection (401/403) raises :class:`PermissionError`.
     Without a key the client speaks the legacy ``/v1`` surface unchanged.
 
-    One persistent HTTP/1.1 connection is kept per client and reused across
-    calls (re-established transparently once after a connection drop);
-    calls serialize on an internal lock, so a single client is thread-safe
-    but not concurrent — use one client per thread for parallel load.
+    With ``codec="binary"`` (requires an ``api_key``), frame-encodable
+    ``submit_many`` batches travel as **one binary columnar frame**
+    (:mod:`repro.service.wirebin`) instead of a JSON array — all feature
+    vectors in a single contiguous float64 block the server decodes with
+    zero copies — and :meth:`submit_stream` uploads arbitrarily large
+    batches as chunked frame streams with bounded memory on both sides.
+    Batches the binary codec cannot express (mixed operations, empty
+    requests, non-coarse context labels) silently ride the JSON ``/v2``
+    path, so behaviour is identical either way.
+
+    A pool of up to ``pool_size`` persistent HTTP/1.1 connections is kept
+    per client and reused across calls (each re-established transparently
+    once after a drop).  The default pool of one serializes calls exactly
+    like the single-connection client of old; concurrent submitters (one
+    client shared by many threads) should size the pool to their thread
+    count so exchanges run in parallel instead of queueing on one socket.
 
     Parameters
     ----------
@@ -726,7 +1021,23 @@ class ServiceClient:
     api_key:
         Caller credential; providing one switches the client to the v2
         enveloped endpoints.
+    codec:
+        ``"json"`` (default) or ``"binary"`` — the wire form of
+        ``submit_many`` batches.  The binary codec rides the authenticated
+        ``/v2`` surface, so it requires an ``api_key``.
+    pool_size:
+        Connections kept per client (>= 1).  Calls beyond the pool size
+        wait for a free connection.
+
+    Raises
+    ------
+    ValueError
+        If *codec* names no codec, ``codec="binary"`` comes without an
+        ``api_key``, or ``pool_size`` is not positive.
     """
+
+    #: The wire codecs ``submit_many`` can speak.
+    CODECS = ("json", "binary")
 
     def __init__(
         self,
@@ -734,13 +1045,34 @@ class ServiceClient:
         port: int = 8414,
         timeout_s: float = 30.0,
         api_key: str | None = None,
+        codec: str = "json",
+        pool_size: int = 1,
     ) -> None:
+        if codec not in self.CODECS:
+            raise ValueError(f"codec must be one of {self.CODECS}, got {codec!r}")
+        if codec == "binary" and api_key is None:
+            raise ValueError(
+                "the binary codec rides the authenticated /v2 surface; "
+                "construct the client with an api_key"
+            )
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.api_key = api_key
-        self._lock = threading.Lock()
-        self._connection: HTTPConnection | None = None
+        self.codec = codec
+        self.pool_size = pool_size
+        self._idle: list[HTTPConnection] = []
+        self._idle_lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(pool_size)
+        self._draining = False
+
+    @property
+    def _connection(self) -> HTTPConnection | None:
+        """The most recently parked idle connection (diagnostics/tests)."""
+        with self._idle_lock:
+            return self._idle[-1] if self._idle else None
 
     @property
     def api_version(self) -> int:
@@ -752,14 +1084,30 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Drop the persistent connection (a later call reconnects)."""
-        with self._lock:
-            self._close_locked()
+        """Drop every pooled connection (a later call reconnects).
 
-    def _close_locked(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        Idle connections close immediately; connections checked out by
+        in-flight exchanges close as they are returned (instead of being
+        parked back into the pool of a closed client).  A later call
+        reopens the pool.
+        """
+        with self._idle_lock:
+            idle, self._idle = self._idle, []
+            self._draining = True
+        for connection in idle:
+            connection.close()
+
+    def _pop_idle(self) -> HTTPConnection | None:
+        with self._idle_lock:
+            self._draining = False
+            return self._idle.pop() if self._idle else None
+
+    def _push_idle(self, connection: HTTPConnection) -> None:
+        with self._idle_lock:
+            if self._draining:
+                connection.close()
+                return
+            self._idle.append(connection)
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -768,7 +1116,21 @@ class ServiceClient:
         self.close()
 
     def _roundtrip(self, method: str, path: str, body: str | None = None) -> str:
-        """One HTTP exchange, reusing (and once re-establishing) the connection.
+        """One JSON exchange; see :meth:`_exchange` for the retry policy."""
+        data, _ = self._exchange(
+            method, path, body=None if body is None else body.encode("utf-8")
+        )
+        return data.decode("utf-8")
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+        stream: Any | None = None,
+    ) -> tuple[bytes, str]:
+        """One HTTP exchange over a pooled (re-established once) connection.
 
         Retry policy: a failure while *sending* (connect or write — the
         server cannot have processed anything) is retried once on a fresh
@@ -776,7 +1138,16 @@ class ServiceClient:
         retried only for idempotent ``GET``\\ s.  A ``POST`` whose request
         was transmitted is never re-sent — the server may already have
         executed a non-idempotent operation (enroll, drift retrain), and a
-        blind replay would duplicate it.
+        blind replay would duplicate it.  A *stream* body (an iterator of
+        frame bytes, sent with chunked transfer encoding) is never retried
+        at all — a partially consumed iterator cannot be replayed — and
+        always opens a fresh socket so a stale keep-alive connection cannot
+        waste its single attempt.
+
+        Returns
+        -------
+        tuple[bytes, str]
+            The response body and its ``Content-Type``.
 
         Raises
         ------
@@ -784,41 +1155,64 @@ class ServiceClient:
             If the server cannot be reached, or a non-idempotent exchange
             failed after its request may have been processed.
         """
-        with self._lock:
+        self._slots.acquire()
+        try:
+            connection = self._pop_idle()
             last_error: Exception | None = None
             for attempt in range(2):
-                if self._connection is None:
-                    self._connection = HTTPConnection(
+                if stream is not None and connection is not None:
+                    connection.close()
+                    connection = None
+                if connection is None:
+                    connection = HTTPConnection(
                         self.host, self.port, timeout=self.timeout_s
                     )
                 try:
-                    self._connection.request(
+                    connection.request(
                         method,
                         path,
-                        body=None if body is None else body.encode("utf-8"),
-                        headers={"Content-Type": "application/json"},
+                        body=stream if stream is not None else body,
+                        headers={"Content-Type": content_type},
                     )
                 except (HTTPException, OSError) as error:
                     # Send-phase failure (stale keep-alive socket, refused
-                    # connect): nothing reached the server, safe to retry.
+                    # connect): nothing reached the server, safe to retry —
+                    # except for a stream, whose iterator may be partially
+                    # consumed.
                     last_error = error
-                    self._close_locked()
+                    connection.close()
+                    connection = None
+                    if stream is not None:
+                        raise ConnectionError(
+                            f"streamed {method} {path} to {self.host}:"
+                            f"{self.port} failed mid-send ({error}); a "
+                            "partially consumed stream cannot be replayed"
+                        ) from error
                     continue
                 try:
-                    response = self._connection.getresponse()
-                    return response.read().decode("utf-8")
+                    response = connection.getresponse()
+                    data = response.read()
+                    response_type = response.getheader(
+                        "Content-Type", "application/json"
+                    )
                 except (HTTPException, OSError) as error:
                     last_error = error
-                    self._close_locked()
+                    connection.close()
+                    connection = None
                     if method != "GET":
                         raise ConnectionError(
                             f"{method} {path} to {self.host}:{self.port} failed "
                             f"after the request was sent ({error}); not retrying "
                             "a possibly-executed non-idempotent operation"
                         ) from error
+                    continue
+                self._push_idle(connection)
+                return data, response_type
             raise ConnectionError(
                 f"cannot reach service at {self.host}:{self.port}: {last_error}"
             ) from last_error
+        finally:
+            self._slots.release()
 
     # ------------------------------------------------------------------ #
     # protocol surface (mirrors ServiceFrontend)
@@ -905,6 +1299,10 @@ class ServiceClient:
         """
         if not requests:
             return []
+        if self.codec == "binary":
+            op = wirebin.batch_op(requests)
+            if op is not None:
+                return self._submit_binary(requests, op)
         if self.api_key is None:
             body = serialization.dumps(
                 [request_to_payload(request) for request in requests]
@@ -943,6 +1341,175 @@ class ServiceClient:
             self._unseal(envelope, sealed_from_payload(item))
             for envelope, item in zip(envelopes, payload)
         ]
+
+    # ------------------------------------------------------------------ #
+    # the binary columnar codec
+    # ------------------------------------------------------------------ #
+
+    def _submit_binary(self, requests: Sequence[Request], op: str) -> list[Response]:
+        """Send a frame-encodable batch as one binary columnar frame."""
+        frame_id = wirebin.new_frame_id()
+        body = wirebin.encode_request_frame(
+            requests, api_key=self.api_key, frame_id=frame_id, op=op
+        )
+        data, response_type = self._exchange(
+            "POST",
+            V2_REQUESTS_PATH,
+            body=body,
+            content_type=wirebin.CONTENT_TYPE,
+        )
+        return self._decode_binary_reply(
+            data, response_type, [(frame_id, len(requests))]
+        )
+
+    def submit_stream(
+        self, requests: Any, chunk_windows: int = 8192
+    ) -> list[Response]:
+        """Stream a large batch as chunked binary frames, bounded memory.
+
+        The iterable is consumed lazily: requests accumulate into frames of
+        at most *chunk_windows* windows (an operation change also cuts a
+        frame), each frame is encoded and sent as soon as it is full, and
+        the server dispatches frames as they arrive — so neither side ever
+        holds the whole upload.  Responses come back as one frame per
+        chunk, flattened into submission order, exactly as ``submit_many``
+        would have answered.
+
+        Parameters
+        ----------
+        requests:
+            An iterable of data-plane protocol requests; every chunk must
+            be frame-encodable (see :func:`repro.service.wirebin.batch_op`).
+        chunk_windows:
+            Most feature windows per frame (>= 1).
+
+        Raises
+        ------
+        ValueError
+            If the client speaks the JSON codec, ``chunk_windows`` is not
+            positive, or a chunk is not frame-encodable.
+        ConnectionError
+            If the exchange fails (streams are never retried: a partially
+            consumed iterator cannot be replayed).
+        PermissionError
+            If the server rejects this client's caller credential.
+        """
+        if self.codec != "binary":
+            raise ValueError(
+                "submit_stream requires the binary codec; construct the "
+                "client with codec='binary'"
+            )
+        if chunk_windows < 1:
+            raise ValueError(f"chunk_windows must be >= 1, got {chunk_windows}")
+        expected: list[tuple[str, int]] = []
+
+        def frames() -> Any:
+            chunk: list[Request] = []
+            windows = 0
+            for request in requests:
+                size = wirebin.request_windows(request)
+                if chunk and (
+                    type(request) is not type(chunk[0])
+                    or windows + size > chunk_windows
+                ):
+                    yield self._encode_stream_chunk(chunk, expected)
+                    chunk, windows = [], 0
+                chunk.append(request)
+                windows += size
+            if chunk:
+                yield self._encode_stream_chunk(chunk, expected)
+
+        data, response_type = self._exchange(
+            "POST",
+            V2_REQUESTS_PATH,
+            content_type=wirebin.CONTENT_TYPE,
+            stream=frames(),
+        )
+        return self._decode_binary_reply(data, response_type, expected)
+
+    def _encode_stream_chunk(
+        self, chunk: list[Request], expected: list[tuple[str, int]]
+    ) -> bytes:
+        op = wirebin.batch_op(chunk)
+        if op is None:
+            raise ValueError(
+                "stream chunk is not frame-encodable (mixed or empty "
+                "requests, non-uniform schema); submit such batches through "
+                "submit_many, which falls back to the JSON codec"
+            )
+        frame_id = wirebin.new_frame_id()
+        expected.append((frame_id, len(chunk)))
+        return wirebin.encode_request_frame(
+            chunk, api_key=self.api_key, frame_id=frame_id, op=op
+        )
+
+    def _decode_binary_reply(
+        self,
+        data: bytes,
+        response_type: str,
+        expected: list[tuple[str, int]],
+    ) -> list[Response]:
+        """Decode response frames, verifying echoed frame ids and counts.
+
+        Raises
+        ------
+        ValueError
+            If the server's answer is not the expected frame sequence (a
+            JSON answer means the transport rejected the frame itself —
+            its typed message is surfaced).
+        PermissionError
+            If a frame was denied (same contract as the JSON v2 surface).
+        """
+        media_type = (response_type or "").split(";", 1)[0].strip().lower()
+        if media_type != wirebin.CONTENT_TYPE:
+            # The transport answered JSON: the frame never dispatched
+            # (corrupt frame, wrong endpoint, server fault).
+            try:
+                response = loads_response(data.decode("utf-8"))
+            except Exception:
+                raise ValueError(
+                    "expected a binary response frame, got an unreadable "
+                    f"{media_type or 'untyped'} answer"
+                ) from None
+            message = getattr(response, "message", None)
+            raise ValueError(
+                f"binary frame rejected by the transport: {message or response}"
+            )
+        frames = wirebin.decode_response_frames(data)
+        responses: list[Response] = []
+        position = 0
+        for frame in frames:
+            if frame.error is not None:
+                # The server tore mid-stream AFTER the preceding frames
+                # executed (possibly non-idempotent operations); surface
+                # exactly how far it got so the caller can reconcile
+                # instead of blindly re-submitting everything.
+                raise ValueError(
+                    f"stream aborted by the server after {position} of "
+                    f"{len(expected)} frames executed: {frame.error.message}"
+                )
+            if position >= len(expected):
+                raise ValueError(
+                    f"server answered more than the {len(expected)} frames sent"
+                )
+            frame_id, count = expected[position]
+            if frame.frame_id != frame_id:
+                raise ValueError(
+                    f"response frame echoes frame_id {frame.frame_id!r}, "
+                    f"expected {frame_id!r}"
+                )
+            if frame.n_requests != count:
+                raise ValueError(
+                    f"response frame answers {frame.n_requests} requests, "
+                    f"expected {count}"
+                )
+            responses.extend(frame.to_responses())
+            position += 1
+        if position != len(expected):
+            raise ValueError(
+                f"expected {len(expected)} response frames, got {position}"
+            )
+        return responses
 
     def health(self) -> dict[str, Any]:
         """The server's ``/healthz`` payload."""
@@ -1034,6 +1601,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated scopes of the provisioned caller "
         "(subset of: data:write, admin)",
     )
+    parser.add_argument(
+        "--caller-rate",
+        type=float,
+        default=0.0,
+        help="per-second request quota of the provisioned caller "
+        "(token bucket; 0 = unlimited)",
+    )
+    parser.add_argument(
+        "--caller-burst",
+        type=float,
+        default=0.0,
+        help="token-bucket burst of the provisioned caller "
+        "(0 = same as --caller-rate); size it above the largest batch",
+    )
     args = parser.parse_args(argv)
 
     if args.demo_fleet:
@@ -1072,6 +1653,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             scope.strip() for scope in args.caller_scopes.split(",") if scope.strip()
         )
         api_key = server.callers.register(args.caller_id, scopes)
+        if args.caller_rate:
+            server.callers.set_rate_limit(
+                args.caller_id, args.caller_rate, args.caller_burst or None
+            )
         print(
             f"serving {REQUESTS_PATH} (legacy), {V2_REQUESTS_PATH} and "
             f"{V2_ADMIN_PATH} on http://{args.host}:{server.port} "

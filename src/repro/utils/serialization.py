@@ -39,6 +39,17 @@ def _from_jsonable(value: Any) -> Any:
     return value
 
 
+def to_jsonable(value: Any) -> Any:
+    """Public form of the NumPy→JSON conversion (used by the binary codec's
+    frame headers, so header fields follow exactly the JSON wire rules)."""
+    return _to_jsonable(value)
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    return _from_jsonable(value)
+
+
 def to_json_file(payload: Any, path: str | Path, *, indent: int = 2) -> Path:
     """Serialise *payload* to *path*, creating parent directories as needed."""
     target = Path(path)

@@ -160,3 +160,63 @@ class TestFleetLifecycleOverSockets:
         # Every protocol request crossed the transport.
         assert counters["transport.requests"] >= 5
         assert counters["frontend.coalesced_batches"] >= 1
+
+
+class TestBinaryCodecEquivalence:
+    """The ISSUE 5 acceptance bar: binary-HTTP decisions are bit-for-bit
+    identical to JSON-HTTP and in-process dispatch, batched and streamed."""
+
+    def test_500_user_decisions_identical_over_binary_http(self, fleet, probes):
+        # A frame is homogeneous (one context mode); mixed batches fall
+        # back to JSON, so split the probes into their two modes and check
+        # both binary frames against the in-process reference.
+        detected = [probe for probe in probes if probe.contexts is None]
+        reported = [probe for probe in probes if probe.contexts is not None]
+        with ServiceHTTPServer(fleet.frontend, callers=fleet.callers) as server:
+            with ServiceClient(
+                port=server.port, api_key=fleet.api_key, codec="binary"
+            ) as client:
+                for subset in (detected, reported):
+                    in_process = fleet.frontend.submit_many(subset)
+                    over_binary = client.submit_many(subset)
+                    streamed = client.submit_stream(iter(subset), chunk_windows=64)
+                    for local, remote, piped in zip(in_process, over_binary, streamed):
+                        assert isinstance(remote, AuthenticationResponse)
+                        for answer in (remote, piped):
+                            np.testing.assert_array_equal(answer.scores, local.scores)
+                            np.testing.assert_array_equal(
+                                answer.accepted, local.accepted
+                            )
+                            assert (
+                                answer.result.model_contexts
+                                == local.result.model_contexts
+                            )
+                            assert answer.model_version == local.model_version
+
+    def test_lifecycle_report_identical_over_the_binary_codec(self):
+        """Same seed, binary channel — aggregate decisions match in-process."""
+        baseline = FleetSimulator(FleetConfig(n_users=60, seed=23))
+        baseline.channel = baseline.frontend
+        baseline_report = baseline.run()
+
+        simulator = FleetSimulator(FleetConfig(n_users=60, seed=23))
+        with ServiceHTTPServer(simulator.frontend, callers=simulator.callers) as server:
+            with ServiceClient(
+                port=server.port, api_key=simulator.api_key, codec="binary"
+            ) as client:
+                simulator.channel = client
+                report = simulator.run()
+        assert report.legitimate_accept_rate == baseline_report.legitimate_accept_rate
+        assert report.attack_reject_rate == baseline_report.attack_reject_rate
+        assert (
+            report.drifted_accept_rate_before_retrain
+            == baseline_report.drifted_accept_rate_before_retrain
+        )
+        assert (
+            report.drifted_accept_rate_after_retrain
+            == baseline_report.drifted_accept_rate_after_retrain
+        )
+        assert report.trained_versions == baseline_report.trained_versions
+        # The hot phases actually used binary frames, not a JSON fallback.
+        counters = report.telemetry["counters"]
+        assert counters.get("transport.binary_frames", 0) >= 4

@@ -537,3 +537,108 @@ class TestConcurrentAuthorization:
             thread.join()
         assert errors == []
         assert callers.snapshot()["device-gw"]["requests"] == 200
+
+
+class TestRateLimits:
+    def test_token_bucket_grants_burst_then_meters(self):
+        from repro.service.envelope import TokenBucket
+
+        bucket = TokenBucket(rate_per_s=1000.0, burst=3.0)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire(2) == 0.0
+        retry = bucket.acquire(2)
+        assert retry > 0.0  # the bucket is empty
+        assert retry <= 2 / 1000.0 + 1e-6
+
+    def test_token_bucket_validates_knobs(self):
+        from repro.service.envelope import TokenBucket
+
+        with pytest.raises(ValueError, match="rate_per_s"):
+            TokenBucket(rate_per_s=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate_per_s=1.0, burst=-1.0)
+
+    def test_set_rate_limit_requires_a_registered_caller(self, callers):
+        with pytest.raises(KeyError):
+            callers.set_rate_limit("nobody", 10.0)
+
+    def test_rate_limited_envelope_answers_typed_429_before_dispatch(
+        self, frontend, callers, processor
+    ):
+        key = callers.register("metered", (SCOPE_DATA_WRITE,))
+        callers.set_rate_limit("metered", 1.0, burst=2.0)
+        sealed = [
+            processor.process(Envelope(request=auth_request(), api_key=key))
+            for _ in range(4)
+        ]
+        kinds = [type(item.response).__name__ for item in sealed]
+        assert kinds[:2] == ["AuthenticationResponse", "AuthenticationResponse"]
+        from repro.service.protocol import ThrottledResponse
+
+        assert all(isinstance(item.response, ThrottledResponse) for item in sealed[2:])
+        throttled = sealed[2].response
+        assert throttled.reason == "rate-limited"
+        assert throttled.retry_after_s > 0.0
+        assert throttled.max_depth == 2  # the bucket's burst
+        assert throttled.user_id == "alice"
+        # The typed throttle rides the same 429 mapping as queue overflow.
+        from repro.service.transport import status_for_sealed
+
+        assert status_for_sealed(sealed[2]) == 429
+        snapshot = callers.snapshot()["metered"]
+        assert snapshot["throttled"] == 2
+        assert snapshot["rate_limit"] == {"requests_per_s": 1.0, "burst": 2.0}
+        assert frontend.telemetry.counter_value("callers.metered.rate_limited") == 2
+
+    def test_batch_envelopes_are_charged_per_request(self, callers, processor):
+        key = callers.register("metered", (SCOPE_DATA_WRITE,))
+        callers.set_rate_limit("metered", 1.0, burst=3.0)
+        sealed = processor.process_many(
+            [Envelope(request=auth_request(), api_key=key) for _ in range(5)]
+        )
+        from repro.service.protocol import ThrottledResponse
+
+        outcomes = [isinstance(item.response, ThrottledResponse) for item in sealed]
+        assert outcomes == [False, False, False, True, True]
+
+    def test_authorize_frame_charges_the_whole_frame_atomically(
+        self, callers, processor
+    ):
+        from repro.service.envelope import CallerRecord
+        from repro.service.protocol import ThrottledResponse
+
+        key = callers.register("framed", (SCOPE_DATA_WRITE,))
+        callers.set_rate_limit("framed", 1.0, burst=10.0)
+        outcome = processor.authorize_frame(key, "authenticate", count=8)
+        assert isinstance(outcome, CallerRecord)
+        throttled = processor.authorize_frame(key, "authenticate", count=8)
+        assert isinstance(throttled, ThrottledResponse)
+        assert throttled.reason == "rate-limited"
+        assert callers.snapshot()["framed"]["requests"] == 16
+
+    def test_authorize_frame_denies_with_per_request_telemetry(
+        self, callers, processor
+    ):
+        outcome = processor.authorize_frame("unknown-key", "authenticate", count=5)
+        assert isinstance(outcome, DeniedResponse)
+        assert outcome.code == CODE_UNKNOWN_KEY
+        assert callers.telemetry.counter_value("callers.denied") == 5
+
+    def test_clear_rate_limit_restores_unlimited_service(self, callers, processor):
+        key = callers.register("metered", (SCOPE_DATA_WRITE,))
+        callers.set_rate_limit("metered", 1.0, burst=1.0)
+        processor.process(Envelope(request=auth_request(), api_key=key))
+        callers.clear_rate_limit("metered")
+        sealed = processor.process(Envelope(request=auth_request(), api_key=key))
+        assert isinstance(sealed.response, AuthenticationResponse)
+
+    def test_authorize_frame_scope_denial_counts_per_caller(
+        self, callers, processor
+    ):
+        """A known under-scoped caller's denied tally covers the whole frame."""
+        key = callers.register("scoped-down", (SCOPE_ADMIN,))
+        outcome = processor.authorize_frame(key, "authenticate", count=7)
+        assert isinstance(outcome, DeniedResponse)
+        assert outcome.code == CODE_INSUFFICIENT_SCOPE
+        assert callers.snapshot()["scoped-down"]["denied"] == 7
+        assert callers.telemetry.counter_value("callers.scoped-down.denied") == 7

@@ -683,3 +683,130 @@ class TestFusedStackCacheIntegration:
         responses = frontend.submit_many(requests)
         assert all(isinstance(r, AuthenticationResponse) for r in responses)
         assert responses[0].model_version == 1  # alice serves v1 again
+
+
+class TestColumnarDoor:
+    """submit_columns: the zero-copy twin of a coalesced submit_many."""
+
+    def _columns(self, requests):
+        from repro.service.protocol import AuthenticateColumns
+
+        return AuthenticateColumns(
+            user_ids=tuple(r.user_id for r in requests),
+            features=np.vstack([r.features for r in requests]),
+            lengths=np.array([len(r.features) for r in requests]),
+            context_codes=(
+                None
+                if requests[0].contexts is None
+                else np.concatenate([r.context_codes for r in requests])
+            ),
+            versions=tuple(r.version for r in requests),
+        )
+
+    def _requests(self, frontend, contexts=True, users=("alice", "alice")):
+        train_alice(frontend)
+        rng = np.random.default_rng(21)
+        return [
+            AuthenticateRequest(
+                user_id=user,
+                features=rng.normal(0.0, 1.0, size=(3, 5)),
+                contexts=(
+                    (CoarseContext.STATIONARY, CoarseContext.MOVING,
+                     CoarseContext.STATIONARY)
+                    if contexts
+                    else None
+                ),
+            )
+            for user in users
+        ]
+
+    def test_columnar_results_match_submit_many_bit_for_bit(self, frontend):
+        requests = self._requests(frontend)
+        reference = frontend.submit_many(requests)
+        result = frontend.submit_columns(self._columns(requests))
+        assert not result.errors
+        responses = result.responses()
+        for expected, actual in zip(reference, responses):
+            assert isinstance(actual, AuthenticationResponse)
+            np.testing.assert_array_equal(actual.scores, expected.scores)
+            np.testing.assert_array_equal(actual.accepted, expected.accepted)
+            assert actual.result.model_contexts == expected.result.model_contexts
+            assert actual.model_version == expected.model_version
+
+    def test_unknown_user_errors_in_place_without_costing_neighbours(self, frontend):
+        requests = self._requests(frontend, users=("alice", "ghost", "alice"))
+        result = frontend.submit_columns(self._columns(requests))
+        assert set(result.errors) == {1}
+        assert result.errors[1].error == "KeyError"
+        assert result.lengths.tolist() == [3, 0, 3]
+        responses = result.responses()
+        assert isinstance(responses[0], AuthenticationResponse)
+        assert isinstance(responses[1], ErrorResponse)
+        assert isinstance(responses[2], AuthenticationResponse)
+        reference = frontend.submit_many(requests)
+        np.testing.assert_array_equal(responses[0].scores, reference[0].scores)
+        np.testing.assert_array_equal(responses[2].scores, reference[2].scores)
+
+    def test_server_side_detection_runs_once_over_the_block(self, frontend):
+        train_alice(frontend)
+        pool = matrix("alice", 0.0, context="stationary", seed=5).concatenate(
+            matrix("alice", 0.0, context="moving", seed=6)
+        )
+        frontend.gateway.train_context_detector(pool)
+        requests = self._requests(frontend, contexts=False)
+        reference = frontend.submit_many(requests)
+        before = frontend.telemetry.counter_value("context.detections")
+        result = frontend.submit_columns(self._columns(requests))
+        assert frontend.telemetry.counter_value("context.detections") - before == 6
+        for expected, actual in zip(reference, result.responses()):
+            np.testing.assert_array_equal(actual.scores, expected.scores)
+            assert actual.result.model_contexts == expected.result.model_contexts
+
+    def test_telemetry_counters_match_the_object_path(self, frontend):
+        requests = self._requests(frontend)
+        result_counters = {}
+        for label, submit in (
+            ("objects", lambda: frontend.submit_many(requests)),
+            ("columns", lambda: frontend.submit_columns(self._columns(requests))),
+        ):
+            before = {
+                name: frontend.telemetry.counter_value(name)
+                for name in (
+                    "frontend.requests",
+                    "frontend.coalesced_batches",
+                    "frontend.coalesced_windows",
+                    "auth.windows",
+                    "auth.accepted",
+                    "auth.rejected",
+                )
+            }
+            submit()
+            result_counters[label] = {
+                name: frontend.telemetry.counter_value(name) - value
+                for name, value in before.items()
+            }
+        assert result_counters["objects"] == result_counters["columns"]
+
+    def test_type_error_on_non_columnar_input(self, frontend):
+        with pytest.raises(TypeError, match="AuthenticateColumns"):
+            frontend.submit_columns(AuthenticateRequest(
+                user_id="alice", features=np.zeros((1, 5)),
+                contexts=(CoarseContext.STATIONARY,),
+            ))
+
+    def test_columns_validation(self):
+        from repro.service.protocol import AuthenticateColumns
+
+        with pytest.raises(ValueError, match="lengths sum"):
+            AuthenticateColumns(
+                user_ids=("a",),
+                features=np.zeros((3, 2)),
+                lengths=np.array([2]),
+            )
+        with pytest.raises(ValueError, match="context codes"):
+            AuthenticateColumns(
+                user_ids=("a",),
+                features=np.zeros((2, 2)),
+                lengths=np.array([2]),
+                context_codes=np.array([0], dtype=np.int8),
+            )

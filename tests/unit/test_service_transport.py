@@ -618,3 +618,387 @@ class TestClientConnection:
         with ServiceClient(port=1, timeout_s=0.2) as client:
             with pytest.raises(ConnectionError):
                 client.submit(SnapshotRequest())
+
+
+# --------------------------------------------------------------------- #
+# the binary columnar codec over a live socket
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def v2(frontend):
+    with ServiceHTTPServer(frontend) as server:
+        api_key = server.callers.register("binary-op", ("data:write", "admin"))
+        yield server, api_key
+
+
+def _auth_requests(n_rows=4):
+    rng = np.random.default_rng(11)
+    return [
+        AuthenticateRequest(
+            user_id="alice",
+            features=rng.normal(0.0, 1.0, size=(n_rows, 5)),
+            contexts=(CoarseContext.STATIONARY, CoarseContext.MOVING) * (n_rows // 2),
+        )
+        for _ in range(3)
+    ]
+
+
+class TestBinaryCodec:
+    def test_binary_and_json_answers_are_bit_for_bit_identical(self, frontend, v2):
+        server, api_key = v2
+        requests = _auth_requests()
+        local = frontend.submit_many(requests)
+        with ServiceClient(
+            port=server.port, api_key=api_key, codec="binary"
+        ) as binary, ServiceClient(port=server.port, api_key=api_key) as jsonc:
+            remote_binary = binary.submit_many(requests)
+            remote_json = jsonc.submit_many(requests)
+        for reference, b, j in zip(local, remote_binary, remote_json):
+            assert isinstance(b, AuthenticationResponse)
+            np.testing.assert_array_equal(b.scores, reference.scores)
+            np.testing.assert_array_equal(b.accepted, reference.accepted)
+            np.testing.assert_array_equal(b.scores, j.scores)
+            assert b.result.model_contexts == reference.result.model_contexts
+            assert b.model_version == reference.model_version
+
+    def test_binary_enroll_stores_windows_like_json(self, v2):
+        server, api_key = v2
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            (response,) = client.submit_many(
+                [
+                    EnrollRequest(
+                        user_id="newbie",
+                        matrix=matrix("newbie", 1.0, n=12, seed=9),
+                        train=False,
+                    )
+                ]
+            )
+        assert isinstance(response, EnrollResponse)
+        assert response.status == "buffered"
+        assert response.windows_stored == 12
+
+    def test_response_content_type_is_negotiated(self, v2):
+        from repro.service import wirebin
+
+        server, api_key = v2
+        body = wirebin.encode_request_frame(
+            _auth_requests(), api_key=api_key, frame_id="f-1"
+        )
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v2/requests",
+            data=body,
+            headers={"Content-Type": wirebin.CONTENT_TYPE},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            assert response.headers.get("Content-Type") == wirebin.CONTENT_TYPE
+            frames = wirebin.decode_response_frames(response.read())
+        assert len(frames) == 1 and frames[0].frame_id == "f-1"
+
+    def test_corrupt_frame_answers_typed_400_never_a_stack_trace(self, v2):
+        from repro.service import wirebin
+
+        server, _ = v2
+        for body in (b"RBC1" + b"\x00" * 20, b"garbage", b"RBC1\xff\xff\xff\xff" + b"\x00" * 64):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/v2/requests",
+                data=body,
+                headers={"Content-Type": wirebin.CONTENT_TYPE},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert payload["kind"] == "error-response"
+            assert payload["error"] == "ValueError"
+
+    def test_binary_frames_are_rejected_on_other_endpoints(self, v2):
+        from repro.service import wirebin
+
+        server, api_key = v2
+        body = wirebin.encode_request_frame(_auth_requests(), api_key=api_key)
+        for path in ("/v1/requests", "/v2/admin"):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}{path}",
+                data=body,
+                headers={"Content-Type": wirebin.CONTENT_TYPE},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert "only at /v2/requests" in payload["message"]
+
+    def test_unknown_key_raises_permission_error(self, v2):
+        server, _ = v2
+        with ServiceClient(
+            port=server.port, api_key="wrong-key", codec="binary"
+        ) as client:
+            with pytest.raises(PermissionError, match="unknown-api-key"):
+                client.submit_many(_auth_requests())
+
+    def test_rate_limited_frame_answers_typed_throttles(self, v2):
+        server, api_key = v2
+        server.callers.set_rate_limit("binary-op", 1.0, burst=4.0)
+        requests = _auth_requests()  # 3 requests per frame, 4-token burst
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            first = client.submit_many(requests)   # 3 tokens: granted
+            second = client.submit_many(requests)  # 1 token left: throttled
+        assert all(isinstance(r, AuthenticationResponse) for r in first)
+        assert all(isinstance(r, ThrottledResponse) for r in second)
+        assert second[0].reason == "rate-limited"
+        assert second[0].retry_after_s > 0.0
+
+    def test_rate_limited_single_frame_answers_http_429(self, v2):
+        from repro.service import wirebin
+
+        server, api_key = v2
+        server.callers.set_rate_limit("binary-op", 1.0, burst=1.0)
+        body = wirebin.encode_request_frame(
+            _auth_requests()[:1], api_key=api_key, frame_id="f-429"
+        )
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v2/requests",
+            data=body,
+            headers={"Content-Type": wirebin.CONTENT_TYPE},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200  # the burst token
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 429
+        assert excinfo.value.headers.get("Retry-After") is not None
+        (frame,) = wirebin.decode_response_frames(excinfo.value.read())
+        assert frame.throttled is not None
+        assert frame.throttled.reason == "rate-limited"
+
+    def test_frame_larger_than_burst_is_typed_unsatisfiable(self, v2):
+        """count > burst can never be granted — the caller must split."""
+        server, api_key = v2
+        server.callers.set_rate_limit("binary-op", 1.0, burst=2.0)
+        requests = _auth_requests()  # 3 requests > 2-token capacity
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            responses = client.submit_many(requests)
+        assert all(isinstance(r, ThrottledResponse) for r in responses)
+        assert responses[0].reason == "batch-exceeds-burst"
+        # Splitting below the burst succeeds (after the advertised wait).
+        assert responses[0].retry_after_s == pytest.approx(2.0)
+
+    def test_binary_codec_requires_api_key_and_known_codec(self):
+        with pytest.raises(ValueError, match="api_key"):
+            ServiceClient(codec="binary")
+        with pytest.raises(ValueError, match="codec"):
+            ServiceClient(codec="msgpack")
+
+    def test_mixed_batches_fall_back_to_json_transparently(self, v2):
+        server, api_key = v2
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            responses = client.submit_many(
+                [
+                    EnrollRequest(
+                        user_id="mix", matrix=matrix("mix", 0.5, n=12, seed=5), train=False
+                    ),
+                    _auth_requests()[0],
+                ]
+            )
+        assert isinstance(responses[0], EnrollResponse)
+        assert isinstance(responses[1], AuthenticationResponse)
+
+
+class TestBinaryStreaming:
+    def test_streamed_upload_matches_submit_many(self, frontend, v2):
+        server, api_key = v2
+        requests = _auth_requests()
+        local = frontend.submit_many(requests)
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            streamed = client.submit_stream(iter(requests), chunk_windows=4)
+        assert len(streamed) == len(requests)
+        for reference, response in zip(local, streamed):
+            np.testing.assert_array_equal(response.scores, reference.scores)
+            np.testing.assert_array_equal(response.accepted, reference.accepted)
+
+    def test_stream_cuts_frames_on_operation_change(self, v2):
+        server, api_key = v2
+        requests = [
+            EnrollRequest(
+                user_id="s1", matrix=matrix("s1", 0.0, n=12, seed=6), train=False
+            ),
+            _auth_requests()[0],
+        ]
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            responses = client.submit_stream(iter(requests), chunk_windows=1000)
+        assert isinstance(responses[0], EnrollResponse)
+        assert isinstance(responses[1], AuthenticationResponse)
+
+    def test_server_dispatches_frames_before_the_upload_completes(self, v2):
+        """Bounded server memory: frame 1 dispatches while frame 2 is unsent."""
+        server, api_key = v2
+        requests = _auth_requests()
+        dispatched_early = []
+
+        class Watching:
+            def __iter__(self):
+                # The frame holding request 0 is encoded and sent once
+                # request 1 is pulled (the chunk boundary), so by the time
+                # request 1 has been yielded the server holds a complete
+                # frame while the upload is still in flight.
+                for index, request in enumerate(requests):
+                    yield request
+                    if index == 1:
+                        deadline = 100
+                        while deadline:
+                            if server.telemetry.counter_value(
+                                "transport.binary_frames"
+                            ) >= 1:
+                                dispatched_early.append(True)
+                                break
+                            deadline -= 1
+                            threading.Event().wait(0.02)
+
+        with ServiceClient(port=server.port, api_key=api_key, codec="binary") as client:
+            responses = client.submit_stream(Watching(), chunk_windows=4)
+        assert len(responses) == len(requests)
+        assert dispatched_early == [True]
+
+    def test_stream_requires_binary_codec(self, v2):
+        server, api_key = v2
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            with pytest.raises(ValueError, match="binary"):
+                client.submit_stream(iter(_auth_requests()))
+
+
+class TestConnectionPool:
+    def test_pooled_client_serves_concurrent_submitters(self, frontend, v2):
+        server, api_key = v2
+        requests = _auth_requests()
+        local = frontend.submit_many(requests)
+        results = {}
+        with ServiceClient(
+            port=server.port, api_key=api_key, codec="binary", pool_size=4
+        ) as client:
+            def work(slot):
+                results[slot] = client.submit_many(requests)
+
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(client._idle) >= 2  # the pool actually fanned out
+        for slot in range(8):
+            for reference, response in zip(local, results[slot]):
+                np.testing.assert_array_equal(response.scores, reference.scores)
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ValueError, match="pool_size"):
+            ServiceClient(pool_size=0)
+
+
+class TestChunkedBodyReader:
+    def _read_all(self, reader):
+        parts = []
+        while True:
+            chunk = reader.read(65536)
+            if not chunk:
+                return b"".join(parts)
+            parts.append(chunk)
+
+    def test_complete_chunked_body_decodes(self):
+        import io
+
+        from repro.service.transport import _ChunkedBodyReader
+
+        body = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+        reader = _ChunkedBodyReader(io.BytesIO(body))
+        assert self._read_all(reader) == b"hello world"
+
+    def test_truncation_at_a_chunk_boundary_raises(self):
+        """A stream missing its terminal 0-chunk is torn, not complete."""
+        import io
+
+        from repro.service.transport import _ChunkedBodyReader
+
+        reader = _ChunkedBodyReader(io.BytesIO(b"5\r\nhello\r\n"))
+        assert reader.read(65536) == b"hello"
+        with pytest.raises(ValueError, match="terminal chunk"):
+            reader.read(65536)
+
+    def test_truncation_inside_a_chunk_raises(self):
+        import io
+
+        from repro.service.transport import _ChunkedBodyReader
+
+        reader = _ChunkedBodyReader(io.BytesIO(b"ff\r\nshort"))
+        with pytest.raises(ValueError, match="truncated chunk"):
+            self._read_all(reader)
+
+
+class TestStreamAbort:
+    def test_tear_after_executed_frames_delivers_their_responses(self, v2):
+        """A mid-stream tear must not lose responses of dispatched frames."""
+        import http.client
+
+        from repro.service import wirebin
+
+        server, api_key = v2
+        frame = wirebin.encode_request_frame(
+            _auth_requests()[:1], api_key=api_key, frame_id="f-tear"
+        )
+        connection = http.client.HTTPConnection("127.0.0.1", server.port)
+        connection.putrequest("POST", "/v2/requests")
+        connection.putheader("Content-Type", wirebin.CONTENT_TYPE)
+        connection.putheader("Transfer-Encoding", "chunked")
+        connection.endheaders()
+        connection.send(f"{len(frame):X}\r\n".encode() + frame + b"\r\n")
+        connection.sock.shutdown(1)  # die before the terminal chunk
+        response = connection.getresponse()
+        assert response.status == 200
+        frames = wirebin.decode_response_frames(response.read())
+        assert len(frames) == 2
+        assert frames[0].frame_id == "f-tear"
+        assert all(
+            isinstance(r, AuthenticationResponse) for r in frames[0].to_responses()
+        )
+        assert frames[1].error is not None
+        assert "aborted after 1 dispatched frame" in frames[1].error.message
+        connection.close()
+
+    def test_tear_before_any_frame_stays_a_typed_400(self, v2):
+        import http.client
+
+        from repro.service import wirebin
+
+        server, _ = v2
+        connection = http.client.HTTPConnection("127.0.0.1", server.port)
+        connection.putrequest("POST", "/v2/requests")
+        connection.putheader("Content-Type", wirebin.CONTENT_TYPE)
+        connection.putheader("Transfer-Encoding", "chunked")
+        connection.endheaders()
+        connection.send(b"4\r\nRBC1\r\n")  # a torn prelude, then death
+        connection.sock.shutdown(1)
+        response = connection.getresponse()
+        assert response.status == 400
+        payload = json.loads(response.read().decode("utf-8"))
+        assert payload["kind"] == "error-response"
+        connection.close()
+
+
+class TestPoolDraining:
+    def test_close_also_drops_connections_returned_by_inflight_calls(self):
+        class FakeConnection:
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        client = ServiceClient(pool_size=2)
+        inflight = FakeConnection()
+        client.close()
+        client._push_idle(inflight)  # an exchange returning after close()
+        assert inflight.closed
+        assert client._connection is None

@@ -186,6 +186,53 @@ def envelope_fixtures() -> dict[str, str]:
     }
 
 
+def binary_fixtures() -> dict[str, bytes]:
+    """Canonical binary columnar frames, name → exact frame bytes.
+
+    The binary codec is a wire contract exactly like the JSON one: field
+    order in the header, section order and padding in the payload, and the
+    little-endian dtypes are all pinned here byte-for-byte.
+    """
+    from repro.service import wirebin
+    from repro.service.protocol import ColumnarAuthResult
+
+    auth_requests = [
+        AuthenticateRequest(
+            user_id="alice",
+            features=np.array([[0.5, -1.25], [3.0, 0.0]]),
+            contexts=(CoarseContext.STATIONARY, CoarseContext.MOVING),
+            version=3,
+        ),
+        AuthenticateRequest(
+            user_id="bob",
+            features=np.array([[1.0, 2.0]]),
+            contexts=(CoarseContext.MOVING,),
+        ),
+    ]
+    enroll_requests = [
+        EnrollRequest(user_id="alice", matrix=_matrix(), train=False),
+    ]
+    columnar = ColumnarAuthResult(
+        user_ids=("alice", "bob"),
+        scores=np.array([1.5, -0.25, 0.75]),
+        accepted=np.array([True, False, True]),
+        model_context_codes=np.array([0, 1, 1], dtype=np.int8),
+        lengths=np.array([2, 1]),
+        model_versions=np.array([3, 1]),
+    )
+    return {
+        "frame-authenticate": wirebin.encode_request_frame(
+            auth_requests, api_key="fixture-api-key", frame_id="frame-0001"
+        ),
+        "frame-enroll": wirebin.encode_request_frame(
+            enroll_requests, api_key="fixture-api-key", frame_id="frame-0002"
+        ),
+        "frame-response-authenticate": wirebin.encode_columnar_response(
+            columnar, frame_id="frame-0001", caller_id="device-gw"
+        ),
+    }
+
+
 def all_fixtures() -> dict[str, str]:
     return {**v1_request_fixtures(), **v1_response_fixtures(), **envelope_fixtures()}
 
@@ -227,11 +274,65 @@ def test_golden_envelopes_still_parse():
         assert dumps_sealed(sealed) == fixtures[name]
 
 
+@pytest.mark.parametrize("name", sorted(binary_fixtures()))
+def test_binary_frame_matches_golden_fixture_byte_for_byte(name):
+    fixture_path = FIXTURE_DIR / f"{name}.bin"
+    assert fixture_path.is_file(), (
+        f"missing golden fixture {fixture_path}; regenerate deliberately with "
+        "PYTHONPATH=src python tests/unit/test_wire_fixtures.py --regenerate"
+    )
+    assert binary_fixtures()[name] == fixture_path.read_bytes(), (
+        f"binary frame {name!r} drifted from its golden fixture — this breaks "
+        "deployed binary-codec clients; if the change is deliberate, "
+        "regenerate the fixtures and document the wire change"
+    )
+
+
+def test_golden_binary_request_frames_still_parse():
+    from repro.service import wirebin
+
+    frame = wirebin.decode_request_frame(
+        (FIXTURE_DIR / "frame-authenticate.bin").read_bytes()
+    )
+    assert frame.op == "authenticate"
+    assert frame.user_ids == ("alice", "bob")
+    assert frame.n_windows == 3
+    # The decoded requests carry the same JSON wire form as hand-built ones.
+    expected = [
+        AuthenticateRequest(
+            user_id="alice",
+            features=np.array([[0.5, -1.25], [3.0, 0.0]]),
+            contexts=(CoarseContext.STATIONARY, CoarseContext.MOVING),
+            version=3,
+        ),
+        AuthenticateRequest(
+            user_id="bob",
+            features=np.array([[1.0, 2.0]]),
+            contexts=(CoarseContext.MOVING,),
+        ),
+    ]
+    assert [dumps_request(request) for request in frame.to_requests()] == [
+        dumps_request(request) for request in expected
+    ]
+    enroll = wirebin.decode_request_frame(
+        (FIXTURE_DIR / "frame-enroll.bin").read_bytes()
+    )
+    assert dumps_request(enroll.to_requests()[0]) == all_fixtures()["request-enroll"]
+    (response,) = wirebin.decode_response_frames(
+        (FIXTURE_DIR / "frame-response-authenticate.bin").read_bytes()
+    )
+    assert response.frame_id == "frame-0001"
+    assert len(response.to_responses()) == 2
+
+
 def _regenerate() -> None:
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
     for name, text in all_fixtures().items():
         (FIXTURE_DIR / f"{name}.json").write_text(text, encoding="utf-8")
         print(f"wrote {FIXTURE_DIR / f'{name}.json'}")
+    for name, data in binary_fixtures().items():
+        (FIXTURE_DIR / f"{name}.bin").write_bytes(data)
+        print(f"wrote {FIXTURE_DIR / f'{name}.bin'}")
 
 
 if __name__ == "__main__":
