@@ -37,11 +37,12 @@ import secrets
 import threading
 import uuid
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from time import monotonic
+from dataclasses import dataclass, field, replace
+from time import monotonic, perf_counter
 from typing import Any, Mapping, Sequence
 
 from repro.service.frontend import ServiceFrontend
+from repro.service.tracing import SPAN_ADMISSION, TraceContext
 from repro.service.protocol import (
     ErrorResponse,
     Request,
@@ -124,6 +125,10 @@ class Envelope:
         execute once.
     api_version:
         The protocol revision the caller speaks (currently only ``2``).
+    trace_id:
+        Optional client-supplied trace id: a caller that wants its request
+        traced end-to-end supplies one here (or via the ``X-Trace-Id``
+        header on HTTP) and gets it echoed on the sealed response.
     """
 
     request: Request
@@ -131,6 +136,7 @@ class Envelope:
     request_id: str = field(default_factory=new_request_id)
     idempotency_key: str | None = None
     api_version: int = API_VERSION
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         request_kind(self.request)  # raises TypeError on non-protocol input
@@ -185,6 +191,10 @@ class SealedResponse:
     replayed:
         True when this response was served from the idempotency record of
         an earlier envelope sharing the same key.
+    trace_id:
+        The trace covering this exchange, echoed so the caller can match
+        its own records against the server-side trace events (``None``
+        when the request was untraced).
     """
 
     response: Response | DeniedResponse
@@ -192,6 +202,7 @@ class SealedResponse:
     api_version: int = API_VERSION
     caller_id: str | None = None
     replayed: bool = False
+    trace_id: str | None = None
 
     @property
     def denied(self) -> bool:
@@ -634,6 +645,9 @@ class EnvelopeProcessor:
         )
         self.channel = channel if channel is not None else frontend
         self.telemetry = frontend.telemetry
+        # Set by the transport / fleet when request tracing is enabled;
+        # ``None`` keeps admission byte-identical to the untraced path.
+        self.tracer: Any | None = None
         self.idempotency_capacity = idempotency_capacity
         self._idempotent: "OrderedDict[tuple[str, str], Response]" = OrderedDict()
         # Keys whose operation is currently executing: a concurrent retry
@@ -811,6 +825,74 @@ class EnvelopeProcessor:
             event.set()
 
     # ------------------------------------------------------------------ #
+    # tracing hooks
+    # ------------------------------------------------------------------ #
+
+    def _start_trace(self, envelope: Envelope) -> tuple[TraceContext | None, bool]:
+        """``(trace, owned)`` for one envelope entering the processor.
+
+        A trace the transport already bound to the wrapped request is
+        reused (the transport owns its lifecycle); otherwise one is minted
+        here — adopting the envelope's client-supplied ``trace_id`` when
+        present — and this processor owns finishing it.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return None, False
+        trace = tracer.trace_for(envelope.request)
+        if trace is not None:
+            return trace, False
+        trace = tracer.start(
+            "envelope",
+            trace_id=envelope.trace_id,
+            request_id=envelope.request_id,
+            user_id=getattr(envelope.request, "user_id", None),
+        )
+        if trace is None:
+            return None, False
+        tracer.bind(envelope.request, trace)
+        return trace, True
+
+    def _admit_traced(
+        self,
+        envelope: Envelope,
+        plane: str | None,
+        trace: TraceContext | None,
+        authorize: Any | None = None,
+    ) -> tuple[SealedResponse | None, CallerRecord | None]:
+        """:meth:`_admit` with the admission span recorded on *trace*."""
+        if trace is None:
+            return self._admit(envelope, plane, authorize=authorize)
+        started = perf_counter()
+        sealed, caller = self._admit(envelope, plane, authorize=authorize)
+        trace.add_span(SPAN_ADMISSION, perf_counter() - started)
+        if caller is not None:
+            trace.caller_id = caller.caller_id
+        return sealed, caller
+
+    @staticmethod
+    def _seal_outcome(
+        sealed: SealedResponse, trace: TraceContext | None
+    ) -> SealedResponse:
+        """Annotate *trace* with the sealed outcome and echo its id."""
+        if trace is None:
+            return sealed
+        if sealed.caller_id is not None:
+            trace.caller_id = sealed.caller_id
+        response = sealed.response
+        if isinstance(response, DeniedResponse):
+            trace.annotate(error=response.code)
+        elif isinstance(response, ErrorResponse):
+            trace.annotate(error=response.error)
+        elif isinstance(response, ThrottledResponse):
+            trace.annotate(error=response.reason)
+        if sealed.replayed:
+            trace.annotate(replayed=True)
+        if sealed.trace_id is None:
+            sealed = replace(sealed, trace_id=trace.trace_id)
+        return sealed
+
+    # ------------------------------------------------------------------ #
     # processing
     # ------------------------------------------------------------------ #
 
@@ -826,35 +908,49 @@ class EnvelopeProcessor:
             restriction, ``None`` to infer from the request type (the
             in-process channel's behaviour).
         """
-        sealed, caller = self._admit(envelope, plane)
-        if sealed is not None:
-            return sealed
-        if envelope.idempotency_key is None:
-            return SealedResponse(
-                response=self._dispatch(envelope.request),
-                request_id=envelope.request_id,
-                caller_id=caller.caller_id,
-            )
-        key = (caller.caller_id, envelope.idempotency_key)
-        recorded = self._reserve(key)
-        if recorded is not None:
-            self.telemetry.increment("envelope.replayed")
-            return SealedResponse(
-                response=recorded,
-                request_id=envelope.request_id,
-                caller_id=caller.caller_id,
-                replayed=True,
-            )
-        response: Response | None = None
+        trace, owned = self._start_trace(envelope)
         try:
-            response = self._dispatch(envelope.request)
+            sealed, caller = self._admit_traced(envelope, plane, trace)
+            if sealed is not None:
+                return self._seal_outcome(sealed, trace)
+            if envelope.idempotency_key is None:
+                return self._seal_outcome(
+                    SealedResponse(
+                        response=self._dispatch(envelope.request),
+                        request_id=envelope.request_id,
+                        caller_id=caller.caller_id,
+                    ),
+                    trace,
+                )
+            key = (caller.caller_id, envelope.idempotency_key)
+            recorded = self._reserve(key)
+            if recorded is not None:
+                self.telemetry.increment("envelope.replayed")
+                return self._seal_outcome(
+                    SealedResponse(
+                        response=recorded,
+                        request_id=envelope.request_id,
+                        caller_id=caller.caller_id,
+                        replayed=True,
+                    ),
+                    trace,
+                )
+            response: Response | None = None
+            try:
+                response = self._dispatch(envelope.request)
+            finally:
+                self._finish(key, response)
+            return self._seal_outcome(
+                SealedResponse(
+                    response=response,
+                    request_id=envelope.request_id,
+                    caller_id=caller.caller_id,
+                ),
+                trace,
+            )
         finally:
-            self._finish(key, response)
-        return SealedResponse(
-            response=response,
-            request_id=envelope.request_id,
-            caller_id=caller.caller_id,
-        )
+            if owned:
+                self.tracer.finish(trace)
 
     def _dispatch(self, request: Request) -> Response:
         if is_data_plane(request):
@@ -879,6 +975,8 @@ class EnvelopeProcessor:
         owned: dict[tuple[str, str], int] = {}  # key -> owner position
         duplicates: list[tuple[int, Envelope, CallerRecord, int]] = []
         responses_by_index: dict[int, Response] = {}
+        traces: dict[int, TraceContext] = {}
+        owned_traces: list[TraceContext] = []
 
         # A fleet batch is typically hundreds of envelopes under ONE
         # credential: authorize each (api_key, scope) pair once, replay the
@@ -909,11 +1007,16 @@ class EnvelopeProcessor:
 
         try:
             for index, envelope in enumerate(envelopes):
-                short_circuit, caller = self._admit(
-                    envelope, plane, authorize=batch_authorize
+                trace, trace_owned = self._start_trace(envelope)
+                if trace is not None:
+                    traces[index] = trace
+                    if trace_owned:
+                        owned_traces.append(trace)
+                short_circuit, caller = self._admit_traced(
+                    envelope, plane, trace, authorize=batch_authorize
                 )
                 if short_circuit is not None:
-                    sealed[index] = short_circuit
+                    sealed[index] = self._seal_outcome(short_circuit, trace)
                     continue
                 if envelope.idempotency_key is None:
                     dispatch.append((index, envelope, caller))
@@ -928,11 +1031,14 @@ class EnvelopeProcessor:
                 recorded = self._reserve(key)
                 if recorded is not None:
                     self.telemetry.increment("envelope.replayed")
-                    sealed[index] = SealedResponse(
-                        response=recorded,
-                        request_id=envelope.request_id,
-                        caller_id=caller.caller_id,
-                        replayed=True,
+                    sealed[index] = self._seal_outcome(
+                        SealedResponse(
+                            response=recorded,
+                            request_id=envelope.request_id,
+                            caller_id=caller.caller_id,
+                            replayed=True,
+                        ),
+                        trace,
                     )
                     continue
                 owned[key] = index
@@ -943,19 +1049,25 @@ class EnvelopeProcessor:
                 )
                 for (index, envelope, caller), response in zip(dispatch, responses):
                     responses_by_index[index] = response
-                    sealed[index] = SealedResponse(
-                        response=response,
-                        request_id=envelope.request_id,
-                        caller_id=caller.caller_id,
+                    sealed[index] = self._seal_outcome(
+                        SealedResponse(
+                            response=response,
+                            request_id=envelope.request_id,
+                            caller_id=caller.caller_id,
+                        ),
+                        traces.get(index),
                     )
             for index, envelope, caller, owner_index in duplicates:
                 response = responses_by_index[owner_index]
                 self.telemetry.increment("envelope.replayed")
-                sealed[index] = SealedResponse(
-                    response=response,
-                    request_id=envelope.request_id,
-                    caller_id=caller.caller_id,
-                    replayed=True,
+                sealed[index] = self._seal_outcome(
+                    SealedResponse(
+                        response=response,
+                        request_id=envelope.request_id,
+                        caller_id=caller.caller_id,
+                        replayed=True,
+                    ),
+                    traces.get(index),
                 )
         finally:
             # Release every owned key whether dispatch succeeded or not; a
@@ -970,6 +1082,8 @@ class EnvelopeProcessor:
                     self.callers.record_denied(count=count)
                 else:
                     self.callers.record_usage(outcome, count=count)
+            for trace in owned_traces:
+                self.tracer.finish(trace)
         return sealed  # type: ignore[return-value]
 
 
@@ -1048,8 +1162,13 @@ DENIED_KIND = "denied-response"
 
 
 def envelope_to_payload(envelope: Envelope) -> dict[str, Any]:
-    """Serialise an envelope into a plain tagged structure."""
-    return {
+    """Serialise an envelope into a plain tagged structure.
+
+    ``trace_id`` is emitted only when set: readers tolerate the extra key,
+    and untraced envelopes stay byte-identical to the pre-tracing wire
+    form (pinned golden fixtures).
+    """
+    payload = {
         "kind": ENVELOPE_KIND,
         "api_version": int(envelope.api_version),
         "request_id": envelope.request_id,
@@ -1057,6 +1176,9 @@ def envelope_to_payload(envelope: Envelope) -> dict[str, Any]:
         "api_key": envelope.api_key,
         "request": request_to_payload(envelope.request),
     }
+    if envelope.trace_id is not None:
+        payload["trace_id"] = envelope.trace_id
+    return payload
 
 
 def envelope_from_payload(payload: Mapping[str, Any]) -> Envelope:
@@ -1091,6 +1213,7 @@ def envelope_from_payload(payload: Mapping[str, Any]) -> Envelope:
         request_id=request_id,
         idempotency_key=payload.get("idempotency_key"),
         api_version=api_version,
+        trace_id=payload.get("trace_id"),
     )
 
 
@@ -1106,7 +1229,7 @@ def sealed_to_payload(sealed: SealedResponse) -> dict[str, Any]:
         }
     else:
         inner = response_to_payload(sealed.response)
-    return {
+    payload = {
         "kind": SEALED_KIND,
         "api_version": int(sealed.api_version),
         "request_id": sealed.request_id,
@@ -1114,6 +1237,9 @@ def sealed_to_payload(sealed: SealedResponse) -> dict[str, Any]:
         "replayed": bool(sealed.replayed),
         "response": inner,
     }
+    if sealed.trace_id is not None:
+        payload["trace_id"] = sealed.trace_id
+    return payload
 
 
 def sealed_from_payload(payload: Mapping[str, Any]) -> SealedResponse:
@@ -1155,6 +1281,7 @@ def sealed_from_payload(payload: Mapping[str, Any]) -> SealedResponse:
         api_version=int(payload.get("api_version", API_VERSION)),
         caller_id=payload.get("caller_id"),
         replayed=bool(payload.get("replayed", False)),
+        trace_id=payload.get("trace_id"),
     )
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Any, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -267,6 +267,10 @@ class FleetSimulator:
         rounds and registry queries still go through the local *gateway*
         (the simulator is the operator, not a device), so the gateway must
         be the same one a remote channel serves.
+    tracer:
+        Optional :class:`~repro.service.tracing.Tracer` wired through the
+        in-process serving path (processor, frontend, gateway) so lifecycle
+        requests export per-request trace events.
 
     Raises
     ------
@@ -280,6 +284,7 @@ class FleetSimulator:
         gateway: AuthenticationGateway | None = None,
         frontend: ServiceFrontend | None = None,
         channel: RequestChannel | None = None,
+        tracer: Any | None = None,
     ) -> None:
         self.config = config or FleetConfig()
         if frontend is not None:
@@ -323,6 +328,14 @@ class FleetSimulator:
             "fleet-operator", (SCOPE_DATA_WRITE, SCOPE_ADMIN)
         )
         self.processor = EnvelopeProcessor(self.frontend, callers=self.callers)
+        # One tracer spans the in-process serving path end to end: the
+        # processor starts envelope traces, the frontend/gateway add their
+        # stage spans to the same contexts.
+        self.tracer = tracer
+        if tracer is not None:
+            self.processor.tracer = tracer
+            self.frontend.tracer = tracer
+            self.frontend.gateway.tracer = tracer
         self.channel: RequestChannel = (
             channel
             if channel is not None

@@ -42,7 +42,8 @@ import queue
 import threading
 import weakref
 from concurrent.futures import Future
-from time import monotonic
+from itertools import count
+from time import monotonic, perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -69,6 +70,7 @@ from repro.service.protocol import (
     request_kind,
 )
 from repro.service.telemetry import TelemetryHub
+from repro.service.tracing import SPAN_FUSED_PASS, SPAN_QUEUE_WAIT
 
 
 class ServiceFrontend:
@@ -101,6 +103,12 @@ class ServiceFrontend:
         self.telemetry = telemetry if telemetry is not None else self.gateway.telemetry
         self.stack_cache = stack_cache if stack_cache is not None else FusedStackCache()
         self._stack_generation = self.gateway.registry.generation
+        # Set by the transport / fleet when request tracing is enabled;
+        # ``None`` keeps the scoring hot path byte-identical to untraced.
+        self.tracer = None
+        # Monotonic flush ids tag which coalesced pass served each traced
+        # request (batch-membership attribution across concurrent flushes).
+        self._flush_ids = count(1)
         # Weak-valued, so the table stays bounded by *in-flight* users
         # rather than growing one entry per user id ever seen (including
         # attacker-controlled ids that only ever produce ErrorResponses):
@@ -274,6 +282,10 @@ class ServiceFrontend:
                     lock.release()
 
     def _score_columns(self, columns: AuthenticateColumns) -> ColumnarAuthResult:
+        # The columnar batch was rebuilt from wire bytes, so its trace (if
+        # any) travels as an id field rather than an object binding.
+        tracer = self.tracer
+        trace = tracer.lookup(columns.trace_id) if tracer is not None else None
         n_requests = columns.n_requests
         user_ids = columns.user_ids
         lengths = columns.lengths
@@ -350,12 +362,15 @@ class ServiceFrontend:
         #    bad request cannot poison its neighbours.
         self._refresh_stack_cache()
         hits, misses = self.stack_cache.hits, self.stack_cache.misses
+        fused_started = perf_counter() if trace is not None else 0.0
+        fused = True
         try:
             with self.telemetry.timer("authenticate"):
                 stacked_result = score_stacked(
                     scorers, stacked, live_lengths, live_codes, self.stack_cache
                 )
         except Exception:
+            fused = False
             scores, accepted, model_codes = self._score_columns_fallback(
                 live,
                 scorers,
@@ -375,12 +390,21 @@ class ServiceFrontend:
             model_versions[live] = stacked_result.model_versions
             self.telemetry.increment("frontend.coalesced_batches")
             self.telemetry.increment("frontend.coalesced_windows", len(scores))
-        self.telemetry.increment(
-            "frontend.stack_cache.hits", self.stack_cache.hits - hits
-        )
-        self.telemetry.increment(
-            "frontend.stack_cache.misses", self.stack_cache.misses - misses
-        )
+        cache_hits = self.stack_cache.hits - hits
+        cache_misses = self.stack_cache.misses - misses
+        self.telemetry.increment("frontend.stack_cache.hits", cache_hits)
+        self.telemetry.increment("frontend.stack_cache.misses", cache_misses)
+        if trace is not None:
+            trace.add_span(
+                SPAN_FUSED_PASS,
+                perf_counter() - fused_started,
+                flush_id=next(self._flush_ids),
+                batch_size=len(live),
+                windows=int(len(scores)),
+                coalesced=fused,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+            )
         self.gateway.record_decision_counts(
             len(scores), int(np.count_nonzero(accepted))
         )
@@ -459,6 +483,14 @@ class ServiceFrontend:
                     lock.release()
 
     def _score_batch(self, batch: Sequence[AuthenticateRequest]) -> list[Response]:
+        # Object requests carry traces by identity binding (they cross the
+        # micro-batch queue as the same frozen object).
+        tracer = self.tracer
+        traces = None
+        if tracer is not None:
+            traces = [tracer.trace_for(request) for request in batch]
+            if not any(trace is not None for trace in traces):
+                traces = None
         responses: list[Response | None] = [None] * len(batch)
 
         # 1. Context detection for every request that did not report
@@ -525,6 +557,7 @@ class ServiceFrontend:
             )
             self._refresh_stack_cache()
             hits, misses = self.stack_cache.hits, self.stack_cache.misses
+            fused_started = perf_counter() if traces is not None else 0.0
             try:
                 with self.telemetry.timer("authenticate"):
                     results = score_requests(
@@ -548,12 +581,25 @@ class ServiceFrontend:
                         )
             if coalesced:
                 self.telemetry.increment("frontend.coalesced_batches")
-            self.telemetry.increment(
-                "frontend.stack_cache.hits", self.stack_cache.hits - hits
-            )
-            self.telemetry.increment(
-                "frontend.stack_cache.misses", self.stack_cache.misses - misses
-            )
+            cache_hits = self.stack_cache.hits - hits
+            cache_misses = self.stack_cache.misses - misses
+            self.telemetry.increment("frontend.stack_cache.hits", cache_hits)
+            self.telemetry.increment("frontend.stack_cache.misses", cache_misses)
+            if traces is not None:
+                fused_s = perf_counter() - fused_started
+                flush_id = next(self._flush_ids)
+                for index in live:
+                    request_trace = traces[index]
+                    if request_trace is not None:
+                        request_trace.add_span(
+                            SPAN_FUSED_PASS,
+                            fused_s,
+                            flush_id=flush_id,
+                            batch_size=len(live),
+                            coalesced=coalesced,
+                            cache_hits=cache_hits,
+                            cache_misses=cache_misses,
+                        )
             for index, result in zip(live, results):
                 if result is None:
                     continue
@@ -833,10 +879,16 @@ class MicroBatchQueue:
             if not claimed:
                 continue
             drained_at = monotonic()
-            for _, _, enqueued_at in claimed:
-                self.frontend.telemetry.record(
-                    "frontend.queue_wait", drained_at - enqueued_at
-                )
+            tracer = self.frontend.tracer
+            for request, _, enqueued_at in claimed:
+                wait_s = drained_at - enqueued_at
+                self.frontend.telemetry.record("frontend.queue_wait", wait_s)
+                if tracer is not None:
+                    trace = tracer.trace_for(request)
+                    if trace is not None:
+                        trace.add_span(
+                            SPAN_QUEUE_WAIT, wait_s, batch_size=len(claimed)
+                        )
             try:
                 responses = self.frontend.submit_many(
                     [request for request, _, _ in claimed]

@@ -232,6 +232,9 @@ class AuthenticationGateway:
         # remains the plane-agnostic in-process facade.
         self.data_plane = DataPlane(self)
         self.control_plane = ControlPlane(self)
+        # Set by the transport / fleet when request tracing is enabled;
+        # ``None`` keeps dispatch byte-identical to the untraced path.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # protocol dispatch
@@ -268,6 +271,12 @@ class AuthenticationGateway:
         :class:`~repro.service.protocol.ErrorResponse` is the frontend
         middleware's job.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            trace = tracer.trace_for(request)
+            if trace is not None:
+                with trace.span("gateway", kind=request_kind(request)):
+                    return self.plane_for(request).handle(request)
         return self.plane_for(request).handle(request)
 
     # ------------------------------------------------------------------ #

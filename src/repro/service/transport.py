@@ -87,7 +87,7 @@ import threading
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from itertools import count
-from time import monotonic
+from time import monotonic, perf_counter
 from typing import Any, Sequence
 
 from repro.service import wirebin
@@ -125,6 +125,15 @@ from repro.service.protocol import (
     response_from_payload,
     response_to_payload,
     request_from_payload,
+)
+from repro.service.telemetry import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.service.tracing import (
+    SPAN_ADMISSION,
+    SPAN_QUEUE_WAIT,
+    SPAN_RESPONSE_FRAMING,
+    TRACE_HEADER,
+    TraceContext,
+    Tracer,
 )
 from repro.utils import serialization
 
@@ -206,19 +215,68 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_response(self, response: Response) -> None:
+    def _send_response(
+        self, response: Response, trace: TraceContext | None = None
+    ) -> None:
         headers = {}
         if isinstance(response, ThrottledResponse):
             headers["Retry-After"] = str(max(1, round(response.retry_after_s + 0.5)))
-        self._send_json(status_for_response(response), dumps_response(response), headers)
+        if trace is None:
+            self._send_json(
+                status_for_response(response), dumps_response(response), headers
+            )
+            return
+        headers[TRACE_HEADER] = trace.trace_id
+        started = perf_counter()
+        body = dumps_response(response)
+        trace.add_span(SPAN_RESPONSE_FRAMING, perf_counter() - started)
+        # Finish (and export) before the socket write so a client that saw
+        # the response is guaranteed to find the trace event exported.
+        self.server.tracer.finish(trace)
+        self._send_json(status_for_response(response), body, headers)
 
-    def _send_sealed(self, sealed: SealedResponse) -> None:
+    def _send_sealed(
+        self, sealed: SealedResponse, trace: TraceContext | None = None
+    ) -> None:
         headers = {}
         if isinstance(sealed.response, ThrottledResponse):
             headers["Retry-After"] = str(
                 max(1, round(sealed.response.retry_after_s + 0.5))
             )
-        self._send_json(status_for_sealed(sealed), dumps_sealed(sealed), headers)
+        if trace is None:
+            self._send_json(status_for_sealed(sealed), dumps_sealed(sealed), headers)
+            return
+        headers[TRACE_HEADER] = trace.trace_id
+        started = perf_counter()
+        body = dumps_sealed(sealed)
+        trace.add_span(SPAN_RESPONSE_FRAMING, perf_counter() - started)
+        self.server.tracer.finish(trace)
+        self._send_json(status_for_sealed(sealed), body, headers)
+
+    def _start_http_trace(
+        self,
+        request: Request,
+        trace_id: str | None = None,
+        request_id: str | None = None,
+    ) -> TraceContext | None:
+        """Mint (or adopt) a trace at the HTTP door and bind it to *request*.
+
+        The ``X-Trace-Id`` header wins over an envelope-supplied id; either
+        marks the trace client-requested (always sampled).  The transport
+        owns the returned trace: it finishes it after response framing.
+        """
+        tracer = self.server.tracer
+        if tracer is None:
+            return None
+        trace = tracer.start(
+            "http",
+            trace_id=self.headers.get(TRACE_HEADER) or trace_id,
+            request_id=request_id,
+            user_id=getattr(request, "user_id", None),
+        )
+        if trace is not None:
+            tracer.bind(request, trace)
+        return trace
 
     def _client_error(self, kind: str, error: Exception) -> ErrorResponse:
         self.server.telemetry.increment("transport.client_errors")
@@ -234,6 +292,17 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.path == HEALTH_PATH:
             self._send_json(200, json.dumps(self.server.health(), sort_keys=True))
         elif self.path == METRICS_PATH:
+            accept = (self.headers.get("Accept") or "").lower()
+            if "text/plain" in accept:
+                # Prometheus text exposition via content negotiation; the
+                # default JSON snapshot below stays byte-for-byte unchanged.
+                payload = render_prometheus(self.server.telemetry).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+                return
             snapshot = self.server.telemetry.snapshot()
             snapshot["callers"] = self.server.callers.snapshot()
             self._send_json(200, serialization.dumps(snapshot))
@@ -324,6 +393,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:
             self._send_response(self._client_error(kind, error))
             return
+        trace = self._start_http_trace(request)
         try:
             # Legacy payloads ride in a default-caller envelope, so the v1
             # endpoint shares the processor's dispatch path (and telemetry)
@@ -334,7 +404,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             response = ErrorResponse(
                 request_kind=kind, error=type(error).__name__, message=str(error)
             )
-        self._send_response(response)
+        self._send_response(response, trace)
 
     # ------------------------------------------------------------------ #
     # the v2 (enveloped) endpoints
@@ -372,6 +442,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:
             self._send_response(self._client_error("envelope", error))
             return
+        trace = self._start_http_trace(
+            envelope.request,
+            trace_id=envelope.trace_id,
+            request_id=envelope.request_id,
+        )
         try:
             sealed = self.server.processor.process(envelope, plane=plane)
         except Exception as error:  # defensive: the processor maps errors
@@ -384,7 +459,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 ),
                 request_id=envelope.request_id,
             )
-        self._send_sealed(sealed)
+        self._send_sealed(sealed, trace)
 
     def _handle_v2_batch(self, payloads: list, plane: str) -> None:
         limit = self.server.max_batch_items
@@ -469,12 +544,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             read = _BoundedBodyReader(
                 self.rfile, int(self.headers.get("Content-Length", 0) or 0)
             ).read
+        client_trace_id = self.headers.get(TRACE_HEADER)
         frames = 0
         rejection: DeniedResponse | ThrottledResponse | None = None
         with tempfile.SpooledTemporaryFile(max_size=1 << 23) as frames_out:
             try:
                 for frame in wirebin.iter_request_frames(read):
-                    body, rejection = self.server.dispatch_frame(frame)
+                    body, rejection = self.server.dispatch_frame(
+                        frame, trace_id=client_trace_id
+                    )
                     frames += 1
                     frames_out.write(body)
             except ValueError as error:
@@ -517,6 +595,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             # mixed per-frame outcomes that one status cannot express.
             status = 200
             headers: dict[str, str] = {}
+            if client_trace_id and self.server.tracer is not None:
+                headers[TRACE_HEADER] = client_trace_id
             if frames == 1 and rejection is not None:
                 if isinstance(rejection, ThrottledResponse):
                     status = 429
@@ -760,6 +840,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         queue: MicroBatchQueue | None = None,
         max_batch_items: int | None = 4096,
         callers: CallerRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.frontend = frontend if frontend is not None else ServiceFrontend()
         if queue is not None and queue.frontend is not self.frontend:
@@ -789,6 +870,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.processor = EnvelopeProcessor(
             self.frontend, callers=self.callers, channel=_ServerChannel(self)
         )
+        self.tracer: Tracer | None = None
+        self.set_tracer(tracer)
         # Cheap sequential ids for internally wrapped legacy requests (the
         # caller never sees them; a uuid4 per /v1 request would be waste).
         self._legacy_ids = count(1)
@@ -804,6 +887,21 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         while f"{base}-{index}" in self.callers.callers():
             index += 1
         return f"{base}-{index}"
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Attach (or detach, with ``None``) a tracer to the serving path.
+
+        Wires the same tracer into every stage a request crosses — the
+        transport, the envelope processor, the frontend and its gateway —
+        so spans recorded at each layer land on one trace.  Safe to flip
+        at runtime: each stage re-reads its ``tracer`` attribute per
+        request, which the overhead benchmark relies on to compare traced
+        and untraced throughput on one warmed-up server.
+        """
+        self.tracer = tracer
+        self.processor.tracer = tracer
+        self.frontend.tracer = tracer
+        self.frontend.gateway.tracer = tracer
 
     # ------------------------------------------------------------------ #
     # dispatch (shared by single and batch endpoints)
@@ -863,7 +961,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         return [self._as_legacy_response(item) for item in sealed]
 
     def dispatch_frame(
-        self, frame: wirebin.RequestFrame
+        self, frame: wirebin.RequestFrame, trace_id: str | None = None
     ) -> tuple[bytes, "DeniedResponse | ThrottledResponse | None"]:
         """Authorize and dispatch one binary frame.
 
@@ -875,6 +973,12 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         their per-user matrices (storage appends per user anyway) and ride
         ``submit_many``.
 
+        When a tracer is attached the whole frame shares **one** trace —
+        admission, queue wait (always zero: frames never queue) and the
+        fused pass are frame-level stages — fanned out on finish into one
+        exported event per request (see ``Tracer.finish_frame``).
+        *trace_id* carries the client-supplied ``X-Trace-Id``, if any.
+
         Returns
         -------
         tuple[bytes, DeniedResponse | ThrottledResponse | None]
@@ -885,6 +989,13 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         """
         self.telemetry.increment("transport.binary_frames")
         count = frame.n_requests
+        tracer = self.tracer
+        trace = (
+            tracer.start("binary-frame", trace_id=trace_id, request_id=frame.frame_id)
+            if tracer is not None
+            else None
+        )
+        admission_started = perf_counter() if trace is not None else 0.0
         rejection: DeniedResponse | ThrottledResponse | None = None
         if self.max_batch_items is not None and count > self.max_batch_items:
             self.telemetry.increment("transport.throttled_batches")
@@ -908,22 +1019,78 @@ class ServiceHTTPServer(ThreadingHTTPServer):
             outcome = self.processor.authorize_frame(frame.api_key, frame.op, count)
             if isinstance(outcome, (DeniedResponse, ThrottledResponse)):
                 rejection = outcome
+        if trace is not None:
+            trace.add_span(
+                SPAN_ADMISSION, perf_counter() - admission_started, n_requests=count
+            )
         if rejection is not None:
+            if trace is not None:
+                trace.annotate(
+                    error=getattr(rejection, "code", None)
+                    or getattr(rejection, "reason", "rejected")
+                )
+                with trace.span(SPAN_RESPONSE_FRAMING):
+                    body = wirebin.encode_rejection_frame(
+                        frame.op, rejection, frame.frame_id, count
+                    )
+                tracer.finish(trace)
+                return body, rejection
             return (
                 wirebin.encode_rejection_frame(
                     frame.op, rejection, frame.frame_id, count
                 ),
                 rejection,
             )
+        if trace is not None:
+            trace.caller_id = outcome.caller_id
+            # Binary frames bypass the micro-batch queue entirely; record
+            # the stage explicitly so span sets stay uniform across paths.
+            trace.add_span(SPAN_QUEUE_WAIT, 0.0, queued=False)
         if frame.op == "authenticate":
-            result = self.frontend.submit_columns(frame.to_columns())
+            result = self.frontend.submit_columns(
+                frame.to_columns(
+                    trace_id=None if trace is None else trace.trace_id
+                )
+            )
+            if trace is not None:
+                with trace.span(SPAN_RESPONSE_FRAMING):
+                    body = wirebin.encode_columnar_response(
+                        result, frame.frame_id, outcome.caller_id
+                    )
+                tracer.finish_frame(
+                    trace,
+                    frame.user_ids,
+                    errors={
+                        index: error.error for index, error in result.errors.items()
+                    },
+                )
+                return body, None
             return (
                 wirebin.encode_columnar_response(
                     result, frame.frame_id, outcome.caller_id
                 ),
                 None,
             )
-        responses = self.frontend.submit_many(frame.to_requests())
+        requests = frame.to_requests()
+        if trace is not None:
+            for request in requests:
+                tracer.bind(request, trace)
+        responses = self.frontend.submit_many(requests)
+        if trace is not None:
+            with trace.span(SPAN_RESPONSE_FRAMING):
+                body = wirebin.encode_response_frame(
+                    frame.op, responses, frame.frame_id, outcome.caller_id
+                )
+            tracer.finish_frame(
+                trace,
+                frame.user_ids,
+                errors={
+                    index: response.error
+                    for index, response in enumerate(responses)
+                    if isinstance(response, ErrorResponse)
+                },
+            )
+            return body, None
         return (
             wirebin.encode_response_frame(
                 frame.op, responses, frame.frame_id, outcome.caller_id
@@ -1129,6 +1296,7 @@ class ServiceClient:
         body: bytes | None = None,
         content_type: str = "application/json",
         stream: Any | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[bytes, str]:
         """One HTTP exchange over a pooled (re-established once) connection.
 
@@ -1172,7 +1340,7 @@ class ServiceClient:
                         method,
                         path,
                         body=stream if stream is not None else body,
-                        headers={"Content-Type": content_type},
+                        headers={"Content-Type": content_type, **(headers or {})},
                     )
                 except (HTTPException, OSError) as error:
                     # Send-phase failure (stale keep-alive socket, refused
@@ -1519,6 +1687,13 @@ class ServiceClient:
         """The server's ``/metrics`` telemetry snapshot."""
         return serialization.loads(self._roundtrip("GET", METRICS_PATH))
 
+    def metrics_text(self) -> str:
+        """The server's ``/metrics`` in Prometheus text exposition format."""
+        data, _ = self._exchange(
+            "GET", METRICS_PATH, headers={"Accept": "text/plain"}
+        )
+        return data.decode("utf-8")
+
 
 # --------------------------------------------------------------------- #
 # command line
@@ -1615,6 +1790,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="token-bucket burst of the provisioned caller "
         "(0 = same as --caller-rate); size it above the largest batch",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of requests to trace end-to-end, 0..1 (0 disables "
+        "tracing entirely; client-supplied X-Trace-Id is always traced)",
+    )
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="log a WARNING with the per-stage breakdown for any traced "
+        "request slower than MS milliseconds (0 disables)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append every exported trace event as one JSON line to PATH "
+        "(in addition to the in-memory ring)",
+    )
     args = parser.parse_args(argv)
 
     if args.demo_fleet:
@@ -1642,12 +1840,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             overflow=args.overflow,
         )
     )
+    tracer = (
+        Tracer(
+            sample_rate=args.trace_sample_rate,
+            jsonl_path=args.trace_jsonl,
+            slow_request_ms=args.slow_request_ms or None,
+            telemetry=frontend.telemetry,
+        )
+        if args.trace_sample_rate > 0.0 or args.trace_jsonl
+        else None
+    )
     with ServiceHTTPServer(
         frontend,
         host=args.host,
         port=args.port,
         queue=queue,
         max_batch_items=args.max_batch_items or None,
+        tracer=tracer,
     ) as server:
         scopes = tuple(
             scope.strip() for scope in args.caller_scopes.split(",") if scope.strip()

@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) for mergeable histogram invariants.
+
+The whole point of fixed-bucket histograms is that aggregation commutes:
+snapshotting two shard workers and merging their counts must answer the
+exact same quantiles as one histogram that saw the combined stream.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.telemetry import Histogram
+
+# Positive latencies spanning the full bucket range (sub-µs to overflow).
+latencies = st.floats(
+    min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+latency_lists = st.lists(latencies, min_size=0, max_size=200)
+quantiles = st.sampled_from([0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0])
+
+
+def _filled(name, values):
+    histogram = Histogram(name)
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+@settings(max_examples=150, deadline=None)
+@given(left=latency_lists, right=latency_lists, q=quantiles)
+def test_merged_snapshots_equal_combined_histogram(left, right, q):
+    combined = _filled("combined", left + right)
+    merged = Histogram.from_snapshot(
+        "left", _filled("left", left).snapshot()
+    ).merge(Histogram.from_snapshot("right", _filled("right", right).snapshot()))
+    assert merged.bucket_counts == combined.bucket_counts
+    assert merged.count == combined.count
+    assert merged.max_seconds == combined.max_seconds
+    # Quantiles of the merged counts equal quantiles of the combined
+    # stream exactly: both reduce to the same bucket arithmetic.  (Only
+    # total_s may differ in the last ulp — float addition commutes but
+    # does not associate.)
+    assert merged.quantile(q) == combined.quantile(q)
+    assert merged.total_seconds == pytest.approx(combined.total_seconds)
+    merged_summary, combined_summary = merged.summary(), combined.summary()
+    for key in ("count", "p50_s", "p95_s", "p99_s", "max_s"):
+        assert merged_summary[key] == combined_summary[key]
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=latency_lists, q=quantiles)
+def test_merge_is_commutative_and_identity_preserving(values, q):
+    empty = Histogram("empty")
+    filled = _filled("filled", values)
+    merged = Histogram.from_snapshot("copy", filled.snapshot()).merge(empty)
+    assert merged.bucket_counts == filled.bucket_counts
+    assert merged.quantile(q) == filled.quantile(q)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=latency_lists)
+def test_snapshot_survives_json_and_quantiles_are_bounded(values):
+    histogram = _filled("op", values)
+    rebuilt = Histogram.from_snapshot(
+        "op", json.loads(json.dumps(histogram.snapshot()))
+    )
+    assert rebuilt.bucket_counts == histogram.bucket_counts
+    if values:
+        assert 0.0 <= rebuilt.quantile(50.0) <= max(values)
+        assert rebuilt.quantile(100.0) == max(values)
+    else:
+        assert rebuilt.quantile(50.0) == 0.0

@@ -76,3 +76,67 @@ def test_empty_baseline_dir_is_an_error(tmp_path):
     )
     assert checked == []
     assert any("no baselines" in problem for problem in problems)
+
+
+def test_tracing_overhead_within_bar_passes(tmp_path):
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json",
+        {"binary_traced_windows_per_s": 960.0, "binary_untraced_windows_per_s": 1000.0},
+    )
+    _write(
+        tmp_path / "BENCH_x.json",
+        {
+            "binary_traced_windows_per_s": 970.0,  # -3% vs its own twin
+            "binary_untraced_windows_per_s": 1000.0,
+        },
+    )
+    assert check_bench.check_file(tmp_path / "BENCH_x.json", baseline) == []
+
+
+def test_tracing_overhead_beyond_bar_fails(tmp_path):
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json",
+        {"binary_traced_windows_per_s": 960.0, "binary_untraced_windows_per_s": 1000.0},
+    )
+    _write(
+        tmp_path / "BENCH_x.json",
+        {
+            "binary_traced_windows_per_s": 900.0,  # -10% vs its own twin
+            "binary_untraced_windows_per_s": 1000.0,
+        },
+    )
+    problems = check_bench.check_file(tmp_path / "BENCH_x.json", baseline)
+    assert any("tracing costs" in problem for problem in problems)
+
+
+def test_tracing_gate_compares_within_the_same_run(tmp_path):
+    # A uniformly slower machine shifts both twins; the overhead gate
+    # must still pass (it measures instrumentation, not hardware).
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json",
+        {"binary_traced_windows_per_s": 960.0, "binary_untraced_windows_per_s": 1000.0},
+    )
+    _write(
+        tmp_path / "BENCH_x.json",
+        {
+            "binary_traced_windows_per_s": 850.0,
+            "binary_untraced_windows_per_s": 870.0,
+        },
+    )
+    assert (
+        check_bench.check_tracing_overhead(
+            "BENCH_x.json",
+            {
+                "binary_traced_windows_per_s": 850.0,
+                "binary_untraced_windows_per_s": 870.0,
+            },
+        )
+        == []
+    )
+
+
+def test_traced_metric_without_untraced_twin_fails(tmp_path):
+    problems = check_bench.check_tracing_overhead(
+        "BENCH_x.json", {"binary_traced_windows_per_s": 900.0}
+    )
+    assert any("no untraced twin" in problem for problem in problems)

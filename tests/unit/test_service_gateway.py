@@ -414,7 +414,31 @@ class TestTelemetryPrimitives:
         assert snapshot["latencies"]["work"]["count"] == 1
         assert snapshot["latencies"]["work"]["total_s"] >= 0.0
         hub.reset()
-        assert hub.snapshot() == {"counters": {}, "latencies": {}}
+        # reset() zeroes metrics *in place*: names persist (so references
+        # cached by callers stay live) but every count returns to zero.
+        snapshot = hub.snapshot()
+        assert set(snapshot["counters"]) == {"events"}
+        assert snapshot["counters"]["events"] == 0
+        assert snapshot["latencies"]["work"]["count"] == 0
+        assert snapshot["latencies"]["work"]["total_s"] == 0.0
+
+    def test_reset_keeps_cached_recorder_objects_live(self):
+        hub = TelemetryHub()
+        counter = hub.counter("events")
+        recorder = hub.latency("op")
+        hub.increment("events", 5)
+        hub.record("op", 0.25)
+        hub.reset()
+        assert counter.value == 0
+        assert recorder.count == 0
+        # The cached objects are the live ones: post-reset traffic through
+        # the hub is visible through references taken before the reset.
+        hub.increment("events", 2)
+        hub.record("op", 0.5)
+        assert counter.value == 2
+        assert recorder.count == 1
+        assert hub.counter("events") is counter
+        assert hub.latency("op") is recorder
 
 
 class TestUnifiedContextDetectorTraining:

@@ -1002,3 +1002,155 @@ class TestPoolDraining:
         client._push_idle(inflight)  # an exchange returning after close()
         assert inflight.closed
         assert client._connection is None
+
+
+# --------------------------------------------------------------------- #
+# end-to-end request tracing
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def traced(frontend):
+    from repro.service.tracing import Tracer
+
+    tracer = Tracer(sample_rate=1.0, telemetry=frontend.telemetry)
+    queue = MicroBatchQueue(frontend, max_batch=32, max_delay_s=0.002)
+    with ServiceHTTPServer(frontend, queue=queue, tracer=tracer) as server:
+        api_key = server.callers.register("traced-op", ("data:write", "admin"))
+        yield server, api_key, tracer
+
+
+class TestTracing:
+    STAGES = ("admission", "queue_wait", "fused_pass", "response_framing")
+
+    def test_binary_batch_produces_per_request_traces(self, traced):
+        server, api_key, tracer = traced
+        requests = _auth_requests()
+        with ServiceClient(
+            port=server.port, api_key=api_key, codec="binary"
+        ) as client:
+            responses = client.submit_many(requests)
+        assert all(isinstance(r, AuthenticationResponse) for r in responses)
+        events = [e for e in tracer.events() if e["kind"] == "binary-frame"]
+        assert len(events) == len(requests)
+        assert [e["user_id"] for e in events] == ["alice"] * len(requests)
+        assert [e["request_index"] for e in events] == list(range(len(requests)))
+        for event in events:
+            names = [span["name"] for span in event["spans"]]
+            assert names == list(self.STAGES)
+            span_sum = sum(span["duration_s"] for span in event["spans"])
+            assert 0.0 <= span_sum <= event["total_s"]
+            assert event["caller_id"] == "traced-op"
+        fused = events[0]["spans"][2]
+        assert fused["batch_size"] >= 1
+        assert fused["flush_id"] >= 1
+        assert "cache_hits" in fused and "cache_misses" in fused
+
+    def test_single_v2_request_is_traced_through_the_queue(self, traced):
+        server, api_key, tracer = traced
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            response = client.submit(_auth_requests()[0])
+        assert isinstance(response, AuthenticationResponse)
+        events = [e for e in tracer.events() if e["kind"] == "http"]
+        assert len(events) == 1
+        names = [span["name"] for span in events[0]["spans"]]
+        assert names == list(self.STAGES)
+        assert sum(s["duration_s"] for s in events[0]["spans"]) <= events[0]["total_s"]
+        assert events[0]["user_id"] == "alice"
+
+    def test_client_supplied_trace_id_is_adopted_and_echoed(self, traced):
+        from repro.service.tracing import TRACE_HEADER
+
+        server, api_key, tracer = traced
+        body = json.dumps(
+            {
+                "kind": "envelope",
+                "api_version": 2,
+                "api_key": api_key,
+                "request_id": "r-42",
+                "request": {"kind": "snapshot"},
+            }
+        )
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v2/admin",
+            data=body.encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                TRACE_HEADER: "trace-from-client",
+            },
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            assert response.headers.get(TRACE_HEADER) == "trace-from-client"
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload.get("trace_id") == "trace-from-client"
+        assert any(
+            e["trace_id"] == "trace-from-client" for e in tracer.events()
+        )
+
+    def test_rejected_frame_trace_records_the_error(self, traced):
+        from repro.service import wirebin
+
+        server, _, tracer = traced
+        body = wirebin.encode_request_frame(
+            _auth_requests(), api_key="bogus-key", frame_id="f-denied"
+        )
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v2/requests",
+            data=body,
+            headers={"Content-Type": wirebin.CONTENT_TYPE},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 401
+        events = [e for e in tracer.events() if e["kind"] == "binary-frame"]
+        assert len(events) == 1  # one event: admission rejected the frame
+        assert events[0]["attrs"]["error"] == "unknown-api-key"
+
+    def test_untraced_server_exports_nothing(self, frontend):
+        with ServiceHTTPServer(frontend) as server:
+            api_key = server.callers.register("plain-op", ("data:write",))
+            with ServiceClient(
+                port=server.port, api_key=api_key, codec="binary"
+            ) as client:
+                client.submit_many(_auth_requests())
+            assert server.tracer is None
+            assert server.telemetry.counter_value("trace.started") == 0
+
+    def test_metrics_content_negotiation(self, traced):
+        server, api_key, _ = traced
+        with ServiceClient(port=server.port, api_key=api_key) as client:
+            client.submit(_auth_requests()[0])
+            snapshot = client.metrics()
+            text = client.metrics_text()
+        # JSON default: same shape as ever, no histogram keys leaked in.
+        assert set(snapshot) == {"counters", "latencies", "callers"}
+        # Prometheus: valid exposition with HELP/TYPE and trace counters.
+        assert "# TYPE repro_transport_requests_total counter" in text
+        assert "repro_trace_started_total" in text
+        assert "# TYPE repro_frontend_authenticate_seconds histogram" in text
+
+    def test_prometheus_content_type_over_the_wire(self, traced):
+        from repro.service.telemetry import PROMETHEUS_CONTENT_TYPE
+
+        server, _, _ = traced
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{METRICS_PATH}",
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            assert response.headers.get("Content-Type") == PROMETHEUS_CONTENT_TYPE
+            body = response.read().decode("utf-8")
+        assert body.endswith("\n")
+
+    def test_json_metrics_stay_default_without_accept(self, traced):
+        server, _, _ = traced
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}{METRICS_PATH}"
+        ) as response:
+            assert "application/json" in response.headers.get("Content-Type", "")
+            payload = json.loads(response.read().decode("utf-8"))
+        assert set(payload) == {"counters", "latencies", "callers"}

@@ -7,7 +7,10 @@ This checker compares every committed result against its baseline snapshot
 in ``benchmarks/baselines/`` and **fails when any throughput metric (a key
 ending in ``_per_s``) drops by more than 20%** — so a PR cannot silently
 regress the serving hot path and update the numbers without anyone
-noticing.
+noticing.  It additionally gates **tracing overhead**: when a result file
+carries traced and untraced throughput for the same path
+(``..._traced_windows_per_s`` / ``..._untraced_windows_per_s``), the
+traced path must stay within 5% of the untraced one.
 
 A deliberate trade-off (or a faster implementation) updates the baseline
 in the same PR::
@@ -35,6 +38,13 @@ MAX_DROP = 0.20
 
 #: Keys compared: higher is better, dimension = work per second.
 THROUGHPUT_SUFFIX = "_per_s"
+
+#: Largest tolerated slowdown of a traced path vs its untraced twin (5%).
+MAX_TRACING_OVERHEAD = 0.05
+
+#: Key suffixes pairing a traced measurement with its untraced twin.
+TRACED_SUFFIX = "_traced_windows_per_s"
+UNTRACED_SUFFIX = "_untraced_windows_per_s"
 
 
 def throughput_keys(payload: dict) -> dict[str, float]:
@@ -69,6 +79,38 @@ def check_file(current_path: Path, baseline_path: Path) -> list[str]:
                 f"{current_path.name}: {key} dropped {drop:.0%} "
                 f"({measured:,.0f} vs baseline {reference:,.0f}; "
                 f"tolerated: {MAX_DROP:.0%})"
+            )
+    problems.extend(check_tracing_overhead(current_path.name, current))
+    return problems
+
+
+def check_tracing_overhead(name: str, metrics: dict[str, float]) -> list[str]:
+    """Tracing-overhead problems within one result file (empty = pass).
+
+    Compares each ``<path>_traced_windows_per_s`` against its
+    ``<path>_untraced_windows_per_s`` twin from the **same** run, so the
+    gate measures instrumentation cost, not machine drift vs an old
+    baseline.
+    """
+    problems: list[str] = []
+    for key, traced in sorted(metrics.items()):
+        if not key.endswith(TRACED_SUFFIX):
+            continue
+        twin = key[: -len(TRACED_SUFFIX)] + UNTRACED_SUFFIX
+        untraced = metrics.get(twin)
+        if untraced is None:
+            problems.append(
+                f"{name}: {key} has no untraced twin {twin!r} to gate against"
+            )
+            continue
+        if untraced <= 0.0:
+            continue
+        overhead = 1.0 - traced / untraced
+        if overhead > MAX_TRACING_OVERHEAD:
+            problems.append(
+                f"{name}: tracing costs {overhead:.1%} of {twin} throughput "
+                f"({traced:,.0f} vs {untraced:,.0f}; "
+                f"tolerated: {MAX_TRACING_OVERHEAD:.0%})"
             )
     return problems
 

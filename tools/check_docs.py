@@ -22,7 +22,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Markdown files whose internal links are checked.
-DOC_FILES = ("README.md", "docs/architecture.md", "docs/protocol.md", "docs/serving.md")
+DOC_FILES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/protocol.md",
+    "docs/serving.md",
+    "docs/observability.md",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _MODULE_PATH = re.compile(r"`(src/[A-Za-z0-9_./-]+?)/?`")
