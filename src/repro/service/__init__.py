@@ -45,7 +45,15 @@ but absent from the paper's prototype:
   through the full enroll → auth → attack → drift → retrain lifecycle over
   the v2 API;
 * :mod:`repro.service.telemetry` — counters and latency statistics for all
-  of the above.
+  of the above;
+* :mod:`repro.service.cluster` — the multi-process sharded serving
+  cluster: a :class:`~repro.service.cluster.ShardRouter` consistent-hashing
+  ``user_id`` to one of N :class:`~repro.service.cluster.WorkerPool` worker
+  processes (each a full transport stack over its own registry slice),
+  splitting/merging binary frames across shards in request order, sharing
+  per-caller quotas fleet-wide via a file-backed
+  :class:`~repro.service.envelope.SharedTokenBucket`, and merging every
+  worker's telemetry into one Prometheus view.
 
 The storage and scoring engines live in the layers below —
 :class:`~repro.devices.store.FeatureStore` in :mod:`repro.devices.store` and
@@ -66,6 +74,13 @@ from repro.core.scoring import (
 )
 from repro.service import wirebin
 from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer, StoreStats
+from repro.service.cluster import (
+    HashRing,
+    ShardRouter,
+    ShardUnavailable,
+    StaticEndpoints,
+    WorkerPool,
+)
 from repro.service.envelope import (
     API_VERSION,
     SCOPE_ADMIN,
@@ -76,6 +91,7 @@ from repro.service.envelope import (
     EnvelopeChannel,
     EnvelopeProcessor,
     SealedResponse,
+    SharedTokenBucket,
 )
 from repro.service.fleet import FleetConfig, FleetReport, FleetSimulator, RequestChannel
 from repro.service.frontend import MicroBatchQueue, ServiceFrontend
@@ -137,6 +153,7 @@ __all__ = [
     "FleetReport",
     "FleetSimulator",
     "FusedStackCache",
+    "HashRing",
     "LatencyRecorder",
     "MicroBatchQueue",
     "ModelRecord",
@@ -152,11 +169,16 @@ __all__ = [
     "ServiceClient",
     "ServiceFrontend",
     "ServiceHTTPServer",
+    "ShardRouter",
+    "ShardUnavailable",
+    "SharedTokenBucket",
     "SnapshotRequest",
     "SnapshotResponse",
+    "StaticEndpoints",
     "StoreStats",
     "TelemetryHub",
     "ThrottledResponse",
+    "WorkerPool",
     "score_fleet",
     "score_requests",
     "score_stacked",

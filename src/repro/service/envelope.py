@@ -33,9 +33,16 @@ simulator (and any in-process caller) speaks v2 envelopes without a socket.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 import secrets
 import threading
 import uuid
+
+try:  # POSIX advisory file locks back the cross-process quota store.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from time import monotonic, perf_counter
@@ -276,6 +283,95 @@ class TokenBucket:
             return (tokens - self._tokens) / self.rate_per_s
 
 
+class SharedTokenBucket:
+    """A file-backed token bucket shared by every process that opens it.
+
+    The cluster's fleet-wide quota store: N sharded workers each attach an
+    instance pointing at the *same* state file (via
+    :meth:`CallerRegistry.attach_rate_limit`), so a caller whose batches
+    are split across shards is throttled at one aggregate rate — exactly
+    as if a single process served it.
+
+    The state file holds ``{"tokens": float, "stamp": float}`` as JSON; a
+    POSIX advisory lock (``fcntl.lockf``) serializes the read-refill-write
+    cycle across processes, and a process-local mutex serializes the
+    transport's handler threads within one process.  Stamps come from
+    ``time.monotonic()`` — ``CLOCK_MONOTONIC`` is machine-wide on Linux,
+    so every worker refills against the same clock.  A missing or corrupt
+    state file re-initializes to a full bucket (fail-open: a torn write
+    can only ever *grant* a little extra burst, never wedge the fleet).
+
+    The surface mirrors :class:`TokenBucket` (``rate_per_s``, ``burst``,
+    ``acquire``) so :meth:`CallerRegistry.acquire_rate` and the per-caller
+    telemetry snapshots work unchanged.
+
+    Parameters
+    ----------
+    path:
+        The shared state file (created on first use).
+    rate_per_s, burst:
+        As for :class:`TokenBucket`; every process must be configured with
+        the same values (the file holds only the token level).
+
+    Raises
+    ------
+    ValueError
+        If either knob is not positive.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, rate_per_s: float, burst: float | None = None
+    ) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        burst = float(rate_per_s) if burst is None else float(burst)
+        if burst <= 0.0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.path = os.fspath(path)
+        self.rate_per_s = float(rate_per_s)
+        self.burst = burst
+        self._lock = threading.Lock()
+
+    def acquire(self, tokens: int = 1) -> float:
+        """Try to take *tokens* fleet-wide; returns 0.0 on grant, else the
+        suggested back-off in seconds until enough will have refilled."""
+        with self._lock:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o600)
+            try:
+                if fcntl is not None:
+                    fcntl.lockf(fd, fcntl.LOCK_EX)
+                try:
+                    now = monotonic()
+                    level, stamp = self._read_state(fd, now)
+                    level = min(self.burst, level + (now - stamp) * self.rate_per_s)
+                    if tokens <= level:
+                        level -= tokens
+                        retry_after = 0.0
+                    else:
+                        retry_after = (tokens - level) / self.rate_per_s
+                    state = json.dumps({"tokens": level, "stamp": now})
+                    os.lseek(fd, 0, os.SEEK_SET)
+                    os.truncate(fd, 0)
+                    os.write(fd, state.encode("utf-8"))
+                    return retry_after
+                finally:
+                    if fcntl is not None:
+                        fcntl.lockf(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def _read_state(self, fd: int, now: float) -> tuple[float, float]:
+        """The persisted ``(tokens, stamp)``, or a full bucket when the
+        file is new, torn or unreadable."""
+        try:
+            os.lseek(fd, 0, os.SEEK_SET)
+            raw = os.read(fd, 4096)
+            state = json.loads(raw.decode("utf-8"))
+            return float(state["tokens"]), float(state["stamp"])
+        except (ValueError, KeyError, TypeError, OSError):
+            return self.burst, now
+
+
 @dataclass
 class CallerRecord:
     """One registered caller: hashed credential, scopes and telemetry."""
@@ -286,7 +382,7 @@ class CallerRecord:
     requests: int = 0
     denied: int = 0
     throttled: int = 0
-    bucket: TokenBucket | None = None
+    bucket: TokenBucket | SharedTokenBucket | None = None
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-type per-caller telemetry (no credential material)."""
@@ -448,6 +544,33 @@ class CallerRegistry:
             If a knob is not positive.
         """
         bucket = TokenBucket(requests_per_s, burst)
+        with self._lock:
+            self._by_id[caller_id].bucket = bucket
+
+    def attach_rate_limit(
+        self, caller_id: str, bucket: TokenBucket | SharedTokenBucket
+    ) -> None:
+        """Attach an externally built bucket to a registered caller.
+
+        The cluster entry point: every worker attaches the *same*
+        :class:`SharedTokenBucket` state file here, making the caller's
+        quota fleet-wide.  Any object exposing ``rate_per_s``, ``burst``
+        and ``acquire(count) -> float`` works — :meth:`acquire_rate` and
+        the telemetry snapshot only use that surface.
+
+        Raises
+        ------
+        KeyError
+            If no such caller is registered.
+        TypeError
+            If *bucket* lacks the token-bucket surface.
+        """
+        for attr in ("rate_per_s", "burst", "acquire"):
+            if not hasattr(bucket, attr):
+                raise TypeError(
+                    f"bucket must expose {attr!r} (a TokenBucket-shaped "
+                    f"object), got {type(bucket).__name__}"
+                )
         with self._lock:
             self._by_id[caller_id].bucket = bucket
 

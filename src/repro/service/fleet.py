@@ -271,6 +271,12 @@ class FleetSimulator:
         Optional :class:`~repro.service.tracing.Tracer` wired through the
         in-process serving path (processor, frontend, gateway) so lifecycle
         requests export per-request trace events.
+    registry_root:
+        Optional directory for the simulator's own
+        :class:`~repro.service.registry.ModelRegistry`: every trained
+        bundle persists there as it is published, ready to be served by
+        separate worker processes (``repro.service.cluster``).  Only valid
+        when neither *gateway* nor *frontend* is supplied.
 
     Raises
     ------
@@ -285,8 +291,14 @@ class FleetSimulator:
         frontend: ServiceFrontend | None = None,
         channel: RequestChannel | None = None,
         tracer: Any | None = None,
+        registry_root: str | Any | None = None,
     ) -> None:
         self.config = config or FleetConfig()
+        if registry_root is not None and (gateway is not None or frontend is not None):
+            raise ValueError(
+                "registry_root configures the simulator's own gateway; pass "
+                "it only when neither gateway nor frontend is supplied"
+            )
         if frontend is not None:
             if gateway is not None and gateway is not frontend.gateway:
                 raise ValueError(
@@ -312,9 +324,14 @@ class FleetSimulator:
                     ridge=1.0, kernel="linear", solver="auto"
                 ),
             )
+            # A persistence root makes every trained bundle (and detector)
+            # land on disk as it is published, so N cluster worker
+            # processes can each serve the exact same model snapshot the
+            # simulator trained (ModelRegistry(root=...).load()) — the
+            # basis of the cluster's bit-for-bit equivalence guarantee.
             gateway = AuthenticationGateway(
                 server=server,
-                registry=ModelRegistry(),
+                registry=ModelRegistry(root=registry_root),
                 min_windows_to_train=2 * self.config.enroll_windows_per_context,
             )
         self.gateway = gateway

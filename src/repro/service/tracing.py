@@ -62,6 +62,14 @@ SPAN_QUEUE_WAIT = "queue_wait"
 SPAN_FUSED_PASS = "fused_pass"
 SPAN_RESPONSE_FRAMING = "response_framing"
 
+#: Span names of the shard router's stages (cluster serving).  The router
+#: forwards the client's trace id to each worker (``X-Trace-Id``), so one
+#: id links the router event's split/dispatch/merge spans with every
+#: worker-side event of the same request.
+SPAN_SHARD_SPLIT = "shard_split"
+SPAN_SHARD_DISPATCH = "shard_dispatch"
+SPAN_SHARD_MERGE = "shard_merge"
+
 
 def new_trace_id() -> str:
     """A fresh unique trace id (32 hex chars)."""

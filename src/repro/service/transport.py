@@ -82,6 +82,7 @@ from __future__ import annotations
 import argparse
 import json
 import shutil
+import signal
 import tempfile
 import threading
 from http.client import HTTPConnection, HTTPException
@@ -143,10 +144,14 @@ REQUESTS_PATH = "/v1/requests"
 V2_REQUESTS_PATH = "/v2/requests"
 #: The v2 control-plane endpoint: enveloped admin requests (single only).
 V2_ADMIN_PATH = "/v2/admin"
-#: Liveness endpoint.
+#: Liveness/readiness endpoint.
 HEALTH_PATH = "/healthz"
 #: Telemetry endpoint.
 METRICS_PATH = "/metrics"
+#: Mergeable histogram families as JSON — the shard router scrapes this
+#: (alongside METRICS_PATH) to aggregate fleet-wide quantiles; kept off
+#: the main snapshot so its JSON surface stays byte-for-byte unchanged.
+HISTOGRAMS_PATH = "/metrics/histograms"
 
 #: HTTP status for an ErrorResponse, by the exception class that caused it.
 #: KeyError marks a missing resource (unknown user / version / detector);
@@ -306,6 +311,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             snapshot = self.server.telemetry.snapshot()
             snapshot["callers"] = self.server.callers.snapshot()
             self._send_json(200, serialization.dumps(snapshot))
+        elif self.path == HISTOGRAMS_PATH:
+            self._send_json(
+                200,
+                serialization.dumps(self.server.telemetry.histograms_snapshot()),
+            )
         else:
             self._send_json(
                 404,
@@ -828,6 +838,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    # The stdlib listen backlog of 5 drops connections when a pooled
+    # client (or the shard router) opens its whole pool in one burst.
+    request_queue_size = 128
 
     #: Caller id of the internal default caller legacy /v1 payloads ride on.
     LEGACY_CALLER_ID = "legacy-v1"
@@ -1099,13 +1112,26 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         )
 
     def health(self) -> dict[str, Any]:
-        """The ``/healthz`` payload: liveness plus coarse service totals."""
+        """The ``/healthz`` payload: readiness plus coarse service totals.
+
+        One health contract shared by the cluster's pool manager and any
+        external orchestrator: ``ready`` plus the signals behind it —
+        current micro-batch queue depth (backlog) and the serving
+        registry's generation (which model snapshot this process answers
+        with; workers of one cluster sharing a registry root report the
+        same generation).
+        """
+        registry = getattr(self.frontend.gateway, "registry", None)
         return {
             "status": "ok",
+            "ready": True,
             "uptime_s": monotonic() - self.started_at,
             "transport_requests": self.telemetry.counter_value("transport.requests"),
             "frontend_requests": self.telemetry.counter_value("frontend.requests"),
             "queue_depth": self.queue.depth if self.queue is not None else 0,
+            "registry_generation": (
+                int(registry.generation) if registry is not None else 0
+            ),
         }
 
     # ------------------------------------------------------------------ #
@@ -1877,10 +1903,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"API key: {api_key}",
             flush=True,
         )
+        stop = threading.Event()
+
+        def _graceful(signum: int, frame: Any) -> None:
+            stop.set()
+
+        # SIGTERM and SIGINT both request a graceful stop: the with-block
+        # exit below drains in-flight requests (``server_close`` joins the
+        # handler threads), which finishes their traces — and the tracer's
+        # JSONL sink writes synchronously per event, so every trace of a
+        # served request is on disk before the process exits.
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
         try:
-            threading.Event().wait()
+            stop.wait()
         except KeyboardInterrupt:
-            print("\nshutting down...", flush=True)
+            pass
+        print("\nshutting down (draining in-flight requests)...", flush=True)
     return 0
 
 

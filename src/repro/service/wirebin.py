@@ -425,6 +425,85 @@ class RequestFrame:
         return requests
 
 
+def encode_frame_slice(
+    frame: RequestFrame,
+    indices: Sequence[int],
+    frame_id: str | None = None,
+) -> bytes:
+    """Re-encode a parsed request frame restricted to *indices*.
+
+    The shard router's split primitive: a decoded frame is carved into one
+    sub-frame per shard, each a fully valid request frame carrying the same
+    op, credential and (by default) a fresh ``frame_id``.  Request order
+    within *indices* is preserved, so the router can merge shard responses
+    back positionally.
+
+    Raises
+    ------
+    ValueError
+        If *indices* is empty or holds an out-of-range request index.
+    """
+    order = [int(index) for index in indices]
+    if not order:
+        raise ValueError("cannot slice a frame to zero requests")
+    for index in order:
+        if not 0 <= index < frame.n_requests:
+            raise ValueError(
+                f"request index {index} out of range for a frame of "
+                f"{frame.n_requests} request(s)"
+            )
+    offsets = offsets_from_lengths(frame.lengths)
+    spans = [(int(offsets[index]), int(offsets[index + 1])) for index in order]
+    lengths = np.asarray(
+        [stop - start for start, stop in spans], dtype=_DTYPE_LENGTHS
+    )
+    n_features = int(frame.features.shape[1]) if frame.features.ndim == 2 else 0
+    features = np.concatenate(
+        [frame.features[start:stop] for start, stop in spans]
+    ) if spans else frame.features[:0]
+    header: dict[str, Any] = {
+        "kind": REQUEST_FRAME_KIND,
+        "op": frame.op,
+        "api_version": frame.api_version,
+        "api_key": frame.api_key,
+        "frame_id": frame_id if frame_id is not None else new_frame_id(),
+        "n_requests": len(order),
+        "user_ids": [frame.user_ids[index] for index in order],
+        "n_windows": int(lengths.sum()),
+        "n_features": n_features,
+    }
+    if frame.op == "authenticate":
+        header["has_contexts"] = frame.context_codes is not None
+        versions = (
+            None
+            if frame.versions is None
+            else [frame.versions[index] for index in order]
+        )
+        header["versions"] = (
+            versions
+            if versions is not None and any(v is not None for v in versions)
+            else None
+        )
+    else:
+        header["has_contexts"] = True
+        header["feature_names"] = list(frame.feature_names or ())
+        if frame.op == "enroll":
+            train = None if frame.train is None else frame.train
+            header["train"] = [
+                None if train is None else train[index] for index in order
+            ]
+    sections = [
+        lengths.tobytes(),
+        np.ascontiguousarray(features, dtype=_DTYPE_FEATURES).tobytes(),
+    ]
+    if frame.context_codes is not None:
+        codes = np.concatenate(
+            [frame.context_codes[start:stop] for start, stop in spans]
+        ) if spans else frame.context_codes[:0]
+        sections.append(np.ascontiguousarray(codes, dtype=_DTYPE_CODES).tobytes())
+    return _assemble(header, sections)
+
+
 # --------------------------------------------------------------------- #
 # frame parsing (shared by request and response directions)
 # --------------------------------------------------------------------- #

@@ -1,0 +1,391 @@
+"""Cluster equivalence and process-lifecycle tests (real worker processes).
+
+The ISSUE 7 acceptance bars pinned here:
+
+* authentication decisions served by a multi-process cluster (router +
+  subprocess shard workers over one persisted registry) are bit-for-bit
+  identical to single-process dispatch;
+* per-caller rate limits are enforced **fleet-wide** — a caller split
+  across shards exhausts one shared budget and answers 429 through the
+  router;
+* a worker crash mid-stream delivers the completed response frames plus
+  a typed stream-abort marker (PR 5's torn-stream semantics across the
+  process boundary), and single-frame requests to a dead shard answer a
+  typed 503 — never a hang or a stack trace;
+* workers shut down cleanly on SIGTERM/SIGINT and on losing their
+  spawning router (stdin EOF), so a dead router leaves no orphans.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.sensors.types import CoarseContext
+from repro.service import wirebin
+from repro.service.cluster import ShardRouter, WorkerPool
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    ThrottledResponse,
+)
+from repro.service.tracing import (
+    SPAN_SHARD_DISPATCH,
+    SPAN_SHARD_MERGE,
+    SPAN_SHARD_SPLIT,
+    TRACE_HEADER,
+    Tracer,
+)
+from repro.service.transport import ServiceClient
+
+N_USERS = 32
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """An enrolled fleet whose trained models persist to a registry root."""
+    root = tmp_path_factory.mktemp("cluster-it-registry")
+    simulator = FleetSimulator(
+        FleetConfig(n_users=N_USERS, seed=5, server_side_contexts=False),
+        registry_root=root,
+    )
+    simulator.build_users()
+    simulator.enroll_fleet()
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def probes(fleet):
+    rng = np.random.default_rng(23)
+    requests = []
+    for user in fleet.users:
+        probe = user.sample_windows(
+            2, fleet.config.window_noise, rng, fleet.feature_names
+        )
+        requests.append(
+            AuthenticateRequest(
+                user_id=user.user_id,
+                features=probe.values,
+                contexts=tuple(CoarseContext(label) for label in probe.contexts),
+            )
+        )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def reference(fleet, probes):
+    return fleet.frontend.submit_many(probes)
+
+
+def _registry_root(fleet):
+    return str(fleet.frontend.gateway.registry.root)
+
+
+def _wait(predicate, timeout_s=10.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def test_cluster_decisions_bit_for_bit_identical(fleet, probes, reference):
+    with WorkerPool(2, registry_root=_registry_root(fleet), no_queue=True) as pool:
+        tracer = Tracer(sample_rate=1.0)
+        with ShardRouter(pool, tracer=tracer) as router:
+            client = ServiceClient(
+                port=router.port, api_key=pool.api_key, codec="binary"
+            )
+            remote = client.submit_many(probes)
+            assert len(remote) == len(reference)
+            for got, want in zip(remote, reference):
+                assert isinstance(got, AuthenticationResponse)
+                np.testing.assert_array_equal(got.scores, want.scores)
+                np.testing.assert_array_equal(got.accepted, want.accepted)
+                assert got.result.model_contexts == want.result.model_contexts
+                assert got.model_version == want.model_version
+            # Both shards served a slice of the fleet.
+            shards = router.ring.split([p.user_id for p in probes])
+            assert set(shards) == {0, 1}
+
+            # Trace propagation: a client-supplied trace id crosses the
+            # process boundary — the router's frame event carries the
+            # split/dispatch/merge spans under that same id, and the
+            # response echoes the header.
+            frame = wirebin.encode_request_frame(
+                probes[:4], api_key=pool.api_key
+            )
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{router.port}/v2/requests",
+                data=frame,
+                headers={
+                    "Content-Type": wirebin.CONTENT_TYPE,
+                    TRACE_HEADER: "trace-cluster-e2e",
+                },
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+                assert response.headers[TRACE_HEADER] == "trace-cluster-e2e"
+                response.read()
+            events = [
+                event
+                for event in tracer.events()
+                if event["trace_id"] == "trace-cluster-e2e"
+            ]
+            assert len(events) == 4  # one event per request in the frame
+            span_names = {span["name"] for span in events[0]["spans"]}
+            assert {
+                SPAN_SHARD_SPLIT,
+                SPAN_SHARD_DISPATCH,
+                SPAN_SHARD_MERGE,
+            } <= span_names
+
+
+def test_rate_limits_enforced_fleet_wide_through_router(
+    fleet, probes, tmp_path
+):
+    """Shards share one token bucket: the 5th request 429s regardless of
+    which worker owns its user."""
+    quota_path = tmp_path / "fleet-quota.json"
+    with WorkerPool(
+        2,
+        registry_root=_registry_root(fleet),
+        caller_rate=0.001,  # negligible refill within the test
+        caller_burst=4.0,
+        quota_path=quota_path,
+        no_queue=True,
+    ) as pool:
+        with ShardRouter(pool) as router:
+            ring = router.ring
+            by_shard = {0: [], 1: []}
+            for probe in probes:
+                by_shard[ring.shard_for(probe.user_id)].append(probe)
+            # Two grants drawn through each shard: the budget must span them.
+            granted = by_shard[0][:2] + by_shard[1][:2]
+            client = ServiceClient(
+                port=router.port, api_key=pool.api_key, codec="json"
+            )
+            for probe in granted:
+                response = client.submit(probe)
+                assert isinstance(response, AuthenticationResponse), response
+
+            throttled = client.submit(by_shard[0][2])
+            assert isinstance(throttled, ThrottledResponse)
+            assert throttled.reason == "rate-limited"
+            assert throttled.retry_after_s > 0.0
+
+            # The same exhaustion answers HTTP 429 + Retry-After for a
+            # binary frame, with a typed rejection frame as the body.
+            frame = wirebin.encode_request_frame(
+                [by_shard[1][2]], api_key=pool.api_key
+            )
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{router.port}/v2/requests",
+                data=frame,
+                headers={"Content-Type": wirebin.CONTENT_TYPE},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            frames = wirebin.decode_response_frames(excinfo.value.read())
+            assert len(frames) == 1
+            assert isinstance(frames[0].throttled, ThrottledResponse)
+
+
+def test_worker_crash_mid_stream_aborts_with_typed_marker(
+    fleet, probes, reference
+):
+    """PR 5's torn-stream contract across the process boundary: the shard
+    dies after K dispatched frames → K responses + a typed abort."""
+    with WorkerPool(
+        2, registry_root=_registry_root(fleet), no_queue=True, restart=False
+    ) as pool:
+        with ShardRouter(pool) as router:
+            ring = router.ring
+            by_shard = {0: [], 1: []}
+            for probe in probes:
+                by_shard[ring.shard_for(probe.user_id)].append(probe)
+            assert by_shard[0] and by_shard[1]
+            victim_pid = pool.pids()[1]
+            os.kill(victim_pid, signal.SIGKILL)
+            assert _wait(lambda: pool.endpoint(1) is None)
+
+            # K healthy frames to shard 0, then one for the dead shard.
+            survivors = by_shard[0][:3]
+            stream = survivors + [by_shard[1][0]] + by_shard[0][3:4]
+            client = ServiceClient(
+                port=router.port, api_key=pool.api_key, codec="binary"
+            )
+            with pytest.raises(ValueError, match="stream aborted by the server"):
+                client.submit_stream(iter(stream), chunk_windows=1)
+            # And the error message pins exactly how many frames executed.
+            try:
+                client.submit_stream(iter(stream), chunk_windows=1)
+            except ValueError as error:
+                assert f"after {len(survivors)} of {len(stream)}" in str(error)
+                assert "shard-unavailable" in str(error)
+
+            # A single-frame request to the dead shard answers a typed
+            # 503, while the surviving shard keeps serving bit-for-bit.
+            with pytest.raises(ValueError, match="shard-unavailable"):
+                client.submit_many([by_shard[1][0]])
+            healthy = client.submit_many(survivors)
+            wanted = {
+                probe.user_id: want
+                for probe, want in zip(probes, reference)
+            }
+            for probe, got in zip(survivors, healthy):
+                np.testing.assert_array_equal(
+                    got.scores, wanted[probe.user_id].scores
+                )
+
+            health = json.loads(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{router.port}/healthz"
+                ).read()
+            )
+            assert health["status"] == "degraded"
+            assert health["ready"] is False
+            assert health["shards_alive"] == 1
+            assert health["shards"]["1"]["alive"] is False
+
+
+def test_crashed_worker_restarts_and_serves_again(fleet, probes, reference):
+    with WorkerPool(2, registry_root=_registry_root(fleet), no_queue=True) as pool:
+        with ShardRouter(pool) as router:
+            client = ServiceClient(
+                port=router.port, api_key=pool.api_key, codec="binary"
+            )
+            os.kill(pool.pids()[0], signal.SIGKILL)
+            assert _wait(
+                lambda: pool.health()["0"]["alive"]
+                and pool.health()["0"]["restarts"] >= 1,
+                timeout_s=30.0,
+            )
+            remote = client.submit_many(probes)
+            for got, want in zip(remote, reference):
+                np.testing.assert_array_equal(got.scores, want.scores)
+
+
+def _spawn_worker(extra_args=(), **popen_kwargs):
+    command = [
+        sys.executable,
+        "-m",
+        "repro.service.cluster",
+        "worker",
+        "--shard-index",
+        "0",
+        "--n-shards",
+        "1",
+        "--port",
+        "0",
+        "--no-queue",
+        *extra_args,
+    ]
+    return subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        **popen_kwargs,
+    )
+
+
+def _read_ready(process, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError("worker exited before READY")
+        if line.startswith("READY "):
+            return int(line.split()[1])
+    raise AssertionError("worker never printed READY")
+
+
+def test_worker_exits_cleanly_on_sigterm(tmp_path):
+    trace_path = tmp_path / "worker-traces.jsonl"
+    process = _spawn_worker(
+        ["--trace-sample-rate", "1.0", "--trace-jsonl", str(trace_path)]
+    )
+    try:
+        port = _read_ready(process)
+        health = json.loads(
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz").read()
+        )
+        assert health["ready"] is True
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=10.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+def test_worker_exits_when_router_pipe_closes(tmp_path):
+    """Orphan prevention: losing the spawner's stdin pipe stops the worker
+    even without any signal (covers a SIGKILLed router)."""
+    process = _spawn_worker()
+    try:
+        _read_ready(process)
+        process.stdin.close()
+        assert process.wait(timeout=10.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+def test_transport_cli_drains_and_flushes_traces_on_sigterm(tmp_path):
+    """The single-process serving CLI honors the same graceful-shutdown
+    contract: SIGTERM drains and exits 0, with served traces on disk."""
+    trace_path = tmp_path / "cli-traces.jsonl"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.transport",
+            "--port",
+            "0",
+            "--no-queue",
+            "--trace-sample-rate",
+            "1.0",
+            "--trace-jsonl",
+            str(trace_path),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and port is None:
+            line = process.stdout.readline()
+            if not line:
+                raise AssertionError("transport CLI exited during startup")
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+        assert port is not None
+        health = json.loads(
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz").read()
+        )
+        assert health["status"] == "ok"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=10.0) == 0
+        # The /healthz probe is untraced; the trace file may legitimately
+        # be empty — what matters is the clean exit after a served request.
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()

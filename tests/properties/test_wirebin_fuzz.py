@@ -1,0 +1,227 @@
+"""Property-based fuzzing of the wirebin codec (hypothesis).
+
+The serving contract for hostile bytes: any truncation, bit-flip or
+header mutation of a valid frame either parses into a well-formed frame
+or raises a **typed ValueError** — never any other exception, never a
+partial dispatch.  The transport then maps that ValueError to a typed
+HTTP 400, so no crafted payload can surface a stack trace (or a 500)
+from the binary endpoint.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.vector import FeatureMatrix
+from repro.sensors.types import CoarseContext
+from repro.service import wirebin
+from repro.service.envelope import SCOPE_DATA_WRITE
+from repro.service.frontend import ServiceFrontend
+from repro.service.protocol import (
+    AuthenticateRequest,
+    ColumnarAuthResult,
+    EnrollRequest,
+    EnrollResponse,
+)
+from repro.service.transport import V2_REQUESTS_PATH, ServiceHTTPServer
+
+API_KEY = "fuzz-test-key"
+
+
+def _auth_frame():
+    rng = np.random.default_rng(3)
+    requests = [
+        AuthenticateRequest(
+            user_id=f"user-{i}",
+            features=rng.normal(size=(2 + i % 2, 4)),
+            contexts=tuple(
+                CoarseContext("moving" if j % 2 else "stationary")
+                for j in range(2 + i % 2)
+            ),
+        )
+        for i in range(4)
+    ]
+    return wirebin.encode_request_frame(requests, api_key=API_KEY, frame_id="fz-a")
+
+
+def _enroll_frame():
+    rng = np.random.default_rng(4)
+    requests = [
+        EnrollRequest(
+            user_id=f"user-{i}",
+            matrix=FeatureMatrix(
+                values=rng.normal(size=(3, 4)),
+                feature_names=[f"f{k}" for k in range(4)],
+                user_ids=[f"user-{i}"] * 3,
+                contexts=["stationary"] * 3,
+            ),
+        )
+        for i in range(3)
+    ]
+    return wirebin.encode_request_frame(requests, api_key=API_KEY, frame_id="fz-e")
+
+
+def _response_frame():
+    result = ColumnarAuthResult(
+        user_ids=("user-0", "user-1"),
+        scores=np.asarray([0.25, 0.75, 0.5]),
+        accepted=np.asarray([True, False, True]),
+        model_context_codes=np.asarray([0, 1, 0], dtype=np.int64),
+        lengths=np.asarray([2, 1], dtype=np.int64),
+        model_versions=np.asarray([1, 1], dtype=np.int64),
+        errors={},
+    )
+    return wirebin.encode_columnar_response(result, "fz-r", "caller")
+
+
+AUTH_FRAME = _auth_frame()
+ENROLL_FRAME = _enroll_frame()
+RESPONSE_FRAME = _response_frame()
+
+frame_choice = st.sampled_from(["auth", "enroll"])
+_FRAMES = {"auth": AUTH_FRAME, "enroll": ENROLL_FRAME}
+
+
+def _decode_never_crashes(data):
+    """Decode must yield a frame or ValueError; anything else fails."""
+    try:
+        frame = wirebin.decode_request_frame(data)
+    except ValueError:
+        return None
+    assert frame.n_requests >= 1
+    return frame
+
+
+class TestRequestFrameFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(which=frame_choice, data=st.data())
+    def test_any_truncation_raises_typed_value_error(self, which, data):
+        frame = _FRAMES[which]
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(ValueError):
+            wirebin.decode_request_frame(frame[:cut])
+
+    @settings(max_examples=300, deadline=None)
+    @given(which=frame_choice, data=st.data())
+    def test_single_bit_flips_parse_or_value_error(self, which, data):
+        frame = _FRAMES[which]
+        position = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        mutated = bytearray(frame)
+        mutated[position] ^= mask
+        _decode_never_crashes(bytes(mutated))
+
+    @settings(max_examples=200, deadline=None)
+    @given(which=frame_choice, data=st.data())
+    def test_mutated_header_regions_parse_or_value_error(self, which, data):
+        # The JSON header sits right after the 16-byte prelude; splicing
+        # arbitrary bytes over it is the adversarial case for the header
+        # field validators.
+        frame = _FRAMES[which]
+        start = data.draw(st.integers(min_value=16, max_value=len(frame) - 1))
+        junk = data.draw(st.binary(min_size=1, max_size=32))
+        mutated = frame[:start] + junk + frame[start + len(junk) :]
+        _decode_never_crashes(mutated[: len(frame)])
+
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.binary(min_size=0, max_size=64))
+    def test_arbitrary_bytes_never_crash_the_decoder(self, junk):
+        try:
+            wirebin.decode_request_frame(junk)
+        except ValueError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(extra=st.binary(min_size=1, max_size=16))
+    def test_trailing_garbage_is_rejected(self, extra):
+        # decode_request_frame demands exactly one frame: appended bytes
+        # must never silently ride along.
+        with pytest.raises(ValueError):
+            wirebin.decode_request_frame(AUTH_FRAME + extra)
+
+
+class TestResponseFrameFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_client_side_decode_is_equally_hardened(self, data):
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(RESPONSE_FRAME) - 1)
+        )
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        mutated = bytearray(RESPONSE_FRAME)
+        mutated[position] ^= mask
+        try:
+            frames = wirebin.decode_response_frames(bytes(mutated))
+        except ValueError:
+            return
+        assert len(frames) == 1
+
+    def test_empty_stream_decodes_to_zero_frames(self):
+        # EOF at a frame boundary is a legal stream end, not corruption.
+        assert wirebin.decode_response_frames(b"") == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_truncated_responses_raise_typed_value_error(self, data):
+        # Any cut strictly inside the frame (past byte 0) is torn.
+        cut = data.draw(
+            st.integers(min_value=1, max_value=len(RESPONSE_FRAME) - 1)
+        )
+        with pytest.raises(ValueError):
+            wirebin.decode_response_frames(RESPONSE_FRAME[:cut])
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = ServiceHTTPServer(ServiceFrontend(), port=0)
+    server.callers.register("fuzz-caller", (SCOPE_DATA_WRITE,), api_key=API_KEY)
+    server.serve_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _post_binary(port, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{V2_REQUESTS_PATH}",
+        data=body,
+        headers={"Content-Type": wirebin.CONTENT_TYPE},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestCorruptFramesOverHTTP:
+    """Corrupt frames at the transport answer typed 400s, never a 500."""
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda frame: frame[: len(frame) // 2],
+            lambda frame: b"XXXX" + frame[4:],
+            lambda frame: frame[:20] + b"\xff" * 8 + frame[28:],
+            lambda frame: b"not a frame at all",
+        ],
+        ids=["truncated", "bad-magic", "mangled-header", "garbage"],
+    )
+    def test_corruption_maps_to_typed_400(self, server, mutate):
+        body = mutate(AUTH_FRAME)
+        status, data = _post_binary(server.port, body)
+        assert status == 400
+        payload = json.loads(data)
+        assert payload["error"] in ("ValueError", "JSONDecodeError")
+        assert payload["message"]
+        assert server.telemetry.counter_value("transport.server_errors") == 0
+
+    def test_empty_upload_answers_an_empty_stream(self, server):
+        status, data = _post_binary(server.port, b"")
+        assert status == 200
+        assert data == b""

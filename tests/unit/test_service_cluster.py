@@ -1,0 +1,454 @@
+"""Unit tests for the sharded serving cluster (ring, slicing, quota, router).
+
+The worker pool's subprocess mechanics are covered by the integration
+suite; here the router runs over in-process worker servers
+(:class:`~repro.service.cluster.StaticEndpoints`) so every routing,
+splitting, merging and failure path is exercised without process spawns.
+"""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.sensors.types import CoarseContext
+from repro.service import wirebin
+from repro.service.cluster import (
+    HashRing,
+    ShardRouter,
+    ShardUnavailable,
+    StaticEndpoints,
+)
+from repro.service.envelope import (
+    SCOPE_ADMIN,
+    SCOPE_DATA_WRITE,
+    CallerRegistry,
+    SharedTokenBucket,
+)
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.frontend import ServiceFrontend
+from repro.service.gateway import AuthenticationGateway
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+    ErrorResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    ThrottledResponse,
+)
+from repro.service.registry import ModelRegistry
+from repro.service.transport import (
+    HEALTH_PATH,
+    METRICS_PATH,
+    ServiceClient,
+    ServiceHTTPServer,
+)
+
+API_KEY = "cluster-unit-test-key"
+N_USERS = 24
+
+
+# --------------------------------------------------------------------- #
+# hash ring
+# --------------------------------------------------------------------- #
+
+
+class TestHashRing:
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            HashRing(0)
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(2, replicas=0)
+
+    def test_deterministic_across_instances(self):
+        ids = [f"user-{i:04d}" for i in range(300)]
+        first, second = HashRing(4), HashRing(4)
+        assert [first.shard_for(u) for u in ids] == [
+            second.shard_for(u) for u in ids
+        ]
+
+    def test_all_shards_in_range_and_used(self):
+        ring = HashRing(4)
+        counts = Counter(ring.shard_for(f"user-{i:04d}") for i in range(400))
+        assert set(counts) == {0, 1, 2, 3}
+        # Virtual nodes keep the split roughly even: no shard may own more
+        # than half or fewer than a twentieth of a 400-key population.
+        assert all(20 <= n <= 200 for n in counts.values())
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(f"u{i}") for i in range(50)} == {0}
+
+    def test_split_preserves_order_and_covers_all_positions(self):
+        ring = HashRing(3)
+        user_ids = [f"user-{i:03d}" for i in range(40)]
+        groups = ring.split(user_ids)
+        flat = sorted(index for indices in groups.values() for index in indices)
+        assert flat == list(range(len(user_ids)))
+        for shard, indices in groups.items():
+            assert indices == sorted(indices)
+            assert all(ring.shard_for(user_ids[i]) == shard for i in indices)
+
+
+# --------------------------------------------------------------------- #
+# frame slicing
+# --------------------------------------------------------------------- #
+
+
+def _auth_requests(n, windows=3, features=4):
+    rng = np.random.default_rng(7)
+    return [
+        AuthenticateRequest(
+            user_id=f"user-{i:03d}",
+            features=rng.normal(size=(windows + (i % 2), features)),
+            contexts=tuple(
+                CoarseContext("stationary" if j % 2 else "moving")
+                for j in range(windows + (i % 2))
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+class TestEncodeFrameSlice:
+    def test_slice_round_trips_to_original_requests(self):
+        requests = _auth_requests(6)
+        frame = wirebin.decode_request_frame(
+            wirebin.encode_request_frame(requests, api_key=API_KEY)
+        )
+        indices = [4, 1, 5]
+        sliced = wirebin.decode_request_frame(
+            wirebin.encode_frame_slice(frame, indices)
+        )
+        assert sliced.api_key == API_KEY
+        assert list(sliced.user_ids) == [requests[i].user_id for i in indices]
+        for rebuilt, index in zip(sliced.to_requests(), indices):
+            np.testing.assert_array_equal(
+                rebuilt.features, requests[index].features
+            )
+            assert rebuilt.contexts == requests[index].contexts
+
+    def test_slice_of_everything_equals_reencoding(self):
+        requests = _auth_requests(5)
+        frame = wirebin.decode_request_frame(
+            wirebin.encode_request_frame(requests, api_key=API_KEY, frame_id="f-1")
+        )
+        full = wirebin.encode_frame_slice(
+            frame, range(len(requests)), frame_id="f-1"
+        )
+        again = wirebin.decode_request_frame(full)
+        assert list(again.user_ids) == list(frame.user_ids)
+        np.testing.assert_array_equal(again.features, frame.features)
+        np.testing.assert_array_equal(again.lengths, frame.lengths)
+
+    def test_empty_and_out_of_range_slices_are_rejected(self):
+        frame = wirebin.decode_request_frame(
+            wirebin.encode_request_frame(_auth_requests(3), api_key=API_KEY)
+        )
+        with pytest.raises(ValueError, match="zero requests"):
+            wirebin.encode_frame_slice(frame, [])
+        with pytest.raises(ValueError, match="out of range"):
+            wirebin.encode_frame_slice(frame, [3])
+
+
+# --------------------------------------------------------------------- #
+# shared token bucket
+# --------------------------------------------------------------------- #
+
+
+class TestSharedTokenBucket:
+    def test_rejects_non_positive_rate_or_burst(self, tmp_path):
+        path = tmp_path / "quota.json"
+        with pytest.raises(ValueError):
+            SharedTokenBucket(path, 0.0)
+        with pytest.raises(ValueError):
+            SharedTokenBucket(path, 1.0, burst=0.0)
+
+    def test_two_instances_share_one_budget(self, tmp_path):
+        path = tmp_path / "quota.json"
+        first = SharedTokenBucket(path, rate_per_s=1.0, burst=4.0)
+        second = SharedTokenBucket(path, rate_per_s=1.0, burst=4.0)
+        # Four grants drawn alternately from two handles drain one budget.
+        assert first.acquire(2) == 0.0
+        assert second.acquire(2) == 0.0
+        retry = second.acquire(1)
+        assert retry > 0.0
+        assert first.acquire(1) > 0.0
+
+    def test_retry_after_scales_with_deficit(self, tmp_path):
+        bucket = SharedTokenBucket(tmp_path / "q.json", rate_per_s=2.0, burst=2.0)
+        assert bucket.acquire(2) == 0.0
+        retry = bucket.acquire(4)
+        assert retry == pytest.approx(4 / 2.0, rel=0.25)
+
+    def test_corrupt_state_file_fails_open(self, tmp_path):
+        path = tmp_path / "quota.json"
+        bucket = SharedTokenBucket(path, rate_per_s=1.0, burst=3.0)
+        assert bucket.acquire(1) == 0.0
+        path.write_text("{not json")
+        # A mangled state file resets to a full bucket instead of raising.
+        assert bucket.acquire(3) == 0.0
+
+    def test_attaches_behind_caller_registry_rate_interface(self, tmp_path):
+        registry = CallerRegistry()
+        registry.register("edge", (SCOPE_DATA_WRITE,))
+        registry.attach_rate_limit(
+            "edge", SharedTokenBucket(tmp_path / "q.json", 1.0, burst=2.0)
+        )
+        record = registry._by_id["edge"]
+        assert registry.acquire_rate(record, 2) is None
+        outcome = registry.acquire_rate(record, 1)
+        assert outcome is not None
+        reason, retry_after = outcome
+        assert reason == "rate-limited"
+        assert retry_after > 0.0
+
+    def test_attach_rejects_non_bucket_objects(self):
+        registry = CallerRegistry()
+        registry.register("edge", (SCOPE_DATA_WRITE,))
+        with pytest.raises(TypeError, match="TokenBucket-shaped"):
+            registry.attach_rate_limit("edge", object())
+        with pytest.raises(KeyError):
+            registry.attach_rate_limit("ghost", SharedTokenBucket("/tmp/x", 1.0))
+
+
+# --------------------------------------------------------------------- #
+# router over in-process workers
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """A small enrolled fleet persisting its models to a registry root."""
+    root = tmp_path_factory.mktemp("cluster-registry")
+    simulator = FleetSimulator(
+        FleetConfig(n_users=N_USERS, seed=5, server_side_contexts=False),
+        registry_root=root,
+    )
+    simulator.build_users()
+    simulator.enroll_fleet()
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def probes(fleet):
+    rng = np.random.default_rng(23)
+    requests = []
+    for user in fleet.users:
+        probe = user.sample_windows(
+            2, fleet.config.window_noise, rng, fleet.feature_names
+        )
+        requests.append(
+            AuthenticateRequest(
+                user_id=user.user_id,
+                features=probe.values,
+                contexts=tuple(CoarseContext(label) for label in probe.contexts),
+            )
+        )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def reference(fleet, probes):
+    return fleet.frontend.submit_many(probes)
+
+
+@pytest.fixture(scope="module")
+def cluster(fleet):
+    """Two in-process shard workers behind a router (module lifetime)."""
+    servers = []
+    for _ in range(2):
+        registry = ModelRegistry(root=fleet.frontend.gateway.registry.root)
+        registry.load()
+        frontend = ServiceFrontend(AuthenticationGateway(registry=registry))
+        server = ServiceHTTPServer(frontend, port=0)
+        server.callers.register(
+            "cluster-operator", (SCOPE_DATA_WRITE, SCOPE_ADMIN), api_key=API_KEY
+        )
+        server.serve_background()
+        servers.append(server)
+    pool = StaticEndpoints([("127.0.0.1", server.port) for server in servers])
+    router = ShardRouter(pool).serve_background()
+    yield router, servers
+    router.shutdown()
+    router.server_close()
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def _get(port, path, accept=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        headers={"Accept": accept} if accept else {},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, response.read()
+
+
+class TestShardRouter:
+    def test_binary_frame_split_merge_matches_in_process(
+        self, cluster, probes, reference
+    ):
+        router, _ = cluster
+        client = ServiceClient(port=router.port, api_key=API_KEY, codec="binary")
+        remote = client.submit_many(probes)
+        assert len(remote) == len(reference)
+        for got, want in zip(remote, reference):
+            assert isinstance(got, AuthenticationResponse)
+            np.testing.assert_array_equal(got.scores, want.scores)
+            np.testing.assert_array_equal(got.accepted, want.accepted)
+            assert got.model_version == want.model_version
+        # The batch really crossed shards: both workers saw requests.
+        assert router.ring.split([p.user_id for p in probes]).keys() == {0, 1}
+
+    def test_json_single_and_batch_route_by_user(self, cluster, probes, reference):
+        router, _ = cluster
+        client = ServiceClient(port=router.port, api_key=API_KEY, codec="json")
+        got = client.submit(probes[0])
+        np.testing.assert_array_equal(got.scores, reference[0].scores)
+        batch = client.submit_many(probes[:7])
+        for got, want in zip(batch, reference[:7]):
+            np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_unknown_user_answers_typed_not_found(self, cluster, fleet):
+        router, _ = cluster
+        client = ServiceClient(port=router.port, api_key=API_KEY, codec="json")
+        response = client.submit(
+            AuthenticateRequest(
+                user_id="nobody-here",
+                features=np.zeros((1, len(fleet.feature_names))),
+                contexts=(CoarseContext("stationary"),),
+            )
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "KeyError"
+
+    def test_admin_snapshot_broadcasts_to_every_shard(self, cluster):
+        router, servers = cluster
+        client = ServiceClient(port=router.port, api_key=API_KEY, codec="json")
+        before = [
+            server.telemetry.counter_value("transport.requests")
+            for server in servers
+        ]
+        response = client.submit(SnapshotRequest())
+        assert isinstance(response, SnapshotResponse)
+        after = [
+            server.telemetry.counter_value("transport.requests")
+            for server in servers
+        ]
+        assert all(b > a for b, a in zip(after, before))
+
+    def test_healthz_reports_per_shard_liveness(self, cluster):
+        router, _ = cluster
+        status, body = _get(router.port, HEALTH_PATH)
+        report = json.loads(body)
+        assert status == 200
+        assert report["ready"] is True
+        assert report["n_shards"] == 2
+        assert set(report["shards"]) == {"0", "1"}
+        assert all(shard["alive"] for shard in report["shards"].values())
+
+    def test_merged_metrics_equal_union_of_worker_streams(self, cluster):
+        router, servers = cluster
+        _, body = _get(router.port, METRICS_PATH)
+        view = json.loads(body)
+        worker_counters = [s.telemetry.snapshot()["counters"] for s in servers]
+        for name, value in view["counters"].items():
+            if name.startswith("router."):
+                continue
+            assert value == sum(c.get(name, 0) for c in worker_counters), name
+        worker_histograms = [s.telemetry.histograms_snapshot() for s in servers]
+        for name, payload in view["histograms"].items():
+            assert payload["count"] == sum(
+                h.get(name, {}).get("count", 0) for h in worker_histograms
+            ), name
+            assert payload["counts"] == [
+                sum(counts)
+                for counts in zip(
+                    *(
+                        h.get(name, {"counts": [0] * len(payload["counts"])})[
+                            "counts"
+                        ]
+                        for h in worker_histograms
+                    )
+                )
+            ], name
+
+    def test_prometheus_view_renders_merged_families(self, cluster):
+        router, _ = cluster
+        status, body = _get(router.port, METRICS_PATH, accept="text/plain")
+        text = body.decode()
+        assert status == 200
+        assert "# TYPE repro_transport_request_seconds histogram" in text
+        assert "repro_router_requests_total" in text
+
+    def test_unknown_paths_answer_typed_404(self, cluster):
+        router, _ = cluster
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(router.port, "/nope")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"] == "KeyError"
+
+    def test_dead_shard_answers_typed_503(self, fleet):
+        # One live worker plus one endpoint nobody listens on.
+        registry = ModelRegistry(root=fleet.frontend.gateway.registry.root)
+        registry.load()
+        server = ServiceHTTPServer(
+            ServiceFrontend(AuthenticationGateway(registry=registry)), port=0
+        )
+        server.callers.register(
+            "cluster-operator", (SCOPE_DATA_WRITE, SCOPE_ADMIN), api_key=API_KEY
+        )
+        server.serve_background()
+        with socket.socket() as probe_socket:
+            probe_socket.bind(("127.0.0.1", 0))
+            dead_port = probe_socket.getsockname()[1]
+        pool = StaticEndpoints(
+            [("127.0.0.1", server.port), ("127.0.0.1", dead_port)]
+        )
+        router = ShardRouter(pool).serve_background()
+        try:
+            ring = router.ring
+            # A user owned by the dead shard 1 answers 503, typed.
+            victim = next(
+                f"user-{i}" for i in range(1000) if ring.shard_for(f"user-{i}") == 1
+            )
+            body = json.dumps(
+                {"type": "authenticate", "user_id": victim, "features": [[0.0]]}
+            ).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{router.port}/v1/requests",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"] == "ShardUnavailable"
+            assert "shard-unavailable" in payload["message"]
+        finally:
+            router.shutdown()
+            router.server_close()
+            server.shutdown()
+            server.server_close()
+
+    def test_static_endpoints_validates_and_reports(self):
+        with pytest.raises(ValueError):
+            StaticEndpoints([])
+        pool = StaticEndpoints([("127.0.0.1", 1234)])
+        assert pool.n_shards == 1
+        assert pool.endpoint(0) == ("127.0.0.1", 1234)
+        pool.report_failure(0, "ignored")
+        assert pool.health()["0"]["alive"] is True
+
+    def test_shard_unavailable_is_a_connection_error(self):
+        error = ShardUnavailable(3, "worker process is down")
+        assert isinstance(error, ConnectionError)
+        assert error.shard == 3
+        assert "shard-unavailable" in str(error)

@@ -28,6 +28,7 @@ DOC_FILES = (
     "docs/protocol.md",
     "docs/serving.md",
     "docs/observability.md",
+    "docs/sharding.md",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
