@@ -1,10 +1,20 @@
-"""Attack substrate: zero-effort and mimicry attackers plus their evaluation.
+"""Attack substrate: sensor-level attackers plus the fleet-scale harness.
 
 Models the paper's threat model (Section III) and the masquerading-attack
 study (Section V-G): an adversary with physical access to the phone either
 uses it with his own behaviour (zero-effort attack) or watches a recording of
 the victim and imitates the victim's behaviour as well as he can (mimicry
 attack).
+
+Two layers:
+
+* :mod:`repro.attacks.attackers` / :mod:`repro.attacks.evaluation` — the
+  paper-scale study: sensor-stream attackers against one user's in-process
+  pipeline, with detection-latency evaluation;
+* :mod:`repro.attacks.fleet` — the serving-path study: replay and
+  stolen-device adversaries plus the :class:`~repro.attacks.fleet.AttackFleet`
+  campaign driver, submitting crafted requests through the v2 envelope API
+  (in process, JSON HTTP, or binary frames) with per-caller attribution.
 """
 
 from repro.attacks.attackers import (
@@ -18,6 +28,17 @@ from repro.attacks.evaluation import (
     escape_probability,
     time_to_detect_all,
 )
+from repro.attacks.fleet import (
+    AttackFleet,
+    AttackFleetConfig,
+    AttackFleetReport,
+    AttackerReport,
+    FleetAttack,
+    ReplayAttacker,
+    StolenDeviceAttacker,
+    attack_request,
+    mimic_user,
+)
 
 __all__ = [
     "ZeroEffortAttacker",
@@ -27,4 +48,13 @@ __all__ = [
     "evaluate_detection_time",
     "escape_probability",
     "time_to_detect_all",
+    "AttackFleet",
+    "AttackFleetConfig",
+    "AttackFleetReport",
+    "AttackerReport",
+    "FleetAttack",
+    "ReplayAttacker",
+    "StolenDeviceAttacker",
+    "attack_request",
+    "mimic_user",
 ]

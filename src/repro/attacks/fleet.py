@@ -1,0 +1,686 @@
+"""Fleet-scale adversaries against the *serving path* (not the paper loop).
+
+The sensor-level attackers in :mod:`repro.attacks.attackers` replay the
+paper's Section V-G study against the single-user in-process pipeline.
+This module attacks the production surface instead: crafted
+:class:`~repro.service.protocol.AuthenticateRequest`\\ s submitted through
+the v2 envelope API — in process, over JSON HTTP or as binary columnar
+frames — with every attacker provisioned as its own
+:class:`~repro.service.envelope.CallerRegistry` caller, so per-caller
+telemetry attributes the hostile traffic.
+
+Attackers operate in the same feature space the
+:class:`~repro.service.fleet.FleetSimulator` synthesises users in (a
+Gaussian cluster per context), which keeps a whole campaign against a
+500-user fleet fast enough for the test suite:
+
+* **zero-effort** — an outsider (never enrolled) uses the stolen device
+  naturally: windows from the thief's own cluster under the victim's id;
+* **mimicry** — an enrolled user imitates the victim; the attacker's
+  cluster mean is blended toward the victim's with a *strength* in
+  ``[0, 1]`` (:func:`mimic_user`), so attack effectiveness is monotone in
+  how much of the victim's behaviour the attacker copies;
+* **stolen-device** (:class:`StolenDeviceAttacker`) — another *enrolled*
+  fleet user's genuine windows scored against the victim's models;
+* **replay** (:class:`ReplayAttacker`) — a captured genuine window
+  sequence resubmitted verbatim.  The windows are the victim's own, so
+  the models accept them — the defence is the envelope layer: a replayed
+  idempotency key answers with the recorded response (``replayed=True``)
+  and the operation never re-executes.  Raw binary wire frames carry no
+  idempotency key (:meth:`ReplayAttacker.wire_frame`); those replays
+  re-execute and are caught by per-caller telemetry attribution instead.
+
+:class:`AttackFleet` drives all four campaigns and emits one
+:class:`AttackerReport` per attacker — plain deterministic types, so the
+report of a campaign run through the in-process envelope channel, the
+JSON HTTP door and the binary HTTP door can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.attacks.evaluation import DetectionTimeline
+from repro.sensors.types import CoarseContext
+from repro.service.envelope import (
+    SCOPE_DATA_WRITE,
+    EnvelopeChannel,
+    SealedResponse,
+)
+from repro.service.fleet import FleetSimulator, SimulatedUser
+from repro.service.protocol import (
+    AuthenticateRequest,
+    AuthenticationResponse,
+)
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+# --------------------------------------------------------------------- #
+# crafted attacks
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class FleetAttack:
+    """One crafted fleet-scale attack attempt.
+
+    ``eq=False`` because the request holds a NumPy feature block.
+
+    Attributes
+    ----------
+    campaign:
+        Which attack family crafted it (one of
+        :data:`AttackFleet.CAMPAIGNS`).
+    attacker_id:
+        The behavioural source of the windows (an outsider label, the
+        enrolled source user, or the victim itself for a replay).
+    victim_id:
+        The enrolled user whose models the windows are scored against.
+    request:
+        The protocol request as it travels on the wire.
+    """
+
+    campaign: str
+    attacker_id: str
+    victim_id: str
+    request: AuthenticateRequest
+
+
+def attack_request(
+    source: SimulatedUser,
+    victim_id: str,
+    n_per_context: int,
+    noise: float,
+    feature_names: Sequence[str],
+    rng: np.random.Generator,
+    server_side_contexts: bool = True,
+) -> AuthenticateRequest:
+    """Windows sampled from *source*'s clusters, submitted as *victim_id*.
+
+    The crafting primitive every campaign shares: the feature windows are
+    honest draws from the attacker's behaviour, only the claimed identity
+    lies.  With *server_side_contexts* the request omits context labels
+    (the service detects them), mirroring the fleet's own traffic.
+    """
+    check_positive(n_per_context, "n_per_context")
+    matrix = source.sample_windows(
+        n_per_context, noise, rng, list(feature_names)
+    )
+    return AuthenticateRequest(
+        user_id=victim_id,
+        features=matrix.values,
+        contexts=(
+            None
+            if server_side_contexts
+            else tuple(CoarseContext(label) for label in matrix.contexts)
+        ),
+    )
+
+
+def mimic_user(
+    source: SimulatedUser,
+    victim: SimulatedUser,
+    strength: float,
+    mimic_id: str | None = None,
+) -> SimulatedUser:
+    """The behaviour *source* exhibits while imitating *victim*.
+
+    *strength* is the fleet-scale analogue of the sensor-level mimicry
+    *fidelity*: each context cluster mean moves linearly from the
+    attacker's own (``0.0``) to the victim's (``1.0``).  Because windows
+    are mean + noise, the crafted windows — and hence the score of any
+    linear model — are monotone in *strength* for a fixed noise draw.
+
+    Raises
+    ------
+    ValueError
+        If *strength* is outside ``[0, 1]``.
+    """
+    check_in_range(strength, "strength", 0.0, 1.0)
+    means = {
+        context: (1.0 - strength) * source.context_means[context]
+        + strength * victim.context_means[context]
+        for context in victim.context_means
+    }
+    return SimulatedUser(
+        user_id=mimic_id if mimic_id is not None else f"mimic-of-{victim.user_id}",
+        context_means=means,
+    )
+
+
+class StolenDeviceAttacker:
+    """An enrolled fleet user scoring his own windows as someone else.
+
+    The stolen-device scenario of the threat model: the thief is a
+    legitimate member of the same fleet (his behaviour is in the negative
+    pool the victim's models trained against), picks up the victim's
+    unlocked device and keeps using it naturally.  His windows are honest
+    draws from his own clusters — only the claimed identity lies — so the
+    victim's models must reject on behaviour alone.
+    """
+
+    campaign = "stolen-device"
+
+    def __init__(self, source: SimulatedUser) -> None:
+        self.source = source
+
+    def craft(
+        self,
+        victim_id: str,
+        n_per_context: int,
+        noise: float,
+        feature_names: Sequence[str],
+        rng: np.random.Generator,
+        server_side_contexts: bool = True,
+    ) -> FleetAttack:
+        """One attack attempt against *victim_id* (windows are the thief's)."""
+        return FleetAttack(
+            campaign=self.campaign,
+            attacker_id=self.source.user_id,
+            victim_id=victim_id,
+            request=attack_request(
+                self.source,
+                victim_id,
+                n_per_context,
+                noise,
+                feature_names,
+                rng,
+                server_side_contexts,
+            ),
+        )
+
+
+class ReplayAttacker:
+    """An adversary replaying a captured genuine request verbatim.
+
+    The windows are the victim's own, so every authentication model in
+    the fleet accepts them — replay is the attack the *service* layer
+    must catch, not the classifier.  Two capture forms:
+
+    * an **enveloped request** (JSON wire or in-process): the capture
+      includes the idempotency key, so a verbatim resubmission answers
+      with the recorded response (``replayed=True``) and the operation
+      never re-executes — that flag is the detection;
+    * a **raw binary wire frame** (:meth:`wire_frame`): frames carry no
+      idempotency slot, so a replayed frame re-executes.  Detection falls
+      to per-caller telemetry attribution — the replayed windows land on
+      the capturing credential's counters (see ``docs/attacks.md``).
+    """
+
+    campaign = "replay"
+
+    def __init__(self) -> None:
+        self.captured: FleetAttack | None = None
+
+    def capture(
+        self,
+        victim: SimulatedUser,
+        n_per_context: int,
+        noise: float,
+        feature_names: Sequence[str],
+        rng: np.random.Generator,
+        server_side_contexts: bool = True,
+    ) -> FleetAttack:
+        """Record one genuine window sequence off the victim's device."""
+        attack = FleetAttack(
+            campaign=self.campaign,
+            attacker_id=victim.user_id,
+            victim_id=victim.user_id,
+            request=attack_request(
+                victim,
+                victim.user_id,
+                n_per_context,
+                noise,
+                feature_names,
+                rng,
+                server_side_contexts,
+            ),
+        )
+        self.captured = attack
+        return attack
+
+    def wire_frame(self, api_key: str, frame_id: str | None = None) -> bytes:
+        """The captured request as raw binary frame bytes for re-POSTing.
+
+        Raises
+        ------
+        RuntimeError
+            If nothing has been captured yet.
+        """
+        if self.captured is None:
+            raise RuntimeError("capture a request before encoding a wire frame")
+        from repro.service import wirebin
+
+        if frame_id is None:
+            return wirebin.encode_request_frame(
+                [self.captured.request], api_key=api_key
+            )
+        return wirebin.encode_request_frame(
+            [self.captured.request], api_key=api_key, frame_id=frame_id
+        )
+
+
+# --------------------------------------------------------------------- #
+# per-attacker detection reports
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AttackerReport:
+    """Detection outcome of one attacker's campaign attempt.
+
+    Every field is a plain deterministic type, so two reports produced by
+    the same campaign through different transport doors compare equal
+    bit-for-bit (``==``).
+
+    Attributes
+    ----------
+    campaign:
+        The attack family.
+    caller_id:
+        The :class:`~repro.service.envelope.CallerRegistry` caller the
+        hostile traffic travelled under (per-caller attribution handle).
+    attacker_id, victim_id:
+        Behavioural source and claimed identity.
+    n_windows, n_accepted, false_accept_rate:
+        Per-window acceptance of the attack windows (the FAR the victim's
+        models granted this attacker).
+    detection_window:
+        Index of the first rejected window (``None`` = never rejected —
+        the attacker held access for the whole session).
+    detection_time_s:
+        Seconds until lockout at the configured authentication period.
+    replays_sent, replays_flagged:
+        Replay campaign only: verbatim resubmissions of the captured
+        envelope, and how many the service flagged (``replayed=True``,
+        recorded response, no re-execution).
+    """
+
+    campaign: str
+    caller_id: str
+    attacker_id: str
+    victim_id: str
+    n_windows: int
+    n_accepted: int
+    false_accept_rate: float
+    detection_window: int | None
+    detection_time_s: float | None
+    replays_sent: int = 0
+    replays_flagged: int = 0
+
+
+@dataclass(frozen=True)
+class AttackFleetReport:
+    """Every attacker's detection report from one campaign run."""
+
+    window_seconds: float
+    attackers: tuple[AttackerReport, ...]
+
+    def for_campaign(self, campaign: str) -> tuple[AttackerReport, ...]:
+        """The reports of one campaign, in attacker order."""
+        return tuple(
+            report for report in self.attackers if report.campaign == campaign
+        )
+
+    def campaigns(self) -> tuple[str, ...]:
+        """Campaign names present, in first-seen order."""
+        seen: list[str] = []
+        for report in self.attackers:
+            if report.campaign not in seen:
+                seen.append(report.campaign)
+        return tuple(seen)
+
+    def false_accept_rate(self, campaign: str) -> float:
+        """Aggregate window-level FAR of one campaign."""
+        reports = self.for_campaign(campaign)
+        windows = sum(report.n_windows for report in reports)
+        accepted = sum(report.n_accepted for report in reports)
+        return accepted / windows if windows else 0.0
+
+    def timeline(self, campaign: str) -> DetectionTimeline:
+        """The campaign's detection timeline (survival curve, latency)."""
+        reports = self.for_campaign(campaign)
+        return DetectionTimeline(
+            window_seconds=self.window_seconds,
+            detection_windows=[report.detection_window for report in reports],
+            n_windows=[report.n_windows for report in reports],
+        )
+
+    def to_text(self) -> str:
+        """Human-readable per-attacker table."""
+        lines = [
+            f"{'campaign':<14} {'caller':<26} {'victim':<16} "
+            f"{'FAR':>6} {'detect':>8} {'flagged':>8}"
+        ]
+        for report in self.attackers:
+            detect = (
+                f"{report.detection_time_s:.0f}s"
+                if report.detection_time_s is not None
+                else "never"
+            )
+            flagged = (
+                f"{report.replays_flagged}/{report.replays_sent}"
+                if report.replays_sent
+                else "-"
+            )
+            lines.append(
+                f"{report.campaign:<14} {report.caller_id:<26} "
+                f"{report.victim_id:<16} {report.false_accept_rate:>6.1%} "
+                f"{detect:>8} {flagged:>8}"
+            )
+        for campaign in self.campaigns():
+            timeline = self.timeline(campaign)
+            lines.append(
+                f"{campaign}: aggregate FAR "
+                f"{self.false_accept_rate(campaign):.1%}, "
+                f"{timeline.fraction_detected_within(3 * self.window_seconds):.0%} "
+                f"locked out within {3 * self.window_seconds:.0f}s"
+            )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# the campaign driver
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AttackFleetConfig:
+    """Scale and behaviour knobs of an adversarial campaign.
+
+    Attributes
+    ----------
+    n_attackers:
+        Attackers per campaign; attacker *i* targets fleet user
+        ``i mod n_users``.
+    attack_windows_per_context:
+        Windows each attacker submits per coarse context.
+    mimicry_strength:
+        How much of the victim's behaviour the mimicry campaign copies
+        (see :func:`mimic_user`).
+    n_replays:
+        Verbatim resubmissions after the replay campaign's first send.
+    window_seconds:
+        Authentication period used for detection-latency accounting (the
+        paper's 6-second analysis window).
+    seed:
+        Master seed; every campaign derives its own stream, so a rerun —
+        through any door — crafts identical windows.
+    """
+
+    n_attackers: int = 6
+    attack_windows_per_context: int = 4
+    mimicry_strength: float = 0.85
+    n_replays: int = 2
+    window_seconds: float = 6.0
+    seed: RandomState = 101
+
+    def __post_init__(self) -> None:
+        if self.n_attackers < 1:
+            raise ValueError(f"n_attackers must be >= 1, got {self.n_attackers}")
+        check_positive(self.attack_windows_per_context, "attack_windows_per_context")
+        check_in_range(self.mimicry_strength, "mimicry_strength", 0.0, 1.0)
+        if self.n_replays < 1:
+            raise ValueError(f"n_replays must be >= 1, got {self.n_replays}")
+        check_positive(self.window_seconds, "window_seconds")
+
+
+class AttackFleet:
+    """Runs adversarial campaigns against an enrolled fleet's service.
+
+    Each attacker is provisioned as a distinct ``data:write``-only caller
+    in the fleet's :class:`~repro.service.envelope.CallerRegistry`, so
+    the hostile traffic lands on its own per-caller telemetry counters —
+    the attribution recipe in ``docs/attacks.md``.  Campaigns are
+    deterministic in the config seed: running the same campaign through
+    the in-process envelope channel, a JSON
+    :class:`~repro.service.transport.ServiceClient` and a binary-codec
+    client yields bit-for-bit identical :class:`AttackFleetReport`\\ s.
+
+    Parameters
+    ----------
+    fleet:
+        An enrolled-and-trained :class:`~repro.service.fleet.FleetSimulator`
+        (``build_users()`` + ``enroll_fleet()`` already run).
+    config:
+        Campaign knobs (defaults when omitted).
+    """
+
+    #: Campaign names, in execution order.
+    CAMPAIGNS = ("zero-effort", "mimicry", "replay", "stolen-device")
+
+    def __init__(
+        self, fleet: FleetSimulator, config: AttackFleetConfig | None = None
+    ) -> None:
+        self.fleet = fleet
+        self.config = config or AttackFleetConfig()
+        self._keys: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # caller provisioning
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def caller_id(campaign: str, index: int) -> str:
+        """The registry caller id of attacker *index* in *campaign*."""
+        return f"attacker-{campaign}-{index:02d}"
+
+    def provision(self) -> dict[str, str]:
+        """Register every attacker as its own caller; returns their keys.
+
+        Idempotent: already-provisioned callers keep their credential, so
+        the same campaign can run through several transport doors without
+        re-registering (per-caller counters then accumulate across doors).
+        A caller registered by an *earlier* harness on the same fleet is
+        taken over with a key rotation — its telemetry counters survive.
+        """
+        for campaign in self.CAMPAIGNS:
+            for index in range(self.config.n_attackers):
+                caller = self.caller_id(campaign, index)
+                if caller in self._keys:
+                    continue
+                try:
+                    key = self.fleet.callers.register(caller, (SCOPE_DATA_WRITE,))
+                except ValueError:
+                    key = self.fleet.callers.rotate_key(caller)
+                self._keys[caller] = key
+        return dict(self._keys)
+
+    # ------------------------------------------------------------------ #
+    # crafting
+    # ------------------------------------------------------------------ #
+
+    def _craft(
+        self, campaign: str, index: int, rng: np.random.Generator
+    ) -> FleetAttack:
+        """Craft attacker *index*'s attempt for *campaign* (rng-ordered)."""
+        config = self.config
+        fleet_config = self.fleet.config
+        users = self.fleet.users
+        victim = users[index % len(users)]
+        n = config.attack_windows_per_context
+        noise = fleet_config.window_noise
+        names = self.fleet.feature_names
+        omit = fleet_config.server_side_contexts
+        if campaign == "zero-effort":
+            # An outsider: his own cluster, never enrolled, own gait
+            # offset — the weakest adversary, the FAR baseline.
+            base = rng.normal(0.0, fleet_config.user_spread, size=len(names))
+            offset = rng.normal(0.0, 1.0, size=len(names))
+            outsider = SimulatedUser(
+                user_id=f"outsider-{index:02d}",
+                context_means={
+                    CoarseContext.STATIONARY: base,
+                    CoarseContext.MOVING: base + offset,
+                },
+            )
+            return FleetAttack(
+                campaign=campaign,
+                attacker_id=outsider.user_id,
+                victim_id=victim.user_id,
+                request=attack_request(
+                    outsider, victim.user_id, n, noise, names, rng, omit
+                ),
+            )
+        if campaign == "mimicry":
+            shift = 2 if len(users) > 2 else 1
+            source = users[(index + shift) % len(users)]
+            mimic = mimic_user(source, victim, config.mimicry_strength)
+            return FleetAttack(
+                campaign=campaign,
+                attacker_id=source.user_id,
+                victim_id=victim.user_id,
+                request=attack_request(
+                    mimic, victim.user_id, n, noise, names, rng, omit
+                ),
+            )
+        if campaign == "replay":
+            return ReplayAttacker().capture(victim, n, noise, names, rng, omit)
+        if campaign == "stolen-device":
+            source = users[(index + 1) % len(users)]
+            return StolenDeviceAttacker(source).craft(
+                victim.user_id, n, noise, names, rng, omit
+            )
+        raise ValueError(
+            f"unknown campaign {campaign!r}; known: {self.CAMPAIGNS}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _decisions(sealed: SealedResponse, attack: FleetAttack) -> np.ndarray:
+        """The per-window accept decisions inside one sealed response."""
+        response = sealed.response
+        if not isinstance(response, AuthenticationResponse):
+            raise RuntimeError(
+                f"{attack.campaign} attack on {attack.victim_id!r} did not "
+                f"score: the service answered {type(response).__name__} "
+                f"({getattr(response, 'code', getattr(response, 'error', ''))})"
+            )
+        return np.asarray(response.accepted, dtype=bool)
+
+    def _report(
+        self,
+        attack: FleetAttack,
+        caller: str,
+        accepted: np.ndarray,
+        replays_sent: int = 0,
+        replays_flagged: int = 0,
+    ) -> AttackerReport:
+        n_windows = int(accepted.size)
+        n_accepted = int(np.count_nonzero(accepted))
+        rejected = np.flatnonzero(~accepted)
+        detection_window = int(rejected[0]) if rejected.size else None
+        return AttackerReport(
+            campaign=attack.campaign,
+            caller_id=caller,
+            attacker_id=attack.attacker_id,
+            victim_id=attack.victim_id,
+            n_windows=n_windows,
+            n_accepted=n_accepted,
+            false_accept_rate=n_accepted / n_windows if n_windows else 0.0,
+            detection_window=detection_window,
+            detection_time_s=(
+                None
+                if detection_window is None
+                else (detection_window + 1) * self.config.window_seconds
+            ),
+            replays_sent=replays_sent,
+            replays_flagged=replays_flagged,
+        )
+
+    def run(
+        self,
+        channel_for: Callable[[str], Any] | None = None,
+        run_id: str = "local",
+    ) -> AttackFleetReport:
+        """Run every campaign and assemble the per-attacker report.
+
+        Parameters
+        ----------
+        channel_for:
+            ``api_key -> channel`` factory choosing the transport door.
+            The channel must expose ``submit_many`` (scoring; rides binary
+            frames on a binary-codec client) and ``submit_sealed`` (the
+            replay campaign needs the envelope-level ``replayed`` flag).
+            Defaults to an in-process
+            :class:`~repro.service.envelope.EnvelopeChannel` per attacker.
+            Channels exposing ``close()`` are closed after use.
+        run_id:
+            Namespace for the replay campaign's idempotency keys.  Give
+            every door its own run id when running one campaign through
+            several doors against the same service — idempotency records
+            are (caller, key)-scoped service state, so reusing a key
+            across doors would flag the *first* send of the second door.
+
+        Raises
+        ------
+        RuntimeError
+            If the fleet has no users (run ``build_users`` +
+            ``enroll_fleet`` first), or a campaign request came back as
+            anything but a scored authentication response.
+        """
+        if not self.fleet.users:
+            raise RuntimeError(
+                "the fleet has no users; run build_users() and enroll_fleet() "
+                "before attacking it"
+            )
+        keys = self.provision()
+        if channel_for is None:
+            channel_for = lambda api_key: EnvelopeChannel(  # noqa: E731
+                self.fleet.processor, api_key
+            )
+        reports: list[AttackerReport] = []
+        for campaign in self.CAMPAIGNS:
+            rng = derive_rng(self.config.seed, "attack-fleet", campaign)
+            for index in range(self.config.n_attackers):
+                caller = self.caller_id(campaign, index)
+                attack = self._craft(campaign, index, rng)
+                channel = channel_for(keys[caller])
+                try:
+                    if campaign == "replay":
+                        reports.append(
+                            self._run_replay(attack, caller, channel, run_id)
+                        )
+                    else:
+                        responses = channel.submit_many([attack.request])
+                        sealed = SealedResponse(
+                            response=responses[0], request_id="batch"
+                        )
+                        accepted = self._decisions(sealed, attack)
+                        reports.append(self._report(attack, caller, accepted))
+                finally:
+                    close = getattr(channel, "close", None)
+                    if close is not None:
+                        close()
+        return AttackFleetReport(
+            window_seconds=self.config.window_seconds, attackers=tuple(reports)
+        )
+
+    def _run_replay(
+        self, attack: FleetAttack, caller: str, channel: Any, run_id: str
+    ) -> AttackerReport:
+        """First send executes; verbatim resubmissions must come back
+        flagged (``replayed=True``) with the recorded decisions."""
+        key = f"{run_id}:{caller}"
+        first = channel.submit_sealed(attack.request, idempotency_key=key)
+        accepted = self._decisions(first, attack)
+        flagged = 0
+        for _ in range(self.config.n_replays):
+            replayed = channel.submit_sealed(attack.request, idempotency_key=key)
+            again = self._decisions(replayed, attack)
+            if replayed.replayed and bool(np.array_equal(again, accepted)):
+                flagged += 1
+        return self._report(
+            attack,
+            caller,
+            accepted,
+            replays_sent=self.config.n_replays,
+            replays_flagged=flagged,
+        )

@@ -53,7 +53,11 @@ but absent from the paper's prototype:
   splitting/merging binary frames across shards in request order, sharing
   per-caller quotas fleet-wide via a file-backed
   :class:`~repro.service.envelope.SharedTokenBucket`, and merging every
-  worker's telemetry into one Prometheus view.
+  worker's telemetry into one Prometheus view;
+* :mod:`repro.service.chaos` — fault injection for all of the above
+  (credential churn, quota-file corruption, worker-crash storms) plus the
+  typed-outcome grader the chaos suite uses to pin that every injected
+  fault surfaces as a 401/403/429/503 or typed error — never a 500.
 
 The storage and scoring engines live in the layers below —
 :class:`~repro.devices.store.FeatureStore` in :mod:`repro.devices.store` and

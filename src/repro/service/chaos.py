@@ -1,0 +1,325 @@
+"""Fault injection for the serving path, and the vocabulary to grade it.
+
+The chaos harness's contract (ROADMAP: "adversarial fleet + chaos
+harness") is that **every injected fault surfaces as a typed outcome** —
+a 401/403 denial, a 429 throttle, a 503 shard outage, or a typed error
+response — and never as an unhandled exception inside the server
+(``transport.server_errors`` stays 0).  This module supplies the
+injectors and a shared outcome taxonomy:
+
+* :func:`classify_call` — run one call and name its outcome;
+* :class:`ChaosLoad` — hammer a call from worker threads while a fault
+  injector runs, tallying outcomes;
+* :class:`CallerKeyChaos` — rotate/revoke/re-register a caller's
+  credential mid-load;
+* :class:`QuotaFileCorruptor` — truncate, zero out, garbage-fill, or
+  delete a :class:`~repro.service.envelope.SharedTokenBucket` state file
+  while writers hold it;
+* :class:`WorkerCrashStorm` — SIGKILL random cluster workers behind a
+  :class:`~repro.service.cluster.ShardRouter`.
+
+``tests/chaos/`` pins one scenario per injector; ``docs/attacks.md``
+holds the runbook.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from collections import Counter
+from typing import Any, Callable, Sequence
+
+from repro.service.envelope import (
+    CODE_MISSING_KEY,
+    CODE_UNKNOWN_KEY,
+    CallerRegistry,
+)
+from repro.service.protocol import ErrorResponse, Response, ThrottledResponse
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "OUTCOME_OK",
+    "OUTCOME_UNAUTHORIZED",
+    "OUTCOME_FORBIDDEN",
+    "OUTCOME_THROTTLED",
+    "OUTCOME_UNAVAILABLE",
+    "OUTCOME_CONNECTION",
+    "classify_response",
+    "classify_call",
+    "ChaosLoad",
+    "CallerKeyChaos",
+    "QuotaFileCorruptor",
+    "WorkerCrashStorm",
+]
+
+
+#: Typed outcome names (the HTTP status each corresponds to on the wire).
+OUTCOME_OK = "ok"
+OUTCOME_UNAUTHORIZED = "unauthorized-401"
+OUTCOME_FORBIDDEN = "forbidden-403"
+OUTCOME_THROTTLED = "throttled-429"
+OUTCOME_UNAVAILABLE = "unavailable-503"
+OUTCOME_CONNECTION = "connection-error"
+
+_401_MARKERS = (CODE_MISSING_KEY, CODE_UNKNOWN_KEY)
+
+
+def classify_response(response: Response) -> str:
+    """Name the typed outcome a protocol response represents."""
+    if isinstance(response, ThrottledResponse):
+        return OUTCOME_THROTTLED
+    if isinstance(response, ErrorResponse):
+        if response.error == "ShardUnavailable":
+            return OUTCOME_UNAVAILABLE
+        return f"error-{response.error}"
+    return OUTCOME_OK
+
+
+def classify_call(call: Callable[[], Response | Sequence[Response]]) -> str:
+    """Run *call* and name its outcome — typed, or the raw exception.
+
+    The grading primitive of the chaos suite: a call under fault
+    injection must land in the typed vocabulary above.  Anything else
+    (``exception-TypeError``, …) is the harness catching an untyped
+    failure mode — chaos tests assert those never appear.
+
+    * A channel/client raising ``PermissionError`` is the in-band twin of
+      HTTP 401/403; the message's denial code picks which.
+    * ``ConnectionError`` means the server vanished mid-call (expected
+      while a worker pool restarts); the transport's catch-all never saw
+      it, so it does not contradict ``transport.server_errors == 0``.
+    * A sequence result (``submit_many``) takes the worst member's
+      outcome, so a half-throttled batch grades as throttled.
+    """
+    try:
+        result = call()
+    except PermissionError as exc:
+        text = str(exc)
+        if any(marker in text for marker in _401_MARKERS):
+            return OUTCOME_UNAUTHORIZED
+        return OUTCOME_FORBIDDEN
+    except ConnectionError:
+        return OUTCOME_CONNECTION
+    except Exception as exc:  # noqa: BLE001 - the whole point: name it
+        return f"exception-{type(exc).__name__}"
+    if isinstance(result, (list, tuple)):
+        outcomes = [classify_response(item) for item in result]
+        for outcome in outcomes:
+            if outcome != OUTCOME_OK:
+                return outcome
+        return OUTCOME_OK
+    return classify_response(result)
+
+
+class ChaosLoad:
+    """Concurrent load generator grading every call's outcome.
+
+    Runs *make_call* results from *n_threads* workers for *duration_s*
+    (or until :meth:`stop`), classifying each completed call with
+    :func:`classify_call`.  *make_call* receives the worker index and
+    returns the zero-argument callable to grade — build per-thread
+    clients inside it if the underlying channel is not thread-safe.
+
+    Usage::
+
+        load = ChaosLoad(lambda i: (lambda: client.submit(request)))
+        outcomes = load.run(lambda: chaos.disrupt_once())
+        assert set(outcomes) <= {OUTCOME_OK, OUTCOME_UNAUTHORIZED}
+    """
+
+    def __init__(
+        self,
+        make_call: Callable[[int], Callable[[], Any]],
+        n_threads: int = 4,
+        duration_s: float = 1.0,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.make_call = make_call
+        self.n_threads = n_threads
+        self.duration_s = duration_s
+        self.outcomes: Counter[str] = Counter()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the workers to finish their current call and exit."""
+        self._stop.set()
+
+    def _worker(self, index: int) -> None:
+        deadline = time.monotonic() + self.duration_s
+        call = self.make_call(index)
+        while not self._stop.is_set() and time.monotonic() < deadline:
+            outcome = classify_call(call)
+            with self._lock:
+                self.outcomes[outcome] += 1
+
+    def run(
+        self, disrupt: Callable[[], None] | None = None
+    ) -> Counter[str]:
+        """Drive the load (and *disrupt*, concurrently); returns outcomes.
+
+        *disrupt* runs on the caller's thread while the workers hammer
+        the service; when it returns (or immediately, if omitted) the
+        workers run out their duration.
+        """
+        self._stop.clear()
+        threads = [
+            threading.Thread(target=self._worker, args=(index,), daemon=True)
+            for index in range(self.n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            if disrupt is not None:
+                disrupt()
+        finally:
+            for thread in threads:
+                thread.join()
+        return Counter(self.outcomes)
+
+
+class CallerKeyChaos:
+    """Rotates, revokes, and re-registers one caller's credential.
+
+    Models an operator churning credentials while traffic is in flight:
+    each :meth:`disrupt_once` step either rotates the key (old key turns
+    into a typed 401), revokes the caller outright, or re-registers it
+    after a revocation.  In-flight calls holding a stale key must degrade
+    to typed 401s — never a 500.
+
+    Attributes
+    ----------
+    current_key:
+        The credential that is valid *right now* (``None`` while
+        revoked).
+    log:
+        The (action, caller_id) steps taken, for test diagnostics.
+    """
+
+    ACTIONS = ("rotate", "revoke")
+
+    def __init__(
+        self,
+        registry: CallerRegistry,
+        caller_id: str,
+        scopes: Sequence[str],
+        seed: RandomState = None,
+    ) -> None:
+        self.registry = registry
+        self.caller_id = caller_id
+        self.scopes = tuple(scopes)
+        self._rng = ensure_rng(seed)
+        self.current_key: str | None = None
+        self.log: list[tuple[str, str]] = []
+
+    def disrupt_once(self) -> str:
+        """Take one chaos step; returns the action taken."""
+        if self.current_key is None:
+            action = "register"
+            self.current_key = self.registry.register(
+                self.caller_id, self.scopes
+            )
+        else:
+            action = self.ACTIONS[int(self._rng.integers(len(self.ACTIONS)))]
+            if action == "rotate":
+                self.current_key = self.registry.rotate_key(self.caller_id)
+            else:
+                self.registry.revoke(self.caller_id)
+                self.current_key = None
+        self.log.append((action, self.caller_id))
+        return action
+
+    def storm(self, steps: int, interval_s: float = 0.05) -> None:
+        """Run *steps* chaos steps spaced *interval_s* apart, then make
+        sure the caller ends the storm registered and servable."""
+        for _ in range(steps):
+            self.disrupt_once()
+            time.sleep(interval_s)
+        if self.current_key is None:
+            self.disrupt_once()
+
+
+class QuotaFileCorruptor:
+    """Corrupts a :class:`~repro.service.envelope.SharedTokenBucket` file.
+
+    The bucket's contract is to *fail open* on unreadable state — a torn,
+    truncated, zeroed, garbage, or missing file refills the bucket rather
+    than crashing a writer — so sustained corruption must never surface
+    beyond typed 429s (while the file is healthy and drained) and
+    successes.  Cycles through every corruption mode deterministically.
+    """
+
+    MODES = ("garbage", "truncate", "zero-byte", "delete")
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self.corruptions = 0
+
+    def corrupt_once(self) -> str:
+        """Apply the next corruption mode; returns the mode applied."""
+        mode = self.MODES[self.corruptions % len(self.MODES)]
+        self.corruptions += 1
+        try:
+            if mode == "garbage":
+                with open(self.path, "w", encoding="utf-8") as handle:
+                    handle.write('{"tokens": not-json !!!')
+            elif mode == "truncate":
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.truncate(3)
+            elif mode == "zero-byte":
+                with open(self.path, "w", encoding="utf-8"):
+                    pass
+            else:
+                os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        return mode
+
+    def storm(self, cycles: int = 2, interval_s: float = 0.02) -> None:
+        """Apply every mode *cycles* times, spaced *interval_s* apart."""
+        for _ in range(cycles * len(self.MODES)):
+            self.corrupt_once()
+            time.sleep(interval_s)
+
+
+class WorkerCrashStorm:
+    """SIGKILLs random live workers of a cluster worker pool.
+
+    Models machine loss behind the shard router: with ``restart=True``
+    the pool's health loop resurrects the shard, and until it does the
+    router answers the shard's keys with a typed 503
+    (``ShardUnavailable``).  Requests through the router must only ever
+    land on ``ok`` / 503 / a transient connection error — the router's
+    own catch-all (``transport.server_errors``) stays silent.
+    """
+
+    def __init__(self, pool: Any, seed: RandomState = None) -> None:
+        self.pool = pool
+        self._rng = ensure_rng(seed)
+        self.kills: list[tuple[int, int]] = []
+
+    def crash_once(self) -> tuple[int, int] | None:
+        """SIGKILL one live worker; returns ``(shard, pid)`` or ``None``."""
+        alive = [
+            (shard, pid)
+            for shard, pid in self.pool.pids().items()
+            if pid is not None
+        ]
+        if not alive:
+            return None
+        shard, pid = alive[int(self._rng.integers(len(alive)))]
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            return None
+        self.kills.append((shard, pid))
+        return shard, pid
+
+    def storm(self, crashes: int, interval_s: float = 0.3) -> None:
+        """Crash *crashes* workers, spaced so restarts interleave."""
+        for _ in range(crashes):
+            self.crash_once()
+            time.sleep(interval_s)

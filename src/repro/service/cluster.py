@@ -643,19 +643,42 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
             request_kind=kind, error=type(error).__name__, message=str(error)
         )
 
-    def _send_unavailable(self, kind: str, error: ShardUnavailable) -> None:
+    def _send_unavailable(
+        self, kind: str, error: ShardUnavailable, payload: Any = None
+    ) -> None:
+        """Answer a typed 503, sealed when the failed exchange was enveloped.
+
+        A v2 caller expects every JSON answer sealed (the client's unseal
+        verifies the request-id echo); handing it the bare v1 error shape
+        would turn a typed shard outage into a client-side parse error.
+        *payload* is the already-decoded request body — an envelope dict
+        (v2 single/admin), a list of envelopes (v2 batch, answered
+        per-envelope), or ``None`` for the legacy plane.
+        """
         self.server.telemetry.increment("router.unavailable")
-        self._send_json(
-            503,
-            dumps_response(
-                ErrorResponse(
-                    request_kind=kind,
-                    error="ShardUnavailable",
-                    message=str(error),
-                )
-            ),
-            {"Retry-After": "1"},
+        response = ErrorResponse(
+            request_kind=kind, error="ShardUnavailable", message=str(error)
         )
+        headers = {"Retry-After": "1"}
+
+        def _sealed(item: Any) -> dict:
+            request_id = (
+                str(item.get("request_id", "")) if isinstance(item, dict) else ""
+            )
+            return sealed_to_payload(
+                SealedResponse(response=response, request_id=request_id)
+            )
+
+        if isinstance(payload, dict):
+            self._send_json(503, serialization.dumps(_sealed(payload)), headers)
+        elif isinstance(payload, list):
+            self._send_json(
+                503,
+                serialization.dumps([_sealed(item) for item in payload]),
+                headers,
+            )
+        else:
+            self._send_json(503, dumps_response(response), headers)
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -758,7 +781,11 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                         ),
                     )
             except ShardUnavailable as error:
-                self._send_unavailable("transport", error)
+                self._send_unavailable(
+                    "transport",
+                    error,
+                    None if self.path == REQUESTS_PATH else payload,
+                )
             except _WorkerFault as fault:
                 self._send_raw(fault.status, fault.body, "application/json")
 

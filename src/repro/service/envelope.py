@@ -484,6 +484,47 @@ class CallerRegistry:
             self._by_hash.pop(record.key_hash, None)
             return True
 
+    def rotate_key(self, caller_id: str, api_key: str | None = None) -> str:
+        """Replace a caller's credential, returning the new key once.
+
+        The old key stops authorizing the moment this returns: concurrent
+        requests still carrying it get the typed ``unknown-api-key`` 401,
+        never an exception — rotation under live load degrades exactly
+        like a revocation.  Scopes, rate limits and telemetry counters all
+        survive the rotation (the caller is the same, only its credential
+        changed).
+
+        Parameters
+        ----------
+        caller_id:
+            A registered caller.
+        api_key:
+            Explicit replacement credential (tests); a cryptographically
+            random one is generated when omitted.
+
+        Raises
+        ------
+        KeyError
+            If no such caller is registered.
+        ValueError
+            If the explicit key already belongs to a different caller.
+        """
+        if api_key is None:
+            api_key = secrets.token_urlsafe(24)
+        key_hash = self.hash_key(api_key)
+        with self._lock:
+            record = self._by_id.get(caller_id)
+            if record is None:
+                raise KeyError(f"no registered caller {caller_id!r}")
+            existing = self._by_hash.get(key_hash)
+            if existing is not None and existing is not record:
+                raise ValueError("api_key is already registered to another caller")
+            self._by_hash.pop(record.key_hash, None)
+            record.key_hash = key_hash
+            self._by_hash[key_hash] = record
+        self.telemetry.increment("callers.rotated")
+        return api_key
+
     def callers(self) -> list[str]:
         """Every registered caller id (sorted)."""
         with self._lock:
@@ -1255,13 +1296,43 @@ class EnvelopeChannel:
         self.processor = processor
         self.api_key = api_key
 
-    def _wrap(self, request: Request) -> Envelope:
-        return Envelope(request=request, api_key=self.api_key)
+    def _wrap(
+        self, request: Request, idempotency_key: str | None = None
+    ) -> Envelope:
+        return Envelope(
+            request=request, api_key=self.api_key, idempotency_key=idempotency_key
+        )
 
     def submit(self, request: Request) -> Response:
         """Envelope-wrap and dispatch one request; returns the inner response."""
         envelope = self._wrap(request)
         return unseal(envelope, self.processor.process(envelope))
+
+    def submit_sealed(
+        self, request: Request, idempotency_key: str | None = None
+    ) -> SealedResponse:
+        """Dispatch one request and return the **sealed** response.
+
+        Unlike :meth:`submit` this never raises on a caller rejection —
+        the typed :class:`DeniedResponse` comes back inside the seal, and
+        the envelope-level metadata (``replayed``, ``caller_id``) stays
+        visible.  The adversarial fleet and the chaos harness use this
+        door to observe exactly what a wire caller would see.
+
+        Raises
+        ------
+        ValueError
+            If the echoed ``request_id`` does not match (a transport bug,
+            never a caller-visible outcome).
+        """
+        envelope = self._wrap(request, idempotency_key=idempotency_key)
+        sealed = self.processor.process(envelope)
+        if sealed.request_id != envelope.request_id:
+            raise ValueError(
+                f"response echoes request_id {sealed.request_id!r}, "
+                f"expected {envelope.request_id!r}"
+            )
+        return sealed
 
     def submit_many(self, requests: Sequence[Request]) -> list[Response]:
         """Envelope-wrap and dispatch a batch; responses in order."""

@@ -1466,6 +1466,49 @@ class ServiceClient:
         )
         return self._unseal(envelope, sealed)
 
+    def submit_sealed(
+        self, request: Request, idempotency_key: str | None = None
+    ) -> SealedResponse:
+        """Send one v2 request and return the **sealed** response.
+
+        The wire twin of
+        :meth:`~repro.service.envelope.EnvelopeChannel.submit_sealed`:
+        a caller rejection comes back as the typed
+        :class:`~repro.service.envelope.DeniedResponse` inside the seal
+        instead of raising :class:`PermissionError`, and the envelope
+        metadata (``replayed``, ``caller_id``) stays visible — which is
+        how the adversarial fleet detects an idempotency-key replay
+        identically in process and over sockets.  Always rides the JSON
+        single-request path (idempotency keys have no frame slot), even
+        on a binary-codec client.
+
+        Raises
+        ------
+        ValueError
+            If this client has no API key (sealed responses are a v2
+            construct), or the echoed ``request_id`` does not match.
+        ConnectionError
+            If the server cannot be reached.
+        """
+        if self.api_key is None:
+            raise ValueError(
+                "sealed responses require the v2 API; construct the client "
+                "with an api_key"
+            )
+        envelope = Envelope(
+            request=request,
+            api_key=self.api_key,
+            idempotency_key=idempotency_key,
+        )
+        path = V2_REQUESTS_PATH if is_data_plane(request) else V2_ADMIN_PATH
+        sealed = loads_sealed(self._roundtrip("POST", path, dumps_envelope(envelope)))
+        if sealed.request_id != envelope.request_id:
+            raise ValueError(
+                f"response echoes request_id {sealed.request_id!r}, "
+                f"expected {envelope.request_id!r}"
+            )
+        return sealed
+
     def submit_many(self, requests: Sequence[Request]) -> list[Response]:
         """Send a batch in one exchange; responses come back in order.
 

@@ -1,0 +1,72 @@
+"""Shared fixtures for the chaos suite (fault injection on the serving path).
+
+One small enrolled fleet — persisting its models to a registry root so the
+cluster scenarios can spawn workers over it — plus an HTTP server over the
+fleet's frontend and caller registry, shared across the suite.  Select the
+suite alone with ``-m chaos``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sensors.types import CoarseContext
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.protocol import AuthenticateRequest
+from repro.service.transport import ServiceHTTPServer
+
+N_USERS = 12
+
+
+@pytest.fixture(scope="session")
+def chaos_fleet(tmp_path_factory):
+    """A small enrolled fleet persisting its models to a registry root."""
+    root = tmp_path_factory.mktemp("chaos-registry")
+    simulator = FleetSimulator(
+        FleetConfig(n_users=N_USERS, seed=9, server_side_contexts=False),
+        registry_root=root,
+    )
+    simulator.build_users()
+    simulator.enroll_fleet()
+    return simulator
+
+
+@pytest.fixture(scope="session")
+def probes(chaos_fleet):
+    """One genuine two-window probe per fleet user."""
+    rng = np.random.default_rng(31)
+    requests = []
+    for user in chaos_fleet.users:
+        probe = user.sample_windows(
+            2, chaos_fleet.config.window_noise, rng, chaos_fleet.feature_names
+        )
+        requests.append(
+            AuthenticateRequest(
+                user_id=user.user_id,
+                features=probe.values,
+                contexts=tuple(CoarseContext(label) for label in probe.contexts),
+            )
+        )
+    return requests
+
+
+@pytest.fixture(scope="session")
+def http_server(chaos_fleet):
+    """The fleet's frontend behind HTTP, sharing the fleet's callers."""
+    server = ServiceHTTPServer(
+        chaos_fleet.frontend, port=0, callers=chaos_fleet.callers
+    )
+    server.serve_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def wait_for(predicate, timeout_s=10.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()

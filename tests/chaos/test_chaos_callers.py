@@ -1,0 +1,107 @@
+"""Chaos: caller key rotation and revocation under concurrent load.
+
+The contract under credential churn: an in-flight request holding a stale
+or revoked key degrades to a *typed* 401 (and a scope violation to a typed
+403) — the server's catch-all (``transport.server_errors``) never fires.
+"""
+
+import pytest
+
+from repro.service.chaos import (
+    OUTCOME_OK,
+    OUTCOME_UNAUTHORIZED,
+    CallerKeyChaos,
+    ChaosLoad,
+    classify_call,
+)
+from repro.service.envelope import SCOPE_DATA_WRITE
+from repro.service.protocol import SnapshotRequest
+from repro.service.transport import ServiceClient
+
+pytestmark = pytest.mark.chaos
+
+
+def _server_errors(server):
+    return server.telemetry.counter_value("transport.server_errors")
+
+
+class TestKeyChurnTyped:
+    def test_stale_key_after_rotation_answers_typed_401(
+        self, chaos_fleet, http_server, probes
+    ):
+        old_key = chaos_fleet.callers.register("rotate-me", (SCOPE_DATA_WRITE,))
+        stale = ServiceClient(port=http_server.port, api_key=old_key)
+        assert classify_call(lambda: stale.submit(probes[0])) == OUTCOME_OK
+        new_key = chaos_fleet.callers.rotate_key("rotate-me")
+        before = _server_errors(http_server)
+        with pytest.raises(PermissionError, match="unknown-api-key"):
+            stale.submit(probes[0])
+        fresh = ServiceClient(port=http_server.port, api_key=new_key)
+        assert classify_call(lambda: fresh.submit(probes[0])) == OUTCOME_OK
+        assert _server_errors(http_server) == before
+
+    def test_revoked_caller_answers_typed_401(
+        self, chaos_fleet, http_server, probes
+    ):
+        key = chaos_fleet.callers.register("revoke-me", (SCOPE_DATA_WRITE,))
+        client = ServiceClient(port=http_server.port, api_key=key)
+        assert classify_call(lambda: client.submit(probes[0])) == OUTCOME_OK
+        assert chaos_fleet.callers.revoke("revoke-me")
+        before = _server_errors(http_server)
+        assert (
+            classify_call(lambda: client.submit(probes[0]))
+            == OUTCOME_UNAUTHORIZED
+        )
+        assert _server_errors(http_server) == before
+
+    def test_wrong_scope_answers_typed_403(self, chaos_fleet, http_server):
+        key = chaos_fleet.callers.register("data-only", (SCOPE_DATA_WRITE,))
+        client = ServiceClient(port=http_server.port, api_key=key)
+        before = _server_errors(http_server)
+        # The sealed view keeps the typed denial inspectable.
+        sealed = client.submit_sealed(SnapshotRequest())
+        assert sealed.denied
+        assert sealed.response.code == "insufficient-scope"
+        assert sealed.response.http_status == 403
+        assert _server_errors(http_server) == before
+
+
+class TestKeyChurnStorm:
+    def test_rotation_revocation_storm_under_concurrent_load(
+        self, chaos_fleet, http_server, probes
+    ):
+        chaos = CallerKeyChaos(
+            chaos_fleet.callers, "storm-caller", (SCOPE_DATA_WRITE,), seed=17
+        )
+        chaos.disrupt_once()  # initial registration
+
+        def make_call(index):
+            client = ServiceClient(
+                port=http_server.port, api_key=chaos.current_key, timeout_s=5.0
+            )
+            request = probes[index % len(probes)]
+            state = {"key": chaos.current_key}
+
+            def call():
+                # Refresh opportunistically; a revocation window leaves the
+                # worker holding the last (now dead) credential.
+                current = chaos.current_key
+                if current is not None:
+                    state["key"] = current
+                client.api_key = state["key"]
+                return client.submit(request)
+
+            return call
+
+        before = _server_errors(http_server)
+        load = ChaosLoad(make_call, n_threads=4, duration_s=1.5)
+        outcomes = load.run(lambda: chaos.storm(steps=10, interval_s=0.05))
+        # Every outcome under churn is typed: served, or a typed 401.
+        assert set(outcomes) <= {OUTCOME_OK, OUTCOME_UNAUTHORIZED}
+        assert outcomes[OUTCOME_OK] > 0
+        assert len(chaos.log) >= 10
+        assert {action for action, _ in chaos.log} >= {"rotate"}
+        # The storm always ends with a servable credential.
+        final = ServiceClient(port=http_server.port, api_key=chaos.current_key)
+        assert classify_call(lambda: final.submit(probes[0])) == OUTCOME_OK
+        assert _server_errors(http_server) == before

@@ -1,0 +1,88 @@
+"""Chaos: worker-crash storms through the ShardRouter (real processes).
+
+SIGKILLing shard workers while clients hammer the router must only ever
+produce typed outcomes — served responses, typed 503s while a shard is
+down, or a transient client-side connection error — and the pool's health
+loop must resurrect every shard.  The router's catch-all
+(``router.server_errors``) stays silent throughout.
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.service.chaos import (
+    OUTCOME_CONNECTION,
+    OUTCOME_OK,
+    OUTCOME_UNAVAILABLE,
+    ChaosLoad,
+    WorkerCrashStorm,
+    classify_call,
+)
+from repro.service.cluster import ShardRouter, WorkerPool
+from repro.service.transport import METRICS_PATH, ServiceClient
+
+pytestmark = pytest.mark.chaos
+
+
+def wait_for(predicate, timeout_s=10.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def test_worker_crash_storm_stays_typed_and_heals(chaos_fleet, probes):
+    registry_root = str(chaos_fleet.frontend.gateway.registry.root)
+    with WorkerPool(2, registry_root=registry_root, no_queue=True) as pool:
+        with ShardRouter(pool) as router:
+            storm = WorkerCrashStorm(pool, seed=3)
+
+            def make_call(index):
+                client = ServiceClient(
+                    port=router.port, api_key=pool.api_key, timeout_s=10.0
+                )
+                request = probes[index % len(probes)]
+                return lambda: client.submit(request)
+
+            load = ChaosLoad(make_call, n_threads=3, duration_s=3.0)
+            outcomes = load.run(lambda: storm.storm(2, interval_s=0.8))
+
+            # Typed outcomes only: a shard outage is a 503, never a 500.
+            assert storm.kills, "the storm never found a live worker"
+            assert set(outcomes) <= {
+                OUTCOME_OK,
+                OUTCOME_UNAVAILABLE,
+                OUTCOME_CONNECTION,
+            }
+            assert outcomes[OUTCOME_OK] > 0
+
+            # The health loop resurrects every murdered shard ...
+            assert wait_for(
+                lambda: all(
+                    entry["alive"] for entry in pool.health().values()
+                ),
+                timeout_s=30.0,
+            )
+            assert any(
+                entry["restarts"] >= 1 for entry in pool.health().values()
+            )
+            # ... after which the full fleet serves again.
+            survivor = ServiceClient(port=router.port, api_key=pool.api_key)
+            assert wait_for(
+                lambda: classify_call(lambda: survivor.submit(probes[0]))
+                == OUTCOME_OK
+            )
+
+            # The chaos invariant, fleet-wide: the router's own catch-all
+            # never fired, and the merged worker view reports none either.
+            assert router.telemetry.counter_value("router.server_errors") == 0
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{router.port}{METRICS_PATH}"
+            ) as response:
+                merged = json.loads(response.read())
+            assert merged["counters"].get("transport.server_errors", 0) == 0

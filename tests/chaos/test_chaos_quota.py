@@ -1,0 +1,149 @@
+"""Chaos: SharedTokenBucket quota-file corruption under concurrent writers.
+
+The bucket's contract is *fail open*: a truncated, zeroed, garbage, or
+deleted state file refills the budget instead of crashing a writer, and
+the file self-heals on the next grant.  Sustained corruption under
+concurrent writers must therefore only ever produce grants and typed
+429s — pinned here both on the bucket directly and end to end through a
+shard router.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.chaos import (
+    OUTCOME_OK,
+    OUTCOME_THROTTLED,
+    QuotaFileCorruptor,
+    classify_call,
+)
+from repro.service.cluster import ShardRouter, StaticEndpoints
+from repro.service.envelope import (
+    SCOPE_ADMIN,
+    SCOPE_DATA_WRITE,
+    SharedTokenBucket,
+)
+from repro.service.frontend import ServiceFrontend
+from repro.service.gateway import AuthenticationGateway
+from repro.service.protocol import ThrottledResponse
+from repro.service.registry import ModelRegistry
+from repro.service.transport import ServiceClient, ServiceHTTPServer
+
+pytestmark = pytest.mark.chaos
+
+QUOTA_KEY = "quota-chaos-key"
+
+
+class TestBucketCorruptionUnderWriters:
+    def test_concurrent_writers_survive_every_corruption_mode(self, tmp_path):
+        path = tmp_path / "quota.json"
+        buckets = [
+            SharedTokenBucket(path, rate_per_s=200.0, burst=50.0)
+            for _ in range(2)
+        ]
+        corruptor = QuotaFileCorruptor(path)
+        errors = []
+        grants = []
+
+        def writer(bucket):
+            for _ in range(150):
+                try:
+                    grants.append(bucket.acquire(1))
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(bucket,))
+            for bucket in buckets
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        corruptor.storm(cycles=3, interval_s=0.005)
+        for thread in threads:
+            thread.join()
+
+        # Every corruption mode ran, no writer ever raised, and grants
+        # kept flowing (fail-open refills on unreadable state).
+        assert corruptor.corruptions >= 3 * len(QuotaFileCorruptor.MODES)
+        assert errors == []
+        assert any(wait == 0.0 for wait in grants)
+
+    def test_bucket_self_heals_after_each_corruption(self, tmp_path):
+        path = tmp_path / "quota.json"
+        bucket = SharedTokenBucket(path, rate_per_s=1.0, burst=2.0)
+        corruptor = QuotaFileCorruptor(path)
+        for _ in QuotaFileCorruptor.MODES:
+            mode = corruptor.corrupt_once()
+            # Unreadable state resets to a full bucket — typed, no raise.
+            assert bucket.acquire(1) == 0.0, mode
+            state = json.loads(path.read_text())
+            assert "tokens" in state and "stamp" in state
+
+
+@pytest.fixture()
+def quota_cluster(chaos_fleet, tmp_path):
+    """Two in-process shard workers sharing one quota file, behind a router."""
+    quota_path = tmp_path / "fleet-quota.json"
+    servers = []
+    for _ in range(2):
+        registry = ModelRegistry(root=chaos_fleet.frontend.gateway.registry.root)
+        registry.load()
+        server = ServiceHTTPServer(
+            ServiceFrontend(AuthenticationGateway(registry=registry)), port=0
+        )
+        server.callers.register(
+            "quota-caller", (SCOPE_DATA_WRITE, SCOPE_ADMIN), api_key=QUOTA_KEY
+        )
+        # Both workers attach the *same* state file: one fleet-wide budget.
+        server.callers.attach_rate_limit(
+            "quota-caller",
+            SharedTokenBucket(quota_path, rate_per_s=0.001, burst=4.0),
+        )
+        server.serve_background()
+        servers.append(server)
+    pool = StaticEndpoints([("127.0.0.1", server.port) for server in servers])
+    router = ShardRouter(pool).serve_background()
+    yield router, servers, quota_path
+    router.shutdown()
+    router.server_close()
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class TestPinned429ThroughRouter:
+    def test_exhausted_and_corrupted_quota_stays_typed_429(
+        self, quota_cluster, probes
+    ):
+        router, servers, quota_path = quota_cluster
+        client = ServiceClient(port=router.port, api_key=QUOTA_KEY)
+
+        # Drain the shared budget through the router: 4 grants, then 429.
+        outcomes = [
+            classify_call(lambda probe=probe: client.submit(probe))
+            for probe in probes[:6]
+        ]
+        assert outcomes[:4] == [OUTCOME_OK] * 4
+        assert outcomes[4:] == [OUTCOME_THROTTLED] * 2
+        throttled = client.submit(probes[5])
+        assert isinstance(throttled, ThrottledResponse)
+        assert throttled.reason == "rate-limited"
+        assert throttled.retry_after_s > 0.0
+
+        # Corrupt the quota file mid-flight: fail-open refills the budget,
+        # and every outcome stays in the typed vocabulary.
+        corruptor = QuotaFileCorruptor(quota_path)
+        for _ in QuotaFileCorruptor.MODES:
+            corruptor.corrupt_once()
+            outcome = classify_call(lambda: client.submit(probes[0]))
+            assert outcome in {OUTCOME_OK, OUTCOME_THROTTLED}
+
+        # The chaos invariant: no catch-all fired anywhere on the path.
+        assert router.telemetry.counter_value("router.server_errors") == 0
+        for server in servers:
+            assert (
+                server.telemetry.counter_value("transport.server_errors") == 0
+            )

@@ -1,0 +1,122 @@
+"""Chaos: registry rollback racing eviction, and typed rollback failures.
+
+The contract: however rollback and eviction interleave, the registry keeps
+a servable bundle for every user, its ``state.json`` stays parseable and a
+fresh registry rehydrated from the same root agrees on what is served —
+and a rollback that cannot proceed surfaces through the transport as a
+typed error, never a 500.
+"""
+
+import dataclasses
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service.protocol import ErrorResponse, RollbackRequest
+from repro.service.registry import ModelRegistry
+from repro.service.transport import ServiceClient
+
+pytestmark = pytest.mark.chaos
+
+N_VERSIONS = 8
+
+
+@pytest.fixture()
+def versioned_registry(chaos_fleet, tmp_path):
+    """A persisted registry with one user at N_VERSIONS active versions."""
+    user_id = chaos_fleet.users[0].user_id
+    bundle = chaos_fleet.frontend.gateway.registry.bundle_for(user_id)
+    registry = ModelRegistry(root=tmp_path / "registry")
+    for version in range(1, N_VERSIONS + 1):
+        registry.publish(dataclasses.replace(bundle, version=version))
+    return registry, user_id
+
+
+class TestRollbackRacingEviction:
+    def test_race_leaves_servable_bundle_and_consistent_state(
+        self, versioned_registry
+    ):
+        registry, user_id = versioned_registry
+        errors = []
+
+        def rollback_loop():
+            for _ in range(5):
+                try:
+                    registry.rollback(user_id)
+                except ValueError:
+                    # Typed refusal: fewer than two active versions remain.
+                    pass
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                time.sleep(0.002)
+
+        def evict_loop():
+            for _ in range(5):
+                try:
+                    registry.evict(
+                        policy="max_versions", max_versions=2, user_id=user_id
+                    )
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                time.sleep(0.003)
+
+        def reader_loop():
+            for _ in range(40):
+                try:
+                    served = registry.bundle_for(user_id)
+                    assert served.user_id == user_id
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=target)
+            for target in (rollback_loop, evict_loop, reader_loop)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        # A servable bundle survived the race ...
+        latest = registry.latest_version(user_id)
+        assert registry.bundle_for(user_id).version == latest
+        # ... state.json stayed parseable ...
+        state_path = registry._user_dir(user_id) / "state.json"
+        state = json.loads(state_path.read_text())
+        assert isinstance(state, dict)
+        assert all(int(v) != latest for v in state.get("retired_versions", []))
+        # ... and a cold rehydration agrees with the live registry.
+        rehydrated = ModelRegistry(root=registry.root)
+        rehydrated.load()
+        assert rehydrated.latest_version(user_id) == latest
+        assert rehydrated.bundle_for(user_id).version == latest
+
+    def test_eviction_during_race_never_removes_serving_file(
+        self, versioned_registry
+    ):
+        registry, user_id = versioned_registry
+        registry.evict(policy="max_versions", max_versions=1, user_id=user_id)
+        served = registry.record_for(user_id)
+        assert served.path is not None and served.path.exists()
+
+
+class TestTypedRollbackFailure:
+    def test_rollback_without_history_is_typed_through_transport(
+        self, chaos_fleet, http_server
+    ):
+        # Every fleet user has exactly one enrolled version: rollback has
+        # nothing to fall back to and must refuse, typed, end to end.
+        before = http_server.telemetry.counter_value("transport.server_errors")
+        client = ServiceClient(port=http_server.port, api_key=chaos_fleet.api_key)
+        response = client.submit(
+            RollbackRequest(user_id=chaos_fleet.users[0].user_id)
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ValueError"
+        assert (
+            http_server.telemetry.counter_value("transport.server_errors")
+            == before
+        )

@@ -1,0 +1,147 @@
+"""Adversarial-fleet equivalence: the same campaign through three doors.
+
+The ISSUE 8 acceptance bar: an :class:`~repro.attacks.fleet.AttackFleet`
+campaign against a 500-user fleet must emit a per-attacker detection
+report (FAR + detection latency) that is **bit-for-bit identical** whether
+the hostile traffic enters through the in-process envelope channel, the
+JSON HTTP door, or the binary HTTP door — with every attacker's traffic
+attributed to its own caller and the server's catch-all silent.
+
+The raw wire-frame replay rides the binary door only: binary frames carry
+no idempotency slot, so a replayed frame re-executes by design and the
+defence is per-caller telemetry attribution, pinned here separately.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.attacks.fleet import (
+    AttackFleet,
+    AttackFleetConfig,
+    ReplayAttacker,
+)
+from repro.service import wirebin
+from repro.service.envelope import SCOPE_DATA_WRITE, EnvelopeChannel
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.service.transport import (
+    V2_REQUESTS_PATH,
+    ServiceClient,
+    ServiceHTTPServer,
+)
+from repro.utils.rng import derive_rng
+
+pytestmark = pytest.mark.attack
+
+FLEET_USERS = 500
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """An enrolled-and-trained 500-user fleet (shared across tests)."""
+    simulator = FleetSimulator(FleetConfig(n_users=FLEET_USERS, seed=11))
+    simulator.build_users()
+    simulator.enroll_fleet()
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def server(fleet):
+    """The fleet's frontend behind HTTP, sharing the fleet's callers."""
+    http = ServiceHTTPServer(fleet.frontend, port=0, callers=fleet.callers)
+    http.serve_background()
+    yield http
+    http.shutdown()
+    http.server_close()
+
+
+@pytest.fixture(scope="module")
+def harness(fleet):
+    harness = AttackFleet(fleet, AttackFleetConfig(seed=101))
+    harness.provision()
+    return harness
+
+
+class TestThreeDoorEquivalence:
+    def test_campaign_report_bit_for_bit_identical_across_doors(
+        self, fleet, server, harness
+    ):
+        in_process = harness.run(
+            channel_for=lambda key: EnvelopeChannel(fleet.processor, key),
+            run_id="in-process",
+        )
+        over_json = harness.run(
+            channel_for=lambda key: ServiceClient(
+                port=server.port, api_key=key
+            ),
+            run_id="json-http",
+        )
+        over_binary = harness.run(
+            channel_for=lambda key: ServiceClient(
+                port=server.port, api_key=key, codec="binary"
+            ),
+            run_id="binary-http",
+        )
+
+        # The acceptance bar: plain-typed reports, compared whole.
+        assert in_process == over_json
+        assert over_json == over_binary
+
+        # The report carries real signal, identically through every door.
+        assert in_process.campaigns() == AttackFleet.CAMPAIGNS
+        config = harness.config
+        assert len(in_process.attackers) == config.n_attackers * len(
+            AttackFleet.CAMPAIGNS
+        )
+        for entry in in_process.for_campaign("replay"):
+            assert entry.replays_sent == config.n_replays
+            assert entry.replays_flagged == config.n_replays
+        timeline = in_process.timeline("zero-effort")
+        assert len(timeline.detection_windows) == config.n_attackers
+        assert in_process.false_accept_rate("replay") == 1.0
+
+        # Hostile traffic landed on the attackers' own counters — three
+        # doors' worth — and none of it leaked onto the fleet operator.
+        snapshot = fleet.callers.snapshot()
+        for campaign in AttackFleet.CAMPAIGNS:
+            for index in range(config.n_attackers):
+                caller = AttackFleet.caller_id(campaign, index)
+                assert snapshot[caller]["requests"] >= 3
+
+        # The server's catch-all stayed silent through both HTTP doors.
+        assert server.telemetry.counter_value("transport.server_errors") == 0
+
+
+class TestRawWireFrameReplay:
+    def test_replayed_frame_re_executes_and_attribution_catches_it(
+        self, fleet, server
+    ):
+        victim = fleet.users[0]
+        attacker = ReplayAttacker()
+        attacker.capture(
+            victim,
+            3,
+            fleet.config.window_noise,
+            fleet.feature_names,
+            derive_rng(5, "wire-replay"),
+        )
+        key = fleet.callers.register("attacker-wire-replay", (SCOPE_DATA_WRITE,))
+        frame = attacker.wire_frame(key)
+
+        def post(body):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}{V2_REQUESTS_PATH}",
+                data=body,
+                headers={"Content-Type": wirebin.CONTENT_TYPE},
+            )
+            with urllib.request.urlopen(request) as response:
+                return response.status
+
+        # The identical bytes execute twice: frames carry no idempotency
+        # key, so the envelope layer cannot flag the second pass ...
+        assert post(frame) == 200
+        assert post(frame) == 200
+        # ... but both executions are pinned on the capturing credential.
+        record = fleet.callers.snapshot()["attacker-wire-replay"]
+        assert record["requests"] == 2
+        assert server.telemetry.counter_value("transport.server_errors") == 0

@@ -1,5 +1,7 @@
-"""Unit tests for attacker models and detection-time evaluation."""
+"""Unit tests for attacker models, detection-time evaluation, and the
+fleet-scale adversaries that attack the serving path."""
 
+import numpy as np
 import pytest
 
 from repro.attacks.attackers import MimicryAttacker, ZeroEffortAttacker
@@ -9,7 +11,18 @@ from repro.attacks.evaluation import (
     evaluate_detection_time,
     time_to_detect_all,
 )
+from repro.attacks.fleet import (
+    AttackFleet,
+    AttackFleetConfig,
+    ReplayAttacker,
+    StolenDeviceAttacker,
+    attack_request,
+    mimic_user,
+)
 from repro.sensors.types import Context, DeviceType
+from repro.service.envelope import EnvelopeChannel
+from repro.service.fleet import FleetConfig, FleetSimulator
+from repro.utils.rng import derive_rng
 
 
 class TestAttackers:
@@ -104,3 +117,171 @@ class TestEscapeProbability:
             escape_probability(1.2, 2)
         with pytest.raises(ValueError):
             escape_probability(0.1, -1)
+
+
+# --------------------------------------------------------------------- #
+# fleet-scale adversaries (the serving path)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    """A small enrolled fleet shared by every fleet-attack test."""
+    fleet = FleetSimulator(FleetConfig(n_users=6, seed=11))
+    fleet.build_users()
+    fleet.enroll_fleet()
+    return fleet
+
+
+def _channel(fleet):
+    return EnvelopeChannel(fleet.processor, fleet.api_key)
+
+
+def _accept_count(fleet, request):
+    response = _channel(fleet).submit(request)
+    return int(np.count_nonzero(np.asarray(response.accepted, dtype=bool)))
+
+
+@pytest.mark.attack
+class TestReplayAttacker:
+    def test_replay_of_captured_request_is_flagged(self, small_fleet):
+        victim = small_fleet.users[0]
+        attacker = ReplayAttacker()
+        attack = attacker.capture(
+            victim, 3, small_fleet.config.window_noise,
+            small_fleet.feature_names, derive_rng(7, "replay"),
+        )
+        channel = _channel(small_fleet)
+        first = channel.submit_sealed(attack.request, idempotency_key="cap-1")
+        replay = channel.submit_sealed(attack.request, idempotency_key="cap-1")
+        # The windows are genuine, so the models accept them — the
+        # envelope layer is what flags the resubmission.
+        assert not first.replayed
+        assert replay.replayed
+        assert np.array_equal(replay.response.accepted, first.response.accepted)
+
+    def test_wire_frame_requires_a_capture(self):
+        with pytest.raises(RuntimeError):
+            ReplayAttacker().wire_frame("some-key")
+
+    def test_wire_frame_round_trips_the_captured_request(self, small_fleet):
+        from repro.service import wirebin
+
+        victim = small_fleet.users[1]
+        attacker = ReplayAttacker()
+        attack = attacker.capture(
+            victim, 2, small_fleet.config.window_noise,
+            small_fleet.feature_names, derive_rng(7, "wire"),
+        )
+        frame = attacker.wire_frame("frame-key")
+        decoded = wirebin.decode_request_frame(frame)
+        assert decoded.api_key == "frame-key"
+        assert decoded.user_ids == (attack.victim_id,)
+        assert np.allclose(
+            decoded.features.reshape(attack.request.features.shape),
+            attack.request.features,
+        )
+
+
+@pytest.mark.attack
+class TestStolenDeviceAttacker:
+    def test_stolen_device_windows_score_below_the_victims(self, small_fleet):
+        victim = small_fleet.users[0]
+        thief = StolenDeviceAttacker(small_fleet.users[1])
+        attack = thief.craft(
+            victim.user_id, 4, small_fleet.config.window_noise,
+            small_fleet.feature_names, derive_rng(7, "stolen"),
+        )
+        genuine = attack_request(
+            victim, victim.user_id, 4, small_fleet.config.window_noise,
+            small_fleet.feature_names, derive_rng(7, "genuine"),
+        )
+        channel = _channel(small_fleet)
+        stolen_scores = np.asarray(channel.submit(attack.request).scores)
+        victim_scores = np.asarray(channel.submit(genuine).scores)
+        assert attack.attacker_id == small_fleet.users[1].user_id
+        assert attack.victim_id == victim.user_id
+        assert float(stolen_scores.mean()) < float(victim_scores.mean())
+        # Below threshold: the thief's windows are rejected outright.
+        assert _accept_count(small_fleet, attack.request) == 0
+
+
+@pytest.mark.attack
+class TestMimicry:
+    def test_mimicry_effectiveness_monotone_in_strength(self, small_fleet):
+        source, victim = small_fleet.users[2], small_fleet.users[0]
+        accepted = []
+        for strength in (0.0, 0.5, 1.0):
+            mimic = mimic_user(source, victim, strength)
+            # Identical rng per strength → identical noise draws, so the
+            # crafted windows move linearly toward the victim's cluster.
+            request = attack_request(
+                mimic, victim.user_id, 4, small_fleet.config.window_noise,
+                small_fleet.feature_names, derive_rng(7, "mimic"),
+            )
+            accepted.append(_accept_count(small_fleet, request))
+        assert accepted == sorted(accepted)
+        assert accepted[-1] > accepted[0]
+
+    def test_mimic_strength_validated(self, small_fleet):
+        with pytest.raises(ValueError):
+            mimic_user(small_fleet.users[0], small_fleet.users[1], 1.5)
+
+    def test_mimic_blends_context_means(self, small_fleet):
+        source, victim = small_fleet.users[3], small_fleet.users[0]
+        halfway = mimic_user(source, victim, 0.5, mimic_id="imp")
+        assert halfway.user_id == "imp"
+        for context, mean in halfway.context_means.items():
+            expected = 0.5 * (
+                source.context_means[context] + victim.context_means[context]
+            )
+            assert np.allclose(mean, expected)
+
+
+@pytest.mark.attack
+class TestAttackFleet:
+    def test_campaign_report_covers_every_attacker(self, small_fleet):
+        config = AttackFleetConfig(n_attackers=2, seed=101)
+        report = AttackFleet(small_fleet, config).run(run_id="unit")
+        assert report.campaigns() == AttackFleet.CAMPAIGNS
+        assert len(report.attackers) == 2 * len(AttackFleet.CAMPAIGNS)
+        for entry in report.for_campaign("replay"):
+            assert entry.replays_sent == config.n_replays
+            assert entry.replays_flagged == config.n_replays
+        # The timeline plugs straight into the paper's detection metrics.
+        timeline = report.timeline("stolen-device")
+        assert timeline.window_seconds == config.window_seconds
+        assert len(timeline.detection_windows) == 2
+        assert "stolen-device" in report.to_text()
+
+    def test_hostile_traffic_attributed_per_caller(self, small_fleet):
+        fleet_requests = small_fleet.callers.snapshot()["fleet-operator"]["requests"]
+        config = AttackFleetConfig(n_attackers=2, seed=303)
+        AttackFleet(small_fleet, config).run(run_id="attrib")
+        snapshot = small_fleet.callers.snapshot()
+        for campaign in AttackFleet.CAMPAIGNS:
+            for index in range(config.n_attackers):
+                caller = AttackFleet.caller_id(campaign, index)
+                assert snapshot[caller]["requests"] > 0
+        # None of the hostile traffic leaked onto the operator's counters.
+        assert snapshot["fleet-operator"]["requests"] == fleet_requests
+
+    def test_reports_are_deterministic(self, small_fleet):
+        config = AttackFleetConfig(n_attackers=2, seed=202)
+        harness = AttackFleet(small_fleet, config)
+        first = harness.run(run_id="det-a")
+        second = harness.run(run_id="det-b")
+        assert first == second
+
+    def test_unenrolled_fleet_rejected(self):
+        fleet = FleetSimulator(FleetConfig(n_users=2, seed=5))
+        with pytest.raises(RuntimeError):
+            AttackFleet(fleet).run()
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            AttackFleetConfig(n_attackers=0)
+        with pytest.raises(ValueError):
+            AttackFleetConfig(mimicry_strength=1.5)
+        with pytest.raises(ValueError):
+            AttackFleetConfig(n_replays=0)

@@ -29,6 +29,7 @@ DOC_FILES = (
     "docs/serving.md",
     "docs/observability.md",
     "docs/sharding.md",
+    "docs/attacks.md",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
