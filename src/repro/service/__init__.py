@@ -80,6 +80,8 @@ from repro.service import wirebin
 from repro.devices.store import ANY_CONTEXT, FeatureStore, RingBuffer, StoreStats
 from repro.service.cluster import (
     HashRing,
+    HedgePolicy,
+    RetryPolicy,
     ShardRouter,
     ShardUnavailable,
     StaticEndpoints,
@@ -110,6 +112,8 @@ from repro.service.protocol import (
     AuthenticationResponse,
     DetectorTrainRequest,
     DetectorTrainResponse,
+    DrainShardRequest,
+    DrainShardResponse,
     DriftReport,
     DriftResponse,
     EnrollRequest,
@@ -125,7 +129,11 @@ from repro.service.protocol import (
 )
 from repro.service.registry import ModelRecord, ModelRegistry
 from repro.service.telemetry import Counter, LatencyRecorder, TelemetryHub
-from repro.service.transport import ServiceClient, ServiceHTTPServer
+from repro.service.transport import (
+    DeadlineExceeded,
+    ServiceClient,
+    ServiceHTTPServer,
+)
 
 __all__ = [
     "ANY_CONTEXT",
@@ -139,9 +147,12 @@ __all__ = [
     "ControlPlane",
     "Counter",
     "DataPlane",
+    "DeadlineExceeded",
     "DeniedResponse",
     "DetectorTrainRequest",
     "DetectorTrainResponse",
+    "DrainShardRequest",
+    "DrainShardResponse",
     "DriftReport",
     "DriftResponse",
     "EnrollRequest",
@@ -158,12 +169,14 @@ __all__ = [
     "FleetSimulator",
     "FusedStackCache",
     "HashRing",
+    "HedgePolicy",
     "LatencyRecorder",
     "MicroBatchQueue",
     "ModelRecord",
     "ModelRegistry",
     "PlaneMismatchError",
     "RequestChannel",
+    "RetryPolicy",
     "RingBuffer",
     "RollbackRequest",
     "RollbackResponse",

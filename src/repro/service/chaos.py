@@ -16,7 +16,10 @@ injectors and a shared outcome taxonomy:
   delete a :class:`~repro.service.envelope.SharedTokenBucket` state file
   while writers hold it;
 * :class:`WorkerCrashStorm` — SIGKILL random cluster workers behind a
-  :class:`~repro.service.cluster.ShardRouter`.
+  :class:`~repro.service.cluster.ShardRouter`;
+* :class:`DrainCycler` — drain and restore router shards mid-load (live
+  resharding: users rebalance onto the remaining shards and back with no
+  dropped in-flight requests).
 
 ``tests/chaos/`` pins one scenario per injector; ``docs/attacks.md``
 holds the runbook.
@@ -50,6 +53,7 @@ __all__ = [
     "classify_call",
     "ChaosLoad",
     "CallerKeyChaos",
+    "DrainCycler",
     "QuotaFileCorruptor",
     "WorkerCrashStorm",
 ]
@@ -323,3 +327,61 @@ class WorkerCrashStorm:
         for _ in range(crashes):
             self.crash_once()
             time.sleep(interval_s)
+
+
+class DrainCycler:
+    """Drains and restores random router shards while load is in flight.
+
+    Models live resharding under an operator's runbook: each cycle marks
+    one active shard draining (the router's ring rebalances its users
+    onto the remaining shards), dwells while in-flight traffic completes,
+    then restores it — so the mapping returns bit-for-bit to the
+    original.  The router refuses to drain the last active shard, and
+    this injector never tries to.  Load through a cycling router must
+    stay entirely ``ok`` — a drain is a routing decision, not a fault.
+
+    Attributes
+    ----------
+    cycles:
+        The (action, shard) steps taken, for test diagnostics.
+    """
+
+    def __init__(self, router: Any, seed: RandomState = None) -> None:
+        self.router = router
+        self._rng = ensure_rng(seed)
+        self.cycles: list[tuple[str, int]] = []
+
+    def drain_once(self) -> int | None:
+        """Drain one currently-active shard; returns it (or ``None`` when
+        only one shard remains active)."""
+        draining = self.router.draining()
+        active = [
+            shard
+            for shard in range(self.router.pool.n_shards)
+            if shard not in draining
+        ]
+        if len(active) <= 1:
+            return None
+        shard = active[int(self._rng.integers(len(active)))]
+        self.router.set_draining(shard)
+        self.cycles.append(("drain", shard))
+        return shard
+
+    def restore(self, shard: int) -> None:
+        """Undrain *shard*, returning its users to the original mapping."""
+        self.router.set_draining(shard, undrain=True)
+        self.cycles.append(("undrain", shard))
+
+    def storm(self, cycles: int, dwell_s: float = 0.2) -> None:
+        """Drain a shard, dwell while traffic reroutes, restore; repeat.
+
+        Ends with every shard active, so the post-storm mapping is the
+        pre-storm one.
+        """
+        for _ in range(cycles):
+            shard = self.drain_once()
+            time.sleep(dwell_s)
+            if shard is not None:
+                self.restore(shard)
+        for shard in sorted(self.router.draining()):
+            self.restore(shard)

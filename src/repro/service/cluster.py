@@ -35,7 +35,29 @@ without touching it:
 Fleet-wide quotas ride on
 :class:`~repro.service.envelope.SharedTokenBucket`: every worker attaches
 the same file-backed bucket, so a caller split across shards is throttled
-at one aggregate rate.
+at one aggregate rate.  The router charges that bucket **once per frame,
+before the split** — sub-frames carry a ``prepaid`` marker the workers
+honor — and refunds the charge when a frame fails outright, so a frame
+split across K shards costs its request count exactly once, retries and
+hedges included.
+
+The routing layer self-heals around worker churn:
+
+* :class:`RetryPolicy` — sub-frames that meet a dead or restarting shard
+  retry with capped exponential backoff + jitter, bounded by a total
+  deadline (and by the client's ``X-Deadline-S`` budget); a restart that
+  lands inside the budget answers a normal 200 instead of a 503.
+  Failures after dispatch retry only for idempotent (authenticate)
+  operations.
+* :class:`HedgePolicy` — optional straggler hedging: an exchange that
+  outlives the observed latency quantile gets a duplicate dispatch and
+  the first answer wins, with no double-charged quota or double-counted
+  telemetry.
+* Graceful drain — the ``drain-shard`` admin envelope (router-resident)
+  flips a shard out of the routing set: new sub-frames rebalance onto
+  the remaining shards via the ring's deterministic exclude-walk while
+  in-flight requests complete; ``undrain`` restores the original
+  bit-for-bit mapping.
 
 Run a 4-worker cluster over a persisted registry::
 
@@ -60,10 +82,12 @@ import sys
 import tempfile
 import threading
 from bisect import bisect_right
+from dataclasses import dataclass
 from hashlib import sha256
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import monotonic, perf_counter
+from random import random
+from time import monotonic, perf_counter, sleep, time
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -71,6 +95,9 @@ import numpy as np
 from repro.core.scoring import offsets_from_lengths
 from repro.service import wirebin
 from repro.service.envelope import (
+    CODE_UNKNOWN_KEY,
+    REASON_BATCH_EXCEEDS_BURST,
+    REASON_RATE_LIMITED,
     SCOPE_ADMIN,
     SCOPE_DATA_WRITE,
     DeniedResponse,
@@ -80,9 +107,12 @@ from repro.service.envelope import (
 )
 from repro.service.protocol import (
     ColumnarAuthResult,
+    DrainShardRequest,
+    DrainShardResponse,
     ErrorResponse,
     ThrottledResponse,
     dumps_response,
+    request_from_payload,
     response_from_payload,
     response_to_payload,
 )
@@ -101,6 +131,7 @@ from repro.service.tracing import (
     Tracer,
 )
 from repro.service.transport import (
+    DEADLINE_HEADER,
     HEALTH_PATH,
     HISTOGRAMS_PATH,
     METRICS_PATH,
@@ -136,12 +167,17 @@ class ShardUnavailable(ConnectionError):
     transient: clients should back off briefly and retry.
     """
 
-    def __init__(self, shard: int, reason: str) -> None:
+    def __init__(self, shard: int, reason: str, dispatched: bool = False) -> None:
         super().__init__(
             f"shard-unavailable: shard {shard} ({reason}); crashed workers "
             "are restarted automatically — retry shortly"
         )
         self.shard = shard
+        #: True when the request may have reached the worker before the
+        #: failure.  The router's retry layer re-sends freely while this
+        #: is False (nothing was dispatched, so nothing can double-run);
+        #: once True, only idempotent operations are retried.
+        self.dispatched = dispatched
 
 
 class _WorkerFault(Exception):
@@ -157,6 +193,103 @@ class _WorkerFault(Exception):
         self.shard = shard
         self.status = status
         self.body = body
+
+
+class _FrameRejected(Exception):
+    """Internal unwind: a worker rejected the frame (denied/throttled).
+
+    Routed through the frame-charge error path so the router refunds its
+    pre-split quota charge — the operation never ran — before answering
+    the typed rejection; never escapes :meth:`ShardRouter.route_frame`.
+    """
+
+    def __init__(
+        self, body: bytes, rejection: "DeniedResponse | ThrottledResponse"
+    ) -> None:
+        super().__init__(rejection.request_kind)
+        self.body = body
+        self.rejection = rejection
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Router-side retry budget for shard exchanges (backoff + deadline).
+
+    The pool's health loop restarts a crashed worker within a second or
+    two, so a sub-frame that meets a dead shard usually succeeds if the
+    router simply re-resolves the endpoint and tries again.  Retries use
+    capped exponential backoff with full jitter and stop at whichever
+    comes first: the attempt cap, the policy deadline, or the client's
+    own ``X-Deadline-S`` budget.
+
+    A failure whose request may already have reached a worker
+    (``ShardUnavailable.dispatched``) is retried only for idempotent
+    operations — authenticate reads nothing and writes nothing, so
+    re-scoring a window is always safe; enroll and drift-report are not
+    re-sent once dispatched.
+
+    The defaults are deliberately snappy (covers transient socket blips
+    and fast respawns without stalling callers); crash-storm tolerance
+    wants a bigger budget, e.g. ``RetryPolicy(max_attempts=30,
+    deadline_s=30.0)``.
+    """
+
+    max_attempts: int = 4
+    initial_backoff_s: float = 0.05
+    max_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.initial_backoff_s <= 0.0 or self.max_backoff_s <= 0.0:
+            raise ValueError("backoff bounds must be > 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline_s <= 0.0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """The wait before retry number *attempt* (0-based), jittered."""
+        base = min(
+            self.max_backoff_s, self.initial_backoff_s * self.multiplier**attempt
+        )
+        return base * (1.0 + self.jitter * random())
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedged dispatch against stragglers: duplicate past a quantile.
+
+    When a shard exchange outlives the router's observed latency
+    *quantile* (fed from the mergeable ``router.exchange`` histogram), a
+    second identical sub-frame is sent — the restarted replica, when the
+    straggle is a crash-respawn — and the first answer wins.  The loser
+    is discarded: its latency is not recorded and, because the router
+    charges quota once per frame before the split, it can never charge
+    twice.  Only idempotent (authenticate) sub-frames hedge.
+
+    Off by default on the router; enable with ``--hedge-quantile`` or by
+    passing a policy.  ``min_samples`` keeps the trigger quiet until the
+    histogram has seen enough exchanges to estimate a tail.
+    """
+
+    quantile: float = 95.0
+    min_samples: int = 50
+    min_delay_s: float = 0.01
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 100.0:
+            raise ValueError(f"quantile must be in (0, 100], got {self.quantile}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.min_delay_s <= 0.0 or self.max_delay_s < self.min_delay_s:
+            raise ValueError("delay bounds must satisfy 0 < min <= max")
 
 
 # --------------------------------------------------------------------- #
@@ -196,18 +329,44 @@ class HashRing:
         self._points = [point for point, _ in points]
         self._shards = [shard for _, shard in points]
 
-    def shard_for(self, user_id: str) -> int:
-        """The shard owning *user_id* (stable across processes and runs)."""
+    def shard_for(self, user_id: str, exclude: Sequence[int] = ()) -> int:
+        """The shard owning *user_id* (stable across processes and runs).
+
+        *exclude* removes shards from consideration (draining, for live
+        resharding): the lookup walks clockwise from the user's ring
+        point to the first virtual node of a non-excluded shard.  With no
+        exclusions the walk stops at step zero, so decisions are
+        bit-for-bit identical to the plain lookup — and users whose
+        owning shard is *not* excluded never move at all.
+
+        Raises
+        ------
+        ValueError
+            If *exclude* covers every shard.
+        """
         digest = sha256(user_id.encode("utf-8")).digest()
         point = int.from_bytes(digest[:8], "big")
         index = bisect_right(self._points, point) % len(self._points)
-        return self._shards[index]
+        if not exclude:
+            return self._shards[index]
+        excluded = frozenset(exclude)
+        for step in range(len(self._points)):
+            shard = self._shards[(index + step) % len(self._points)]
+            if shard not in excluded:
+                return shard
+        raise ValueError(
+            f"every shard is excluded ({sorted(excluded)}): the ring has "
+            "nowhere left to place users"
+        )
 
-    def split(self, user_ids: Sequence[str]) -> dict[int, list[int]]:
+    def split(
+        self, user_ids: Sequence[str], exclude: Sequence[int] = ()
+    ) -> dict[int, list[int]]:
         """Group positions of *user_ids* by owning shard (order preserved)."""
         groups: dict[int, list[int]] = {}
+        excluded = frozenset(exclude)
         for index, user_id in enumerate(user_ids):
-            groups.setdefault(self.shard_for(user_id), []).append(index)
+            groups.setdefault(self.shard_for(user_id, excluded), []).append(index)
         return groups
 
 
@@ -255,6 +414,7 @@ class StaticEndpoints:
                 "port": port,
                 "pid": None,
                 "restarts": 0,
+                "last_crash_ts": None,
                 "last_error": None,
             }
             for shard, (host, port) in enumerate(self._endpoints)
@@ -264,7 +424,15 @@ class StaticEndpoints:
 class _WorkerHandle:
     """Mutable per-shard state of one pooled worker process."""
 
-    __slots__ = ("shard", "process", "port", "restarts", "alive", "last_error")
+    __slots__ = (
+        "shard",
+        "process",
+        "port",
+        "restarts",
+        "alive",
+        "last_error",
+        "last_crash_ts",
+    )
 
     def __init__(self, shard: int) -> None:
         self.shard = shard
@@ -273,6 +441,7 @@ class _WorkerHandle:
         self.restarts = 0
         self.alive = False
         self.last_error: str | None = None
+        self.last_crash_ts: float | None = None
 
 
 class WorkerPool:
@@ -418,7 +587,12 @@ class WorkerPool:
     # spawning
     # ------------------------------------------------------------------ #
 
-    def _command(self, shard: int) -> list[str]:
+    def _command(
+        self,
+        shard: int,
+        restarts: int = 0,
+        last_crash_ts: float | None = None,
+    ) -> list[str]:
         command = [
             sys.executable,
             "-m",
@@ -445,8 +619,18 @@ class WorkerPool:
                 command += ["--caller-burst", str(self.caller_burst)]
             if self.quota_path is not None:
                 command += ["--quota-path", self.quota_path]
+                # The router charges the shared bucket once per frame
+                # before the split; workers it spawns honor the prepaid
+                # marker on sub-frames instead of charging again.
+                command.append("--trust-prepaid")
         if self.no_queue:
             command.append("--no-queue")
+        if restarts:
+            # Restart lineage rides into the respawned worker so its own
+            # /healthz reports how many lives this shard has burned.
+            command += ["--restarts", str(restarts)]
+            if last_crash_ts is not None:
+                command += ["--last-crash-ts", repr(last_crash_ts)]
         command.extend(self.worker_args)
         return command
 
@@ -465,7 +649,7 @@ class WorkerPool:
 
     def _spawn(self, handle: _WorkerHandle) -> None:
         process = subprocess.Popen(
-            self._command(handle.shard),
+            self._command(handle.shard, handle.restarts, handle.last_crash_ts),
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             env=self._environment(),
@@ -534,6 +718,7 @@ class WorkerPool:
                     continue
                 handle.alive = False
                 handle.last_error = f"worker process exited with status {returncode}"
+                handle.last_crash_ts = time()
                 if not self.restart or self._stopping.is_set():
                     continue
                 handle.restarts += 1
@@ -563,6 +748,7 @@ class WorkerPool:
         if process is not None and process.poll() is not None:
             handle.alive = False
             handle.last_error = reason
+            handle.last_crash_ts = time()
 
     def pids(self) -> dict[int, int | None]:
         """Current worker pid per shard (``None`` while down)."""
@@ -590,6 +776,7 @@ class WorkerPool:
                     else None
                 ),
                 "restarts": handle.restarts,
+                "last_crash_ts": handle.last_crash_ts,
                 "last_error": handle.last_error,
             }
         return report
@@ -810,13 +997,14 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                 self.rfile, int(self.headers.get("Content-Length", 0) or 0)
             ).read
         client_trace_id = self.headers.get(TRACE_HEADER)
+        deadline_s = self._deadline_s()
         frames = 0
         rejection: DeniedResponse | ThrottledResponse | None = None
         with tempfile.SpooledTemporaryFile(max_size=1 << 23) as frames_out:
             try:
                 for frame in wirebin.iter_request_frames(read):
                     body, rejection = self.server.route_frame(
-                        frame, trace_id=client_trace_id
+                        frame, trace_id=client_trace_id, deadline_s=deadline_s
                     )
                     frames += 1
                     frames_out.write(body)
@@ -930,9 +1118,33 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
             user_id = payload.get("user_id")
         return user_id if isinstance(user_id, str) and user_id else None
 
+    def _request_kind(self, payload: Any) -> str | None:
+        """The wire kind of one JSON request/envelope payload."""
+        if not isinstance(payload, dict):
+            return None
+        request = payload.get("request")
+        source = request if isinstance(request, dict) else payload
+        kind = source.get("kind")
+        return kind if isinstance(kind, str) else None
+
+    def _deadline_s(self) -> float | None:
+        """The client's total-request budget from ``X-Deadline-S``."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value > 0.0 else None
+
     def _forward_headers(self) -> dict[str, str]:
-        trace_id = self.headers.get(TRACE_HEADER)
-        return {TRACE_HEADER: trace_id} if trace_id else {}
+        forwarded = {}
+        for name in (TRACE_HEADER, DEADLINE_HEADER):
+            value = self.headers.get(name)
+            if value:
+                forwarded[name] = value
+        return forwarded
 
     def _relay(self, status: int, data: bytes, headers: Mapping[str, str]) -> None:
         """Answer with a worker's response, verbatim."""
@@ -963,14 +1175,16 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                 ),
             )
             return
-        shard = self.server.ring.shard_for(user_id)
-        status, data, headers = self.server.worker_exchange(
+        shard = self.server.ring.shard_for(user_id, exclude=self.server.draining())
+        status, data, headers = self.server.reliable_exchange(
             shard,
             "POST",
             self.path,
             raw,
             "application/json",
             self._forward_headers(),
+            idempotent=self._request_kind(payload) == "authenticate",
+            deadline_s=self._deadline_s(),
         )
         self._relay(status, data, headers)
 
@@ -1001,18 +1215,27 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                         SealedResponse(response=error, request_id=request_id)
                     )
                 continue
-            groups.setdefault(self.server.ring.shard_for(user_id), []).append(index)
+            groups.setdefault(
+                self.server.ring.shard_for(user_id, exclude=self.server.draining()),
+                [],
+            ).append(index)
         headers = self._forward_headers()
+        deadline_s = self._deadline_s()
         for shard in sorted(groups):
             indices = groups[shard]
             body = serialization.dumps([payloads[index] for index in indices])
-            status, data, _ = self.server.worker_exchange(
+            status, data, _ = self.server.reliable_exchange(
                 shard,
                 "POST",
                 self.path,
                 body.encode("utf-8"),
                 "application/json",
                 headers,
+                idempotent=all(
+                    self._request_kind(payloads[index]) == "authenticate"
+                    for index in indices
+                ),
+                deadline_s=deadline_s,
             )
             if status != 200:
                 # Whole-batch rejections (batch-too-large throttles) relay
@@ -1048,12 +1271,26 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                 ),
             )
             return
+        if self._request_kind(payload) == "drain-shard":
+            # The one admin op the router answers itself: only it owns a
+            # ring to rebalance (workers reject it with a typed 400).
+            self._handle_drain(payload)
+            return
         user_id = self._route_user_id(payload)
         headers = self._forward_headers()
+        deadline_s = self._deadline_s()
         if user_id is not None:
-            shard = self.server.ring.shard_for(user_id)
-            status, data, response_headers = self.server.worker_exchange(
-                shard, "POST", self.path, raw, "application/json", headers
+            shard = self.server.ring.shard_for(
+                user_id, exclude=self.server.draining()
+            )
+            status, data, response_headers = self.server.reliable_exchange(
+                shard,
+                "POST",
+                self.path,
+                raw,
+                "application/json",
+                headers,
+                deadline_s=deadline_s,
             )
             self._relay(status, data, response_headers)
             return
@@ -1061,8 +1298,14 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
         first: tuple[int, bytes, Mapping[str, str]] | None = None
         failure: tuple[int, bytes, Mapping[str, str]] | None = None
         for shard in range(self.server.pool.n_shards):
-            status, data, response_headers = self.server.worker_exchange(
-                shard, "POST", self.path, raw, "application/json", headers
+            status, data, response_headers = self.server.reliable_exchange(
+                shard,
+                "POST",
+                self.path,
+                raw,
+                "application/json",
+                headers,
+                deadline_s=deadline_s,
             )
             if status >= 400 and failure is None:
                 failure = (status, data, response_headers)
@@ -1071,6 +1314,74 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
         answer = failure if failure is not None else first
         assert answer is not None  # n_shards >= 1
         self._relay(*answer)
+
+    def _handle_drain(self, payload: Any) -> None:
+        """Execute a ``drain-shard`` envelope against the router's ring.
+
+        Requires the cluster operator credential (the pool's API key);
+        draining flips the shard out of the routing set atomically, so
+        every decision after the 200 excludes it — in-flight exchanges
+        complete untouched.  The sealed response reports the resulting
+        active set for the operator's runbook.
+        """
+        if not isinstance(payload, dict):
+            self._send_json(
+                400,
+                dumps_response(
+                    self._client_error(
+                        "drain-shard",
+                        TypeError("drain-shard takes a single v2 envelope"),
+                    )
+                ),
+            )
+            return
+        request_id = str(payload.get("request_id", ""))
+
+        def _answer(status: int, response: Any) -> None:
+            sealed = SealedResponse(response=response, request_id=request_id)
+            self._send_json(status, serialization.dumps(sealed_to_payload(sealed)))
+
+        expected = self.server.admin_api_key
+        if expected is None or payload.get("api_key") != expected:
+            self.server.telemetry.increment("router.drain_denied")
+            denied = DeniedResponse(
+                request_kind="drain-shard",
+                code=CODE_UNKNOWN_KEY,
+                message="drain-shard requires the cluster operator credential",
+            )
+            _answer(denied.http_status, denied)
+            return
+        try:
+            request = request_from_payload(payload["request"])
+            if not isinstance(request, DrainShardRequest):
+                raise TypeError(
+                    f"expected a drain-shard request, got "
+                    f"{type(request).__name__}"
+                )
+            active = self.server.set_draining(
+                request.shard, undrain=request.undrain
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            self._send_json(
+                400,
+                serialization.dumps(
+                    sealed_to_payload(
+                        SealedResponse(
+                            response=self._client_error("drain-shard", error),
+                            request_id=request_id,
+                        )
+                    )
+                ),
+            )
+            return
+        _answer(
+            200,
+            DrainShardResponse(
+                shard=request.shard,
+                draining=not request.undrain,
+                active_shards=active,
+            ),
+        )
 
 
 class ShardRouter(ThreadingHTTPServer):
@@ -1095,6 +1406,25 @@ class ShardRouter(ThreadingHTTPServer):
         workers so worker-side events share it.
     timeout_s:
         Per-exchange socket timeout towards workers.
+    retry_policy:
+        Retry budget for shard exchanges (:class:`RetryPolicy`; ``None``
+        disables retries entirely).  Default: the snappy
+        ``RetryPolicy()`` — transient worker blips and fast respawns heal
+        invisibly, bounded by the client's ``X-Deadline-S`` when sent.
+    hedge_policy:
+        Straggler hedging (:class:`HedgePolicy`); ``None`` (default)
+        disables it.
+    admin_api_key:
+        Credential required by the router-resident ``drain-shard`` admin
+        operation (defaults to the pool's cluster API key; ``None`` if
+        the pool has none — drain requests are then denied).
+
+    When the pool carries a fleet quota (``caller_rate`` over a
+    ``quota_path``), the router charges that shared bucket **once per
+    binary frame, before the split**, stamps every sub-frame ``prepaid``
+    (workers spawned with ``--trust-prepaid`` skip their own charge) and
+    refunds the charge when the frame fails outright — so a frame split
+    across K shards, retried or hedged, costs exactly its request count.
     """
 
     daemon_threads = True
@@ -1110,14 +1440,37 @@ class ShardRouter(ThreadingHTTPServer):
         port: int = 0,
         timeout_s: float = 30.0,
         tracer: Tracer | None = None,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+        hedge_policy: HedgePolicy | None = None,
+        admin_api_key: str | None = None,
     ) -> None:
         super().__init__((host, port), _RouterRequestHandler)
         self.pool = pool
         self.ring = HashRing(pool.n_shards)
         self.timeout_s = float(timeout_s)
         self.tracer = tracer
+        self.retry_policy = retry_policy
+        self.hedge_policy = hedge_policy
+        self.admin_api_key = (
+            admin_api_key
+            if admin_api_key is not None
+            else getattr(pool, "api_key", None)
+        )
+        # Exactly-once quota: the router's own handle on the pool's
+        # fleet-wide bucket (None when the pool enforces no quota — the
+        # workers then charge per sub-frame exactly as before).
+        quota_path = getattr(pool, "quota_path", None)
+        quota_rate = float(getattr(pool, "caller_rate", 0.0) or 0.0)
+        quota_burst = float(getattr(pool, "caller_burst", 0.0) or 0.0)
+        self.frame_quota = (
+            SharedTokenBucket(quota_path, quota_rate, quota_burst or None)
+            if quota_path is not None and quota_rate > 0.0
+            else None
+        )
         self.telemetry = TelemetryHub()
         self.started_at = monotonic()
+        self._draining: set[int] = set()
+        self._draining_lock = threading.Lock()
         self._serve_thread: threading.Thread | None = None
         self._connections: dict[tuple[str, int], list[HTTPConnection]] = {}
         self._connections_lock = threading.Lock()
@@ -1188,7 +1541,7 @@ class ShardRouter(ThreadingHTTPServer):
                     continue  # stale keep-alive socket; nothing dispatched
                 self._report_failure(shard, error)
                 raise ShardUnavailable(
-                    shard, f"{type(error).__name__}: {error}"
+                    shard, f"{type(error).__name__}: {error}", dispatched=False
                 ) from error
             try:
                 response = conn.getresponse()
@@ -1197,7 +1550,7 @@ class ShardRouter(ThreadingHTTPServer):
                 conn.close()
                 self._report_failure(shard, error)
                 raise ShardUnavailable(
-                    shard, f"{type(error).__name__}: {error}"
+                    shard, f"{type(error).__name__}: {error}", dispatched=True
                 ) from error
             self._checkin(endpoint, conn)
             return response.status, data, dict(response.getheaders())
@@ -1206,24 +1559,291 @@ class ShardRouter(ThreadingHTTPServer):
         self.telemetry.increment("router.shard_errors")
         self.pool.report_failure(shard, f"{type(error).__name__}: {error}")
 
+    def reliable_exchange(
+        self,
+        shard: int,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str | None = None,
+        headers: Mapping[str, str] | None = None,
+        idempotent: bool = False,
+        deadline_s: float | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """:meth:`worker_exchange` under the router's retry policy.
+
+        A failure before dispatch always retries (the request never
+        reached a worker); a failure after dispatch retries only when
+        *idempotent*.  Each attempt re-resolves the shard's endpoint, so
+        a worker the health loop respawned mid-backoff is picked up on
+        its new port.  *deadline_s* caps the total time spent (the
+        client's ``X-Deadline-S`` budget); the policy deadline applies
+        either way.
+
+        Raises
+        ------
+        ShardUnavailable
+            When retries are disabled, disallowed, or exhausted.
+        """
+        policy = self.retry_policy
+        if policy is None:
+            return self.worker_exchange(shard, method, path, body, content_type, headers)
+        budget = (
+            policy.deadline_s
+            if deadline_s is None
+            else min(float(deadline_s), policy.deadline_s)
+        )
+        deadline = monotonic() + budget
+        attempt = 0
+        while True:
+            try:
+                result = self.worker_exchange(
+                    shard, method, path, body, content_type, headers
+                )
+            except ShardUnavailable as error:
+                if error.dispatched and not idempotent:
+                    raise
+                attempt += 1
+                wait = policy.backoff_s(attempt - 1)
+                if attempt >= policy.max_attempts or monotonic() + wait > deadline:
+                    self.telemetry.increment("router.retry_exhausted")
+                    raise
+                self.telemetry.increment("router.retries")
+                sleep(wait)
+                continue
+            if attempt:
+                self.telemetry.increment("router.retry_successes")
+            return result
+
+    def _hedge_delay_s(self) -> float | None:
+        """The straggler threshold, or ``None`` while hedging is off or
+        the latency histogram is still too thin to estimate a tail."""
+        policy = self.hedge_policy
+        if policy is None:
+            return None
+        histogram = self.telemetry.histogram("router.exchange")
+        if histogram.count < policy.min_samples:
+            return None
+        quantile = histogram.quantile(policy.quantile)
+        return min(max(quantile, policy.min_delay_s), policy.max_delay_s)
+
+    def _hedged_exchange(
+        self,
+        shard: int,
+        payload: bytes,
+        headers: Mapping[str, str],
+        idempotent: bool,
+        deadline_s: float | None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One sub-frame exchange, hedged against stragglers.
+
+        The primary dispatch gets :meth:`_hedge_delay_s` to answer; past
+        that, an identical sub-frame goes out (endpoint re-resolved, so
+        a respawned replica serves it) and the first answer wins.  The
+        loser's outcome is discarded — it records no latency sample, and
+        the frame's quota was charged before the split, so a duplicate
+        execution can never double-charge.
+        """
+        delay = self._hedge_delay_s() if idempotent else None
+        started = perf_counter()
+        if delay is None:
+            result = self.reliable_exchange(
+                shard,
+                "POST",
+                V2_REQUESTS_PATH,
+                payload,
+                wirebin.CONTENT_TYPE,
+                headers,
+                idempotent=idempotent,
+                deadline_s=deadline_s,
+            )
+            self.telemetry.observe("router.exchange", perf_counter() - started)
+            return result
+        condition = threading.Condition()
+        outcomes: list[tuple[str, bool, Any]] = []
+
+        def _attempt(label: str) -> None:
+            try:
+                outcome = (
+                    label,
+                    True,
+                    self.reliable_exchange(
+                        shard,
+                        "POST",
+                        V2_REQUESTS_PATH,
+                        payload,
+                        wirebin.CONTENT_TYPE,
+                        headers,
+                        idempotent=True,
+                        deadline_s=deadline_s,
+                    ),
+                )
+            except BaseException as error:
+                outcome = (label, False, error)
+            with condition:
+                outcomes.append(outcome)
+                condition.notify_all()
+
+        threading.Thread(
+            target=_attempt, args=("primary",), daemon=True
+        ).start()
+        with condition:
+            condition.wait_for(lambda: bool(outcomes), timeout=delay)
+            launched = 1 if outcomes else 2
+        if launched == 2:
+            self.telemetry.increment("router.hedges")
+            threading.Thread(
+                target=_attempt, args=("hedge",), daemon=True
+            ).start()
+        with condition:
+            condition.wait_for(
+                lambda: any(ok for _, ok, _value in outcomes)
+                or len(outcomes) >= launched
+            )
+            label, ok, value = next(
+                (outcome for outcome in outcomes if outcome[1]), outcomes[0]
+            )
+        if not ok:
+            raise value
+        if label == "hedge":
+            self.telemetry.increment("router.hedge_wins")
+        self.telemetry.observe("router.exchange", perf_counter() - started)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # graceful drain + live resharding
+    # ------------------------------------------------------------------ #
+
+    def draining(self) -> frozenset[int]:
+        """The shards currently excluded from new routing decisions."""
+        with self._draining_lock:
+            return frozenset(self._draining)
+
+    def set_draining(self, shard: int, undrain: bool = False) -> tuple[int, ...]:
+        """Mark *shard* draining (or restore it); returns the active set.
+
+        Draining stops **new** sub-frames toward the shard — the ring's
+        weighted walk rebalances its users onto the remaining shards —
+        while in-flight exchanges complete untouched (nothing here closes
+        a socket or signals a worker).  Deterministic: every router fed
+        the same drain set makes bit-for-bit identical decisions.
+
+        Raises
+        ------
+        ValueError
+            If *shard* is out of range, or draining it would leave no
+            active shard.
+        """
+        if not 0 <= shard < self.pool.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.pool.n_shards}), got {shard}"
+            )
+        with self._draining_lock:
+            if undrain:
+                self._draining.discard(shard)
+            else:
+                remaining = (
+                    set(range(self.pool.n_shards)) - self._draining - {shard}
+                )
+                if not remaining:
+                    raise ValueError(
+                        f"cannot drain shard {shard}: it is the last active "
+                        "shard — undrain another shard first"
+                    )
+                self._draining.add(shard)
+            draining = frozenset(self._draining)
+        self.telemetry.increment(
+            "router.undrains" if undrain else "router.drains"
+        )
+        return tuple(
+            index
+            for index in range(self.pool.n_shards)
+            if index not in draining
+        )
+
+    # ------------------------------------------------------------------ #
+    # exactly-once frame quota
+    # ------------------------------------------------------------------ #
+
+    def _charge_frame(
+        self, frame: wirebin.RequestFrame
+    ) -> tuple[float, ThrottledResponse | None]:
+        """Charge the fleet bucket once for the whole frame, pre-split.
+
+        Returns ``(tokens charged, None)`` on grant — sub-frames are then
+        stamped ``prepaid`` so workers skip their own charge — or
+        ``(0, rejection)`` when the budget rejects the frame.  Frames
+        carrying any credential other than the cluster's own pass through
+        uncharged (the workers' per-caller quotas judge them, exactly as
+        before this layer existed).
+        """
+        quota = self.frame_quota
+        if (
+            quota is None
+            or frame.api_key is None
+            or frame.api_key != getattr(self.pool, "api_key", None)
+        ):
+            return 0.0, None
+        count = frame.n_requests
+        if count > quota.burst:
+            rejection = ThrottledResponse(
+                request_kind=frame.op,
+                reason=REASON_BATCH_EXCEEDS_BURST,
+                queue_depth=0,
+                max_depth=int(quota.burst),
+                retry_after_s=quota.burst / quota.rate_per_s,
+            )
+        else:
+            retry_after = quota.acquire(count)
+            if retry_after == 0.0:
+                self.telemetry.increment("router.quota_charges")
+                return float(count), None
+            rejection = ThrottledResponse(
+                request_kind=frame.op,
+                reason=REASON_RATE_LIMITED,
+                queue_depth=0,
+                max_depth=int(quota.burst),
+                retry_after_s=retry_after,
+            )
+        self.telemetry.increment("router.quota_throttled")
+        return 0.0, rejection
+
+    def _refund_frame(self, charged: float) -> None:
+        """Undo a frame's pre-split charge after a total failure.
+
+        The caller re-sends the whole frame on a 503/abort, so keeping
+        the charge would bill the retry twice; the refund restores the
+        exactly-once invariant (capped at burst, so refunds never mint)."""
+        if charged <= 0.0 or self.frame_quota is None:
+            return
+        self.frame_quota.refund(charged)
+        self.telemetry.increment("router.quota_refunds")
+
     # ------------------------------------------------------------------ #
     # binary frame routing
     # ------------------------------------------------------------------ #
 
     def route_frame(
-        self, frame: wirebin.RequestFrame, trace_id: str | None = None
+        self,
+        frame: wirebin.RequestFrame,
+        trace_id: str | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[bytes, DeniedResponse | ThrottledResponse | None]:
         """Split one request frame per shard, fan out, merge in order.
 
         Returns ``(response frame bytes, frame-level rejection or None)``
         — the same contract as the worker transport's ``dispatch_frame``,
         so the handler maps single-frame rejections to their HTTP status
-        identically.
+        identically.  Draining shards receive no new sub-frames (the ring
+        walks their users onto the active shards); the fleet quota, when
+        the pool carries one, is charged exactly once here and refunded
+        if the frame fails outright.
 
         Raises
         ------
         ShardUnavailable
-            If any involved shard is down or fails mid-exchange.
+            If any involved shard is down or fails mid-exchange (after
+            the retry policy's budget, when one is set).
         """
         self.telemetry.increment("router.frames")
         trace = (
@@ -1232,92 +1852,122 @@ class ShardRouter(ThreadingHTTPServer):
             else None
         )
         try:
-            started = perf_counter()
-            groups = self.ring.split(frame.user_ids)
-            shards = sorted(groups)
-            payloads = {
-                shard: wirebin.encode_frame_slice(frame, groups[shard])
-                for shard in shards
-            }
-            if trace is not None:
-                trace.add_span(SPAN_SHARD_SPLIT, perf_counter() - started)
-                trace.annotate(shards=len(shards), requests=frame.n_requests)
-            forward_trace_id = trace.trace_id if trace is not None else trace_id
-            headers = {TRACE_HEADER: forward_trace_id} if forward_trace_id else {}
-
-            started = perf_counter()
-            results: dict[int, wirebin.ResponseFrame] = {}
-            failures: dict[int, BaseException] = {}
-
-            def _dispatch(shard: int) -> None:
-                try:
-                    status, data, _ = self.worker_exchange(
-                        shard,
-                        "POST",
-                        V2_REQUESTS_PATH,
-                        payloads[shard],
-                        wirebin.CONTENT_TYPE,
-                        headers,
-                    )
-                    if not data.startswith(wirebin.MAGIC):
-                        raise _WorkerFault(shard, status, data)
-                    frames = wirebin.decode_response_frames(data)
-                    if len(frames) != 1:
-                        raise _WorkerFault(shard, status, data)
-                    results[shard] = frames[0]
-                except BaseException as error:  # re-raised on the handler thread
-                    failures[shard] = error
-
-            threads = [
-                threading.Thread(target=_dispatch, args=(shard,), daemon=True)
-                for shard in shards[1:]
-            ]
-            for thread in threads:
-                thread.start()
-            _dispatch(shards[0])
-            for thread in threads:
-                thread.join()
-            if trace is not None:
-                trace.add_span(SPAN_SHARD_DISPATCH, perf_counter() - started)
-            for shard in shards:
-                if shard in failures:
-                    raise failures[shard]
-
-            started = perf_counter()
-            caller_id = next(
-                (
-                    results[shard].caller_id
-                    for shard in shards
-                    if results[shard].caller_id
-                ),
-                None,
-            )
-            # Any shard-level rejection answers for the whole frame: the
-            # frame shares one credential, so a denial is unanimous, and a
-            # shared-quota throttle means the aggregate budget is spent.
-            for shard in shards:
-                result = results[shard]
-                if result.error is not None:
-                    raise _WorkerFault(
-                        shard, 500, dumps_response(result.error).encode("utf-8")
-                    )
-                rejection = result.denied or result.throttled
-                if rejection is not None:
-                    body = wirebin.encode_rejection_frame(
-                        frame.op, rejection, frame.frame_id, frame.n_requests
-                    )
-                    self.telemetry.increment("router.rejected_frames")
-                    return body, rejection
-            if frame.op == "authenticate":
-                body = self._merge_columns(frame, groups, results, caller_id)
-            else:
-                body = self._merge_payloads(frame, groups, results, caller_id)
-            if trace is not None:
-                trace.add_span(SPAN_SHARD_MERGE, perf_counter() - started)
-            return body, None
+            charged, throttle = self._charge_frame(frame)
+            if throttle is not None:
+                body = wirebin.encode_rejection_frame(
+                    frame.op, throttle, frame.frame_id, frame.n_requests
+                )
+                self.telemetry.increment("router.rejected_frames")
+                return body, throttle
+            try:
+                return self._route_charged_frame(
+                    frame, trace, trace_id, deadline_s, charged > 0.0
+                )
+            except _FrameRejected as rejected:
+                # The workers rejected the frame before running it.
+                self._refund_frame(charged)
+                return rejected.body, rejected.rejection
+            except BaseException:
+                # Total failure: nothing merged, the caller re-sends the
+                # whole frame — return its tokens so the retry is free.
+                self._refund_frame(charged)
+                raise
         finally:
             if trace is not None and self.tracer is not None:
                 self.tracer.finish_frame(trace, frame.user_ids)
+
+    def _route_charged_frame(
+        self,
+        frame: wirebin.RequestFrame,
+        trace: Any,
+        trace_id: str | None,
+        deadline_s: float | None,
+        prepaid: bool,
+    ) -> tuple[bytes, DeniedResponse | ThrottledResponse | None]:
+        started = perf_counter()
+        groups = self.ring.split(frame.user_ids, exclude=self.draining())
+        shards = sorted(groups)
+        # The prepaid marker is always stamped by the router, never
+        # echoed from the client frame: an unpaid frame cannot smuggle
+        # the flag past the workers' own quota charge.
+        payloads = {
+            shard: wirebin.encode_frame_slice(
+                frame, groups[shard], prepaid=prepaid
+            )
+            for shard in shards
+        }
+        if trace is not None:
+            trace.add_span(SPAN_SHARD_SPLIT, perf_counter() - started)
+            trace.annotate(shards=len(shards), requests=frame.n_requests)
+        forward_trace_id = trace.trace_id if trace is not None else trace_id
+        headers = {TRACE_HEADER: forward_trace_id} if forward_trace_id else {}
+        idempotent = frame.op == "authenticate"
+
+        started = perf_counter()
+        results: dict[int, wirebin.ResponseFrame] = {}
+        failures: dict[int, BaseException] = {}
+
+        def _dispatch(shard: int) -> None:
+            try:
+                status, data, _ = self._hedged_exchange(
+                    shard, payloads[shard], headers, idempotent, deadline_s
+                )
+                if not data.startswith(wirebin.MAGIC):
+                    raise _WorkerFault(shard, status, data)
+                frames = wirebin.decode_response_frames(data)
+                if len(frames) != 1:
+                    raise _WorkerFault(shard, status, data)
+                results[shard] = frames[0]
+            except BaseException as error:  # re-raised on the handler thread
+                failures[shard] = error
+
+        threads = [
+            threading.Thread(target=_dispatch, args=(shard,), daemon=True)
+            for shard in shards[1:]
+        ]
+        for thread in threads:
+            thread.start()
+        _dispatch(shards[0])
+        for thread in threads:
+            thread.join()
+        if trace is not None:
+            trace.add_span(SPAN_SHARD_DISPATCH, perf_counter() - started)
+        for shard in shards:
+            if shard in failures:
+                raise failures[shard]
+
+        started = perf_counter()
+        caller_id = next(
+            (
+                results[shard].caller_id
+                for shard in shards
+                if results[shard].caller_id
+            ),
+            None,
+        )
+        # Any shard-level rejection answers for the whole frame: the
+        # frame shares one credential, so a denial is unanimous, and a
+        # shared-quota throttle means the aggregate budget is spent.
+        for shard in shards:
+            result = results[shard]
+            if result.error is not None:
+                raise _WorkerFault(
+                    shard, 500, dumps_response(result.error).encode("utf-8")
+                )
+            rejection = result.denied or result.throttled
+            if rejection is not None:
+                body = wirebin.encode_rejection_frame(
+                    frame.op, rejection, frame.frame_id, frame.n_requests
+                )
+                self.telemetry.increment("router.rejected_frames")
+                raise _FrameRejected(body, rejection)
+        if frame.op == "authenticate":
+            body = self._merge_columns(frame, groups, results, caller_id)
+        else:
+            body = self._merge_payloads(frame, groups, results, caller_id)
+        if trace is not None:
+            trace.add_span(SPAN_SHARD_MERGE, perf_counter() - started)
+        return body, None
 
     def _merge_columns(
         self,
@@ -1462,6 +2112,12 @@ class ShardRouter(ThreadingHTTPServer):
             for key in totals:
                 totals[key] += int(worker_health.get(key, 0))
         alive = sum(1 for report in shards.values() if report.get("alive"))
+        draining = sorted(self.draining())
+        crash_stamps = [
+            report["last_crash_ts"]
+            for report in shards.values()
+            if report.get("last_crash_ts")
+        ]
         return {
             "status": "ok" if alive == self.pool.n_shards else "degraded",
             "ready": alive == self.pool.n_shards,
@@ -1470,6 +2126,11 @@ class ShardRouter(ThreadingHTTPServer):
             **totals,
             "n_shards": self.pool.n_shards,
             "shards_alive": alive,
+            "draining": draining,
+            "restarts": sum(
+                int(report.get("restarts", 0) or 0) for report in shards.values()
+            ),
+            "last_crash_ts": max(crash_stamps) if crash_stamps else None,
             "shards": shards,
         }
 
@@ -1580,7 +2241,14 @@ def _run_worker(args: argparse.Namespace) -> int:
     )
     stop = threading.Event()
     with ServiceHTTPServer(
-        frontend, host=args.host, port=args.port, queue=queue, tracer=tracer
+        frontend,
+        host=args.host,
+        port=args.port,
+        queue=queue,
+        tracer=tracer,
+        trust_prepaid_frames=args.trust_prepaid,
+        restarts=args.restarts,
+        last_crash_ts=args.last_crash_ts,
     ) as server:
         server.callers.register(args.caller_id, scopes, api_key=api_key)
         if args.caller_rate > 0.0:
@@ -1637,7 +2305,30 @@ def _run_router(args: argparse.Namespace) -> int:
             if args.trace_sample_rate > 0.0 or args.trace_jsonl
             else None
         )
-        with ShardRouter(pool, host=args.host, port=args.port, tracer=tracer) as router:
+        retry_policy = (
+            None
+            if args.no_retry
+            else RetryPolicy(
+                max_attempts=args.retry_attempts,
+                deadline_s=args.retry_deadline_s,
+            )
+        )
+        hedge_policy = (
+            HedgePolicy(
+                quantile=args.hedge_quantile,
+                min_samples=args.hedge_min_samples,
+            )
+            if args.hedge_quantile > 0.0
+            else None
+        )
+        with ShardRouter(
+            pool,
+            host=args.host,
+            port=args.port,
+            tracer=tracer,
+            retry_policy=retry_policy,
+            hedge_policy=hedge_policy,
+        ) as router:
             _install_stop_handlers(stop)
             print(f"READY {router.port}", flush=True)
             print(
@@ -1690,6 +2381,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     worker.add_argument("--max-depth", type=int, default=1024)
     worker.add_argument("--no-queue", action="store_true")
+    worker.add_argument(
+        "--trust-prepaid",
+        action="store_true",
+        help="honor the router's prepaid marker on sub-frames (skip the "
+        "worker-side quota charge; only safe behind a charging router)",
+    )
+    worker.add_argument(
+        "--restarts",
+        type=int,
+        default=0,
+        help="restart count inherited from the pool (reported on /healthz)",
+    )
+    worker.add_argument(
+        "--last-crash-ts",
+        type=float,
+        default=None,
+        help="wall-clock time of this shard's last crash (for /healthz)",
+    )
     worker.add_argument("--trace-sample-rate", type=float, default=0.0)
     worker.add_argument("--trace-jsonl", default=None)
     worker.set_defaults(run=_run_worker)
@@ -1708,6 +2417,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--no-restart",
         action="store_true",
         help="do not respawn crashed workers (crash-semantics testing)",
+    )
+    router.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable router-side retries (a dead shard answers 503 "
+        "immediately)",
+    )
+    router.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=RetryPolicy.max_attempts,
+        help="max exchange attempts per sub-frame (default %(default)s)",
+    )
+    router.add_argument(
+        "--retry-deadline-s",
+        type=float,
+        default=RetryPolicy.deadline_s,
+        help="total retry budget per request in seconds; the client's "
+        "X-Deadline-S header can only shrink it (default %(default)s)",
+    )
+    router.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=0.0,
+        help="hedge straggling authenticate sub-frames past this latency "
+        "percentile (0 disables hedging, the default)",
+    )
+    router.add_argument(
+        "--hedge-min-samples",
+        type=int,
+        default=HedgePolicy.min_samples,
+        help="latency samples required before hedging arms "
+        "(default %(default)s)",
     )
     router.add_argument("--trace-sample-rate", type=float, default=0.0)
     router.add_argument("--trace-jsonl", default=None)

@@ -282,6 +282,18 @@ class TokenBucket:
                 return 0.0
             return (tokens - self._tokens) / self.rate_per_s
 
+    def refund(self, tokens: float) -> None:
+        """Return *tokens* to the bucket, capped at ``burst``.
+
+        The undo for a charge whose work was never done (the shard router
+        charges a whole frame up front and refunds when every sub-frame
+        failed).  Refunds never mint tokens beyond the bucket size.
+        """
+        if tokens <= 0.0:
+            return
+        with self._lock:
+            self._tokens = min(self.burst, self._tokens + tokens)
+
 
 class SharedTokenBucket:
     """A file-backed token bucket shared by every process that opens it.
@@ -354,6 +366,35 @@ class SharedTokenBucket:
                     os.truncate(fd, 0)
                     os.write(fd, state.encode("utf-8"))
                     return retry_after
+                finally:
+                    if fcntl is not None:
+                        fcntl.lockf(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def refund(self, tokens: float) -> None:
+        """Return *tokens* fleet-wide, capped at ``burst``.
+
+        Same read-refill-write cycle as :meth:`acquire` under the same
+        advisory lock, so a refund races safely with concurrent charges
+        from other processes.
+        """
+        if tokens <= 0.0:
+            return
+        with self._lock:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o600)
+            try:
+                if fcntl is not None:
+                    fcntl.lockf(fd, fcntl.LOCK_EX)
+                try:
+                    now = monotonic()
+                    level, stamp = self._read_state(fd, now)
+                    level = min(self.burst, level + (now - stamp) * self.rate_per_s)
+                    level = min(self.burst, level + tokens)
+                    state = json.dumps({"tokens": level, "stamp": now})
+                    os.lseek(fd, 0, os.SEEK_SET)
+                    os.truncate(fd, 0)
+                    os.write(fd, state.encode("utf-8"))
                 finally:
                     if fcntl is not None:
                         fcntl.lockf(fd, fcntl.LOCK_UN)
@@ -830,7 +871,7 @@ class EnvelopeProcessor:
         return SCOPE_DATA_WRITE if is_data_plane(request) else SCOPE_ADMIN
 
     def authorize_frame(
-        self, api_key: str | None, kind: str, count: int
+        self, api_key: str | None, kind: str, count: int, charge: bool = True
     ) -> CallerRecord | DeniedResponse | ThrottledResponse:
         """Authorize a columnar frame of *count* data-plane requests at once.
 
@@ -842,6 +883,11 @@ class EnvelopeProcessor:
         denials are folded in), and the caller's rate-limit bucket is
         charged *count* tokens atomically.
 
+        *charge=False* skips only the bucket charge (key and scope checks
+        still run): the door for router-prepaid sub-frames, whose quota was
+        already charged once at the shard router before the split — a
+        worker charging again would bill the frame per shard.
+
         Returns the authorized record, a typed :class:`DeniedResponse`
         (401/403) or a ``rate-limited``
         :class:`~repro.service.protocol.ThrottledResponse` (429) for the
@@ -850,6 +896,8 @@ class EnvelopeProcessor:
         outcome = self.callers.authorize_many(api_key, SCOPE_DATA_WRITE, kind, count)
         if isinstance(outcome, DeniedResponse):
             self.telemetry.increment("envelope.denied", count)
+            return outcome
+        if not charge:
             return outcome
         rejection = self.callers.acquire_rate(outcome, count)
         if rejection is not None:

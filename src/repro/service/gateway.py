@@ -37,6 +37,7 @@ from repro.service.protocol import (
     AuthenticationResponse,
     DetectorTrainRequest,
     DetectorTrainResponse,
+    DrainShardRequest,
     DriftReport,
     DriftResponse,
     EnrollRequest,
@@ -169,6 +170,7 @@ class ControlPlane(Plane):
                 SnapshotRequest: gateway._handle_snapshot,
                 EvictRequest: gateway._handle_evict,
                 DetectorTrainRequest: gateway._handle_train_detector,
+                DrainShardRequest: gateway._handle_drain_shard,
             },
         )
 
@@ -256,7 +258,7 @@ class AuthenticationGateway:
             f"not a protocol request: {type(request).__name__!r}; expected "
             "one of EnrollRequest, AuthenticateRequest, DriftReport, "
             "RollbackRequest, SnapshotRequest, EvictRequest, "
-            "DetectorTrainRequest"
+            "DetectorTrainRequest, DrainShardRequest"
         )
 
     def handle(self, request: Request) -> Response:
@@ -636,6 +638,17 @@ class AuthenticationGateway:
             matrix=request.matrix, exclude_user=request.exclude_user
         )
         return DetectorTrainResponse(version=version)
+
+    def _handle_drain_shard(self, request: DrainShardRequest) -> Response:
+        # Draining rebalances a consistent-hash ring; a standalone server
+        # has none.  The shard router answers this operation itself and
+        # never forwards it, so reaching here means the envelope was sent
+        # to a worker (or single-process deployment) directly.
+        raise ValueError(
+            f"drain-shard (shard={request.shard}) is a shard-router "
+            "operation; this server has no ring to rebalance — send it to "
+            "the router's /v2/admin endpoint"
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -229,6 +229,38 @@ class DetectorTrainRequest:
             _check_user_id(self.exclude_user)
 
 
+@dataclass(frozen=True)
+class DrainShardRequest:
+    """Mark one shard draining (or restore it) for live resharding.
+
+    A control-plane operation the **shard router** answers itself: workers
+    have no ring to rebalance, so a drain envelope reaching a standalone
+    server fails typed (``ValueError``).  While a shard drains, the router
+    routes no new sub-frames to it — its users rebalance deterministically
+    to the remaining shards along the consistent-hash ring — while requests
+    already in flight complete normally.  ``undrain=True`` reverses the
+    move, restoring the exact pre-drain routing.
+
+    Attributes
+    ----------
+    shard:
+        The shard index to drain (or restore).
+    undrain:
+        ``True`` returns the shard to rotation instead of draining it.
+    """
+
+    shard: int
+    undrain: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shard, int) or isinstance(self.shard, bool):
+            raise ValueError(f"shard must be an int, got {self.shard!r}")
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if not isinstance(self.undrain, bool):
+            raise ValueError(f"undrain must be a bool, got {self.undrain!r}")
+
+
 Request = (
     EnrollRequest
     | AuthenticateRequest
@@ -237,6 +269,7 @@ Request = (
     | SnapshotRequest
     | EvictRequest
     | DetectorTrainRequest
+    | DrainShardRequest
 )
 
 
@@ -414,6 +447,7 @@ CONTROL_PLANE_TYPES: tuple[type, ...] = (
     SnapshotRequest,
     EvictRequest,
     DetectorTrainRequest,
+    DrainShardRequest,
 )
 
 
@@ -524,6 +558,25 @@ class DetectorTrainResponse:
 
 
 @dataclass(frozen=True)
+class DrainShardResponse:
+    """Outcome of a drain (or undrain): the router's routing state.
+
+    Attributes
+    ----------
+    shard:
+        The shard the operation targeted.
+    draining:
+        Whether that shard is draining after the operation.
+    active_shards:
+        Shard indices still receiving new sub-frames, ascending.
+    """
+
+    shard: int
+    draining: bool
+    active_shards: tuple = ()
+
+
+@dataclass(frozen=True)
 class ThrottledResponse:
     """A request rejected by admission control before it was dispatched.
 
@@ -587,6 +640,7 @@ Response = (
     | SnapshotResponse
     | EvictResponse
     | DetectorTrainResponse
+    | DrainShardResponse
     | ThrottledResponse
     | ErrorResponse
 )
@@ -603,6 +657,7 @@ _REQUEST_KINDS: dict[type, str] = {
     SnapshotRequest: "snapshot",
     EvictRequest: "evict",
     DetectorTrainRequest: "train-detector",
+    DrainShardRequest: "drain-shard",
 }
 
 _RESPONSE_KINDS: dict[type, str] = {
@@ -613,6 +668,7 @@ _RESPONSE_KINDS: dict[type, str] = {
     SnapshotResponse: "snapshot-response",
     EvictResponse: "evict-response",
     DetectorTrainResponse: "train-detector-response",
+    DrainShardResponse: "drain-shard-response",
     ThrottledResponse: "throttled-response",
     ErrorResponse: "error-response",
 }
@@ -693,6 +749,9 @@ def request_to_payload(request: Request) -> dict[str, Any]:
     elif isinstance(request, DetectorTrainRequest):
         payload["matrix"] = _matrix_to_payload(request.matrix)
         payload["exclude_user"] = request.exclude_user
+    elif isinstance(request, DrainShardRequest):
+        payload["shard"] = int(request.shard)
+        payload["undrain"] = bool(request.undrain)
     return payload
 
 
@@ -754,6 +813,11 @@ def request_from_payload(payload: Mapping[str, Any]) -> Request:
                 matrix=_matrix_from_payload(payload["matrix"]),
                 exclude_user=payload.get("exclude_user"),
             )
+        if kind == "drain-shard":
+            return DrainShardRequest(
+                shard=int(payload["shard"]),
+                undrain=bool(payload.get("undrain", False)),
+            )
     except KeyError as error:
         # A missing field is a malformed payload (the sender's fault), not
         # a missing resource: surface it as the parser's ValueError.
@@ -802,6 +866,12 @@ def response_to_payload(response: Response) -> dict[str, Any]:
         )
     elif isinstance(response, DetectorTrainResponse):
         payload.update(version=int(response.version))
+    elif isinstance(response, DrainShardResponse):
+        payload.update(
+            shard=int(response.shard),
+            draining=bool(response.draining),
+            active_shards=[int(shard) for shard in response.active_shards],
+        )
     elif isinstance(response, ThrottledResponse):
         payload.update(
             request_kind=response.request_kind,
@@ -880,6 +950,14 @@ def _response_from_tagged_payload(kind: Any, payload: Mapping[str, Any]) -> Resp
         )
     if kind == "train-detector-response":
         return DetectorTrainResponse(version=int(payload["version"]))
+    if kind == "drain-shard-response":
+        return DrainShardResponse(
+            shard=int(payload["shard"]),
+            draining=bool(payload["draining"]),
+            active_shards=tuple(
+                int(shard) for shard in payload.get("active_shards", ())
+            ),
+        )
     if kind == "throttled-response":
         return ThrottledResponse(
             request_kind=payload["request_kind"],

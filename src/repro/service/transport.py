@@ -88,7 +88,7 @@ import threading
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from itertools import count
-from time import monotonic, perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Sequence
 
 from repro.service import wirebin
@@ -146,6 +146,11 @@ V2_REQUESTS_PATH = "/v2/requests"
 V2_ADMIN_PATH = "/v2/admin"
 #: Liveness/readiness endpoint.
 HEALTH_PATH = "/healthz"
+#: Request header carrying the client's total deadline, in seconds.  The
+#: shard router bounds its retry-with-backoff budget by this (capped by
+#: its own policy), so a client that can only wait 2 s never has the
+#: router retrying on its behalf for 10.
+DEADLINE_HEADER = "X-Deadline-S"
 #: Telemetry endpoint.
 METRICS_PATH = "/metrics"
 #: Mergeable histogram families as JSON — the shard router scrapes this
@@ -193,6 +198,21 @@ def status_for_sealed(sealed: SealedResponse) -> int:
     if isinstance(sealed.response, DeniedResponse):
         return sealed.response.http_status
     return status_for_response(sealed.response)
+
+
+class DeadlineExceeded(ConnectionError):
+    """A client-side deadline expired before the server answered.
+
+    Raised by :class:`ServiceClient` whenever a socket timeout fires —
+    connect, send or read — so callers always see a typed error instead of
+    a bare ``socket.timeout``.  Subclasses :class:`ConnectionError`, so
+    existing ``except ConnectionError`` handlers (and the chaos harness's
+    outcome taxonomy) keep working unchanged.
+    """
+
+    def __init__(self, message: str, timeout_s: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -854,6 +874,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         max_batch_items: int | None = 4096,
         callers: CallerRegistry | None = None,
         tracer: Tracer | None = None,
+        trust_prepaid_frames: bool = False,
+        restarts: int = 0,
+        last_crash_ts: float | None = None,
     ) -> None:
         self.frontend = frontend if frontend is not None else ServiceFrontend()
         if queue is not None and queue.frontend is not self.frontend:
@@ -888,6 +911,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         # Cheap sequential ids for internally wrapped legacy requests (the
         # caller never sees them; a uuid4 per /v1 request would be waste).
         self._legacy_ids = count(1)
+        # Honour the router's prepaid marker on binary sub-frames only when
+        # explicitly enabled (cluster workers behind a router); a public
+        # server must never let clients stamp their own frames quota-free.
+        self.trust_prepaid_frames = trust_prepaid_frames
+        # Crash history injected by the pool manager on respawn, surfaced
+        # on /healthz so operators can spot flapping workers.
+        self.restarts = restarts
+        self.last_crash_ts = last_crash_ts
         self.started_at = monotonic()
         self._serve_thread: threading.Thread | None = None
         super().__init__((host, port), _ServiceRequestHandler)
@@ -1029,7 +1060,12 @@ class ServiceHTTPServer(ThreadingHTTPServer):
                 "(and the legacy /v1 endpoint)",
             )
         else:
-            outcome = self.processor.authorize_frame(frame.api_key, frame.op, count)
+            prepaid = frame.prepaid and self.trust_prepaid_frames
+            if prepaid:
+                self.telemetry.increment("transport.prepaid_frames")
+            outcome = self.processor.authorize_frame(
+                frame.api_key, frame.op, count, charge=not prepaid
+            )
             if isinstance(outcome, (DeniedResponse, ThrottledResponse)):
                 rejection = outcome
         if trace is not None:
@@ -1132,6 +1168,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
             "registry_generation": (
                 int(registry.generation) if registry is not None else 0
             ),
+            "restarts": self.restarts,
+            "last_crash_ts": self.last_crash_ts,
         }
 
     # ------------------------------------------------------------------ #
@@ -1221,12 +1259,25 @@ class ServiceClient:
     pool_size:
         Connections kept per client (>= 1).  Calls beyond the pool size
         wait for a free connection.
+    max_retry_wait:
+        Opt-in bounded client-side backoff: on a 429/503 carrying a
+        ``Retry-After`` header, the client sleeps the suggested interval
+        and re-sends, as long as the *total* time slept this call stays
+        within this budget (seconds).  The default of ``0.0`` keeps the
+        historical behaviour — throttles and unavailability surface
+        immediately as their typed responses.  Streams are never retried.
+    deadline_s:
+        Optional end-to-end deadline advertised to the server via the
+        ``X-Deadline-S`` header on every request; the shard router bounds
+        its own retry budget by it.  Purely advisory — the client's socket
+        timeout stays ``timeout_s``.
 
     Raises
     ------
     ValueError
         If *codec* names no codec, ``codec="binary"`` comes without an
-        ``api_key``, or ``pool_size`` is not positive.
+        ``api_key``, ``pool_size`` is not positive, or *max_retry_wait* /
+        *deadline_s* is negative.
     """
 
     #: The wire codecs ``submit_many`` can speak.
@@ -1240,6 +1291,8 @@ class ServiceClient:
         api_key: str | None = None,
         codec: str = "json",
         pool_size: int = 1,
+        max_retry_wait: float = 0.0,
+        deadline_s: float | None = None,
     ) -> None:
         if codec not in self.CODECS:
             raise ValueError(f"codec must be one of {self.CODECS}, got {codec!r}")
@@ -1250,12 +1303,20 @@ class ServiceClient:
             )
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if max_retry_wait < 0.0:
+            raise ValueError(
+                f"max_retry_wait must be >= 0, got {max_retry_wait}"
+            )
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.api_key = api_key
         self.codec = codec
         self.pool_size = pool_size
+        self.max_retry_wait = max_retry_wait
+        self.deadline_s = deadline_s
         self._idle: list[HTTPConnection] = []
         self._idle_lock = threading.Lock()
         self._slots = threading.BoundedSemaphore(pool_size)
@@ -1338,6 +1399,15 @@ class ServiceClient:
         always opens a fresh socket so a stale keep-alive connection cannot
         waste its single attempt.
 
+        Separately from transport failures, a **throttled or unavailable**
+        answer (429/503 with a ``Retry-After`` header) is slept out and
+        re-sent when the client was built with ``max_retry_wait > 0`` —
+        these responses mean the server explicitly did *not* execute the
+        operation, so re-sending is always safe.  The total time slept per
+        call is bounded by ``max_retry_wait``; once the budget cannot cover
+        the server's suggested wait, the typed rejection is returned to the
+        caller exactly as without the option.
+
         Returns
         -------
         tuple[bytes, str]
@@ -1345,15 +1415,26 @@ class ServiceClient:
 
         Raises
         ------
+        DeadlineExceeded
+            If a socket timeout fired during connect, send or read.
         ConnectionError
             If the server cannot be reached, or a non-idempotent exchange
             failed after its request may have been processed.
         """
+        if self.deadline_s is not None:
+            headers = {**(headers or {}), DEADLINE_HEADER: f"{self.deadline_s:g}"}
         self._slots.acquire()
         try:
             connection = self._pop_idle()
             last_error: Exception | None = None
-            for attempt in range(2):
+            transport_attempts = 0
+            retry_wait_budget = self.max_retry_wait
+            while True:
+                if transport_attempts >= 2:
+                    raise ConnectionError(
+                        f"cannot reach service at {self.host}:{self.port}: "
+                        f"{last_error}"
+                    ) from last_error
                 if stream is not None and connection is not None:
                     connection.close()
                     connection = None
@@ -1376,12 +1457,19 @@ class ServiceClient:
                     last_error = error
                     connection.close()
                     connection = None
+                    if isinstance(error, TimeoutError):
+                        raise DeadlineExceeded(
+                            f"{method} {path} to {self.host}:{self.port} timed "
+                            f"out after {self.timeout_s}s while sending",
+                            timeout_s=self.timeout_s,
+                        ) from error
                     if stream is not None:
                         raise ConnectionError(
                             f"streamed {method} {path} to {self.host}:"
                             f"{self.port} failed mid-send ({error}); a "
                             "partially consumed stream cannot be replayed"
                         ) from error
+                    transport_attempts += 1
                     continue
                 try:
                     response = connection.getresponse()
@@ -1389,24 +1477,67 @@ class ServiceClient:
                     response_type = response.getheader(
                         "Content-Type", "application/json"
                     )
+                    status = response.status
+                    retry_after = response.getheader("Retry-After")
                 except (HTTPException, OSError) as error:
                     last_error = error
                     connection.close()
                     connection = None
+                    if isinstance(error, TimeoutError):
+                        raise DeadlineExceeded(
+                            f"{method} {path} to {self.host}:{self.port} timed "
+                            f"out after {self.timeout_s}s awaiting the response",
+                            timeout_s=self.timeout_s,
+                        ) from error
                     if method != "GET":
                         raise ConnectionError(
                             f"{method} {path} to {self.host}:{self.port} failed "
                             f"after the request was sent ({error}); not retrying "
                             "a possibly-executed non-idempotent operation"
                         ) from error
+                    transport_attempts += 1
+                    continue
+                wait = self._retry_after_wait(
+                    status, retry_after, retry_wait_budget, stream
+                )
+                if wait is not None:
+                    # The server refused before executing (throttle /
+                    # shard-unavailable), so re-sending cannot duplicate
+                    # work.  The response was fully read, so the connection
+                    # stays reusable.
+                    retry_wait_budget -= wait
+                    sleep(wait)
                     continue
                 self._push_idle(connection)
                 return data, response_type
-            raise ConnectionError(
-                f"cannot reach service at {self.host}:{self.port}: {last_error}"
-            ) from last_error
         finally:
             self._slots.release()
+
+    @staticmethod
+    def _retry_after_wait(
+        status: int,
+        retry_after: str | None,
+        budget: float,
+        stream: Any | None,
+    ) -> float | None:
+        """How long to sleep before re-sending, or ``None`` to answer now.
+
+        Only 429/503 answers carrying a parseable ``Retry-After`` are
+        retried, only within the remaining *budget*, and never for streams
+        (their iterator is already consumed).  Every retry consumes a small
+        minimum from the budget so a ``Retry-After: 0`` server cannot pin
+        the client in a zero-cost loop.
+        """
+        if status not in (429, 503) or stream is not None or budget <= 0.0:
+            return None
+        if retry_after is None:
+            return None
+        try:
+            suggested = float(retry_after)
+        except ValueError:
+            return None
+        wait = max(suggested, 0.05)
+        return wait if wait <= budget else None
 
     # ------------------------------------------------------------------ #
     # protocol surface (mirrors ServiceFrontend)

@@ -342,6 +342,12 @@ class RequestFrame:
     versions: tuple[int | None, ...] | None = None
     train: tuple[bool | None, ...] | None = None
     feature_names: tuple[str, ...] | None = None
+    #: Replay-safety marker: the shard router stamps ``prepaid`` on the
+    #: sub-frames it carves so a worker spawned with ``--trust-prepaid``
+    #: skips its own quota charge — the router already charged the shared
+    #: bucket once for the whole frame, so a retried or hedged sub-frame
+    #: can never charge twice.  Untrusted servers ignore the flag.
+    prepaid: bool = False
 
     @property
     def n_requests(self) -> int:
@@ -429,6 +435,7 @@ def encode_frame_slice(
     frame: RequestFrame,
     indices: Sequence[int],
     frame_id: str | None = None,
+    prepaid: bool | None = None,
 ) -> bytes:
     """Re-encode a parsed request frame restricted to *indices*.
 
@@ -442,6 +449,9 @@ def encode_frame_slice(
     ------
     ValueError
         If *indices* is empty or holds an out-of-range request index.
+
+    *prepaid* stamps (or clears) the sub-frame's replay-safety marker;
+    ``None`` inherits the parent frame's flag.
     """
     order = [int(index) for index in indices]
     if not order:
@@ -472,6 +482,8 @@ def encode_frame_slice(
         "n_windows": int(lengths.sum()),
         "n_features": n_features,
     }
+    if frame.prepaid if prepaid is None else prepaid:
+        header["prepaid"] = True
     if frame.op == "authenticate":
         header["has_contexts"] = frame.context_codes is not None
         versions = (
@@ -699,6 +711,7 @@ def parse_request_frame(header: Mapping[str, Any], payload: memoryview) -> Reque
         versions=versions,
         train=train,
         feature_names=feature_names,
+        prepaid=bool(header.get("prepaid")),
     )
 
 

@@ -140,3 +140,53 @@ def test_traced_metric_without_untraced_twin_fails(tmp_path):
         "BENCH_x.json", {"binary_traced_windows_per_s": 900.0}
     )
     assert any("no untraced twin" in problem for problem in problems)
+
+
+def test_retry_overhead_within_bar_passes():
+    assert (
+        check_bench.check_retry_overhead(
+            "BENCH_x.json",
+            {
+                "cluster_2_worker_retry_windows_per_s": 970.0,  # -3% vs twin
+                "cluster_2_worker_noretry_windows_per_s": 1000.0,
+            },
+        )
+        == []
+    )
+
+
+def test_retry_overhead_beyond_bar_fails(tmp_path):
+    baseline = _write(
+        tmp_path / "baselines" / "BENCH_x.json",
+        {
+            "cluster_2_worker_retry_windows_per_s": 990.0,
+            "cluster_2_worker_noretry_windows_per_s": 1000.0,
+        },
+    )
+    _write(
+        tmp_path / "BENCH_x.json",
+        {
+            "cluster_2_worker_retry_windows_per_s": 900.0,  # -10% vs twin
+            "cluster_2_worker_noretry_windows_per_s": 1000.0,
+        },
+    )
+    problems = check_bench.check_file(tmp_path / "BENCH_x.json", baseline)
+    assert any("retries cost" in problem for problem in problems)
+
+
+def test_retry_metric_without_disabled_twin_fails():
+    problems = check_bench.check_retry_overhead(
+        "BENCH_x.json", {"cluster_2_worker_retry_windows_per_s": 900.0}
+    )
+    assert any("no retry-disabled twin" in problem for problem in problems)
+
+
+def test_noretry_twin_is_not_itself_treated_as_a_retry_metric():
+    # "_noretry_windows_per_s" must not string-match the retry suffix —
+    # a lone no-retry key is the twin, not a gated measurement.
+    assert (
+        check_bench.check_retry_overhead(
+            "BENCH_x.json", {"cluster_2_worker_noretry_windows_per_s": 1000.0}
+        )
+        == []
+    )

@@ -35,3 +35,28 @@ def test_checker_detects_a_broken_link(tmp_path):
     broken.write_text("see [missing](no/such/file.md) and `src/repro/ghost.py`")
     assert any("broken internal link" in p for p in check_docs.check_links(broken))
     assert any("missing module" in p for p in check_docs.check_module_paths(broken))
+
+
+def test_required_sections_are_present():
+    problems = [
+        p
+        for name, required in check_docs.REQUIRED_SECTIONS.items()
+        for p in check_docs.check_required_sections(check_docs.REPO_ROOT / name, required)
+    ]
+    assert problems == []
+
+
+def test_required_section_files_are_link_checked_too():
+    # A required-section entry for a file the link checker skips would
+    # let that file rot; every entry must also be in DOC_FILES.
+    assert set(check_docs.REQUIRED_SECTIONS) <= set(check_docs.DOC_FILES)
+
+
+def test_checker_detects_a_dropped_section(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Title\n\nThe drain runbook is mentioned but not a heading.\n")
+    required = ("## Drain runbook",)
+    problems = check_docs.check_required_sections(doc, required)
+    assert any("missing required section" in p for p in problems)
+    doc.write_text("# Title\n\n## Drain runbook\n\ncontent\n")
+    assert check_docs.check_required_sections(doc, required) == []

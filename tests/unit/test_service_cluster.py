@@ -19,6 +19,8 @@ from repro.sensors.types import CoarseContext
 from repro.service import wirebin
 from repro.service.cluster import (
     HashRing,
+    HedgePolicy,
+    RetryPolicy,
     ShardRouter,
     ShardUnavailable,
     StaticEndpoints,
@@ -27,7 +29,10 @@ from repro.service.envelope import (
     SCOPE_ADMIN,
     SCOPE_DATA_WRITE,
     CallerRegistry,
+    Envelope,
     SharedTokenBucket,
+    dumps_envelope,
+    loads_sealed,
 )
 from repro.service.fleet import FleetConfig, FleetSimulator
 from repro.service.frontend import ServiceFrontend
@@ -35,6 +40,8 @@ from repro.service.gateway import AuthenticationGateway
 from repro.service.protocol import (
     AuthenticateRequest,
     AuthenticationResponse,
+    DrainShardRequest,
+    DrainShardResponse,
     ErrorResponse,
     SnapshotRequest,
     SnapshotResponse,
@@ -154,6 +161,27 @@ class TestEncodeFrameSlice:
         with pytest.raises(ValueError, match="out of range"):
             wirebin.encode_frame_slice(frame, [3])
 
+    def test_prepaid_stamp_is_explicit_and_round_trips(self):
+        frame = wirebin.decode_request_frame(
+            wirebin.encode_request_frame(_auth_requests(4), api_key=API_KEY)
+        )
+        assert frame.prepaid is False
+        paid = wirebin.decode_request_frame(
+            wirebin.encode_frame_slice(frame, [0, 2], prepaid=True)
+        )
+        assert paid.prepaid is True
+        # The router always stamps explicitly; clearing wins over the
+        # parent's flag, so a client-smuggled marker never propagates.
+        cleared = wirebin.decode_request_frame(
+            wirebin.encode_frame_slice(paid, [0], prepaid=False)
+        )
+        assert cleared.prepaid is False
+        # Omitting the argument echoes the parent (wirebin-level default).
+        echoed = wirebin.decode_request_frame(
+            wirebin.encode_frame_slice(paid, [0])
+        )
+        assert echoed.prepaid is True
+
 
 # --------------------------------------------------------------------- #
 # shared token bucket
@@ -206,6 +234,20 @@ class TestSharedTokenBucket:
         reason, retry_after = outcome
         assert reason == "rate-limited"
         assert retry_after > 0.0
+
+    def test_refund_returns_tokens_capped_at_burst(self, tmp_path):
+        bucket = SharedTokenBucket(
+            tmp_path / "q.json", rate_per_s=0.001, burst=4.0
+        )
+        assert bucket.acquire(4) == 0.0
+        assert bucket.acquire(3) > 0.0  # drained
+        bucket.refund(3.0)
+        assert bucket.acquire(3) == 0.0  # the refund restored the charge
+        bucket.refund(100.0)  # refunds never mint beyond the bucket size
+        assert bucket.acquire(4) == 0.0
+        assert bucket.acquire(1) > 0.0
+        bucket.refund(-5.0)  # non-positive refunds are no-ops
+        assert bucket.acquire(1) > 0.0
 
     def test_attach_rejects_non_bucket_objects(self):
         registry = CallerRegistry()
@@ -452,3 +494,203 @@ class TestShardRouter:
         assert isinstance(error, ConnectionError)
         assert error.shard == 3
         assert "shard-unavailable" in str(error)
+        # The dispatch marker gates retries of non-idempotent operations.
+        assert error.dispatched is False
+        assert ShardUnavailable(3, "read failed", dispatched=True).dispatched
+
+
+# --------------------------------------------------------------------- #
+# live resharding: the ring's exclusion walk
+# --------------------------------------------------------------------- #
+
+
+class TestHashRingExclude:
+    IDS = [f"user-{i:04d}" for i in range(300)]
+
+    def test_empty_exclude_is_bit_for_bit_the_plain_lookup(self):
+        ring = HashRing(4)
+        assert [ring.shard_for(u, exclude=()) for u in self.IDS] == [
+            ring.shard_for(u) for u in self.IDS
+        ]
+
+    def test_exclusion_moves_only_the_drained_shards_users(self):
+        ring = HashRing(4)
+        before = {u: ring.shard_for(u) for u in self.IDS}
+        during = {u: ring.shard_for(u, exclude=(2,)) for u in self.IDS}
+        assert any(shard == 2 for shard in before.values())
+        for user, shard in before.items():
+            if shard == 2:
+                assert during[user] != 2  # rerouted off the drained shard
+            else:
+                assert during[user] == shard  # everyone else never moves
+
+    def test_exclusion_decisions_are_deterministic_across_instances(self):
+        exclude = (1, 3)
+        first = {u: HashRing(4).shard_for(u, exclude) for u in self.IDS}
+        second = {u: HashRing(4).shard_for(u, exclude) for u in self.IDS}
+        assert first == second
+        assert set(first.values()) <= {0, 2}
+
+    def test_excluding_every_shard_raises(self):
+        ring = HashRing(2)
+        with pytest.raises(ValueError, match="every shard is excluded"):
+            ring.shard_for("user-0001", exclude=(0, 1))
+
+    def test_split_with_exclude_covers_all_positions(self):
+        ring = HashRing(3)
+        groups = ring.split(self.IDS, exclude=(1,))
+        assert 1 not in groups
+        positions = sorted(i for group in groups.values() for i in group)
+        assert positions == list(range(len(self.IDS)))
+
+
+# --------------------------------------------------------------------- #
+# retry + hedge policies
+# --------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_validates_every_bound(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(initial_backoff_s=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(max_backoff_s=0.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="deadline_s"):
+            RetryPolicy(deadline_s=0.0)
+
+    def test_backoff_is_exponential_and_capped_without_jitter(self):
+        policy = RetryPolicy(
+            initial_backoff_s=0.1, max_backoff_s=0.4, multiplier=2.0, jitter=0.0
+        )
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.4)
+        assert policy.backoff_s(7) == pytest.approx(0.4)  # capped
+
+    def test_jitter_bounds_the_wait_between_base_and_base_plus_jitter(self):
+        policy = RetryPolicy(
+            initial_backoff_s=0.1, max_backoff_s=0.1, multiplier=2.0, jitter=1.0
+        )
+        waits = [policy.backoff_s(0) for _ in range(200)]
+        assert all(0.1 <= wait <= 0.2 for wait in waits)
+        assert max(waits) > min(waits)  # actually jittered
+
+
+class TestHedgePolicy:
+    def test_validates_every_bound(self):
+        with pytest.raises(ValueError, match="quantile"):
+            HedgePolicy(quantile=0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            HedgePolicy(quantile=101.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            HedgePolicy(min_samples=0)
+        with pytest.raises(ValueError, match="delay bounds"):
+            HedgePolicy(min_delay_s=0.0)
+        with pytest.raises(ValueError, match="delay bounds"):
+            HedgePolicy(min_delay_s=0.5, max_delay_s=0.1)
+
+
+# --------------------------------------------------------------------- #
+# graceful drain on the router
+# --------------------------------------------------------------------- #
+
+
+def _post_admin(port, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v2/admin",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _drain_over_wire(router, api_key, shard, undrain=False):
+    envelope = Envelope(
+        request=DrainShardRequest(shard=shard, undrain=undrain), api_key=api_key
+    )
+    status, body = _post_admin(router.port, dumps_envelope(envelope).encode())
+    return status, loads_sealed(body.decode("utf-8"))
+
+
+class TestGracefulDrain:
+    @pytest.fixture()
+    def drain_router(self, cluster):
+        _, servers = cluster
+        pool = StaticEndpoints(
+            [("127.0.0.1", server.port) for server in servers]
+        )
+        router = ShardRouter(pool, admin_api_key=API_KEY).serve_background()
+        yield router
+        router.shutdown()
+        router.server_close()
+
+    def test_set_draining_validates_and_refuses_the_last_shard(
+        self, drain_router
+    ):
+        with pytest.raises(ValueError, match="shard must be in"):
+            drain_router.set_draining(5)
+        assert drain_router.set_draining(1) == (0,)
+        assert drain_router.draining() == frozenset({1})
+        with pytest.raises(ValueError, match="last active shard"):
+            drain_router.set_draining(0)
+        assert drain_router.set_draining(1, undrain=True) == (0, 1)
+        assert drain_router.draining() == frozenset()
+        assert drain_router.telemetry.counter_value("router.drains") == 1
+        assert drain_router.telemetry.counter_value("router.undrains") == 1
+
+    def test_drain_admin_op_round_trips_and_reroutes(
+        self, drain_router, probes, reference
+    ):
+        status, sealed = _drain_over_wire(drain_router, API_KEY, 0)
+        assert status == 200
+        assert isinstance(sealed.response, DrainShardResponse)
+        assert sealed.response.draining is True
+        assert sealed.response.active_shards == (1,)
+        # Routed traffic while draining serves every user from shard 1 —
+        # and the answers are the in-process reference, bit-for-bit.
+        client = ServiceClient(port=drain_router.port, api_key=API_KEY)
+        got = client.submit(probes[0])
+        np.testing.assert_array_equal(got.scores, reference[0].scores)
+        exclude = drain_router.draining()
+        for probe in probes:
+            assert drain_router.ring.shard_for(probe.user_id, exclude) == 1
+        status, sealed = _drain_over_wire(drain_router, API_KEY, 0, undrain=True)
+        assert status == 200
+        assert sealed.response.draining is False
+        assert sealed.response.active_shards == (0, 1)
+
+    def test_drain_with_wrong_credential_answers_typed_401(self, drain_router):
+        status, sealed = _drain_over_wire(drain_router, "wrong-key", 0)
+        assert status == 401
+        assert sealed.denied
+        assert drain_router.draining() == frozenset()
+
+    def test_drain_of_last_active_shard_answers_typed_400(self, drain_router):
+        assert _drain_over_wire(drain_router, API_KEY, 1)[0] == 200
+        status, sealed = _drain_over_wire(drain_router, API_KEY, 0)
+        assert status == 400
+        assert isinstance(sealed.response, ErrorResponse)
+        assert "last active shard" in sealed.response.message
+        assert _drain_over_wire(drain_router, API_KEY, 1, undrain=True)[0] == 200
+
+    def test_worker_refuses_a_direct_drain_request(self, cluster):
+        # The operation belongs to the router; a worker has no ring.
+        _, servers = cluster
+        envelope = Envelope(request=DrainShardRequest(shard=0), api_key=API_KEY)
+        status, body = _post_admin(
+            servers[0].port, dumps_envelope(envelope).encode()
+        )
+        assert status == 400
+        sealed = loads_sealed(body.decode("utf-8"))
+        assert isinstance(sealed.response, ErrorResponse)
+        assert "shard-router operation" in sealed.response.message

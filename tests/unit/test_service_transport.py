@@ -1,7 +1,9 @@
 """Unit tests for the HTTP transport (server, client, status mapping)."""
 
 import json
+import socket
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -9,6 +11,7 @@ import pytest
 
 from repro.features.vector import FeatureMatrix
 from repro.sensors.types import CoarseContext
+from repro.service.envelope import TokenBucket
 from repro.service.frontend import MicroBatchQueue, ServiceFrontend
 from repro.service.gateway import AuthenticationGateway
 from repro.service.protocol import (
@@ -23,9 +26,11 @@ from repro.service.protocol import (
     ThrottledResponse,
 )
 from repro.service.transport import (
+    DEADLINE_HEADER,
     HEALTH_PATH,
     METRICS_PATH,
     REQUESTS_PATH,
+    DeadlineExceeded,
     ServiceClient,
     ServiceHTTPServer,
     status_for_response,
@@ -618,6 +623,109 @@ class TestClientConnection:
         with ServiceClient(port=1, timeout_s=0.2) as client:
             with pytest.raises(ConnectionError):
                 client.submit(SnapshotRequest())
+
+
+# --------------------------------------------------------------------- #
+# client resilience: typed deadlines and Retry-After honouring
+# --------------------------------------------------------------------- #
+
+
+class TestClientResilience:
+    def test_unresponsive_server_raises_typed_deadline(self):
+        # A socket that listens but never answers: the read times out and
+        # must surface as the typed DeadlineExceeded, not a bare
+        # socket.timeout — and still a ConnectionError for old handlers.
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            with ServiceClient(port=port, timeout_s=0.3) as client:
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    client.submit(SnapshotRequest())
+        assert isinstance(excinfo.value, ConnectionError)
+        assert excinfo.value.timeout_s == pytest.approx(0.3)
+
+    def test_deadline_header_is_advertised_on_the_wire(self):
+        # A one-shot raw responder captures the request bytes so the test
+        # can pin the X-Deadline-S header the shard router budgets by.
+        captured = {}
+        from repro.service.protocol import dumps_response
+
+        body = dumps_response(
+            ErrorResponse(
+                request_kind="snapshot", error="KeyError", message="nope"
+            )
+        ).encode("utf-8")
+
+        def respond(listener):
+            conn, _ = listener.accept()
+            with conn:
+                captured["request"] = conn.recv(65536)
+                conn.sendall(
+                    b"HTTP/1.1 404 Not Found\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            responder = threading.Thread(
+                target=respond, args=(listener,), daemon=True
+            )
+            responder.start()
+            client = ServiceClient(
+                port=listener.getsockname()[1], timeout_s=5.0, deadline_s=2.5
+            )
+            with client:
+                response = client.submit(SnapshotRequest())
+            responder.join(timeout=5.0)
+        assert isinstance(response, ErrorResponse)
+        assert f"{DEADLINE_HEADER}: 2.5".encode() in captured["request"]
+
+    def test_client_rejects_invalid_resilience_knobs(self):
+        with pytest.raises(ValueError, match="max_retry_wait"):
+            ServiceClient(max_retry_wait=-1.0)
+        with pytest.raises(ValueError, match="deadline_s"):
+            ServiceClient(deadline_s=0.0)
+
+    def test_retry_after_honoured_only_within_the_opt_in_budget(
+        self, frontend
+    ):
+        with ServiceHTTPServer(frontend) as server:
+            api_key = server.callers.register("limited", ("data:write", "admin"))
+            server.callers.attach_rate_limit(
+                "limited", TokenBucket(rate_per_s=2.0, burst=1.0)
+            )
+            # Without the opt-in, the throttle surfaces immediately, typed.
+            with ServiceClient(port=server.port, api_key=api_key) as client:
+                assert isinstance(client.submit(SnapshotRequest()), SnapshotResponse)
+                throttled = client.submit(SnapshotRequest())
+                assert isinstance(throttled, ThrottledResponse)
+                assert throttled.retry_after_s > 0.0
+            # With a wait budget, the client sleeps the advertised
+            # Retry-After and the retried exchange succeeds.
+            with ServiceClient(
+                port=server.port, api_key=api_key, max_retry_wait=10.0
+            ) as patient:
+                assert isinstance(
+                    patient.submit(SnapshotRequest()), SnapshotResponse
+                )
+                started = time.monotonic()
+                second = patient.submit(SnapshotRequest())
+                waited = time.monotonic() - started
+                assert isinstance(second, SnapshotResponse)
+                assert waited >= 0.4  # actually slept toward the refill
+
+    def test_healthz_surfaces_injected_crash_history(self, frontend):
+        with ServiceHTTPServer(
+            frontend, restarts=3, last_crash_ts=12345.0
+        ) as server:
+            with ServiceClient(port=server.port) as client:
+                health = client.health()
+        assert health["restarts"] == 3
+        assert health["last_crash_ts"] == 12345.0
 
 
 # --------------------------------------------------------------------- #

@@ -34,6 +34,8 @@ from repro.service.protocol import (
     AuthenticationResponse,
     DetectorTrainRequest,
     DetectorTrainResponse,
+    DrainShardRequest,
+    DrainShardResponse,
     DriftReport,
     DriftResponse,
     EnrollRequest,
@@ -103,6 +105,9 @@ def v1_request_fixtures() -> dict[str, str]:
         "request-train-detector": dumps_request(
             DetectorTrainRequest(matrix=_matrix(), exclude_user="mallory")
         ),
+        "request-drain-shard": dumps_request(
+            DrainShardRequest(shard=1, undrain=False)
+        ),
     }
 
 
@@ -130,6 +135,9 @@ def v1_response_fixtures() -> dict[str, str]:
             EvictResponse(policy="lru", evicted={"alice": [1, 2]})
         ),
         "response-train-detector": dumps_response(DetectorTrainResponse(version=2)),
+        "response-drain-shard": dumps_response(
+            DrainShardResponse(shard=1, draining=True, active_shards=(0, 2, 3))
+        ),
         "response-throttled": dumps_response(
             ThrottledResponse(
                 request_kind="authenticate",

@@ -10,7 +10,10 @@ regress the serving hot path and update the numbers without anyone
 noticing.  It additionally gates **tracing overhead**: when a result file
 carries traced and untraced throughput for the same path
 (``..._traced_windows_per_s`` / ``..._untraced_windows_per_s``), the
-traced path must stay within 5% of the untraced one.
+traced path must stay within 5% of the untraced one.  **Retry overhead**
+is gated the same way: a ``..._retry_windows_per_s`` /
+``..._noretry_windows_per_s`` twin pair from the same run pins the
+router's retry machinery at ≤5% cost on the happy path.
 
 A deliberate trade-off (or a faster implementation) updates the baseline
 in the same PR::
@@ -45,6 +48,15 @@ MAX_TRACING_OVERHEAD = 0.05
 #: Key suffixes pairing a traced measurement with its untraced twin.
 TRACED_SUFFIX = "_traced_windows_per_s"
 UNTRACED_SUFFIX = "_untraced_windows_per_s"
+
+#: Largest tolerated slowdown of the retry-enabled routed path vs its
+#: retry-disabled twin from the same run (5%).
+MAX_RETRY_OVERHEAD = 0.05
+
+#: Key suffixes pairing a retry-enabled measurement with its
+#: retry-disabled twin.
+RETRY_SUFFIX = "_retry_windows_per_s"
+NORETRY_SUFFIX = "_noretry_windows_per_s"
 
 
 def throughput_keys(payload: dict) -> dict[str, float]:
@@ -81,6 +93,7 @@ def check_file(current_path: Path, baseline_path: Path) -> list[str]:
                 f"tolerated: {MAX_DROP:.0%})"
             )
     problems.extend(check_tracing_overhead(current_path.name, current))
+    problems.extend(check_retry_overhead(current_path.name, current))
     return problems
 
 
@@ -111,6 +124,39 @@ def check_tracing_overhead(name: str, metrics: dict[str, float]) -> list[str]:
                 f"{name}: tracing costs {overhead:.1%} of {twin} throughput "
                 f"({traced:,.0f} vs {untraced:,.0f}; "
                 f"tolerated: {MAX_TRACING_OVERHEAD:.0%})"
+            )
+    return problems
+
+
+def check_retry_overhead(name: str, metrics: dict[str, float]) -> list[str]:
+    """Retry-overhead problems within one result file (empty = pass).
+
+    Compares each ``<path>_retry_windows_per_s`` against its
+    ``<path>_noretry_windows_per_s`` twin from the **same** run —
+    same warmed router, retries flipped between measurements — so the
+    gate pins the cost of the retry machinery itself, not machine
+    drift vs an old baseline.
+    """
+    problems: list[str] = []
+    for key, with_retry in sorted(metrics.items()):
+        if not key.endswith(RETRY_SUFFIX):
+            continue
+        twin = key[: -len(RETRY_SUFFIX)] + NORETRY_SUFFIX
+        without_retry = metrics.get(twin)
+        if without_retry is None:
+            problems.append(
+                f"{name}: {key} has no retry-disabled twin {twin!r} to "
+                "gate against"
+            )
+            continue
+        if without_retry <= 0.0:
+            continue
+        overhead = 1.0 - with_retry / without_retry
+        if overhead > MAX_RETRY_OVERHEAD:
+            problems.append(
+                f"{name}: retries cost {overhead:.1%} of {twin} throughput "
+                f"({with_retry:,.0f} vs {without_retry:,.0f}; "
+                f"tolerated: {MAX_RETRY_OVERHEAD:.0%})"
             )
     return problems
 

@@ -6,7 +6,11 @@ Two guarantees, so the docs cannot silently rot as the code moves:
 1. every relative (internal) markdown link in ``docs/*.md`` and
    ``README.md`` resolves to an existing file;
 2. every ``src/...`` module path mentioned in ``docs/architecture.md``
-   (and the other docs pages) exists in the tree.
+   (and the other docs pages) exists in the tree;
+3. load-bearing sections — ones other docs, runbooks or tests point
+   at — are present under their exact headings (``REQUIRED_SECTIONS``),
+   so a rewrite cannot silently drop the drain runbook or the
+   exactly-once quota contract.
 
 Run from anywhere::
 
@@ -31,6 +35,19 @@ DOC_FILES = (
     "docs/sharding.md",
     "docs/attacks.md",
 )
+
+#: Section headings that must exist verbatim, per doc file.  These are
+#: the sections runbooks and tests link to by anchor; dropping one in a
+#: rewrite breaks operators silently, so the checker pins them.
+REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
+    "docs/sharding.md": (
+        "## Retries, deadlines and hedging",
+        "## Graceful drain and live resharding",
+        "## Exactly-once quota for split frames",
+        "## The shared quota store",
+        "## Merged fleet telemetry",
+    ),
+}
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _MODULE_PATH = re.compile(r"`(src/[A-Za-z0-9_./-]+?)/?`")
@@ -78,12 +95,30 @@ def check_module_paths(path: Path) -> list[str]:
     return problems
 
 
+def check_required_sections(path: Path, required: tuple[str, ...]) -> list[str]:
+    """Problems with *path*'s required section headings.
+
+    A heading counts only as a whole line (``## Title`` exactly), so a
+    mention of the title in prose cannot mask a dropped section.
+    """
+    if not path.is_file():
+        return [f"{_label(path)}: documentation file is missing"]
+    headings = {line.strip() for line in path.read_text(encoding="utf-8").splitlines()}
+    return [
+        f"{_label(path)}: missing required section -> {heading}"
+        for heading in required
+        if heading not in headings
+    ]
+
+
 def check_all(root: Path = REPO_ROOT) -> list[str]:
     """Every documentation problem found (empty list = consistent)."""
     problems = []
     for path in doc_files(root):
         problems.extend(check_links(path))
         problems.extend(check_module_paths(path))
+    for name, required in REQUIRED_SECTIONS.items():
+        problems.extend(check_required_sections(root / name, required))
     return problems
 
 
